@@ -1,0 +1,28 @@
+"""E-S1: allocation strategies vs long-run participant satisfaction."""
+
+from repro.experiments import satisfaction_eval
+
+
+def test_bench_allocation_strategy_comparison(benchmark):
+    """The E-S1 strategy table over a shared workload."""
+    result = benchmark.pedantic(
+        lambda: satisfaction_eval.run(n_providers=12, n_consumers=25, rounds=30, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    by_strategy = result.by_strategy()
+    balanced = by_strategy["satisfaction-balanced"]
+    quality = by_strategy["quality"]
+    random_strategy = by_strategy["random"]
+
+    # The satisfaction-balanced strategy protects the worst-off provider...
+    for name, outcome in by_strategy.items():
+        if name != "satisfaction-balanced":
+            assert balanced.min_provider_satisfaction >= outcome.min_provider_satisfaction
+    # ...while the quality-first strategy wins on raw quality but imposes more.
+    assert quality.mean_quality >= balanced.mean_quality
+    assert quality.imposed_fraction > balanced.imposed_fraction
+    # Any informed strategy beats random on consumer satisfaction.
+    assert quality.mean_consumer_satisfaction > random_strategy.mean_consumer_satisfaction
+    print()
+    print(satisfaction_eval.report(result))

@@ -1,0 +1,38 @@
+"""E-A2: anonymous versus identified feedback (the privacy/reputation compromise)."""
+
+from repro.experiments import ablations
+
+
+def test_bench_anonymity_ablation(benchmark):
+    """Run the four feedback modes end to end and check the tradeoff shape."""
+    outcomes = benchmark.pedantic(
+        lambda: ablations.run_anonymity_ablation(n_users=35, rounds=15, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    modes = {outcome.mode: outcome for outcome in outcomes}
+    assert set(modes) == {
+        "identified-eigentrust",
+        "anonymous-eigentrust",
+        "identified-beta",
+        "anonymous-beta",
+    }
+    # Anonymity buys privacy...
+    assert (
+        modes["anonymous-eigentrust"].privacy_facet
+        > modes["identified-eigentrust"].privacy_facet
+    )
+    assert modes["anonymous-beta"].privacy_facet > modes["identified-beta"].privacy_facet
+    # ...and costs the identity-based mechanism its reputation power, while the
+    # count-based mechanism keeps working.
+    assert (
+        modes["anonymous-eigentrust"].reputation_facet
+        <= modes["identified-eigentrust"].reputation_facet
+    )
+    assert modes["anonymous-beta"].reputation_accuracy > 0.5
+    print()
+    print(
+        ablations.report(
+            ablations.AblationResult(aggregators=[], anonymity=outcomes)
+        )
+    )

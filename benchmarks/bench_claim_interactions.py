@@ -1,0 +1,26 @@
+"""E-C1..E-C5: the five qualitative couplings of Section 3."""
+
+from repro.core.coupling import CouplingDynamics
+from repro.experiments import claims
+
+
+def test_bench_coupling_equilibrium(benchmark):
+    """Fixed-point computation of the Section-3 dynamics (used by every claim)."""
+    equilibrium = benchmark(CouplingDynamics().equilibrium)
+    assert 0.0 <= equilibrium.trust <= 1.0
+
+
+def test_bench_all_section3_claims(benchmark):
+    """Full claim battery (analytic dynamics + simulation for E-C3)."""
+    result = benchmark.pedantic(
+        lambda: claims.run(n_users=30, rounds=12, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    outcomes = result.by_id()
+    assert set(outcomes) == {"E-C1", "E-C2", "E-C3", "E-C4", "E-C5"}
+    assert result.all_hold, [
+        (claim_id, outcome.detail) for claim_id, outcome in outcomes.items() if not outcome.holds
+    ]
+    print()
+    print(claims.report(result))

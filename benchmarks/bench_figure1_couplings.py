@@ -1,0 +1,30 @@
+"""E-F1 (Figure 1): the coupling structure among the four concepts.
+
+Benchmarks the analytic coupling-matrix computation and (once) the
+scenario-backed contrasts, asserting that every arrow of Figure 1 is
+reproduced with the right sign.
+"""
+
+from repro.core.coupling import CouplingDynamics, coupling_matrix
+from repro.experiments import figure1
+
+
+def test_bench_coupling_matrix(benchmark):
+    """Sensitivity matrix of the Section-3 dynamics (the analytic Figure 1)."""
+    matrix = benchmark(lambda: coupling_matrix(CouplingDynamics()))
+    for (source, target), expected in figure1.EXPECTED_SIGNS.items():
+        measured = matrix[source][target]
+        assert (measured > 0) == (expected > 0), (source, target, measured)
+
+
+def test_bench_figure1_full_experiment(benchmark):
+    """Full E-F1: analytic matrix plus simulation-backed contrasts."""
+    result = benchmark.pedantic(
+        lambda: figure1.run(n_users=30, rounds=12, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.all_signs_match
+    assert result.all_contrasts_hold
+    print()
+    print(figure1.report(result))

@@ -1,0 +1,29 @@
+"""E-F2L (Figure 2, left): the Area-A good-tradeoff region."""
+
+from repro.experiments import figure2_left
+
+
+def test_bench_area_a_grid(benchmark):
+    """Sweep the (sharing level x policy strictness) grid and locate Area A."""
+    result = benchmark(figure2_left.run)
+    assert result.area_a_points, "Area A must not be empty"
+    assert 0.0 < result.area_a_fraction < 1.0
+    assert result.best_in_area_a
+    # The extreme no-sharing setting can never reach Area A: the reputation
+    # facet is zero there.
+    assert all(point.settings.sharing_level > 0.0 for point in result.area_a_points)
+    print()
+    print(figure2_left.report(result))
+
+
+def test_bench_area_a_threshold_sensitivity(benchmark):
+    """Area A shrinks monotonically as the acceptability threshold rises."""
+
+    def sweep_thresholds():
+        return [
+            len(figure2_left.run(threshold=threshold).area_a_points)
+            for threshold in (0.4, 0.5, 0.6, 0.7)
+        ]
+
+    sizes = benchmark(sweep_thresholds)
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))

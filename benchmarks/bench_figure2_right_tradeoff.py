@@ -1,0 +1,38 @@
+"""E-F2R (Figure 2, right): privacy/reputation/satisfaction vs shared information."""
+
+from repro.core.tradeoff import SettingsExplorer
+from repro.experiments import figure2_right
+
+
+def test_bench_analytic_tradeoff_sweep(benchmark):
+    """The analytic sweep behind the Figure-2 curves (41 settings)."""
+    explorer = SettingsExplorer()
+    points = benchmark(lambda: explorer.sweep_sharing_levels(resolution=41))
+    privacy = [point.facets.privacy for point in points]
+    reputation = [point.facets.reputation for point in points]
+    assert all(a >= b for a, b in zip(privacy, privacy[1:]))
+    assert all(a <= b for a, b in zip(reputation, reputation[1:]))
+    best = explorer.best(points)
+    assert 0.0 < best.sharing_level < 1.0
+
+
+def test_bench_figure2_right_simulated(benchmark):
+    """Full E-F2R including the simulation-backed curve."""
+    result = benchmark.pedantic(
+        lambda: figure2_right.run(
+            levels=(0.0, 0.25, 0.5, 0.75, 1.0),
+            simulate=True,
+            n_users=30,
+            rounds=15,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    simulated = result.simulated_points
+    assert simulated[0].facets.privacy > simulated[-1].facets.privacy
+    assert simulated[-1].facets.reputation >= simulated[0].facets.reputation
+    assert result.iso_satisfaction_pairs
+    assert 0.0 < result.best_analytic.sharing_level < 1.0
+    print()
+    print(figure2_right.report(result))

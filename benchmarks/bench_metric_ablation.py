@@ -1,0 +1,34 @@
+"""E-A1: the composite-metric aggregator ablation."""
+
+from repro.core.facets import FacetScores
+from repro.core.metric import Aggregator, CompositeTrustMetric
+from repro.experiments import ablations
+
+
+def test_bench_aggregator_ablation(benchmark):
+    """Compare the aggregator family on the analytic tradeoff sweep."""
+    outcomes = benchmark(ablations.run_aggregator_ablation)
+    by_name = {outcome.aggregator: outcome for outcome in outcomes}
+    assert set(by_name) == {"weighted", "geometric", "minimum", "owa"}
+    # Non-compensatory aggregators punish unbalanced facet profiles harder.
+    assert by_name["minimum"].unbalanced_penalty >= by_name["geometric"].unbalanced_penalty
+    assert by_name["geometric"].unbalanced_penalty > by_name["weighted"].unbalanced_penalty
+    # Every aggregator still finds its optimum inside Area A at an interior
+    # sharing level — the paper's "good tradeoff" is metric-robust.
+    for outcome in outcomes:
+        assert outcome.best_in_area_a
+        assert 0.0 < outcome.best_sharing_level < 1.0
+    print()
+    print(ablations.report(ablations.AblationResult(aggregators=outcomes, anonymity=[])))
+
+
+def test_bench_single_metric_evaluation(benchmark):
+    """Latency of one composite-trust evaluation (all four aggregators)."""
+    facets = FacetScores(privacy=0.55, reputation=0.7, satisfaction=0.65)
+    metrics = [CompositeTrustMetric(aggregator=aggregator) for aggregator in Aggregator]
+
+    def evaluate_all():
+        return [metric.trust(facets) for metric in metrics]
+
+    values = benchmark(evaluate_all)
+    assert all(0.0 <= value <= 1.0 for value in values)

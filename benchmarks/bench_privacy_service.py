@@ -1,0 +1,53 @@
+"""E-P1: PriServ-style enforcement, OECD compliance and request throughput."""
+
+from repro.experiments import privacy_eval
+from repro.privacy.oecd import OecdPrinciple
+from repro.privacy.policy import restrictive_policy
+from repro.privacy.priserv import PriServService
+from repro.privacy.purposes import Operation, Purpose
+
+
+def test_bench_privacy_enforcement_experiment(benchmark):
+    """The E-P1 request-stream experiment."""
+    result = benchmark.pedantic(
+        lambda: privacy_eval.run(n_users=40, n_requests=500, breach_rate=0.05, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.denied > 0
+    assert result.denial_reasons
+    assert result.policy_respect < 1.0  # the injected breaches are visible
+    assert result.compliance.scores[OecdPrinciple.SECURITY_SAFEGUARDS] < 1.0
+    assert result.compliance.overall > 0.5
+    print()
+    print(privacy_eval.report(result))
+
+
+def test_bench_priserv_request_throughput(benchmark):
+    """Single policy-checked request latency on a 100-peer service."""
+    peers = [f"u{i}" for i in range(100)]
+    service = PriServService(
+        peer_ids=peers,
+        trust_oracle=lambda peer: 0.9,
+        friendship_oracle=lambda a, b: True,
+    )
+    service.register_policy(restrictive_policy("u0", minimum_trust=0.5))
+    service.publish("u0", "u0/profile", {"city": "Nantes"}, sensitivity=0.6)
+
+    from repro.privacy.policy import Obligation
+
+    def one_request():
+        return service.request(
+            "u1",
+            "u0/profile",
+            operation=Operation.READ,
+            purpose=Purpose.SOCIAL_INTERACTION,
+            accepted_obligations=(
+                Obligation.DELETE_AFTER_RETENTION,
+                Obligation.NO_REDISTRIBUTION,
+            ),
+        )
+
+    decision, content = benchmark(one_request)
+    assert decision.permitted
+    assert content == {"city": "Nantes"}

@@ -1,0 +1,65 @@
+"""E-R1: reputation mechanisms vs adversary mixes, plus substrate microbenchmarks."""
+
+from repro.experiments import reputation_eval
+from repro.reputation import EigenTrust
+from repro.simulation.engine import InteractionSimulator, SimulationConfig
+from repro.socialnet.generators import SocialNetworkSpec, generate_social_network
+from tests.conftest import make_feedback
+
+
+def test_bench_reputation_mechanism_grid(benchmark):
+    """The E-R1 mechanism x malicious-fraction table."""
+    result = benchmark.pedantic(
+        lambda: reputation_eval.run(
+            mechanisms=("none", "average", "beta", "trustme", "eigentrust", "powertrust"),
+            malicious_fractions=(0.3,),
+            n_users=40,
+            rounds=20,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    improvements = result.improvement_over_baseline()
+    assert set(improvements) == {"average", "beta", "trustme", "eigentrust", "powertrust"}
+    assert all(value > 0 for value in improvements.values()), improvements
+    print()
+    print(reputation_eval.report(result))
+
+
+def test_bench_eigentrust_refresh(benchmark):
+    """Power-iteration refresh cost on a 60-peer evidence base."""
+    system = EigenTrust()
+    tid = 0
+    for rater in range(30):
+        for subject in range(30, 60):
+            tid += 1
+            system.record_feedback(
+                make_feedback(
+                    f"p{subject}", 1.0 if subject % 3 else 0.0,
+                    rater=f"p{rater}", transaction_id=tid,
+                )
+            )
+
+    def refresh():
+        system._dirty = True
+        return system.refresh()
+
+    scores = benchmark(refresh)
+    assert len(scores) == 60
+
+
+def test_bench_interaction_simulation_round_throughput(benchmark):
+    """Simulated rounds per second on an 80-peer network with EigenTrust."""
+    graph = generate_social_network(
+        SocialNetworkSpec(n_users=80, malicious_fraction=0.3, seed=1)
+    )
+
+    def run_simulation():
+        simulator = InteractionSimulator(
+            graph, SimulationConfig(rounds=10, seed=2), reputation=EigenTrust()
+        )
+        return simulator.run()
+
+    result = benchmark.pedantic(run_simulation, rounds=1, iterations=1)
+    assert result.metrics.total_transactions > 0

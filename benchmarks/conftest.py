@@ -1,0 +1,8 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one experiment of DESIGN.md's index (a figure or
+a qualitative claim of the paper) and asserts its expected *shape* besides
+timing it.  Heavy simulation-backed experiments are run through
+``benchmark.pedantic(..., rounds=1)`` so the whole harness stays laptop-fast;
+analytic components are benchmarked normally.
+"""

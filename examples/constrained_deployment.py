@@ -1,0 +1,111 @@
+"""Constrained deployment: pick settings under application requirements.
+
+Section 4 asks for a method that maximizes trust "while respecting the
+system/application constraints".  This example plays a deployment engineer
+choosing the settings of three different applications on the same substrate:
+
+* a health-data community that must keep the privacy facet above 0.75,
+* a file-sharing swarm that must keep the reputation facet above 0.7,
+* a general-purpose social network with balanced requirements,
+
+using :class:`repro.core.optimizer.TrustOptimizer` on the analytic facet
+model, then validating the recommended settings with a full simulation on a
+matching network preset.
+
+Run with::
+
+    python examples/constrained_deployment.py
+"""
+
+from repro.core import FacetConstraints, SystemSettings, TrustOptimizer
+from repro.experiments.reporting import format_table
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.socialnet.presets import preset_spec
+
+APPLICATIONS = [
+    # Health data: privacy is non-negotiable, reputation merely nice to have.
+    (
+        "health community",
+        FacetConstraints(min_privacy=0.9, min_satisfaction=0.5),
+        "friendship",
+    ),
+    # A swarm with 30% dishonest peers: reputation power is non-negotiable.
+    (
+        "file-sharing swarm",
+        FacetConstraints(min_reputation=0.85, min_satisfaction=0.5),
+        "file-sharing",
+    ),
+    # The balanced, general-purpose deployment (the Area-A compromise).
+    (
+        "general social network",
+        FacetConstraints(min_privacy=0.55, min_reputation=0.55, min_satisfaction=0.55),
+        "professional",
+    ),
+]
+
+
+def validate_with_simulation(settings: SystemSettings, preset_name: str) -> float:
+    """Run a full scenario with the recommended settings on a preset network."""
+    spec = preset_spec(preset_name, seed=5)
+    result = Scenario(
+        ScenarioConfig(
+            n_users=min(spec.n_users, 60),  # keep the validation runs quick
+            rounds=20,
+            seed=5,
+            topology=spec.topology,
+            malicious_fraction=spec.malicious_fraction,
+            settings=settings,
+        )
+    ).run()
+    return result.trust.global_trust
+
+
+def main() -> None:
+    rows = []
+    for name, constraints, preset_name in APPLICATIONS:
+        optimizer = TrustOptimizer(refine_rounds=1)
+        outcome = optimizer.optimize(constraints)
+        if not outcome.found:
+            rows.append((name, "infeasible", "-", "-", "-", "-", "-"))
+            continue
+        best = outcome.best
+        simulated_trust = validate_with_simulation(best.settings, preset_name)
+        rows.append(
+            (
+                name,
+                best.settings.reputation_mechanism,
+                best.settings.sharing_level,
+                "yes" if best.settings.anonymous_feedback else "no",
+                best.trust,
+                simulated_trust,
+                len(outcome.feasible),
+            )
+        )
+
+    print(
+        format_table(
+            [
+                "application",
+                "mechanism",
+                "sharing level",
+                "anonymous feedback",
+                "predicted trust",
+                "simulated trust",
+                "feasible settings",
+            ],
+            rows,
+            title="Recommended settings per application (Section 4 workflow)",
+        )
+    )
+    print()
+    print(
+        "The privacy-constrained deployment is pushed towards low information "
+        "demand (a lighter mechanism, less sharing or anonymous reporting); the "
+        "reputation-constrained swarm is pushed towards identified, information-"
+        "hungry mechanisms at high sharing; the balanced application lands in "
+        "between — the Area-A compromise of Figure 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

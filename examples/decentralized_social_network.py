@@ -1,0 +1,153 @@
+"""A decentralized social network with privacy policies and negotiation.
+
+The scenario the paper's introduction motivates: users of a decentralized
+social-networking system publish profile attributes with explicit privacy
+policies, other users request them for different purposes, the PriServ-style
+service enforces the policies (audience, purpose, minimal trust level,
+obligations), requesters negotiate when they are denied, and the OECD
+compliance of the deployment is checked at the end.
+
+Run with::
+
+    python examples/decentralized_social_network.py
+"""
+
+from repro.experiments.reporting import format_table
+from repro.privacy import (
+    NegotiationEngine,
+    Obligation,
+    Operation,
+    PolicyRule,
+    PriServService,
+    PrivacyPolicy,
+    Proposal,
+    Purpose,
+    check_compliance,
+)
+from repro.privacy.policy import Audience
+from repro.socialnet import SocialNetworkSpec, generate_social_network
+
+
+def build_policies(graph, service: PriServService) -> None:
+    """Each user publishes its profile under a policy matching its concern."""
+    for user in graph.users():
+        policy = PrivacyPolicy(owner=user.user_id)
+        # Public attributes: anyone may read them for user-serving purposes.
+        policy.default_rule = PolicyRule(
+            audience=Audience.ANYONE,
+            operations={Operation.READ},
+            purposes={Purpose.SOCIAL_INTERACTION, Purpose.SERVICE_PROVISION},
+        )
+        # Sensitive attributes: friends only, minimal trust, obligations.
+        for attribute in user.profile.sensitive_attributes():
+            policy.set_rule(
+                f"{user.user_id}/{attribute.name}",
+                PolicyRule(
+                    audience=Audience.FRIENDS,
+                    operations={Operation.READ},
+                    purposes={Purpose.SOCIAL_INTERACTION},
+                    minimum_trust=0.4 + 0.4 * user.privacy_concern,
+                    retention_time=20,
+                    obligations={
+                        Obligation.NO_REDISTRIBUTION,
+                        Obligation.DELETE_AFTER_RETENTION,
+                    },
+                ),
+            )
+        service.register_policy(policy)
+        for attribute in user.profile:
+            service.publish(
+                user.user_id,
+                f"{user.user_id}/{attribute.name}",
+                attribute.value,
+                sensitivity=attribute.sensitivity.exposure_weight,
+            )
+
+
+def main() -> None:
+    graph = generate_social_network(
+        SocialNetworkSpec(n_users=30, topology="watts_strogatz", seed=11)
+    )
+    service = PriServService(
+        peer_ids=graph.user_ids(),
+        trust_oracle=lambda peer: graph.user(peer).honesty if peer in graph else 0.5,
+        friendship_oracle=lambda a, b: graph.are_connected(a, b),
+    )
+    build_policies(graph, service)
+    print(
+        f"Social network with {len(graph)} users; "
+        f"{len(service.published_items())} profile attributes published"
+    )
+    print()
+
+    # A friend reads a public attribute, a stranger tries a sensitive one.
+    owner = graph.user_ids()[0]
+    friend = graph.neighbors(owner)[0]
+    stranger = next(
+        uid for uid in graph.user_ids()
+        if uid != owner and not graph.are_connected(uid, owner)
+    )
+
+    decision, content = service.request(friend, f"{owner}/city")
+    print(f"{friend} reads {owner}/city: permitted={decision.permitted}, value={content!r}")
+
+    decision, _ = service.request(stranger, f"{owner}/health_record")
+    print(
+        f"{stranger} requests {owner}/health_record: permitted={decision.permitted}, "
+        f"reasons={list(decision.reasons)}"
+    )
+
+    # The friend wants the sensitive attribute but forgot to accept the
+    # obligations: negotiation settles the terms.
+    engine = NegotiationEngine(max_rounds=4)
+    proposal = Proposal(
+        requester=friend,
+        owner=owner,
+        data_id=f"{owner}/health_record",
+        purpose=Purpose.RESEARCH,
+        requester_trust=graph.user(friend).honesty,
+        is_friend=True,
+    )
+    outcome = engine.negotiate(proposal, service.policy_of(owner))
+    print(
+        f"Negotiation for {owner}/health_record: agreed={outcome.agreed} "
+        f"after {outcome.rounds} round(s); final purpose="
+        f"{outcome.final_proposal.purpose.value}, obligations accepted="
+        f"{sorted(o.value for o in outcome.final_proposal.accepted_obligations)}"
+    )
+    print()
+
+    # Exercise the service with a burst of requests, then audit it.
+    for requester in graph.user_ids()[:10]:
+        for item in service.published_items(owner=graph.user_ids()[1])[:3]:
+            service.request(
+                requester,
+                item.data_id,
+                purpose=Purpose.SOCIAL_INTERACTION,
+                accepted_obligations=(
+                    Obligation.NO_REDISTRIBUTION,
+                    Obligation.DELETE_AFTER_RETENTION,
+                ),
+            )
+            service.tick()
+
+    print(
+        format_table(
+            ["denial reason", "count"],
+            sorted(service.denial_reasons().items(), key=lambda item: -item[1]),
+            title="Audit: why requests were denied",
+        )
+    )
+    print()
+    compliance = check_compliance(service)
+    print(
+        format_table(
+            ["OECD principle", "score"],
+            compliance.as_rows(),
+            title=f"OECD compliance report (overall {compliance.overall:.3f})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""P2P file sharing under attack: comparing reputation mechanisms.
+
+The motivating workload of the reputation literature the paper surveys:
+peers exchange files, a third of the population serves corrupted content and
+badmouths honest peers, some of them collude, and some whitewash their
+identity when their reputation collapses.  The example runs the same
+population with no reputation, the naive average, Beta and EigenTrust, and
+shows how much each mechanism reduces the rate of corrupted downloads.
+
+Run with::
+
+    python examples/p2p_file_sharing.py
+"""
+
+from repro.experiments.reporting import format_table
+from repro.reputation import (
+    BetaReputation,
+    EigenTrust,
+    SimpleAverageReputation,
+    pairwise_ranking_accuracy,
+)
+from repro.simulation import ChurnModel, InteractionSimulator, SimulationConfig
+from repro.socialnet import SocialNetworkSpec, generate_social_network
+
+
+def run_mechanism(graph, mechanism, *, label: str, seed: int = 7):
+    config = SimulationConfig(
+        rounds=40,
+        sharing_level=0.9,
+        whitewasher_fraction=0.2,
+        collusion_fraction=0.3,
+        churn=ChurnModel(leave_probability=0.05, return_probability=0.6),
+        seed=seed,
+    )
+    simulator = InteractionSimulator(graph, config, reputation=mechanism)
+    result = simulator.run()
+    accuracy = (
+        pairwise_ranking_accuracy(mechanism.scores(), result.ground_truth_honesty)
+        if mechanism is not None
+        else 0.5
+    )
+    return {
+        "mechanism": label,
+        "corrupted download rate": result.metrics.tail_malicious_rate(),
+        "download success rate": result.metrics.tail_success_rate(),
+        "ranking accuracy": accuracy,
+        "feedback disclosed": len(result.disclosed_feedbacks),
+    }
+
+
+def main() -> None:
+    spec = SocialNetworkSpec(
+        n_users=80,
+        topology="barabasi_albert",
+        malicious_fraction=0.3,
+        seed=7,
+    )
+    graph = generate_social_network(spec)
+    print(
+        f"File-sharing network: {len(graph)} peers, {graph.number_of_edges()} links, "
+        f"{(1 - graph.honest_fraction()):.0%} malicious"
+    )
+    print()
+
+    # EigenTrust's defence against collusion is its pre-trusted peer set:
+    # seed it with a handful of honest, well-connected users.
+    honest_hubs = sorted(
+        (user.user_id for user in graph.users() if user.is_honest),
+        key=lambda uid: -graph.degree(uid),
+    )[:4]
+
+    rows = []
+    for label, mechanism in [
+        ("no reputation", None),
+        ("average", SimpleAverageReputation()),
+        ("beta", BetaReputation(forgetting=0.98)),
+        ("eigentrust", EigenTrust(restart_weight=0.2)),
+        ("eigentrust (pre-trusted)", EigenTrust(restart_weight=0.3, pretrusted=honest_hubs)),
+    ]:
+        outcome = run_mechanism(graph, mechanism, label=label)
+        rows.append(
+            (
+                outcome["mechanism"],
+                outcome["corrupted download rate"],
+                outcome["download success rate"],
+                outcome["ranking accuracy"],
+                outcome["feedback disclosed"],
+            )
+        )
+
+    print(
+        format_table(
+            [
+                "mechanism",
+                "corrupted download rate",
+                "download success rate",
+                "ranking accuracy",
+                "feedback disclosed",
+            ],
+            rows,
+            title="Reputation mechanisms under collusion, whitewashing and churn",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

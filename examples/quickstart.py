@@ -1,0 +1,56 @@
+"""Quickstart: run one end-to-end scenario and inspect the trust report.
+
+Builds a synthetic social network, runs the interaction simulation with
+EigenTrust and PriServ-style privacy accounting, evaluates the three facets
+(privacy, reputation, satisfaction) and prints the resulting trust towards
+the system — globally and for a few individual users.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import quick_scenario
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    result = quick_scenario(n_users=60, rounds=30, seed=42)
+
+    print("Scenario:", result.config.n_users, "users,", result.config.rounds, "rounds")
+    print("Reputation mechanism:", result.config.settings.reputation_mechanism)
+    print()
+
+    facet_rows = [
+        ("privacy", result.facets.privacy),
+        ("reputation", result.facets.reputation),
+        ("satisfaction", result.facets.satisfaction),
+    ]
+    print(format_table(["facet", "score"], facet_rows, title="Global facet scores"))
+    print()
+    print(f"Global trust towards the system: {result.trust.global_trust:.3f}")
+    print(f"Inside Area A (all facets above threshold): {result.trust.in_area_a}")
+    print(f"Facet currently limiting trust: {result.trust.limiting_facet()}")
+    print()
+
+    per_user = sorted(result.trust.per_user_trust.items(), key=lambda item: item[1])
+    rows = [(user, trust) for user, trust in per_user[:3]]
+    rows += [(user, trust) for user, trust in per_user[-3:]]
+    print(
+        format_table(
+            ["user", "trust towards the system"],
+            rows,
+            title="Least and most trusting users",
+        )
+    )
+    print()
+    print(
+        "Steady-state malicious interaction rate:",
+        f"{result.malicious_interaction_rate:.3f}",
+    )
+    print("Disclosed feedback reports:", len(result.simulation.disclosed_feedbacks))
+    print("Disclosure ledger entries:", len(result.ledger))
+
+
+if __name__ == "__main__":
+    main()

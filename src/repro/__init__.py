@@ -1,0 +1,75 @@
+"""Reproduction of *Trust your Social Network According to Satisfaction,
+Reputation and Privacy* (Busnel, Serrano-Alvarado, Lamarre, 2010).
+
+The library is organized around the paper's three facets and the substrates
+they require:
+
+``repro.socialnet``
+    Synthetic social networks: users, profiles, sensitive attributes and the
+    graph generators used to build laptop-scale social topologies.
+``repro.simulation``
+    A discrete-event peer-to-peer interaction simulator with adversary models
+    (malicious peers, traitors, whitewashers, colluders) and churn.
+``repro.reputation``
+    Reputation mechanisms surveyed by the paper: EigenTrust, PowerTrust, a
+    TrustMe-like anonymous certificate protocol, Beta reputation, a simple
+    average baseline, and an anonymous-feedback mode.
+``repro.privacy``
+    P3P-inspired privacy policies, a PriServ-like privacy service, OECD
+    guideline compliance checking, disclosure accounting and privacy metrics.
+``repro.satisfaction``
+    The participant intention / adequacy / satisfaction model the paper builds
+    on, together with global satisfaction aggregation.
+``repro.allocation``
+    A query-allocation substrate (consumers, providers, mediator, strategies)
+    providing the concrete "system process" participants are satisfied with.
+``repro.core``
+    The paper's contribution: facet scores, the generic composite trust
+    metric, the Section-3 coupling dynamics and the settings-tradeoff
+    explorer (Figure 2, "Area A").
+``repro.experiments``
+    End-to-end scenarios and the experiment drivers that regenerate every
+    figure and qualitative claim of the paper.
+
+Quickstart
+----------
+>>> from repro import quick_scenario
+>>> result = quick_scenario(n_users=40, seed=7)
+>>> 0.0 <= result.trust.global_trust <= 1.0
+True
+"""
+
+from repro.core import (
+    CompositeTrustMetric,
+    FacetScores,
+    SystemSettings,
+    TrustModel,
+    TrustReport,
+)
+from repro.version import __version__
+
+
+def quick_scenario(n_users: int = 50, seed: int = 0, rounds: int = 30):
+    """Run a small end-to-end scenario and return its :class:`ScenarioResult`.
+
+    This is a convenience wrapper around
+    :class:`repro.experiments.scenario.Scenario` intended for interactive use
+    and doctests.  It builds a synthetic social network, runs the interaction
+    simulation with the default reputation system and privacy policies, and
+    evaluates the three-facet trust model on the outcome.
+    """
+    from repro.experiments.scenario import Scenario, ScenarioConfig
+
+    config = ScenarioConfig(n_users=n_users, rounds=rounds, seed=seed)
+    return Scenario(config).run()
+
+
+__all__ = [
+    "CompositeTrustMetric",
+    "FacetScores",
+    "SystemSettings",
+    "TrustModel",
+    "TrustReport",
+    "quick_scenario",
+    "__version__",
+]

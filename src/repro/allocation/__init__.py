@@ -1,0 +1,48 @@
+"""Query allocation: the concrete "system process" participants judge.
+
+The satisfaction model the paper builds on (Section 2.1) comes from query
+allocation in distributed information systems: consumers submit queries, a
+mediator allocates each query to one of several autonomous providers, and
+both sides form long-run satisfaction from how well the allocations match
+their intentions.  This subpackage provides that substrate:
+
+* :mod:`repro.allocation.query` — queries and their results;
+* :mod:`repro.allocation.participants` — provider and consumer agents;
+* :mod:`repro.allocation.strategies` — allocation strategies (capacity-based,
+  quality-based, random, reputation-aware and the satisfaction-balanced
+  strategy in the spirit of SbQA);
+* :mod:`repro.allocation.mediator` — the mediator executing allocations and
+  feeding the satisfaction tracker;
+* :mod:`repro.allocation.workload` — synthetic query workload generation.
+"""
+
+from repro.allocation.mediator import AllocationRecord, MediatorReport, QueryMediator
+from repro.allocation.participants import ConsumerAgent, ProviderAgent
+from repro.allocation.query import Query, QueryResult
+from repro.allocation.strategies import (
+    AllocationStrategy,
+    CapacityBasedAllocation,
+    QualityBasedAllocation,
+    RandomAllocation,
+    ReputationAwareAllocation,
+    SatisfactionBalancedAllocation,
+)
+from repro.allocation.workload import WorkloadGenerator, WorkloadSpec
+
+__all__ = [
+    "AllocationRecord",
+    "AllocationStrategy",
+    "CapacityBasedAllocation",
+    "ConsumerAgent",
+    "MediatorReport",
+    "ProviderAgent",
+    "QualityBasedAllocation",
+    "Query",
+    "QueryMediator",
+    "QueryResult",
+    "RandomAllocation",
+    "ReputationAwareAllocation",
+    "SatisfactionBalancedAllocation",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+]

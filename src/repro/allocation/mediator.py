@@ -1,0 +1,170 @@
+"""The query mediator: allocate, execute, and feed the satisfaction model.
+
+The mediator is the "system process" of Section 2.1: consumers hand it
+queries, it chooses a provider through the configured strategy, the provider
+treats the query, and both sides' adequacy observations flow into the
+:class:`~repro.satisfaction.tracker.SatisfactionTracker` — including the
+*imposed* flag when a provider was handed work it had little intention to
+treat, which is what allocation satisfaction is about.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro._util import mean
+from repro.errors import AllocationError, UnknownPeerError
+from repro.allocation.participants import ConsumerAgent, ProviderAgent
+from repro.allocation.query import Query, QueryResult
+from repro.allocation.strategies import (
+    AllocationContext,
+    AllocationStrategy,
+    SatisfactionBalancedAllocation,
+)
+from repro.satisfaction.adequacy import consumer_adequacy, provider_adequacy
+from repro.satisfaction.tracker import SatisfactionTracker
+
+
+@dataclass(frozen=True)
+class AllocationRecord:
+    """One allocation decision and its outcome."""
+
+    query: Query
+    provider: str
+    quality: float
+    consumer_adequacy: float
+    provider_adequacy: float
+    imposed_on_provider: bool
+
+
+@dataclass
+class MediatorReport:
+    """Aggregates the experiments report for one mediator run."""
+
+    allocations: int
+    failed_allocations: int
+    mean_quality: float
+    mean_consumer_adequacy: float
+    mean_provider_adequacy: float
+    consumer_satisfaction: Dict[str, float]
+    provider_satisfaction: Dict[str, float]
+    provider_allocation_satisfaction: Dict[str, float]
+
+
+class QueryMediator:
+    """Allocates queries to providers and tracks the resulting satisfaction."""
+
+    #: Provider intention below which an allocation counts as *imposed*.
+    imposition_threshold: float = 0.4
+
+    def __init__(
+        self,
+        providers: List[ProviderAgent],
+        consumers: List[ConsumerAgent],
+        *,
+        strategy: Optional[AllocationStrategy] = None,
+        tracker: Optional[SatisfactionTracker] = None,
+        reputation_scores: Optional[Dict[str, float]] = None,
+        seed: int = 0,
+    ) -> None:
+        if not providers:
+            raise AllocationError("the mediator needs at least one provider")
+        self.providers = {provider.provider_id: provider for provider in providers}
+        self.consumers = {consumer.consumer_id: consumer for consumer in consumers}
+        self.strategy = strategy or SatisfactionBalancedAllocation()
+        self.tracker = tracker or SatisfactionTracker()
+        self._rng = random.Random(seed)
+        self.context = AllocationContext(
+            tracker=self.tracker,
+            reputation_scores=reputation_scores,
+            rng=self._rng,
+        )
+        self.records: List[AllocationRecord] = []
+        self.failed_allocations = 0
+
+    # -- per-query processing ------------------------------------------------
+
+    def submit(self, query: Query) -> Optional[QueryResult]:
+        """Allocate and execute one query; ``None`` when no provider had capacity."""
+        consumer = self.consumers.get(query.consumer)
+        if consumer is None:
+            raise UnknownPeerError(query.consumer)
+        consumer.submitted_queries += 1
+        try:
+            provider = self.strategy.allocate(
+                query, consumer, list(self.providers.values()), self.context
+            )
+        except AllocationError:
+            self.failed_allocations += 1
+            # An unserved query is maximally inadequate for its consumer.
+            self.tracker.observe(consumer.consumer_id, 0.0, imposed=True)
+            return None
+
+        quality = provider.serve(query.topic, query.cost, rng=self._rng)
+        consumer.note_result(quality, provider.provider_id)
+
+        c_adequacy = consumer_adequacy(consumer.intention, provider.provider_id)
+        p_adequacy = provider_adequacy(
+            provider.intention, query.topic, consumer.consumer_id
+        )
+        imposed = p_adequacy < self.imposition_threshold
+
+        self.tracker.observe(consumer.consumer_id, c_adequacy)
+        self.tracker.observe(provider.provider_id, p_adequacy, imposed=imposed)
+
+        record = AllocationRecord(
+            query=query,
+            provider=provider.provider_id,
+            quality=quality,
+            consumer_adequacy=c_adequacy,
+            provider_adequacy=p_adequacy,
+            imposed_on_provider=imposed,
+        )
+        self.records.append(record)
+        return QueryResult(
+            query=query,
+            provider=provider.provider_id,
+            quality=quality,
+            imposed_on_provider=imposed,
+        )
+
+    def submit_batch(self, queries: List[Query]) -> List[Optional[QueryResult]]:
+        return [self.submit(query) for query in queries]
+
+    def end_round(self) -> None:
+        """Reset provider loads at a round boundary."""
+        for provider in self.providers.values():
+            provider.end_round()
+
+    # -- reporting ----------------------------------------------------------
+
+    def set_reputation_scores(self, scores: Dict[str, float]) -> None:
+        """Refresh the reputation scores reputation-aware strategies consult."""
+        self.context.reputation_scores = dict(scores)
+
+    def report(self) -> MediatorReport:
+        return MediatorReport(
+            allocations=len(self.records),
+            failed_allocations=self.failed_allocations,
+            mean_quality=mean(record.quality for record in self.records),
+            mean_consumer_adequacy=mean(
+                record.consumer_adequacy for record in self.records
+            ),
+            mean_provider_adequacy=mean(
+                record.provider_adequacy for record in self.records
+            ),
+            consumer_satisfaction={
+                consumer_id: self.tracker.satisfaction(consumer_id)
+                for consumer_id in self.consumers
+            },
+            provider_satisfaction={
+                provider_id: self.tracker.satisfaction(provider_id)
+                for provider_id in self.providers
+            },
+            provider_allocation_satisfaction={
+                provider_id: self.tracker.allocation_satisfaction(provider_id)
+                for provider_id in self.providers
+            },
+        )

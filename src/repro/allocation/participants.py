@@ -1,0 +1,91 @@
+"""Provider and consumer agents of the query-allocation substrate."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro._util import clamp, require_unit_interval
+from repro.errors import ConfigurationError
+from repro.satisfaction.intentions import ConsumerIntention, ProviderIntention
+
+
+@dataclass
+class ProviderAgent:
+    """An autonomous provider with per-topic competence and bounded capacity."""
+
+    provider_id: str
+    intention: ProviderIntention
+    competence: Dict[str, float] = field(default_factory=dict)
+    default_competence: float = 0.6
+    capacity_per_round: int = 5
+    current_load: float = 0.0
+    treated_queries: int = 0
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.default_competence, "default_competence")
+        for topic, value in self.competence.items():
+            require_unit_interval(value, f"competence in {topic}")
+        if self.capacity_per_round < 0:
+            raise ConfigurationError("capacity_per_round must be non-negative")
+
+    def competence_for(self, topic: str) -> float:
+        return self.competence.get(topic, self.default_competence)
+
+    @property
+    def utilization(self) -> float:
+        """Load relative to capacity, in ``[0, 1]`` (1 = saturated or above)."""
+        if self.capacity_per_round == 0:
+            return 1.0
+        return clamp(self.current_load / self.capacity_per_round)
+
+    def has_capacity(self, cost: float) -> bool:
+        return self.current_load + cost <= self.capacity_per_round
+
+    def serve(self, topic: str, cost: float, rng: Optional[random.Random] = None) -> float:
+        """Treat a query: consume capacity and return the delivered quality.
+
+        Quality is the provider's competence for the topic degraded by its
+        current utilization (an overloaded provider answers worse), with a
+        small amount of noise.
+        """
+        rng = rng or random.Random()
+        self.current_load += cost
+        self.treated_queries += 1
+        overload_penalty = 0.3 * max(0.0, self.utilization - 0.8) / 0.2
+        quality = self.competence_for(topic) * (1.0 - overload_penalty)
+        quality += rng.gauss(0.0, 0.05)
+        return clamp(quality)
+
+    def end_round(self) -> None:
+        """Reset the per-round load."""
+        self.current_load = 0.0
+
+
+@dataclass
+class ConsumerAgent:
+    """A consumer with preferences over providers and submission activity."""
+
+    consumer_id: str
+    intention: ConsumerIntention
+    activity: float = 0.5
+    submitted_queries: int = 0
+    satisfied_results: int = 0
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.activity, "activity")
+
+    def note_result(self, quality: float, provider: str, *, learn: bool = True) -> None:
+        """Record the outcome of one query and update preferences from it."""
+        require_unit_interval(quality, "quality")
+        if quality >= 0.5:
+            self.satisfied_results += 1
+        if learn:
+            self.intention.update_from_experience(provider, quality)
+
+    @property
+    def observed_satisfaction_rate(self) -> float:
+        if self.submitted_queries == 0:
+            return 0.0
+        return self.satisfied_results / self.submitted_queries

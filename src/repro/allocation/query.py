@@ -1,0 +1,47 @@
+"""Queries submitted by consumers and the results providers return."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import require_unit_interval
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Query:
+    """A unit of work a consumer submits to the system.
+
+    ``topic`` drives provider interest and competence; ``cost`` is the load
+    the query puts on whichever provider treats it (in capacity units).
+    """
+
+    query_id: int
+    consumer: str
+    topic: str
+    time: int = 0
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.topic:
+            raise ConfigurationError("query topic must not be empty")
+        if self.cost <= 0:
+            raise ConfigurationError("query cost must be positive")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The outcome of treating one query."""
+
+    query: Query
+    provider: str
+    quality: float
+    imposed_on_provider: bool = False
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.quality, "quality")
+
+    @property
+    def satisfactory(self) -> bool:
+        """Whether the consumer would call the result good (quality ≥ 0.5)."""
+        return self.quality >= 0.5

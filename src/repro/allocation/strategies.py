@@ -1,0 +1,158 @@
+"""Query-allocation strategies.
+
+The mediator delegates the *who treats this query* decision to a strategy.
+Besides the obvious baselines (random, capacity-based, quality-based) two
+strategies matter for the paper's experiments:
+
+* :class:`SatisfactionBalancedAllocation` — in the spirit of the
+  self-adaptable framework of Quiané-Ruiz et al.: the allocation score blends
+  the consumer's preference for a provider, the provider's intention to treat
+  the query and a boost for participants whose long-run satisfaction is
+  lagging, so the system trades a little immediate quality for long-run
+  balance (E-S1 measures the effect);
+* :class:`ReputationAwareAllocation` — scores providers by their reputation,
+  which is how the reputation facet concretely improves satisfaction (bullet
+  3 of Section 3).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, Optional, Sequence
+
+from repro._util import clamp, require_unit_interval
+from repro.errors import AllocationError
+from repro.allocation.participants import ConsumerAgent, ProviderAgent
+from repro.allocation.query import Query
+from repro.satisfaction.tracker import SatisfactionTracker
+
+
+class AllocationStrategy(abc.ABC):
+    """Choose the provider that will treat a query."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def score(
+        self,
+        query: Query,
+        consumer: ConsumerAgent,
+        provider: ProviderAgent,
+        context: "AllocationContext",
+    ) -> float:
+        """Score a candidate provider for this query (higher is better)."""
+
+    def allocate(
+        self,
+        query: Query,
+        consumer: ConsumerAgent,
+        providers: Sequence[ProviderAgent],
+        context: "AllocationContext",
+    ) -> ProviderAgent:
+        """Pick the best-scoring provider that still has capacity."""
+        candidates = [p for p in providers if p.has_capacity(query.cost)]
+        if not candidates:
+            raise AllocationError(
+                f"no provider has capacity for query {query.query_id}"
+            )
+        scored = [
+            (self.score(query, consumer, provider, context), provider.provider_id, provider)
+            for provider in candidates
+        ]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return scored[0][2]
+
+
+class AllocationContext:
+    """Shared state strategies may consult (satisfaction, reputation, RNG)."""
+
+    def __init__(
+        self,
+        *,
+        tracker: Optional[SatisfactionTracker] = None,
+        reputation_scores: Optional[Dict[str, float]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.tracker = tracker
+        self.reputation_scores = reputation_scores or {}
+        self.rng = rng or random.Random(0)
+
+
+class RandomAllocation(AllocationStrategy):
+    """Uniformly random among providers with capacity."""
+
+    name = "random"
+
+    def score(self, query, consumer, provider, context) -> float:
+        return context.rng.random()
+
+
+class CapacityBasedAllocation(AllocationStrategy):
+    """Prefer the least-loaded provider (classic load balancing)."""
+
+    name = "capacity"
+
+    def score(self, query, consumer, provider, context) -> float:
+        return 1.0 - provider.utilization
+
+
+class QualityBasedAllocation(AllocationStrategy):
+    """Prefer the provider most competent for the query topic."""
+
+    name = "quality"
+
+    def score(self, query, consumer, provider, context) -> float:
+        return provider.competence_for(query.topic)
+
+
+class ReputationAwareAllocation(AllocationStrategy):
+    """Prefer reputable providers, with competence as a tie-breaker."""
+
+    name = "reputation"
+
+    def __init__(self, *, reputation_weight: float = 0.7) -> None:
+        self.reputation_weight = require_unit_interval(reputation_weight, "reputation_weight")
+
+    def score(self, query, consumer, provider, context) -> float:
+        reputation = context.reputation_scores.get(provider.provider_id, 0.5)
+        competence = provider.competence_for(query.topic)
+        return clamp(
+            self.reputation_weight * reputation
+            + (1.0 - self.reputation_weight) * competence
+        )
+
+
+class SatisfactionBalancedAllocation(AllocationStrategy):
+    """Balance consumer preference, provider intention and lagging satisfaction."""
+
+    name = "satisfaction-balanced"
+
+    def __init__(
+        self,
+        *,
+        preference_weight: float = 0.4,
+        intention_weight: float = 0.3,
+        balance_weight: float = 0.3,
+    ) -> None:
+        total = preference_weight + intention_weight + balance_weight
+        if total <= 0:
+            raise AllocationError("strategy weights must not all be zero")
+        self.preference_weight = preference_weight / total
+        self.intention_weight = intention_weight / total
+        self.balance_weight = balance_weight / total
+
+    def score(self, query, consumer, provider, context) -> float:
+        preference = consumer.intention.preference(provider.provider_id)
+        intention = provider.intention.intention_for(query.topic, consumer.consumer_id)
+        if context.tracker is not None:
+            # Boost providers whose long-run satisfaction lags: handing them
+            # work they want is how the system keeps them on board.
+            lag = 1.0 - context.tracker.satisfaction(provider.provider_id)
+        else:
+            lag = 0.5
+        return clamp(
+            self.preference_weight * preference
+            + self.intention_weight * intention
+            + self.balance_weight * lag
+        )

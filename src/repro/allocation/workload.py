@@ -1,0 +1,98 @@
+"""Synthetic query workloads for the allocation substrate."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+from repro._util import require_unit_interval
+from repro.errors import ConfigurationError
+from repro.allocation.query import Query
+
+
+@dataclass
+class WorkloadSpec:
+    """Specification of a query workload.
+
+    ``topic_skew`` interpolates between a uniform topic mix (0) and a highly
+    skewed one (1) where the first topic dominates — skew is what makes
+    quality- and intention-aware allocation matter.
+    """
+
+    topics: Sequence[str] = ("music", "photos", "news", "files", "events")
+    queries_per_consumer_per_round: float = 1.0
+    topic_skew: float = 0.3
+    cost_range: tuple = (0.5, 2.0)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.topics:
+            raise ConfigurationError("workload needs at least one topic")
+        if self.queries_per_consumer_per_round < 0:
+            raise ConfigurationError("queries_per_consumer_per_round must be >= 0")
+        require_unit_interval(self.topic_skew, "topic_skew")
+        low, high = self.cost_range
+        if low <= 0 or high < low:
+            raise ConfigurationError("cost_range must be (low > 0, high >= low)")
+
+
+class WorkloadGenerator:
+    """Generates per-round query batches for a set of consumers."""
+
+    def __init__(self, spec: WorkloadSpec, consumers: Sequence[str]) -> None:
+        if not consumers:
+            raise ConfigurationError("workload needs at least one consumer")
+        self.spec = spec
+        self.consumers = list(consumers)
+        self._rng = random.Random(spec.seed)
+        self._query_counter = 0
+        self._topic_weights = self._build_topic_weights()
+
+    def _build_topic_weights(self) -> List[float]:
+        n = len(self.spec.topics)
+        uniform = [1.0 / n] * n
+        # Zipf-like skewed profile, heaviest on the first topic.
+        skewed_raw = [1.0 / (rank + 1) for rank in range(n)]
+        total = sum(skewed_raw)
+        skewed = [value / total for value in skewed_raw]
+        skew = self.spec.topic_skew
+        return [
+            (1.0 - skew) * uniform[i] + skew * skewed[i] for i in range(n)
+        ]
+
+    def topic_distribution(self) -> Dict[str, float]:
+        return dict(zip(self.spec.topics, self._topic_weights))
+
+    def _draw_topic(self) -> str:
+        return self._rng.choices(list(self.spec.topics), weights=self._topic_weights, k=1)[0]
+
+    def round_queries(self, round_index: int) -> List[Query]:
+        """Generate the query batch for one round."""
+        queries: List[Query] = []
+        expected = self.spec.queries_per_consumer_per_round
+        low_cost, high_cost = self.spec.cost_range
+        for consumer in self.consumers:
+            count = int(expected)
+            if self._rng.random() < expected - count:
+                count += 1
+            for _ in range(count):
+                self._query_counter += 1
+                queries.append(
+                    Query(
+                        query_id=self._query_counter,
+                        consumer=consumer,
+                        topic=self._draw_topic(),
+                        time=round_index,
+                        cost=self._rng.uniform(low_cost, high_cost),
+                    )
+                )
+        self._rng.shuffle(queries)
+        return queries
+
+    def rounds(self, n_rounds: int) -> Iterator[List[Query]]:
+        """Iterate over ``n_rounds`` query batches."""
+        if n_rounds < 0:
+            raise ConfigurationError("n_rounds must be non-negative")
+        for round_index in range(n_rounds):
+            yield self.round_queries(round_index)

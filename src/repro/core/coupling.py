@@ -1,0 +1,246 @@
+"""The Section-3 concept interactions as an explicit dynamical system.
+
+The paper's Figure 1 draws arrows between satisfaction, reputation, privacy
+and trust towards the system, and Section 3 spells out five couplings.  They
+are implemented as a damped discrete dynamical system over the state
+
+* ``trust`` — the users' trust towards the system;
+* ``satisfaction`` — global users' satisfaction;
+* ``reputation_efficiency`` — how well the reputation mechanism works;
+* ``disclosure`` — how much information users disclose;
+* ``honest_contribution`` — how honestly users feed the reputation mechanism;
+* ``privacy_satisfaction`` — derived from disclosure and policy respect.
+
+Update rules (each bullet of Section 3 maps to one term):
+
+1. trust ↔ satisfaction reinforce each other;
+2. reputation efficiency raises trust, and trust raises honest contribution;
+3. reputation efficiency raises satisfaction, and satisfaction (through
+   participation) raises reputation efficiency;
+4. when the trustworthy fraction of the population is below one half, trust
+   is capped regardless of how accurate the mechanism is (users keep
+   contributing — honest contribution is not capped);
+5. disclosure raises reputation efficiency, trust raises disclosure, and
+   disclosure lowers privacy satisfaction while policy respect raises it.
+
+:func:`coupling_matrix` turns the dynamics into the quantitative counterpart
+of Figure 1: the signed sensitivity of every variable to a perturbation of
+every other variable at equilibrium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro._util import clamp, require_unit_interval
+from repro.errors import ConfigurationError
+
+#: Variables a perturbation experiment can target.
+STATE_VARIABLES = (
+    "trust",
+    "satisfaction",
+    "reputation_efficiency",
+    "disclosure",
+    "honest_contribution",
+    "privacy_satisfaction",
+)
+
+
+@dataclass(frozen=True)
+class CouplingState:
+    """One point of the coupled system's state space (all values in [0, 1])."""
+
+    trust: float = 0.5
+    satisfaction: float = 0.5
+    reputation_efficiency: float = 0.5
+    disclosure: float = 0.5
+    honest_contribution: float = 0.5
+    privacy_satisfaction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in STATE_VARIABLES:
+            require_unit_interval(getattr(self, name), name)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in STATE_VARIABLES}
+
+    def distance(self, other: "CouplingState") -> float:
+        return max(
+            abs(getattr(self, name) - getattr(other, name)) for name in STATE_VARIABLES
+        )
+
+
+@dataclass
+class CouplingDynamics:
+    """Damped fixed-point iteration over the Section-3 couplings.
+
+    Parameters
+    ----------
+    sharing_level:
+        The system's information-sharing setting σ; scales how much users can
+        disclose at most.
+    mechanism_power:
+        Intrinsic quality of the deployed reputation mechanism (its accuracy
+        when fed full, honest evidence).
+    policy_respect:
+        Fraction of disclosures that honour privacy policies (1.0 = no
+        breaches).
+    trustworthy_fraction:
+        Fraction of the population that is actually trustworthy; below 0.5
+        the bullet-4 dissociation caps trust.
+    damping:
+        Step size of the fixed-point iteration (lower = smoother).
+    """
+
+    sharing_level: float = 0.8
+    mechanism_power: float = 0.9
+    policy_respect: float = 1.0
+    trustworthy_fraction: float = 0.8
+    damping: float = 0.3
+    privacy_weight: float = 1.0
+    reputation_weight: float = 1.0
+    satisfaction_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.sharing_level, "sharing_level")
+        require_unit_interval(self.mechanism_power, "mechanism_power")
+        require_unit_interval(self.policy_respect, "policy_respect")
+        require_unit_interval(self.trustworthy_fraction, "trustworthy_fraction")
+        require_unit_interval(self.damping, "damping")
+        if self.damping == 0.0:
+            raise ConfigurationError("damping must be positive for the state to move")
+
+    # -- targets (the couplings themselves) ---------------------------------
+
+    def _privacy_satisfaction_target(self, state: CouplingState) -> float:
+        # Bullet 5: more disclosure erodes privacy satisfaction; respect of
+        # policies sustains it.
+        return clamp(self.policy_respect * (1.0 - 0.6 * state.disclosure))
+
+    def _reputation_efficiency_target(self, state: CouplingState) -> float:
+        # Bullets 3 and 5: the mechanism is efficient when it receives much
+        # (disclosure) honest (honest_contribution) evidence.
+        evidence = state.disclosure * (0.4 + 0.6 * state.honest_contribution)
+        return clamp(self.mechanism_power * evidence)
+
+    def _satisfaction_target(self, state: CouplingState) -> float:
+        # Bullets 1, 3 and 5: satisfaction grows with trust, with reputation
+        # efficiency (better partner choices) and with privacy satisfaction.
+        return clamp(
+            0.35 * state.trust
+            + 0.35 * state.reputation_efficiency
+            + 0.30 * state.privacy_satisfaction
+        )
+
+    def _trust_target(self, state: CouplingState) -> float:
+        # The composite trust of the three facets (weighted mean keeps the
+        # dynamics smooth); bullet 4 discounts the reputation contribution by
+        # the trustworthy fraction of the population: an accurate mechanism
+        # reporting that most peers are untrustworthy does not make the
+        # system trustworthy.
+        effective_reputation = state.reputation_efficiency * self.trustworthy_fraction
+        total = self.privacy_weight + self.reputation_weight + self.satisfaction_weight
+        return clamp(
+            (
+                self.privacy_weight * state.privacy_satisfaction
+                + self.reputation_weight * effective_reputation
+                + self.satisfaction_weight * state.satisfaction
+            )
+            / total
+        )
+
+    def _disclosure_target(self, state: CouplingState) -> float:
+        # Bullet 5: the less a user trusts the system, the less she discloses.
+        return clamp(self.sharing_level * (0.2 + 0.8 * state.trust))
+
+    def _honest_contribution_target(self, state: CouplingState) -> float:
+        # Bullet 2: the more a user trusts the system, the more honestly she
+        # contributes; even distrusting users keep contributing somewhat
+        # (bullet 4 observes contribution continues).
+        return clamp(0.3 + 0.7 * state.trust)
+
+    # -- iteration -------------------------------------------------------------
+
+    def step(self, state: CouplingState) -> CouplingState:
+        """One damped update of every state variable."""
+        targets = {
+            "privacy_satisfaction": self._privacy_satisfaction_target(state),
+            "reputation_efficiency": self._reputation_efficiency_target(state),
+            "satisfaction": self._satisfaction_target(state),
+            "trust": self._trust_target(state),
+            "disclosure": self._disclosure_target(state),
+            "honest_contribution": self._honest_contribution_target(state),
+        }
+        updated = {
+            name: clamp(
+                (1.0 - self.damping) * getattr(state, name) + self.damping * target
+            )
+            for name, target in targets.items()
+        }
+        return CouplingState(**updated)
+
+    def run(
+        self,
+        initial: Optional[CouplingState] = None,
+        *,
+        steps: int = 200,
+        tolerance: float = 1e-6,
+    ) -> List[CouplingState]:
+        """Iterate until convergence (or the step budget) and return the trajectory."""
+        if steps < 1:
+            raise ConfigurationError("steps must be at least 1")
+        state = initial or CouplingState()
+        trajectory = [state]
+        for _ in range(steps):
+            next_state = self.step(state)
+            trajectory.append(next_state)
+            if next_state.distance(state) < tolerance:
+                break
+            state = next_state
+        return trajectory
+
+    def equilibrium(
+        self, initial: Optional[CouplingState] = None, *, steps: int = 500
+    ) -> CouplingState:
+        """The state the dynamics converge to from ``initial``."""
+        return self.run(initial, steps=steps)[-1]
+
+
+def coupling_matrix(
+    dynamics: CouplingDynamics,
+    *,
+    perturbation: float = 0.2,
+    response_steps: int = 5,
+) -> Dict[str, Dict[str, float]]:
+    """Signed sensitivities reproducing the arrows of Figure 1.
+
+    For every source variable, the equilibrium is perturbed upwards by
+    ``perturbation`` (clamped), the dynamics run for ``response_steps`` and
+    the change of every other variable is recorded.  A positive entry
+    ``matrix[source][target]`` means "more *source* leads to more *target*"
+    — e.g. ``matrix['satisfaction']['trust'] > 0`` is the first bullet.
+    """
+    require_unit_interval(perturbation, "perturbation")
+    equilibrium = dynamics.equilibrium()
+    matrix: Dict[str, Dict[str, float]] = {}
+    for source in STATE_VARIABLES:
+        perturbed_value = clamp(getattr(equilibrium, source) + perturbation)
+        actual_delta = perturbed_value - getattr(equilibrium, source)
+        perturbed = replace(equilibrium, **{source: perturbed_value})
+        state = perturbed
+        for _ in range(response_steps):
+            state = dynamics.step(state)
+        baseline = equilibrium
+        responses = {}
+        for target in STATE_VARIABLES:
+            if target == source:
+                continue
+            if abs(actual_delta) < 1e-12:
+                responses[target] = 0.0
+            else:
+                responses[target] = (
+                    getattr(state, target) - getattr(baseline, target)
+                ) / actual_delta
+        matrix[source] = responses
+    return matrix

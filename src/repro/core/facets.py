@@ -1,0 +1,117 @@
+"""Facet scores: privacy, reputation and satisfaction in ``[0, 1]``.
+
+Figure 2 (right) defines the three axes:
+
+* **Privacy** — "the satisfaction in terms of privacy guarantees which can be
+  the amount of information that it is not necessary to share within the
+  system or the respect of privacy policies";
+* **Reputation** — "the satisfaction of the reputation mechanism in terms of
+  power as reliability, efficiency and most of all, consistency with the
+  reality";
+* **Satisfaction** — "the global users' satisfaction according to the first
+  two axes".
+
+:class:`FacetScores` is the value object the trust metric consumes; the three
+``*_facet`` helpers compute each score from the measurements the substrates
+produce (settings + disclosure ledger, reputation scores + ground truth,
+satisfaction tracker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro._util import clamp, require_unit_interval
+from repro.privacy.disclosure import DisclosureLedger
+from repro.privacy.metrics import (
+    policy_respect_rate,
+    population_privacy_satisfaction,
+    privacy_guarantee_level,
+)
+from repro.reputation.accuracy import reputation_power
+from repro.satisfaction.aggregate import global_satisfaction
+
+
+@dataclass(frozen=True)
+class FacetScores:
+    """One point of the 3-facet space."""
+
+    privacy: float
+    reputation: float
+    satisfaction: float
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.privacy, "privacy")
+        require_unit_interval(self.reputation, "reputation")
+        require_unit_interval(self.satisfaction, "satisfaction")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "privacy": self.privacy,
+            "reputation": self.reputation,
+            "satisfaction": self.satisfaction,
+        }
+
+    def meets(self, threshold: float) -> bool:
+        """Whether every facet reaches the threshold (the Area-A condition)."""
+        require_unit_interval(threshold, "threshold")
+        return (
+            self.privacy >= threshold
+            and self.reputation >= threshold
+            and self.satisfaction >= threshold
+        )
+
+    def weakest_facet(self) -> str:
+        scores = self.as_dict()
+        return min(scores, key=lambda name: scores[name])
+
+
+def privacy_facet(
+    *,
+    sharing_level: float,
+    information_requirement: float,
+    anonymous_feedback: bool = False,
+    ledger: Optional[DisclosureLedger] = None,
+    privacy_concerns: Optional[Mapping[str, float]] = None,
+    guarantee_weight: float = 0.5,
+) -> float:
+    """Privacy facet: ex ante guarantees blended with measured outcomes.
+
+    The guarantee part depends only on the settings (how little the system
+    *requires* users to share); the measured part uses the disclosure ledger
+    (what actually circulated and whether policies were respected).  When no
+    ledger is available the guarantee part stands alone.
+    """
+    require_unit_interval(guarantee_weight, "guarantee_weight")
+    guarantee = privacy_guarantee_level(
+        sharing_level, information_requirement, anonymous_feedback=anonymous_feedback
+    )
+    if ledger is None or privacy_concerns is None:
+        return guarantee
+    measured = population_privacy_satisfaction(ledger, privacy_concerns)
+    respect = policy_respect_rate(ledger)
+    outcome = clamp(0.7 * measured + 0.3 * respect)
+    return clamp(guarantee_weight * guarantee + (1.0 - guarantee_weight) * outcome)
+
+
+def reputation_facet(
+    scores: Mapping[str, float],
+    ground_truth: Mapping[str, float],
+    *,
+    coverage_weight: float = 0.25,
+) -> float:
+    """Reputation facet: the mechanism's power (consistency with reality)."""
+    return reputation_power(scores, ground_truth, coverage_weight=coverage_weight)
+
+
+def satisfaction_facet(
+    satisfactions: Mapping[str, float],
+    *,
+    weights: Optional[Mapping[str, float]] = None,
+    fairness_weight: float = 0.25,
+) -> float:
+    """Satisfaction facet: the global users' satisfaction."""
+    return global_satisfaction(
+        satisfactions, weights=weights, fairness_weight=fairness_weight
+    )

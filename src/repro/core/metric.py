@@ -1,0 +1,108 @@
+"""The generic composite trust metric.
+
+Section 4: "our main objective is to define a generic metric that takes into
+account all these dimensions and helps the designer to maximize the users'
+trust towards the system while respecting the system/application constraints".
+
+The paper does not fix the functional form, so the metric is a *family* of
+aggregators over the three facet scores:
+
+* ``WEIGHTED`` — weighted arithmetic mean: compensatory, a strong facet can
+  make up for a weak one;
+* ``GEOMETRIC`` — weighted geometric mean: partially compensatory, collapses
+  to zero when any facet collapses;
+* ``MINIMUM`` — worst facet: fully non-compensatory, trust is only as strong
+  as the weakest dimension;
+* ``OWA`` — ordered weighted averaging, putting configurable emphasis on the
+  weaker facets without ignoring the stronger ones.
+
+The ablation experiment E-A1 compares them; the default is the geometric
+mean, which preserves the paper's intuition that all three facets are needed
+(Area A) while still rewarding improvements in any of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Sequence
+
+from repro._util import clamp, normalize_weights
+from repro.errors import ConfigurationError
+from repro.core.facets import FacetScores
+
+
+class Aggregator(enum.Enum):
+    """Available aggregation semantics for the composite metric."""
+
+    WEIGHTED = "weighted"
+    GEOMETRIC = "geometric"
+    MINIMUM = "minimum"
+    OWA = "owa"
+
+
+class CompositeTrustMetric:
+    """Aggregate a :class:`FacetScores` into a trust value in ``[0, 1]``."""
+
+    def __init__(
+        self,
+        *,
+        aggregator: Aggregator = Aggregator.GEOMETRIC,
+        weights: Optional[Dict[str, float]] = None,
+        owa_weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.aggregator = aggregator
+        raw_weights = weights or {"privacy": 1.0, "reputation": 1.0, "satisfaction": 1.0}
+        missing = {"privacy", "reputation", "satisfaction"} - set(raw_weights)
+        if missing:
+            raise ConfigurationError(f"missing facet weights: {sorted(missing)}")
+        names = ["privacy", "reputation", "satisfaction"]
+        normalized = normalize_weights([raw_weights[name] for name in names])
+        self.weights = dict(zip(names, normalized))
+        # OWA weights apply to facet values sorted ascending (weakest first);
+        # the default emphasises the weakest facet without ignoring the rest.
+        self.owa_weights = normalize_weights(list(owa_weights or (0.5, 0.3, 0.2)))
+        if len(self.owa_weights) != 3:
+            raise ConfigurationError("owa_weights must have exactly three entries")
+
+    # -- aggregation -------------------------------------------------------
+
+    def trust(self, facets: FacetScores) -> float:
+        """The trust-towards-the-system value for one point of facet space."""
+        values = facets.as_dict()
+        if self.aggregator is Aggregator.WEIGHTED:
+            result = sum(self.weights[name] * values[name] for name in values)
+        elif self.aggregator is Aggregator.GEOMETRIC:
+            result = 1.0
+            for name, value in values.items():
+                result *= max(value, 1e-9) ** self.weights[name]
+        elif self.aggregator is Aggregator.MINIMUM:
+            result = min(values.values())
+        elif self.aggregator is Aggregator.OWA:
+            ordered = sorted(values.values())
+            result = sum(w * v for w, v in zip(self.owa_weights, ordered))
+        else:  # pragma: no cover - enum is exhaustive
+            raise ConfigurationError(f"unknown aggregator {self.aggregator!r}")
+        return clamp(result)
+
+    def contributions(self, facets: FacetScores) -> Dict[str, float]:
+        """Marginal contribution of each facet: trust drop if that facet were zero.
+
+        This is the designer-facing diagnostic the paper asks for ("helps the
+        designer to maximize the users' trust"): it shows which dimension
+        currently limits trust the most.
+        """
+        baseline = self.trust(facets)
+        contributions = {}
+        for name in ("privacy", "reputation", "satisfaction"):
+            values = facets.as_dict()
+            values[name] = 0.0
+            degraded = FacetScores(**values)
+            contributions[name] = clamp(baseline - self.trust(degraded))
+        return contributions
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "aggregator": self.aggregator.value,
+            "weights": dict(self.weights),
+            "owa_weights": list(self.owa_weights),
+        }

@@ -1,0 +1,227 @@
+"""The settings optimizer: the paper's Section-4 objective, automated.
+
+"The main aim of our study is to find a method to obtain the right settings
+in order to maximize the user's trust towards the system" — under the
+system/application constraints.  :class:`TrustOptimizer` implements that
+method over the discrete+continuous settings space the library exposes:
+
+* the information-sharing level (continuous, searched on a refining grid),
+* the deployed reputation mechanism (categorical),
+* anonymous versus identified feedback (boolean),
+* the default policy strictness (continuous, refining grid).
+
+Constraints are expressed as minimum facet levels (e.g. "privacy must stay
+above 0.6 whatever happens"), which generalizes the Area-A threshold to
+per-facet application requirements.  The optimizer is evaluator-agnostic: by
+default it uses the fast :class:`~repro.core.tradeoff.AnalyticFacetModel`,
+but any ``SystemSettings -> FacetScores`` callable (including the full
+simulation-backed evaluator) can be plugged in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util import require_unit_interval
+from repro.errors import ConfigurationError
+from repro.core.config import SystemSettings
+from repro.core.facets import FacetScores
+from repro.core.metric import Aggregator
+from repro.core.tradeoff import AnalyticFacetModel, FacetEvaluator, TradeoffPoint
+from repro.core.trust_model import TrustModel
+
+#: Mechanisms explored by default (everything but "none", which can never
+#: satisfy a reputation constraint).
+DEFAULT_MECHANISM_CHOICES = ("average", "beta", "trustme", "eigentrust", "powertrust")
+
+
+@dataclass(frozen=True)
+class FacetConstraints:
+    """Minimum acceptable level per facet (application requirements)."""
+
+    min_privacy: float = 0.0
+    min_reputation: float = 0.0
+    min_satisfaction: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.min_privacy, "min_privacy")
+        require_unit_interval(self.min_reputation, "min_reputation")
+        require_unit_interval(self.min_satisfaction, "min_satisfaction")
+
+    def satisfied_by(self, facets: FacetScores) -> bool:
+        return (
+            facets.privacy >= self.min_privacy
+            and facets.reputation >= self.min_reputation
+            and facets.satisfaction >= self.min_satisfaction
+        )
+
+    def violations(self, facets: FacetScores) -> List[str]:
+        """Names of the facets whose constraint is violated."""
+        violated = []
+        if facets.privacy < self.min_privacy:
+            violated.append("privacy")
+        if facets.reputation < self.min_reputation:
+            violated.append("reputation")
+        if facets.satisfaction < self.min_satisfaction:
+            violated.append("satisfaction")
+        return violated
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a settings search."""
+
+    best: Optional[TradeoffPoint]
+    feasible: List[TradeoffPoint]
+    evaluated: int
+    constraints: FacetConstraints
+    trace: List[TradeoffPoint] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None
+
+    def best_settings(self) -> SystemSettings:
+        if self.best is None:
+            raise ConfigurationError("no feasible setting was found")
+        return self.best.settings
+
+    def summary(self) -> Dict[str, object]:
+        """A plain-dictionary summary for reports."""
+        if self.best is None:
+            return {"found": False, "evaluated": self.evaluated}
+        return {
+            "found": True,
+            "evaluated": self.evaluated,
+            "trust": self.best.trust,
+            "sharing_level": self.best.settings.sharing_level,
+            "reputation_mechanism": self.best.settings.reputation_mechanism,
+            "anonymous_feedback": self.best.settings.anonymous_feedback,
+            "policy_strictness": self.best.settings.policy_strictness,
+            "facets": self.best.facets.as_dict(),
+        }
+
+
+class TrustOptimizer:
+    """Grid-and-refine search for the trust-maximizing system settings."""
+
+    def __init__(
+        self,
+        *,
+        evaluator: Optional[FacetEvaluator] = None,
+        base_settings: Optional[SystemSettings] = None,
+        aggregator: Aggregator = Aggregator.GEOMETRIC,
+        mechanisms: Sequence[str] = DEFAULT_MECHANISM_CHOICES,
+        allow_anonymous: bool = True,
+        coarse_resolution: int = 6,
+        refine_rounds: int = 2,
+        refine_resolution: int = 5,
+    ) -> None:
+        if coarse_resolution < 2 or refine_resolution < 2:
+            raise ConfigurationError("grid resolutions must be at least 2")
+        if refine_rounds < 0:
+            raise ConfigurationError("refine_rounds must be non-negative")
+        if not mechanisms:
+            raise ConfigurationError("at least one mechanism must be allowed")
+        self.evaluator = evaluator or AnalyticFacetModel()
+        self.base_settings = base_settings or SystemSettings()
+        self.aggregator = aggregator
+        self.mechanisms = tuple(mechanisms)
+        self.allow_anonymous = allow_anonymous
+        self.coarse_resolution = coarse_resolution
+        self.refine_rounds = refine_rounds
+        self.refine_resolution = refine_resolution
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _evaluate(self, settings: SystemSettings) -> TradeoffPoint:
+        facets = self.evaluator(settings)
+        model = TrustModel(settings, aggregator=self.aggregator)
+        report = model.evaluate(facets)
+        return TradeoffPoint(
+            settings=settings,
+            facets=report.facets,
+            trust=report.global_trust,
+            in_area_a=report.in_area_a,
+        )
+
+    @staticmethod
+    def _grid(low: float, high: float, resolution: int) -> List[float]:
+        if resolution == 1:
+            return [low]
+        step = (high - low) / (resolution - 1)
+        return [low + index * step for index in range(resolution)]
+
+    def _candidate_settings(
+        self, sharing_levels: Sequence[float], strictness_levels: Sequence[float]
+    ) -> List[SystemSettings]:
+        anonymity_choices = (False, True) if self.allow_anonymous else (False,)
+        candidates = []
+        for mechanism in self.mechanisms:
+            for anonymous in anonymity_choices:
+                for sharing in sharing_levels:
+                    for strictness in strictness_levels:
+                        candidates.append(
+                            replace(
+                                self.base_settings,
+                                reputation_mechanism=mechanism,
+                                anonymous_feedback=anonymous,
+                                sharing_level=round(sharing, 6),
+                                policy_strictness=round(strictness, 6),
+                            )
+                        )
+        return candidates
+
+    # -- search ----------------------------------------------------------------
+
+    def optimize(
+        self, constraints: Optional[FacetConstraints] = None
+    ) -> OptimizationResult:
+        """Search the settings space and return the best feasible point."""
+        constraints = constraints or FacetConstraints()
+        trace: List[TradeoffPoint] = []
+        feasible: List[TradeoffPoint] = []
+
+        sharing_window: Tuple[float, float] = (0.0, 1.0)
+        strictness_window: Tuple[float, float] = (0.0, 1.0)
+        best: Optional[TradeoffPoint] = None
+
+        for round_index in range(self.refine_rounds + 1):
+            resolution = (
+                self.coarse_resolution if round_index == 0 else self.refine_resolution
+            )
+            sharing_levels = self._grid(*sharing_window, resolution)
+            strictness_levels = self._grid(*strictness_window, resolution)
+            for settings in self._candidate_settings(sharing_levels, strictness_levels):
+                point = self._evaluate(settings)
+                trace.append(point)
+                if not constraints.satisfied_by(point.facets):
+                    continue
+                feasible.append(point)
+                if best is None or point.trust > best.trust:
+                    best = point
+            if best is None:
+                break
+            # Refine around the incumbent's continuous coordinates.
+            sharing_window = self._shrink_window(
+                best.settings.sharing_level, sharing_window
+            )
+            strictness_window = self._shrink_window(
+                best.settings.policy_strictness, strictness_window
+            )
+
+        return OptimizationResult(
+            best=best,
+            feasible=feasible,
+            evaluated=len(trace),
+            constraints=constraints,
+            trace=trace,
+        )
+
+    @staticmethod
+    def _shrink_window(center: float, window: Tuple[float, float]) -> Tuple[float, float]:
+        """Halve the search window around the incumbent, clipped to [0, 1]."""
+        low, high = window
+        half_width = max((high - low) / 4.0, 0.01)
+        return (max(0.0, center - half_width), min(1.0, center + half_width))

@@ -1,0 +1,239 @@
+"""The settings-tradeoff explorer: Figure 2 made executable.
+
+Figure 2 (right) claims that privacy satisfaction and reputation power react
+in opposite directions to the amount of shared information, that global
+satisfaction is therefore maximized at an interior setting, and that "the
+same global satisfaction can be reached by using different settings".
+Figure 2 (left) calls the region where all three facets are simultaneously
+acceptable "Area A", "a good tradeoff to attend a high level of trust towards
+the system".
+
+:class:`SettingsExplorer` sweeps :class:`~repro.core.config.SystemSettings`
+(primarily the information-sharing level, optionally the mechanism and the
+anonymity switch), evaluates the facet scores for each setting through a
+pluggable evaluation function, and reports
+
+* the full tradeoff curve (the Figure 2 right series),
+* the Area-A subset (Figure 2 left),
+* the trust-maximizing setting (the paper's stated objective), and
+* iso-satisfaction setting pairs (the "different settings, same global
+  satisfaction" observation).
+
+Two facet evaluators are provided: :class:`AnalyticFacetModel`, a fast
+closed-form response model whose shapes are calibrated to the simulation
+substrates, and (in :mod:`repro.experiments.figure2_right`) a full
+simulation-backed evaluator.  Benchmarks use the analytic model; experiments
+report both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro._util import clamp, require_unit_interval
+from repro.errors import ConfigurationError
+from repro.core.config import SystemSettings
+from repro.core.facets import FacetScores
+from repro.core.metric import Aggregator
+from repro.core.trust_model import TrustModel, TrustReport
+
+#: Maps a settings assignment to the facet scores it induces.
+FacetEvaluator = Callable[[SystemSettings], FacetScores]
+
+#: Intrinsic power and information requirement of each mechanism, used by the
+#: analytic model.  The values mirror the measured behaviour of the
+#: implementations (EigenTrust/PowerTrust are the most accurate and the most
+#: information hungry; the plain average is neither).
+MECHANISM_PROFILES: Dict[str, Tuple[float, float]] = {
+    "none": (0.0, 0.0),
+    "average": (0.6, 0.2),
+    "beta": (0.75, 0.3),
+    "trustme": (0.7, 0.6),
+    "eigentrust": (0.95, 0.9),
+    "powertrust": (0.9, 0.85),
+}
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One evaluated setting: facets, trust and Area-A membership."""
+
+    settings: SystemSettings
+    facets: FacetScores
+    trust: float
+    in_area_a: bool
+
+    @property
+    def sharing_level(self) -> float:
+        return self.settings.sharing_level
+
+
+class AnalyticFacetModel:
+    """Closed-form facet response to the system settings.
+
+    * privacy decreases with the shared-information demand (sharing level ×
+      mechanism information requirement, halved under anonymous feedback) and
+      increases with policy strictness;
+    * reputation power saturates with the evidence the mechanism receives
+      (diminishing returns in the sharing level), is scaled by the
+      mechanism's intrinsic power, and is dented by anonymity (identity-based
+      weighting is lost) and by strict policies (less evidence available);
+    * satisfaction follows the paper's reading of Figure 2: it is high when
+      partner selection works (reputation power) *and* privacy expectations
+      are met, so it peaks at an interior sharing level.
+    """
+
+    def __init__(
+        self,
+        *,
+        privacy_concern: float = 0.6,
+        evidence_rate: float = 4.0,
+        mechanism_profiles: Optional[Dict[str, Tuple[float, float]]] = None,
+    ) -> None:
+        require_unit_interval(privacy_concern, "privacy_concern")
+        if evidence_rate <= 0:
+            raise ConfigurationError("evidence_rate must be positive")
+        self.privacy_concern = privacy_concern
+        self.evidence_rate = evidence_rate
+        self.profiles = dict(mechanism_profiles or MECHANISM_PROFILES)
+
+    def mechanism_profile(self, mechanism: str) -> Tuple[float, float]:
+        try:
+            return self.profiles[mechanism]
+        except KeyError:
+            raise ConfigurationError(
+                f"no profile for mechanism {mechanism!r}; known: {sorted(self.profiles)}"
+            ) from None
+
+    def __call__(self, settings: SystemSettings) -> FacetScores:
+        power, info_requirement = self.mechanism_profile(settings.reputation_mechanism)
+        sigma = settings.sharing_level
+
+        demanded = sigma * info_requirement
+        if settings.anonymous_feedback:
+            demanded *= 0.5
+        privacy = clamp(
+            (1.0 - self.privacy_concern * demanded)
+            * (0.7 + 0.3 * settings.policy_strictness)
+        )
+
+        evidence = sigma * (1.0 - 0.3 * settings.policy_strictness)
+        reputation = power * (1.0 - math.exp(-self.evidence_rate * evidence))
+        if settings.anonymous_feedback:
+            reputation *= 0.85
+        reputation = clamp(reputation)
+
+        satisfaction = clamp(0.25 + 0.45 * reputation + 0.30 * privacy)
+        return FacetScores(
+            privacy=privacy, reputation=reputation, satisfaction=satisfaction
+        )
+
+
+class SettingsExplorer:
+    """Sweep settings, evaluate facets and locate the good-tradeoff region."""
+
+    def __init__(
+        self,
+        *,
+        evaluator: Optional[FacetEvaluator] = None,
+        base_settings: Optional[SystemSettings] = None,
+        aggregator: Aggregator = Aggregator.GEOMETRIC,
+    ) -> None:
+        self.evaluator = evaluator or AnalyticFacetModel()
+        self.base_settings = base_settings or SystemSettings()
+        self.aggregator = aggregator
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, settings: SystemSettings) -> TradeoffPoint:
+        facets = self.evaluator(settings)
+        model = TrustModel(settings, aggregator=self.aggregator)
+        report: TrustReport = model.evaluate(facets)
+        return TradeoffPoint(
+            settings=settings,
+            facets=report.facets,
+            trust=report.global_trust,
+            in_area_a=report.in_area_a,
+        )
+
+    def sweep_sharing_levels(
+        self, levels: Optional[Sequence[float]] = None, *, resolution: int = 21
+    ) -> List[TradeoffPoint]:
+        """Evaluate the base settings across a grid of sharing levels."""
+        if levels is None:
+            if resolution < 2:
+                raise ConfigurationError("resolution must be at least 2")
+            levels = [index / (resolution - 1) for index in range(resolution)]
+        return [
+            self.evaluate(self.base_settings.with_sharing_level(level))
+            for level in levels
+        ]
+
+    def sweep_settings(self, settings_list: Sequence[SystemSettings]) -> List[TradeoffPoint]:
+        return [self.evaluate(settings) for settings in settings_list]
+
+    # -- analyses of a sweep -----------------------------------------------
+
+    @staticmethod
+    def area_a(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+        """The subset of evaluated settings inside Area A."""
+        return [point for point in points if point.in_area_a]
+
+    @staticmethod
+    def best(points: Sequence[TradeoffPoint]) -> TradeoffPoint:
+        """The trust-maximizing point of a sweep."""
+        if not points:
+            raise ConfigurationError("cannot pick the best of an empty sweep")
+        return max(points, key=lambda point: point.trust)
+
+    @staticmethod
+    def iso_satisfaction_pairs(
+        points: Sequence[TradeoffPoint], *, tolerance: float = 0.02
+    ) -> List[Tuple[TradeoffPoint, TradeoffPoint]]:
+        """Pairs of distinct settings reaching (almost) the same satisfaction.
+
+        Reproduces the Figure-2 observation that "the same global satisfaction
+        can be reached by using different settings".  Pairs must differ in
+        their sharing level by more than the tolerance to be interesting.
+        """
+        pairs = []
+        for i, first in enumerate(points):
+            for second in points[i + 1:]:
+                same_satisfaction = (
+                    abs(first.facets.satisfaction - second.facets.satisfaction)
+                    <= tolerance
+                )
+                different_setting = (
+                    abs(first.sharing_level - second.sharing_level) > 5 * tolerance
+                )
+                if same_satisfaction and different_setting:
+                    pairs.append((first, second))
+        return pairs
+
+    @staticmethod
+    def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+        """Settings not dominated on (privacy, reputation, satisfaction)."""
+        front = []
+        for candidate in points:
+            dominated = False
+            for other in points:
+                if other is candidate:
+                    continue
+                at_least_as_good = (
+                    other.facets.privacy >= candidate.facets.privacy
+                    and other.facets.reputation >= candidate.facets.reputation
+                    and other.facets.satisfaction >= candidate.facets.satisfaction
+                )
+                strictly_better = (
+                    other.facets.privacy > candidate.facets.privacy
+                    or other.facets.reputation > candidate.facets.reputation
+                    or other.facets.satisfaction > candidate.facets.satisfaction
+                )
+                if at_least_as_good and strictly_better:
+                    dominated = True
+                    break
+            if not dominated:
+                front.append(candidate)
+        return front

@@ -1,0 +1,118 @@
+"""The trust model: per-user and global trust towards the system.
+
+Section 3: "each user of the system can have her own perception of the level
+of trust she can have in the system.  But also, the system can be considered
+globally as trusted or not."  The model therefore produces
+
+* a **global** trust value — the composite metric applied to the global facet
+  scores, and
+* a **per-user** trust value — the same metric applied to that user's own
+  facet perception (her privacy satisfaction, her view of the reputation
+  mechanism, her local satisfaction).
+
+It also implements the dissociation of the fourth Section-3 bullet: when the
+reputation mechanism itself concludes that the majority of participants are
+untrustworthy, users do not trust the system even though the mechanism is
+accurate — the reputation facet is capped by the trustworthy fraction of the
+population before aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro._util import clamp, mean
+from repro.core.config import SystemSettings
+from repro.core.facets import FacetScores
+from repro.core.metric import Aggregator, CompositeTrustMetric
+
+
+@dataclass(frozen=True)
+class TrustReport:
+    """The outcome of evaluating the trust model on a system state."""
+
+    settings: SystemSettings
+    facets: FacetScores
+    global_trust: float
+    per_user_trust: Dict[str, float] = field(default_factory=dict)
+    contributions: Dict[str, float] = field(default_factory=dict)
+    in_area_a: bool = False
+
+    @property
+    def mean_user_trust(self) -> float:
+        if not self.per_user_trust:
+            return self.global_trust
+        return mean(self.per_user_trust.values())
+
+    def limiting_facet(self) -> str:
+        """The facet currently limiting trust the most."""
+        if self.contributions:
+            return max(self.contributions, key=lambda name: self.contributions[name])
+        return self.facets.weakest_facet()
+
+
+class TrustModel:
+    """Combine facet scores into trust towards the system."""
+
+    def __init__(
+        self,
+        settings: Optional[SystemSettings] = None,
+        *,
+        aggregator: Aggregator = Aggregator.GEOMETRIC,
+    ) -> None:
+        self.settings = settings or SystemSettings()
+        self.metric = CompositeTrustMetric(
+            aggregator=aggregator, weights=self.settings.weights()
+        )
+
+    # -- adjustments required by Section 3 -----------------------------------
+
+    def effective_facets(
+        self, facets: FacetScores, *, trustworthy_fraction: Optional[float] = None
+    ) -> FacetScores:
+        """Apply the untrustworthy-majority dissociation (Section 3, bullet 4).
+
+        An accurate reputation mechanism that mostly reports "untrustworthy"
+        peers cannot, by itself, make users trust the system; the effective
+        reputation facet is therefore capped by the trustworthy fraction of
+        the population when that fraction is known.
+        """
+        if trustworthy_fraction is None:
+            return facets
+        capped_reputation = min(facets.reputation, clamp(trustworthy_fraction))
+        return FacetScores(
+            privacy=facets.privacy,
+            reputation=capped_reputation,
+            satisfaction=facets.satisfaction,
+        )
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(
+        self,
+        facets: FacetScores,
+        *,
+        per_user_facets: Optional[Mapping[str, FacetScores]] = None,
+        trustworthy_fraction: Optional[float] = None,
+    ) -> TrustReport:
+        """Evaluate global (and optionally per-user) trust."""
+        effective = self.effective_facets(
+            facets, trustworthy_fraction=trustworthy_fraction
+        )
+        global_trust = self.metric.trust(effective)
+        per_user_trust = {}
+        if per_user_facets:
+            for user, user_facets in per_user_facets.items():
+                user_effective = self.effective_facets(
+                    user_facets, trustworthy_fraction=trustworthy_fraction
+                )
+                per_user_trust[user] = self.metric.trust(user_effective)
+        return TrustReport(
+            settings=self.settings,
+            facets=effective,
+            global_trust=global_trust,
+            per_user_trust=per_user_trust,
+            contributions=self.metric.contributions(effective),
+            in_area_a=effective.meets(self.settings.area_a_threshold),
+        )

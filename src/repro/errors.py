@@ -1,0 +1,47 @@
+"""Exception hierarchy shared by every subpackage.
+
+Keeping the exceptions in a single module lets callers catch
+:class:`ReproError` to handle any library-raised failure, while still being
+able to discriminate precise error classes (configuration problems, privacy
+denials, unknown identifiers, ...).
+"""
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class UnknownPeerError(ReproError, KeyError):
+    """An operation referenced a peer identifier that does not exist."""
+
+
+class UnknownDataError(ReproError, KeyError):
+    """An operation referenced a data item that was never published."""
+
+
+class PrivacyViolationError(ReproError):
+    """An access was attempted that the owner's privacy policy forbids."""
+
+
+class AccessDeniedError(PrivacyViolationError):
+    """The privacy service denied a request (normal, policy-driven denial)."""
+
+
+class NegotiationFailedError(ReproError):
+    """Requester and owner could not agree on access terms."""
+
+
+class AllocationError(ReproError):
+    """The query mediator could not allocate a query to any provider."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ReputationError(ReproError):
+    """A reputation mechanism was fed inconsistent evidence."""

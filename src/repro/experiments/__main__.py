@@ -1,0 +1,64 @@
+"""Command-line entry point: ``python -m repro.experiments [name ...]``.
+
+Without arguments every registered experiment runs in quick mode; pass
+experiment names to run a subset, and ``--full`` for the full-size versions
+(slower, closer to the EXPERIMENTS.md numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper-reproduction experiments.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiments to run (default: all). Available: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full-size experiments instead of the quick versions",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available experiments and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, entry in sorted(EXPERIMENTS.items()):
+            ids = ", ".join(entry.experiment_ids)
+            print(f"{name:16s} [{ids}] {entry.description}")
+        return 0
+
+    names = args.experiments or sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    for name in names:
+        print(f"==== {name} ====")
+        print(run_experiment(name, quick=not args.full))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Experiment E-F2L: Figure 2 (left), the Area-A good-tradeoff region.
+
+Figure 2 (left) is the spatial representation of the three dimensions:
+"reaching a point located in the intersection area of all these dimensions
+(i.e., Area A in the figure) represents a good tradeoff to attend a high
+level of trust towards the system."
+
+The experiment sweeps a two-dimensional grid of settings — the
+information-sharing level (the reputation/privacy knob) and the policy
+strictness (the privacy-guarantee knob) — evaluates the three facets for each
+setting and reports which settings fall into Area A (every facet above the
+threshold), the size of the region and the maximal-trust setting inside it.
+The reproduced shape: Area A is non-empty, excludes both extremes of the
+sharing level, and the trust optimum lies inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import SystemSettings
+from repro.core.tradeoff import AnalyticFacetModel, SettingsExplorer, TradeoffPoint
+from repro.errors import ConfigurationError
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class Figure2LeftResult:
+    """The evaluated grid, its Area-A subset and the best setting."""
+
+    points: List[TradeoffPoint]
+    area_a_points: List[TradeoffPoint]
+    best_point: TradeoffPoint
+    threshold: float
+
+    @property
+    def area_a_fraction(self) -> float:
+        if not self.points:
+            return 0.0
+        return len(self.area_a_points) / len(self.points)
+
+    @property
+    def best_in_area_a(self) -> bool:
+        return self.best_point.in_area_a
+
+
+def run(
+    *,
+    sharing_levels: Optional[Sequence[float]] = None,
+    strictness_levels: Optional[Sequence[float]] = None,
+    threshold: float = 0.5,
+    mechanism: str = "eigentrust",
+) -> Figure2LeftResult:
+    """Run E-F2L over a (sharing level × policy strictness) settings grid."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigurationError("threshold must be in [0, 1]")
+    sharing_levels = list(
+        sharing_levels
+        if sharing_levels is not None
+        else [index / 10 for index in range(11)]
+    )
+    strictness_levels = list(
+        strictness_levels if strictness_levels is not None else (0.0, 0.25, 0.5, 0.75, 1.0)
+    )
+
+    explorer = SettingsExplorer(evaluator=AnalyticFacetModel())
+    settings_grid = [
+        SystemSettings(
+            sharing_level=sharing,
+            policy_strictness=strictness,
+            reputation_mechanism=mechanism,
+            area_a_threshold=threshold,
+        )
+        for sharing in sharing_levels
+        for strictness in strictness_levels
+    ]
+    points = explorer.sweep_settings(settings_grid)
+    area_a_points = explorer.area_a(points)
+    best_point = explorer.best(points)
+    return Figure2LeftResult(
+        points=points,
+        area_a_points=area_a_points,
+        best_point=best_point,
+        threshold=threshold,
+    )
+
+
+def report(result: Figure2LeftResult) -> str:
+    area_rows = [
+        (
+            point.settings.sharing_level,
+            point.settings.policy_strictness,
+            point.facets.privacy,
+            point.facets.reputation,
+            point.facets.satisfaction,
+            point.trust,
+        )
+        for point in sorted(result.area_a_points, key=lambda p: -p.trust)[:15]
+    ]
+    blocks = [
+        (
+            f"E-F2L: settings grid of {len(result.points)} points, threshold "
+            f"{result.threshold:.2f}; Area A contains {len(result.area_a_points)} "
+            f"settings ({result.area_a_fraction:.1%})"
+        ),
+        format_table(
+            [
+                "sharing level",
+                "policy strictness",
+                "privacy",
+                "reputation",
+                "satisfaction",
+                "trust",
+            ],
+            area_rows,
+            title="E-F2L: best settings inside Area A (top 15 by trust)",
+        ),
+        (
+            "Trust-maximizing setting: sharing level "
+            f"{result.best_point.settings.sharing_level:.2f}, policy strictness "
+            f"{result.best_point.settings.policy_strictness:.2f}, trust "
+            f"{result.best_point.trust:.3f}, inside Area A: "
+            f"{'yes' if result.best_in_area_a else 'no'}"
+        ),
+    ]
+    return "\n\n".join(blocks)

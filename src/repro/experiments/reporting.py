@@ -1,0 +1,59 @@
+"""Plain-text reporting helpers shared by experiments and benchmarks.
+
+Every experiment prints its tables through these helpers so the output format
+stays uniform (and greppable in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table."""
+    rendered_rows: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line([str(header) for header in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  *, precision: int = 3) -> str:
+    """Render an (x, y) series as two aligned columns."""
+    rows = list(zip(xs, ys))
+    return format_table(["x", name], rows, precision=precision)
+
+
+def print_report(text: str) -> None:
+    """Print a report block with a trailing blank line (single choke point)."""
+    print(text)
+    print()

@@ -1,0 +1,124 @@
+"""The experiment registry: one entry per DESIGN.md experiment id.
+
+Every experiment module exposes ``run(**kwargs) -> result`` and
+``report(result) -> str``; the registry maps human-facing names to those
+pairs so the CLI (``python -m repro.experiments``) and EXPERIMENTS.md can
+refer to experiments uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    claims,
+    figure1,
+    figure2_left,
+    figure2_right,
+    privacy_eval,
+    reputation_eval,
+    satisfaction_eval,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment."""
+
+    name: str
+    experiment_ids: tuple
+    description: str
+    run: Callable[..., object]
+    report: Callable[[object], str]
+    #: Keyword arguments that make the experiment finish quickly (used by the
+    #: ``--quick`` CLI flag and by integration tests).
+    quick_kwargs: Dict[str, object]
+
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {
+    "figure1": ExperimentEntry(
+        name="figure1",
+        experiment_ids=("E-F1",),
+        description="Figure 1: couplings among satisfaction, reputation, privacy and trust",
+        run=figure1.run,
+        report=figure1.report,
+        quick_kwargs={"sharing_levels": [0.3, 0.7], "n_users": 25, "rounds": 10},
+    ),
+    "figure2-left": ExperimentEntry(
+        name="figure2-left",
+        experiment_ids=("E-F2L",),
+        description="Figure 2 (left): the Area-A good-tradeoff region",
+        run=figure2_left.run,
+        report=figure2_left.report,
+        quick_kwargs={"sharing_levels": [0.0, 0.25, 0.5, 0.75, 1.0]},
+    ),
+    "figure2-right": ExperimentEntry(
+        name="figure2-right",
+        experiment_ids=("E-F2R",),
+        description="Figure 2 (right): privacy/reputation/satisfaction vs shared information",
+        run=figure2_right.run,
+        report=figure2_right.report,
+        quick_kwargs={"simulate": False},
+    ),
+    "claims": ExperimentEntry(
+        name="claims",
+        experiment_ids=("E-C1", "E-C2", "E-C3", "E-C4", "E-C5"),
+        description="The five qualitative couplings of Section 3",
+        run=claims.run,
+        report=claims.report,
+        quick_kwargs={"n_users": 25, "rounds": 10},
+    ),
+    "reputation": ExperimentEntry(
+        name="reputation",
+        experiment_ids=("E-R1",),
+        description="Reputation mechanisms vs adversary mixes",
+        run=reputation_eval.run,
+        report=reputation_eval.report,
+        quick_kwargs={
+            "mechanisms": ("none", "average", "eigentrust"),
+            "malicious_fractions": (0.3,),
+            "n_users": 30,
+            "rounds": 12,
+        },
+    ),
+    "privacy": ExperimentEntry(
+        name="privacy",
+        experiment_ids=("E-P1",),
+        description="PriServ-style enforcement and OECD compliance",
+        run=privacy_eval.run,
+        report=privacy_eval.report,
+        quick_kwargs={"n_users": 25, "n_requests": 150},
+    ),
+    "satisfaction": ExperimentEntry(
+        name="satisfaction",
+        experiment_ids=("E-S1",),
+        description="Allocation strategies vs long-run satisfaction",
+        run=satisfaction_eval.run,
+        report=satisfaction_eval.report,
+        quick_kwargs={"n_providers": 8, "n_consumers": 15, "rounds": 15},
+    ),
+    "ablations": ExperimentEntry(
+        name="ablations",
+        experiment_ids=("E-A1", "E-A2"),
+        description="Aggregator and anonymous-feedback ablations",
+        run=ablations.run,
+        report=ablations.report,
+        quick_kwargs={"n_users": 25, "rounds": 10},
+    ),
+}
+
+
+def run_experiment(name: str, *, quick: bool = False, **overrides) -> str:
+    """Run one registered experiment and return its text report."""
+    try:
+        entry = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    kwargs = dict(entry.quick_kwargs) if quick else {}
+    kwargs.update(overrides)
+    result = entry.run(**kwargs)
+    return entry.report(result)

@@ -1,0 +1,102 @@
+"""Privacy: policies, enforcement, accounting and metrics.
+
+Section 2.3 of the paper grounds privacy in the OECD guidelines and in
+P3P-style privacy policies, and cites PriServ as a privacy service for P2P
+systems.  This subpackage implements that stack:
+
+* :mod:`repro.privacy.purposes` — operations and access purposes;
+* :mod:`repro.privacy.policy` — P3P-inspired privacy policies (authorized
+  users, allowed operations, access purposes, access conditions, retention
+  time, obligations, minimal trust level) and their evaluation;
+* :mod:`repro.privacy.priserv` — a PriServ-like publish/request service that
+  enforces policies, applies obligations and keeps an audit trail;
+* :mod:`repro.privacy.disclosure` — the disclosure ledger that accounts for
+  every piece of personal information that left its owner;
+* :mod:`repro.privacy.oecd` — compliance checking against the eight OECD
+  principles;
+* :mod:`repro.privacy.anonymization` — pseudonyms and attribute
+  generalization;
+* :mod:`repro.privacy.negotiation` — requester/owner negotiation over access
+  terms;
+* :mod:`repro.privacy.metrics` — exposure and privacy-satisfaction measures
+  feeding the trust model's privacy facet.
+"""
+
+from repro.privacy.anonymization import (
+    PseudonymManager,
+    anonymize_feedback,
+    generalize_age,
+    k_anonymous_groups,
+)
+from repro.privacy.disclosure import DisclosureLedger, DisclosureRecord
+from repro.privacy.metrics import (
+    exposure_level,
+    policy_respect_rate,
+    privacy_guarantee_level,
+    privacy_satisfaction,
+)
+from repro.privacy.negotiation import (
+    NegotiationEngine,
+    NegotiationOutcome,
+    Proposal,
+)
+from repro.privacy.oecd import (
+    OECD_PRINCIPLES,
+    ComplianceReport,
+    OecdPrinciple,
+    check_compliance,
+)
+from repro.privacy.policy import (
+    AccessDecision,
+    AccessRequest,
+    Audience,
+    Obligation,
+    PolicyRule,
+    PrivacyPolicy,
+    permissive_policy,
+    restrictive_policy,
+)
+from repro.privacy.policy_io import (
+    policy_from_dict,
+    policy_from_json,
+    policy_to_dict,
+    policy_to_json,
+)
+from repro.privacy.priserv import PriServService, PublishedItem
+from repro.privacy.purposes import Operation, Purpose
+
+__all__ = [
+    "AccessDecision",
+    "AccessRequest",
+    "Audience",
+    "ComplianceReport",
+    "DisclosureLedger",
+    "DisclosureRecord",
+    "NegotiationEngine",
+    "NegotiationOutcome",
+    "Obligation",
+    "OECD_PRINCIPLES",
+    "OecdPrinciple",
+    "Operation",
+    "PolicyRule",
+    "PriServService",
+    "PrivacyPolicy",
+    "Proposal",
+    "PseudonymManager",
+    "PublishedItem",
+    "Purpose",
+    "anonymize_feedback",
+    "check_compliance",
+    "exposure_level",
+    "generalize_age",
+    "k_anonymous_groups",
+    "permissive_policy",
+    "policy_from_dict",
+    "policy_from_json",
+    "policy_respect_rate",
+    "policy_to_dict",
+    "policy_to_json",
+    "privacy_guarantee_level",
+    "privacy_satisfaction",
+    "restrictive_policy",
+]

@@ -1,0 +1,111 @@
+"""The disclosure ledger: accounting for every datum that left its owner.
+
+The OECD *accountability* and *openness* principles require the system to be
+able to say what personal information was disclosed, to whom and why.  The
+ledger is also the measurement instrument of the privacy facet: exposure is a
+function of what was actually disclosed, weighted by sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._util import require_unit_interval
+from repro.privacy.purposes import Operation, Purpose
+
+
+@dataclass(frozen=True)
+class DisclosureRecord:
+    """One disclosure of a data item (or behavioural evidence) to a recipient."""
+
+    time: int
+    owner: str
+    recipient: str
+    data_id: str
+    sensitivity: float
+    purpose: Purpose
+    operation: Operation = Operation.READ
+    policy_compliant: bool = True
+    retention_time: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.sensitivity, "sensitivity")
+
+
+@dataclass
+class DisclosureLedger:
+    """Append-only record of disclosures with retention-aware queries."""
+
+    records: List[DisclosureRecord] = field(default_factory=list)
+
+    def record(self, record: DisclosureRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- queries -----------------------------------------------------------
+
+    def by_owner(self, owner: str) -> List[DisclosureRecord]:
+        return [record for record in self.records if record.owner == owner]
+
+    def by_recipient(self, recipient: str) -> List[DisclosureRecord]:
+        return [record for record in self.records if record.recipient == recipient]
+
+    def violations(self) -> List[DisclosureRecord]:
+        """Disclosures that happened despite not being policy compliant."""
+        return [record for record in self.records if not record.policy_compliant]
+
+    def owners(self) -> List[str]:
+        return sorted({record.owner for record in self.records})
+
+    def active_records(self, now: int) -> List[DisclosureRecord]:
+        """Records whose retention window has not yet expired at time ``now``.
+
+        Records without a retention time never expire — the worst case for
+        privacy, which is why restrictive policies always set one.
+        """
+        active = []
+        for record in self.records:
+            if record.retention_time is None:
+                active.append(record)
+            elif now - record.time < record.retention_time:
+                active.append(record)
+        return active
+
+    def expired_records(self, now: int) -> List[DisclosureRecord]:
+        active = set(id(record) for record in self.active_records(now))
+        return [record for record in self.records if id(record) not in active]
+
+    # -- aggregate measures --------------------------------------------------
+
+    def exposure(self, owner: str, *, now: Optional[int] = None) -> float:
+        """Total sensitivity-weighted exposure of one owner.
+
+        When ``now`` is given, only records still within their retention
+        window count: honoring retention genuinely reduces exposure.
+        """
+        records = self.by_owner(owner)
+        if now is not None:
+            active = {id(record) for record in self.active_records(now)}
+            records = [record for record in records if id(record) in active]
+        return float(sum(record.sensitivity for record in records))
+
+    def distinct_recipients(self, owner: str) -> int:
+        return len({record.recipient for record in self.by_owner(owner)})
+
+    def purpose_histogram(self, owner: Optional[str] = None) -> Dict[Purpose, int]:
+        histogram: Dict[Purpose, int] = {}
+        for record in self.records:
+            if owner is not None and record.owner != owner:
+                continue
+            histogram[record.purpose] = histogram.get(record.purpose, 0) + 1
+        return histogram
+
+    def compliance_rate(self) -> float:
+        """Fraction of disclosures that were policy compliant (1.0 if none)."""
+        if not self.records:
+            return 1.0
+        compliant = sum(1 for record in self.records if record.policy_compliant)
+        return compliant / len(self.records)

@@ -1,0 +1,116 @@
+"""Privacy measurements feeding the trust model's privacy facet.
+
+The paper defines the privacy axis of Figure 2 as "the satisfaction in terms
+of privacy guarantees which can be the amount of information that it is not
+necessary to share within the system or the respect of privacy policies".
+Both ingredients are implemented:
+
+* :func:`exposure_level` — how much sensitivity-weighted information about a
+  user actually circulated (from the disclosure ledger), normalized;
+* :func:`policy_respect_rate` — the fraction of disclosures that honoured the
+  owner's policy;
+* :func:`privacy_guarantee_level` — the *ex ante* guarantee implied by the
+  system settings (how little the system requires users to share);
+* :func:`privacy_satisfaction` — the per-user combination of the above,
+  weighted by how much that user cares (her privacy concern).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro._util import clamp, mean, require_unit_interval
+from repro.privacy.disclosure import DisclosureLedger
+
+
+def exposure_level(
+    ledger: DisclosureLedger,
+    owner: str,
+    *,
+    reference_exposure: float = 20.0,
+    now: Optional[int] = None,
+) -> float:
+    """Normalized exposure of one owner in ``[0, 1]``.
+
+    ``reference_exposure`` is the sensitivity-weighted disclosure mass that
+    counts as "fully exposed"; beyond it the level saturates at 1.  The
+    default corresponds to roughly twenty maximally sensitive disclosures.
+    """
+    if reference_exposure <= 0:
+        raise ValueError("reference_exposure must be positive")
+    raw = ledger.exposure(owner, now=now)
+    return clamp(raw / reference_exposure)
+
+
+def policy_respect_rate(ledger: DisclosureLedger, owner: Optional[str] = None) -> float:
+    """Fraction of disclosures that were policy compliant (1.0 when none)."""
+    records = ledger.records if owner is None else ledger.by_owner(owner)
+    if not records:
+        return 1.0
+    compliant = sum(1 for record in records if record.policy_compliant)
+    return compliant / len(records)
+
+
+def privacy_guarantee_level(
+    sharing_level: float,
+    information_requirement: float,
+    *,
+    anonymous_feedback: bool = False,
+) -> float:
+    """Ex ante privacy guarantee implied by the system settings, in ``[0, 1]``.
+
+    "The less the amount of shared information is, the most the privacy
+    satisfaction is" (Figure 2): the guarantee decreases with the
+    information-sharing level and with the information requirement of the
+    chosen reputation mechanism; anonymous feedback recovers part of it.
+    """
+    require_unit_interval(sharing_level, "sharing_level")
+    require_unit_interval(information_requirement, "information_requirement")
+    demanded = sharing_level * information_requirement
+    if anonymous_feedback:
+        demanded *= 0.5
+    return clamp(1.0 - demanded)
+
+
+def privacy_satisfaction(
+    *,
+    exposure: float,
+    respect_rate: float,
+    privacy_concern: float = 0.5,
+) -> float:
+    """Per-user privacy satisfaction in ``[0, 1]``.
+
+    A user with zero privacy concern is indifferent to exposure (satisfaction
+    stays high); a fully concerned user's satisfaction is driven by how
+    little was exposed and how well her policy was respected.  Policy respect
+    is weighted more heavily than raw exposure because the paper treats
+    breaches ("privacy breaks") as the qualitatively worse event.
+    """
+    require_unit_interval(exposure, "exposure")
+    require_unit_interval(respect_rate, "respect_rate")
+    require_unit_interval(privacy_concern, "privacy_concern")
+    concerned_satisfaction = 0.4 * (1.0 - exposure) + 0.6 * respect_rate
+    return clamp(
+        (1.0 - privacy_concern) * 1.0 + privacy_concern * concerned_satisfaction
+    )
+
+
+def population_privacy_satisfaction(
+    ledger: DisclosureLedger,
+    privacy_concerns: Mapping[str, float],
+    *,
+    reference_exposure: float = 20.0,
+    now: Optional[int] = None,
+) -> float:
+    """Mean privacy satisfaction over a population of owners."""
+    values: Iterable[float] = (
+        privacy_satisfaction(
+            exposure=exposure_level(
+                ledger, owner, reference_exposure=reference_exposure, now=now
+            ),
+            respect_rate=policy_respect_rate(ledger, owner),
+            privacy_concern=concern,
+        )
+        for owner, concern in privacy_concerns.items()
+    )
+    return mean(values, default=1.0)

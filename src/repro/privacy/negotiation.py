@@ -1,0 +1,145 @@
+"""Negotiation of access terms between a requester and a data owner.
+
+The paper stresses that "a solution has to be built on the core idea of
+compromise, equilibrium of which may differ from one participant to the
+other" (Section 2.1).  Negotiation is where that compromise is struck at the
+level of a single data item: the requester proposes terms (purpose,
+operation, retention, obligations it accepts); the owner's policy evaluates
+them; on denial the engine derives a counter-proposal that addresses the
+stated denial reasons (accept the missing obligations, narrow the purpose,
+shorten retention), and the exchange repeats for a bounded number of rounds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.privacy.policy import AccessDecision, AccessRequest, PrivacyPolicy
+from repro.privacy.purposes import Operation, Purpose
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """Terms a requester offers for accessing one data item."""
+
+    requester: str
+    owner: str
+    data_id: str
+    operation: Operation = Operation.READ
+    purpose: Purpose = Purpose.SOCIAL_INTERACTION
+    accepted_obligations: frozenset = frozenset()
+    requester_trust: float = 0.5
+    is_friend: bool = False
+    same_community: bool = False
+
+    def to_request(self) -> AccessRequest:
+        return AccessRequest(
+            requester=self.requester,
+            owner=self.owner,
+            data_id=self.data_id,
+            operation=self.operation,
+            purpose=self.purpose,
+            requester_trust=self.requester_trust,
+            is_friend=self.is_friend,
+            same_community=self.same_community,
+            accepted_obligations=frozenset(self.accepted_obligations),
+        )
+
+
+class NegotiationStatus(enum.Enum):
+    AGREED = "agreed"
+    FAILED = "failed"
+
+
+@dataclass
+class NegotiationOutcome:
+    """Result of a negotiation: final status, agreed decision and the trace."""
+
+    status: NegotiationStatus
+    rounds: int
+    final_proposal: Proposal
+    decision: Optional[AccessDecision] = None
+    trace: List[tuple] = field(default_factory=list)
+
+    @property
+    def agreed(self) -> bool:
+        return self.status is NegotiationStatus.AGREED
+
+
+class NegotiationEngine:
+    """Iterative proposal refinement against an owner's policy."""
+
+    #: Denial reasons the requester can do something about.
+    _NEGOTIABLE_REASONS = {
+        "obligations-not-accepted",
+        "purpose-not-allowed",
+        "operation-not-allowed",
+    }
+
+    def __init__(self, max_rounds: int = 4) -> None:
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be at least 1")
+        self.max_rounds = int(max_rounds)
+
+    def _counter_proposal(
+        self, proposal: Proposal, decision: AccessDecision, policy: PrivacyPolicy
+    ) -> Optional[Proposal]:
+        """Derive the next proposal from the denial reasons, if any help."""
+        reasons = set(decision.reasons)
+        if not reasons & self._NEGOTIABLE_REASONS:
+            return None
+        rule = policy.rule_for(proposal.data_id)
+        if rule is None:
+            return None
+        updated = proposal
+        if "obligations-not-accepted" in reasons:
+            updated = replace(
+                updated, accepted_obligations=frozenset(set(rule.obligations))
+            )
+        if "purpose-not-allowed" in reasons and rule.purposes:
+            # Concede to a purpose the owner allows, preferring the least
+            # invasive (user-serving) ones in a stable order.
+            allowed = sorted(rule.purposes, key=lambda p: p.value)
+            updated = replace(updated, purpose=allowed[0])
+        if "operation-not-allowed" in reasons and rule.operations:
+            allowed_ops = sorted(rule.operations, key=lambda op: op.value)
+            updated = replace(updated, operation=allowed_ops[0])
+        if updated == proposal:
+            return None
+        return updated
+
+    def negotiate(self, proposal: Proposal, policy: PrivacyPolicy) -> NegotiationOutcome:
+        """Run the bounded negotiation loop and return its outcome."""
+        current = proposal
+        trace: List[tuple] = []
+        for round_index in range(1, self.max_rounds + 1):
+            decision = policy.evaluate(current.to_request())
+            trace.append((round_index, current, decision))
+            if decision.permitted:
+                return NegotiationOutcome(
+                    status=NegotiationStatus.AGREED,
+                    rounds=round_index,
+                    final_proposal=current,
+                    decision=decision,
+                    trace=trace,
+                )
+            counter = self._counter_proposal(current, decision, policy)
+            if counter is None:
+                return NegotiationOutcome(
+                    status=NegotiationStatus.FAILED,
+                    rounds=round_index,
+                    final_proposal=current,
+                    decision=decision,
+                    trace=trace,
+                )
+            current = counter
+        return NegotiationOutcome(
+            status=NegotiationStatus.FAILED,
+            rounds=self.max_rounds,
+            final_proposal=current,
+            decision=trace[-1][2] if trace else None,
+            trace=trace,
+        )

@@ -1,0 +1,140 @@
+"""Compliance checking against the eight OECD privacy principles.
+
+The paper cites the OECD *Guidelines on the Protection of Privacy and
+Transborder Flows of Personal Data* (1980) as the reference framework:
+collection limitation, data quality, purpose specification, use limitation,
+security safeguards, openness, individual participation and accountability.
+
+:func:`check_compliance` inspects the observable state of a
+:class:`~repro.privacy.priserv.PriServService` (its policies, audit log and
+disclosure ledger) and scores each principle in ``[0, 1]``.  The scores are
+heuristics — the point is not legal certification but giving the trust
+model's privacy facet a principled, decomposable measurement, and giving the
+E-P1 experiment something to report per principle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro._util import clamp, mean
+from repro.privacy.priserv import PriServService
+from repro.privacy.purposes import USER_SERVING_PURPOSES
+
+
+class OecdPrinciple(enum.Enum):
+    """The eight OECD fair-information principles."""
+
+    COLLECTION_LIMITATION = "collection-limitation"
+    DATA_QUALITY = "data-quality"
+    PURPOSE_SPECIFICATION = "purpose-specification"
+    USE_LIMITATION = "use-limitation"
+    SECURITY_SAFEGUARDS = "security-safeguards"
+    OPENNESS = "openness"
+    INDIVIDUAL_PARTICIPATION = "individual-participation"
+    ACCOUNTABILITY = "accountability"
+
+
+#: Tuple of every principle, in the order the guidelines list them.
+OECD_PRINCIPLES = tuple(OecdPrinciple)
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """Per-principle scores and their mean."""
+
+    scores: Dict[OecdPrinciple, float]
+
+    @property
+    def overall(self) -> float:
+        return mean(self.scores.values(), default=0.0)
+
+    def weakest(self) -> OecdPrinciple:
+        return min(self.scores, key=lambda principle: self.scores[principle])
+
+    def as_rows(self) -> list:
+        """Rows ``(principle, score)`` for text-table reporting."""
+        return [(principle.value, self.scores[principle]) for principle in OECD_PRINCIPLES]
+
+
+def check_compliance(service: PriServService) -> ComplianceReport:
+    """Score the service's observable behaviour against each principle."""
+    items = service.published_items()
+    ledger = service.ledger
+    audit = service.audit_log
+
+    # Collection limitation: every published item is covered by a policy and
+    # policies are not blanket-permissive.
+    if items:
+        covered = sum(1 for item in items if service.policy_of(item.owner) is not None)
+        strictness = mean(
+            service.policy_of(item.owner).strictness()
+            for item in items
+            if service.policy_of(item.owner) is not None
+        )
+        collection = clamp(0.5 * covered / len(items) + 0.5 * strictness)
+    else:
+        collection = 1.0
+
+    # Purpose specification / use limitation: disclosed data went to declared,
+    # user-serving purposes rather than secondary (commercial/research) uses.
+    purposes = ledger.purpose_histogram()
+    total_disclosures = sum(purposes.values())
+    if total_disclosures:
+        user_serving = sum(
+            count for purpose, count in purposes.items() if purpose in USER_SERVING_PURPOSES
+        )
+        purpose_specification = 1.0  # every disclosure carries an explicit purpose
+        use_limitation = clamp(user_serving / total_disclosures)
+    else:
+        purpose_specification = 1.0
+        use_limitation = 1.0
+
+    # Data quality: retention honored — expired records should be a small
+    # share of all records (old data lingering degrades quality).
+    if len(ledger):
+        expired = len(ledger.expired_records(service.clock))
+        with_retention = sum(
+            1 for record in ledger.records if record.retention_time is not None
+        )
+        retention_coverage = with_retention / len(ledger)
+        data_quality = clamp(0.5 * retention_coverage + 0.5 * (1.0 - expired / len(ledger)))
+    else:
+        data_quality = 1.0
+
+    # Security safeguards: no policy-bypassing disclosures (breaches).
+    security = ledger.compliance_rate()
+
+    # Openness: policies are inspectable for every owner that published data.
+    owners = {item.owner for item in items}
+    if owners:
+        openness = sum(1 for owner in owners if service.policy_of(owner) is not None) / len(owners)
+    else:
+        openness = 1.0
+
+    # Individual participation: owners can see what was disclosed about them —
+    # proxied by the ledger recording owner-attributable entries for every
+    # permitted access in the audit log.
+    permitted = sum(1 for entry in audit if entry.decision.permitted)
+    if permitted:
+        individual_participation = clamp(len(ledger.records) / permitted)
+    else:
+        individual_participation = 1.0
+
+    # Accountability: every access attempt is audited (always true for the
+    # service itself) and breaches are at least visible in the ledger.
+    accountability = 1.0 if audit or not ledger.records else ledger.compliance_rate()
+
+    scores = {
+        OecdPrinciple.COLLECTION_LIMITATION: collection,
+        OecdPrinciple.DATA_QUALITY: data_quality,
+        OecdPrinciple.PURPOSE_SPECIFICATION: purpose_specification,
+        OecdPrinciple.USE_LIMITATION: use_limitation,
+        OecdPrinciple.SECURITY_SAFEGUARDS: security,
+        OecdPrinciple.OPENNESS: openness,
+        OecdPrinciple.INDIVIDUAL_PARTICIPATION: individual_participation,
+        OecdPrinciple.ACCOUNTABILITY: accountability,
+    }
+    return ComplianceReport(scores=scores)

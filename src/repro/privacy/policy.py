@@ -1,0 +1,245 @@
+"""P3P-inspired privacy policies and their evaluation.
+
+The paper (Section 2.3) lists the elements a privacy policy should cover:
+*authorized users, allowed operations, access purposes, access conditions,
+retention time, obligations and the minimal trust level necessary to allow
+data access*.  :class:`PolicyRule` carries exactly those fields;
+:class:`PrivacyPolicy` groups the rules of one owner (per data item or as a
+default) and evaluates :class:`AccessRequest` objects into
+:class:`AccessDecision` results with explicit reasons, so experiments can
+count not only denials but *why* something was denied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro._util import require_unit_interval
+from repro.errors import ConfigurationError
+from repro.privacy.purposes import Operation, Purpose
+
+
+class Audience(enum.Enum):
+    """Coarse audience classes a rule can authorize besides explicit users."""
+
+    NOBODY = "nobody"
+    FRIENDS = "friends"
+    COMMUNITY = "community"
+    ANYONE = "anyone"
+
+
+class Obligation(enum.Enum):
+    """Obligations the requester accepts when access is granted."""
+
+    DELETE_AFTER_RETENTION = "delete-after-retention"
+    NOTIFY_OWNER = "notify-owner"
+    ANONYMIZE_BEFORE_USE = "anonymize-before-use"
+    NO_REDISTRIBUTION = "no-redistribution"
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """A request by ``requester`` to perform ``operation`` on ``data_id``.
+
+    ``requester_trust`` is the trust level the system currently assigns to
+    the requester (typically its reputation score); ``is_friend`` and
+    ``same_community`` describe the social relation between requester and
+    owner, which audience-based rules need.
+    """
+
+    requester: str
+    owner: str
+    data_id: str
+    operation: Operation
+    purpose: Purpose
+    requester_trust: float = 0.5
+    is_friend: bool = False
+    same_community: bool = False
+    accepted_obligations: FrozenSet[Obligation] = frozenset()
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.requester_trust, "requester_trust")
+
+
+class DecisionOutcome(enum.Enum):
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """The outcome of evaluating a request against a policy."""
+
+    outcome: DecisionOutcome
+    reasons: tuple = ()
+    obligations: FrozenSet[Obligation] = frozenset()
+    retention_time: Optional[int] = None
+
+    @property
+    def permitted(self) -> bool:
+        return self.outcome is DecisionOutcome.PERMIT
+
+    @staticmethod
+    def permit(obligations: Iterable[Obligation] = (), retention_time: Optional[int] = None
+               ) -> "AccessDecision":
+        return AccessDecision(
+            outcome=DecisionOutcome.PERMIT,
+            obligations=frozenset(obligations),
+            retention_time=retention_time,
+        )
+
+    @staticmethod
+    def deny(*reasons: str) -> "AccessDecision":
+        return AccessDecision(outcome=DecisionOutcome.DENY, reasons=tuple(reasons))
+
+
+@dataclass
+class PolicyRule:
+    """One rule of a privacy policy.
+
+    All fields follow the paper's list: authorized users (explicit set plus
+    an audience class), allowed operations, access purposes, the minimal
+    trust level (the "access condition" the paper highlights), retention time
+    and obligations.
+    """
+
+    authorized_users: Set[str] = field(default_factory=set)
+    audience: Audience = Audience.FRIENDS
+    operations: Set[Operation] = field(default_factory=lambda: {Operation.READ})
+    purposes: Set[Purpose] = field(default_factory=lambda: {Purpose.SOCIAL_INTERACTION})
+    minimum_trust: float = 0.0
+    retention_time: Optional[int] = None
+    obligations: Set[Obligation] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.minimum_trust, "minimum_trust")
+        if self.retention_time is not None and self.retention_time < 0:
+            raise ConfigurationError("retention_time must be non-negative")
+        if not self.operations:
+            raise ConfigurationError("a rule must allow at least one operation")
+        if not self.purposes:
+            raise ConfigurationError("a rule must allow at least one purpose")
+
+    # -- evaluation --------------------------------------------------------
+
+    def _audience_allows(self, request: AccessRequest) -> bool:
+        if request.requester in self.authorized_users:
+            return True
+        if self.audience is Audience.ANYONE:
+            return True
+        if self.audience is Audience.COMMUNITY:
+            return request.same_community or request.is_friend
+        if self.audience is Audience.FRIENDS:
+            return request.is_friend
+        return False
+
+    def evaluate(self, request: AccessRequest) -> AccessDecision:
+        """Evaluate a single rule; deny reasons name the failed element."""
+        reasons: List[str] = []
+        if not self._audience_allows(request):
+            reasons.append("requester-not-authorized")
+        if request.operation not in self.operations:
+            reasons.append("operation-not-allowed")
+        if request.purpose not in self.purposes:
+            reasons.append("purpose-not-allowed")
+        if request.requester_trust < self.minimum_trust:
+            reasons.append("insufficient-trust")
+        missing_obligations = self.obligations - set(request.accepted_obligations)
+        if missing_obligations:
+            reasons.append("obligations-not-accepted")
+        if reasons:
+            return AccessDecision.deny(*reasons)
+        return AccessDecision.permit(
+            obligations=self.obligations, retention_time=self.retention_time
+        )
+
+
+@dataclass
+class PrivacyPolicy:
+    """The privacy policy of one data owner.
+
+    Rules are attached per data item; ``default_rule`` applies to items
+    without a specific rule.  When no rule matches at all the policy denies
+    (privacy by default — collection limitation).
+    """
+
+    owner: str
+    rules: Dict[str, PolicyRule] = field(default_factory=dict)
+    default_rule: Optional[PolicyRule] = None
+
+    def set_rule(self, data_id: str, rule: PolicyRule) -> None:
+        self.rules[data_id] = rule
+
+    def rule_for(self, data_id: str) -> Optional[PolicyRule]:
+        return self.rules.get(data_id, self.default_rule)
+
+    def evaluate(self, request: AccessRequest) -> AccessDecision:
+        if request.owner != self.owner:
+            return AccessDecision.deny("wrong-owner")
+        rule = self.rule_for(request.data_id)
+        if rule is None:
+            return AccessDecision.deny("no-applicable-rule")
+        return rule.evaluate(request)
+
+    # -- introspection used by privacy metrics ------------------------------
+
+    def strictness(self) -> float:
+        """A rough ``[0, 1]`` measure of how restrictive the policy is.
+
+        Averaged over rules: narrower audiences, higher trust requirements,
+        shorter retention and more obligations all increase strictness.  Used
+        only for reporting, never for enforcement.
+        """
+        rules = list(self.rules.values())
+        if self.default_rule is not None:
+            rules.append(self.default_rule)
+        if not rules:
+            return 1.0
+        audience_score = {
+            Audience.NOBODY: 1.0,
+            Audience.FRIENDS: 0.7,
+            Audience.COMMUNITY: 0.4,
+            Audience.ANYONE: 0.0,
+        }
+        total = 0.0
+        for rule in rules:
+            retention_score = 0.0 if rule.retention_time is None else min(
+                1.0, 10.0 / (rule.retention_time + 1.0)
+            )
+            total += (
+                0.4 * audience_score[rule.audience]
+                + 0.3 * rule.minimum_trust
+                + 0.1 * retention_score
+                + 0.2 * (len(rule.obligations) / len(Obligation))
+            )
+        return total / len(rules)
+
+
+def permissive_policy(owner: str) -> PrivacyPolicy:
+    """A policy that lets anyone read anything for user-serving purposes."""
+    return PrivacyPolicy(
+        owner=owner,
+        default_rule=PolicyRule(
+            audience=Audience.ANYONE,
+            operations={Operation.READ, Operation.AGGREGATE, Operation.DISCLOSE},
+            purposes=set(Purpose),
+            minimum_trust=0.0,
+        ),
+    )
+
+
+def restrictive_policy(owner: str, *, minimum_trust: float = 0.6) -> PrivacyPolicy:
+    """A policy restricted to trusted friends, short retention, obligations."""
+    return PrivacyPolicy(
+        owner=owner,
+        default_rule=PolicyRule(
+            audience=Audience.FRIENDS,
+            operations={Operation.READ},
+            purposes={Purpose.SOCIAL_INTERACTION, Purpose.SERVICE_PROVISION},
+            minimum_trust=minimum_trust,
+            retention_time=10,
+            obligations={Obligation.DELETE_AFTER_RETENTION, Obligation.NO_REDISTRIBUTION},
+        ),
+    )

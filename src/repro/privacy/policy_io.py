@@ -1,0 +1,110 @@
+"""Serialization of privacy policies to P3P-like policy documents.
+
+P3P's contribution was a machine-readable *document* format for privacy
+policies so that user agents can compare them automatically.  This module
+round-trips :class:`~repro.privacy.policy.PrivacyPolicy` objects through
+plain dictionaries / JSON so policies can be published next to the data they
+protect, exchanged during negotiation, or stored by the PriServ service.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.privacy.policy import (
+    Audience,
+    Obligation,
+    PolicyRule,
+    PrivacyPolicy,
+)
+from repro.privacy.purposes import Operation, Purpose
+
+#: Document format identifier embedded in every serialized policy.
+POLICY_DOCUMENT_VERSION = "repro-pp/1.0"
+
+
+def rule_to_dict(rule: PolicyRule) -> Dict[str, object]:
+    """Serialize one policy rule to plain JSON-compatible types."""
+    return {
+        "authorized_users": sorted(rule.authorized_users),
+        "audience": rule.audience.value,
+        "operations": sorted(operation.value for operation in rule.operations),
+        "purposes": sorted(purpose.value for purpose in rule.purposes),
+        "minimum_trust": rule.minimum_trust,
+        "retention_time": rule.retention_time,
+        "obligations": sorted(obligation.value for obligation in rule.obligations),
+    }
+
+
+def rule_from_dict(data: Dict[str, object]) -> PolicyRule:
+    """Deserialize one policy rule, validating every enumeration value."""
+    try:
+        return PolicyRule(
+            authorized_users=set(data.get("authorized_users", [])),
+            audience=Audience(data.get("audience", Audience.FRIENDS.value)),
+            operations={Operation(value) for value in data.get("operations", ["read"])},
+            purposes={
+                Purpose(value)
+                for value in data.get("purposes", [Purpose.SOCIAL_INTERACTION.value])
+            },
+            minimum_trust=float(data.get("minimum_trust", 0.0)),
+            retention_time=data.get("retention_time"),
+            obligations={
+                Obligation(value) for value in data.get("obligations", [])
+            },
+        )
+    except ValueError as error:
+        raise ConfigurationError(f"invalid policy rule document: {error}") from error
+
+
+def policy_to_dict(policy: PrivacyPolicy) -> Dict[str, object]:
+    """Serialize a whole policy (owner, per-item rules, default rule)."""
+    return {
+        "version": POLICY_DOCUMENT_VERSION,
+        "owner": policy.owner,
+        "rules": {data_id: rule_to_dict(rule) for data_id, rule in sorted(policy.rules.items())},
+        "default_rule": (
+            rule_to_dict(policy.default_rule) if policy.default_rule is not None else None
+        ),
+    }
+
+
+def policy_from_dict(data: Dict[str, object]) -> PrivacyPolicy:
+    """Deserialize a policy document produced by :func:`policy_to_dict`."""
+    version = data.get("version", POLICY_DOCUMENT_VERSION)
+    if version != POLICY_DOCUMENT_VERSION:
+        raise ConfigurationError(
+            f"unsupported policy document version {version!r}; "
+            f"expected {POLICY_DOCUMENT_VERSION!r}"
+        )
+    owner = data.get("owner")
+    if not owner:
+        raise ConfigurationError("policy document has no owner")
+    default_rule_data: Optional[Dict[str, object]] = data.get("default_rule")
+    policy = PrivacyPolicy(
+        owner=str(owner),
+        rules={
+            data_id: rule_from_dict(rule_data)
+            for data_id, rule_data in (data.get("rules") or {}).items()
+        },
+        default_rule=rule_from_dict(default_rule_data) if default_rule_data else None,
+    )
+    return policy
+
+
+def policy_to_json(policy: PrivacyPolicy, *, indent: int = 2) -> str:
+    """Serialize a policy to a JSON string."""
+    return json.dumps(policy_to_dict(policy), indent=indent, sort_keys=True)
+
+
+def policy_from_json(document: str) -> PrivacyPolicy:
+    """Parse a JSON policy document back into a :class:`PrivacyPolicy`."""
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"malformed policy JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise ConfigurationError("policy JSON must encode an object")
+    return policy_from_dict(data)

@@ -1,0 +1,298 @@
+"""A PriServ-like privacy service for structured P2P systems.
+
+PriServ (Jawad et al., 2009) "proposes functions to publish and request
+private data by taking into account the privacy policies of data owners (in
+particular, access purpose, operations and authorized users)".  The service
+below reproduces that workflow over the library's own substrate:
+
+* owners **publish** data items together with a privacy policy; items are
+  placed on a responsible peer chosen by consistent hashing over the peer
+  population (the "structured P2P" part);
+* requesters **request** items for an explicit operation and purpose; the
+  service evaluates the owner's policy — including the minimal trust level,
+  looked up through a pluggable trust oracle — and either serves the item or
+  denies with reasons;
+* every granted access is written to the :class:`DisclosureLedger`, and every
+  decision to the audit log, so OECD accountability checks and privacy
+  metrics have ground truth to work from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AccessDeniedError, ConfigurationError, UnknownDataError
+from repro.privacy.disclosure import DisclosureLedger, DisclosureRecord
+from repro.privacy.policy import (
+    AccessDecision,
+    AccessRequest,
+    Obligation,
+    PrivacyPolicy,
+)
+from repro.privacy.purposes import Operation, Purpose
+
+#: Returns the current trust level of a peer in ``[0, 1]``.
+TrustOracle = Callable[[str], float]
+
+#: Tells whether two peers are friends / in the same community.
+RelationOracle = Callable[[str, str], bool]
+
+
+@dataclass
+class PublishedItem:
+    """A data item stored by the service on behalf of its owner."""
+
+    data_id: str
+    owner: str
+    content: object
+    sensitivity: float
+    responsible_peer: str
+
+
+@dataclass
+class AuditEntry:
+    """One access decision, kept for accountability."""
+
+    time: int
+    request: AccessRequest
+    decision: AccessDecision
+
+
+@dataclass
+class PriServService:
+    """Publish/request service enforcing owners' privacy policies."""
+
+    peer_ids: Sequence[str]
+    trust_oracle: TrustOracle = field(default=lambda peer: 0.5)
+    friendship_oracle: Optional[RelationOracle] = None
+    community_oracle: Optional[RelationOracle] = None
+    ledger: DisclosureLedger = field(default_factory=DisclosureLedger)
+
+    def __post_init__(self) -> None:
+        if not self.peer_ids:
+            raise ConfigurationError("the service needs at least one peer")
+        self._items: Dict[str, PublishedItem] = {}
+        self._policies: Dict[str, PrivacyPolicy] = {}
+        self._audit: List[AuditEntry] = []
+        self._clock = 0
+
+    # -- structured P2P placement -------------------------------------------
+
+    def responsible_peer(self, data_id: str) -> str:
+        """Consistent-hash placement of a key on the peer population."""
+        digest = int(hashlib.sha256(data_id.encode("utf8")).hexdigest(), 16)
+        ordered = sorted(self.peer_ids)
+        return ordered[digest % len(ordered)]
+
+    # -- owner-facing API -------------------------------------------------------
+
+    def register_policy(self, policy: PrivacyPolicy) -> None:
+        self._policies[policy.owner] = policy
+
+    def policy_of(self, owner: str) -> Optional[PrivacyPolicy]:
+        return self._policies.get(owner)
+
+    def publish(
+        self,
+        owner: str,
+        data_id: str,
+        content: object,
+        *,
+        sensitivity: float = 0.5,
+        policy: Optional[PrivacyPolicy] = None,
+    ) -> PublishedItem:
+        """Publish a data item, optionally registering/refreshing the policy."""
+        if policy is not None:
+            if policy.owner != owner:
+                raise ConfigurationError("policy owner must match the publisher")
+            self.register_policy(policy)
+        if owner not in self._policies:
+            raise ConfigurationError(
+                f"owner {owner!r} must register a privacy policy before publishing"
+            )
+        item = PublishedItem(
+            data_id=data_id,
+            owner=owner,
+            content=content,
+            sensitivity=sensitivity,
+            responsible_peer=self.responsible_peer(data_id),
+        )
+        self._items[data_id] = item
+        return item
+
+    def unpublish(self, owner: str, data_id: str) -> None:
+        item = self._items.get(data_id)
+        if item is None:
+            raise UnknownDataError(data_id)
+        if item.owner != owner:
+            raise AccessDeniedError(f"{owner} does not own {data_id}")
+        del self._items[data_id]
+
+    def published_items(self, owner: Optional[str] = None) -> List[PublishedItem]:
+        items = list(self._items.values())
+        if owner is not None:
+            items = [item for item in items if item.owner == owner]
+        return items
+
+    # -- requester-facing API -----------------------------------------------------
+
+    def tick(self, steps: int = 1) -> None:
+        """Advance the service clock (used for retention accounting)."""
+        if steps < 0:
+            raise ConfigurationError("steps must be non-negative")
+        self._clock += steps
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def _build_request(
+        self,
+        requester: str,
+        item: PublishedItem,
+        operation: Operation,
+        purpose: Purpose,
+        accepted_obligations: Sequence[Obligation],
+    ) -> AccessRequest:
+        is_friend = bool(
+            self.friendship_oracle and self.friendship_oracle(requester, item.owner)
+        )
+        same_community = bool(
+            self.community_oracle and self.community_oracle(requester, item.owner)
+        )
+        return AccessRequest(
+            requester=requester,
+            owner=item.owner,
+            data_id=item.data_id,
+            operation=operation,
+            purpose=purpose,
+            requester_trust=self.trust_oracle(requester),
+            is_friend=is_friend,
+            same_community=same_community,
+            accepted_obligations=frozenset(accepted_obligations),
+        )
+
+    def request(
+        self,
+        requester: str,
+        data_id: str,
+        *,
+        operation: Operation = Operation.READ,
+        purpose: Purpose = Purpose.SOCIAL_INTERACTION,
+        accepted_obligations: Sequence[Obligation] = (),
+    ) -> Tuple[AccessDecision, Optional[object]]:
+        """Request access to a published item.
+
+        Returns the decision and, when permitted, the item content.  Denials
+        return ``(decision, None)`` rather than raising so callers can treat
+        policy-driven denials as a normal outcome; :meth:`request_or_raise`
+        raises :class:`AccessDeniedError` instead.
+        """
+        item = self._items.get(data_id)
+        if item is None:
+            raise UnknownDataError(data_id)
+        policy = self._policies.get(item.owner)
+        if policy is None:
+            decision = AccessDecision.deny("owner-has-no-policy")
+        else:
+            request = self._build_request(
+                requester, item, operation, purpose, accepted_obligations
+            )
+            decision = policy.evaluate(request)
+        self._audit.append(
+            AuditEntry(
+                time=self._clock,
+                request=self._build_request(
+                    requester, item, operation, purpose, accepted_obligations
+                ),
+                decision=decision,
+            )
+        )
+        if not decision.permitted:
+            return decision, None
+
+        self.ledger.record(
+            DisclosureRecord(
+                time=self._clock,
+                owner=item.owner,
+                recipient=requester,
+                data_id=data_id,
+                sensitivity=item.sensitivity,
+                purpose=purpose,
+                operation=operation,
+                policy_compliant=True,
+                retention_time=decision.retention_time,
+            )
+        )
+        return decision, item.content
+
+    def request_or_raise(
+        self,
+        requester: str,
+        data_id: str,
+        *,
+        operation: Operation = Operation.READ,
+        purpose: Purpose = Purpose.SOCIAL_INTERACTION,
+        accepted_obligations: Sequence[Obligation] = (),
+    ) -> object:
+        decision, content = self.request(
+            requester,
+            data_id,
+            operation=operation,
+            purpose=purpose,
+            accepted_obligations=accepted_obligations,
+        )
+        if not decision.permitted:
+            raise AccessDeniedError(
+                f"access to {data_id!r} denied for {requester!r}: "
+                f"{', '.join(decision.reasons)}"
+            )
+        return content
+
+    def record_breach(
+        self,
+        owner: str,
+        recipient: str,
+        data_id: str,
+        *,
+        sensitivity: float = 1.0,
+        purpose: Purpose = Purpose.COMMERCIAL,
+    ) -> None:
+        """Record a disclosure that bypassed policy evaluation (a breach).
+
+        Used by adversarial experiments: breaches lower the ledger's
+        compliance rate and therefore the owner's privacy satisfaction.
+        """
+        self.ledger.record(
+            DisclosureRecord(
+                time=self._clock,
+                owner=owner,
+                recipient=recipient,
+                data_id=data_id,
+                sensitivity=sensitivity,
+                purpose=purpose,
+                operation=Operation.DISCLOSE,
+                policy_compliant=False,
+            )
+        )
+
+    # -- accountability ----------------------------------------------------------
+
+    @property
+    def audit_log(self) -> List[AuditEntry]:
+        return list(self._audit)
+
+    def denial_rate(self) -> float:
+        if not self._audit:
+            return 0.0
+        denied = sum(1 for entry in self._audit if not entry.decision.permitted)
+        return denied / len(self._audit)
+
+    def denial_reasons(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for entry in self._audit:
+            for reason in entry.decision.reasons:
+                histogram[reason] = histogram.get(reason, 0) + 1
+        return histogram

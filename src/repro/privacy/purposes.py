@@ -1,0 +1,44 @@
+"""Operations on personal data and the purposes for which access is asked.
+
+P3P and PriServ both make *purpose specification* explicit: a policy does not
+just say who may read a datum, but for what.  The enumerations below are the
+vocabulary shared by policies, requests and the disclosure ledger.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Operation(enum.Enum):
+    """Operations a requester can ask to perform on a data item."""
+
+    READ = "read"
+    WRITE = "write"
+    DISCLOSE = "disclose"
+    AGGREGATE = "aggregate"
+    DELETE = "delete"
+
+
+class Purpose(enum.Enum):
+    """Why access to a data item is requested."""
+
+    SOCIAL_INTERACTION = "social-interaction"
+    REPUTATION_COMPUTATION = "reputation-computation"
+    RECOMMENDATION = "recommendation"
+    SERVICE_PROVISION = "service-provision"
+    COMMERCIAL = "commercial"
+    RESEARCH = "research"
+    SYSTEM_MAINTENANCE = "system-maintenance"
+
+
+#: Purposes generally regarded as serving the user herself; commercial and
+#: research uses are the ones privacy-concerned users restrict first.
+USER_SERVING_PURPOSES = frozenset(
+    {
+        Purpose.SOCIAL_INTERACTION,
+        Purpose.SERVICE_PROVISION,
+        Purpose.REPUTATION_COMPUTATION,
+        Purpose.RECOMMENDATION,
+    }
+)

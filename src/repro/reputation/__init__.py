@@ -1,0 +1,106 @@
+"""Reputation mechanisms.
+
+Section 2.2 of the paper surveys decentralized reputation systems and adopts
+the three-block decomposition of Marti & Garcia-Molina: *information
+gathering*, *scoring and ranking*, and *response*.  This subpackage
+implements that architecture and the concrete mechanisms the paper cites:
+
+* :class:`~repro.reputation.eigentrust.EigenTrust` — the PageRank-like global
+  reputation of Kamvar et al.;
+* :class:`~repro.reputation.powertrust.PowerTrust` — Zhou & Hwang's
+  power-node based aggregation over a trust overlay;
+* :class:`~repro.reputation.trustme.TrustMeReputation` — a TrustMe-like
+  protocol where anonymous trust-holding agents store certified reports;
+* :class:`~repro.reputation.beta.BetaReputation` and
+  :class:`~repro.reputation.average.SimpleAverageReputation` — baselines;
+* :class:`~repro.reputation.anonymous.AnonymousFeedbackReputation` — a
+  privacy-preserving wrapper implementing blinded, randomized-response
+  feedback in the spirit of reputation systems for anonymous networks.
+
+:mod:`repro.reputation.accuracy` provides the evaluation measures used to
+quantify "reputation power" (consistency with reality), and
+:mod:`repro.reputation.response` the response policies peers use to act on
+scores.
+"""
+
+from repro.reputation.accuracy import (
+    classification_accuracy,
+    mean_absolute_error,
+    pairwise_ranking_accuracy,
+    reputation_power,
+)
+from repro.reputation.anonymous import AnonymousFeedbackReputation
+from repro.reputation.average import SimpleAverageReputation
+from repro.reputation.base import ReputationSystem
+from repro.reputation.beta import BetaReputation
+from repro.reputation.eigentrust import EigenTrust
+from repro.reputation.gathering import FeedbackStore, LocalTrustBuilder
+from repro.reputation.overlay import TrustOverlayNetwork
+from repro.reputation.powertrust import PowerTrust
+from repro.reputation.response import (
+    ProbabilisticSelection,
+    ResponsePolicy,
+    SelectBest,
+    ThresholdBan,
+)
+from repro.reputation.taxonomy import (
+    SYSTEM_TAXONOMY,
+    GatheringDesign,
+    ResponseDesign,
+    ScoringDesign,
+    SystemTaxonomy,
+    taxonomy_for,
+)
+from repro.reputation.trustme import TrustMeReputation
+
+#: Factory registry mapping mechanism names to constructors, used by the
+#: experiment harness and the CLI to select a mechanism by name.
+REPUTATION_FACTORIES = {
+    "average": SimpleAverageReputation,
+    "beta": BetaReputation,
+    "eigentrust": EigenTrust,
+    "powertrust": PowerTrust,
+    "trustme": TrustMeReputation,
+}
+
+
+def make_reputation_system(name: str, **kwargs) -> ReputationSystem:
+    """Instantiate a reputation mechanism by registry name."""
+    try:
+        factory = REPUTATION_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown reputation system {name!r}; expected one of "
+            f"{sorted(REPUTATION_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "AnonymousFeedbackReputation",
+    "BetaReputation",
+    "EigenTrust",
+    "FeedbackStore",
+    "GatheringDesign",
+    "LocalTrustBuilder",
+    "PowerTrust",
+    "ProbabilisticSelection",
+    "REPUTATION_FACTORIES",
+    "ReputationSystem",
+    "ResponseDesign",
+    "ResponsePolicy",
+    "SYSTEM_TAXONOMY",
+    "ScoringDesign",
+    "SelectBest",
+    "SimpleAverageReputation",
+    "SystemTaxonomy",
+    "ThresholdBan",
+    "TrustMeReputation",
+    "TrustOverlayNetwork",
+    "classification_accuracy",
+    "make_reputation_system",
+    "mean_absolute_error",
+    "pairwise_ranking_accuracy",
+    "reputation_power",
+    "taxonomy_for",
+]

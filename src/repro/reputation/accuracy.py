@@ -1,0 +1,100 @@
+"""Measuring "reputation power": how consistent scores are with reality.
+
+The paper defines the reputation axis of Figure 2 as "the satisfaction of the
+reputation mechanism in terms of power as reliability, efficiency and most of
+all, consistency with the reality".  The simulator knows the ground truth
+(each peer's honesty), so consistency is measurable:
+
+* :func:`pairwise_ranking_accuracy` — probability that the mechanism orders a
+  random honest/dishonest pair correctly (an AUC-like measure);
+* :func:`classification_accuracy` — accuracy of the induced good/bad
+  classification at a threshold;
+* :func:`mean_absolute_error` — distance between scores and honesty;
+* :func:`reputation_power` — the composite in ``[0, 1]`` used as the
+  reputation facet input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro._util import clamp, mean
+
+
+def _aligned(scores: Mapping[str, float], ground_truth: Mapping[str, float]) -> Dict[str, float]:
+    """Restrict scores to peers with known ground truth."""
+    return {peer: scores[peer] for peer in scores if peer in ground_truth}
+
+
+def pairwise_ranking_accuracy(
+    scores: Mapping[str, float], ground_truth: Mapping[str, float]
+) -> float:
+    """Fraction of (honest, dishonest) pairs ranked in the right order.
+
+    Ties in score count half, as in the usual AUC convention.  Returns 0.5
+    (chance level) when either class is empty or no scores overlap the ground
+    truth.
+    """
+    aligned = _aligned(scores, ground_truth)
+    honest = [peer for peer in aligned if ground_truth[peer] >= 0.5]
+    dishonest = [peer for peer in aligned if ground_truth[peer] < 0.5]
+    if not honest or not dishonest:
+        return 0.5
+    correct = 0.0
+    for good in honest:
+        for bad in dishonest:
+            if aligned[good] > aligned[bad]:
+                correct += 1.0
+            elif aligned[good] == aligned[bad]:
+                correct += 0.5
+    return correct / (len(honest) * len(dishonest))
+
+
+def classification_accuracy(
+    scores: Mapping[str, float],
+    ground_truth: Mapping[str, float],
+    *,
+    threshold: float = 0.5,
+) -> float:
+    """Accuracy of classifying peers as honest when their score ≥ threshold."""
+    aligned = _aligned(scores, ground_truth)
+    if not aligned:
+        return 0.0
+    correct = sum(
+        1
+        for peer, score in aligned.items()
+        if (score >= threshold) == (ground_truth[peer] >= 0.5)
+    )
+    return correct / len(aligned)
+
+
+def mean_absolute_error(
+    scores: Mapping[str, float], ground_truth: Mapping[str, float]
+) -> float:
+    """Mean absolute difference between score and ground-truth honesty."""
+    aligned = _aligned(scores, ground_truth)
+    if not aligned:
+        return 1.0
+    return mean(abs(score - ground_truth[peer]) for peer, score in aligned.items())
+
+
+def reputation_power(
+    scores: Mapping[str, float],
+    ground_truth: Mapping[str, float],
+    *,
+    coverage_weight: float = 0.25,
+) -> float:
+    """Composite reputation-power score in ``[0, 1]``.
+
+    Combines consistency with reality (rescaled ranking accuracy: 0.5 maps to
+    0, 1.0 maps to 1) with coverage — the fraction of the population the
+    mechanism has evidence about.  A mechanism that is perfectly consistent
+    but only knows 10% of the peers is not powerful.
+    """
+    if not ground_truth:
+        return 0.0
+    ranking = pairwise_ranking_accuracy(scores, ground_truth)
+    consistency = clamp((ranking - 0.5) * 2.0)
+    coverage = len(_aligned(scores, ground_truth)) / len(ground_truth)
+    weight = clamp(coverage_weight)
+    return clamp((1.0 - weight) * consistency + weight * coverage)

@@ -1,0 +1,28 @@
+"""Simple-average reputation: the weakest meaningful baseline.
+
+The score of a peer is the arithmetic mean of all ratings reported about it,
+regardless of who reported them.  It is cheap, needs no rater identities
+(low information requirement) but is trivially manipulable by dishonest
+raters — exactly the contrast the paper's reputation-power axis captures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro._util import mean
+from repro.reputation.base import ReputationSystem
+
+
+class SimpleAverageReputation(ReputationSystem):
+    """Mean rating per subject."""
+
+    name = "average"
+    information_requirement = 0.2
+
+    def compute_scores(self) -> Dict[str, float]:
+        scores: Dict[str, float] = {}
+        for subject in self.store.subjects():
+            ratings = [feedback.rating for feedback in self.store.about(subject)]
+            scores[subject] = mean(ratings, default=self.default_score)
+        return scores

@@ -1,0 +1,109 @@
+"""The abstract :class:`ReputationSystem` and its shared machinery.
+
+A reputation system is decomposed, following Marti & Garcia-Molina, into
+
+* *information gathering* — delegated to
+  :class:`~repro.reputation.gathering.FeedbackStore`;
+* *scoring and ranking* — the :meth:`ReputationSystem.compute_scores` hook
+  each mechanism implements;
+* *response* — the policies of :mod:`repro.reputation.response`, which act on
+  the scores.
+
+Scores are cached between :meth:`refresh` calls so the simulator can query
+``score()`` cheaply inside a round; recomputation happens once per round.
+Each mechanism also declares an ``information_requirement`` in ``[0, 1]``:
+how much personally-linkable information it needs to operate (rater
+identities, full transaction history, ...).  The privacy facet uses this to
+translate a mechanism choice into an exposure level — the paper's core
+reputation/privacy antagonism.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro._util import clamp
+from repro.reputation.gathering import FeedbackStore, LocalTrustBuilder
+from repro.simulation.transaction import Feedback
+
+
+class ReputationSystem(abc.ABC):
+    """Base class of every reputation mechanism."""
+
+    #: Human-readable mechanism name; subclasses override.
+    name: str = "abstract"
+
+    #: How much personally-linkable information the mechanism requires, in
+    #: ``[0, 1]``.  0 means only blinded aggregate counts, 1 means full
+    #: identified per-transaction histories.
+    information_requirement: float = 0.5
+
+    def __init__(self, *, default_score: float = 0.5,
+                 max_evidence_per_subject: Optional[int] = None) -> None:
+        self.default_score = clamp(default_score)
+        self.store = FeedbackStore(max_per_subject=max_evidence_per_subject)
+        self.local_trust = LocalTrustBuilder(self.store)
+        self._scores: Dict[str, float] = {}
+        self._dirty = False
+
+    # -- information gathering -------------------------------------------
+
+    def record_feedback(self, feedback: Feedback) -> None:
+        """Ingest one disclosed feedback report."""
+        self.store.add(self._transform_feedback(feedback))
+        self._dirty = True
+
+    def _transform_feedback(self, feedback: Feedback) -> Feedback:
+        """Hook for wrappers that blind or perturb incoming feedback."""
+        return feedback
+
+    @property
+    def evidence_count(self) -> int:
+        return len(self.store)
+
+    # -- scoring and ranking -----------------------------------------------
+
+    @abc.abstractmethod
+    def compute_scores(self) -> Dict[str, float]:
+        """Recompute the score of every known peer; values in ``[0, 1]``."""
+
+    def refresh(self) -> Dict[str, float]:
+        """Recompute and cache scores if new evidence arrived since last time."""
+        if self._dirty or not self._scores:
+            self._scores = {
+                peer: clamp(score) for peer, score in self.compute_scores().items()
+            }
+            self._dirty = False
+        return dict(self._scores)
+
+    def score(self, peer_id: str) -> float:
+        """Cached score of a peer; unknown peers get the default score."""
+        if self._dirty:
+            self.refresh()
+        return self._scores.get(peer_id, self.default_score)
+
+    def scores(self) -> Dict[str, float]:
+        """Cached scores of every known peer."""
+        if self._dirty or not self._scores:
+            self.refresh()
+        return dict(self._scores)
+
+    def ranking(self) -> List[str]:
+        """Peer identifiers ordered from most to least reputable."""
+        current = self.scores()
+        return sorted(current, key=lambda peer: (-current[peer], peer))
+
+    def known_peers(self) -> List[str]:
+        return sorted(self.store.participants())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all evidence and cached scores."""
+        self.store.clear()
+        self._scores.clear()
+        self._dirty = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} evidence={self.evidence_count}>"

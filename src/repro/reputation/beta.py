@@ -1,0 +1,54 @@
+"""Beta reputation: Bayesian positive/negative evidence counting.
+
+The score of a peer is the expected value of a Beta(α, β) posterior with
+``α = forgetting-weighted positives + 1`` and ``β = weighted negatives + 1``.
+An optional forgetting factor discounts old evidence, which is what lets the
+mechanism track traitors (peers that turn bad after building a reputation).
+Like the simple average it ignores rater identity, so its information
+requirement is low.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro._util import require_unit_interval
+from repro.reputation.base import ReputationSystem
+
+
+class BetaReputation(ReputationSystem):
+    """Beta-posterior expected value with exponential forgetting."""
+
+    name = "beta"
+    information_requirement = 0.3
+
+    def __init__(
+        self,
+        *,
+        forgetting: float = 1.0,
+        default_score: float = 0.5,
+        max_evidence_per_subject: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            default_score=default_score,
+            max_evidence_per_subject=max_evidence_per_subject,
+        )
+        self.forgetting = require_unit_interval(forgetting, "forgetting")
+
+    def compute_scores(self) -> Dict[str, float]:
+        scores: Dict[str, float] = {}
+        for subject in self.store.subjects():
+            reports = self.store.about(subject)
+            if not reports:
+                continue
+            latest = max(feedback.time for feedback in reports)
+            alpha = 1.0
+            beta = 1.0
+            for feedback in reports:
+                weight = self.forgetting ** (latest - feedback.time)
+                if feedback.positive:
+                    alpha += weight
+                else:
+                    beta += weight
+            scores[subject] = alpha / (alpha + beta)
+        return scores

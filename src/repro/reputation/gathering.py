@@ -1,0 +1,136 @@
+"""The *information gathering* block: storing and organizing feedback.
+
+Every mechanism shares the same evidence store; what differs is how much of
+the stored information each mechanism actually uses (rater identities for
+EigenTrust's normalized local trust, only aggregate counts for the Beta
+baseline, nothing but blinded ratings for the anonymous mode).  That
+difference is what the privacy facet measures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.simulation.transaction import Feedback
+
+
+@dataclass
+class FeedbackStore:
+    """Append-only store of disclosed feedback, indexed by subject and rater."""
+
+    max_per_subject: Optional[int] = None
+    _by_subject: Dict[str, List[Feedback]] = field(default_factory=lambda: defaultdict(list))
+    _by_rater: Dict[str, List[Feedback]] = field(default_factory=lambda: defaultdict(list))
+    _count: int = 0
+
+    def add(self, feedback: Feedback) -> None:
+        bucket = self._by_subject[feedback.subject]
+        bucket.append(feedback)
+        if self.max_per_subject is not None and len(bucket) > self.max_per_subject:
+            removed = bucket.pop(0)
+            if removed.rater is not None:
+                rater_bucket = self._by_rater.get(removed.rater)
+                if rater_bucket and removed in rater_bucket:
+                    rater_bucket.remove(removed)
+        if feedback.rater is not None:
+            self._by_rater[feedback.rater].append(feedback)
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def subjects(self) -> List[str]:
+        return [subject for subject, items in self._by_subject.items() if items]
+
+    def raters(self) -> List[str]:
+        return [rater for rater, items in self._by_rater.items() if items]
+
+    def about(self, subject: str) -> List[Feedback]:
+        return list(self._by_subject.get(subject, []))
+
+    def by(self, rater: str) -> List[Feedback]:
+        return list(self._by_rater.get(rater, []))
+
+    def participants(self) -> Set[str]:
+        """All peer identifiers seen either as subject or as rater."""
+        ids: Set[str] = set(self.subjects())
+        ids.update(self.raters())
+        return ids
+
+    def anonymous_fraction(self) -> float:
+        """Fraction of stored feedback submitted without a rater identity."""
+        if self._count == 0:
+            return 0.0
+        anonymous = sum(
+            1
+            for items in self._by_subject.values()
+            for feedback in items
+            if feedback.is_anonymous
+        )
+        return anonymous / self._count
+
+    def clear(self) -> None:
+        self._by_subject.clear()
+        self._by_rater.clear()
+        self._count = 0
+
+
+class LocalTrustBuilder:
+    """Build pairwise *local trust* values from stored feedback.
+
+    EigenTrust defines the local trust of peer *i* in peer *j* as
+    ``s_ij = sat(i, j) - unsat(i, j)`` clipped at zero, then normalized over
+    *i*'s row.  PowerTrust uses the same raw pairwise evidence.  Anonymous
+    feedback carries no rater, so it cannot contribute to pairwise local
+    trust — mechanisms that need it simply see less evidence, which is the
+    accuracy cost of anonymity the ablation experiment quantifies.
+    """
+
+    def __init__(self, store: FeedbackStore) -> None:
+        self._store = store
+
+    def raw_local_trust(self) -> Dict[str, Dict[str, float]]:
+        """``{rater: {subject: max(0, positives - negatives)}}``."""
+        totals: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        for rater in self._store.raters():
+            for feedback in self._store.by(rater):
+                delta = 1.0 if feedback.positive else -1.0
+                totals[rater][feedback.subject] += delta
+        return {
+            rater: {subject: max(0.0, value) for subject, value in row.items()}
+            for rater, row in totals.items()
+        }
+
+    def normalized_local_trust(
+        self, peers: Optional[Iterable[str]] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Row-normalized local trust ``c_ij`` as used by EigenTrust.
+
+        Rows that are entirely zero stay empty; EigenTrust handles them by
+        falling back to the pre-trusted distribution.
+        """
+        raw = self.raw_local_trust()
+        known = set(peers) if peers is not None else self._store.participants()
+        normalized: Dict[str, Dict[str, float]] = {}
+        for rater in known:
+            row = raw.get(rater, {})
+            row = {subject: value for subject, value in row.items() if subject in known}
+            total = sum(row.values())
+            if total > 0.0:
+                normalized[rater] = {s: v / total for s, v in row.items()}
+            else:
+                normalized[rater] = {}
+        return normalized
+
+    def positive_negative_counts(self, subject: str) -> tuple[int, int]:
+        """Counts of positive and negative reports about ``subject``."""
+        positives = 0
+        negatives = 0
+        for feedback in self._store.about(subject):
+            if feedback.positive:
+                positives += 1
+            else:
+                negatives += 1
+        return positives, negatives

@@ -1,0 +1,136 @@
+"""PowerTrust (Zhou & Hwang, TPDS 2007), adapted to the shared substrate.
+
+PowerTrust aggregates *local* trust scores through a trust overlay network
+and exploits the power-law distribution of feedback: a small set of *power
+nodes* (the most reputable, most-assessed peers) is selected dynamically and
+given extra weight in the global aggregation, which speeds up convergence and
+hardens the system against collusion by low-reputation cliques.
+
+The reproduction follows the published structure:
+
+1. build the trust overlay from the feedback store;
+2. compute normalized local trust (as EigenTrust does);
+3. run the random-walk aggregation ``t ← (1 − α)·Cᵀ t + α·w`` where ``w`` is
+   the *look-ahead* restart distribution concentrated on the current power
+   nodes;
+4. re-select the ``m`` power nodes from the updated scores and iterate until
+   the power-node set stabilizes (or the iteration budget is exhausted).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro._util import clamp, require_unit_interval
+from repro.errors import ConfigurationError
+from repro.reputation.base import ReputationSystem
+from repro.reputation.overlay import TrustOverlayNetwork
+
+
+class PowerTrust(ReputationSystem):
+    """Power-node weighted global reputation aggregation."""
+
+    name = "powertrust"
+    information_requirement = 0.85
+
+    def __init__(
+        self,
+        *,
+        n_power_nodes: int = 3,
+        restart_weight: float = 0.15,
+        max_iterations: int = 50,
+        power_node_rounds: int = 4,
+        tolerance: float = 1e-8,
+        default_score: float = 0.5,
+        max_evidence_per_subject: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            default_score=default_score,
+            max_evidence_per_subject=max_evidence_per_subject,
+        )
+        if n_power_nodes < 1:
+            raise ConfigurationError("n_power_nodes must be at least 1")
+        if max_iterations < 1 or power_node_rounds < 1:
+            raise ConfigurationError("iteration budgets must be at least 1")
+        if tolerance <= 0:
+            raise ConfigurationError("tolerance must be positive")
+        self.n_power_nodes = int(n_power_nodes)
+        self.restart_weight = require_unit_interval(restart_weight, "restart_weight")
+        self.max_iterations = int(max_iterations)
+        self.power_node_rounds = int(power_node_rounds)
+        self.tolerance = float(tolerance)
+        self.overlay = TrustOverlayNetwork(self.store)
+        self.power_nodes: List[str] = []
+
+    # -- aggregation helpers -------------------------------------------------
+
+    def _restart_distribution(self, peers: List[str], power_nodes: List[str]) -> Dict[str, float]:
+        """Look-ahead restart mass, concentrated on the current power nodes."""
+        present = [peer for peer in power_nodes if peer in peers]
+        if not present:
+            uniform = 1.0 / len(peers)
+            return {peer: uniform for peer in peers}
+        weight = 1.0 / len(present)
+        return {peer: (weight if peer in present else 0.0) for peer in peers}
+
+    def _aggregate(
+        self,
+        peers: List[str],
+        local: Dict[str, Dict[str, float]],
+        restart: Dict[str, float],
+    ) -> Dict[str, float]:
+        trust = dict(restart)
+        for _ in range(self.max_iterations):
+            updated = {peer: 0.0 for peer in peers}
+            for rater in peers:
+                row = local.get(rater, {})
+                mass = trust[rater]
+                if not row:
+                    for peer in peers:
+                        updated[peer] += mass * restart[peer]
+                    continue
+                for subject, weight in row.items():
+                    updated[subject] += mass * weight
+            blended = {
+                peer: (1.0 - self.restart_weight) * updated[peer]
+                + self.restart_weight * restart[peer]
+                for peer in peers
+            }
+            delta = sum(abs(blended[peer] - trust[peer]) for peer in peers)
+            trust = blended
+            if delta < self.tolerance:
+                break
+        return trust
+
+    # -- scoring ---------------------------------------------------------------
+
+    def compute_scores(self) -> Dict[str, float]:
+        peers = sorted(self.store.participants())
+        if not peers:
+            return {}
+        local = self.local_trust.normalized_local_trust(peers)
+
+        # Bootstrap with a uniform restart, then alternate aggregation and
+        # power-node re-selection until the power-node set stabilizes.
+        power_nodes: List[str] = list(self.power_nodes)
+        trust: Dict[str, float] = {}
+        for _ in range(self.power_node_rounds):
+            restart = self._restart_distribution(peers, power_nodes)
+            trust = self._aggregate(peers, local, restart)
+            new_power_nodes = self.overlay.select_power_nodes(trust, self.n_power_nodes)
+            if new_power_nodes == power_nodes:
+                break
+            power_nodes = new_power_nodes
+        self.power_nodes = power_nodes
+
+        return self._rescale(trust)
+
+    @staticmethod
+    def _rescale(trust: Dict[str, float]) -> Dict[str, float]:
+        if not trust:
+            return {}
+        low = min(trust.values())
+        high = max(trust.values())
+        if high - low < 1e-15:
+            return {peer: 0.5 for peer in trust}
+        return {peer: clamp((value - low) / (high - low)) for peer, value in trust.items()}

@@ -1,0 +1,133 @@
+"""The Marti & Garcia-Molina taxonomy of reputation systems.
+
+Section 2.2 adopts the three-block decomposition of *Taxonomy of Trust:
+Categorizing P2P Reputation Systems* (Computer Networks, 2006): information
+gathering, scoring & ranking, response.  This module encodes the design
+choices of each implemented mechanism along those blocks, so experiments and
+documentation can reason about *why* a mechanism needs more or less
+information (its privacy cost) and what it gives back (its power).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class GatheringDesign(enum.Enum):
+    """How the mechanism gathers information about peers."""
+
+    LOCAL_ONLY = "local-only"
+    IDENTIFIED_GLOBAL = "identified-global"
+    ANONYMOUS_GLOBAL = "anonymous-global"
+    CERTIFIED_REPORTS = "certified-reports"
+
+
+class ScoringDesign(enum.Enum):
+    """How the mechanism turns gathered information into scores."""
+
+    MEAN = "mean"
+    BAYESIAN = "bayesian"
+    EIGENVECTOR = "eigenvector"
+    POWER_NODE_AGGREGATION = "power-node-aggregation"
+
+
+class ResponseDesign(enum.Enum):
+    """How the mechanism expects peers to act on scores."""
+
+    PARTNER_SELECTION = "partner-selection"
+    BANNING = "banning"
+    INCENTIVES = "incentives"
+
+
+@dataclass(frozen=True)
+class SystemTaxonomy:
+    """Taxonomy record of one reputation mechanism."""
+
+    system: str
+    gathering: GatheringDesign
+    scoring: ScoringDesign
+    response: ResponseDesign
+    identity_required: bool
+    collusion_resistant: bool
+    decentralized: bool
+    notes: str = ""
+
+
+#: Taxonomy of every mechanism shipped with the library.
+SYSTEM_TAXONOMY: Dict[str, SystemTaxonomy] = {
+    "average": SystemTaxonomy(
+        system="average",
+        gathering=GatheringDesign.ANONYMOUS_GLOBAL,
+        scoring=ScoringDesign.MEAN,
+        response=ResponseDesign.PARTNER_SELECTION,
+        identity_required=False,
+        collusion_resistant=False,
+        decentralized=True,
+        notes="Baseline: unweighted mean of all reports.",
+    ),
+    "beta": SystemTaxonomy(
+        system="beta",
+        gathering=GatheringDesign.ANONYMOUS_GLOBAL,
+        scoring=ScoringDesign.BAYESIAN,
+        response=ResponseDesign.PARTNER_SELECTION,
+        identity_required=False,
+        collusion_resistant=False,
+        decentralized=True,
+        notes="Beta posterior with exponential forgetting; tracks traitors.",
+    ),
+    "eigentrust": SystemTaxonomy(
+        system="eigentrust",
+        gathering=GatheringDesign.IDENTIFIED_GLOBAL,
+        scoring=ScoringDesign.EIGENVECTOR,
+        response=ResponseDesign.PARTNER_SELECTION,
+        identity_required=True,
+        collusion_resistant=True,
+        decentralized=True,
+        notes="PageRank-like aggregation weighted by rater reputation; "
+        "pre-trusted peers dampen collusion.",
+    ),
+    "powertrust": SystemTaxonomy(
+        system="powertrust",
+        gathering=GatheringDesign.IDENTIFIED_GLOBAL,
+        scoring=ScoringDesign.POWER_NODE_AGGREGATION,
+        response=ResponseDesign.PARTNER_SELECTION,
+        identity_required=True,
+        collusion_resistant=True,
+        decentralized=True,
+        notes="Trust-overlay aggregation with dynamically selected power nodes.",
+    ),
+    "trustme": SystemTaxonomy(
+        system="trustme",
+        gathering=GatheringDesign.CERTIFIED_REPORTS,
+        scoring=ScoringDesign.MEAN,
+        response=ResponseDesign.BANNING,
+        identity_required=True,
+        collusion_resistant=False,
+        decentralized=True,
+        notes="Certificate-gated reports stored at anonymous trust-holding agents.",
+    ),
+    "anonymous": SystemTaxonomy(
+        system="anonymous",
+        gathering=GatheringDesign.ANONYMOUS_GLOBAL,
+        scoring=ScoringDesign.MEAN,
+        response=ResponseDesign.PARTNER_SELECTION,
+        identity_required=False,
+        collusion_resistant=False,
+        decentralized=True,
+        notes="Anonymizing wrapper (identity stripping + randomized response) "
+        "around any inner mechanism.",
+    ),
+}
+
+
+def taxonomy_for(system_name: str) -> SystemTaxonomy:
+    """Look up the taxonomy record of a mechanism by its registry name."""
+    try:
+        return SYSTEM_TAXONOMY[system_name]
+    except KeyError:
+        raise ValueError(
+            f"no taxonomy registered for {system_name!r}; known systems: "
+            f"{sorted(SYSTEM_TAXONOMY)}"
+        ) from None

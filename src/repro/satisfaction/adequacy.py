@@ -1,0 +1,57 @@
+"""Adequacy: how well one system decision matches a participant's intention.
+
+Adequacy is the per-decision quantity; satisfaction (see
+:mod:`repro.satisfaction.tracker`) is its long-run aggregation.  Three
+adequacy measures are provided:
+
+* :func:`consumer_adequacy` — the consumer's preference for the provider the
+  system allocated to it;
+* :func:`provider_adequacy` — the provider's intention to treat the query it
+  was handed;
+* :func:`interaction_adequacy` — adequacy of a raw social/P2P interaction
+  outcome, blending the partner preference with the delivered quality (used
+  when the substrate is the interaction simulator rather than the query
+  mediator).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._util import clamp, require_unit_interval
+from repro.satisfaction.intentions import ConsumerIntention, ProviderIntention
+
+
+def consumer_adequacy(
+    intention: ConsumerIntention, allocated_provider: str
+) -> float:
+    """Adequacy of allocating ``allocated_provider`` to this consumer."""
+    return intention.preference(allocated_provider)
+
+
+def provider_adequacy(
+    intention: ProviderIntention, topic: str, consumer: Optional[str] = None
+) -> float:
+    """Adequacy, for the provider, of being handed a query on ``topic``."""
+    return intention.intention_for(topic, consumer)
+
+
+def interaction_adequacy(
+    partner_preference: float,
+    delivered_quality: float,
+    *,
+    quality_weight: float = 0.6,
+) -> float:
+    """Adequacy of one interaction: preference for the partner and its quality.
+
+    The paper notes that "quality of results is a private notion that is
+    assumed to be used by a data consumer to decide which providers she
+    prefers"; the blend keeps both the *who* (preference) and the *how well*
+    (quality) visible, with quality dominating by default.
+    """
+    require_unit_interval(partner_preference, "partner_preference")
+    require_unit_interval(delivered_quality, "delivered_quality")
+    require_unit_interval(quality_weight, "quality_weight")
+    return clamp(
+        quality_weight * delivered_quality + (1.0 - quality_weight) * partner_preference
+    )

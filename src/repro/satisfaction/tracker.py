@@ -1,0 +1,135 @@
+"""Long-run satisfaction tracking.
+
+"Intuitively, a participant is satisfied by the system process if the latter
+meets its intentions in the long term" (Section 2.1).  The tracker therefore
+keeps, per participant,
+
+* **satisfaction** — the long-run average of adequacy over every decision the
+  participant was involved in, whether it asked for it or not;
+* **allocation satisfaction** — the same restricted to decisions the system
+  *imposed* (allocations the participant did not explicitly prefer), which is
+  the quantity the [17] model distinguishes: "a data provider can be
+  satisfied even if sometimes the system imposes queries he does not intend
+  to treat".
+
+Both are tracked either as exponentially-weighted moving averages (the
+default, emphasising the recent past as a long-run *regime*) or as plain
+means over a sliding window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro._util import clamp, mean, require_unit_interval
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class _ParticipantState:
+    satisfaction: Optional[float] = None
+    allocation_satisfaction: Optional[float] = None
+    observations: int = 0
+    imposed_observations: int = 0
+    window: Deque[float] = field(default_factory=deque)
+    imposed_window: Deque[float] = field(default_factory=deque)
+
+
+class SatisfactionTracker:
+    """Track per-participant satisfaction from adequacy observations."""
+
+    def __init__(self, *, alpha: float = 0.1, window: int = 50,
+                 initial: float = 0.5) -> None:
+        self.alpha = require_unit_interval(alpha, "alpha")
+        if window < 1:
+            raise ConfigurationError("window must be at least 1")
+        self.window = int(window)
+        self.initial = require_unit_interval(initial, "initial")
+        self._states: Dict[str, _ParticipantState] = {}
+
+    def _state(self, participant: str) -> _ParticipantState:
+        if participant not in self._states:
+            self._states[participant] = _ParticipantState()
+        return self._states[participant]
+
+    # -- observation ingestion ----------------------------------------------
+
+    def observe(self, participant: str, adequacy: float, *, imposed: bool = False) -> None:
+        """Record one adequacy observation for a participant.
+
+        ``imposed`` marks decisions the system made without (or against) the
+        participant's explicit intention; they additionally feed the
+        allocation-satisfaction series.
+        """
+        require_unit_interval(adequacy, "adequacy")
+        state = self._state(participant)
+        state.observations += 1
+        previous = state.satisfaction if state.satisfaction is not None else adequacy
+        state.satisfaction = clamp((1.0 - self.alpha) * previous + self.alpha * adequacy)
+        state.window.append(adequacy)
+        while len(state.window) > self.window:
+            state.window.popleft()
+        if imposed:
+            state.imposed_observations += 1
+            previous_imposed = (
+                state.allocation_satisfaction
+                if state.allocation_satisfaction is not None
+                else adequacy
+            )
+            state.allocation_satisfaction = clamp(
+                (1.0 - self.alpha) * previous_imposed + self.alpha * adequacy
+            )
+            state.imposed_window.append(adequacy)
+            while len(state.imposed_window) > self.window:
+                state.imposed_window.popleft()
+
+    # -- queries -----------------------------------------------------------
+
+    def participants(self) -> list:
+        return sorted(self._states)
+
+    def observation_count(self, participant: str) -> int:
+        return self._states.get(participant, _ParticipantState()).observations
+
+    def satisfaction(self, participant: str) -> float:
+        """Long-run satisfaction; participants never observed get the prior."""
+        state = self._states.get(participant)
+        if state is None or state.satisfaction is None:
+            return self.initial
+        return state.satisfaction
+
+    def allocation_satisfaction(self, participant: str) -> float:
+        """Long-run satisfaction restricted to imposed decisions."""
+        state = self._states.get(participant)
+        if state is None or state.allocation_satisfaction is None:
+            return self.satisfaction(participant)
+        return state.allocation_satisfaction
+
+    def windowed_satisfaction(self, participant: str) -> float:
+        """Mean adequacy over the sliding window (recent regime)."""
+        state = self._states.get(participant)
+        if state is None or not state.window:
+            return self.initial
+        return mean(state.window)
+
+    def all_satisfactions(self) -> Dict[str, float]:
+        return {participant: self.satisfaction(participant) for participant in self._states}
+
+    def dissatisfied(self, threshold: float = 0.4) -> list:
+        """Participants whose satisfaction is below the threshold.
+
+        "The satisfaction of participants may have a deep impact on the
+        system, because they may decide whether to stay or to leave the
+        system based on it" — this is the leave-candidate set.
+        """
+        require_unit_interval(threshold, "threshold")
+        return [
+            participant
+            for participant in sorted(self._states)
+            if self.satisfaction(participant) < threshold
+        ]
+
+    def reset(self) -> None:
+        self._states.clear()

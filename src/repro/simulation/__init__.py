@@ -1,0 +1,67 @@
+"""Peer-to-peer interaction simulation.
+
+The paper argues for fully decentralized social systems whose participants
+are "autonomous and potentially untrusted".  This subpackage provides the
+controlled substrate on which reputation, privacy and satisfaction are
+measured:
+
+* :mod:`repro.simulation.rng` — seeded random streams so every experiment is
+  reproducible;
+* :mod:`repro.simulation.transaction` — transaction and feedback records;
+* :mod:`repro.simulation.peer` / :mod:`repro.simulation.adversary` — peer
+  behaviours (honest, malicious, selfish, traitor, whitewasher, colluder);
+* :mod:`repro.simulation.churn` — session churn;
+* :mod:`repro.simulation.events` / :mod:`repro.simulation.engine` — a small
+  discrete-event engine and the round-based interaction simulator built on it;
+* :mod:`repro.simulation.metrics` — measurement collection.
+"""
+
+from repro.simulation.adversary import (
+    BehaviorModel,
+    CollusiveBehavior,
+    HonestBehavior,
+    MaliciousBehavior,
+    SelfishBehavior,
+    TraitorBehavior,
+    WhitewasherBehavior,
+    behavior_for_user,
+)
+from repro.simulation.churn import ChurnModel, ChurnEvent
+from repro.simulation.engine import (
+    EventDrivenSimulator,
+    InteractionSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.metrics import MetricsCollector, RoundMetrics
+from repro.simulation.peer import Peer, PeerDirectory
+from repro.simulation.rng import RandomStreams
+from repro.simulation.transaction import Feedback, Transaction, TransactionOutcome
+
+__all__ = [
+    "BehaviorModel",
+    "ChurnEvent",
+    "ChurnModel",
+    "CollusiveBehavior",
+    "Event",
+    "EventDrivenSimulator",
+    "EventQueue",
+    "Feedback",
+    "HonestBehavior",
+    "InteractionSimulator",
+    "MaliciousBehavior",
+    "MetricsCollector",
+    "Peer",
+    "PeerDirectory",
+    "RandomStreams",
+    "RoundMetrics",
+    "SelfishBehavior",
+    "SimulationConfig",
+    "SimulationResult",
+    "TraitorBehavior",
+    "Transaction",
+    "TransactionOutcome",
+    "WhitewasherBehavior",
+    "behavior_for_user",
+]

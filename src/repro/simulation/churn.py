@@ -1,0 +1,56 @@
+"""Session churn: peers leaving and (re)joining over time.
+
+The paper lists churn among the "expected user behaviour" a reputation system
+must survive.  The model is deliberately simple — per-round independent
+leave/join probabilities — because the experiments only need churn as a
+stressor, not as an object of study.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro._util import require_unit_interval
+from repro.simulation.peer import Peer, PeerDirectory
+
+
+class ChurnEvent(enum.Enum):
+    """What happened to a peer during a churn step."""
+
+    LEFT = "left"
+    JOINED = "joined"
+
+
+@dataclass
+class ChurnModel:
+    """Independent per-round departure/return probabilities.
+
+    ``leave_probability`` applies to online peers, ``return_probability`` to
+    offline ones.  Setting both to zero disables churn entirely.
+    """
+
+    leave_probability: float = 0.0
+    return_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.leave_probability, "leave_probability")
+        require_unit_interval(self.return_probability, "return_probability")
+
+    def step(
+        self, directory: PeerDirectory, rng: random.Random
+    ) -> List[tuple[Peer, ChurnEvent]]:
+        """Apply one round of churn and return the per-peer events."""
+        events: List[tuple[Peer, ChurnEvent]] = []
+        for peer in directory.peers():
+            if peer.online:
+                if rng.random() < self.leave_probability:
+                    peer.online = False
+                    events.append((peer, ChurnEvent.LEFT))
+            else:
+                if rng.random() < self.return_probability:
+                    peer.online = True
+                    events.append((peer, ChurnEvent.JOINED))
+        return events

@@ -1,0 +1,373 @@
+"""The simulation engine.
+
+Two layers:
+
+* :class:`EventDrivenSimulator` — a generic discrete-event loop over the
+  :class:`~repro.simulation.events.EventQueue`;
+* :class:`InteractionSimulator` — the round-based peer-to-peer interaction
+  simulation used throughout the experiments, built on top of the event loop.
+
+Each round, every online peer may initiate a transaction with a provider
+chosen either at random among its candidates or through the reputation
+system's response policy; the provider serves well or badly according to its
+behaviour model; the consumer produces (possibly dishonest) feedback and
+discloses it to the reputation system with a probability driven by the
+system-wide *information-sharing level* and the peer's own privacy concern.
+Disclosed feedback is what the reputation mechanism sees and what the privacy
+ledger accounts for — this is the concrete coupling knob between the paper's
+reputation and privacy facets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro._util import require_unit_interval
+from repro.errors import ConfigurationError
+from repro.simulation.adversary import (
+    CollusiveBehavior,
+    WhitewasherBehavior,
+    behavior_for_user,
+)
+from repro.simulation.churn import ChurnModel
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.peer import Peer, PeerDirectory
+from repro.simulation.rng import RandomStreams
+from repro.simulation.transaction import Feedback, Transaction, TransactionOutcome
+from repro.socialnet.graph import SocialGraph
+
+
+class ReputationProtocol(Protocol):
+    """What the simulator needs from a reputation mechanism."""
+
+    def record_feedback(self, feedback: Feedback) -> None:
+        """Ingest one disclosed feedback report."""
+
+    def score(self, peer_id: str) -> float:
+        """Current reputation score of a peer in ``[0, 1]``."""
+
+
+#: Callback invoked for every feedback actually disclosed to the system.
+DisclosureObserver = Callable[[Feedback, Peer, Peer], None]
+
+
+class EventDrivenSimulator:
+    """A minimal discrete-event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule_at(self, time: float, action: Callable[[], None], *, priority: int = 0,
+                    label: str = "") -> None:
+        if time < self._now:
+            raise ConfigurationError("cannot schedule an event in the past")
+        self._queue.push(Event(time=time, priority=priority, action=action, label=label))
+
+    def schedule_in(self, delay: float, action: Callable[[], None], *, priority: int = 0,
+                    label: str = "") -> None:
+        self.schedule_at(self._now + delay, action, priority=priority, label=label)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Process events until the queue drains or the clock passes ``until``.
+
+        Returns the number of events processed.
+        """
+        processed = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            self._now = event.time
+            event.action()
+            processed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return processed
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters of one interaction-simulation run.
+
+    ``sharing_level`` is the paper's "quantity of shared information" knob
+    (σ): the base probability that a generated feedback is disclosed to the
+    reputation system.  ``anonymous_feedback`` switches to the
+    privacy-preserving reporting mode where the rater identity is withheld.
+    """
+
+    rounds: int = 50
+    sharing_level: float = 1.0
+    anonymous_feedback: bool = False
+    neighbor_only: bool = True
+    use_reputation_selection: bool = True
+    selection_exploration: float = 0.1
+    interactions_per_peer: float = 1.0
+    traitor_fraction: float = 0.0
+    whitewasher_fraction: float = 0.0
+    selfish_fraction: float = 0.0
+    collusion_fraction: float = 0.0
+    churn: ChurnModel = field(default_factory=ChurnModel)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0:
+            raise ConfigurationError("rounds must be non-negative")
+        require_unit_interval(self.sharing_level, "sharing_level")
+        require_unit_interval(self.selection_exploration, "selection_exploration")
+        require_unit_interval(self.traitor_fraction, "traitor_fraction")
+        require_unit_interval(self.whitewasher_fraction, "whitewasher_fraction")
+        require_unit_interval(self.selfish_fraction, "selfish_fraction")
+        require_unit_interval(self.collusion_fraction, "collusion_fraction")
+        if self.interactions_per_peer < 0:
+            raise ConfigurationError("interactions_per_peer must be non-negative")
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced, for downstream facet evaluation."""
+
+    config: SimulationConfig
+    directory: PeerDirectory
+    graph: SocialGraph
+    transactions: List[Transaction]
+    feedbacks: List[Feedback]
+    disclosed_feedbacks: List[Feedback]
+    metrics: MetricsCollector
+    ground_truth_honesty: Dict[str, float]
+
+    @property
+    def disclosure_rate(self) -> float:
+        if not self.feedbacks:
+            return 0.0
+        return len(self.disclosed_feedbacks) / len(self.feedbacks)
+
+
+class InteractionSimulator:
+    """Round-based peer-to-peer interaction simulation over a social graph."""
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        config: Optional[SimulationConfig] = None,
+        *,
+        reputation: Optional[ReputationProtocol] = None,
+        disclosure_observer: Optional[DisclosureObserver] = None,
+    ) -> None:
+        if len(graph) < 2:
+            raise ConfigurationError("the simulation needs at least two peers")
+        self.graph = graph
+        self.config = config or SimulationConfig()
+        self.reputation = reputation
+        self._disclosure_observer = disclosure_observer
+        self._streams = RandomStreams(self.config.seed)
+        self.directory = self._build_directory()
+        self.metrics = MetricsCollector()
+        self._transactions: List[Transaction] = []
+        self._feedbacks: List[Feedback] = []
+        self._disclosed: List[Feedback] = []
+        self._transaction_counter = 0
+        self._engine = EventDrivenSimulator()
+        #: Reputation snapshot taken once per round; selection and
+        #: whitewashing decisions read from it instead of querying the
+        #: mechanism per transaction (peers act on the scores published at
+        #: the start of the round, and recomputation happens once per round).
+        self._round_scores: Dict[str, float] = {}
+
+    # -- setup -------------------------------------------------------------
+
+    def _build_directory(self) -> PeerDirectory:
+        rng = self._streams.stream("behavior")
+        peers = []
+        for user in self.graph.users():
+            behavior = behavior_for_user(
+                user,
+                rng=rng,
+                traitor_fraction=self.config.traitor_fraction,
+                whitewasher_fraction=self.config.whitewasher_fraction,
+                selfish_fraction=self.config.selfish_fraction,
+            )
+            peers.append(Peer(user=user, behavior=behavior))
+        directory = PeerDirectory(peers)
+        self._setup_collusion(directory, rng)
+        return directory
+
+    def _setup_collusion(self, directory: PeerDirectory, rng) -> None:
+        """Convert part of the dishonest population into a collusion ring."""
+        if self.config.collusion_fraction <= 0.0:
+            return
+        dishonest = [p for p in directory.peers() if not p.user.is_honest]
+        if len(dishonest) < 2:
+            return
+        ring_size = max(2, int(round(self.config.collusion_fraction * len(dishonest))))
+        ring_members = rng.sample(dishonest, min(ring_size, len(dishonest)))
+        ring_ids = {p.peer_id for p in ring_members}
+        for peer in ring_members:
+            peer.behavior = CollusiveBehavior(ring=set(ring_ids - {peer.peer_id}))
+
+    # -- provider selection --------------------------------------------------
+
+    def _candidates(self, consumer: Peer) -> List[Peer]:
+        if self.config.neighbor_only:
+            neighbor_ids = self.graph.neighbors(consumer.base_id)
+            candidates = [self.directory.get(nid) for nid in neighbor_ids]
+        else:
+            candidates = self.directory.peers()
+        return [
+            peer
+            for peer in candidates
+            if peer.online and peer.base_id != consumer.base_id
+        ]
+
+    def _select_provider(self, consumer: Peer, candidates: List[Peer]) -> Peer:
+        rng = self._streams.stream("selection")
+        if (
+            self.reputation is None
+            or not self.config.use_reputation_selection
+            or rng.random() < self.config.selection_exploration
+        ):
+            return rng.choice(candidates)
+        default = getattr(self.reputation, "default_score", 0.5)
+        scored = [
+            (self._round_scores.get(peer.peer_id, default), rng.random(), peer)
+            for peer in candidates
+        ]
+        scored.sort(key=lambda item: (item[0], item[1]), reverse=True)
+        return scored[0][2]
+
+    # -- one round -----------------------------------------------------------
+
+    def _execute_transaction(self, consumer: Peer, provider: Peer, round_index: int) -> None:
+        rng = self._streams.stream("transactions")
+        self._transaction_counter += 1
+
+        if not provider.behavior.provides_service(provider.user, rng):
+            quality = 0.0
+        else:
+            quality = provider.behavior.serve_quality(provider.user, rng)
+        outcome = (
+            TransactionOutcome.SUCCESS if quality >= 0.5 else TransactionOutcome.FAILURE
+        )
+        transaction = Transaction(
+            transaction_id=self._transaction_counter,
+            time=round_index,
+            consumer=consumer.peer_id,
+            provider=provider.peer_id,
+            outcome=outcome,
+            quality=quality,
+        )
+        provider.served_count += 1
+        consumer.record_received(transaction.succeeded)
+        self._transactions.append(transaction)
+        self.metrics.record_transaction(transaction, provider.user.is_honest)
+
+        self._generate_feedback(consumer, provider, transaction, round_index)
+
+    def _generate_feedback(
+        self, consumer: Peer, provider: Peer, transaction: Transaction, round_index: int
+    ) -> None:
+        rng = self._streams.stream("feedback")
+        rating, truthful = consumer.behavior.rate_transaction(
+            consumer.user, transaction, rng
+        )
+        rater = None if self.config.anonymous_feedback else consumer.peer_id
+        feedback = Feedback(
+            transaction_id=transaction.transaction_id,
+            time=round_index,
+            subject=provider.peer_id,
+            rating=rating,
+            rater=rater,
+            truthful=truthful,
+        )
+        self._feedbacks.append(feedback)
+
+        disclose_probability = consumer.behavior.disclosure_probability(
+            consumer.user, self.config.sharing_level
+        )
+        disclosed = rng.random() < disclose_probability
+        self.metrics.record_feedback(feedback, disclosed)
+        if not disclosed:
+            return
+        self._disclosed.append(feedback)
+        if self.reputation is not None:
+            self.reputation.record_feedback(feedback)
+        if self._disclosure_observer is not None:
+            self._disclosure_observer(feedback, consumer, provider)
+
+    def _apply_whitewashing(self) -> None:
+        if self.reputation is None:
+            return
+        default = getattr(self.reputation, "default_score", 0.5)
+        for peer in self.directory.peers():
+            behavior = peer.behavior
+            if not isinstance(behavior, WhitewasherBehavior):
+                continue
+            current_score = self._round_scores.get(peer.peer_id, default)
+            if behavior.should_whitewash(current_score):
+                old_id = peer.peer_id
+                peer.new_identity()
+                behavior.note_whitewash()
+                self.directory.rebind_identity(peer, old_id)
+
+    def _run_round(self, round_index: int) -> None:
+        churn_rng = self._streams.stream("churn")
+        self.config.churn.step(self.directory, churn_rng)
+
+        online = self.directory.online_peers()
+        self.metrics.start_round(round_index, online_peers=len(online))
+
+        if self.reputation is not None:
+            if hasattr(self.reputation, "refresh"):
+                self._round_scores = dict(self.reputation.refresh())
+            elif hasattr(self.reputation, "scores"):
+                self._round_scores = dict(self.reputation.scores())
+
+        activity_rng = self._streams.stream("activity")
+        for consumer in online:
+            expected = consumer.user.activity * self.config.interactions_per_peer
+            n_interactions = int(expected) + (
+                1 if activity_rng.random() < (expected - int(expected)) else 0
+            )
+            for _ in range(n_interactions):
+                candidates = self._candidates(consumer)
+                if not candidates:
+                    continue
+                provider = self._select_provider(consumer, candidates)
+                self._execute_transaction(consumer, provider, round_index)
+
+        if self.reputation is not None and hasattr(self.reputation, "refresh"):
+            self._round_scores = dict(self.reputation.refresh())
+        self._apply_whitewashing()
+        self.metrics.end_round()
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run every configured round and return the collected result."""
+        for round_index in range(self.config.rounds):
+            self._engine.schedule_at(
+                float(round_index),
+                lambda idx=round_index: self._run_round(idx),
+                label=f"round-{round_index}",
+            )
+        self._engine.run()
+        ground_truth = {
+            peer.base_id: peer.user.honesty for peer in self.directory.peers()
+        }
+        return SimulationResult(
+            config=self.config,
+            directory=self.directory,
+            graph=self.graph,
+            transactions=list(self._transactions),
+            feedbacks=list(self._feedbacks),
+            disclosed_feedbacks=list(self._disclosed),
+            metrics=self.metrics,
+            ground_truth_honesty=ground_truth,
+        )

@@ -1,0 +1,56 @@
+"""A small discrete-event core: timestamped events and a priority queue.
+
+The round-based interaction simulator is built on this engine; having a real
+event queue also lets extensions (delayed feedback, message propagation
+latency, staggered churn) be added without restructuring the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """An event scheduled at ``time`` with a tie-breaking ``priority``."""
+
+    time: float
+    priority: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects.
+
+    Ties on time are broken by priority, then by insertion order, which keeps
+    runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, event.priority, next(self._counter), event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[-1]
+
+    def peek_time(self) -> Optional[float]:
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,121 @@
+"""Peers: the runtime counterpart of users inside the simulation.
+
+A :class:`Peer` couples a :class:`~repro.socialnet.user.User` with a
+:class:`~repro.simulation.adversary.BehaviorModel` and a bit of mutable state
+(online flag, identity generation for whitewashing, served/consumed counters).
+The :class:`PeerDirectory` tracks the live population, including identity
+changes, and is the single source of truth the engine, reputation systems and
+metrics consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import UnknownPeerError
+from repro.simulation.adversary import BehaviorModel, HonestBehavior
+from repro.socialnet.user import User
+
+
+@dataclass
+class Peer:
+    """Runtime state of one participant."""
+
+    user: User
+    behavior: BehaviorModel = field(default_factory=HonestBehavior)
+    online: bool = True
+    identity_generation: int = 0
+    served_count: int = 0
+    consumed_count: int = 0
+    good_received: int = 0
+    bad_received: int = 0
+
+    @property
+    def peer_id(self) -> str:
+        """Current network identity; changes when the peer whitewashes."""
+        if self.identity_generation == 0:
+            return self.user.user_id
+        return f"{self.user.user_id}#{self.identity_generation}"
+
+    @property
+    def base_id(self) -> str:
+        """Stable identifier of the underlying user (ground truth)."""
+        return self.user.user_id
+
+    def new_identity(self) -> str:
+        """Adopt a fresh identity (whitewashing) and return it."""
+        self.identity_generation += 1
+        return self.peer_id
+
+    def record_received(self, good: bool) -> None:
+        self.consumed_count += 1
+        if good:
+            self.good_received += 1
+        else:
+            self.bad_received += 1
+
+    @property
+    def observed_success_rate(self) -> float:
+        """Fraction of this peer's consumed transactions that went well."""
+        if self.consumed_count == 0:
+            return 0.0
+        return self.good_received / self.consumed_count
+
+
+class PeerDirectory:
+    """The live peer population, indexed both by current and by base identity."""
+
+    def __init__(self, peers: Optional[List[Peer]] = None) -> None:
+        self._by_base: Dict[str, Peer] = {}
+        self._current_to_base: Dict[str, str] = {}
+        for peer in peers or []:
+            self.add(peer)
+
+    def add(self, peer: Peer) -> None:
+        self._by_base[peer.base_id] = peer
+        self._current_to_base[peer.peer_id] = peer.base_id
+
+    def __len__(self) -> int:
+        return len(self._by_base)
+
+    def __iter__(self) -> Iterator[Peer]:
+        return iter(self._by_base.values())
+
+    def __contains__(self, peer_id: str) -> bool:
+        return peer_id in self._current_to_base or peer_id in self._by_base
+
+    def peers(self) -> List[Peer]:
+        return list(self._by_base.values())
+
+    def online_peers(self) -> List[Peer]:
+        return [peer for peer in self._by_base.values() if peer.online]
+
+    def get(self, peer_id: str) -> Peer:
+        """Look a peer up by current or base identity."""
+        base = self._current_to_base.get(peer_id, peer_id)
+        try:
+            return self._by_base[base]
+        except KeyError:
+            raise UnknownPeerError(peer_id) from None
+
+    def current_ids(self, *, online_only: bool = True) -> List[str]:
+        peers = self.online_peers() if online_only else self.peers()
+        return [peer.peer_id for peer in peers]
+
+    def rebind_identity(self, peer: Peer, old_id: str) -> None:
+        """Record that ``peer`` abandoned ``old_id`` for its current identity.
+
+        The old identity keeps resolving to the same peer: transactions and
+        feedback recorded under it must remain attributable to their ground-
+        truth user even after the whitewash (only the *reputation system* is
+        supposed to lose the link, not the simulator).
+        """
+        self._current_to_base[old_id] = peer.base_id
+        self._current_to_base[peer.peer_id] = peer.base_id
+
+    def honest_fraction(self) -> float:
+        if not self._by_base:
+            return 0.0
+        honest = sum(1 for peer in self._by_base.values() if peer.user.is_honest)
+        return honest / len(self._by_base)

@@ -1,0 +1,79 @@
+"""Transactions between peers and the feedback they generate.
+
+A *transaction* is one service interaction: a consumer asks a provider for a
+service and the provider serves it well or badly.  A *feedback* is the
+consumer's report about that transaction — possibly dishonest, possibly
+withheld (the information-sharing knob of the privacy/reputation tradeoff),
+and possibly anonymized.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._util import require_unit_interval
+from repro.errors import ConfigurationError
+
+
+class TransactionOutcome(enum.Enum):
+    """How a transaction actually went (ground truth known to the simulator)."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+
+    @property
+    def as_score(self) -> float:
+        """Numeric value used by reputation mechanisms (1 good, 0 bad)."""
+        return 1.0 if self is TransactionOutcome.SUCCESS else 0.0
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One completed transaction with its ground-truth outcome and quality."""
+
+    transaction_id: int
+    time: int
+    consumer: str
+    provider: str
+    outcome: TransactionOutcome
+    quality: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.consumer == self.provider:
+            raise ConfigurationError("a peer cannot transact with itself")
+        require_unit_interval(self.quality, "quality")
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is TransactionOutcome.SUCCESS
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """A consumer's report about a transaction.
+
+    ``rating`` is what the consumer *claims* (1.0 positive, 0.0 negative);
+    ``truthful`` records whether the claim matches the ground truth, which
+    only the simulator knows.  ``rater`` is ``None`` when the feedback was
+    submitted anonymously (the [2,4]-style privacy-preserving mode).
+    """
+
+    transaction_id: int
+    time: int
+    subject: str
+    rating: float
+    rater: Optional[str]
+    truthful: bool = True
+
+    def __post_init__(self) -> None:
+        require_unit_interval(self.rating, "rating")
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.rater is None
+
+    @property
+    def positive(self) -> bool:
+        return self.rating >= 0.5

@@ -1,0 +1,152 @@
+"""Users of the social network and their (sensitive) profile data.
+
+The privacy facet of the paper is about *personal data*: what a user shares,
+with whom and for which purpose.  To make that measurable we give each user a
+profile made of attributes with an explicit sensitivity level; the privacy
+subsystem then attaches privacy policies to attributes and the disclosure
+ledger accounts for every access.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro._util import require_unit_interval
+from repro.errors import ConfigurationError
+
+
+class AttributeSensitivity(enum.IntEnum):
+    """Coarse sensitivity classes for profile attributes.
+
+    The numeric values are ordered so that comparisons express "at least as
+    sensitive as"; the default exposure weight of an attribute grows with its
+    sensitivity.
+    """
+
+    PUBLIC = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+    CRITICAL = 4
+
+    @property
+    def exposure_weight(self) -> float:
+        """Weight used by privacy metrics when this attribute is disclosed."""
+        return {
+            AttributeSensitivity.PUBLIC: 0.0,
+            AttributeSensitivity.LOW: 0.25,
+            AttributeSensitivity.MEDIUM: 0.5,
+            AttributeSensitivity.HIGH: 0.75,
+            AttributeSensitivity.CRITICAL: 1.0,
+        }[self]
+
+
+@dataclass(frozen=True)
+class ProfileAttribute:
+    """A single named profile attribute with a value and a sensitivity."""
+
+    name: str
+    value: object
+    sensitivity: AttributeSensitivity = AttributeSensitivity.LOW
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("attribute name must not be empty")
+
+
+@dataclass
+class UserProfile:
+    """A collection of named attributes belonging to one user."""
+
+    attributes: Dict[str, ProfileAttribute] = field(default_factory=dict)
+
+    def add(self, attribute: ProfileAttribute) -> None:
+        """Add or replace an attribute."""
+        self.attributes[attribute.name] = attribute
+
+    def get(self, name: str) -> ProfileAttribute:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise ConfigurationError(f"profile has no attribute {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.attributes
+
+    def __iter__(self) -> Iterator[ProfileAttribute]:
+        return iter(self.attributes.values())
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def sensitive_attributes(
+        self, minimum: AttributeSensitivity = AttributeSensitivity.MEDIUM
+    ) -> list[ProfileAttribute]:
+        """Return the attributes whose sensitivity is at least ``minimum``."""
+        return [attr for attr in self if attr.sensitivity >= minimum]
+
+    def total_exposure_weight(self) -> float:
+        """Sum of exposure weights — the maximum possible disclosure cost."""
+        return sum(attr.sensitivity.exposure_weight for attr in self)
+
+
+def standard_profile(user_id: str, *, age: int = 30, city: str = "Nantes") -> UserProfile:
+    """Build the canonical synthetic profile used by generators and tests.
+
+    The attribute mix spans every sensitivity class so privacy experiments can
+    distinguish disclosing a display name from disclosing health data.
+    """
+    profile = UserProfile()
+    profile.add(ProfileAttribute("display_name", f"user-{user_id}", AttributeSensitivity.PUBLIC))
+    profile.add(ProfileAttribute("city", city, AttributeSensitivity.LOW))
+    profile.add(ProfileAttribute("age", age, AttributeSensitivity.MEDIUM))
+    profile.add(ProfileAttribute("email", f"{user_id}@example.org", AttributeSensitivity.MEDIUM))
+    profile.add(ProfileAttribute("relationship_status", "undisclosed", AttributeSensitivity.HIGH))
+    profile.add(ProfileAttribute("political_views", "undisclosed", AttributeSensitivity.CRITICAL))
+    profile.add(ProfileAttribute("health_record", "undisclosed", AttributeSensitivity.CRITICAL))
+    return profile
+
+
+@dataclass
+class User:
+    """A participant of the social network.
+
+    Behavioural parameters (``honesty``, ``competence``, ``activity``) drive
+    the simulation: honesty is the probability of serving a correct
+    transaction and reporting feedback truthfully; competence scales the
+    quality of provided answers; activity scales how often the user initiates
+    interactions.  ``privacy_concern`` in ``[0, 1]`` expresses how much the
+    user values non-disclosure and is used when translating disclosures into
+    privacy (dis)satisfaction.
+    """
+
+    user_id: str
+    profile: UserProfile = field(default_factory=UserProfile)
+    honesty: float = 1.0
+    competence: float = 0.8
+    activity: float = 0.5
+    privacy_concern: float = 0.5
+    community: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ConfigurationError("user_id must not be empty")
+        require_unit_interval(self.honesty, "honesty")
+        require_unit_interval(self.competence, "competence")
+        require_unit_interval(self.activity, "activity")
+        require_unit_interval(self.privacy_concern, "privacy_concern")
+
+    @property
+    def is_honest(self) -> bool:
+        """Whether the user is predominantly honest (honesty above one half)."""
+        return self.honesty >= 0.5
+
+    def __hash__(self) -> int:
+        return hash(self.user_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, User):
+            return NotImplemented
+        return self.user_id == other.user_id

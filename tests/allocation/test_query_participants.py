@@ -1,0 +1,115 @@
+"""Unit tests for queries, providers and consumers."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.allocation.participants import ConsumerAgent, ProviderAgent
+from repro.allocation.query import Query, QueryResult
+from repro.satisfaction.intentions import ConsumerIntention, ProviderIntention
+
+
+class TestQuery:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Query(query_id=1, consumer="c", topic="")
+        with pytest.raises(ConfigurationError):
+            Query(query_id=1, consumer="c", topic="music", cost=0.0)
+
+    def test_result_satisfactory_threshold(self):
+        query = Query(query_id=1, consumer="c", topic="music")
+        assert QueryResult(query=query, provider="p", quality=0.5).satisfactory
+        assert not QueryResult(query=query, provider="p", quality=0.49).satisfactory
+
+    def test_result_quality_validated(self):
+        query = Query(query_id=1, consumer="c", topic="music")
+        with pytest.raises(ConfigurationError):
+            QueryResult(query=query, provider="p", quality=1.2)
+
+
+def make_provider(capacity=5, competence=0.8) -> ProviderAgent:
+    return ProviderAgent(
+        provider_id="p",
+        intention=ProviderIntention("p"),
+        competence={"music": competence},
+        capacity_per_round=capacity,
+    )
+
+
+class TestProviderAgent:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProviderAgent(
+                provider_id="p", intention=ProviderIntention("p"), capacity_per_round=-1
+            )
+        with pytest.raises(ConfigurationError):
+            ProviderAgent(
+                provider_id="p", intention=ProviderIntention("p"), competence={"x": 1.5}
+            )
+
+    def test_competence_lookup_with_default(self):
+        provider = make_provider()
+        assert provider.competence_for("music") == 0.8
+        assert provider.competence_for("unknown") == provider.default_competence
+
+    def test_capacity_and_utilization(self):
+        provider = make_provider(capacity=4)
+        assert provider.has_capacity(4.0)
+        assert not provider.has_capacity(4.5)
+        provider.serve("music", 2.0, random.Random(0))
+        assert provider.utilization == 0.5
+        provider.end_round()
+        assert provider.utilization == 0.0
+
+    def test_zero_capacity_is_always_saturated(self):
+        provider = make_provider(capacity=0)
+        assert provider.utilization == 1.0
+        assert not provider.has_capacity(0.5)
+
+    def test_serve_returns_quality_near_competence(self):
+        provider = make_provider(capacity=100, competence=0.9)
+        rng = random.Random(1)
+        qualities = [provider.serve("music", 1.0, rng) for _ in range(20)]
+        assert 0.6 < sum(qualities) / len(qualities) <= 1.0
+        assert provider.treated_queries == 20
+
+    def test_overload_degrades_quality(self):
+        fresh = make_provider(capacity=10, competence=0.9)
+        overloaded = make_provider(capacity=10, competence=0.9)
+        rng = random.Random(2)
+        overloaded.current_load = 10.0
+        fresh_quality = sum(fresh.serve("music", 0.0001, rng) for _ in range(20)) / 20
+        overloaded_quality = sum(
+            overloaded.serve("music", 0.0001, rng) for _ in range(20)
+        ) / 20
+        assert overloaded_quality < fresh_quality
+
+
+class TestConsumerAgent:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConsumerAgent(consumer_id="c", intention=ConsumerIntention("c"), activity=1.5)
+
+    def test_note_result_updates_counts_and_preferences(self):
+        consumer = ConsumerAgent(
+            consumer_id="c",
+            intention=ConsumerIntention("c", preferences={"p": 0.5}),
+        )
+        consumer.submitted_queries = 2
+        consumer.note_result(0.9, "p")
+        consumer.note_result(0.1, "p")
+        assert consumer.satisfied_results == 1
+        assert consumer.observed_satisfaction_rate == 0.5
+        assert consumer.intention.preference("p") != 0.5
+
+    def test_note_result_without_learning(self):
+        consumer = ConsumerAgent(
+            consumer_id="c", intention=ConsumerIntention("c", preferences={"p": 0.5})
+        )
+        consumer.note_result(1.0, "p", learn=False)
+        assert consumer.intention.preference("p") == 0.5
+
+    def test_satisfaction_rate_without_queries(self):
+        consumer = ConsumerAgent(consumer_id="c", intention=ConsumerIntention("c"))
+        assert consumer.observed_satisfaction_rate == 0.0

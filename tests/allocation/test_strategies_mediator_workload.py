@@ -1,0 +1,237 @@
+"""Unit tests for allocation strategies, the mediator and workloads."""
+
+import random
+
+import pytest
+
+from repro.errors import AllocationError, ConfigurationError, UnknownPeerError
+from repro.allocation.mediator import QueryMediator
+from repro.allocation.participants import ConsumerAgent, ProviderAgent
+from repro.allocation.query import Query
+from repro.allocation.strategies import (
+    AllocationContext,
+    CapacityBasedAllocation,
+    QualityBasedAllocation,
+    RandomAllocation,
+    ReputationAwareAllocation,
+    SatisfactionBalancedAllocation,
+)
+from repro.allocation.workload import WorkloadGenerator, WorkloadSpec
+from repro.satisfaction.intentions import ConsumerIntention, ProviderIntention
+from repro.satisfaction.tracker import SatisfactionTracker
+
+
+def provider(provider_id: str, *, competence=0.8, capacity=10, load=0.0,
+             interest=0.5) -> ProviderAgent:
+    agent = ProviderAgent(
+        provider_id=provider_id,
+        intention=ProviderIntention(provider_id, default_interest=interest),
+        competence={"music": competence},
+        capacity_per_round=capacity,
+    )
+    agent.current_load = load
+    return agent
+
+
+def consumer(consumer_id: str, preferences=None) -> ConsumerAgent:
+    return ConsumerAgent(
+        consumer_id=consumer_id,
+        intention=ConsumerIntention(consumer_id, preferences=preferences or {}),
+    )
+
+
+def query(consumer_id="c", topic="music", cost=1.0, qid=1) -> Query:
+    return Query(query_id=qid, consumer=consumer_id, topic=topic, cost=cost)
+
+
+class TestStrategies:
+    def test_capacity_prefers_least_loaded(self):
+        context = AllocationContext()
+        chosen = CapacityBasedAllocation().allocate(
+            query(), consumer("c"),
+            [provider("busy", load=8.0), provider("idle", load=0.0)],
+            context,
+        )
+        assert chosen.provider_id == "idle"
+
+    def test_quality_prefers_most_competent(self):
+        context = AllocationContext()
+        chosen = QualityBasedAllocation().allocate(
+            query(), consumer("c"),
+            [provider("weak", competence=0.3), provider("expert", competence=0.95)],
+            context,
+        )
+        assert chosen.provider_id == "expert"
+
+    def test_reputation_prefers_reputable(self):
+        context = AllocationContext(reputation_scores={"shady": 0.1, "solid": 0.95})
+        chosen = ReputationAwareAllocation().allocate(
+            query(), consumer("c"), [provider("shady"), provider("solid")], context
+        )
+        assert chosen.provider_id == "solid"
+
+    def test_satisfaction_balanced_boosts_lagging_provider(self):
+        tracker = SatisfactionTracker()
+        tracker.observe("happy", 0.95)
+        tracker.observe("starved", 0.05)
+        context = AllocationContext(tracker=tracker)
+        chosen = SatisfactionBalancedAllocation().allocate(
+            query(), consumer("c"), [provider("happy"), provider("starved")], context
+        )
+        assert chosen.provider_id == "starved"
+
+    def test_allocation_skips_saturated_providers(self):
+        context = AllocationContext()
+        chosen = QualityBasedAllocation().allocate(
+            query(cost=5.0), consumer("c"),
+            [provider("full", competence=0.99, capacity=4), provider("free", competence=0.4)],
+            context,
+        )
+        assert chosen.provider_id == "free"
+
+    def test_allocation_fails_when_nobody_has_capacity(self):
+        context = AllocationContext()
+        with pytest.raises(AllocationError):
+            RandomAllocation().allocate(
+                query(cost=100.0), consumer("c"), [provider("p")], context
+            )
+
+    def test_random_is_seed_deterministic(self):
+        providers = [provider("a"), provider("b"), provider("c")]
+        first = RandomAllocation().allocate(
+            query(), consumer("c"), providers, AllocationContext(rng=random.Random(5))
+        )
+        second = RandomAllocation().allocate(
+            query(), consumer("c"), providers, AllocationContext(rng=random.Random(5))
+        )
+        assert first.provider_id == second.provider_id
+
+    def test_satisfaction_balanced_weight_validation(self):
+        with pytest.raises(AllocationError):
+            SatisfactionBalancedAllocation(
+                preference_weight=0.0, intention_weight=0.0, balance_weight=0.0
+            )
+
+
+class TestMediator:
+    def build(self, strategy=None) -> QueryMediator:
+        providers = [
+            provider("good", competence=0.9, interest=0.9),
+            provider("bad", competence=0.2, interest=0.1),
+        ]
+        consumers = [consumer("c", preferences={"good": 0.9, "bad": 0.1})]
+        return QueryMediator(providers, consumers, strategy=strategy, seed=1)
+
+    def test_requires_providers(self):
+        with pytest.raises(AllocationError):
+            QueryMediator([], [consumer("c")])
+
+    def test_submit_records_allocation_and_satisfaction(self):
+        mediator = self.build(QualityBasedAllocation())
+        result = mediator.submit(query(qid=1))
+        assert result is not None
+        assert result.provider == "good"
+        assert len(mediator.records) == 1
+        assert mediator.tracker.observation_count("c") == 1
+        assert mediator.tracker.observation_count("good") == 1
+
+    def test_unknown_consumer_rejected(self):
+        mediator = self.build()
+        with pytest.raises(UnknownPeerError):
+            mediator.submit(query(consumer_id="ghost"))
+
+    def test_unallocatable_query_counts_as_failure(self):
+        mediator = self.build()
+        outcome = mediator.submit(query(cost=1000.0))
+        assert outcome is None
+        assert mediator.failed_allocations == 1
+        assert mediator.tracker.satisfaction("c") < 0.5
+
+    def test_imposed_allocation_flagged(self):
+        mediator = self.build(QualityBasedAllocation())
+        mediator.providers["good"].intention.default_interest = 0.1
+        result = mediator.submit(query(qid=2))
+        assert result.imposed_on_provider
+
+    def test_end_round_resets_load(self):
+        mediator = self.build(QualityBasedAllocation())
+        mediator.submit(query(qid=3))
+        assert mediator.providers["good"].current_load > 0
+        mediator.end_round()
+        assert mediator.providers["good"].current_load == 0
+
+    def test_report_structure(self):
+        mediator = self.build(QualityBasedAllocation())
+        mediator.submit_batch([query(qid=i) for i in range(1, 6)])
+        report = mediator.report()
+        assert report.allocations == 5
+        assert 0.0 <= report.mean_quality <= 1.0
+        assert "c" in report.consumer_satisfaction
+        assert "good" in report.provider_satisfaction
+        assert "good" in report.provider_allocation_satisfaction
+
+    def test_set_reputation_scores(self):
+        mediator = self.build(ReputationAwareAllocation())
+        mediator.set_reputation_scores({"good": 0.1, "bad": 0.9})
+        result = mediator.submit(query(qid=9))
+        assert result.provider == "bad"
+
+
+class TestWorkload:
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(topics=())
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(topic_skew=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(cost_range=(0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(queries_per_consumer_per_round=-1)
+
+    def test_generator_requires_consumers(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(WorkloadSpec(), [])
+
+    def test_round_generation_counts(self):
+        generator = WorkloadGenerator(
+            WorkloadSpec(queries_per_consumer_per_round=2.0, seed=1), ["c1", "c2"]
+        )
+        batch = generator.round_queries(0)
+        assert len(batch) == 4
+        assert {q.consumer for q in batch} == {"c1", "c2"}
+
+    def test_query_ids_are_unique_across_rounds(self):
+        generator = WorkloadGenerator(WorkloadSpec(seed=2), ["c1", "c2", "c3"])
+        ids = [q.query_id for batch in generator.rounds(5) for q in batch]
+        assert len(ids) == len(set(ids))
+
+    def test_costs_within_range(self):
+        spec = WorkloadSpec(cost_range=(0.5, 1.5), seed=3)
+        generator = WorkloadGenerator(spec, ["c"])
+        for batch in generator.rounds(10):
+            for q in batch:
+                assert 0.5 <= q.cost <= 1.5
+
+    def test_skew_concentrates_on_first_topic(self):
+        uniform = WorkloadGenerator(
+            WorkloadSpec(topic_skew=0.0, queries_per_consumer_per_round=5, seed=4), ["c"]
+        )
+        skewed = WorkloadGenerator(
+            WorkloadSpec(topic_skew=1.0, queries_per_consumer_per_round=5, seed=4), ["c"]
+        )
+        first_topic = WorkloadSpec().topics[0]
+        count = {"uniform": 0, "skewed": 0}
+        for batch in uniform.rounds(30):
+            count["uniform"] += sum(1 for q in batch if q.topic == first_topic)
+        for batch in skewed.rounds(30):
+            count["skewed"] += sum(1 for q in batch if q.topic == first_topic)
+        assert count["skewed"] > count["uniform"]
+
+    def test_topic_distribution_sums_to_one(self):
+        generator = WorkloadGenerator(WorkloadSpec(topic_skew=0.5), ["c"])
+        assert sum(generator.topic_distribution().values()) == pytest.approx(1.0)
+
+    def test_negative_rounds_rejected(self):
+        generator = WorkloadGenerator(WorkloadSpec(), ["c"])
+        with pytest.raises(ConfigurationError):
+            list(generator.rounds(-1))

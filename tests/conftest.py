@@ -1,0 +1,114 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (generated graphs, full scenario runs) are session-scoped
+so the many tests that only *read* them do not pay for rebuilding them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import SystemSettings
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.simulation.transaction import Feedback
+from repro.socialnet.generators import SocialNetworkSpec, generate_social_network
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.user import User, standard_profile
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> SocialGraph:
+    """A 30-user Barabási–Albert graph with 20% malicious users."""
+    return generate_social_network(
+        SocialNetworkSpec(n_users=30, malicious_fraction=0.2, seed=5)
+    )
+
+
+@pytest.fixture(scope="session")
+def adversarial_graph() -> SocialGraph:
+    """A 40-user graph with a large (40%) malicious population."""
+    return generate_social_network(
+        SocialNetworkSpec(n_users=40, malicious_fraction=0.4, seed=9)
+    )
+
+
+@pytest.fixture()
+def tiny_graph() -> SocialGraph:
+    """A hand-built 4-user graph for precise assertions."""
+    users = [
+        User(user_id="alice", profile=standard_profile("alice"), honesty=0.95,
+             competence=0.9, activity=0.8, privacy_concern=0.3),
+        User(user_id="bob", profile=standard_profile("bob"), honesty=0.9,
+             competence=0.7, activity=0.6, privacy_concern=0.6),
+        User(user_id="carol", profile=standard_profile("carol"), honesty=0.85,
+             competence=0.8, activity=0.5, privacy_concern=0.9),
+        User(user_id="mallory", profile=standard_profile("mallory"), honesty=0.1,
+             competence=0.6, activity=0.9, privacy_concern=0.1),
+    ]
+    graph = SocialGraph(users)
+    graph.add_relationship("alice", "bob")
+    graph.add_relationship("alice", "carol")
+    graph.add_relationship("bob", "carol")
+    graph.add_relationship("carol", "mallory")
+    graph.add_relationship("alice", "mallory")
+    return graph
+
+
+@pytest.fixture(scope="session")
+def default_scenario_result():
+    """One full end-to-end scenario shared by read-only integration tests."""
+    config = ScenarioConfig(
+        n_users=35,
+        rounds=15,
+        seed=3,
+        malicious_fraction=0.25,
+        settings=SystemSettings(reputation_mechanism="eigentrust"),
+    )
+    return Scenario(config).run()
+
+
+def make_feedback(
+    subject: str,
+    rating: float,
+    *,
+    rater: str = "rater",
+    transaction_id: int = 1,
+    time: int = 0,
+    truthful: bool = True,
+) -> Feedback:
+    """Concise feedback factory used across reputation tests."""
+    return Feedback(
+        transaction_id=transaction_id,
+        time=time,
+        subject=subject,
+        rating=rating,
+        rater=rater,
+        truthful=truthful,
+    )
+
+
+@pytest.fixture()
+def feedback_factory():
+    """Factory fixture producing feedback with auto-incrementing ids."""
+    counter = {"next": 0}
+
+    def factory(subject: str, rating: float, *, rater: str = "rater", time: int = 0,
+                truthful: bool = True) -> Feedback:
+        counter["next"] += 1
+        return make_feedback(
+            subject,
+            rating,
+            rater=rater,
+            transaction_id=counter["next"],
+            time=time,
+            truthful=truthful,
+        )
+
+    return factory
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(1234)

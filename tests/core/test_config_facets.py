@@ -1,0 +1,117 @@
+"""Unit tests for system settings and facet scores."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.config import SystemSettings
+from repro.core.facets import (
+    FacetScores,
+    privacy_facet,
+    reputation_facet,
+    satisfaction_facet,
+)
+from repro.privacy.disclosure import DisclosureLedger, DisclosureRecord
+from repro.privacy.purposes import Purpose
+
+
+class TestSystemSettings:
+    def test_defaults_valid(self):
+        settings = SystemSettings()
+        assert settings.reputation_mechanism == "eigentrust"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemSettings(sharing_level=1.5)
+        with pytest.raises(ConfigurationError):
+            SystemSettings(reputation_mechanism="blockchain")
+        with pytest.raises(ConfigurationError):
+            SystemSettings(privacy_weight=-1.0)
+        with pytest.raises(ConfigurationError):
+            SystemSettings(privacy_weight=0, reputation_weight=0, satisfaction_weight=0)
+
+    def test_normalized_weights_sum_to_one(self):
+        settings = SystemSettings(privacy_weight=2.0, reputation_weight=1.0, satisfaction_weight=1.0)
+        weights = settings.normalized_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["privacy"] == pytest.approx(0.5)
+
+    def test_with_sharing_level_copies(self):
+        settings = SystemSettings(sharing_level=0.8)
+        changed = settings.with_sharing_level(0.2)
+        assert changed.sharing_level == 0.2
+        assert settings.sharing_level == 0.8
+        assert changed.reputation_mechanism == settings.reputation_mechanism
+
+    def test_with_mechanism(self):
+        assert SystemSettings().with_mechanism("beta").reputation_mechanism == "beta"
+
+    def test_describe_contains_settable_aspects(self):
+        description = SystemSettings().describe()
+        assert {"sharing_level", "reputation_mechanism", "weights"} <= set(description)
+
+    def test_settings_are_immutable(self):
+        with pytest.raises(AttributeError):
+            SystemSettings().sharing_level = 0.1
+
+
+class TestFacetScores:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FacetScores(privacy=1.2, reputation=0.5, satisfaction=0.5)
+
+    def test_meets_threshold(self):
+        scores = FacetScores(privacy=0.6, reputation=0.7, satisfaction=0.8)
+        assert scores.meets(0.6)
+        assert not scores.meets(0.65)
+
+    def test_weakest_facet(self):
+        scores = FacetScores(privacy=0.6, reputation=0.3, satisfaction=0.8)
+        assert scores.weakest_facet() == "reputation"
+
+    def test_as_dict_round_trip(self):
+        scores = FacetScores(privacy=0.1, reputation=0.2, satisfaction=0.3)
+        assert FacetScores(**scores.as_dict()) == scores
+
+
+class TestFacetComputations:
+    def test_privacy_facet_without_ledger_is_the_guarantee(self):
+        value = privacy_facet(sharing_level=0.0, information_requirement=0.9)
+        assert value == 1.0
+        assert privacy_facet(sharing_level=1.0, information_requirement=1.0) == 0.0
+
+    def test_privacy_facet_decreases_with_sharing(self):
+        high = privacy_facet(sharing_level=0.2, information_requirement=0.9)
+        low = privacy_facet(sharing_level=1.0, information_requirement=0.9)
+        assert high > low
+
+    def test_privacy_facet_with_ledger_blends_measured_outcomes(self):
+        ledger = DisclosureLedger()
+        ledger.record(
+            DisclosureRecord(
+                time=0, owner="alice", recipient="x", data_id="alice/a",
+                sensitivity=1.0, purpose=Purpose.COMMERCIAL, policy_compliant=False,
+            )
+        )
+        with_breach = privacy_facet(
+            sharing_level=0.5,
+            information_requirement=0.5,
+            ledger=ledger,
+            privacy_concerns={"alice": 1.0},
+        )
+        clean = privacy_facet(
+            sharing_level=0.5,
+            information_requirement=0.5,
+            ledger=DisclosureLedger(),
+            privacy_concerns={"alice": 1.0},
+        )
+        assert with_breach < clean
+
+    def test_reputation_facet_matches_power(self):
+        scores = {"good": 0.9, "bad": 0.1}
+        truth = {"good": 0.9, "bad": 0.1}
+        assert reputation_facet(scores, truth) > 0.7
+        assert reputation_facet({}, truth) <= 0.25
+
+    def test_satisfaction_facet_is_global_satisfaction(self):
+        assert satisfaction_facet({"a": 0.8, "b": 0.8}) == pytest.approx(0.8)
+        assert satisfaction_facet({}) == 0.0

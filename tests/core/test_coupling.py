@@ -1,0 +1,102 @@
+"""Unit tests for the Section-3 coupling dynamics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.coupling import (
+    STATE_VARIABLES,
+    CouplingDynamics,
+    CouplingState,
+    coupling_matrix,
+)
+
+
+class TestCouplingState:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CouplingState(trust=1.5)
+
+    def test_as_dict_and_distance(self):
+        state = CouplingState()
+        assert set(state.as_dict()) == set(STATE_VARIABLES)
+        other = CouplingState(trust=0.9)
+        assert state.distance(other) == pytest.approx(0.4)
+        assert state.distance(state) == 0.0
+
+
+class TestDynamics:
+    def test_damping_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CouplingDynamics(damping=0.0)
+
+    def test_step_keeps_state_in_bounds(self):
+        dynamics = CouplingDynamics()
+        state = CouplingState(trust=1.0, satisfaction=0.0, disclosure=1.0)
+        for _ in range(10):
+            state = dynamics.step(state)
+            for name in STATE_VARIABLES:
+                assert 0.0 <= getattr(state, name) <= 1.0
+
+    def test_run_converges_to_fixed_point(self):
+        dynamics = CouplingDynamics()
+        trajectory = dynamics.run(steps=500, tolerance=1e-9)
+        assert len(trajectory) < 501
+        last, previous = trajectory[-1], trajectory[-2]
+        assert last.distance(previous) < 1e-8
+
+    def test_equilibrium_independent_of_start(self):
+        dynamics = CouplingDynamics()
+        from_low = dynamics.equilibrium(CouplingState(trust=0.0, satisfaction=0.0))
+        from_high = dynamics.equilibrium(CouplingState(trust=1.0, satisfaction=1.0))
+        assert from_low.distance(from_high) < 1e-4
+
+    def test_run_validates_steps(self):
+        with pytest.raises(ConfigurationError):
+            CouplingDynamics().run(steps=0)
+
+    def test_better_mechanism_raises_equilibrium_trust(self):
+        weak = CouplingDynamics(mechanism_power=0.2).equilibrium()
+        strong = CouplingDynamics(mechanism_power=0.95).equilibrium()
+        assert strong.trust > weak.trust
+        assert strong.reputation_efficiency > weak.reputation_efficiency
+
+    def test_sharing_level_trades_privacy_for_reputation(self):
+        closed = CouplingDynamics(sharing_level=0.1).equilibrium()
+        open_ = CouplingDynamics(sharing_level=1.0).equilibrium()
+        assert open_.reputation_efficiency > closed.reputation_efficiency
+        assert open_.privacy_satisfaction < closed.privacy_satisfaction
+
+    def test_policy_breaches_lower_satisfaction_and_trust(self):
+        respected = CouplingDynamics(policy_respect=1.0).equilibrium()
+        breached = CouplingDynamics(policy_respect=0.3).equilibrium()
+        assert breached.satisfaction < respected.satisfaction
+        assert breached.trust < respected.trust
+
+    def test_untrustworthy_majority_lowers_trust_not_contribution(self):
+        healthy = CouplingDynamics(trustworthy_fraction=0.9).equilibrium()
+        hostile = CouplingDynamics(trustworthy_fraction=0.2).equilibrium()
+        assert hostile.trust < healthy.trust
+        assert hostile.honest_contribution > 0.3
+
+
+class TestCouplingMatrix:
+    def test_matrix_covers_all_pairs(self):
+        matrix = coupling_matrix(CouplingDynamics())
+        assert set(matrix) == set(STATE_VARIABLES)
+        for source, row in matrix.items():
+            assert set(row) == set(STATE_VARIABLES) - {source}
+
+    def test_key_signs_match_the_paper(self):
+        matrix = coupling_matrix(CouplingDynamics())
+        assert matrix["satisfaction"]["trust"] > 0
+        assert matrix["trust"]["satisfaction"] > 0
+        assert matrix["reputation_efficiency"]["trust"] > 0
+        assert matrix["trust"]["honest_contribution"] > 0
+        assert matrix["disclosure"]["privacy_satisfaction"] < 0
+        assert matrix["disclosure"]["reputation_efficiency"] > 0
+        assert matrix["privacy_satisfaction"]["satisfaction"] > 0
+        assert matrix["trust"]["disclosure"] > 0
+
+    def test_perturbation_validated(self):
+        with pytest.raises(ConfigurationError):
+            coupling_matrix(CouplingDynamics(), perturbation=1.5)

@@ -1,0 +1,127 @@
+"""Unit tests for the composite trust metric and the trust model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.config import SystemSettings
+from repro.core.facets import FacetScores
+from repro.core.metric import Aggregator, CompositeTrustMetric
+from repro.core.trust_model import TrustModel
+
+
+BALANCED = FacetScores(privacy=0.6, reputation=0.6, satisfaction=0.6)
+UNBALANCED = FacetScores(privacy=0.05, reputation=0.9, satisfaction=0.9)
+
+
+class TestCompositeTrustMetric:
+    def test_weighted_mean(self):
+        metric = CompositeTrustMetric(aggregator=Aggregator.WEIGHTED)
+        assert metric.trust(BALANCED) == pytest.approx(0.6)
+
+    def test_geometric_mean(self):
+        metric = CompositeTrustMetric(aggregator=Aggregator.GEOMETRIC)
+        assert metric.trust(BALANCED) == pytest.approx(0.6)
+        scores = FacetScores(privacy=0.25, reputation=1.0, satisfaction=1.0)
+        assert metric.trust(scores) == pytest.approx(0.25 ** (1 / 3))
+
+    def test_minimum(self):
+        metric = CompositeTrustMetric(aggregator=Aggregator.MINIMUM)
+        assert metric.trust(UNBALANCED) == pytest.approx(0.05)
+
+    def test_owa_orders_values(self):
+        metric = CompositeTrustMetric(
+            aggregator=Aggregator.OWA, owa_weights=(1.0, 0.0, 0.0)
+        )
+        assert metric.trust(UNBALANCED) == pytest.approx(0.05)
+        metric_top = CompositeTrustMetric(
+            aggregator=Aggregator.OWA, owa_weights=(0.0, 0.0, 1.0)
+        )
+        assert metric_top.trust(UNBALANCED) == pytest.approx(0.9)
+
+    def test_zero_facet_kills_geometric_but_not_weighted(self):
+        zeroed = FacetScores(privacy=0.0, reputation=0.9, satisfaction=0.9)
+        geometric = CompositeTrustMetric(aggregator=Aggregator.GEOMETRIC).trust(zeroed)
+        weighted = CompositeTrustMetric(aggregator=Aggregator.WEIGHTED).trust(zeroed)
+        assert geometric < 0.01
+        assert weighted == pytest.approx(0.6)
+
+    def test_weights_change_emphasis(self):
+        privacy_heavy = CompositeTrustMetric(
+            aggregator=Aggregator.WEIGHTED,
+            weights={"privacy": 8.0, "reputation": 1.0, "satisfaction": 1.0},
+        )
+        assert privacy_heavy.trust(UNBALANCED) < 0.35
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeTrustMetric(weights={"privacy": 1.0, "reputation": 1.0})
+
+    def test_bad_owa_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeTrustMetric(owa_weights=(0.5, 0.5))
+
+    def test_monotonicity_in_each_facet(self):
+        for aggregator in Aggregator:
+            metric = CompositeTrustMetric(aggregator=aggregator)
+            base = FacetScores(privacy=0.4, reputation=0.5, satisfaction=0.6)
+            improved = FacetScores(privacy=0.6, reputation=0.5, satisfaction=0.6)
+            assert metric.trust(improved) >= metric.trust(base)
+
+    def test_contributions_identify_the_binding_facet(self):
+        metric = CompositeTrustMetric(aggregator=Aggregator.WEIGHTED)
+        contributions = metric.contributions(UNBALANCED)
+        assert set(contributions) == {"privacy", "reputation", "satisfaction"}
+        assert contributions["reputation"] > contributions["privacy"]
+
+    def test_describe(self):
+        description = CompositeTrustMetric().describe()
+        assert description["aggregator"] == "geometric"
+        assert sum(description["weights"].values()) == pytest.approx(1.0)
+
+
+class TestTrustModel:
+    def test_evaluate_produces_bounded_trust_and_area_flag(self):
+        model = TrustModel(SystemSettings(area_a_threshold=0.5))
+        report = model.evaluate(BALANCED)
+        assert 0.0 <= report.global_trust <= 1.0
+        assert report.in_area_a
+        assert report.facets == BALANCED
+        assert set(report.contributions) == {"privacy", "reputation", "satisfaction"}
+
+    def test_area_a_requires_every_facet(self):
+        model = TrustModel(SystemSettings(area_a_threshold=0.5))
+        assert not model.evaluate(UNBALANCED).in_area_a
+
+    def test_per_user_trust(self):
+        model = TrustModel()
+        report = model.evaluate(
+            BALANCED,
+            per_user_facets={
+                "alice": FacetScores(privacy=0.9, reputation=0.9, satisfaction=0.9),
+                "bob": FacetScores(privacy=0.1, reputation=0.1, satisfaction=0.1),
+            },
+        )
+        assert report.per_user_trust["alice"] > report.per_user_trust["bob"]
+        assert 0.0 <= report.mean_user_trust <= 1.0
+
+    def test_mean_user_trust_defaults_to_global(self):
+        report = TrustModel().evaluate(BALANCED)
+        assert report.mean_user_trust == report.global_trust
+
+    def test_untrustworthy_majority_caps_reputation(self):
+        model = TrustModel()
+        accurate = FacetScores(privacy=0.7, reputation=0.95, satisfaction=0.7)
+        healthy = model.evaluate(accurate, trustworthy_fraction=0.9)
+        hostile = model.evaluate(accurate, trustworthy_fraction=0.3)
+        assert hostile.facets.reputation == pytest.approx(0.3)
+        assert hostile.global_trust < healthy.global_trust
+
+    def test_limiting_facet_named(self):
+        report = TrustModel(aggregator=Aggregator.WEIGHTED).evaluate(UNBALANCED)
+        assert report.limiting_facet() in {"privacy", "reputation", "satisfaction"}
+
+    def test_weights_come_from_settings(self):
+        settings = SystemSettings(privacy_weight=5.0, reputation_weight=1.0, satisfaction_weight=1.0)
+        report = TrustModel(settings, aggregator=Aggregator.WEIGHTED).evaluate(UNBALANCED)
+        uniform = TrustModel(aggregator=Aggregator.WEIGHTED).evaluate(UNBALANCED)
+        assert report.global_trust < uniform.global_trust

@@ -1,0 +1,106 @@
+"""Unit tests for the Section-4 settings optimizer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.config import SystemSettings
+from repro.core.facets import FacetScores
+from repro.core.optimizer import (
+    FacetConstraints,
+    TrustOptimizer,
+)
+from repro.core.tradeoff import SettingsExplorer
+
+
+class TestFacetConstraints:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FacetConstraints(min_privacy=1.5)
+
+    def test_satisfaction_check_and_violations(self):
+        constraints = FacetConstraints(min_privacy=0.5, min_reputation=0.4)
+        good = FacetScores(privacy=0.6, reputation=0.5, satisfaction=0.1)
+        bad = FacetScores(privacy=0.2, reputation=0.5, satisfaction=0.9)
+        assert constraints.satisfied_by(good)
+        assert not constraints.satisfied_by(bad)
+        assert constraints.violations(bad) == ["privacy"]
+        assert constraints.violations(good) == []
+
+
+class TestTrustOptimizer:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrustOptimizer(coarse_resolution=1)
+        with pytest.raises(ConfigurationError):
+            TrustOptimizer(refine_rounds=-1)
+        with pytest.raises(ConfigurationError):
+            TrustOptimizer(mechanisms=())
+
+    def test_unconstrained_search_finds_a_setting(self):
+        result = TrustOptimizer(refine_rounds=1).optimize()
+        assert result.found
+        assert result.evaluated == len(result.trace)
+        assert 0.0 <= result.best.trust <= 1.0
+        summary = result.summary()
+        assert summary["found"] is True
+        assert summary["reputation_mechanism"] in TrustOptimizer().mechanisms
+
+    def test_optimizer_matches_or_beats_the_plain_sweep(self):
+        explorer = SettingsExplorer()
+        sweep_best = explorer.best(explorer.sweep_sharing_levels(resolution=41))
+        result = TrustOptimizer(refine_rounds=2).optimize()
+        assert result.best.trust >= sweep_best.trust - 1e-6
+
+    def test_constraints_are_respected_by_every_feasible_point(self):
+        constraints = FacetConstraints(min_privacy=0.6, min_reputation=0.5)
+        result = TrustOptimizer(refine_rounds=1).optimize(constraints)
+        assert result.found
+        for point in result.feasible:
+            assert point.facets.privacy >= 0.6
+            assert point.facets.reputation >= 0.5
+
+    def test_tight_privacy_constraint_lowers_the_chosen_sharing_level(self):
+        lax = TrustOptimizer(refine_rounds=1).optimize(FacetConstraints())
+        strict = TrustOptimizer(refine_rounds=1).optimize(
+            FacetConstraints(min_privacy=0.75)
+        )
+        assert strict.found
+        assert (
+            strict.best.settings.sharing_level <= lax.best.settings.sharing_level
+        )
+        assert strict.best.facets.privacy >= 0.75
+
+    def test_infeasible_constraints_report_no_solution(self):
+        impossible = FacetConstraints(
+            min_privacy=0.99, min_reputation=0.99, min_satisfaction=0.99
+        )
+        result = TrustOptimizer(refine_rounds=0).optimize(impossible)
+        assert not result.found
+        assert result.feasible == []
+        assert result.summary() == {"found": False, "evaluated": result.evaluated}
+        with pytest.raises(ConfigurationError):
+            result.best_settings()
+
+    def test_mechanism_restriction_is_honoured(self):
+        result = TrustOptimizer(mechanisms=("beta",), refine_rounds=0).optimize()
+        assert result.found
+        assert result.best.settings.reputation_mechanism == "beta"
+        assert all(
+            point.settings.reputation_mechanism == "beta" for point in result.trace
+        )
+
+    def test_anonymity_can_be_disallowed(self):
+        result = TrustOptimizer(allow_anonymous=False, refine_rounds=0).optimize()
+        assert all(not point.settings.anonymous_feedback for point in result.trace)
+
+    def test_custom_evaluator_is_used(self):
+        constant = FacetScores(privacy=0.9, reputation=0.9, satisfaction=0.9)
+        optimizer = TrustOptimizer(evaluator=lambda settings: constant, refine_rounds=0)
+        result = optimizer.optimize()
+        assert result.best.facets == constant
+
+    def test_base_settings_fields_are_preserved(self):
+        base = SystemSettings(privacy_weight=3.0, area_a_threshold=0.4)
+        result = TrustOptimizer(base_settings=base, refine_rounds=0).optimize()
+        assert result.best.settings.privacy_weight == 3.0
+        assert result.best.settings.area_a_threshold == 0.4

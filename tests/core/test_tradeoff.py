@@ -1,0 +1,142 @@
+"""Unit tests for the settings explorer and analytic facet model (Figure 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.config import SystemSettings
+from repro.core.facets import FacetScores
+from repro.core.metric import Aggregator
+from repro.core.tradeoff import (
+    MECHANISM_PROFILES,
+    AnalyticFacetModel,
+    SettingsExplorer,
+)
+
+
+class TestAnalyticFacetModel:
+    def test_every_known_mechanism_has_a_profile(self):
+        model = AnalyticFacetModel()
+        for mechanism in MECHANISM_PROFILES:
+            facets = model(SystemSettings(reputation_mechanism=mechanism))
+            assert isinstance(facets, FacetScores)
+
+    def test_unknown_mechanism_rejected(self):
+        model = AnalyticFacetModel(mechanism_profiles={"beta": (0.7, 0.3)})
+        with pytest.raises(ConfigurationError):
+            model.mechanism_profile("eigentrust")
+
+    def test_privacy_monotonically_non_increasing_in_sharing(self):
+        model = AnalyticFacetModel()
+        values = [
+            model(SystemSettings(sharing_level=level)).privacy
+            for level in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_reputation_monotonically_non_decreasing_in_sharing(self):
+        model = AnalyticFacetModel()
+        values = [
+            model(SystemSettings(sharing_level=level)).reputation
+            for level in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_anonymous_feedback_raises_privacy_and_lowers_reputation(self):
+        model = AnalyticFacetModel()
+        identified = model(SystemSettings(sharing_level=0.8, anonymous_feedback=False))
+        anonymous = model(SystemSettings(sharing_level=0.8, anonymous_feedback=True))
+        assert anonymous.privacy > identified.privacy
+        assert anonymous.reputation < identified.reputation
+
+    def test_stronger_mechanisms_need_more_information(self):
+        power_eigen, info_eigen = MECHANISM_PROFILES["eigentrust"]
+        power_avg, info_avg = MECHANISM_PROFILES["average"]
+        assert power_eigen > power_avg
+        assert info_eigen > info_avg
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AnalyticFacetModel(privacy_concern=1.5)
+        with pytest.raises(ConfigurationError):
+            AnalyticFacetModel(evidence_rate=0.0)
+
+
+class TestSettingsExplorer:
+    @pytest.fixture()
+    def sweep(self):
+        return SettingsExplorer().sweep_sharing_levels(resolution=21)
+
+    def test_sweep_covers_the_unit_interval(self, sweep):
+        assert sweep[0].sharing_level == 0.0
+        assert sweep[-1].sharing_level == 1.0
+        assert len(sweep) == 21
+
+    def test_resolution_validated(self):
+        with pytest.raises(ConfigurationError):
+            SettingsExplorer().sweep_sharing_levels(resolution=1)
+
+    def test_trust_is_single_peaked_at_an_interior_optimum(self, sweep):
+        best = SettingsExplorer.best(sweep)
+        assert 0.0 < best.sharing_level < 1.0
+
+    def test_best_of_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SettingsExplorer.best([])
+
+    def test_area_a_is_nonempty_and_excludes_extremes(self, sweep):
+        area = SettingsExplorer.area_a(sweep)
+        assert area
+        sharing_levels = {point.sharing_level for point in area}
+        assert 0.0 not in sharing_levels
+        assert all(point.facets.meets(0.5) for point in area)
+
+    def test_iso_satisfaction_pairs_exist(self):
+        explorer = SettingsExplorer()
+        points = explorer.sweep_sharing_levels(resolution=41)
+        pairs = explorer.iso_satisfaction_pairs(points)
+        assert pairs
+        first, second = pairs[0]
+        assert abs(first.facets.satisfaction - second.facets.satisfaction) <= 0.02
+        assert abs(first.sharing_level - second.sharing_level) > 0.1
+
+    def test_pareto_front_is_mutually_nondominated(self, sweep):
+        front = SettingsExplorer.pareto_front(sweep)
+        assert front
+        for candidate in front:
+            for other in front:
+                if other is candidate:
+                    continue
+                dominates = (
+                    other.facets.privacy >= candidate.facets.privacy
+                    and other.facets.reputation >= candidate.facets.reputation
+                    and other.facets.satisfaction >= candidate.facets.satisfaction
+                    and (
+                        other.facets.privacy > candidate.facets.privacy
+                        or other.facets.reputation > candidate.facets.reputation
+                        or other.facets.satisfaction > candidate.facets.satisfaction
+                    )
+                )
+                assert not dominates
+
+    def test_sweep_settings_accepts_explicit_grid(self):
+        explorer = SettingsExplorer()
+        grid = [SystemSettings(sharing_level=0.3), SystemSettings(sharing_level=0.9)]
+        points = explorer.sweep_settings(grid)
+        assert [point.sharing_level for point in points] == [0.3, 0.9]
+
+    def test_aggregator_changes_the_optimum(self):
+        sweep_geometric = SettingsExplorer(aggregator=Aggregator.GEOMETRIC).sweep_sharing_levels(
+            resolution=41
+        )
+        sweep_minimum = SettingsExplorer(aggregator=Aggregator.MINIMUM).sweep_sharing_levels(
+            resolution=41
+        )
+        best_geometric = SettingsExplorer.best(sweep_geometric)
+        best_minimum = SettingsExplorer.best(sweep_minimum)
+        assert best_minimum.sharing_level <= best_geometric.sharing_level
+
+    def test_custom_evaluator_is_used(self):
+        constant = FacetScores(privacy=0.5, reputation=0.5, satisfaction=0.5)
+        explorer = SettingsExplorer(evaluator=lambda settings: constant)
+        points = explorer.sweep_sharing_levels(resolution=3)
+        assert all(point.facets == constant for point in points)

@@ -1,0 +1,86 @@
+"""Integration tests for the end-to-end scenario harness."""
+
+import pytest
+
+from repro.core.config import SystemSettings
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import Scenario, ScenarioConfig
+
+
+class TestScenarioConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(n_users=1)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(rounds=0)
+
+
+class TestScenarioRun:
+    def test_facets_and_trust_are_bounded(self, default_scenario_result):
+        result = default_scenario_result
+        for value in result.facets.as_dict().values():
+            assert 0.0 <= value <= 1.0
+        assert 0.0 <= result.trust.global_trust <= 1.0
+        assert 0.0 <= result.reputation_accuracy <= 1.0
+
+    def test_per_user_facets_cover_population(self, default_scenario_result):
+        result = default_scenario_result
+        assert set(result.per_user_facets) == set(result.graph.user_ids())
+        assert set(result.trust.per_user_trust) == set(result.graph.user_ids())
+
+    def test_ledger_tracks_disclosed_feedback(self, default_scenario_result):
+        result = default_scenario_result
+        # Two ledger entries (rater + subject) per disclosed feedback report.
+        assert len(result.ledger) == 2 * len(result.simulation.disclosed_feedbacks)
+
+    def test_reputation_scores_only_for_participants(self, default_scenario_result):
+        result = default_scenario_result
+        assert result.reputation_scores
+        known = set(result.graph.user_ids())
+        base_ids = {peer_id.split("#")[0] for peer_id in result.reputation_scores}
+        assert base_ids <= known
+
+    def test_satisfaction_tracker_observed_consumers(self, default_scenario_result):
+        result = default_scenario_result
+        assert result.tracker.participants()
+
+    def test_priserv_holds_every_profile_attribute(self, default_scenario_result):
+        result = default_scenario_result
+        expected = sum(len(user.profile) for user in result.graph.users())
+        assert len(result.priserv.published_items()) == expected
+
+    def test_reproducible_for_same_seed(self):
+        config = ScenarioConfig(n_users=20, rounds=8, seed=11)
+        first = Scenario(config).run()
+        second = Scenario(ScenarioConfig(n_users=20, rounds=8, seed=11)).run()
+        assert first.trust.global_trust == pytest.approx(second.trust.global_trust)
+        assert first.facets == second.facets
+
+    def test_mechanism_none_disables_reputation(self):
+        config = ScenarioConfig(
+            n_users=20, rounds=6, seed=2,
+            settings=SystemSettings(reputation_mechanism="none"),
+        )
+        result = Scenario(config).run()
+        assert result.reputation_system is None
+        assert result.reputation_scores == {}
+        assert result.facets.reputation == 0.0
+
+    def test_anonymous_feedback_wraps_mechanism(self):
+        config = ScenarioConfig(
+            n_users=20, rounds=6, seed=2,
+            settings=SystemSettings(anonymous_feedback=True),
+        )
+        result = Scenario(config).run()
+        assert type(result.reputation_system).__name__ == "AnonymousFeedbackReputation"
+        assert all(f.rater is None for f in result.simulation.feedbacks)
+
+    def test_zero_sharing_means_no_disclosures(self):
+        config = ScenarioConfig(
+            n_users=20, rounds=6, seed=2,
+            settings=SystemSettings(sharing_level=0.0),
+        )
+        result = Scenario(config).run()
+        assert result.simulation.disclosed_feedbacks == []
+        assert len(result.ledger) == 0
+        assert result.facets.privacy > 0.8

@@ -1,0 +1,103 @@
+"""End-to-end integration tests crossing every subsystem boundary."""
+
+import pytest
+
+from repro import quick_scenario
+from repro.core.config import SystemSettings
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.privacy.oecd import check_compliance
+
+
+class TestQuickScenario:
+    def test_public_quickstart_entry_point(self):
+        result = quick_scenario(n_users=25, rounds=10, seed=1)
+        assert 0.0 <= result.trust.global_trust <= 1.0
+        assert len(result.simulation.transactions) > 0
+
+
+class TestCrossSubsystemConsistency:
+    def test_facets_reflect_sharing_level_end_to_end(self):
+        """The Figure-2 antagonism holds on full simulations, not just analytically."""
+        closed = Scenario(
+            ScenarioConfig(
+                n_users=30, rounds=20, seed=2, malicious_fraction=0.25,
+                settings=SystemSettings(sharing_level=0.15, reputation_mechanism="eigentrust"),
+            )
+        ).run()
+        open_ = Scenario(
+            ScenarioConfig(
+                n_users=30, rounds=20, seed=2, malicious_fraction=0.25,
+                settings=SystemSettings(sharing_level=1.0, reputation_mechanism="eigentrust"),
+            )
+        ).run()
+        assert closed.facets.privacy > open_.facets.privacy
+        assert closed.facets.reputation <= open_.facets.reputation
+        assert closed.simulation.disclosure_rate < open_.simulation.disclosure_rate
+
+    def test_reputation_improves_outcomes_under_attack(self):
+        no_reputation = Scenario(
+            ScenarioConfig(
+                n_users=30, rounds=20, seed=5, malicious_fraction=0.4,
+                settings=SystemSettings(reputation_mechanism="none"),
+            )
+        ).run()
+        with_reputation = Scenario(
+            ScenarioConfig(
+                n_users=30, rounds=20, seed=5, malicious_fraction=0.4,
+                settings=SystemSettings(reputation_mechanism="eigentrust"),
+            )
+        ).run()
+        assert (
+            with_reputation.malicious_interaction_rate
+            < no_reputation.malicious_interaction_rate
+        )
+        assert with_reputation.trust.global_trust > no_reputation.trust.global_trust
+
+    def test_priserv_compliance_check_runs_on_scenario_output(self, default_scenario_result):
+        report = check_compliance(default_scenario_result.priserv)
+        assert 0.0 <= report.overall <= 1.0
+
+    def test_per_user_trust_tracks_personal_experience(self, default_scenario_result):
+        result = default_scenario_result
+        # Dishonest users provide bad service but still receive service, so the
+        # population's trust should not be uniform.
+        trusts = list(result.trust.per_user_trust.values())
+        assert max(trusts) - min(trusts) > 0.01
+
+    def test_adversarial_population_lowers_global_trust(self):
+        healthy = Scenario(
+            ScenarioConfig(n_users=30, rounds=12, seed=6, malicious_fraction=0.05)
+        ).run()
+        hostile = Scenario(
+            ScenarioConfig(n_users=30, rounds=12, seed=6, malicious_fraction=0.6)
+        ).run()
+        assert hostile.trust.global_trust < healthy.trust.global_trust
+
+    def test_churn_and_adversaries_do_not_break_the_pipeline(self):
+        result = Scenario(
+            ScenarioConfig(
+                n_users=25,
+                rounds=15,
+                seed=7,
+                malicious_fraction=0.3,
+                traitor_fraction=0.3,
+                whitewasher_fraction=0.3,
+                selfish_fraction=0.2,
+                collusion_fraction=0.3,
+                churn_leave_probability=0.1,
+            )
+        ).run()
+        assert 0.0 <= result.trust.global_trust <= 1.0
+        assert result.simulation.metrics.total_transactions > 0
+
+
+@pytest.mark.parametrize("mechanism", ["average", "beta", "trustme", "eigentrust", "powertrust"])
+def test_every_mechanism_runs_end_to_end(mechanism):
+    result = Scenario(
+        ScenarioConfig(
+            n_users=20, rounds=8, seed=8,
+            settings=SystemSettings(reputation_mechanism=mechanism),
+        )
+    ).run()
+    assert result.reputation_scores
+    assert 0.0 <= result.facets.reputation <= 1.0

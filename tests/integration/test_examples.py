@@ -1,0 +1,22 @@
+"""The shipped examples must run to completion (they are documentation)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_four_examples_ship():
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs_and_prints(example, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(example)])
+    runpy.run_path(str(example), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output.splitlines()) > 3

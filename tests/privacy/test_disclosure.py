@@ -1,0 +1,83 @@
+"""Unit tests for the disclosure ledger."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy.disclosure import DisclosureLedger, DisclosureRecord
+from repro.privacy.purposes import Operation, Purpose
+
+
+def record(time=0, owner="alice", recipient="bob", data_id="alice/photo",
+           sensitivity=0.5, purpose=Purpose.SOCIAL_INTERACTION,
+           policy_compliant=True, retention_time=None) -> DisclosureRecord:
+    return DisclosureRecord(
+        time=time, owner=owner, recipient=recipient, data_id=data_id,
+        sensitivity=sensitivity, purpose=purpose,
+        policy_compliant=policy_compliant, retention_time=retention_time,
+    )
+
+
+def test_sensitivity_validated():
+    with pytest.raises(ConfigurationError):
+        record(sensitivity=1.5)
+
+
+def test_queries_by_owner_and_recipient():
+    ledger = DisclosureLedger()
+    ledger.record(record(owner="alice", recipient="bob"))
+    ledger.record(record(owner="carol", recipient="bob"))
+    assert len(ledger) == 2
+    assert len(ledger.by_owner("alice")) == 1
+    assert len(ledger.by_recipient("bob")) == 2
+    assert ledger.owners() == ["alice", "carol"]
+
+
+def test_violations_and_compliance_rate():
+    ledger = DisclosureLedger()
+    ledger.record(record(policy_compliant=True))
+    ledger.record(record(policy_compliant=False))
+    assert len(ledger.violations()) == 1
+    assert ledger.compliance_rate() == 0.5
+    assert DisclosureLedger().compliance_rate() == 1.0
+
+
+def test_exposure_is_sensitivity_weighted():
+    ledger = DisclosureLedger()
+    ledger.record(record(sensitivity=0.2))
+    ledger.record(record(sensitivity=0.7))
+    assert ledger.exposure("alice") == pytest.approx(0.9)
+    assert ledger.exposure("nobody") == 0.0
+
+
+def test_retention_expiry():
+    ledger = DisclosureLedger()
+    ledger.record(record(time=0, retention_time=5))
+    ledger.record(record(time=0, retention_time=None))
+    assert len(ledger.active_records(now=3)) == 2
+    assert len(ledger.active_records(now=10)) == 1
+    assert len(ledger.expired_records(now=10)) == 1
+
+
+def test_exposure_honours_retention():
+    ledger = DisclosureLedger()
+    ledger.record(record(time=0, sensitivity=0.8, retention_time=5))
+    assert ledger.exposure("alice", now=2) == pytest.approx(0.8)
+    assert ledger.exposure("alice", now=20) == 0.0
+
+
+def test_distinct_recipients():
+    ledger = DisclosureLedger()
+    ledger.record(record(recipient="bob"))
+    ledger.record(record(recipient="bob"))
+    ledger.record(record(recipient="carol"))
+    assert ledger.distinct_recipients("alice") == 2
+
+
+def test_purpose_histogram():
+    ledger = DisclosureLedger()
+    ledger.record(record(purpose=Purpose.COMMERCIAL))
+    ledger.record(record(purpose=Purpose.COMMERCIAL))
+    ledger.record(record(purpose=Purpose.SOCIAL_INTERACTION, owner="carol"))
+    histogram = ledger.purpose_histogram()
+    assert histogram[Purpose.COMMERCIAL] == 2
+    assert ledger.purpose_histogram(owner="carol") == {Purpose.SOCIAL_INTERACTION: 1}

@@ -1,0 +1,105 @@
+"""Unit tests for access-term negotiation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy.negotiation import NegotiationEngine, Proposal
+from repro.privacy.policy import (
+    Audience,
+    Obligation,
+    PolicyRule,
+    PrivacyPolicy,
+)
+from repro.privacy.purposes import Operation, Purpose
+
+
+def make_policy(**rule_kwargs) -> PrivacyPolicy:
+    defaults = dict(
+        audience=Audience.ANYONE,
+        operations={Operation.READ},
+        purposes={Purpose.SOCIAL_INTERACTION},
+    )
+    defaults.update(rule_kwargs)
+    return PrivacyPolicy(owner="alice", default_rule=PolicyRule(**defaults))
+
+
+def make_proposal(**overrides) -> Proposal:
+    defaults = dict(
+        requester="bob",
+        owner="alice",
+        data_id="alice/photo",
+        operation=Operation.READ,
+        purpose=Purpose.SOCIAL_INTERACTION,
+        requester_trust=0.8,
+        is_friend=True,
+    )
+    defaults.update(overrides)
+    return Proposal(**defaults)
+
+
+def test_immediate_agreement():
+    outcome = NegotiationEngine().negotiate(make_proposal(), make_policy())
+    assert outcome.agreed
+    assert outcome.rounds == 1
+
+
+def test_concedes_missing_obligations():
+    policy = make_policy(obligations={Obligation.NO_REDISTRIBUTION})
+    outcome = NegotiationEngine().negotiate(make_proposal(), policy)
+    assert outcome.agreed
+    assert outcome.rounds == 2
+    assert Obligation.NO_REDISTRIBUTION in outcome.final_proposal.accepted_obligations
+
+
+def test_concedes_purpose():
+    policy = make_policy(purposes={Purpose.SOCIAL_INTERACTION})
+    outcome = NegotiationEngine().negotiate(
+        make_proposal(purpose=Purpose.COMMERCIAL), policy
+    )
+    assert outcome.agreed
+    assert outcome.final_proposal.purpose is Purpose.SOCIAL_INTERACTION
+
+
+def test_concedes_operation():
+    policy = make_policy(operations={Operation.READ})
+    outcome = NegotiationEngine().negotiate(
+        make_proposal(operation=Operation.DISCLOSE), policy
+    )
+    assert outcome.agreed
+    assert outcome.final_proposal.operation is Operation.READ
+
+
+def test_non_negotiable_denial_fails_fast():
+    policy = make_policy(audience=Audience.NOBODY)
+    outcome = NegotiationEngine().negotiate(make_proposal(), policy)
+    assert not outcome.agreed
+    assert outcome.rounds == 1
+
+
+def test_insufficient_trust_cannot_be_negotiated():
+    policy = make_policy(minimum_trust=0.99)
+    outcome = NegotiationEngine().negotiate(make_proposal(requester_trust=0.2), policy)
+    assert not outcome.agreed
+
+
+def test_missing_rule_fails():
+    policy = PrivacyPolicy(owner="alice")
+    outcome = NegotiationEngine().negotiate(make_proposal(), policy)
+    assert not outcome.agreed
+
+
+def test_trace_records_every_round():
+    policy = make_policy(
+        obligations={Obligation.NO_REDISTRIBUTION},
+        purposes={Purpose.SOCIAL_INTERACTION},
+    )
+    outcome = NegotiationEngine().negotiate(
+        make_proposal(purpose=Purpose.COMMERCIAL), policy
+    )
+    assert outcome.agreed
+    assert len(outcome.trace) == outcome.rounds
+
+
+def test_max_rounds_validated():
+    with pytest.raises(ConfigurationError):
+        NegotiationEngine(max_rounds=0)

@@ -1,0 +1,160 @@
+"""Unit tests for OECD compliance, privacy metrics and anonymization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy.anonymization import (
+    PseudonymManager,
+    anonymize_feedback,
+    generalize_age,
+    k_anonymous_groups,
+)
+from repro.privacy.disclosure import DisclosureLedger, DisclosureRecord
+from repro.privacy.metrics import (
+    exposure_level,
+    policy_respect_rate,
+    population_privacy_satisfaction,
+    privacy_guarantee_level,
+    privacy_satisfaction,
+)
+from repro.privacy.oecd import OECD_PRINCIPLES, OecdPrinciple, check_compliance
+from repro.privacy.policy import permissive_policy
+from repro.privacy.priserv import PriServService
+from repro.privacy.purposes import Purpose
+from tests.conftest import make_feedback
+
+
+def make_record(sensitivity=0.5, compliant=True, purpose=Purpose.SOCIAL_INTERACTION,
+                owner="alice"):
+    return DisclosureRecord(
+        time=0, owner=owner, recipient="bob", data_id=f"{owner}/x",
+        sensitivity=sensitivity, purpose=purpose, policy_compliant=compliant,
+    )
+
+
+class TestPrivacyMetrics:
+    def test_exposure_level_normalizes_and_saturates(self):
+        ledger = DisclosureLedger()
+        for _ in range(10):
+            ledger.record(make_record(sensitivity=1.0))
+        assert exposure_level(ledger, "alice", reference_exposure=20.0) == 0.5
+        assert exposure_level(ledger, "alice", reference_exposure=5.0) == 1.0
+        assert exposure_level(ledger, "nobody") == 0.0
+
+    def test_exposure_level_rejects_bad_reference(self):
+        with pytest.raises(ValueError):
+            exposure_level(DisclosureLedger(), "alice", reference_exposure=0.0)
+
+    def test_policy_respect_rate(self):
+        ledger = DisclosureLedger()
+        ledger.record(make_record(compliant=True))
+        ledger.record(make_record(compliant=False))
+        assert policy_respect_rate(ledger) == 0.5
+        assert policy_respect_rate(ledger, "nobody") == 1.0
+
+    def test_guarantee_decreases_with_sharing_and_requirement(self):
+        high = privacy_guarantee_level(0.2, 0.3)
+        low = privacy_guarantee_level(1.0, 0.9)
+        assert high > low
+        assert privacy_guarantee_level(0.0, 1.0) == 1.0
+
+    def test_anonymity_recovers_guarantee(self):
+        assert privacy_guarantee_level(1.0, 0.9, anonymous_feedback=True) > (
+            privacy_guarantee_level(1.0, 0.9)
+        )
+
+    def test_privacy_satisfaction_indifferent_user(self):
+        assert privacy_satisfaction(exposure=1.0, respect_rate=0.0, privacy_concern=0.0) == 1.0
+
+    def test_privacy_satisfaction_concerned_user(self):
+        bad = privacy_satisfaction(exposure=1.0, respect_rate=0.5, privacy_concern=1.0)
+        good = privacy_satisfaction(exposure=0.0, respect_rate=1.0, privacy_concern=1.0)
+        assert good == 1.0
+        assert bad < 0.5
+
+    def test_population_satisfaction_defaults_to_one(self):
+        assert population_privacy_satisfaction(DisclosureLedger(), {}) == 1.0
+        ledger = DisclosureLedger()
+        ledger.record(make_record(sensitivity=1.0, compliant=False))
+        value = population_privacy_satisfaction(ledger, {"alice": 0.9, "carol": 0.9})
+        assert 0.0 < value < 1.0
+
+
+class TestOecdCompliance:
+    def build_service(self, *, breaches=0) -> PriServService:
+        service = PriServService(peer_ids=["alice", "bob"], trust_oracle=lambda p: 0.9)
+        service.register_policy(permissive_policy("alice"))
+        service.publish("alice", "alice/city", "Nantes", sensitivity=0.2)
+        service.request("bob", "alice/city")
+        for _ in range(breaches):
+            service.record_breach("alice", "eve", "alice/city")
+        return service
+
+    def test_report_covers_every_principle(self):
+        report = check_compliance(self.build_service())
+        assert set(report.scores) == set(OECD_PRINCIPLES)
+        assert all(0.0 <= score <= 1.0 for score in report.scores.values())
+        assert 0.0 <= report.overall <= 1.0
+        assert len(report.as_rows()) == 8
+
+    def test_breaches_degrade_security_safeguards(self):
+        clean = check_compliance(self.build_service())
+        breached = check_compliance(self.build_service(breaches=5))
+        assert (
+            breached.scores[OecdPrinciple.SECURITY_SAFEGUARDS]
+            < clean.scores[OecdPrinciple.SECURITY_SAFEGUARDS]
+        )
+        assert breached.overall < clean.overall
+
+    def test_weakest_principle_identified(self):
+        report = check_compliance(self.build_service(breaches=10))
+        assert report.weakest() in set(OECD_PRINCIPLES)
+
+    def test_empty_service_is_compliant(self):
+        service = PriServService(peer_ids=["alice"])
+        assert check_compliance(service).overall == pytest.approx(1.0)
+
+
+class TestAnonymization:
+    def test_pseudonyms_are_stable_within_epoch(self):
+        manager = PseudonymManager()
+        assert manager.pseudonym("alice") == manager.pseudonym("alice")
+        assert manager.pseudonym("alice") != manager.pseudonym("bob")
+
+    def test_resolve_reverses_mapping(self):
+        manager = PseudonymManager()
+        pseudonym = manager.pseudonym("alice")
+        assert manager.resolve(pseudonym) == "alice"
+        with pytest.raises(ConfigurationError):
+            manager.resolve("p-unknown")
+
+    def test_rotation_unlinks_epochs(self):
+        manager = PseudonymManager()
+        before = manager.pseudonym("alice")
+        manager.rotate()
+        after = manager.pseudonym("alice")
+        assert before != after
+        assert manager.epoch == 1
+
+    def test_generalize_age(self):
+        assert generalize_age(34) == "30-39"
+        assert generalize_age(34, bucket_size=5) == "30-34"
+        with pytest.raises(ConfigurationError):
+            generalize_age(-1)
+        with pytest.raises(ConfigurationError):
+            generalize_age(30, bucket_size=0)
+
+    def test_k_anonymous_groups(self):
+        values = ["30-39", "30-39", "40-49", "30-39"]
+        groups = k_anonymous_groups(values, k=2)
+        assert list(groups) == ["30-39"]
+        assert groups["30-39"] == [0, 1, 3]
+        with pytest.raises(ConfigurationError):
+            k_anonymous_groups(values, k=0)
+
+    def test_anonymize_feedback_strips_raters_only(self):
+        original = [make_feedback("bob", 1.0, rater="alice", transaction_id=1)]
+        anonymized = anonymize_feedback(original)
+        assert anonymized[0].rater is None
+        assert anonymized[0].rating == 1.0
+        assert anonymized[0].subject == "bob"

@@ -1,0 +1,175 @@
+"""Unit tests for P3P-inspired privacy policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy.policy import (
+    AccessDecision,
+    AccessRequest,
+    Audience,
+    Obligation,
+    PolicyRule,
+    PrivacyPolicy,
+    permissive_policy,
+    restrictive_policy,
+)
+from repro.privacy.purposes import Operation, Purpose
+
+
+def make_request(**overrides) -> AccessRequest:
+    defaults = dict(
+        requester="bob",
+        owner="alice",
+        data_id="alice/photo",
+        operation=Operation.READ,
+        purpose=Purpose.SOCIAL_INTERACTION,
+        requester_trust=0.8,
+        is_friend=True,
+    )
+    defaults.update(overrides)
+    return AccessRequest(**defaults)
+
+
+class TestPolicyRule:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PolicyRule(minimum_trust=1.5)
+        with pytest.raises(ConfigurationError):
+            PolicyRule(retention_time=-1)
+        with pytest.raises(ConfigurationError):
+            PolicyRule(operations=set())
+        with pytest.raises(ConfigurationError):
+            PolicyRule(purposes=set())
+
+    def test_friend_audience(self):
+        rule = PolicyRule(audience=Audience.FRIENDS)
+        assert rule.evaluate(make_request(is_friend=True)).permitted
+        decision = rule.evaluate(make_request(is_friend=False))
+        assert not decision.permitted
+        assert "requester-not-authorized" in decision.reasons
+
+    def test_explicit_authorized_user_overrides_audience(self):
+        rule = PolicyRule(audience=Audience.NOBODY, authorized_users={"bob"})
+        assert rule.evaluate(make_request(is_friend=False)).permitted
+
+    def test_community_audience(self):
+        rule = PolicyRule(audience=Audience.COMMUNITY)
+        assert rule.evaluate(make_request(is_friend=False, same_community=True)).permitted
+        assert not rule.evaluate(
+            make_request(is_friend=False, same_community=False)
+        ).permitted
+
+    def test_anyone_audience(self):
+        rule = PolicyRule(audience=Audience.ANYONE)
+        assert rule.evaluate(make_request(is_friend=False)).permitted
+
+    def test_nobody_audience(self):
+        rule = PolicyRule(audience=Audience.NOBODY)
+        assert not rule.evaluate(make_request()).permitted
+
+    def test_operation_restriction(self):
+        rule = PolicyRule(operations={Operation.READ})
+        decision = rule.evaluate(make_request(operation=Operation.DISCLOSE))
+        assert not decision.permitted
+        assert "operation-not-allowed" in decision.reasons
+
+    def test_purpose_restriction(self):
+        rule = PolicyRule(purposes={Purpose.SOCIAL_INTERACTION})
+        decision = rule.evaluate(make_request(purpose=Purpose.COMMERCIAL))
+        assert not decision.permitted
+        assert "purpose-not-allowed" in decision.reasons
+
+    def test_minimum_trust(self):
+        rule = PolicyRule(minimum_trust=0.7)
+        assert rule.evaluate(make_request(requester_trust=0.7)).permitted
+        decision = rule.evaluate(make_request(requester_trust=0.3))
+        assert "insufficient-trust" in decision.reasons
+
+    def test_obligations_must_be_accepted(self):
+        rule = PolicyRule(obligations={Obligation.NOTIFY_OWNER})
+        denied = rule.evaluate(make_request())
+        assert "obligations-not-accepted" in denied.reasons
+        granted = rule.evaluate(
+            make_request(accepted_obligations=frozenset({Obligation.NOTIFY_OWNER}))
+        )
+        assert granted.permitted
+        assert granted.obligations == frozenset({Obligation.NOTIFY_OWNER})
+
+    def test_multiple_denial_reasons_accumulate(self):
+        rule = PolicyRule(
+            audience=Audience.NOBODY,
+            operations={Operation.READ},
+            purposes={Purpose.SOCIAL_INTERACTION},
+            minimum_trust=0.9,
+        )
+        decision = rule.evaluate(
+            make_request(
+                is_friend=False,
+                operation=Operation.DELETE,
+                purpose=Purpose.COMMERCIAL,
+                requester_trust=0.1,
+            )
+        )
+        assert len(decision.reasons) == 4
+
+    def test_permit_carries_retention_time(self):
+        rule = PolicyRule(retention_time=7)
+        assert rule.evaluate(make_request()).retention_time == 7
+
+
+class TestPrivacyPolicy:
+    def test_wrong_owner_denied(self):
+        policy = permissive_policy("alice")
+        decision = policy.evaluate(make_request(owner="eve", data_id="eve/photo"))
+        assert not decision.permitted
+        assert "wrong-owner" in decision.reasons
+
+    def test_no_rule_means_deny(self):
+        policy = PrivacyPolicy(owner="alice")
+        decision = policy.evaluate(make_request())
+        assert not decision.permitted
+        assert "no-applicable-rule" in decision.reasons
+
+    def test_specific_rule_overrides_default(self):
+        policy = permissive_policy("alice")
+        policy.set_rule("alice/photo", PolicyRule(audience=Audience.NOBODY))
+        assert not policy.evaluate(make_request()).permitted
+        assert policy.evaluate(make_request(data_id="alice/city")).permitted
+
+    def test_permissive_policy_allows_commercial_reads(self):
+        policy = permissive_policy("alice")
+        assert policy.evaluate(
+            make_request(purpose=Purpose.COMMERCIAL, is_friend=False)
+        ).permitted
+
+    def test_restrictive_policy_requires_trusted_friends_and_obligations(self):
+        policy = restrictive_policy("alice", minimum_trust=0.6)
+        denied = policy.evaluate(make_request(requester_trust=0.9))
+        assert not denied.permitted  # obligations not accepted
+        granted = policy.evaluate(
+            make_request(
+                requester_trust=0.9,
+                accepted_obligations=frozenset(
+                    {Obligation.DELETE_AFTER_RETENTION, Obligation.NO_REDISTRIBUTION}
+                ),
+            )
+        )
+        assert granted.permitted
+
+    def test_strictness_ordering(self):
+        assert restrictive_policy("alice").strictness() > permissive_policy("alice").strictness()
+
+    def test_strictness_empty_policy_is_maximal(self):
+        assert PrivacyPolicy(owner="alice").strictness() == 1.0
+
+
+class TestAccessDecisionHelpers:
+    def test_permit_and_deny_constructors(self):
+        assert AccessDecision.permit().permitted
+        denied = AccessDecision.deny("because")
+        assert not denied.permitted
+        assert denied.reasons == ("because",)
+
+    def test_request_validates_trust(self):
+        with pytest.raises(ConfigurationError):
+            make_request(requester_trust=1.2)

@@ -1,0 +1,111 @@
+"""Unit tests for policy-document serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy.policy import (
+    Audience,
+    Obligation,
+    PolicyRule,
+    PrivacyPolicy,
+    permissive_policy,
+    restrictive_policy,
+)
+from repro.privacy.policy_io import (
+    POLICY_DOCUMENT_VERSION,
+    policy_from_dict,
+    policy_from_json,
+    policy_to_dict,
+    policy_to_json,
+    rule_from_dict,
+    rule_to_dict,
+)
+from repro.privacy.purposes import Operation, Purpose
+
+
+def sample_policy() -> PrivacyPolicy:
+    policy = restrictive_policy("alice", minimum_trust=0.7)
+    policy.set_rule(
+        "alice/photo",
+        PolicyRule(
+            authorized_users={"bob"},
+            audience=Audience.COMMUNITY,
+            operations={Operation.READ, Operation.DISCLOSE},
+            purposes={Purpose.SOCIAL_INTERACTION, Purpose.RECOMMENDATION},
+            minimum_trust=0.2,
+            retention_time=30,
+            obligations={Obligation.NOTIFY_OWNER},
+        ),
+    )
+    return policy
+
+
+class TestRuleRoundTrip:
+    def test_round_trip_preserves_every_field(self):
+        rule = sample_policy().rules["alice/photo"]
+        restored = rule_from_dict(rule_to_dict(rule))
+        assert restored == rule
+
+    def test_defaults_fill_missing_fields(self):
+        rule = rule_from_dict({})
+        assert rule.audience is Audience.FRIENDS
+        assert rule.operations == {Operation.READ}
+
+    def test_invalid_enumeration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rule_from_dict({"operations": ["teleport"]})
+
+
+class TestPolicyRoundTrip:
+    def test_dict_round_trip(self):
+        policy = sample_policy()
+        restored = policy_from_dict(policy_to_dict(policy))
+        assert restored.owner == policy.owner
+        assert restored.rules == policy.rules
+        assert restored.default_rule == policy.default_rule
+
+    def test_json_round_trip_evaluates_identically(self):
+        policy = sample_policy()
+        restored = policy_from_json(policy_to_json(policy))
+        from repro.privacy.policy import AccessRequest
+
+        request = AccessRequest(
+            requester="bob",
+            owner="alice",
+            data_id="alice/photo",
+            operation=Operation.READ,
+            purpose=Purpose.SOCIAL_INTERACTION,
+            requester_trust=0.9,
+            is_friend=False,
+            same_community=True,
+            accepted_obligations=frozenset({Obligation.NOTIFY_OWNER}),
+        )
+        assert policy.evaluate(request).permitted == restored.evaluate(request).permitted
+
+    def test_document_carries_version(self):
+        document = policy_to_dict(permissive_policy("alice"))
+        assert document["version"] == POLICY_DOCUMENT_VERSION
+
+    def test_unknown_version_rejected(self):
+        document = policy_to_dict(permissive_policy("alice"))
+        document["version"] = "other/9.9"
+        with pytest.raises(ConfigurationError):
+            policy_from_dict(document)
+
+    def test_missing_owner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            policy_from_dict({"version": POLICY_DOCUMENT_VERSION})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            policy_from_json("{not json")
+        with pytest.raises(ConfigurationError):
+            policy_from_json(json.dumps([1, 2, 3]))
+
+    def test_policy_without_default_rule(self):
+        policy = PrivacyPolicy(owner="alice")
+        restored = policy_from_dict(policy_to_dict(policy))
+        assert restored.default_rule is None
+        assert restored.rules == {}

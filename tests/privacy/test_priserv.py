@@ -1,0 +1,165 @@
+"""Unit tests for the PriServ-like privacy service."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, ConfigurationError, UnknownDataError
+from repro.privacy.policy import (
+    Audience,
+    Obligation,
+    PolicyRule,
+    PrivacyPolicy,
+    permissive_policy,
+    restrictive_policy,
+)
+from repro.privacy.priserv import PriServService
+from repro.privacy.purposes import Operation, Purpose
+
+
+PEERS = ["alice", "bob", "carol", "dave"]
+
+
+@pytest.fixture()
+def service() -> PriServService:
+    svc = PriServService(
+        peer_ids=PEERS,
+        trust_oracle=lambda peer: {"bob": 0.9, "carol": 0.2}.get(peer, 0.5),
+        friendship_oracle=lambda requester, owner: (requester, owner) in {
+            ("bob", "alice"), ("alice", "bob")
+        },
+    )
+    svc.register_policy(permissive_policy("alice"))
+    svc.publish("alice", "alice/city", "Nantes", sensitivity=0.2)
+    return svc
+
+
+class TestConstructionAndPublication:
+    def test_requires_peers(self):
+        with pytest.raises(ConfigurationError):
+            PriServService(peer_ids=[])
+
+    def test_publish_requires_policy(self):
+        svc = PriServService(peer_ids=PEERS)
+        with pytest.raises(ConfigurationError):
+            svc.publish("alice", "alice/city", "Nantes")
+
+    def test_publish_with_inline_policy(self):
+        svc = PriServService(peer_ids=PEERS)
+        item = svc.publish(
+            "alice", "alice/city", "Nantes", policy=permissive_policy("alice")
+        )
+        assert item.responsible_peer in PEERS
+        assert svc.policy_of("alice") is not None
+
+    def test_inline_policy_owner_must_match(self):
+        svc = PriServService(peer_ids=PEERS)
+        with pytest.raises(ConfigurationError):
+            svc.publish("alice", "alice/city", "Nantes", policy=permissive_policy("eve"))
+
+    def test_responsible_peer_is_deterministic(self, service):
+        assert service.responsible_peer("k") == service.responsible_peer("k")
+
+    def test_unpublish(self, service):
+        service.unpublish("alice", "alice/city")
+        assert service.published_items() == []
+        with pytest.raises(UnknownDataError):
+            service.request("bob", "alice/city")
+
+    def test_unpublish_requires_ownership(self, service):
+        with pytest.raises(AccessDeniedError):
+            service.unpublish("bob", "alice/city")
+
+    def test_published_items_filter_by_owner(self, service):
+        assert len(service.published_items("alice")) == 1
+        assert service.published_items("bob") == []
+
+
+class TestRequests:
+    def test_permitted_request_returns_content_and_records_disclosure(self, service):
+        decision, content = service.request("bob", "alice/city")
+        assert decision.permitted
+        assert content == "Nantes"
+        assert len(service.ledger) == 1
+        assert service.ledger.records[0].recipient == "bob"
+
+    def test_unknown_data_raises(self, service):
+        with pytest.raises(UnknownDataError):
+            service.request("bob", "alice/unknown")
+
+    def test_denied_request_returns_reasons_without_content(self, service):
+        service.register_policy(restrictive_policy("alice", minimum_trust=0.95))
+        decision, content = service.request("carol", "alice/city")
+        assert not decision.permitted
+        assert content is None
+        assert len(service.ledger) == 0
+
+    def test_request_or_raise(self, service):
+        assert service.request_or_raise("bob", "alice/city") == "Nantes"
+        service.register_policy(restrictive_policy("alice"))
+        with pytest.raises(AccessDeniedError):
+            service.request_or_raise("carol", "alice/city")
+
+    def test_minimum_trust_uses_oracle(self, service):
+        policy = PrivacyPolicy(
+            owner="alice",
+            default_rule=PolicyRule(audience=Audience.ANYONE, minimum_trust=0.8),
+        )
+        service.register_policy(policy)
+        assert service.request("bob", "alice/city")[0].permitted
+        assert not service.request("carol", "alice/city")[0].permitted
+
+    def test_friendship_oracle_feeds_audience_rules(self, service):
+        policy = PrivacyPolicy(
+            owner="alice", default_rule=PolicyRule(audience=Audience.FRIENDS)
+        )
+        service.register_policy(policy)
+        assert service.request("bob", "alice/city")[0].permitted
+        assert not service.request("dave", "alice/city")[0].permitted
+
+    def test_obligations_propagate_from_request(self, service):
+        policy = PrivacyPolicy(
+            owner="alice",
+            default_rule=PolicyRule(
+                audience=Audience.ANYONE, obligations={Obligation.NOTIFY_OWNER}
+            ),
+        )
+        service.register_policy(policy)
+        denied, _ = service.request("dave", "alice/city")
+        assert not denied.permitted
+        granted, _ = service.request(
+            "dave", "alice/city", accepted_obligations=(Obligation.NOTIFY_OWNER,)
+        )
+        assert granted.permitted
+
+    def test_retention_recorded_in_ledger(self, service):
+        service.register_policy(
+            PrivacyPolicy(
+                owner="alice",
+                default_rule=PolicyRule(audience=Audience.ANYONE, retention_time=9),
+            )
+        )
+        service.request("dave", "alice/city")
+        assert service.ledger.records[-1].retention_time == 9
+
+
+class TestAuditAndBreaches:
+    def test_audit_log_grows_with_requests(self, service):
+        service.request("bob", "alice/city")
+        service.request("dave", "alice/city", purpose=Purpose.COMMERCIAL)
+        assert len(service.audit_log) == 2
+
+    def test_denial_rate_and_reasons(self, service):
+        service.register_policy(restrictive_policy("alice", minimum_trust=0.99))
+        service.request("carol", "alice/city")
+        service.request("bob", "alice/city")
+        assert 0.0 < service.denial_rate() <= 1.0
+        assert "insufficient-trust" in service.denial_reasons()
+
+    def test_record_breach_lowers_compliance(self, service):
+        service.record_breach("alice", "eve", "alice/city")
+        assert service.ledger.compliance_rate() < 1.0
+
+    def test_clock_advances_with_tick(self, service):
+        service.tick(5)
+        assert service.clock == 5
+        with pytest.raises(ConfigurationError):
+            service.tick(-1)

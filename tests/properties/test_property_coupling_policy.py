@@ -1,0 +1,142 @@
+"""Property-based tests for the coupling dynamics and privacy policies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coupling import STATE_VARIABLES, CouplingDynamics, CouplingState
+from repro.privacy.policy import (
+    AccessRequest,
+    Audience,
+    Obligation,
+    PolicyRule,
+    PrivacyPolicy,
+)
+from repro.privacy.purposes import Operation, Purpose
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+states = st.builds(
+    CouplingState,
+    trust=unit,
+    satisfaction=unit,
+    reputation_efficiency=unit,
+    disclosure=unit,
+    honest_contribution=unit,
+    privacy_satisfaction=unit,
+)
+
+dynamics_instances = st.builds(
+    CouplingDynamics,
+    sharing_level=unit,
+    mechanism_power=unit,
+    policy_respect=unit,
+    trustworthy_fraction=unit,
+    damping=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+)
+
+
+@given(dynamics=dynamics_instances, state=states)
+@settings(max_examples=80)
+def test_step_preserves_bounds(dynamics, state):
+    next_state = dynamics.step(state)
+    for name in STATE_VARIABLES:
+        assert 0.0 <= getattr(next_state, name) <= 1.0
+
+
+@given(dynamics=dynamics_instances, state=states)
+@settings(max_examples=40, deadline=None)
+def test_dynamics_converge_from_any_start(dynamics, state):
+    trajectory = dynamics.run(state, steps=400, tolerance=1e-7)
+    assert trajectory[-1].distance(trajectory[-2]) < 1e-5
+
+
+@given(state=states, low=unit, high=unit)
+@settings(max_examples=60)
+def test_more_sharing_never_reduces_reputation_target(state, low, high):
+    low_level, high_level = sorted((low, high))
+    low_dynamics = CouplingDynamics(sharing_level=low_level)
+    high_dynamics = CouplingDynamics(sharing_level=high_level)
+    assert (
+        high_dynamics.step(state).disclosure >= low_dynamics.step(state).disclosure - 1e-9
+    )
+
+
+# -- privacy policies ---------------------------------------------------------
+
+rules = st.builds(
+    PolicyRule,
+    audience=st.sampled_from(list(Audience)),
+    operations=st.sets(st.sampled_from(list(Operation)), min_size=1),
+    purposes=st.sets(st.sampled_from(list(Purpose)), min_size=1),
+    minimum_trust=unit,
+    retention_time=st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
+    obligations=st.sets(st.sampled_from(list(Obligation))),
+)
+
+requests = st.builds(
+    AccessRequest,
+    requester=st.just("bob"),
+    owner=st.just("alice"),
+    data_id=st.just("alice/data"),
+    operation=st.sampled_from(list(Operation)),
+    purpose=st.sampled_from(list(Purpose)),
+    requester_trust=unit,
+    is_friend=st.booleans(),
+    same_community=st.booleans(),
+    accepted_obligations=st.frozensets(st.sampled_from(list(Obligation))),
+)
+
+
+@given(rule=rules, request=requests)
+@settings(max_examples=100)
+def test_denials_always_carry_reasons_and_permits_never_do(rule, request):
+    decision = rule.evaluate(request)
+    if decision.permitted:
+        assert decision.reasons == ()
+        assert decision.obligations == frozenset(rule.obligations)
+    else:
+        assert decision.reasons
+
+
+@given(rule=rules, request=requests)
+@settings(max_examples=100)
+def test_accepting_all_obligations_never_hurts(rule, request):
+    baseline = rule.evaluate(request)
+    generous = AccessRequest(
+        requester=request.requester,
+        owner=request.owner,
+        data_id=request.data_id,
+        operation=request.operation,
+        purpose=request.purpose,
+        requester_trust=request.requester_trust,
+        is_friend=request.is_friend,
+        same_community=request.same_community,
+        accepted_obligations=frozenset(Obligation),
+    )
+    assert rule.evaluate(generous).permitted or not baseline.permitted
+
+
+@given(rule=rules, request=requests, boost=unit)
+@settings(max_examples=100)
+def test_more_trust_never_turns_a_permit_into_a_denial(rule, request, boost):
+    baseline = rule.evaluate(request)
+    trusted = AccessRequest(
+        requester=request.requester,
+        owner=request.owner,
+        data_id=request.data_id,
+        operation=request.operation,
+        purpose=request.purpose,
+        requester_trust=min(1.0, request.requester_trust + boost),
+        is_friend=request.is_friend,
+        same_community=request.same_community,
+        accepted_obligations=request.accepted_obligations,
+    )
+    if baseline.permitted:
+        assert rule.evaluate(trusted).permitted
+
+
+@given(rule=rules)
+@settings(max_examples=60)
+def test_policy_strictness_always_in_unit_interval(rule):
+    policy = PrivacyPolicy(owner="alice", default_rule=rule)
+    assert 0.0 <= policy.strictness() <= 1.0

@@ -1,0 +1,78 @@
+"""Property-based tests for the composite trust metric and facet scores."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.facets import FacetScores
+from repro.core.metric import Aggregator, CompositeTrustMetric
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+facet_scores = st.builds(FacetScores, privacy=unit, reputation=unit, satisfaction=unit)
+aggregators = st.sampled_from(list(Aggregator))
+positive_weight = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+weight_dicts = st.fixed_dictionaries(
+    {"privacy": positive_weight, "reputation": positive_weight, "satisfaction": positive_weight}
+)
+
+
+@given(facets=facet_scores, aggregator=aggregators)
+def test_trust_is_always_in_the_unit_interval(facets, aggregator):
+    metric = CompositeTrustMetric(aggregator=aggregator)
+    assert 0.0 <= metric.trust(facets) <= 1.0
+
+
+@given(facets=facet_scores, aggregator=aggregators)
+def test_trust_bounded_by_best_and_worst_facet(facets, aggregator):
+    metric = CompositeTrustMetric(aggregator=aggregator)
+    trust = metric.trust(facets)
+    values = facets.as_dict().values()
+    assert min(values) - 1e-6 <= trust <= max(values) + 1e-6
+
+
+@given(facets=facet_scores, aggregator=aggregators, delta=unit)
+@settings(max_examples=60)
+def test_trust_is_monotone_in_every_facet(facets, aggregator, delta):
+    metric = CompositeTrustMetric(aggregator=aggregator)
+    base = metric.trust(facets)
+    for name in ("privacy", "reputation", "satisfaction"):
+        values = facets.as_dict()
+        values[name] = min(1.0, values[name] + delta)
+        assert metric.trust(FacetScores(**values)) >= base - 1e-9
+
+
+@given(facets=facet_scores, weights=weight_dicts)
+def test_weighted_metric_invariant_to_weight_rescaling(facets, weights):
+    metric = CompositeTrustMetric(aggregator=Aggregator.WEIGHTED, weights=weights)
+    scaled = CompositeTrustMetric(
+        aggregator=Aggregator.WEIGHTED,
+        weights={name: 3.7 * value for name, value in weights.items()},
+    )
+    assert abs(metric.trust(facets) - scaled.trust(facets)) < 1e-9
+
+
+@given(value=unit, aggregator=aggregators)
+def test_equal_facets_aggregate_to_themselves(value, aggregator):
+    metric = CompositeTrustMetric(aggregator=aggregator)
+    facets = FacetScores(privacy=value, reputation=value, satisfaction=value)
+    assert abs(metric.trust(facets) - value) < 1e-6
+
+
+@given(facets=facet_scores)
+def test_minimum_aggregator_is_a_lower_bound_of_all_others(facets):
+    minimum = CompositeTrustMetric(aggregator=Aggregator.MINIMUM).trust(facets)
+    for aggregator in (Aggregator.WEIGHTED, Aggregator.GEOMETRIC, Aggregator.OWA):
+        assert CompositeTrustMetric(aggregator=aggregator).trust(facets) >= minimum - 1e-9
+
+
+@given(facets=facet_scores, aggregator=aggregators)
+@settings(max_examples=60)
+def test_contributions_are_nonnegative_and_bounded(facets, aggregator):
+    metric = CompositeTrustMetric(aggregator=aggregator)
+    contributions = metric.contributions(facets)
+    for value in contributions.values():
+        assert 0.0 <= value <= 1.0
+
+
+@given(facets=facet_scores, threshold=unit)
+def test_meets_threshold_agrees_with_min(facets, threshold):
+    assert facets.meets(threshold) == (min(facets.as_dict().values()) >= threshold)

@@ -1,0 +1,110 @@
+"""Property-based tests for the reputation mechanisms.
+
+Invariants every mechanism must satisfy regardless of the feedback stream:
+scores stay in [0, 1], known peers are exactly the store participants that
+were rated, rankings are consistent with scores, and unanimous feedback is
+scored on the right side of 0.5.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reputation.average import SimpleAverageReputation
+from repro.reputation.beta import BetaReputation
+from repro.reputation.eigentrust import EigenTrust
+from repro.reputation.powertrust import PowerTrust
+from repro.reputation.trustme import TrustMeReputation
+from repro.simulation.transaction import Feedback
+
+SUBJECTS = ["s0", "s1", "s2", "s3"]
+RATERS = ["r0", "r1", "r2"]
+
+MECHANISMS = [
+    SimpleAverageReputation,
+    BetaReputation,
+    EigenTrust,
+    PowerTrust,
+    TrustMeReputation,
+]
+
+
+@st.composite
+def feedback_batches(draw):
+    size = draw(st.integers(min_value=1, max_value=40))
+    batch = []
+    for index in range(size):
+        batch.append(
+            Feedback(
+                transaction_id=index,
+                time=draw(st.integers(min_value=0, max_value=20)),
+                subject=draw(st.sampled_from(SUBJECTS)),
+                rating=draw(st.sampled_from([0.0, 1.0])),
+                rater=draw(st.one_of(st.none(), st.sampled_from(RATERS))),
+            )
+        )
+    return batch
+
+
+@given(batch=feedback_batches(), mechanism=st.sampled_from(MECHANISMS))
+@settings(max_examples=60, deadline=None)
+def test_scores_always_in_unit_interval(batch, mechanism):
+    system = mechanism()
+    for feedback in batch:
+        system.record_feedback(feedback)
+    scores = system.scores()
+    assert all(0.0 <= value <= 1.0 for value in scores.values())
+
+
+@given(batch=feedback_batches(), mechanism=st.sampled_from(MECHANISMS))
+@settings(max_examples=40, deadline=None)
+def test_ranking_is_a_permutation_consistent_with_scores(batch, mechanism):
+    system = mechanism()
+    for feedback in batch:
+        system.record_feedback(feedback)
+    scores = system.scores()
+    ranking = system.ranking()
+    assert sorted(ranking) == sorted(scores)
+    values = [scores[peer] for peer in ranking]
+    assert values == sorted(values, reverse=True)
+
+
+@given(
+    mechanism=st.sampled_from([SimpleAverageReputation, BetaReputation, TrustMeReputation]),
+    n_reports=st.integers(min_value=3, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_unanimous_feedback_lands_on_the_right_side(mechanism, n_reports):
+    good = mechanism()
+    bad = mechanism()
+    for index in range(n_reports):
+        good.record_feedback(
+            Feedback(transaction_id=index, time=index, subject="peer", rating=1.0, rater="r0")
+        )
+        bad.record_feedback(
+            Feedback(transaction_id=index, time=index, subject="peer", rating=0.0, rater="r0")
+        )
+    assert good.score("peer") >= 0.5
+    assert bad.score("peer") <= 0.5
+    assert good.score("peer") > bad.score("peer")
+
+
+@given(batch=feedback_batches(), mechanism=st.sampled_from(MECHANISMS))
+@settings(max_examples=30, deadline=None)
+def test_reset_restores_a_blank_state(batch, mechanism):
+    system = mechanism()
+    for feedback in batch:
+        system.record_feedback(feedback)
+    system.reset()
+    assert system.evidence_count == 0
+    assert system.scores() == {}
+
+
+@given(batch=feedback_batches())
+@settings(max_examples=30, deadline=None)
+def test_refresh_is_idempotent_without_new_evidence(batch):
+    system = BetaReputation()
+    for feedback in batch:
+        system.record_feedback(feedback)
+    first = system.refresh()
+    second = system.refresh()
+    assert first == second

@@ -1,0 +1,54 @@
+"""Unit tests for the churn model."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.churn import ChurnEvent, ChurnModel
+from repro.simulation.peer import Peer, PeerDirectory
+from repro.socialnet.user import User
+
+
+def make_directory(n: int = 10) -> PeerDirectory:
+    return PeerDirectory([Peer(user=User(user_id=f"u{i}")) for i in range(n)])
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ChurnModel(leave_probability=1.5)
+    with pytest.raises(ConfigurationError):
+        ChurnModel(return_probability=-0.2)
+
+
+def test_no_churn_by_default():
+    directory = make_directory()
+    events = ChurnModel().step(directory, random.Random(0))
+    assert events == []
+    assert all(peer.online for peer in directory.peers())
+
+
+def test_full_leave_probability_empties_network():
+    directory = make_directory()
+    events = ChurnModel(leave_probability=1.0).step(directory, random.Random(0))
+    assert len(events) == 10
+    assert all(event is ChurnEvent.LEFT for _, event in events)
+    assert directory.online_peers() == []
+
+
+def test_offline_peers_return():
+    directory = make_directory()
+    for peer in directory.peers():
+        peer.online = False
+    events = ChurnModel(return_probability=1.0).step(directory, random.Random(0))
+    assert all(event is ChurnEvent.JOINED for _, event in events)
+    assert len(directory.online_peers()) == 10
+
+
+def test_partial_churn_is_deterministic_per_seed():
+    model = ChurnModel(leave_probability=0.5)
+    first = make_directory()
+    second = make_directory()
+    model.step(first, random.Random(3))
+    model.step(second, random.Random(3))
+    assert [p.online for p in first.peers()] == [p.online for p in second.peers()]

@@ -1,0 +1,88 @@
+"""Unit tests for the discrete-event queue and simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulation.engine import EventDrivenSimulator
+from repro.simulation.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(Event(time=2.0, priority=0, action=lambda: order.append("late")))
+        queue.push(Event(time=1.0, priority=0, action=lambda: order.append("early")))
+        assert queue.pop().time == 1.0
+        assert queue.pop().time == 2.0
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        queue.push(Event(time=1.0, priority=5, action=lambda: None, label="low"))
+        queue.push(Event(time=1.0, priority=1, action=lambda: None, label="high"))
+        assert queue.pop().label == "high"
+
+    def test_insertion_order_breaks_full_ties(self):
+        queue = EventQueue()
+        queue.push(Event(time=1.0, priority=0, action=lambda: None, label="first"))
+        queue.push(Event(time=1.0, priority=0, action=lambda: None, label="second"))
+        assert queue.pop().label == "first"
+
+    def test_peek_and_len(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        assert not queue
+        queue.push(Event(time=3.0, priority=0, action=lambda: None))
+        assert queue.peek_time() == 3.0
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+
+class TestEventDrivenSimulator:
+    def test_runs_actions_in_time_order(self):
+        simulator = EventDrivenSimulator()
+        order = []
+        simulator.schedule_at(2.0, lambda: order.append("b"))
+        simulator.schedule_at(1.0, lambda: order.append("a"))
+        processed = simulator.run()
+        assert processed == 2
+        assert order == ["a", "b"]
+        assert simulator.now == 2.0
+
+    def test_schedule_in_is_relative(self):
+        simulator = EventDrivenSimulator()
+        simulator.schedule_in(5.0, lambda: None)
+        simulator.run()
+        assert simulator.now == 5.0
+
+    def test_until_stops_early(self):
+        simulator = EventDrivenSimulator()
+        fired = []
+        simulator.schedule_at(1.0, lambda: fired.append(1))
+        simulator.schedule_at(10.0, lambda: fired.append(10))
+        simulator.run(until=5.0)
+        assert fired == [1]
+        assert simulator.now == 5.0
+
+    def test_events_can_schedule_events(self):
+        simulator = EventDrivenSimulator()
+        fired = []
+
+        def chain():
+            fired.append(simulator.now)
+            if simulator.now < 3:
+                simulator.schedule_in(1.0, chain)
+
+        simulator.schedule_at(1.0, chain)
+        simulator.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        simulator = EventDrivenSimulator()
+        simulator.schedule_at(1.0, lambda: None)
+        simulator.run()
+        with pytest.raises(ConfigurationError):
+            simulator.schedule_at(0.5, lambda: None)

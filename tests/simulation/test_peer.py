@@ -1,0 +1,71 @@
+"""Unit tests for peers and the peer directory."""
+
+import pytest
+
+from repro.errors import UnknownPeerError
+from repro.simulation.peer import Peer, PeerDirectory
+from repro.socialnet.user import User
+
+
+def make_peer(user_id: str, honesty: float = 0.9) -> Peer:
+    return Peer(user=User(user_id=user_id, honesty=honesty))
+
+
+class TestPeer:
+    def test_initial_identity_is_user_id(self):
+        assert make_peer("alice").peer_id == "alice"
+
+    def test_new_identity_changes_peer_id_not_base(self):
+        peer = make_peer("alice")
+        new_id = peer.new_identity()
+        assert new_id == "alice#1"
+        assert peer.peer_id == "alice#1"
+        assert peer.base_id == "alice"
+
+    def test_record_received_tracks_success_rate(self):
+        peer = make_peer("alice")
+        peer.record_received(True)
+        peer.record_received(False)
+        peer.record_received(True)
+        assert peer.consumed_count == 3
+        assert peer.observed_success_rate == pytest.approx(2 / 3)
+
+    def test_success_rate_without_observations(self):
+        assert make_peer("alice").observed_success_rate == 0.0
+
+
+class TestPeerDirectory:
+    def test_lookup_by_base_and_current_id(self):
+        peer = make_peer("alice")
+        directory = PeerDirectory([peer])
+        assert directory.get("alice") is peer
+        assert "alice" in directory
+        assert len(directory) == 1
+
+    def test_unknown_peer_raises(self):
+        with pytest.raises(UnknownPeerError):
+            PeerDirectory().get("ghost")
+
+    def test_online_filtering(self):
+        first, second = make_peer("a"), make_peer("b")
+        second.online = False
+        directory = PeerDirectory([first, second])
+        assert [peer.base_id for peer in directory.online_peers()] == ["a"]
+        assert directory.current_ids() == ["a"]
+        assert set(directory.current_ids(online_only=False)) == {"a", "b"}
+
+    def test_rebind_identity_after_whitewash(self):
+        peer = make_peer("mallory", honesty=0.1)
+        directory = PeerDirectory([peer])
+        old_id = peer.peer_id
+        peer.new_identity()
+        directory.rebind_identity(peer, old_id)
+        assert directory.get("mallory#1") is peer
+        assert directory.get("mallory") is peer  # base id always resolves
+
+    def test_honest_fraction(self):
+        directory = PeerDirectory([make_peer("a", 0.9), make_peer("b", 0.1)])
+        assert directory.honest_fraction() == 0.5
+
+    def test_honest_fraction_empty(self):
+        assert PeerDirectory().honest_fraction() == 0.0

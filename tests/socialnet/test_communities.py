@@ -1,0 +1,53 @@
+"""Unit tests for community helpers."""
+
+from repro.socialnet.communities import (
+    community_partition,
+    intra_community_fraction,
+    modularity,
+)
+from repro.socialnet.generators import SocialNetworkSpec, generate_social_network
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.user import User
+
+
+def test_partition_covers_every_user(small_graph):
+    partition = community_partition(small_graph)
+    assert set(partition) == set(small_graph.user_ids())
+
+
+def test_sbm_graph_uses_explicit_labels():
+    graph = generate_social_network(
+        SocialNetworkSpec(n_users=40, topology="sbm", n_communities=4, seed=1)
+    )
+    partition = community_partition(graph)
+    explicit = {user.user_id: user.community for user in graph.users()}
+    assert partition == explicit
+
+
+def test_sbm_communities_are_cohesive():
+    graph = generate_social_network(
+        SocialNetworkSpec(
+            n_users=60,
+            topology="sbm",
+            n_communities=3,
+            inter_community_probability=0.01,
+            seed=2,
+        )
+    )
+    partition = community_partition(graph)
+    assert intra_community_fraction(graph, partition) > 0.6
+    assert modularity(graph, partition) > 0.2
+
+
+def test_modularity_zero_without_edges():
+    graph = SocialGraph([User(user_id="a"), User(user_id="b")])
+    assert modularity(graph, {"a": 0, "b": 1}) == 0.0
+
+
+def test_intra_fraction_without_edges_is_one():
+    graph = SocialGraph([User(user_id="a"), User(user_id="b")])
+    assert intra_community_fraction(graph, {"a": 0, "b": 1}) == 1.0
+
+
+def test_empty_graph_partition_is_empty():
+    assert community_partition(SocialGraph()) == {}

@@ -1,0 +1,116 @@
+"""Unit tests for interaction traces."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.interactions import (
+    Interaction,
+    InteractionKind,
+    InteractionTrace,
+    InteractionTraceGenerator,
+)
+from repro.socialnet.user import User
+
+
+class TestInteraction:
+    def test_rejects_self_interaction(self):
+        with pytest.raises(ConfigurationError):
+            Interaction(time=0, initiator="a", partner="a", kind=InteractionKind.MESSAGE)
+
+    def test_rejects_invalid_sensitivity(self):
+        with pytest.raises(ConfigurationError):
+            Interaction(
+                time=0, initiator="a", partner="b",
+                kind=InteractionKind.MESSAGE, payload_sensitivity=1.5,
+            )
+
+
+class TestInteractionTrace:
+    def make_trace(self):
+        trace = InteractionTrace()
+        trace.append(Interaction(0, "a", "b", InteractionKind.MESSAGE))
+        trace.append(Interaction(1, "b", "a", InteractionKind.RATING))
+        trace.append(Interaction(4, "a", "c", InteractionKind.CONTENT_SHARE))
+        return trace
+
+    def test_len_and_iteration(self):
+        trace = self.make_trace()
+        assert len(trace) == 3
+        assert len(list(trace)) == 3
+
+    def test_involving(self):
+        trace = self.make_trace()
+        assert len(trace.involving("a")) == 3
+        assert len(trace.involving("c")) == 1
+        assert trace.involving("zz") == []
+
+    def test_initiated_by(self):
+        trace = self.make_trace()
+        assert len(trace.initiated_by("a")) == 2
+        assert len(trace.initiated_by("c")) == 0
+
+    def test_pair_count_is_direction_agnostic(self):
+        trace = self.make_trace()
+        assert trace.pair_count("a", "b") == 2
+        assert trace.pair_count("b", "a") == 2
+        assert trace.pair_count("b", "c") == 0
+
+    def test_span(self):
+        assert self.make_trace().span() == 5
+        assert InteractionTrace().span() == 0
+
+
+class TestGenerator:
+    @pytest.fixture()
+    def pair_graph(self):
+        graph = SocialGraph(
+            [
+                User(user_id="a", activity=1.0, privacy_concern=0.5),
+                User(user_id="b", activity=1.0, privacy_concern=0.5),
+            ]
+        )
+        graph.add_relationship("a", "b")
+        return graph
+
+    def test_requires_two_users(self):
+        graph = SocialGraph([User(user_id="solo")])
+        with pytest.raises(ConfigurationError):
+            InteractionTraceGenerator(graph)
+
+    def test_rejects_negative_steps(self, pair_graph):
+        generator = InteractionTraceGenerator(pair_graph)
+        with pytest.raises(ConfigurationError):
+            generator.generate(-1)
+
+    def test_fully_active_pair_interacts_every_step(self, pair_graph):
+        trace = InteractionTraceGenerator(pair_graph, seed=1).generate(10)
+        assert len(trace) == 20  # both users initiate at activity 1.0
+
+    def test_zero_steps_empty_trace(self, pair_graph):
+        assert len(InteractionTraceGenerator(pair_graph).generate(0)) == 0
+
+    def test_partners_are_neighbours(self, small_graph):
+        trace = InteractionTraceGenerator(small_graph, seed=2).generate(5)
+        assert len(trace) > 0
+        for interaction in trace:
+            assert small_graph.are_connected(interaction.initiator, interaction.partner)
+
+    def test_sensitivity_bounded_by_privacy_concern(self, small_graph):
+        trace = InteractionTraceGenerator(small_graph, seed=2).generate(5)
+        for interaction in trace:
+            concern = small_graph.user(interaction.initiator).privacy_concern
+            assert interaction.payload_sensitivity <= concern + 1e-9
+
+    def test_deterministic_for_seed(self, small_graph):
+        first = InteractionTraceGenerator(small_graph, seed=7).generate(5)
+        second = InteractionTraceGenerator(small_graph, seed=7).generate(5)
+        assert [
+            (i.time, i.initiator, i.partner, i.kind) for i in first
+        ] == [(i.time, i.initiator, i.partner, i.kind) for i in second]
+
+    def test_restricted_kinds(self, pair_graph):
+        trace = InteractionTraceGenerator(
+            pair_graph, kinds=[InteractionKind.MESSAGE], seed=3
+        ).generate(5)
+        assert {interaction.kind for interaction in trace} == {InteractionKind.MESSAGE}

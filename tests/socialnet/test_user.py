@@ -1,0 +1,116 @@
+"""Unit tests for users, profiles and attribute sensitivity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.socialnet.user import (
+    AttributeSensitivity,
+    ProfileAttribute,
+    User,
+    UserProfile,
+    standard_profile,
+)
+
+
+class TestAttributeSensitivity:
+    def test_ordering(self):
+        assert AttributeSensitivity.PUBLIC < AttributeSensitivity.CRITICAL
+        assert AttributeSensitivity.MEDIUM >= AttributeSensitivity.LOW
+
+    def test_exposure_weights_monotone(self):
+        weights = [level.exposure_weight for level in AttributeSensitivity]
+        assert weights == sorted(weights)
+
+    def test_public_has_zero_exposure(self):
+        assert AttributeSensitivity.PUBLIC.exposure_weight == 0.0
+
+    def test_critical_has_full_exposure(self):
+        assert AttributeSensitivity.CRITICAL.exposure_weight == 1.0
+
+
+class TestProfileAttribute:
+    def test_requires_name(self):
+        with pytest.raises(ConfigurationError):
+            ProfileAttribute(name="", value=1)
+
+    def test_default_sensitivity_low(self):
+        assert ProfileAttribute("city", "Nantes").sensitivity is AttributeSensitivity.LOW
+
+    def test_is_frozen(self):
+        attribute = ProfileAttribute("city", "Nantes")
+        with pytest.raises(AttributeError):
+            attribute.value = "Paris"
+
+
+class TestUserProfile:
+    def test_add_and_get(self):
+        profile = UserProfile()
+        profile.add(ProfileAttribute("age", 30, AttributeSensitivity.MEDIUM))
+        assert profile.get("age").value == 30
+        assert "age" in profile
+        assert len(profile) == 1
+
+    def test_add_replaces_existing(self):
+        profile = UserProfile()
+        profile.add(ProfileAttribute("age", 30))
+        profile.add(ProfileAttribute("age", 31))
+        assert profile.get("age").value == 31
+        assert len(profile) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            UserProfile().get("missing")
+
+    def test_sensitive_attributes_filter(self):
+        profile = standard_profile("u1")
+        sensitive = profile.sensitive_attributes(AttributeSensitivity.HIGH)
+        assert all(a.sensitivity >= AttributeSensitivity.HIGH for a in sensitive)
+        assert len(sensitive) >= 2
+
+    def test_total_exposure_weight_positive(self):
+        assert standard_profile("u1").total_exposure_weight() > 0.0
+
+    def test_iteration_yields_attributes(self):
+        names = {attribute.name for attribute in standard_profile("u1")}
+        assert "health_record" in names
+        assert "display_name" in names
+
+
+class TestStandardProfile:
+    def test_has_every_sensitivity_class(self):
+        profile = standard_profile("u1", age=44, city="Lyon")
+        sensitivities = {attribute.sensitivity for attribute in profile}
+        assert sensitivities == set(AttributeSensitivity)
+
+    def test_uses_provided_values(self):
+        profile = standard_profile("u1", age=44, city="Lyon")
+        assert profile.get("age").value == 44
+        assert profile.get("city").value == "Lyon"
+
+
+class TestUser:
+    def test_validates_behavioural_parameters(self):
+        with pytest.raises(ConfigurationError):
+            User(user_id="u", honesty=1.5)
+        with pytest.raises(ConfigurationError):
+            User(user_id="u", activity=-0.1)
+        with pytest.raises(ConfigurationError):
+            User(user_id="u", privacy_concern=2.0)
+
+    def test_requires_user_id(self):
+        with pytest.raises(ConfigurationError):
+            User(user_id="")
+
+    def test_is_honest_threshold(self):
+        assert User(user_id="a", honesty=0.5).is_honest
+        assert not User(user_id="b", honesty=0.49).is_honest
+
+    def test_equality_and_hash_by_id(self):
+        first = User(user_id="a", honesty=0.9)
+        second = User(user_id="a", honesty=0.1)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != User(user_id="b")
+
+    def test_equality_with_other_types(self):
+        assert User(user_id="a") != "a"

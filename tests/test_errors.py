@@ -1,0 +1,29 @@
+"""The exception hierarchy: every library error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_exceptions_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_unknown_peer_is_also_key_error():
+    assert issubclass(errors.UnknownPeerError, KeyError)
+
+
+def test_unknown_data_is_also_key_error():
+    assert issubclass(errors.UnknownDataError, KeyError)
+
+
+def test_access_denied_is_privacy_violation():
+    assert issubclass(errors.AccessDeniedError, errors.PrivacyViolationError)
+
+
+def test_catching_base_catches_specific():
+    with pytest.raises(errors.ReproError):
+        raise errors.AllocationError("no provider")
