@@ -1,0 +1,134 @@
+"""Benchmark the sweep engine and emit machine-readable numbers.
+
+Run as a script to produce ``BENCH_sweep.json`` (the CI benchmark artifact
+seeding the perf trajectory)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --out BENCH_sweep.json --jobs 2
+
+Each measured campaign reports the experiment name, task count, wall time
+and throughput (tasks/sec) for both serial and parallel execution, plus the
+task-expansion overhead on a large synthetic grid.  The same campaigns also
+run under pytest-benchmark alongside the other ``bench_*`` modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.experiments.sweep import SweepSpec, expand_tasks, run_sweep
+
+SCHEMA_VERSION = 1
+
+#: Laptop-fast campaigns covering one analytic and one simulation-backed
+#: experiment — the two cost regimes the engine has to schedule well.
+CAMPAIGN_SPECS = {
+    "figure2-left-grid": SweepSpec(
+        experiment="figure2-left",
+        grids={
+            "threshold": [0.4, 0.5, 0.6],
+            "mechanism": ["eigentrust", "beta"],
+        },
+        seed=11,
+    ),
+    "figure1-grid": SweepSpec(
+        experiment="figure1",
+        grids={"n_users": [25, 40], "rounds": [8, 12]},
+        seed=11,
+    ),
+}
+
+
+def measure_campaign(name: str, spec: SweepSpec, *, jobs: int) -> Dict[str, object]:
+    result = run_sweep(spec, jobs=jobs)
+    if result.n_errors:
+        raise RuntimeError(
+            f"benchmark campaign {name!r} had {result.n_errors} failed tasks"
+        )
+    return {
+        "campaign": name,
+        "experiment": spec.experiment,
+        "jobs": jobs,
+        "tasks": len(result.records),
+        "wall_time_s": round(result.wall_time, 4),
+        "tasks_per_s": round(result.tasks_per_second, 4),
+    }
+
+
+def measure_expansion(n_values: int = 40) -> Dict[str, object]:
+    """Task-expansion throughput on a 3-axis grid (pure orchestration cost)."""
+    spec = SweepSpec(
+        experiment="figure2-left",
+        grids={
+            "threshold": [i / (2 * n_values) for i in range(n_values)],
+            "mechanism": ["eigentrust", "beta", "average"],
+            "sharing_levels": [None],  # placeholder axis; never executed
+        },
+        seed=0,
+    )
+    start = time.perf_counter()
+    tasks = expand_tasks(spec)
+    elapsed = time.perf_counter() - start
+    return {
+        "campaign": "task-expansion",
+        "experiment": spec.experiment,
+        "jobs": 0,
+        "tasks": len(tasks),
+        "wall_time_s": round(elapsed, 4),
+        "tasks_per_s": round(len(tasks) / elapsed, 1) if elapsed > 0 else None,
+    }
+
+
+def run_benchmarks(*, jobs: int) -> Dict[str, object]:
+    entries: List[Dict[str, object]] = [measure_expansion()]
+    for name, spec in CAMPAIGN_SPECS.items():
+        entries.append(measure_campaign(name, spec, jobs=1))
+        if jobs > 1:
+            entries.append(measure_campaign(name, spec, jobs=jobs))
+    return {"schema_version": SCHEMA_VERSION, "benchmarks": entries}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_sweep.json", metavar="PATH")
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    payload = run_benchmarks(jobs=args.jobs)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for entry in payload["benchmarks"]:
+        print(
+            f"{entry['campaign']:20s} jobs={entry['jobs']} tasks={entry['tasks']:4d} "
+            f"wall={entry['wall_time_s']}s rate={entry['tasks_per_s']}/s"
+        )
+    print(f"written to {args.out}")
+    return 0
+
+
+# -- pytest-benchmark harness (same campaigns, timed by the shared fixture) ----
+
+
+def test_bench_sweep_expand(benchmark):
+    """Pure task expansion of the analytic campaign grid."""
+    tasks = benchmark(lambda: expand_tasks(CAMPAIGN_SPECS["figure2-left-grid"]))
+    assert len(tasks) == 6
+
+
+def test_bench_sweep_analytic_campaign(benchmark):
+    """Serial sweep of the analytic Figure-2-left experiment."""
+    result = benchmark.pedantic(
+        lambda: run_sweep(CAMPAIGN_SPECS["figure2-left-grid"], jobs=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.n_errors == 0
+    assert len(result.records) == 6
+
+
+if __name__ == "__main__":
+    sys.exit(main())

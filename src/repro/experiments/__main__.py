@@ -3,6 +3,12 @@
 Without arguments every registered experiment runs in quick mode; pass
 experiment names to run a subset, and ``--full`` for the full-size versions
 (slower, closer to the EXPERIMENTS.md numbers).
+
+``python -m repro.experiments sweep EXPERIMENT ...`` runs a parallel sweep
+campaign instead: parameter grids (``--grid key=v1,v2``), random or
+Latin-hypercube samples (``--range key=lo:hi --sample latin --n-samples N``),
+executed over ``--jobs`` worker processes with per-task seeds derived from
+``--seed``, written as structured records to ``--out``/``--csv``.
 """
 
 from __future__ import annotations
@@ -11,13 +17,21 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ConfigurationError
+from repro.experiments.reporting import format_sweep_summary
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.sweep import run_sweep, spec_from_options
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run the paper-reproduction experiments.",
+        epilog=(
+            "Use the 'sweep' subcommand for parallel parameter campaigns: "
+            "python -m repro.experiments sweep figure1 --grid n_users=25,50 "
+            "--jobs 2 --seed 7 --out results.json"
+        ),
     )
     parser.add_argument(
         "experiments",
@@ -38,7 +52,113 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments sweep",
+        description=(
+            "Run a parallel sweep campaign over one registered experiment "
+            "and write structured records."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        metavar="EXPERIMENT",
+        help=f"experiment to sweep. Available: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="explicit values for one parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--range",
+        action="append",
+        default=[],
+        dest="ranges",
+        metavar="KEY=LOW:HIGH",
+        help="continuous interval for one parameter (random/latin samplers only)",
+    )
+    parser.add_argument(
+        "--sample",
+        choices=("grid", "random", "latin"),
+        default="grid",
+        help="how to cover the parameter space (default: full cartesian grid)",
+    )
+    parser.add_argument(
+        "--n-samples",
+        type=int,
+        default=0,
+        help="number of sampled points for --sample random/latin",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1; results are identical either way)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the JSON record file here",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also write the records as CSV here",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help=(
+            "base each task on the experiment's full-size defaults instead "
+            "of its quick preset"
+        ),
+    )
+    return parser
+
+
+def sweep_main(argv: List[str]) -> int:
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    try:
+        spec = spec_from_options(
+            args.experiment,
+            grid_options=args.grid,
+            range_options=args.ranges,
+            sampler=args.sample,
+            n_samples=args.n_samples,
+            seed=args.seed,
+            quick_base=not args.full,
+        )
+    except (ConfigurationError, ValueError) as exc:
+        parser.error(str(exc))
+    try:
+        result = run_sweep(spec, jobs=args.jobs)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    print(format_sweep_summary(result.records))
+    print()
+    print(
+        f"{len(result.records)} tasks in {result.wall_time:.2f}s "
+        f"({result.tasks_per_second:.2f} tasks/s, jobs={result.jobs})"
+    )
+    if args.out:
+        result.write_json(args.out)
+        print(f"records written to {args.out}")
+    if args.csv:
+        result.write_csv(args.csv)
+        print(f"CSV written to {args.csv}")
+    return 1 if result.n_errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -136,6 +136,27 @@ def run(*, n_users: int = 40, rounds: int = 20, seed: int = 0) -> AblationResult
     )
 
 
+def summarize(result: AblationResult) -> Dict[str, object]:
+    """Flatten E-A1/E-A2 to record metrics (per-variant key numbers)."""
+    metrics: Dict[str, object] = {
+        "n_aggregators": len(result.aggregators),
+        "n_anonymity_modes": len(result.anonymity),
+    }
+    for outcome in result.aggregators:
+        prefix = f"aggregator.{outcome.aggregator}"
+        metrics[f"{prefix}.best_trust"] = outcome.best_trust
+        metrics[f"{prefix}.best_sharing_level"] = outcome.best_sharing_level
+        metrics[f"{prefix}.best_in_area_a"] = outcome.best_in_area_a
+        metrics[f"{prefix}.unbalanced_penalty"] = outcome.unbalanced_penalty
+    for outcome in result.anonymity:
+        prefix = f"anonymity.{outcome.mode}"
+        metrics[f"{prefix}.reputation_accuracy"] = outcome.reputation_accuracy
+        metrics[f"{prefix}.reputation_facet"] = outcome.reputation_facet
+        metrics[f"{prefix}.privacy_facet"] = outcome.privacy_facet
+        metrics[f"{prefix}.trust"] = outcome.trust
+    return metrics
+
+
 def report(result: AblationResult) -> str:
     aggregator_table = format_table(
         [

@@ -198,6 +198,19 @@ def run(*, n_users: int = 40, rounds: int = 20, seed: int = 0) -> ClaimsResult:
     return ClaimsResult(outcomes=outcomes)
 
 
+def summarize(result: ClaimsResult) -> Dict[str, object]:
+    """Flatten E-C1..E-C5 to record metrics (per-claim effect and verdict)."""
+    metrics: Dict[str, object] = {
+        "all_hold": result.all_hold,
+        "n_claims": len(result.outcomes),
+        "n_holding": sum(1 for outcome in result.outcomes if outcome.holds),
+    }
+    for outcome in result.outcomes:
+        metrics[f"{outcome.claim_id}.measured"] = outcome.measured
+        metrics[f"{outcome.claim_id}.holds"] = outcome.holds
+    return metrics
+
+
 def report(result: ClaimsResult) -> str:
     rows = [
         (outcome.claim_id, outcome.statement, outcome.measured, outcome.holds)

@@ -199,6 +199,23 @@ def run(
     )
 
 
+def summarize(result: Figure1Result) -> Dict[str, object]:
+    """Flatten E-F1 to record metrics (sign agreement plus contrast deltas)."""
+    metrics: Dict[str, object] = {
+        "all_signs_match": result.all_signs_match,
+        "all_contrasts_hold": result.all_contrasts_hold,
+        "n_signs": len(result.sign_matches),
+        "n_signs_matching": sum(1 for match in result.sign_matches.values() if match),
+        "n_contrasts": len(result.contrasts),
+        "n_contrasts_holding": sum(1 for c in result.contrasts if c.holds),
+    }
+    for source, target in sorted(EXPECTED_SIGNS):
+        metrics[f"sensitivity.{source}->{target}"] = result.sensitivities[source][target]
+    for contrast in result.contrasts:
+        metrics[f"contrast_delta.{contrast.name}"] = contrast.delta
+    return metrics
+
+
 def report(result: Figure1Result) -> str:
     """Render the E-F1 tables."""
     rows = []

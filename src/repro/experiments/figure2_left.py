@@ -86,6 +86,20 @@ def run(
     )
 
 
+def summarize(result: Figure2LeftResult) -> dict:
+    """Flatten E-F2L to record metrics (Area-A size and the trust optimum)."""
+    return {
+        "n_points": len(result.points),
+        "n_area_a_points": len(result.area_a_points),
+        "area_a_fraction": result.area_a_fraction,
+        "threshold": result.threshold,
+        "best_trust": result.best_point.trust,
+        "best_sharing_level": result.best_point.settings.sharing_level,
+        "best_policy_strictness": result.best_point.settings.policy_strictness,
+        "best_in_area_a": result.best_in_area_a,
+    }
+
+
 def report(result: Figure2LeftResult) -> str:
     area_rows = [
         (

@@ -92,6 +92,28 @@ def run(
     )
 
 
+def summarize(result: Figure2RightResult) -> dict:
+    """Flatten E-F2R to record metrics (curve shape and optima)."""
+    metrics: dict = {
+        "n_analytic_points": len(result.analytic_points),
+        "n_simulated_points": len(result.simulated_points),
+        "n_iso_satisfaction_pairs": len(result.iso_satisfaction_pairs),
+        "best_analytic_sharing_level": result.best_analytic.sharing_level,
+        "best_analytic_trust": result.best_analytic.trust,
+    }
+    if result.best_simulated is not None:
+        metrics["best_simulated_sharing_level"] = result.best_simulated.sharing_level
+        metrics["best_simulated_trust"] = result.best_simulated.trust
+    # repr keeps the key exact: rounded keys would collide for close levels.
+    for point in result.analytic_points:
+        prefix = f"analytic[{point.sharing_level!r}]"
+        metrics[f"{prefix}.privacy"] = point.facets.privacy
+        metrics[f"{prefix}.reputation"] = point.facets.reputation
+        metrics[f"{prefix}.satisfaction"] = point.facets.satisfaction
+        metrics[f"{prefix}.trust"] = point.trust
+    return metrics
+
+
 def report(result: Figure2RightResult) -> str:
     headers = ["sharing level", "privacy", "reputation", "satisfaction", "trust", "in Area A"]
     analytic_rows = [

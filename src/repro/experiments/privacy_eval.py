@@ -138,6 +138,25 @@ def run(
     )
 
 
+def summarize(result: PrivacyEvalResult) -> Dict[str, object]:
+    """Flatten E-P1 to record metrics (enforcement rates and OECD scores)."""
+    metrics: Dict[str, object] = {
+        "requests": result.requests,
+        "granted": result.granted,
+        "denied": result.denied,
+        "denial_rate": result.denial_rate,
+        "breaches_injected": result.breaches_injected,
+        "policy_respect": result.policy_respect,
+        "mean_exposure": result.mean_exposure,
+        "oecd_overall": result.compliance.overall,
+    }
+    for reason, count in sorted(result.denial_reasons.items()):
+        metrics[f"denials.{reason}"] = count
+    for principle, score in result.compliance.as_rows():
+        metrics[f"oecd.{principle}"] = score
+    return metrics
+
+
 def report(result: PrivacyEvalResult) -> str:
     summary = format_table(
         ["measure", "value"],

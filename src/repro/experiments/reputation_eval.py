@@ -112,6 +112,21 @@ def run(
     return ReputationEvalResult(outcomes=outcomes)
 
 
+def summarize(result: ReputationEvalResult) -> Dict[str, object]:
+    """Flatten E-R1 to record metrics (per-cell rates plus baseline deltas)."""
+    metrics: Dict[str, object] = {"n_outcomes": len(result.outcomes)}
+    # repr keeps the key exact: rounded keys would collide for close fractions.
+    for outcome in result.outcomes:
+        prefix = f"{outcome.mechanism}[{outcome.malicious_fraction!r}]"
+        metrics[f"{prefix}.ranking_accuracy"] = outcome.ranking_accuracy
+        metrics[f"{prefix}.reputation_power"] = outcome.reputation_power
+        metrics[f"{prefix}.malicious_rate"] = outcome.malicious_interaction_rate
+        metrics[f"{prefix}.success_rate"] = outcome.success_rate
+    for mechanism, improvement in sorted(result.improvement_over_baseline().items()):
+        metrics[f"improvement.{mechanism}"] = improvement
+    return metrics
+
+
 def report(result: ReputationEvalResult) -> str:
     rows = [
         (

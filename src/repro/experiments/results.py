@@ -1,0 +1,188 @@
+"""Structured experiment results: the machine-readable sibling of reporting.
+
+Every registered experiment historically produced only a rendered text
+report.  Sweep campaigns (and CI, and any downstream analysis) need the
+numbers themselves, so this module defines :class:`ExperimentRecord` — one
+executed parameter point flattened to JSON scalars — plus deterministic
+JSON/CSV serialization for collections of records.
+
+Determinism is a contract, not an accident: the acceptance check for the
+sweep engine is that the same campaign seed and grid produce *byte-identical*
+output files whether the campaign ran on one worker or many.  Records
+therefore carry no wall-clock timestamps or host information, dictionaries
+are serialized with sorted keys, and floats round-trip through ``repr`` (the
+default for :mod:`json`), which is exact for IEEE doubles.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Bumped whenever the serialized record layout changes shape.
+RECORD_SCHEMA_VERSION = 1
+
+#: JSON scalar types a record may carry as a param or metric value.
+SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+class RecordValueError(TypeError):
+    """A param or metric value is not a JSON scalar."""
+
+
+def _require_scalars(mapping: Dict[str, object], kind: str) -> Dict[str, object]:
+    for key, value in mapping.items():
+        if not isinstance(value, SCALAR_TYPES):
+            raise RecordValueError(
+                f"{kind} {key!r} has non-scalar value {value!r} "
+                f"({type(value).__name__}); records carry JSON scalars only"
+            )
+        if isinstance(value, float) and not math.isfinite(value):
+            # NaN/Infinity have no strict-JSON representation; rejecting them
+            # here keeps every serialized record RFC-8259 parseable.
+            raise RecordValueError(
+                f"{kind} {key!r} has non-finite value {value!r}; "
+                "records carry strict-JSON scalars only"
+            )
+    return dict(mapping)
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One executed parameter point of one experiment, flattened to scalars.
+
+    ``params`` holds the swept keyword arguments exactly as passed to the
+    experiment's ``run()``; ``metrics`` holds the experiment's
+    ``summarize()`` output (flat name → scalar).  ``seed`` is the derived
+    per-task seed (``None`` for experiments whose ``run()`` takes no seed).
+    """
+
+    experiment: str
+    task_index: int
+    params: Dict[str, object]
+    seed: Optional[int]
+    status: str  # "ok" or "error"
+    metrics: Dict[str, object] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.status not in ("ok", "error"):
+            raise ValueError(f"status must be 'ok' or 'error', got {self.status!r}")
+        # Store validated copies so later mutation of the caller's dicts
+        # cannot reach into the frozen record.
+        object.__setattr__(self, "params", _require_scalars(self.params, "param"))
+        object.__setattr__(self, "metrics", _require_scalars(self.metrics, "metric"))
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-dict view in canonical field order."""
+        return {
+            "experiment": self.experiment,
+            "task_index": self.task_index,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "status": self.status,
+            "metrics": dict(self.metrics),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentRecord":
+        return cls(
+            experiment=payload["experiment"],
+            task_index=payload["task_index"],
+            params=dict(payload.get("params", {})),
+            seed=payload.get("seed"),
+            status=payload.get("status", "ok"),
+            metrics=dict(payload.get("metrics", {})),
+            error=payload.get("error"),
+        )
+
+
+def records_to_json(
+    records: Sequence[ExperimentRecord],
+    *,
+    campaign: Optional[Dict[str, object]] = None,
+) -> str:
+    """Serialize records (plus optional campaign metadata) deterministically.
+
+    ``campaign`` must itself be deterministic under re-execution — the sweep
+    engine keeps worker counts and timings out of it on purpose.
+    """
+    payload = {
+        "schema_version": RECORD_SCHEMA_VERSION,
+        "campaign": dict(campaign or {}),
+        "records": [record.to_dict() for record in sorted(records, key=lambda r: r.task_index)],
+    }
+    return json.dumps(payload, sort_keys=True, indent=2, allow_nan=False) + "\n"
+
+
+def records_from_json(text: str) -> List[ExperimentRecord]:
+    """Parse records back out of :func:`records_to_json` output."""
+    payload = json.loads(text)
+    return [ExperimentRecord.from_dict(entry) for entry in payload.get("records", [])]
+
+
+def campaign_from_json(text: str) -> Dict[str, object]:
+    """The campaign metadata block of a serialized result file."""
+    return json.loads(text).get("campaign", {})
+
+
+def write_records_json(
+    path: str,
+    records: Sequence[ExperimentRecord],
+    *,
+    campaign: Optional[Dict[str, object]] = None,
+) -> None:
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(records_to_json(records, campaign=campaign))
+
+
+def read_records_json(path: str) -> List[ExperimentRecord]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return records_from_json(handle.read())
+
+
+def records_to_csv(records: Sequence[ExperimentRecord]) -> str:
+    """Render records as CSV with ``param_*`` and ``metric_*`` columns.
+
+    The column set is the union over all records (sorted for determinism),
+    so heterogeneous sweeps stay loadable in one frame.
+    """
+    ordered = sorted(records, key=lambda record: record.task_index)
+    param_keys = sorted({key for record in ordered for key in record.params})
+    metric_keys = sorted({key for record in ordered for key in record.metrics})
+    fieldnames = (
+        ["experiment", "task_index", "seed", "status", "error"]
+        + [f"param_{key}" for key in param_keys]
+        + [f"metric_{key}" for key in metric_keys]
+    )
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, lineterminator="\n")
+    writer.writeheader()
+    for record in ordered:
+        row: Dict[str, object] = {
+            "experiment": record.experiment,
+            "task_index": record.task_index,
+            "seed": "" if record.seed is None else record.seed,
+            "status": record.status,
+            "error": record.error or "",
+        }
+        for key in param_keys:
+            row[f"param_{key}"] = record.params.get(key, "")
+        for key in metric_keys:
+            row[f"metric_{key}"] = record.metrics.get(key, "")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_records_csv(path: str, records: Sequence[ExperimentRecord]) -> None:
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(records_to_csv(records))

@@ -1,15 +1,20 @@
 """The experiment registry: one entry per DESIGN.md experiment id.
 
-Every experiment module exposes ``run(**kwargs) -> result`` and
-``report(result) -> str``; the registry maps human-facing names to those
-pairs so the CLI (``python -m repro.experiments``) and EXPERIMENTS.md can
-refer to experiments uniformly.
+Every experiment module exposes ``run(**kwargs) -> result``,
+``report(result) -> str`` and ``summarize(result) -> dict`` (a flat mapping
+of JSON scalars); the registry maps human-facing names to those triples so
+the CLI (``python -m repro.experiments``), the sweep engine
+(:mod:`repro.experiments.sweep`) and EXPERIMENTS.md can refer to experiments
+uniformly.  ``run_experiment`` keeps the historical text-report API;
+``run_experiment_structured`` is the machine-readable path the sweep engine
+is built on.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.experiments import (
     ablations,
@@ -32,9 +37,19 @@ class ExperimentEntry:
     description: str
     run: Callable[..., object]
     report: Callable[[object], str]
+    #: Adapter flattening the ``run()`` result to a dict of JSON scalars —
+    #: the structured twin of ``report`` used by sweeps and CI artifacts.
+    summarize: Callable[[object], Dict[str, object]]
     #: Keyword arguments that make the experiment finish quickly (used by the
     #: ``--quick`` CLI flag and by integration tests).
     quick_kwargs: Dict[str, object]
+
+    def accepted_parameters(self) -> Dict[str, inspect.Parameter]:
+        """The keyword parameters this experiment's ``run()`` accepts."""
+        return dict(inspect.signature(self.run).parameters)
+
+    def accepts(self, name: str) -> bool:
+        return name in self.accepted_parameters()
 
 
 EXPERIMENTS: Dict[str, ExperimentEntry] = {
@@ -44,6 +59,7 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         description="Figure 1: couplings among satisfaction, reputation, privacy and trust",
         run=figure1.run,
         report=figure1.report,
+        summarize=figure1.summarize,
         quick_kwargs={"sharing_levels": [0.3, 0.7], "n_users": 25, "rounds": 10},
     ),
     "figure2-left": ExperimentEntry(
@@ -52,6 +68,7 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         description="Figure 2 (left): the Area-A good-tradeoff region",
         run=figure2_left.run,
         report=figure2_left.report,
+        summarize=figure2_left.summarize,
         quick_kwargs={"sharing_levels": [0.0, 0.25, 0.5, 0.75, 1.0]},
     ),
     "figure2-right": ExperimentEntry(
@@ -60,6 +77,7 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         description="Figure 2 (right): privacy/reputation/satisfaction vs shared information",
         run=figure2_right.run,
         report=figure2_right.report,
+        summarize=figure2_right.summarize,
         quick_kwargs={"simulate": False},
     ),
     "claims": ExperimentEntry(
@@ -68,6 +86,7 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         description="The five qualitative couplings of Section 3",
         run=claims.run,
         report=claims.report,
+        summarize=claims.summarize,
         quick_kwargs={"n_users": 25, "rounds": 10},
     ),
     "reputation": ExperimentEntry(
@@ -76,6 +95,7 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         description="Reputation mechanisms vs adversary mixes",
         run=reputation_eval.run,
         report=reputation_eval.report,
+        summarize=reputation_eval.summarize,
         quick_kwargs={
             "mechanisms": ("none", "average", "eigentrust"),
             "malicious_fractions": (0.3,),
@@ -89,6 +109,7 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         description="PriServ-style enforcement and OECD compliance",
         run=privacy_eval.run,
         report=privacy_eval.report,
+        summarize=privacy_eval.summarize,
         quick_kwargs={"n_users": 25, "n_requests": 150},
     ),
     "satisfaction": ExperimentEntry(
@@ -97,6 +118,7 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         description="Allocation strategies vs long-run satisfaction",
         run=satisfaction_eval.run,
         report=satisfaction_eval.report,
+        summarize=satisfaction_eval.summarize,
         quick_kwargs={"n_providers": 8, "n_consumers": 15, "rounds": 15},
     ),
     "ablations": ExperimentEntry(
@@ -105,20 +127,53 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         description="Aggregator and anonymous-feedback ablations",
         run=ablations.run,
         report=ablations.report,
+        summarize=ablations.summarize,
         quick_kwargs={"n_users": 25, "rounds": 10},
     ),
 }
 
 
-def run_experiment(name: str, *, quick: bool = False, **overrides) -> str:
-    """Run one registered experiment and return its text report."""
+def get_experiment(name: str) -> ExperimentEntry:
+    """Look up a registered experiment or raise a helpful ``ValueError``."""
     try:
-        entry = EXPERIMENTS[name]
+        return EXPERIMENTS[name]
     except KeyError:
         raise ValueError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
+
+
+def _merged_kwargs(
+    entry: ExperimentEntry, *, quick: bool, overrides: Dict[str, object]
+) -> Dict[str, object]:
     kwargs = dict(entry.quick_kwargs) if quick else {}
     kwargs.update(overrides)
-    result = entry.run(**kwargs)
+    return kwargs
+
+
+def run_experiment(name: str, *, quick: bool = False, **overrides) -> str:
+    """Run one registered experiment and return its text report."""
+    entry = get_experiment(name)
+    result = entry.run(**_merged_kwargs(entry, quick=quick, overrides=overrides))
     return entry.report(result)
+
+
+def run_experiment_structured(
+    name: str,
+    *,
+    quick: bool = False,
+    seed: Optional[int] = None,
+    **overrides,
+) -> Dict[str, object]:
+    """Run one experiment and return its flat ``summarize()`` metrics.
+
+    ``seed`` is forwarded to ``run()`` only when the experiment accepts a
+    seed parameter (the analytic experiments do not), so sweep drivers can
+    pass derived seeds unconditionally.
+    """
+    entry = get_experiment(name)
+    kwargs = _merged_kwargs(entry, quick=quick, overrides=overrides)
+    if seed is not None and entry.accepts("seed"):
+        kwargs.setdefault("seed", seed)
+    result = entry.run(**kwargs)
+    return entry.summarize(result)

@@ -167,6 +167,22 @@ def run(
     return SatisfactionEvalResult(outcomes=outcomes)
 
 
+def summarize(result: SatisfactionEvalResult) -> Dict[str, object]:
+    """Flatten E-S1 to record metrics (per-strategy satisfaction profile)."""
+    metrics: Dict[str, object] = {"n_strategies": len(result.outcomes)}
+    for outcome in result.outcomes:
+        prefix = outcome.strategy
+        metrics[f"{prefix}.mean_quality"] = outcome.mean_quality
+        metrics[f"{prefix}.consumer_sat_mean"] = outcome.mean_consumer_satisfaction
+        metrics[f"{prefix}.consumer_sat_min"] = outcome.min_consumer_satisfaction
+        metrics[f"{prefix}.provider_sat_mean"] = outcome.mean_provider_satisfaction
+        metrics[f"{prefix}.provider_sat_min"] = outcome.min_provider_satisfaction
+        metrics[f"{prefix}.allocation_sat_mean"] = outcome.mean_allocation_satisfaction
+        metrics[f"{prefix}.imposed_fraction"] = outcome.imposed_fraction
+        metrics[f"{prefix}.failed_allocations"] = outcome.failed_allocations
+    return metrics
+
+
 def report(result: SatisfactionEvalResult) -> str:
     rows = [
         (

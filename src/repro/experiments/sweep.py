@@ -1,0 +1,428 @@
+"""Parallel sweep campaigns over the registered experiments.
+
+The paper's object of study is a *coupling surface* — how privacy, trust,
+reputation and satisfaction respond to the system settings — and a surface
+is mapped by sweeping parameters, not by running one point at a time.  This
+module turns any registered experiment into a campaign:
+
+* a :class:`SweepSpec` names the experiment and the parameter space —
+  explicit value grids (cartesian product), uniform random samples, or a
+  Latin-hypercube design over continuous ranges;
+* :func:`expand_tasks` materializes the space into :class:`SweepTask`s, each
+  with a per-task seed derived (via SHA-256) from the campaign seed, the
+  task's parameters and its index — so every task is reproducible in
+  isolation and independent of worker scheduling;
+* :func:`run_sweep` executes the tasks — inline for ``jobs=1``, through a
+  ``concurrent.futures.ProcessPoolExecutor`` otherwise — and collects
+  :class:`~repro.experiments.results.ExperimentRecord`s in task order.
+
+Determinism contract: the records (and hence the serialized JSON) depend
+only on the spec, never on the worker count or completion order.  Timing
+lives on :class:`SweepResult` for benchmarks but is excluded from the
+serialized campaign output.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import itertools
+import json
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.results import (
+    SCALAR_TYPES,
+    ExperimentRecord,
+    write_records_csv,
+    write_records_json,
+)
+from repro.experiments.runner import get_experiment, run_experiment_structured
+
+#: Supported parameter-space samplers.
+SAMPLERS = ("grid", "random", "latin")
+
+
+@dataclass(frozen=True)
+class ParamRange:
+    """A continuous ``[low, high]`` interval for random/Latin sampling."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise ConfigurationError(
+                f"empty parameter range [{self.low}, {self.high}]"
+            )
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One parameter point of a campaign, ready to execute anywhere."""
+
+    experiment: str
+    index: int
+    params: Dict[str, object]
+    seed: int
+    #: Whether the experiment's quick_kwargs form the base the params
+    #: override (campaigns default to quick bases so grids stay tractable).
+    quick_base: bool = True
+
+
+@dataclass
+class SweepSpec:
+    """A campaign: an experiment plus the parameter space to cover."""
+
+    experiment: str
+    grids: Dict[str, List[object]] = field(default_factory=dict)
+    ranges: Dict[str, ParamRange] = field(default_factory=dict)
+    sampler: str = "grid"
+    n_samples: int = 0
+    seed: int = 0
+    quick_base: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sampler not in SAMPLERS:
+            raise ConfigurationError(
+                f"unknown sampler {self.sampler!r}; expected one of {SAMPLERS}"
+            )
+        if self.sampler == "grid" and self.ranges:
+            raise ConfigurationError(
+                "continuous ranges require --sample random or latin; "
+                "the grid sampler only takes explicit value lists"
+            )
+        if self.sampler != "grid" and self.n_samples < 1:
+            raise ConfigurationError(
+                f"the {self.sampler} sampler needs n_samples >= 1"
+            )
+        if self.sampler == "grid" and self.n_samples > 0:
+            raise ConfigurationError(
+                "n_samples only applies to --sample random/latin; "
+                "the grid sampler always runs the full cartesian product"
+            )
+        if self.sampler == "latin":
+            for key, values in self.grids.items():
+                if len(values) > self.n_samples:
+                    raise ConfigurationError(
+                        f"latin design with n_samples={self.n_samples} cannot "
+                        f"cover the {len(values)} values of grid parameter "
+                        f"{key!r}; raise --n-samples or trim the grid"
+                    )
+        if not self.grids and not self.ranges:
+            raise ConfigurationError(
+                "a sweep needs at least one --grid or --range parameter"
+            )
+        overlap = set(self.grids) & set(self.ranges)
+        if overlap:
+            raise ConfigurationError(
+                f"parameters given both as grid and range: {sorted(overlap)}"
+            )
+        for key, values in self.grids.items():
+            for value in values:
+                if not isinstance(value, SCALAR_TYPES):
+                    raise ConfigurationError(
+                        f"grid parameter {key!r} has non-scalar value {value!r}; "
+                        "sweep records carry JSON scalars only"
+                    )
+        # Fail fast on parameters the experiment cannot accept.
+        entry = get_experiment(self.experiment)
+        for name in sorted(set(self.grids) | set(self.ranges)):
+            if not entry.accepts(name):
+                raise ConfigurationError(
+                    f"experiment {self.experiment!r} takes no parameter {name!r}; "
+                    f"accepted: {sorted(entry.accepted_parameters())}"
+                )
+
+    def campaign_metadata(self) -> Dict[str, object]:
+        """Deterministic campaign header for serialized results (no timing,
+        no worker counts — those must not leak into the output file)."""
+        return {
+            "experiment": self.experiment,
+            "sampler": self.sampler,
+            "seed": self.seed,
+            "quick_base": self.quick_base,
+            "grids": {key: list(values) for key, values in self.grids.items()},
+            "ranges": {
+                key: [value.low, value.high] for key, value in self.ranges.items()
+            },
+            "n_samples": self.n_samples,
+        }
+
+
+def derive_task_seed(
+    campaign_seed: int, experiment: str, index: int, params: Dict[str, object]
+) -> int:
+    """A per-task seed that is stable across processes and Python runs.
+
+    SHA-256 over the canonical JSON of (campaign seed, experiment, index,
+    params) — unlike ``hash()``, immune to ``PYTHONHASHSEED``.
+    """
+    canonical = json.dumps(
+        {
+            "campaign_seed": campaign_seed,
+            "experiment": experiment,
+            "index": index,
+            "params": params,
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _grid_points(grids: Dict[str, List[object]]) -> List[Dict[str, object]]:
+    keys = list(grids)
+    combos = itertools.product(*(grids[key] for key in keys))
+    return [dict(zip(keys, combo)) for combo in combos]
+
+
+def _random_points(spec: SweepSpec) -> List[Dict[str, object]]:
+    rng = random.Random(spec.seed)
+    points = []
+    for _ in range(spec.n_samples):
+        point: Dict[str, object] = {}
+        for key in sorted(spec.grids):
+            point[key] = rng.choice(spec.grids[key])
+        for key in sorted(spec.ranges):
+            bounds = spec.ranges[key]
+            point[key] = rng.uniform(bounds.low, bounds.high)
+        points.append(point)
+    return points
+
+
+def _latin_points(spec: SweepSpec) -> List[Dict[str, object]]:
+    """Latin-hypercube design: each continuous range is cut into
+    ``n_samples`` strata and every stratum is visited exactly once per
+    parameter; discrete grid parameters are stratified over their values
+    (spec validation guarantees ``n_samples >= len(values)``, so every
+    value appears at least once)."""
+    rng = random.Random(spec.seed)
+    n = spec.n_samples
+    columns: Dict[str, List[object]] = {}
+    for key in sorted(spec.grids):
+        values = spec.grids[key]
+        # Repeat the value list to length n, then shuffle: balanced coverage.
+        repeated = [values[i % len(values)] for i in range(n)]
+        rng.shuffle(repeated)
+        columns[key] = repeated
+    for key in sorted(spec.ranges):
+        bounds = spec.ranges[key]
+        strata = list(range(n))
+        rng.shuffle(strata)
+        columns[key] = [
+            bounds.low + (stratum + rng.random()) / n * (bounds.high - bounds.low)
+            for stratum in strata
+        ]
+    return [{key: columns[key][i] for key in columns} for i in range(n)]
+
+
+def expand_tasks(spec: SweepSpec) -> List[SweepTask]:
+    """Materialize the campaign's parameter space into ordered tasks."""
+    if spec.sampler == "grid":
+        points = _grid_points(spec.grids)
+    elif spec.sampler == "random":
+        points = _random_points(spec)
+    else:
+        points = _latin_points(spec)
+    return [
+        SweepTask(
+            experiment=spec.experiment,
+            index=index,
+            params=point,
+            seed=derive_task_seed(spec.seed, spec.experiment, index, point),
+            quick_base=spec.quick_base,
+        )
+        for index, point in enumerate(points)
+    ]
+
+
+def execute_task(task: SweepTask) -> ExperimentRecord:
+    """Run one task to a record; failures become ``status="error"`` records
+    so a single bad point never sinks a campaign.  Top-level so it pickles
+    for the process pool."""
+    entry = get_experiment(task.experiment)
+    # An explicitly swept seed wins over the derived task seed (the user
+    # asked for that exact value); otherwise the derived seed applies when
+    # the experiment takes one.  The record reports the seed actually used.
+    params = dict(task.params)
+    seed = params.pop("seed", None)
+    if seed is None:
+        seed = task.seed
+    used_seed: Optional[int] = seed if entry.accepts("seed") else None
+    try:
+        metrics = run_experiment_structured(
+            task.experiment, quick=task.quick_base, seed=seed, **params
+        )
+        return ExperimentRecord(
+            experiment=task.experiment,
+            task_index=task.index,
+            params=task.params,
+            seed=used_seed,
+            status="ok",
+            metrics=metrics,
+        )
+    except Exception as exc:  # noqa: BLE001 - campaign isolation boundary
+        return ExperimentRecord(
+            experiment=task.experiment,
+            task_index=task.index,
+            params=task.params,
+            seed=used_seed,
+            status="error",
+            metrics={},
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+@dataclass
+class SweepResult:
+    """The executed campaign: ordered records plus execution telemetry."""
+
+    spec: SweepSpec
+    records: List[ExperimentRecord]
+    jobs: int
+    wall_time: float
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for record in self.records if record.ok)
+
+    @property
+    def n_errors(self) -> int:
+        return len(self.records) - self.n_ok
+
+    @property
+    def tasks_per_second(self) -> float:
+        if self.wall_time <= 0:
+            return float("inf")
+        return len(self.records) / self.wall_time
+
+    def write_json(self, path: str) -> None:
+        """Serialize records + campaign header; deterministic by contract."""
+        write_records_json(
+            path, self.records, campaign=self.spec.campaign_metadata()
+        )
+
+    def write_csv(self, path: str) -> None:
+        write_records_csv(path, self.records)
+
+
+def run_sweep(spec: SweepSpec, *, jobs: int = 1) -> SweepResult:
+    """Execute every task of the campaign and collect ordered records.
+
+    ``jobs=1`` runs inline (no pool, easiest to debug); ``jobs>1`` fans the
+    tasks over a process pool.  Records are always returned sorted by task
+    index, so the output is identical either way.
+    """
+    if jobs < 1:
+        raise ConfigurationError("jobs must be at least 1")
+    tasks = expand_tasks(spec)
+    start = time.perf_counter()
+    if jobs == 1 or len(tasks) <= 1:
+        records = [execute_task(task) for task in tasks]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks))
+        ) as pool:
+            records = list(pool.map(execute_task, tasks))
+    records.sort(key=lambda record: record.task_index)
+    wall_time = time.perf_counter() - start
+    return SweepResult(spec=spec, records=records, jobs=jobs, wall_time=wall_time)
+
+
+# -- CLI-facing parsing helpers -------------------------------------------------
+
+
+def parse_scalar(text: str) -> object:
+    """``"25"`` → 25, ``"0.5"`` → 0.5, ``"true"`` → True, else the string.
+
+    ``"nan"``/``"inf"`` stay strings: non-finite floats have no strict-JSON
+    representation, so they may not enter a record as numbers.
+    """
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        value = float(text)
+        if math.isfinite(value):
+            return value
+    except ValueError:
+        pass
+    lowered = text.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    return text
+
+
+def parse_grid_option(option: str) -> Tuple[str, List[object]]:
+    """Parse one ``--grid key=v1,v2,...`` occurrence."""
+    if "=" not in option:
+        raise ConfigurationError(
+            f"--grid expects key=v1,v2,... (got {option!r})"
+        )
+    key, _, values_text = option.partition("=")
+    values = [parse_scalar(value) for value in values_text.split(",") if value != ""]
+    if not key or not values:
+        raise ConfigurationError(
+            f"--grid expects key=v1,v2,... (got {option!r})"
+        )
+    return key, values
+
+
+def parse_range_option(option: str) -> Tuple[str, ParamRange]:
+    """Parse one ``--range key=low:high`` occurrence."""
+    if "=" not in option or ":" not in option.partition("=")[2]:
+        raise ConfigurationError(
+            f"--range expects key=low:high (got {option!r})"
+        )
+    key, _, bounds_text = option.partition("=")
+    low_text, _, high_text = bounds_text.partition(":")
+    try:
+        bounds = ParamRange(low=float(low_text), high=float(high_text))
+    except ValueError:
+        raise ConfigurationError(
+            f"--range expects numeric bounds (got {option!r})"
+        ) from None
+    return key, bounds
+
+
+def spec_from_options(
+    experiment: str,
+    *,
+    grid_options: Sequence[str] = (),
+    range_options: Sequence[str] = (),
+    sampler: str = "grid",
+    n_samples: int = 0,
+    seed: int = 0,
+    quick_base: bool = True,
+) -> SweepSpec:
+    """Build a :class:`SweepSpec` from raw CLI option strings."""
+    grids: Dict[str, List[object]] = {}
+    for option in grid_options:
+        key, values = parse_grid_option(option)
+        # Repeating --grid for the same key extends its value list.
+        grids.setdefault(key, []).extend(values)
+    ranges: Dict[str, ParamRange] = {}
+    for option in range_options:
+        key, bounds = parse_range_option(option)
+        if key in ranges:
+            raise ConfigurationError(
+                f"--range given twice for parameter {key!r}"
+            )
+        ranges[key] = bounds
+    return SweepSpec(
+        experiment=experiment,
+        grids=grids,
+        ranges=ranges,
+        sampler=sampler,
+        n_samples=n_samples,
+        seed=seed,
+        quick_base=quick_base,
+    )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.privacy.disclosure import DisclosureLedger, DisclosureRecord
-from repro.privacy.purposes import Operation, Purpose
+from repro.privacy.purposes import Purpose
 
 
 def record(time=0, owner="alice", recipient="bob", data_id="alice/photo",

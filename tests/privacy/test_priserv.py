@@ -12,7 +12,7 @@ from repro.privacy.policy import (
     restrictive_policy,
 )
 from repro.privacy.priserv import PriServService
-from repro.privacy.purposes import Operation, Purpose
+from repro.privacy.purposes import Purpose
 
 
 PEERS = ["alice", "bob", "carol", "dave"]

@@ -46,7 +46,10 @@ def test_step_preserves_bounds(dynamics, state):
 @given(dynamics=dynamics_instances, state=states)
 @settings(max_examples=40, deadline=None)
 def test_dynamics_converge_from_any_start(dynamics, state):
-    trajectory = dynamics.run(state, steps=400, tolerance=1e-7)
+    # 1000 steps: with damping near the 0.05 floor and a high-gain parameter
+    # corner the contraction rate is ~0.98/step, so 400 steps is not enough
+    # to push the per-step residual below the bound.
+    trajectory = dynamics.run(state, steps=1000, tolerance=1e-7)
     assert trajectory[-1].distance(trajectory[-2]) < 1e-5
 
 

@@ -79,9 +79,13 @@ def test_ewma_stays_between_previous_and_observation(previous, observation, alph
 def test_normalized_weights_sum_to_one_and_preserve_order(weights):
     normalized = normalize_weights(weights)
     assert abs(sum(normalized) - 1.0) < 1e-9
-    ranks_before = sorted(range(len(weights)), key=lambda i: weights[i])
-    ranks_after = sorted(range(len(normalized)), key=lambda i: normalized[i])
-    assert ranks_before == ranks_after
+    # IEEE division by the same positive total is monotone, but two nearly
+    # equal weights may round to the same normalized value — so order is
+    # preserved in the non-strict sense only.
+    for i in range(len(weights)):
+        for j in range(len(weights)):
+            if weights[i] < weights[j]:
+                assert normalized[i] <= normalized[j]
 
 
 @given(
