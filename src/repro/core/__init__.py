@@ -21,6 +21,12 @@
   application constraints.
 """
 
+from repro.core.backend import (
+    HAS_NUMPY,
+    PeerIndex,
+    available_backends,
+    resolve_backend,
+)
 from repro.core.config import SystemSettings
 from repro.core.coupling import CouplingDynamics, CouplingState, coupling_matrix
 from repro.core.facets import (
@@ -50,14 +56,18 @@ __all__ = [
     "CouplingState",
     "FacetConstraints",
     "FacetScores",
+    "HAS_NUMPY",
     "OptimizationResult",
+    "PeerIndex",
     "SettingsExplorer",
     "SystemSettings",
     "TradeoffPoint",
     "TrustModel",
     "TrustOptimizer",
     "TrustReport",
+    "available_backends",
     "coupling_matrix",
+    "resolve_backend",
     "privacy_facet",
     "reputation_facet",
     "satisfaction_facet",

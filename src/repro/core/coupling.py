@@ -31,12 +31,15 @@ every other variable at equilibrium.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro._util import clamp, require_unit_interval
+from repro.core import backend as backend_kernels
+from repro.core.backend import VECTORIZED_BACKEND, resolve_backend
 from repro.errors import ConfigurationError
 
-#: Variables a perturbation experiment can target.
+#: Variables a perturbation experiment can target.  The order doubles as the
+#: column layout of the array kernels (:data:`repro.core.backend.COUPLING_LAYOUT`).
 STATE_VARIABLES = (
     "trust",
     "satisfaction",
@@ -45,6 +48,19 @@ STATE_VARIABLES = (
     "honest_contribution",
     "privacy_satisfaction",
 )
+
+
+def _state_to_vector(state: "CouplingState"):
+    numpy = backend_kernels.require_numpy()
+    return numpy.array(
+        [getattr(state, name) for name in STATE_VARIABLES], dtype=float
+    )
+
+
+def _state_from_vector(values) -> "CouplingState":
+    return CouplingState(
+        **{name: float(value) for name, value in zip(STATE_VARIABLES, values)}
+    )
 
 
 @dataclass(frozen=True)
@@ -101,6 +117,10 @@ class CouplingDynamics:
     privacy_weight: float = 1.0
     reputation_weight: float = 1.0
     satisfaction_weight: float = 1.0
+    #: Compute backend: "python" (reference loops), "vectorized" (NumPy
+    #: kernels, bitwise identical on single trajectories, batched stepping
+    #: for :meth:`equilibria`) or "auto" (vectorized when NumPy is there).
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         require_unit_interval(self.sharing_level, "sharing_level")
@@ -110,6 +130,24 @@ class CouplingDynamics:
         require_unit_interval(self.damping, "damping")
         if self.damping == 0.0:
             raise ConfigurationError("damping must be positive for the state to move")
+        resolve_backend(self.backend)  # fail fast on unknown backends
+
+    @property
+    def resolved_backend(self) -> str:
+        return resolve_backend(self.backend)
+
+    def _kernel_params(self) -> Dict[str, float]:
+        """The dynamics parameters in the form the array kernels take."""
+        return {
+            "sharing_level": self.sharing_level,
+            "mechanism_power": self.mechanism_power,
+            "policy_respect": self.policy_respect,
+            "trustworthy_fraction": self.trustworthy_fraction,
+            "damping": self.damping,
+            "privacy_weight": self.privacy_weight,
+            "reputation_weight": self.reputation_weight,
+            "satisfaction_weight": self.satisfaction_weight,
+        }
 
     # -- targets (the couplings themselves) ---------------------------------
 
@@ -187,10 +225,24 @@ class CouplingDynamics:
         steps: int = 200,
         tolerance: float = 1e-6,
     ) -> List[CouplingState]:
-        """Iterate until convergence (or the step budget) and return the trajectory."""
+        """Iterate until convergence (or the step budget) and return the trajectory.
+
+        The vectorized backend runs the same damped update as an array
+        kernel (:func:`repro.core.backend.coupling_run`); its expressions
+        mirror :meth:`step` operand by operand, so both backends produce
+        bitwise-identical trajectories.
+        """
         if steps < 1:
             raise ConfigurationError("steps must be at least 1")
         state = initial or CouplingState()
+        if self.resolved_backend == VECTORIZED_BACKEND:
+            path = backend_kernels.coupling_run(
+                _state_to_vector(state),
+                steps=steps,
+                tolerance=tolerance,
+                **self._kernel_params(),
+            )
+            return [_state_from_vector(row) for row in path]
         trajectory = [state]
         for _ in range(steps):
             next_state = self.step(state)
@@ -205,6 +257,36 @@ class CouplingDynamics:
     ) -> CouplingState:
         """The state the dynamics converge to from ``initial``."""
         return self.run(initial, steps=steps)[-1]
+
+    def equilibria(
+        self,
+        initials: Sequence[CouplingState],
+        *,
+        steps: int = 500,
+        tolerance: float = 1e-6,
+    ) -> List[CouplingState]:
+        """Fixed points reached from many initial states.
+
+        Equivalent to ``[self.equilibrium(s) for s in initials]`` but the
+        vectorized backend advances every still-unconverged trajectory
+        through one batched kernel step per iteration — the batch form the
+        perturbation experiments and settings sweeps are built on.
+        """
+        if steps < 1:
+            raise ConfigurationError("steps must be at least 1")
+        if not initials:
+            return []
+        if self.resolved_backend == VECTORIZED_BACKEND:
+            numpy = backend_kernels.require_numpy()
+            batch = numpy.stack([_state_to_vector(state) for state in initials])
+            final = backend_kernels.coupling_equilibria(
+                batch, steps=steps, tolerance=tolerance, **self._kernel_params()
+            )
+            return [_state_from_vector(row) for row in final]
+        return [
+            self.run(state, steps=steps, tolerance=tolerance)[-1]
+            for state in initials
+        ]
 
 
 def coupling_matrix(
@@ -223,15 +305,32 @@ def coupling_matrix(
     """
     require_unit_interval(perturbation, "perturbation")
     equilibrium = dynamics.equilibrium()
-    matrix: Dict[str, Dict[str, float]] = {}
+
+    deltas: Dict[str, float] = {}
+    perturbed_states: List[CouplingState] = []
     for source in STATE_VARIABLES:
         perturbed_value = clamp(getattr(equilibrium, source) + perturbation)
-        actual_delta = perturbed_value - getattr(equilibrium, source)
-        perturbed = replace(equilibrium, **{source: perturbed_value})
-        state = perturbed
+        deltas[source] = perturbed_value - getattr(equilibrium, source)
+        perturbed_states.append(replace(equilibrium, **{source: perturbed_value}))
+
+    if dynamics.resolved_backend == VECTORIZED_BACKEND:
+        # One batched kernel step advances all six perturbation responses at
+        # once; element-wise it is the same arithmetic as the scalar loop.
+        numpy = backend_kernels.require_numpy()
+        batch = numpy.stack([_state_to_vector(state) for state in perturbed_states])
         for _ in range(response_steps):
-            state = dynamics.step(state)
-        baseline = equilibrium
+            batch = backend_kernels.coupling_step(batch, **dynamics._kernel_params())
+        responses_states = [_state_from_vector(row) for row in batch]
+    else:
+        responses_states = []
+        for state in perturbed_states:
+            for _ in range(response_steps):
+                state = dynamics.step(state)
+            responses_states.append(state)
+
+    matrix: Dict[str, Dict[str, float]] = {}
+    for source, state in zip(STATE_VARIABLES, responses_states):
+        actual_delta = deltas[source]
         responses = {}
         for target in STATE_VARIABLES:
             if target == source:
@@ -240,7 +339,7 @@ def coupling_matrix(
                 responses[target] = 0.0
             else:
                 responses[target] = (
-                    getattr(state, target) - getattr(baseline, target)
+                    getattr(state, target) - getattr(equilibrium, target)
                 ) / actual_delta
         matrix[source] = responses
     return matrix

@@ -100,6 +100,15 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="campaign seed")
     parser.add_argument(
+        "--backend",
+        choices=("auto", "python", "vectorized"),
+        default="auto",
+        help=(
+            "compute backend for every task (default auto: vectorized when "
+            "numpy is available); records are identical either way"
+        ),
+    )
+    parser.add_argument(
         "--out",
         metavar="PATH",
         help="write the JSON record file here",
@@ -132,6 +141,7 @@ def sweep_main(argv: List[str]) -> int:
             n_samples=args.n_samples,
             seed=args.seed,
             quick_base=not args.full,
+            backend=args.backend,
         )
     except (ConfigurationError, ValueError) as exc:
         parser.error(str(exc))

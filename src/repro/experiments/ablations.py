@@ -93,7 +93,7 @@ ANONYMITY_MODES = (
 
 
 def run_anonymity_ablation(
-    *, n_users: int = 40, rounds: int = 20, seed: int = 0
+    *, n_users: int = 40, rounds: int = 20, seed: int = 0, backend: str = "auto"
 ) -> List[AnonymityOutcome]:
     """E-A2: identified versus anonymous feedback on the same scenario."""
     outcomes = []
@@ -108,6 +108,7 @@ def run_anonymity_ablation(
                 seed=seed,
                 malicious_fraction=0.3,
                 settings=settings,
+                backend=backend,
             )
         ).run()
         owners = result.ledger.owners()
@@ -129,10 +130,14 @@ def run_anonymity_ablation(
     return outcomes
 
 
-def run(*, n_users: int = 40, rounds: int = 20, seed: int = 0) -> AblationResult:
+def run(
+    *, n_users: int = 40, rounds: int = 20, seed: int = 0, backend: str = "auto"
+) -> AblationResult:
     return AblationResult(
         aggregators=run_aggregator_ablation(),
-        anonymity=run_anonymity_ablation(n_users=n_users, rounds=rounds, seed=seed),
+        anonymity=run_anonymity_ablation(
+            n_users=n_users, rounds=rounds, seed=seed, backend=backend
+        ),
     )
 
 

@@ -77,7 +77,7 @@ class Figure1Result:
 
 
 def _scenario(settings: SystemSettings, *, n_users: int, rounds: int, seed: int,
-              malicious_fraction: float = 0.2) -> ScenarioResult:
+              malicious_fraction: float = 0.2, backend: str = "auto") -> ScenarioResult:
     return Scenario(
         ScenarioConfig(
             n_users=n_users,
@@ -85,11 +85,13 @@ def _scenario(settings: SystemSettings, *, n_users: int, rounds: int, seed: int,
             seed=seed,
             malicious_fraction=malicious_fraction,
             settings=settings,
+            backend=backend,
         )
     ).run()
 
 
-def _empirical_contrasts(*, n_users: int, rounds: int, seed: int) -> List[EmpiricalContrast]:
+def _empirical_contrasts(*, n_users: int, rounds: int, seed: int,
+                         backend: str = "auto") -> List[EmpiricalContrast]:
     """Targeted scenario pairs, one per Figure-1 arrow measurable end to end."""
     contrasts: List[EmpiricalContrast] = []
 
@@ -97,11 +99,11 @@ def _empirical_contrasts(*, n_users: int, rounds: int, seed: int) -> List[Empiri
     # information -> more efficient reputation (coverage of the population).
     low_sharing = _scenario(
         SystemSettings(sharing_level=0.15, reputation_mechanism="beta"),
-        n_users=n_users, rounds=rounds, seed=seed,
+        n_users=n_users, rounds=rounds, seed=seed, backend=backend,
     )
     high_sharing = _scenario(
         SystemSettings(sharing_level=1.0, reputation_mechanism="beta"),
-        n_users=n_users, rounds=rounds, seed=seed,
+        n_users=n_users, rounds=rounds, seed=seed, backend=backend,
     )
     contrasts.append(
         EmpiricalContrast(
@@ -128,10 +130,12 @@ def _empirical_contrasts(*, n_users: int, rounds: int, seed: int) -> List[Empiri
     no_reputation = _scenario(
         SystemSettings(reputation_mechanism="none"),
         n_users=n_users, rounds=rounds, seed=seed, malicious_fraction=0.3,
+        backend=backend,
     )
     with_reputation = _scenario(
         SystemSettings(reputation_mechanism="eigentrust"),
         n_users=n_users, rounds=rounds, seed=seed, malicious_fraction=0.3,
+        backend=backend,
     )
     contrasts.append(
         EmpiricalContrast(
@@ -148,11 +152,11 @@ def _empirical_contrasts(*, n_users: int, rounds: int, seed: int) -> List[Empiri
     # population (low satisfaction) with a healthy one.
     hostile = _scenario(
         SystemSettings(), n_users=n_users, rounds=rounds, seed=seed,
-        malicious_fraction=0.6,
+        malicious_fraction=0.6, backend=backend,
     )
     healthy = _scenario(
         SystemSettings(), n_users=n_users, rounds=rounds, seed=seed,
-        malicious_fraction=0.05,
+        malicious_fraction=0.05, backend=backend,
     )
     contrasts.append(
         EmpiricalContrast(
@@ -174,14 +178,17 @@ def run(
     n_users: int = 40,
     rounds: int = 20,
     seed: int = 0,
+    backend: str = "auto",
 ) -> Figure1Result:
     """Run E-F1 and return its result.
 
     ``sharing_levels`` is kept for API compatibility with older callers and
     the quick-mode presets; the empirical part now uses targeted contrasts
-    rather than a correlation over that sweep.
+    rather than a correlation over that sweep.  ``backend`` selects the
+    compute backend ("python", "vectorized" or "auto") without changing any
+    result.
     """
-    dynamics = CouplingDynamics()
+    dynamics = CouplingDynamics(backend=backend)
     sensitivities = coupling_matrix(dynamics)
 
     sign_matches = {}
@@ -191,7 +198,9 @@ def run(
             measured > 0 if expected > 0 else measured < 0
         )
 
-    contrasts = _empirical_contrasts(n_users=n_users, rounds=rounds, seed=seed)
+    contrasts = _empirical_contrasts(
+        n_users=n_users, rounds=rounds, seed=seed, backend=backend
+    )
     return Figure1Result(
         sensitivities=sensitivities,
         sign_matches=sign_matches,

@@ -49,9 +49,12 @@ class Figure2RightResult:
 
 
 def _simulate_point(settings: SystemSettings, *, n_users: int, rounds: int,
-                    seed: int) -> TradeoffPoint:
+                    seed: int, backend: str = "auto") -> TradeoffPoint:
     result = Scenario(
-        ScenarioConfig(n_users=n_users, rounds=rounds, seed=seed, settings=settings)
+        ScenarioConfig(
+            n_users=n_users, rounds=rounds, seed=seed, settings=settings,
+            backend=backend,
+        )
     ).run()
     return TradeoffPoint(
         settings=settings,
@@ -68,6 +71,7 @@ def run(
     n_users: int = 40,
     rounds: int = 20,
     seed: int = 0,
+    backend: str = "auto",
 ) -> Figure2RightResult:
     """Run E-F2R; set ``simulate=False`` for the analytic-only fast path."""
     explorer = SettingsExplorer()
@@ -78,7 +82,10 @@ def run(
         for level in levels:
             settings = SystemSettings(sharing_level=level)
             simulated_points.append(
-                _simulate_point(settings, n_users=n_users, rounds=rounds, seed=seed)
+                _simulate_point(
+                    settings, n_users=n_users, rounds=rounds, seed=seed,
+                    backend=backend,
+                )
             )
 
     dense_points = explorer.sweep_sharing_levels(resolution=41)

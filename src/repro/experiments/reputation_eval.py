@@ -84,6 +84,7 @@ def run(
     n_users: int = 50,
     rounds: int = 25,
     seed: int = 0,
+    backend: str = "auto",
 ) -> ReputationEvalResult:
     """Run E-R1 over the mechanism × malicious-fraction grid."""
     outcomes: List[MechanismOutcome] = []
@@ -97,6 +98,7 @@ def run(
                     seed=seed,
                     malicious_fraction=malicious_fraction,
                     settings=settings,
+                    backend=backend,
                 )
             ).run()
             outcomes.append(

@@ -163,17 +163,22 @@ def run_experiment_structured(
     *,
     quick: bool = False,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
     **overrides,
 ) -> Dict[str, object]:
     """Run one experiment and return its flat ``summarize()`` metrics.
 
     ``seed`` is forwarded to ``run()`` only when the experiment accepts a
     seed parameter (the analytic experiments do not), so sweep drivers can
-    pass derived seeds unconditionally.
+    pass derived seeds unconditionally.  ``backend`` works the same way: it
+    selects the compute backend on experiments that take one and is ignored
+    (harmlessly — results are backend-independent by contract) elsewhere.
     """
     entry = get_experiment(name)
     kwargs = _merged_kwargs(entry, quick=quick, overrides=overrides)
     if seed is not None and entry.accepts("seed"):
         kwargs.setdefault("seed", seed)
+    if backend is not None and entry.accepts("backend"):
+        kwargs.setdefault("backend", backend)
     result = entry.run(**kwargs)
     return entry.summarize(result)

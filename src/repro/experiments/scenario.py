@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro._util import clamp
+from repro.core.backend import resolve_backend
 from repro.core.config import SystemSettings
 from repro.core.facets import (
     FacetScores,
@@ -73,12 +74,16 @@ class ScenarioConfig:
     feedback_sensitivity: float = 0.15
     #: Reference exposure used to normalize ledger exposure into [0, 1].
     reference_exposure: float = 20.0
+    #: Compute backend for the reputation mechanism and the simulator
+    #: ("python", "vectorized" or "auto"); results are backend-independent.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_users < 2:
             raise ConfigurationError("n_users must be at least 2")
         if self.rounds < 1:
             raise ConfigurationError("rounds must be at least 1")
+        resolve_backend(self.backend)
 
 
 @dataclass
@@ -138,9 +143,11 @@ class Scenario:
                 (user.user_id for user in graph.users() if user.is_honest),
                 key=lambda uid: -graph.degree(uid),
             )[:3]
-            system = make_reputation_system(mechanism, pretrusted=founders)
+            system = make_reputation_system(
+                mechanism, pretrusted=founders, backend=self.config.backend
+            )
         else:
-            system = make_reputation_system(mechanism)
+            system = make_reputation_system(mechanism, backend=self.config.backend)
         if self.config.settings.anonymous_feedback:
             return AnonymousFeedbackReputation(system, seed=self.config.seed)
         return system
@@ -237,6 +244,7 @@ class Scenario:
             churn=ChurnModel(leave_probability=config.churn_leave_probability),
             interactions_per_peer=config.interactions_per_peer,
             seed=config.seed,
+            backend=config.backend,
         )
         simulator = InteractionSimulator(
             graph,

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.backend import resolve_backend
 from repro.errors import ConfigurationError
 from repro.experiments.results import (
     SCALAR_TYPES,
@@ -72,6 +73,10 @@ class SweepTask:
     #: Whether the experiment's quick_kwargs form the base the params
     #: override (campaigns default to quick bases so grids stay tractable).
     quick_base: bool = True
+    #: Compute backend the task runs on.  Execution detail, not campaign
+    #: identity: records are backend-independent by contract, so the backend
+    #: never appears in params or in the serialized campaign header.
+    backend: str = "auto"
 
 
 @dataclass
@@ -85,8 +90,13 @@ class SweepSpec:
     n_samples: int = 0
     seed: int = 0
     quick_base: bool = True
+    #: Compute backend for every task ("python", "vectorized" or "auto").
+    #: Like ``jobs``, this is execution telemetry: it must not change the
+    #: records and is therefore excluded from the campaign metadata.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
+        resolve_backend(self.backend)
         if self.sampler not in SAMPLERS:
             raise ConfigurationError(
                 f"unknown sampler {self.sampler!r}; expected one of {SAMPLERS}"
@@ -236,6 +246,7 @@ def expand_tasks(spec: SweepSpec) -> List[SweepTask]:
             params=point,
             seed=derive_task_seed(spec.seed, spec.experiment, index, point),
             quick_base=spec.quick_base,
+            backend=spec.backend,
         )
         for index, point in enumerate(points)
     ]
@@ -256,7 +267,11 @@ def execute_task(task: SweepTask) -> ExperimentRecord:
     used_seed: Optional[int] = seed if entry.accepts("seed") else None
     try:
         metrics = run_experiment_structured(
-            task.experiment, quick=task.quick_base, seed=seed, **params
+            task.experiment,
+            quick=task.quick_base,
+            seed=seed,
+            backend=task.backend,
+            **params,
         )
         return ExperimentRecord(
             experiment=task.experiment,
@@ -402,6 +417,7 @@ def spec_from_options(
     n_samples: int = 0,
     seed: int = 0,
     quick_base: bool = True,
+    backend: str = "auto",
 ) -> SweepSpec:
     """Build a :class:`SweepSpec` from raw CLI option strings."""
     grids: Dict[str, List[object]] = {}
@@ -425,4 +441,5 @@ def spec_from_options(
         n_samples=n_samples,
         seed=seed,
         quick_base=quick_base,
+        backend=backend,
     )

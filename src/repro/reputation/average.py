@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Dict
 
 from repro._util import mean
+from repro.core import backend as backend_kernels
+from repro.core.backend import VECTORIZED_BACKEND, PeerIndex
 from repro.reputation.base import ReputationSystem
 
 
@@ -21,8 +23,24 @@ class SimpleAverageReputation(ReputationSystem):
     information_requirement = 0.2
 
     def compute_scores(self) -> Dict[str, float]:
+        if self.resolved_backend == VECTORIZED_BACKEND:
+            return self._compute_vectorized()
         scores: Dict[str, float] = {}
         for subject in self.store.subjects():
             ratings = [feedback.rating for feedback in self.store.about(subject)]
             scores[subject] = mean(ratings, default=self.default_score)
         return scores
+
+    def _compute_vectorized(self) -> Dict[str, float]:
+        subjects = self.store.subjects()
+        if not subjects:
+            return {}
+        index = PeerIndex(subjects)
+        columns = self.store.columns()
+        positions = backend_kernels.subject_positions_from_columns(columns, index)
+        values = backend_kernels.mean_scores(
+            positions,
+            columns.ratings,
+            len(index),
+        )
+        return index.vector_to_dict(values)

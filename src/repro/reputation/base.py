@@ -24,8 +24,21 @@ import abc
 from typing import Dict, List, Optional
 
 from repro._util import clamp
+from repro.core.backend import resolve_backend
 from repro.reputation.gathering import FeedbackStore, LocalTrustBuilder
 from repro.simulation.transaction import Feedback
+
+#: Published scores are rounded to this many decimals.  Rationale: the
+#: pure-Python and vectorized backends accumulate floating point in different
+#: orders (sequential dict walks vs BLAS reductions), so raw scores can
+#: differ in the last few ulps.  Snapping to a 1e-9 grid absorbs that noise,
+#: making every downstream decision (provider selection, rankings, sweep
+#: records) identical regardless of the backend that computed the scores.
+#: The grid is deliberately coarse relative to the ~1e-16 backend noise: a
+#: score only publishes differently if it lands within an ulp of a rounding
+#: midpoint, and the wide ratio makes that a ~1e-7 event per score instead
+#: of a once-per-large-campaign one.
+SCORE_DECIMALS = 9
 
 
 class ReputationSystem(abc.ABC):
@@ -40,12 +53,23 @@ class ReputationSystem(abc.ABC):
     information_requirement: float = 0.5
 
     def __init__(self, *, default_score: float = 0.5,
-                 max_evidence_per_subject: Optional[int] = None) -> None:
+                 max_evidence_per_subject: Optional[int] = None,
+                 backend: str = "auto") -> None:
         self.default_score = clamp(default_score)
         self.store = FeedbackStore(max_per_subject=max_evidence_per_subject)
         self.local_trust = LocalTrustBuilder(self.store)
+        #: Backend *request* ("auto", "python" or "vectorized"); the concrete
+        #: choice is :attr:`resolved_backend`, evaluated lazily so that the
+        #: same configuration object works on hosts with and without numpy.
+        self.backend = backend
+        resolve_backend(backend)  # fail fast on unknown/unavailable names
         self._scores: Dict[str, float] = {}
         self._dirty = False
+
+    @property
+    def resolved_backend(self) -> str:
+        """The concrete backend ("python" or "vectorized") scoring runs on."""
+        return resolve_backend(self.backend)
 
     # -- information gathering -------------------------------------------
 
@@ -69,10 +93,16 @@ class ReputationSystem(abc.ABC):
         """Recompute the score of every known peer; values in ``[0, 1]``."""
 
     def refresh(self) -> Dict[str, float]:
-        """Recompute and cache scores if new evidence arrived since last time."""
+        """Recompute and cache scores if new evidence arrived since last time.
+
+        Scores are clamped into ``[0, 1]`` and quantized to the 1e-9
+        :data:`SCORE_DECIMALS` grid — see the note there on cross-backend
+        determinism.
+        """
         if self._dirty or not self._scores:
             self._scores = {
-                peer: clamp(score) for peer, score in self.compute_scores().items()
+                peer: round(clamp(score), SCORE_DECIMALS)
+                for peer, score in self.compute_scores().items()
             }
             self._dirty = False
         return dict(self._scores)

@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro._util import require_unit_interval
+from repro.core import backend as backend_kernels
+from repro.core.backend import VECTORIZED_BACKEND, PeerIndex
 from repro.reputation.base import ReputationSystem
 
 
@@ -28,14 +30,18 @@ class BetaReputation(ReputationSystem):
         forgetting: float = 1.0,
         default_score: float = 0.5,
         max_evidence_per_subject: Optional[int] = None,
+        backend: str = "auto",
     ) -> None:
         super().__init__(
             default_score=default_score,
             max_evidence_per_subject=max_evidence_per_subject,
+            backend=backend,
         )
         self.forgetting = require_unit_interval(forgetting, "forgetting")
 
     def compute_scores(self) -> Dict[str, float]:
+        if self.resolved_backend == VECTORIZED_BACKEND:
+            return self._compute_vectorized()
         scores: Dict[str, float] = {}
         for subject in self.store.subjects():
             reports = self.store.about(subject)
@@ -52,3 +58,21 @@ class BetaReputation(ReputationSystem):
                     beta += weight
             scores[subject] = alpha / (alpha + beta)
         return scores
+
+    def _compute_vectorized(self) -> Dict[str, float]:
+        subjects = self.store.subjects()
+        if not subjects:
+            return {}
+        # Subject order mirrors the pure-Python path so the published score
+        # dict iterates identically on both backends.
+        index = PeerIndex(subjects)
+        columns = self.store.columns()
+        positions = backend_kernels.subject_positions_from_columns(columns, index)
+        values = backend_kernels.beta_scores(
+            positions,
+            columns.times,
+            columns.positives,
+            forgetting=self.forgetting,
+            n_subjects=len(index),
+        )
+        return index.vector_to_dict(values)

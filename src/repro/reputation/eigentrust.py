@@ -21,9 +21,11 @@ can treat every mechanism uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro._util import clamp, require_unit_interval
+from repro._util import require_unit_interval
+from repro.core import backend as backend_kernels
+from repro.core.backend import VECTORIZED_BACKEND, PeerIndex
 from repro.errors import ConfigurationError
 from repro.reputation.base import ReputationSystem
 
@@ -43,10 +45,12 @@ class EigenTrust(ReputationSystem):
         tolerance: float = 1e-8,
         default_score: float = 0.5,
         max_evidence_per_subject: Optional[int] = None,
+        backend: str = "auto",
     ) -> None:
         super().__init__(
             default_score=default_score,
             max_evidence_per_subject=max_evidence_per_subject,
+            backend=backend,
         )
         self.pretrusted = list(pretrusted or [])
         self.restart_weight = require_unit_interval(restart_weight, "restart_weight")
@@ -80,26 +84,35 @@ class EigenTrust(ReputationSystem):
         peers = sorted(self.store.participants())
         if not peers:
             return {}
+        if self.resolved_backend == VECTORIZED_BACKEND:
+            return self._compute_vectorized(peers)
+        return self._compute_python(peers)
+
+    def _compute_python(self, peers: List[str]) -> Dict[str, float]:
         local = self.local_trust.normalized_local_trust(peers)
         p = self._pretrusted_distribution(peers)
+        dangling = [peer for peer in peers if not local.get(peer)]
 
         trust = dict(p)
         self.iterations_used = 0
         for _ in range(self.max_iterations):
             self.iterations_used += 1
             updated = {peer: 0.0 for peer in peers}
+            # Peers with no outgoing trust redistribute their mass over the
+            # pre-trusted distribution, as in the original algorithm's
+            # handling of inexperienced peers; the mass is accumulated once
+            # and spread in a single pass rather than once per dangling peer.
+            dangling_mass = sum(trust[peer] for peer in dangling)
             for rater in peers:
-                row = local.get(rater, {})
-                mass = trust[rater]
+                row = local.get(rater)
                 if not row:
-                    # Peers with no outgoing trust redistribute their mass
-                    # over the pre-trusted distribution, as in the original
-                    # algorithm's handling of inexperienced peers.
-                    for peer in peers:
-                        updated[peer] += mass * p[peer]
                     continue
+                mass = trust[rater]
                 for subject, weight in row.items():
                     updated[subject] += mass * weight
+            if dangling_mass:
+                for peer in peers:
+                    updated[peer] += dangling_mass * p[peer]
             blended = {
                 peer: (1.0 - self.restart_weight) * updated[peer]
                 + self.restart_weight * p[peer]
@@ -112,13 +125,22 @@ class EigenTrust(ReputationSystem):
 
         return self._rescale(trust)
 
+    def _compute_vectorized(self, peers: List[str]) -> Dict[str, float]:
+        index = PeerIndex(peers)
+        matrix = backend_kernels.local_trust_matrix_from_columns(
+            self.store.columns(), index
+        )
+        restart = index.dict_to_vector(self._pretrusted_distribution(peers))
+        trust, self.iterations_used = backend_kernels.power_iteration(
+            matrix,
+            restart,
+            restart_weight=self.restart_weight,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+        )
+        return index.vector_to_dict(backend_kernels.minmax_rescale(trust))
+
     @staticmethod
     def _rescale(trust: Dict[str, float]) -> Dict[str, float]:
         """Min-max rescale the stationary distribution into ``[0, 1]`` scores."""
-        if not trust:
-            return {}
-        low = min(trust.values())
-        high = max(trust.values())
-        if high - low < 1e-15:
-            return {peer: 0.5 for peer in trust}
-        return {peer: clamp((value - low) / (high - low)) for peer, value in trust.items()}
+        return backend_kernels.minmax_rescale_dict(trust)

@@ -9,11 +9,61 @@ difference is what the privacy facet measures.
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.simulation.transaction import Feedback
+
+
+@dataclass
+class FeedbackColumns:
+    """The stored feedback in structure-of-arrays form.
+
+    Parallel columns (one entry per report) that vectorized kernels turn
+    into NumPy arrays without touching one :class:`Feedback` object per
+    report — the pure-Python object walk is exactly the overhead the array
+    backend exists to avoid.  Numeric columns live in ``array.array``
+    buffers, which NumPy views zero-copy; peer identifiers are *interned*
+    into dense integer codes (``id_for_code`` maps a code back to the
+    string), so kernels can translate a whole column with one permutation
+    gather instead of one dict lookup per report.  Maintained incrementally
+    on :meth:`FeedbackStore.add` and rebuilt lazily after evictions.
+    """
+
+    subjects: List[str] = field(default_factory=list)
+    raters: List[Optional[str]] = field(default_factory=list)
+    ratings: array = field(default_factory=lambda: array("d"))
+    positives: array = field(default_factory=lambda: array("b"))
+    times: array = field(default_factory=lambda: array("d"))
+    #: Interned peer codes; ``rater_codes`` holds -1 for anonymous reports.
+    subject_codes: array = field(default_factory=lambda: array("q"))
+    rater_codes: array = field(default_factory=lambda: array("q"))
+    id_for_code: List[str] = field(default_factory=list)
+    _code_for_id: Dict[str, int] = field(default_factory=dict)
+
+    def _intern(self, peer_id: str) -> int:
+        code = self._code_for_id.get(peer_id)
+        if code is None:
+            code = len(self.id_for_code)
+            self._code_for_id[peer_id] = code
+            self.id_for_code.append(peer_id)
+        return code
+
+    def append(self, feedback: Feedback) -> None:
+        self.subjects.append(feedback.subject)
+        self.raters.append(feedback.rater)
+        self.ratings.append(feedback.rating)
+        self.positives.append(1 if feedback.positive else 0)
+        self.times.append(feedback.time)
+        self.subject_codes.append(self._intern(feedback.subject))
+        self.rater_codes.append(
+            -1 if feedback.rater is None else self._intern(feedback.rater)
+        )
+
+    def __len__(self) -> int:
+        return len(self.subjects)
 
 
 @dataclass
@@ -24,6 +74,15 @@ class FeedbackStore:
     _by_subject: Dict[str, List[Feedback]] = field(default_factory=lambda: defaultdict(list))
     _by_rater: Dict[str, List[Feedback]] = field(default_factory=lambda: defaultdict(list))
     _count: int = 0
+    _columns: FeedbackColumns = field(default_factory=FeedbackColumns)
+    _columns_stale: bool = False
+    _version: int = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone change counter: bumps on every mutation, including
+        :meth:`clear` — unlike ``len()``, safe to key caches on."""
+        return self._version
 
     def add(self, feedback: Feedback) -> None:
         bucket = self._by_subject[feedback.subject]
@@ -34,9 +93,29 @@ class FeedbackStore:
                 rater_bucket = self._by_rater.get(removed.rater)
                 if rater_bucket and removed in rater_bucket:
                     rater_bucket.remove(removed)
+            # The incremental column log cannot cheaply delete; rebuild it on
+            # the next columnar access instead (evictions are the rare path).
+            self._columns_stale = True
         if feedback.rater is not None:
             self._by_rater[feedback.rater].append(feedback)
+        if not self._columns_stale:
+            self._columns.append(feedback)
         self._count += 1
+        self._version += 1
+
+    def columns(self) -> FeedbackColumns:
+        """The stored feedback as parallel columns (see :class:`FeedbackColumns`).
+
+        Treat the result as read-only: it is the store's live cache.
+        """
+        if self._columns_stale:
+            rebuilt = FeedbackColumns()
+            for bucket in self._by_subject.values():
+                for feedback in bucket:
+                    rebuilt.append(feedback)
+            self._columns = rebuilt
+            self._columns_stale = False
+        return self._columns
 
     def __len__(self) -> int:
         return self._count
@@ -75,6 +154,9 @@ class FeedbackStore:
         self._by_subject.clear()
         self._by_rater.clear()
         self._count = 0
+        self._columns = FeedbackColumns()
+        self._columns_stale = False
+        self._version += 1
 
 
 class LocalTrustBuilder:

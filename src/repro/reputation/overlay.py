@@ -10,7 +10,7 @@ aggregation.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -22,6 +22,11 @@ class TrustOverlayNetwork:
 
     def __init__(self, store: FeedbackStore) -> None:
         self._store = store
+        #: Centrality memo keyed by the store's monotone version (which
+        #: bumps on clear() too, unlike the report count), so the repeated
+        #: power-node selection rounds of one refresh rebuild the overlay
+        #: once instead of once per round.
+        self._centrality_cache: Optional[Tuple[int, Dict[str, float]]] = None
 
     def build(self) -> nx.DiGraph:
         """Construct the overlay: edge weight = mean rating from rater to subject."""
@@ -44,10 +49,19 @@ class TrustOverlayNetwork:
 
     def in_degree_centrality(self) -> Dict[str, float]:
         """Normalized in-degree of every node: how widely a peer was rated."""
+        version = self._store.version
+        if self._centrality_cache is not None and self._centrality_cache[0] == version:
+            return self._centrality_cache[1]
         overlay = self.build()
         if overlay.number_of_nodes() == 0:
-            return {}
-        return {node: float(value) for node, value in nx.in_degree_centrality(overlay).items()}
+            centrality: Dict[str, float] = {}
+        else:
+            centrality = {
+                node: float(value)
+                for node, value in nx.in_degree_centrality(overlay).items()
+            }
+        self._centrality_cache = (version, centrality)
+        return centrality
 
     def select_power_nodes(self, scores: Dict[str, float], m: int) -> List[str]:
         """Select the ``m`` power nodes: highest score, in-degree as tie-break.

@@ -21,10 +21,22 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro._util import clamp, require_unit_interval
+from repro._util import require_unit_interval
+from repro.core import backend as backend_kernels
+from repro.core.backend import VECTORIZED_BACKEND, PeerIndex
 from repro.errors import ConfigurationError
-from repro.reputation.base import ReputationSystem
+from repro.reputation.base import SCORE_DECIMALS, ReputationSystem
 from repro.reputation.overlay import TrustOverlayNetwork
+
+
+def _quantized(trust: Dict[str, float]) -> Dict[str, float]:
+    """Power-node selection input, snapped to the shared score grid.
+
+    Selection sorts by raw trust values; quantizing first keeps the chosen
+    power-node set — and hence the whole aggregation — identical across the
+    pure-Python and vectorized backends.
+    """
+    return {peer: round(value, SCORE_DECIMALS) for peer, value in trust.items()}
 
 
 class PowerTrust(ReputationSystem):
@@ -43,10 +55,12 @@ class PowerTrust(ReputationSystem):
         tolerance: float = 1e-8,
         default_score: float = 0.5,
         max_evidence_per_subject: Optional[int] = None,
+        backend: str = "auto",
     ) -> None:
         super().__init__(
             default_score=default_score,
             max_evidence_per_subject=max_evidence_per_subject,
+            backend=backend,
         )
         if n_power_nodes < 1:
             raise ConfigurationError("n_power_nodes must be at least 1")
@@ -80,17 +94,22 @@ class PowerTrust(ReputationSystem):
         restart: Dict[str, float],
     ) -> Dict[str, float]:
         trust = dict(restart)
+        dangling = [peer for peer in peers if not local.get(peer)]
         for _ in range(self.max_iterations):
             updated = {peer: 0.0 for peer in peers}
+            # As in EigenTrust, dangling mass is tallied once per iteration
+            # and redistributed over the restart distribution in one pass.
+            dangling_mass = sum(trust[peer] for peer in dangling)
             for rater in peers:
-                row = local.get(rater, {})
-                mass = trust[rater]
+                row = local.get(rater)
                 if not row:
-                    for peer in peers:
-                        updated[peer] += mass * restart[peer]
                     continue
+                mass = trust[rater]
                 for subject, weight in row.items():
                     updated[subject] += mass * weight
+            if dangling_mass:
+                for peer in peers:
+                    updated[peer] += dangling_mass * restart[peer]
             blended = {
                 peer: (1.0 - self.restart_weight) * updated[peer]
                 + self.restart_weight * restart[peer]
@@ -108,6 +127,11 @@ class PowerTrust(ReputationSystem):
         peers = sorted(self.store.participants())
         if not peers:
             return {}
+        if self.resolved_backend == VECTORIZED_BACKEND:
+            return self._compute_vectorized(peers)
+        return self._compute_python(peers)
+
+    def _compute_python(self, peers: List[str]) -> Dict[str, float]:
         local = self.local_trust.normalized_local_trust(peers)
 
         # Bootstrap with a uniform restart, then alternate aggregation and
@@ -117,7 +141,9 @@ class PowerTrust(ReputationSystem):
         for _ in range(self.power_node_rounds):
             restart = self._restart_distribution(peers, power_nodes)
             trust = self._aggregate(peers, local, restart)
-            new_power_nodes = self.overlay.select_power_nodes(trust, self.n_power_nodes)
+            new_power_nodes = self.overlay.select_power_nodes(
+                _quantized(trust), self.n_power_nodes
+            )
             if new_power_nodes == power_nodes:
                 break
             power_nodes = new_power_nodes
@@ -125,12 +151,37 @@ class PowerTrust(ReputationSystem):
 
         return self._rescale(trust)
 
+    def _compute_vectorized(self, peers: List[str]) -> Dict[str, float]:
+        index = PeerIndex(peers)
+        matrix = backend_kernels.local_trust_matrix_from_columns(
+            self.store.columns(), index
+        )
+
+        power_nodes: List[str] = list(self.power_nodes)
+        trust_map: Dict[str, float] = {}
+        trust = None
+        for _ in range(self.power_node_rounds):
+            restart = index.dict_to_vector(
+                self._restart_distribution(peers, power_nodes)
+            )
+            trust, _ = backend_kernels.power_iteration(
+                matrix,
+                restart,
+                restart_weight=self.restart_weight,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+            )
+            trust_map = index.vector_to_dict(trust)
+            new_power_nodes = self.overlay.select_power_nodes(
+                _quantized(trust_map), self.n_power_nodes
+            )
+            if new_power_nodes == power_nodes:
+                break
+            power_nodes = new_power_nodes
+        self.power_nodes = power_nodes
+
+        return index.vector_to_dict(backend_kernels.minmax_rescale(trust))
+
     @staticmethod
     def _rescale(trust: Dict[str, float]) -> Dict[str, float]:
-        if not trust:
-            return {}
-        low = min(trust.values())
-        high = max(trust.values())
-        if high - low < 1e-15:
-            return {peer: 0.5 for peer in trust}
-        return {peer: clamp((value - low) / (high - low)) for peer, value in trust.items()}
+        return backend_kernels.minmax_rescale_dict(trust)

@@ -24,6 +24,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol
 
 from repro._util import require_unit_interval
+from repro.core.backend import (
+    VECTORIZED_BACKEND,
+    interaction_counts,
+    lexicographic_argmax,
+    require_numpy,
+    resolve_backend,
+)
 from repro.errors import ConfigurationError
 from repro.simulation.adversary import (
     CollusiveBehavior,
@@ -116,10 +123,15 @@ class SimulationConfig:
     collusion_fraction: float = 0.0
     churn: ChurnModel = field(default_factory=ChurnModel)
     seed: int = 0
+    #: Compute backend for the round loop's numeric kernels ("python",
+    #: "vectorized" or "auto").  Both backends consume the random streams
+    #: identically, so a run's trajectory does not depend on the choice.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.rounds < 0:
             raise ConfigurationError("rounds must be non-negative")
+        resolve_backend(self.backend)
         require_unit_interval(self.sharing_level, "sharing_level")
         require_unit_interval(self.selection_exploration, "selection_exploration")
         require_unit_interval(self.traitor_fraction, "traitor_fraction")
@@ -175,11 +187,21 @@ class InteractionSimulator:
         self._disclosed: List[Feedback] = []
         self._transaction_counter = 0
         self._engine = EventDrivenSimulator()
+        self._backend = resolve_backend(self.config.backend)
         #: Reputation snapshot taken once per round; selection and
         #: whitewashing decisions read from it instead of querying the
         #: mechanism per transaction (peers act on the scores published at
         #: the start of the round, and recomputation happens once per round).
         self._round_scores: Dict[str, float] = {}
+        #: Round-scoped caches, rebuilt by :meth:`_begin_round_caches`.
+        #: Candidate sets, their score vectors and disclosure probabilities
+        #: are all static within a round (churn moves peers only at the round
+        #: boundary, whitewashing rebinds identities only at the round end),
+        #: so they are computed once per consumer per round instead of once
+        #: per transaction.
+        self._candidate_cache: Dict[str, List[Peer]] = {}
+        self._score_cache: Dict[str, object] = {}
+        self._disclosure_cache: Dict[str, float] = {}
 
     # -- setup -------------------------------------------------------------
 
@@ -226,21 +248,63 @@ class InteractionSimulator:
             if peer.online and peer.base_id != consumer.base_id
         ]
 
-    def _select_provider(self, consumer: Peer, candidates: List[Peer]) -> Peer:
+    def _begin_round_caches(self) -> None:
+        self._candidate_cache.clear()
+        self._score_cache.clear()
+        self._disclosure_cache.clear()
+
+    def _round_candidates(self, consumer: Peer) -> List[Peer]:
+        cached = self._candidate_cache.get(consumer.base_id)
+        if cached is None:
+            cached = self._candidates(consumer)
+            self._candidate_cache[consumer.base_id] = cached
+        return cached
+
+    def _candidate_scores(self, consumer: Peer, candidates: List[Peer]):
+        """Round-start scores of a consumer's candidates, in candidate order.
+
+        ``None`` when selection does not use reputation.  The vectorized
+        backend keeps the scores as a dense array for the argmax kernel.
+        """
+        if self.reputation is None or not self.config.use_reputation_selection:
+            return None
+        cached = self._score_cache.get(consumer.base_id)
+        if cached is None:
+            default = getattr(self.reputation, "default_score", 0.5)
+            lookup = self._round_scores.get
+            cached = [lookup(peer.peer_id, default) for peer in candidates]
+            if self._backend == VECTORIZED_BACKEND:
+                cached = require_numpy().asarray(cached, dtype=float)
+            self._score_cache[consumer.base_id] = cached
+        return cached
+
+    def _select_from(self, candidates: List[Peer], scores) -> Peer:
+        """Pick a provider among the candidates given their score vector.
+
+        Consumes the "selection" stream exactly as the historical
+        per-transaction code did: one exploration uniform (only when
+        reputation-guided selection is active), then either a ``choice`` or
+        one tie-break uniform per candidate.
+        """
         rng = self._streams.stream("selection")
-        if (
-            self.reputation is None
-            or not self.config.use_reputation_selection
-            or rng.random() < self.config.selection_exploration
-        ):
+        if scores is None or rng.random() < self.config.selection_exploration:
             return rng.choice(candidates)
-        default = getattr(self.reputation, "default_score", 0.5)
-        scored = [
-            (self._round_scores.get(peer.peer_id, default), rng.random(), peer)
-            for peer in candidates
-        ]
-        scored.sort(key=lambda item: (item[0], item[1]), reverse=True)
-        return scored[0][2]
+        tiebreaks = self._streams.uniforms("selection", len(candidates))
+        if self._backend == VECTORIZED_BACKEND:
+            return candidates[lexicographic_argmax(scores, tiebreaks)]
+        best_index = 0
+        best_key = (scores[0], tiebreaks[0])
+        for position in range(1, len(candidates)):
+            key = (scores[position], tiebreaks[position])
+            if key > best_key:
+                best_key = key
+                best_index = position
+        return candidates[best_index]
+
+    def _select_provider(self, consumer: Peer, candidates: List[Peer]) -> Peer:
+        return self._select_from(
+            candidates, self._candidate_scores(consumer, candidates)
+        )
 
     # -- one round -----------------------------------------------------------
 
@@ -288,9 +352,12 @@ class InteractionSimulator:
         )
         self._feedbacks.append(feedback)
 
-        disclose_probability = consumer.behavior.disclosure_probability(
-            consumer.user, self.config.sharing_level
-        )
+        disclose_probability = self._disclosure_cache.get(consumer.base_id)
+        if disclose_probability is None:
+            disclose_probability = consumer.behavior.disclosure_probability(
+                consumer.user, self.config.sharing_level
+            )
+            self._disclosure_cache[consumer.base_id] = disclose_probability
         disclosed = rng.random() < disclose_probability
         self.metrics.record_feedback(feedback, disclosed)
         if not disclosed:
@@ -316,6 +383,19 @@ class InteractionSimulator:
                 behavior.note_whitewash()
                 self.directory.rebind_identity(peer, old_id)
 
+    def _interaction_counts(self, online: List[Peer], draws: List[float]) -> List[int]:
+        """Per-consumer interaction counts from the batched activity draws."""
+        per_peer = self.config.interactions_per_peer
+        if self._backend == VECTORIZED_BACKEND and online:
+            activities = [peer.user.activity for peer in online]
+            return interaction_counts(activities, per_peer, draws).tolist()
+        counts: List[int] = []
+        for peer, draw in zip(online, draws):
+            expected = peer.user.activity * per_peer
+            base = int(expected)
+            counts.append(base + (1 if draw < (expected - base) else 0))
+        return counts
+
     def _run_round(self, round_index: int) -> None:
         churn_rng = self._streams.stream("churn")
         self.config.churn.step(self.directory, churn_rng)
@@ -329,17 +409,22 @@ class InteractionSimulator:
             elif hasattr(self.reputation, "scores"):
                 self._round_scores = dict(self.reputation.scores())
 
-        activity_rng = self._streams.stream("activity")
-        for consumer in online:
-            expected = consumer.user.activity * self.config.interactions_per_peer
-            n_interactions = int(expected) + (
-                1 if activity_rng.random() < (expected - int(expected)) else 0
-            )
+        self._begin_round_caches()
+
+        # The whole round's activity draws come out of the stream as one
+        # vector (same draws, same order as the historical per-peer calls).
+        draws = self._streams.uniforms("activity", len(online))
+        counts = self._interaction_counts(online, draws)
+
+        for consumer, n_interactions in zip(online, counts):
+            if not n_interactions:
+                continue
+            candidates = self._round_candidates(consumer)
+            if not candidates:
+                continue
+            scores = self._candidate_scores(consumer, candidates)
             for _ in range(n_interactions):
-                candidates = self._candidates(consumer)
-                if not candidates:
-                    continue
-                provider = self._select_provider(consumer, candidates)
+                provider = self._select_from(candidates, scores)
                 self._execute_transaction(consumer, provider, round_index)
 
         if self.reputation is not None and hasattr(self.reputation, "refresh"):

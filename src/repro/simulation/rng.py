@@ -10,7 +10,7 @@ distributed-system simulations.
 from __future__ import annotations
 
 import random
-from typing import Dict
+from typing import Dict, List
 
 
 class RandomStreams:
@@ -42,6 +42,18 @@ class RandomStreams:
                 derived = (derived * 1000003 + ord(char)) % (2 ** 63)
             self._streams[name] = random.Random(derived)
         return self._streams[name]
+
+    def uniforms(self, name: str, n: int) -> List[float]:
+        """``n`` uniform draws from the named stream, as one vector.
+
+        The draws come from the same underlying generator in the same order
+        as ``n`` successive ``stream(name).random()`` calls, so batching a
+        loop through this method never changes the stream's sequence — the
+        contract the batched simulation round relies on for determinism
+        against the per-peer code path.
+        """
+        draw = self.stream(name).random
+        return [draw() for _ in range(n)]
 
     def reset(self) -> None:
         """Drop every derived stream so the next access re-seeds it."""

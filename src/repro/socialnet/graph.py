@@ -18,20 +18,37 @@ from repro.socialnet.user import User
 
 
 class SocialGraph:
-    """An undirected social graph whose nodes are user identifiers."""
+    """An undirected social graph whose nodes are user identifiers.
+
+    Neighbour and user listings are cached: the simulation inner loops call
+    :meth:`neighbors`, :meth:`users` and :meth:`user_ids` once per peer per
+    round, and rebuilding fresh lists from networkx every time dominated the
+    profile.  Mutations (:meth:`add_user`, :meth:`add_relationship`,
+    :meth:`remove_user`) invalidate the caches.  Treat returned lists as
+    read-only views.
+    """
 
     def __init__(self, users: Optional[Iterable[User]] = None) -> None:
         self._graph = nx.Graph()
         self._users: Dict[str, User] = {}
+        self._neighbors_cache: Dict[str, List[str]] = {}
+        self._users_cache: Optional[List[User]] = None
+        self._user_ids_cache: Optional[List[str]] = None
         for user in users or []:
             self.add_user(user)
 
     # -- construction -----------------------------------------------------
 
+    def _invalidate_caches(self) -> None:
+        self._neighbors_cache.clear()
+        self._users_cache = None
+        self._user_ids_cache = None
+
     def add_user(self, user: User) -> None:
         """Add a user node; replacing an existing user keeps its edges."""
         self._users[user.user_id] = user
         self._graph.add_node(user.user_id)
+        self._invalidate_caches()
 
     def add_relationship(self, a: str, b: str, *, strength: float = 1.0) -> None:
         """Connect two existing users with a tie of the given strength."""
@@ -40,12 +57,14 @@ class SocialGraph:
         if a == b:
             raise ConfigurationError("self relationships are not allowed")
         self._graph.add_edge(a, b, strength=float(strength))
+        self._invalidate_caches()
 
     def remove_user(self, user_id: str) -> None:
         """Remove a user and all its relationships (e.g. permanent churn)."""
         self._require(user_id)
         self._graph.remove_node(user_id)
         del self._users[user_id]
+        self._invalidate_caches()
 
     # -- queries ----------------------------------------------------------
 
@@ -58,10 +77,16 @@ class SocialGraph:
         return self._users[user_id]
 
     def users(self) -> List[User]:
-        return list(self._users.values())
+        """All users (cached view; do not mutate the returned list)."""
+        if self._users_cache is None:
+            self._users_cache = list(self._users.values())
+        return self._users_cache
 
     def user_ids(self) -> List[str]:
-        return list(self._users.keys())
+        """All user identifiers (cached view; do not mutate)."""
+        if self._user_ids_cache is None:
+            self._user_ids_cache = list(self._users.keys())
+        return self._user_ids_cache
 
     def __contains__(self, user_id: str) -> bool:
         return user_id in self._users
@@ -73,8 +98,13 @@ class SocialGraph:
         return iter(self._users)
 
     def neighbors(self, user_id: str) -> List[str]:
+        """Direct neighbours of a user (cached view; do not mutate)."""
         self._require(user_id)
-        return list(self._graph.neighbors(user_id))
+        cached = self._neighbors_cache.get(user_id)
+        if cached is None:
+            cached = list(self._graph.neighbors(user_id))
+            self._neighbors_cache[user_id] = cached
+        return cached
 
     def are_connected(self, a: str, b: str) -> bool:
         self._require(a)

@@ -1,0 +1,81 @@
+"""The sweep determinism contract across compute backends.
+
+``--backend`` is execution telemetry, like ``--jobs``: campaigns must write
+byte-identical record files whichever backend computed them, otherwise a
+perf migration would silently change science.
+"""
+
+import json
+
+import pytest
+
+from repro.core.backend import HAS_NUMPY
+from repro.errors import ConfigurationError
+from repro.experiments.runner import EXPERIMENTS, run_experiment_structured
+from repro.experiments.sweep import (
+    SweepSpec,
+    expand_tasks,
+    run_sweep,
+    spec_from_options,
+)
+
+
+def _records_json(backend: str, tmp_path, tag: str) -> bytes:
+    spec = SweepSpec(
+        experiment="reputation",
+        grids={"n_users": [18, 24], "rounds": [6]},
+        seed=11,
+        backend=backend,
+    )
+    result = run_sweep(spec)
+    path = tmp_path / f"records-{tag}.json"
+    result.write_json(str(path))
+    return path.read_bytes()
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="vectorized backend needs numpy")
+class TestSweepBackendDeterminism:
+    def test_records_byte_identical_across_backends(self, tmp_path):
+        python_bytes = _records_json("python", tmp_path, "python")
+        vectorized_bytes = _records_json("vectorized", tmp_path, "vectorized")
+        assert python_bytes == vectorized_bytes
+        records = json.loads(python_bytes)
+        assert all(r["status"] == "ok" for r in records["records"])
+
+    def test_backend_not_in_campaign_metadata(self):
+        spec = SweepSpec(
+            experiment="figure1", grids={"n_users": [10]}, backend="python"
+        )
+        assert "backend" not in spec.campaign_metadata()
+
+    def test_analytic_experiment_identical_across_backends(self):
+        python_metrics = run_experiment_structured(
+            "figure1", quick=True, backend="python"
+        )
+        vectorized_metrics = run_experiment_structured(
+            "figure1", quick=True, backend="vectorized"
+        )
+        assert python_metrics == vectorized_metrics
+
+
+class TestBackendOption:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(experiment="figure1", grids={"n_users": [10]}, backend="gpu")
+
+    def test_spec_from_options_threads_backend(self):
+        spec = spec_from_options(
+            "figure1", grid_options=["n_users=10"], backend="python"
+        )
+        assert spec.backend == "python"
+        assert all(task.backend == "python" for task in expand_tasks(spec))
+
+    def test_backend_forwarded_only_when_accepted(self):
+        # The satisfaction experiment takes no backend parameter; passing one
+        # through the structured runner must be harmless.
+        entry = EXPERIMENTS["satisfaction"]
+        assert not entry.accepts("backend")
+        metrics = run_experiment_structured(
+            "satisfaction", quick=True, backend="python"
+        )
+        assert metrics

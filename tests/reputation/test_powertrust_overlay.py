@@ -91,3 +91,40 @@ class TestPowerTrust:
 
     def test_high_information_requirement(self):
         assert PowerTrust.information_requirement > 0.5
+
+
+class TestCentralityMemo:
+    def test_centrality_cached_between_calls(self):
+        store = FeedbackStore()
+        populate(store)
+        overlay = TrustOverlayNetwork(store)
+        assert overlay.in_degree_centrality() is overlay.in_degree_centrality()
+
+    def test_new_feedback_invalidates_memo(self):
+        store = FeedbackStore()
+        populate(store)
+        overlay = TrustOverlayNetwork(store)
+        before = overlay.in_degree_centrality()
+        store.add(make_feedback(subject="newcomer", rater="a", rating=1.0,
+                                transaction_id=999))
+        after = overlay.in_degree_centrality()
+        assert "newcomer" in after and "newcomer" not in before
+
+    def test_memo_does_not_survive_store_clear(self):
+        """Regression: a count-keyed memo returned pre-reset centrality
+        after clear() once the store grew back to the same size."""
+        store = FeedbackStore()
+        populate(store)
+        overlay = TrustOverlayNetwork(store)
+        stale = overlay.in_degree_centrality()
+        count_before = len(store)
+        store.clear()
+        tid = 0
+        for _ in range(count_before // 2):
+            for subject in ("fresh1", "fresh2"):
+                tid += 1
+                store.add(make_feedback(subject=subject, rater="z", rating=1.0,
+                                        transaction_id=tid))
+        fresh = overlay.in_degree_centrality()
+        assert fresh is not stale
+        assert set(fresh) == {"fresh1", "fresh2", "z"}

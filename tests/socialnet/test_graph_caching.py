@@ -1,0 +1,49 @@
+"""The cached listing views of SocialGraph and their invalidation."""
+
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.user import User
+
+
+def _graph(n: int = 4) -> SocialGraph:
+    graph = SocialGraph(User(user_id=f"u{i}") for i in range(n))
+    graph.add_relationship("u0", "u1")
+    graph.add_relationship("u1", "u2")
+    return graph
+
+
+class TestCachedViews:
+    def test_repeated_calls_return_the_same_objects(self):
+        graph = _graph()
+        assert graph.neighbors("u1") is graph.neighbors("u1")
+        assert graph.users() is graph.users()
+        assert graph.user_ids() is graph.user_ids()
+
+    def test_neighbors_content_is_correct(self):
+        graph = _graph()
+        assert sorted(graph.neighbors("u1")) == ["u0", "u2"]
+        assert graph.neighbors("u3") == []
+
+    def test_add_relationship_invalidates_neighbors(self):
+        graph = _graph()
+        before = graph.neighbors("u1")
+        graph.add_relationship("u1", "u3")
+        after = graph.neighbors("u1")
+        assert after is not before
+        assert sorted(after) == ["u0", "u2", "u3"]
+
+    def test_add_user_invalidates_listings(self):
+        graph = _graph()
+        ids_before = graph.user_ids()
+        users_before = graph.users()
+        graph.add_user(User(user_id="u9"))
+        assert graph.user_ids() is not ids_before
+        assert graph.users() is not users_before
+        assert "u9" in graph.user_ids()
+
+    def test_remove_user_invalidates_everything(self):
+        graph = _graph()
+        graph.neighbors("u1")
+        graph.remove_user("u2")
+        assert sorted(graph.neighbors("u1")) == ["u0"]
+        assert "u2" not in graph.user_ids()
+        assert all(user.user_id != "u2" for user in graph.users())
