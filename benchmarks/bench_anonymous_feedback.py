@@ -31,8 +31,4 @@ def test_bench_anonymity_ablation(benchmark):
     )
     assert modes["anonymous-beta"].reputation_accuracy > 0.5
     print()
-    print(
-        ablations.report(
-            ablations.AblationResult(aggregators=[], anonymity=outcomes)
-        )
-    )
+    print(ablations.report(ablations.AblationResult(aggregators=[], anonymity=outcomes)))

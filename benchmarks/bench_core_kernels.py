@@ -156,9 +156,7 @@ def bench_coupling(*, batch: int, repeats: int) -> Dict[str, object]:
         if backend == "vectorized" and not HAS_NUMPY:
             continue
         dynamics = CouplingDynamics(backend=backend)
-        seconds, final = _time_best(
-            lambda d=dynamics: d.equilibria(initials), repeats=repeats
-        )
+        seconds, final = _time_best(lambda d=dynamics: d.equilibria(initials), repeats=repeats)
         measurements[backend] = seconds
         results[backend] = final
     entry: Dict[str, object] = {"python_seconds": measurements["python"]}
@@ -259,9 +257,7 @@ def run_benchmarks(*, repeats: int, quick: bool = False) -> Dict[str, object]:
     entry.update(kernel="coupling_equilibria", n=64 if quick else 256)
     kernels.append(entry)
 
-    entry = bench_simulation(
-        n_users=60 if quick else 150, rounds=3 if quick else 5, repeats=1
-    )
+    entry = bench_simulation(n_users=60 if quick else 150, rounds=3 if quick else 5, repeats=1)
     entry.update(kernel="simulation_rounds", n=60 if quick else 150)
     kernels.append(entry)
 
@@ -273,9 +269,7 @@ def run_benchmarks(*, repeats: int, quick: bool = False) -> Dict[str, object]:
         ),
         None,
     )
-    agreement_ok = all(
-        k.get("max_abs_diff", 0.0) <= AGREEMENT_TOLERANCE for k in kernels
-    )
+    agreement_ok = all(k.get("max_abs_diff", 0.0) <= AGREEMENT_TOLERANCE for k in kernels)
     return {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "benchmarks/bench_core_kernels.py",
@@ -300,9 +294,7 @@ def check_against_baseline(
     """Regression findings (empty when the gate passes)."""
     problems: List[str] = []
     if not report["agreement_ok"]:
-        problems.append(
-            f"backends disagree beyond {AGREEMENT_TOLERANCE} on at least one kernel"
-        )
+        problems.append(f"backends disagree beyond {AGREEMENT_TOLERANCE} on at least one kernel")
     headline = report.get("eigentrust_500_speedup")
     if headline is not None and headline < EIGENTRUST_500_FLOOR:
         problems.append(
@@ -311,11 +303,7 @@ def check_against_baseline(
         )
 
     def by_key(payload: Dict[str, object]) -> Dict[Tuple[str, int], Dict[str, object]]:
-        return {
-            (k["kernel"], k["n"]): k
-            for k in payload.get("kernels", [])
-            if "speedup" in k
-        }
+        return {(k["kernel"], k["n"]): k for k in payload.get("kernels", []) if "speedup" in k}
 
     current = by_key(report)
     for key, base_entry in by_key(baseline).items():
@@ -341,9 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", metavar="PATH", help="write the JSON report here")
     parser.add_argument("--repeats", type=int, default=5, help="timing repeats (best-of)")
-    parser.add_argument(
-        "--quick", action="store_true", help="smaller sizes for smoke testing"
-    )
+    parser.add_argument("--quick", action="store_true", help="smaller sizes for smoke testing")
     parser.add_argument(
         "--check-baseline",
         metavar="PATH",
@@ -383,9 +369,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.check_baseline:
         with open(args.check_baseline, encoding="utf-8") as handle:
             baseline = json.load(handle)
-        problems = check_against_baseline(
-            report, baseline, tolerance=args.tolerance
-        )
+        problems = check_against_baseline(report, baseline, tolerance=args.tolerance)
         if problems:
             for problem in problems:
                 print(f"REGRESSION: {problem}", file=sys.stderr)

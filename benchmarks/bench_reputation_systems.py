@@ -36,8 +36,10 @@ def test_bench_eigentrust_refresh(benchmark):
             tid += 1
             system.record_feedback(
                 make_feedback(
-                    f"p{subject}", 1.0 if subject % 3 else 0.0,
-                    rater=f"p{rater}", transaction_id=tid,
+                    f"p{subject}",
+                    1.0 if subject % 3 else 0.0,
+                    rater=f"p{rater}",
+                    transaction_id=tid,
                 )
             )
 
@@ -51,9 +53,7 @@ def test_bench_eigentrust_refresh(benchmark):
 
 def test_bench_interaction_simulation_round_throughput(benchmark):
     """Simulated rounds per second on an 80-peer network with EigenTrust."""
-    graph = generate_social_network(
-        SocialNetworkSpec(n_users=80, malicious_fraction=0.3, seed=1)
-    )
+    graph = generate_social_network(SocialNetworkSpec(n_users=80, malicious_fraction=0.3, seed=1))
 
     def run_simulation():
         simulator = InteractionSimulator(

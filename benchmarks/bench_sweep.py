@@ -45,9 +45,7 @@ CAMPAIGN_SPECS = {
 def measure_campaign(name: str, spec: SweepSpec, *, jobs: int) -> Dict[str, object]:
     result = run_sweep(spec, jobs=jobs)
     if result.n_errors:
-        raise RuntimeError(
-            f"benchmark campaign {name!r} had {result.n_errors} failed tasks"
-        )
+        raise RuntimeError(f"benchmark campaign {name!r} had {result.n_errors} failed tasks")
     return {
         "campaign": name,
         "experiment": spec.experiment,

@@ -1,0 +1,69 @@
+"""Attack campaigns from the scenario catalog, end to end.
+
+The paper's Section 2.2 motivates reputation mechanisms by the adversaries
+they must survive: malicious peers, traitors, whitewashers — and the
+literature adds collusion rings, slander and sybil floods.  This example
+
+1. lists the declarative scenario catalog,
+2. runs one scenario (a whitewashing wave) against two mechanisms and
+   prints the per-round separation timeline — watch the gap collapse every
+   time the attackers shed their identities,
+3. runs a custom-knobbed collusion ring (small but dense) on the hostile
+   ``adversarial-lab`` network preset and prints its robustness metrics.
+
+Run with::
+
+    PYTHONPATH=src python examples/attack_scenarios.py
+"""
+
+from repro.scenarios import CATALOG, ScenarioRunConfig, run_scenario
+
+
+def main() -> None:
+    print("scenario catalog:")
+    for name, spec in CATALOG.items():
+        knobs = ", ".join(f"{key}={value}" for key, value in spec.knobs.items()) or "-"
+        print(f"  {name:22s} {spec.description}")
+        print(f"  {'':22s}   knobs: {knobs}")
+    print()
+
+    print("whitewash-wave: good-vs-bad separation per round")
+    for mechanism in ("average", "eigentrust"):
+        result = run_scenario(
+            scenario="whitewash-wave",
+            mechanism=mechanism,
+            n_users=30,
+            rounds=16,
+            seed=42,
+        )
+        start, end = result.campaign.window
+        timeline = " ".join(
+            f"{observation.separation:+.2f}" for observation in result.trace.observations
+        )
+        print(f"  {mechanism:10s} attack window [{start}, {end}): {timeline}")
+    print()
+
+    print("dense collusion ring on the adversarial-lab preset:")
+    result = run_scenario(
+        ScenarioRunConfig(
+            scenario="collusion-ring",
+            mechanism="eigentrust",
+            preset="adversarial-lab",
+            rounds=20,
+            seed=7,
+            knobs={"ring_fraction": 0.4, "density": 1.0},
+        )
+    )
+    metrics = result.robustness
+    print(
+        f"  separation before/during/after the attack: "
+        f"{metrics.baseline_separation:+.3f} / {metrics.attack_separation:+.3f} / "
+        f"{metrics.post_separation:+.3f}"
+    )
+    print(f"  time to detect:  {metrics.time_to_detect} rounds (-1 = never)")
+    print(f"  time to recover: {metrics.time_to_recover} rounds (-1 = never)")
+    print(f"  final rank correlation vs ground truth: {metrics.final_rank_correlation:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

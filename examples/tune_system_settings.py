@@ -66,9 +66,7 @@ def main() -> None:
     )
     print()
 
-    explorer = SettingsExplorer(
-        base_settings=SystemSettings(reputation_mechanism=mechanism)
-    )
+    explorer = SettingsExplorer(base_settings=SystemSettings(reputation_mechanism=mechanism))
     points = explorer.sweep_sharing_levels(resolution=21)
     front = explorer.pareto_front(points)
     print(

@@ -106,9 +106,7 @@ class QueryMediator:
         consumer.note_result(quality, provider.provider_id)
 
         c_adequacy = consumer_adequacy(consumer.intention, provider.provider_id)
-        p_adequacy = provider_adequacy(
-            provider.intention, query.topic, consumer.consumer_id
-        )
+        p_adequacy = provider_adequacy(provider.intention, query.topic, consumer.consumer_id)
         imposed = p_adequacy < self.imposition_threshold
 
         self.tracker.observe(consumer.consumer_id, c_adequacy)

@@ -53,9 +53,7 @@ class AllocationStrategy(abc.ABC):
         """Pick the best-scoring provider that still has capacity."""
         candidates = [p for p in providers if p.has_capacity(query.cost)]
         if not candidates:
-            raise AllocationError(
-                f"no provider has capacity for query {query.query_id}"
-            )
+            raise AllocationError(f"no provider has capacity for query {query.query_id}")
         scored = [
             (self.score(query, consumer, provider, context), provider.provider_id, provider)
             for provider in candidates

@@ -57,9 +57,7 @@ class WorkloadGenerator:
         total = sum(skewed_raw)
         skewed = [value / total for value in skewed_raw]
         skew = self.spec.topic_skew
-        return [
-            (1.0 - skew) * uniform[i] + skew * skewed[i] for i in range(n)
-        ]
+        return [(1.0 - skew) * uniform[i] + skew * skewed[i] for i in range(n)]
 
     def topic_distribution(self) -> Dict[str, float]:
         return dict(zip(self.spec.topics, self._topic_weights))

@@ -81,9 +81,7 @@ def resolve_backend(name: str) -> str:
     NumPy is a configuration error rather than a silent fallback.
     """
     if name not in BACKEND_CHOICES:
-        raise ConfigurationError(
-            f"unknown backend {name!r}; expected one of {BACKEND_CHOICES}"
-        )
+        raise ConfigurationError(f"unknown backend {name!r}; expected one of {BACKEND_CHOICES}")
     if name == AUTO_BACKEND:
         return VECTORIZED_BACKEND if HAS_NUMPY else PYTHON_BACKEND
     if name == VECTORIZED_BACKEND and not HAS_NUMPY:
@@ -97,9 +95,7 @@ def resolve_backend(name: str) -> str:
 def require_numpy():
     """Return the numpy module or raise a helpful error."""
     if np is None:  # pragma: no cover - exercised only without numpy
-        raise ConfigurationError(
-            "this code path requires numpy, which is not installed"
-        )
+        raise ConfigurationError("this code path requires numpy, which is not installed")
     return np
 
 
@@ -115,9 +111,7 @@ class PeerIndex:
 
     def __init__(self, ids: Sequence[str]) -> None:
         self.ids: List[str] = list(ids)
-        self._positions: Dict[str, int] = {
-            peer: position for position, peer in enumerate(self.ids)
-        }
+        self._positions: Dict[str, int] = {peer: position for position, peer in enumerate(self.ids)}
         if len(self._positions) != len(self.ids):
             raise ConfigurationError("peer ids must be unique")
 
@@ -162,9 +156,7 @@ class PeerIndex:
 
     def dict_to_vector(self, mapping: Mapping[str, float], *, default: float = 0.0):
         numpy = require_numpy()
-        return numpy.array(
-            [mapping.get(peer, default) for peer in self.ids], dtype=float
-        )
+        return numpy.array([mapping.get(peer, default) for peer in self.ids], dtype=float)
 
 
 # -- reputation kernels -----------------------------------------------------
@@ -245,16 +237,10 @@ def local_trust_matrix_from_columns(columns, index: PeerIndex):
     rater_codes = numpy.asarray(columns.rater_codes, dtype=numpy.intp)
     identified = rater_codes >= 0
     rater_positions = perm[rater_codes[identified]]
-    subject_positions = perm[
-        numpy.asarray(columns.subject_codes, dtype=numpy.intp)[identified]
-    ]
+    subject_positions = perm[numpy.asarray(columns.subject_codes, dtype=numpy.intp)[identified]]
     known = (rater_positions >= 0) & (subject_positions >= 0)
-    deltas = numpy.where(
-        numpy.asarray(columns.positives, dtype=bool)[identified][known], 1.0, -1.0
-    )
-    return local_trust_matrix(
-        len(index), rater_positions[known], subject_positions[known], deltas
-    )
+    deltas = numpy.where(numpy.asarray(columns.positives, dtype=bool)[identified][known], 1.0, -1.0)
+    return local_trust_matrix(len(index), rater_positions[known], subject_positions[known], deltas)
 
 
 def power_iteration(
@@ -336,10 +322,7 @@ def minmax_rescale_dict(trust: Dict[str, float]) -> Dict[str, float]:
     if high - low < FLAT_SPREAD:
         return {peer: 0.5 for peer in trust}
     spread = high - low
-    return {
-        peer: min(1.0, max(0.0, (value - low) / spread))
-        for peer, value in trust.items()
-    }
+    return {peer: min(1.0, max(0.0, (value - low) / spread)) for peer, value in trust.items()}
 
 
 def mean_scores(subject_positions, ratings, n_subjects: int):
@@ -422,9 +405,7 @@ def coupling_step(
     honest_contribution = state[..., 4]
     privacy_satisfaction = state[..., 5]
 
-    privacy_target = numpy.clip(
-        policy_respect * (1.0 - 0.6 * disclosure), 0.0, 1.0
-    )
+    privacy_target = numpy.clip(policy_respect * (1.0 - 0.6 * disclosure), 0.0, 1.0)
     reputation_target = numpy.clip(
         mechanism_power * (disclosure * (0.4 + 0.6 * honest_contribution)),
         0.0,
@@ -504,9 +485,7 @@ def coupling_equilibria(
     numpy = require_numpy()
     state = numpy.array(initials, dtype=float, copy=True)
     if state.ndim != 2 or state.shape[1] != len(COUPLING_LAYOUT):
-        raise ConfigurationError(
-            f"initials must have shape (m, {len(COUPLING_LAYOUT)})"
-        )
+        raise ConfigurationError(f"initials must have shape (m, {len(COUPLING_LAYOUT)})")
     active = numpy.arange(state.shape[0])
     for _ in range(steps):
         if not active.size:

@@ -52,15 +52,11 @@ STATE_VARIABLES = (
 
 def _state_to_vector(state: "CouplingState"):
     numpy = backend_kernels.require_numpy()
-    return numpy.array(
-        [getattr(state, name) for name in STATE_VARIABLES], dtype=float
-    )
+    return numpy.array([getattr(state, name) for name in STATE_VARIABLES], dtype=float)
 
 
 def _state_from_vector(values) -> "CouplingState":
-    return CouplingState(
-        **{name: float(value) for name, value in zip(STATE_VARIABLES, values)}
-    )
+    return CouplingState(**{name: float(value) for name, value in zip(STATE_VARIABLES, values)})
 
 
 @dataclass(frozen=True)
@@ -82,9 +78,7 @@ class CouplingState:
         return {name: getattr(self, name) for name in STATE_VARIABLES}
 
     def distance(self, other: "CouplingState") -> float:
-        return max(
-            abs(getattr(self, name) - getattr(other, name)) for name in STATE_VARIABLES
-        )
+        return max(abs(getattr(self, name) - getattr(other, name)) for name in STATE_VARIABLES)
 
 
 @dataclass
@@ -283,10 +277,7 @@ class CouplingDynamics:
                 batch, steps=steps, tolerance=tolerance, **self._kernel_params()
             )
             return [_state_from_vector(row) for row in final]
-        return [
-            self.run(state, steps=steps, tolerance=tolerance)[-1]
-            for state in initials
-        ]
+        return [self.run(state, steps=steps, tolerance=tolerance)[-1] for state in initials]
 
 
 def coupling_matrix(

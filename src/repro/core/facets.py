@@ -112,6 +112,4 @@ def satisfaction_facet(
     fairness_weight: float = 0.25,
 ) -> float:
     """Satisfaction facet: the global users' satisfaction."""
-    return global_satisfaction(
-        satisfactions, weights=weights, fairness_weight=fairness_weight
-    )
+    return global_satisfaction(satisfactions, weights=weights, fairness_weight=fairness_weight)

@@ -188,9 +188,7 @@ class TrustOptimizer:
         best: Optional[TradeoffPoint] = None
 
         for round_index in range(self.refine_rounds + 1):
-            resolution = (
-                self.coarse_resolution if round_index == 0 else self.refine_resolution
-            )
+            resolution = self.coarse_resolution if round_index == 0 else self.refine_resolution
             sharing_levels = self._grid(*sharing_window, resolution)
             strictness_levels = self._grid(*strictness_window, resolution)
             for settings in self._candidate_settings(sharing_levels, strictness_levels):

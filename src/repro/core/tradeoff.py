@@ -126,9 +126,7 @@ class AnalyticFacetModel:
         reputation = clamp(reputation)
 
         satisfaction = clamp(0.25 + 0.45 * reputation + 0.30 * privacy)
-        return FacetScores(
-            privacy=privacy, reputation=reputation, satisfaction=satisfaction
-        )
+        return FacetScores(privacy=privacy, reputation=reputation, satisfaction=satisfaction)
 
 
 class SettingsExplorer:
@@ -166,10 +164,7 @@ class SettingsExplorer:
             if resolution < 2:
                 raise ConfigurationError("resolution must be at least 2")
             levels = [index / (resolution - 1) for index in range(resolution)]
-        return [
-            self.evaluate(self.base_settings.with_sharing_level(level))
-            for level in levels
-        ]
+        return [self.evaluate(self.base_settings.with_sharing_level(level)) for level in levels]
 
     def sweep_settings(self, settings_list: Sequence[SystemSettings]) -> List[TradeoffPoint]:
         return [self.evaluate(settings) for settings in settings_list]

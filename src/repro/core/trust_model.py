@@ -62,9 +62,7 @@ class TrustModel:
         aggregator: Aggregator = Aggregator.GEOMETRIC,
     ) -> None:
         self.settings = settings or SystemSettings()
-        self.metric = CompositeTrustMetric(
-            aggregator=aggregator, weights=self.settings.weights()
-        )
+        self.metric = CompositeTrustMetric(aggregator=aggregator, weights=self.settings.weights())
 
     # -- adjustments required by Section 3 -----------------------------------
 
@@ -97,9 +95,7 @@ class TrustModel:
         trustworthy_fraction: Optional[float] = None,
     ) -> TrustReport:
         """Evaluate global (and optionally per-user) trust."""
-        effective = self.effective_facets(
-            facets, trustworthy_fraction=trustworthy_fraction
-        )
+        effective = self.effective_facets(facets, trustworthy_fraction=trustworthy_fraction)
         global_trust = self.metric.trust(effective)
         per_user_trust = {}
         if per_user_facets:

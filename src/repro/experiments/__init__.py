@@ -17,6 +17,9 @@ Each module implements one experiment of the DESIGN.md index:
   long-run satisfaction;
 * :mod:`repro.experiments.ablations` — E-A1/E-A2, aggregator and anonymity
   ablations;
+* :mod:`repro.experiments.robustness` — E-X1, the attack-scenario catalog
+  (collusion, whitewashing, traitors, slander, sybil bursts) against every
+  reputation mechanism, with attack-resistance metrics;
 * :mod:`repro.experiments.results` — structured :class:`ExperimentRecord`
   results with deterministic JSON/CSV serialization;
 * :mod:`repro.experiments.sweep` — parallel sweep campaigns (grid, random

@@ -9,6 +9,9 @@ campaign instead: parameter grids (``--grid key=v1,v2``), random or
 Latin-hypercube samples (``--range key=lo:hi --sample latin --n-samples N``),
 executed over ``--jobs`` worker processes with per-task seeds derived from
 ``--seed``, written as structured records to ``--out``/``--csv``.
+
+The ``robustness`` experiment sweeps the attack-scenario catalog by name,
+e.g. ``sweep robustness --grid scenario=collusion-ring,slander``.
 """
 
 from __future__ import annotations

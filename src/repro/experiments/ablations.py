@@ -98,9 +98,7 @@ def run_anonymity_ablation(
     """E-A2: identified versus anonymous feedback on the same scenario."""
     outcomes = []
     for label, mechanism, anonymous in ANONYMITY_MODES:
-        settings = SystemSettings(
-            reputation_mechanism=mechanism, anonymous_feedback=anonymous
-        )
+        settings = SystemSettings(reputation_mechanism=mechanism, anonymous_feedback=anonymous)
         result = Scenario(
             ScenarioConfig(
                 n_users=n_users,

@@ -44,9 +44,7 @@ def _claim_c1_trust_satisfaction(backend: str = "auto") -> ClaimOutcome:
     """Trust and satisfaction reinforce each other (closed-loop response)."""
     dynamics = CouplingDynamics(backend=backend)
     equilibrium = dynamics.equilibrium()
-    boosted = replace(
-        equilibrium, satisfaction=min(1.0, equilibrium.satisfaction + 0.2)
-    )
+    boosted = replace(equilibrium, satisfaction=min(1.0, equilibrium.satisfaction + 0.2))
     state = boosted
     for _ in range(5):
         state = dynamics.step(state)
@@ -154,9 +152,7 @@ def _claim_c5_information_privacy_loop(backend: str = "auto") -> ClaimOutcome:
     more privacy respect -> more satisfaction."""
     low_sharing = CouplingDynamics(sharing_level=0.2, backend=backend).equilibrium()
     high_sharing = CouplingDynamics(sharing_level=1.0, backend=backend).equilibrium()
-    reputation_gain = (
-        high_sharing.reputation_efficiency - low_sharing.reputation_efficiency
-    )
+    reputation_gain = high_sharing.reputation_efficiency - low_sharing.reputation_efficiency
     privacy_loss = low_sharing.privacy_satisfaction - high_sharing.privacy_satisfaction
 
     respected = CouplingDynamics(policy_respect=1.0, backend=backend).equilibrium()
@@ -232,7 +228,5 @@ def report(result: ClaimsResult) -> str:
         rows,
         title="E-C1..E-C5: the five qualitative couplings of Section 3",
     )
-    details = "\n".join(
-        f"  {outcome.claim_id}: {outcome.detail}" for outcome in result.outcomes
-    )
+    details = "\n".join(f"  {outcome.claim_id}: {outcome.detail}" for outcome in result.outcomes)
     return table + "\n\nDetails:\n" + details

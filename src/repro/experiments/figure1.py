@@ -76,8 +76,15 @@ class Figure1Result:
         return all(contrast.holds for contrast in self.contrasts)
 
 
-def _scenario(settings: SystemSettings, *, n_users: int, rounds: int, seed: int,
-              malicious_fraction: float = 0.2, backend: str = "auto") -> ScenarioResult:
+def _scenario(
+    settings: SystemSettings,
+    *,
+    n_users: int,
+    rounds: int,
+    seed: int,
+    malicious_fraction: float = 0.2,
+    backend: str = "auto",
+) -> ScenarioResult:
     return Scenario(
         ScenarioConfig(
             n_users=n_users,
@@ -90,8 +97,9 @@ def _scenario(settings: SystemSettings, *, n_users: int, rounds: int, seed: int,
     ).run()
 
 
-def _empirical_contrasts(*, n_users: int, rounds: int, seed: int,
-                         backend: str = "auto") -> List[EmpiricalContrast]:
+def _empirical_contrasts(
+    *, n_users: int, rounds: int, seed: int, backend: str = "auto"
+) -> List[EmpiricalContrast]:
     """Targeted scenario pairs, one per Figure-1 arrow measurable end to end."""
     contrasts: List[EmpiricalContrast] = []
 
@@ -99,11 +107,17 @@ def _empirical_contrasts(*, n_users: int, rounds: int, seed: int,
     # information -> more efficient reputation (coverage of the population).
     low_sharing = _scenario(
         SystemSettings(sharing_level=0.15, reputation_mechanism="beta"),
-        n_users=n_users, rounds=rounds, seed=seed, backend=backend,
+        n_users=n_users,
+        rounds=rounds,
+        seed=seed,
+        backend=backend,
     )
     high_sharing = _scenario(
         SystemSettings(sharing_level=1.0, reputation_mechanism="beta"),
-        n_users=n_users, rounds=rounds, seed=seed, backend=backend,
+        n_users=n_users,
+        rounds=rounds,
+        seed=seed,
+        backend=backend,
     )
     contrasts.append(
         EmpiricalContrast(
@@ -129,12 +143,18 @@ def _empirical_contrasts(*, n_users: int, rounds: int, seed: int,
     # Arrow: a more efficient reputation mechanism -> more trust.
     no_reputation = _scenario(
         SystemSettings(reputation_mechanism="none"),
-        n_users=n_users, rounds=rounds, seed=seed, malicious_fraction=0.3,
+        n_users=n_users,
+        rounds=rounds,
+        seed=seed,
+        malicious_fraction=0.3,
         backend=backend,
     )
     with_reputation = _scenario(
         SystemSettings(reputation_mechanism="eigentrust"),
-        n_users=n_users, rounds=rounds, seed=seed, malicious_fraction=0.3,
+        n_users=n_users,
+        rounds=rounds,
+        seed=seed,
+        malicious_fraction=0.3,
         backend=backend,
     )
     contrasts.append(
@@ -151,12 +171,20 @@ def _empirical_contrasts(*, n_users: int, rounds: int, seed: int,
     # Arrow: satisfaction and trust move together — contrast a hostile
     # population (low satisfaction) with a healthy one.
     hostile = _scenario(
-        SystemSettings(), n_users=n_users, rounds=rounds, seed=seed,
-        malicious_fraction=0.6, backend=backend,
+        SystemSettings(),
+        n_users=n_users,
+        rounds=rounds,
+        seed=seed,
+        malicious_fraction=0.6,
+        backend=backend,
     )
     healthy = _scenario(
-        SystemSettings(), n_users=n_users, rounds=rounds, seed=seed,
-        malicious_fraction=0.05, backend=backend,
+        SystemSettings(),
+        n_users=n_users,
+        rounds=rounds,
+        seed=seed,
+        malicious_fraction=0.05,
+        backend=backend,
     )
     contrasts.append(
         EmpiricalContrast(
@@ -194,13 +222,9 @@ def run(
     sign_matches = {}
     for (source, target), expected in EXPECTED_SIGNS.items():
         measured = sensitivities[source][target]
-        sign_matches[(source, target)] = (
-            measured > 0 if expected > 0 else measured < 0
-        )
+        sign_matches[(source, target)] = measured > 0 if expected > 0 else measured < 0
 
-    contrasts = _empirical_contrasts(
-        n_users=n_users, rounds=rounds, seed=seed, backend=backend
-    )
+    contrasts = _empirical_contrasts(n_users=n_users, rounds=rounds, seed=seed, backend=backend)
     return Figure1Result(
         sensitivities=sensitivities,
         sign_matches=sign_matches,

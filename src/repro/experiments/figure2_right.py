@@ -48,11 +48,15 @@ class Figure2RightResult:
         ]
 
 
-def _simulate_point(settings: SystemSettings, *, n_users: int, rounds: int,
-                    seed: int, backend: str = "auto") -> TradeoffPoint:
+def _simulate_point(
+    settings: SystemSettings, *, n_users: int, rounds: int, seed: int, backend: str = "auto"
+) -> TradeoffPoint:
     result = Scenario(
         ScenarioConfig(
-            n_users=n_users, rounds=rounds, seed=seed, settings=settings,
+            n_users=n_users,
+            rounds=rounds,
+            seed=seed,
+            settings=settings,
             backend=backend,
         )
     ).run()
@@ -83,7 +87,10 @@ def run(
             settings = SystemSettings(sharing_level=level)
             simulated_points.append(
                 _simulate_point(
-                    settings, n_users=n_users, rounds=rounds, seed=seed,
+                    settings,
+                    n_users=n_users,
+                    rounds=rounds,
+                    seed=seed,
                     backend=backend,
                 )
             )

@@ -123,9 +123,7 @@ def run(
             denied += 1
         service.tick()
 
-    exposures = [
-        exposure_level(service.ledger, owner) for owner in service.ledger.owners()
-    ]
+    exposures = [exposure_level(service.ledger, owner) for owner in service.ledger.owners()]
     return PrivacyEvalResult(
         requests=granted + denied,
         granted=granted,

@@ -50,8 +50,9 @@ def format_table(
     return "\n".join(lines)
 
 
-def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
-                  *, precision: int = 3) -> str:
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], *, precision: int = 3
+) -> str:
     """Render an (x, y) series as two aligned columns."""
     rows = list(zip(xs, ys))
     return format_table(["x", name], rows, precision=precision)
@@ -89,9 +90,7 @@ def format_sweep_summary(
         row.append(record.status if record.ok else f"error: {record.error}")
         rows.append(row)
 
-    header_line = (
-        f"sweep of {experiment!r}: {len(ordered)} tasks, {n_ok} ok, {n_err} failed"
-    )
+    header_line = f"sweep of {experiment!r}: {len(ordered)} tasks, {n_ok} ok, {n_err} failed"
     if hidden > 0:
         header_line += f" ({hidden} more metric(s) in the structured output)"
     table = format_table(headers, rows, precision=precision)

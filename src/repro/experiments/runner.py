@@ -24,6 +24,7 @@ from repro.experiments import (
     figure2_right,
     privacy_eval,
     reputation_eval,
+    robustness,
     satisfaction_eval,
 )
 
@@ -121,6 +122,20 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         summarize=satisfaction_eval.summarize,
         quick_kwargs={"n_providers": 8, "n_consumers": 15, "rounds": 15},
     ),
+    "robustness": ExperimentEntry(
+        name="robustness",
+        experiment_ids=("E-X1",),
+        description="Attack-scenario catalog vs reputation mechanisms (robustness matrix)",
+        run=robustness.run,
+        report=robustness.report,
+        summarize=robustness.summarize,
+        quick_kwargs={
+            "scenarios": ("collusion-ring", "whitewash-wave"),
+            "mechanisms": ("average", "eigentrust"),
+            "n_users": 24,
+            "rounds": 12,
+        },
+    ),
     "ablations": ExperimentEntry(
         name="ablations",
         experiment_ids=("E-A1", "E-A2"),
@@ -138,9 +153,7 @@ def get_experiment(name: str) -> ExperimentEntry:
     try:
         return EXPERIMENTS[name]
     except KeyError:
-        raise ValueError(
-            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
-        ) from None
+        raise ValueError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}") from None
 
 
 def _merged_kwargs(

@@ -81,9 +81,7 @@ def _build_population(
     consumers = []
     for index in range(n_consumers):
         consumer_id = f"cons{index}"
-        preferences = {
-            provider.provider_id: rng.uniform(0.2, 1.0) for provider in providers
-        }
+        preferences = {provider.provider_id: rng.uniform(0.2, 1.0) for provider in providers}
         consumers.append(
             ConsumerAgent(
                 consumer_id=consumer_id,

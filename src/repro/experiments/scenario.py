@@ -35,10 +35,9 @@ from repro.privacy.metrics import (
 from repro.privacy.policy import permissive_policy, restrictive_policy
 from repro.privacy.priserv import PriServService
 from repro.privacy.purposes import Operation, Purpose
-from repro.reputation import make_reputation_system
 from repro.reputation.accuracy import mean_absolute_error, pairwise_ranking_accuracy
-from repro.reputation.anonymous import AnonymousFeedbackReputation
 from repro.reputation.base import ReputationSystem
+from repro.scenarios.runner import reputation_for_graph
 from repro.satisfaction.adequacy import interaction_adequacy
 from repro.satisfaction.aggregate import local_satisfaction
 from repro.satisfaction.tracker import SatisfactionTracker
@@ -131,40 +130,24 @@ class Scenario:
         return generate_social_network(spec)
 
     def _build_reputation(self, graph: SocialGraph) -> Optional[ReputationSystem]:
-        mechanism = self.config.settings.reputation_mechanism
-        if mechanism == "none":
-            return None
-        if mechanism == "eigentrust":
-            # EigenTrust assumes a small set of pre-trusted peers (the
-            # network founders); model them as the three best-connected
-            # honest users.  Without them the uniform restart hands the
-            # dishonest clique enough mass to blunt the mechanism.
-            founders = sorted(
-                (user.user_id for user in graph.users() if user.is_honest),
-                key=lambda uid: -graph.degree(uid),
-            )[:3]
-            system = make_reputation_system(
-                mechanism, pretrusted=founders, backend=self.config.backend
-            )
-        else:
-            system = make_reputation_system(mechanism, backend=self.config.backend)
-        if self.config.settings.anonymous_feedback:
-            return AnonymousFeedbackReputation(system, seed=self.config.seed)
-        return system
+        return reputation_for_graph(
+            graph,
+            self.config.settings.reputation_mechanism,
+            seed=self.config.seed,
+            backend=self.config.backend,
+            anonymous=self.config.settings.anonymous_feedback,
+        )
 
-    def _build_priserv(self, graph: SocialGraph,
-                       reputation: Optional[ReputationSystem]) -> PriServService:
+    def _build_priserv(
+        self, graph: SocialGraph, reputation: Optional[ReputationSystem]
+    ) -> PriServService:
         def trust_oracle(peer_id: str) -> float:
             if reputation is None:
                 return 0.5
             return reputation.score(peer_id)
 
         def friendship(requester: str, owner: str) -> bool:
-            return (
-                requester in graph
-                and owner in graph
-                and graph.are_connected(requester, owner)
-            )
+            return requester in graph and owner in graph and graph.are_connected(requester, owner)
 
         service = PriServService(
             peer_ids=graph.user_ids(),
@@ -265,9 +248,7 @@ class Scenario:
             previous = consumer_prefs.get(provider.base_id, 0.5)
             adequacy = interaction_adequacy(previous, transaction.quality)
             tracker.observe(consumer.base_id, adequacy)
-            consumer_prefs[provider.base_id] = clamp(
-                0.7 * previous + 0.3 * transaction.quality
-            )
+            consumer_prefs[provider.base_id] = clamp(0.7 * previous + 0.3 * transaction.quality)
 
         reputation_scores = reputation.scores() if reputation is not None else {}
         ground_truth = simulation.ground_truth_honesty
@@ -316,9 +297,7 @@ class Scenario:
         tracker: SatisfactionTracker,
     ) -> FacetScores:
         config = self.config
-        privacy_concerns = {
-            user.user_id: user.privacy_concern for user in simulation.graph.users()
-        }
+        privacy_concerns = {user.user_id: user.privacy_concern for user in simulation.graph.users()}
         privacy = privacy_facet(
             sharing_level=config.settings.sharing_level,
             information_requirement=self._information_requirement(reputation),
@@ -326,17 +305,13 @@ class Scenario:
             ledger=ledger,
             privacy_concerns=privacy_concerns,
         )
-        reputation_score = reputation_facet(
-            reputation_scores, simulation.ground_truth_honesty
-        )
+        reputation_score = reputation_facet(reputation_scores, simulation.ground_truth_honesty)
         satisfactions = {
             user_id: tracker.satisfaction(user_id)
             for user_id in simulation.graph.user_ids()
         }
         satisfaction = satisfaction_facet(satisfactions)
-        return FacetScores(
-            privacy=privacy, reputation=reputation_score, satisfaction=satisfaction
-        )
+        return FacetScores(privacy=privacy, reputation=reputation_score, satisfaction=satisfaction)
 
     def _per_user_facets(
         self,
@@ -349,9 +324,7 @@ class Scenario:
     ) -> Dict[str, FacetScores]:
         config = self.config
         ground_truth = simulation.ground_truth_honesty
-        satisfactions = {
-            user_id: tracker.satisfaction(user_id) for user_id in graph.user_ids()
-        }
+        satisfactions = {user_id: tracker.satisfaction(user_id) for user_id in graph.user_ids()}
         global_reputation = reputation_facet(reputation_scores, ground_truth)
         per_user: Dict[str, FacetScores] = {}
         for user in graph.users():
@@ -366,12 +339,8 @@ class Scenario:
             # global power with how well it served *her*: the fraction of
             # her consumed transactions that went well.
             peer = simulation.directory.get(user.user_id)
-            personal_experience = (
-                peer.observed_success_rate if peer.consumed_count else 0.5
-            )
-            user_reputation = clamp(
-                0.5 * global_reputation + 0.5 * personal_experience
-            )
+            personal_experience = peer.observed_success_rate if peer.consumed_count else 0.5
+            user_reputation = clamp(0.5 * global_reputation + 0.5 * personal_experience)
             user_satisfaction = local_satisfaction(
                 user.user_id, satisfactions, graph.neighbors(user.user_id)
             )

@@ -57,9 +57,7 @@ class ParamRange:
 
     def __post_init__(self) -> None:
         if not self.low <= self.high:
-            raise ConfigurationError(
-                f"empty parameter range [{self.low}, {self.high}]"
-            )
+            raise ConfigurationError(f"empty parameter range [{self.low}, {self.high}]")
 
 
 @dataclass(frozen=True)
@@ -107,9 +105,7 @@ class SweepSpec:
                 "the grid sampler only takes explicit value lists"
             )
         if self.sampler != "grid" and self.n_samples < 1:
-            raise ConfigurationError(
-                f"the {self.sampler} sampler needs n_samples >= 1"
-            )
+            raise ConfigurationError(f"the {self.sampler} sampler needs n_samples >= 1")
         if self.sampler == "grid" and self.n_samples > 0:
             raise ConfigurationError(
                 "n_samples only applies to --sample random/latin; "
@@ -124,14 +120,10 @@ class SweepSpec:
                         f"{key!r}; raise --n-samples or trim the grid"
                     )
         if not self.grids and not self.ranges:
-            raise ConfigurationError(
-                "a sweep needs at least one --grid or --range parameter"
-            )
+            raise ConfigurationError("a sweep needs at least one --grid or --range parameter")
         overlap = set(self.grids) & set(self.ranges)
         if overlap:
-            raise ConfigurationError(
-                f"parameters given both as grid and range: {sorted(overlap)}"
-            )
+            raise ConfigurationError(f"parameters given both as grid and range: {sorted(overlap)}")
         for key, values in self.grids.items():
             for value in values:
                 if not isinstance(value, SCALAR_TYPES):
@@ -318,9 +310,7 @@ class SweepResult:
 
     def write_json(self, path: str) -> None:
         """Serialize records + campaign header; deterministic by contract."""
-        write_records_json(
-            path, self.records, campaign=self.spec.campaign_metadata()
-        )
+        write_records_json(path, self.records, campaign=self.spec.campaign_metadata())
 
     def write_csv(self, path: str) -> None:
         write_records_csv(path, self.records)
@@ -340,9 +330,7 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1) -> SweepResult:
     if jobs == 1 or len(tasks) <= 1:
         records = [execute_task(task) for task in tasks]
     else:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(jobs, len(tasks))
-        ) as pool:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
             records = list(pool.map(execute_task, tasks))
     records.sort(key=lambda record: record.task_index)
     wall_time = time.perf_counter() - start
@@ -379,32 +367,24 @@ def parse_scalar(text: str) -> object:
 def parse_grid_option(option: str) -> Tuple[str, List[object]]:
     """Parse one ``--grid key=v1,v2,...`` occurrence."""
     if "=" not in option:
-        raise ConfigurationError(
-            f"--grid expects key=v1,v2,... (got {option!r})"
-        )
+        raise ConfigurationError(f"--grid expects key=v1,v2,... (got {option!r})")
     key, _, values_text = option.partition("=")
     values = [parse_scalar(value) for value in values_text.split(",") if value != ""]
     if not key or not values:
-        raise ConfigurationError(
-            f"--grid expects key=v1,v2,... (got {option!r})"
-        )
+        raise ConfigurationError(f"--grid expects key=v1,v2,... (got {option!r})")
     return key, values
 
 
 def parse_range_option(option: str) -> Tuple[str, ParamRange]:
     """Parse one ``--range key=low:high`` occurrence."""
     if "=" not in option or ":" not in option.partition("=")[2]:
-        raise ConfigurationError(
-            f"--range expects key=low:high (got {option!r})"
-        )
+        raise ConfigurationError(f"--range expects key=low:high (got {option!r})")
     key, _, bounds_text = option.partition("=")
     low_text, _, high_text = bounds_text.partition(":")
     try:
         bounds = ParamRange(low=float(low_text), high=float(high_text))
     except ValueError:
-        raise ConfigurationError(
-            f"--range expects numeric bounds (got {option!r})"
-        ) from None
+        raise ConfigurationError(f"--range expects numeric bounds (got {option!r})") from None
     return key, bounds
 
 
@@ -429,9 +409,7 @@ def spec_from_options(
     for option in range_options:
         key, bounds = parse_range_option(option)
         if key in ranges:
-            raise ConfigurationError(
-                f"--range given twice for parameter {key!r}"
-            )
+            raise ConfigurationError(f"--range given twice for parameter {key!r}")
         ranges[key] = bounds
     return SweepSpec(
         experiment=experiment,

@@ -44,9 +44,7 @@ class PseudonymManager:
     def pseudonym(self, real_id: str) -> str:
         if real_id in self._forward:
             return self._forward[real_id]
-        digest = hashlib.sha256(
-            f"{self._salt}|{self._epoch}|{real_id}".encode("utf8")
-        ).hexdigest()
+        digest = hashlib.sha256(f"{self._salt}|{self._epoch}|{real_id}".encode("utf8")).hexdigest()
         pseudonym = f"p-{digest[:16]}"
         self._forward[real_id] = pseudonym
         self._reverse[pseudonym] = real_id
@@ -79,9 +77,7 @@ def generalize_age(age: int, bucket_size: int = 10) -> str:
     return f"{low}-{low + bucket_size - 1}"
 
 
-def k_anonymous_groups(
-    values: Sequence[str], k: int
-) -> Dict[str, List[int]]:
+def k_anonymous_groups(values: Sequence[str], k: int) -> Dict[str, List[int]]:
     """Group record indices by value and report which groups satisfy k-anonymity.
 
     Returns ``{value: [indices]}`` restricted to groups of size at least

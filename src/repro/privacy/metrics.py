@@ -90,9 +90,7 @@ def privacy_satisfaction(
     require_unit_interval(respect_rate, "respect_rate")
     require_unit_interval(privacy_concern, "privacy_concern")
     concerned_satisfaction = 0.4 * (1.0 - exposure) + 0.6 * respect_rate
-    return clamp(
-        (1.0 - privacy_concern) * 1.0 + privacy_concern * concerned_satisfaction
-    )
+    return clamp((1.0 - privacy_concern) * 1.0 + privacy_concern * concerned_satisfaction)
 
 
 def population_privacy_satisfaction(

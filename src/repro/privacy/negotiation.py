@@ -96,9 +96,7 @@ class NegotiationEngine:
             return None
         updated = proposal
         if "obligations-not-accepted" in reasons:
-            updated = replace(
-                updated, accepted_obligations=frozenset(set(rule.obligations))
-            )
+            updated = replace(updated, accepted_obligations=frozenset(set(rule.obligations)))
         if "purpose-not-allowed" in reasons and rule.purposes:
             # Concede to a purpose the owner allows, preferring the least
             # invasive (user-serving) ones in a stable order.

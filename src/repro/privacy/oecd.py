@@ -96,9 +96,7 @@ def check_compliance(service: PriServService) -> ComplianceReport:
     # share of all records (old data lingering degrades quality).
     if len(ledger):
         expired = len(ledger.expired_records(service.clock))
-        with_retention = sum(
-            1 for record in ledger.records if record.retention_time is not None
-        )
+        with_retention = sum(1 for record in ledger.records if record.retention_time is not None)
         retention_coverage = with_retention / len(ledger)
         data_quality = clamp(0.5 * retention_coverage + 0.5 * (1.0 - expired / len(ledger)))
     else:

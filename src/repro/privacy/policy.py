@@ -82,8 +82,9 @@ class AccessDecision:
         return self.outcome is DecisionOutcome.PERMIT
 
     @staticmethod
-    def permit(obligations: Iterable[Obligation] = (), retention_time: Optional[int] = None
-               ) -> "AccessDecision":
+    def permit(
+        obligations: Iterable[Obligation] = (), retention_time: Optional[int] = None
+    ) -> "AccessDecision":
         return AccessDecision(
             outcome=DecisionOutcome.PERMIT,
             obligations=frozenset(obligations),

@@ -156,9 +156,7 @@ class PriServService:
         purpose: Purpose,
         accepted_obligations: Sequence[Obligation],
     ) -> AccessRequest:
-        is_friend = bool(
-            self.friendship_oracle and self.friendship_oracle(requester, item.owner)
-        )
+        is_friend = bool(self.friendship_oracle and self.friendship_oracle(requester, item.owner))
         same_community = bool(
             self.community_oracle and self.community_oracle(requester, item.owner)
         )
@@ -197,9 +195,7 @@ class PriServService:
         if policy is None:
             decision = AccessDecision.deny("owner-has-no-policy")
         else:
-            request = self._build_request(
-                requester, item, operation, purpose, accepted_obligations
-            )
+            request = self._build_request(requester, item, operation, purpose, accepted_obligations)
             decision = policy.evaluate(request)
         self._audit.append(
             AuditEntry(

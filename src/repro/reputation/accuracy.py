@@ -11,7 +11,10 @@ all, consistency with the reality".  The simulator knows the ground truth
   classification at a threshold;
 * :func:`mean_absolute_error` — distance between scores and honesty;
 * :func:`reputation_power` — the composite in ``[0, 1]`` used as the
-  reputation facet input.
+  reputation facet input;
+* :func:`spearman_rank_correlation` / :func:`score_separation` — the
+  robustness-scenario measures: rank agreement with ground truth and the
+  good-vs-bad score gap attack campaigns try to collapse.
 """
 
 from __future__ import annotations
@@ -68,14 +71,76 @@ def classification_accuracy(
     return correct / len(aligned)
 
 
-def mean_absolute_error(
-    scores: Mapping[str, float], ground_truth: Mapping[str, float]
-) -> float:
+def mean_absolute_error(scores: Mapping[str, float], ground_truth: Mapping[str, float]) -> float:
     """Mean absolute difference between score and ground-truth honesty."""
     aligned = _aligned(scores, ground_truth)
     if not aligned:
         return 1.0
     return mean(abs(score - ground_truth[peer]) for peer, score in aligned.items())
+
+
+def _average_ranks(values: Dict[str, float]) -> Dict[str, float]:
+    """Fractional ranks (ties get the average of their rank span)."""
+    ordered = sorted(values, key=lambda peer: (values[peer], peer))
+    ranks: Dict[str, float] = {}
+    index = 0
+    while index < len(ordered):
+        tail = index
+        while tail + 1 < len(ordered) and values[ordered[tail + 1]] == values[ordered[index]]:
+            tail += 1
+        average = (index + tail) / 2.0 + 1.0
+        for position in range(index, tail + 1):
+            ranks[ordered[position]] = average
+        index = tail + 1
+    return ranks
+
+
+def spearman_rank_correlation(
+    scores: Mapping[str, float], ground_truth: Mapping[str, float]
+) -> float:
+    """Spearman rank correlation between scores and ground truth, in ``[-1, 1]``.
+
+    Ties receive fractional (average) ranks, the standard convention.
+    Returns 0.0 when fewer than two peers overlap or either side is
+    constant (zero variance makes the coefficient undefined; 0 — "no
+    evidence of agreement" — is the useful reading for robustness metrics).
+    Pure-Python on purpose: robustness records must be byte-identical across
+    compute backends.
+    """
+    aligned = _aligned(scores, ground_truth)
+    if len(aligned) < 2:
+        return 0.0
+    score_ranks = _average_ranks(aligned)
+    truth_ranks = _average_ranks({peer: ground_truth[peer] for peer in aligned})
+    n = len(aligned)
+    mean_rank = (n + 1) / 2.0
+    covariance = 0.0
+    score_variance = 0.0
+    truth_variance = 0.0
+    for peer in aligned:
+        ds = score_ranks[peer] - mean_rank
+        dt = truth_ranks[peer] - mean_rank
+        covariance += ds * dt
+        score_variance += ds * ds
+        truth_variance += dt * dt
+    if score_variance == 0.0 or truth_variance == 0.0:
+        return 0.0
+    return covariance / (score_variance * truth_variance) ** 0.5
+
+
+def score_separation(scores: Mapping[str, float], ground_truth: Mapping[str, float]) -> float:
+    """Mean honest score minus mean dishonest score, in ``[-1, 1]``.
+
+    The single number an attack campaign tries to drive to zero (or below):
+    how far apart the mechanism holds the good and the bad population.
+    Returns 0.0 when either class has no scored peer.
+    """
+    aligned = _aligned(scores, ground_truth)
+    honest = [aligned[peer] for peer in aligned if ground_truth[peer] >= 0.5]
+    dishonest = [aligned[peer] for peer in aligned if ground_truth[peer] < 0.5]
+    if not honest or not dishonest:
+        return 0.0
+    return mean(honest) - mean(dishonest)
 
 
 def reputation_power(

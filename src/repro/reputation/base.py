@@ -52,9 +52,13 @@ class ReputationSystem(abc.ABC):
     #: identified per-transaction histories.
     information_requirement: float = 0.5
 
-    def __init__(self, *, default_score: float = 0.5,
-                 max_evidence_per_subject: Optional[int] = None,
-                 backend: str = "auto") -> None:
+    def __init__(
+        self,
+        *,
+        default_score: float = 0.5,
+        max_evidence_per_subject: Optional[int] = None,
+        backend: str = "auto",
+    ) -> None:
         self.default_score = clamp(default_score)
         self.store = FeedbackStore(max_per_subject=max_evidence_per_subject)
         self.local_trust = LocalTrustBuilder(self.store)

@@ -127,9 +127,7 @@ class EigenTrust(ReputationSystem):
 
     def _compute_vectorized(self, peers: List[str]) -> Dict[str, float]:
         index = PeerIndex(peers)
-        matrix = backend_kernels.local_trust_matrix_from_columns(
-            self.store.columns(), index
-        )
+        matrix = backend_kernels.local_trust_matrix_from_columns(self.store.columns(), index)
         restart = index.dict_to_vector(self._pretrusted_distribution(peers))
         trust, self.iterations_used = backend_kernels.power_iteration(
             matrix,

@@ -58,9 +58,7 @@ class FeedbackColumns:
         self.positives.append(1 if feedback.positive else 0)
         self.times.append(feedback.time)
         self.subject_codes.append(self._intern(feedback.subject))
-        self.rater_codes.append(
-            -1 if feedback.rater is None else self._intern(feedback.rater)
-        )
+        self.rater_codes.append(-1 if feedback.rater is None else self._intern(feedback.rater))
 
     def __len__(self) -> int:
         return len(self.subjects)

@@ -141,9 +141,7 @@ class PowerTrust(ReputationSystem):
         for _ in range(self.power_node_rounds):
             restart = self._restart_distribution(peers, power_nodes)
             trust = self._aggregate(peers, local, restart)
-            new_power_nodes = self.overlay.select_power_nodes(
-                _quantized(trust), self.n_power_nodes
-            )
+            new_power_nodes = self.overlay.select_power_nodes(_quantized(trust), self.n_power_nodes)
             if new_power_nodes == power_nodes:
                 break
             power_nodes = new_power_nodes
@@ -153,17 +151,13 @@ class PowerTrust(ReputationSystem):
 
     def _compute_vectorized(self, peers: List[str]) -> Dict[str, float]:
         index = PeerIndex(peers)
-        matrix = backend_kernels.local_trust_matrix_from_columns(
-            self.store.columns(), index
-        )
+        matrix = backend_kernels.local_trust_matrix_from_columns(self.store.columns(), index)
 
         power_nodes: List[str] = list(self.power_nodes)
         trust_map: Dict[str, float] = {}
         trust = None
         for _ in range(self.power_node_rounds):
-            restart = index.dict_to_vector(
-                self._restart_distribution(peers, power_nodes)
-            )
+            restart = index.dict_to_vector(self._restart_distribution(peers, power_nodes))
             trust, _ = backend_kernels.power_iteration(
                 matrix,
                 restart,

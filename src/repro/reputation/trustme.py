@@ -43,7 +43,9 @@ class TransactionCertificate:
     token: str
 
     @staticmethod
-    def issue(transaction_id: int, consumer: str, provider: str, secret: str) -> "TransactionCertificate":
+    def issue(
+        transaction_id: int, consumer: str, provider: str, secret: str
+    ) -> "TransactionCertificate":
         digest = hashlib.sha256(
             f"{secret}|{transaction_id}|{consumer}|{provider}".encode("utf8")
         ).hexdigest()
@@ -108,9 +110,7 @@ class TrustMeReputation(ReputationSystem):
         self, transaction_id: int, consumer: str, provider: str
     ) -> TransactionCertificate:
         """Issue (and remember) the pairwise certificate for a transaction."""
-        certificate = TransactionCertificate.issue(
-            transaction_id, consumer, provider, self.secret
-        )
+        certificate = TransactionCertificate.issue(transaction_id, consumer, provider, self.secret)
         self._certificates[transaction_id] = certificate
         return certificate
 

@@ -22,9 +22,7 @@ from repro._util import clamp, require_unit_interval
 from repro.satisfaction.intentions import ConsumerIntention, ProviderIntention
 
 
-def consumer_adequacy(
-    intention: ConsumerIntention, allocated_provider: str
-) -> float:
+def consumer_adequacy(intention: ConsumerIntention, allocated_provider: str) -> float:
     """Adequacy of allocating ``allocated_provider`` to this consumer."""
     return intention.preference(allocated_provider)
 
@@ -52,6 +50,4 @@ def interaction_adequacy(
     require_unit_interval(partner_preference, "partner_preference")
     require_unit_interval(delivered_quality, "delivered_quality")
     require_unit_interval(quality_weight, "quality_weight")
-    return clamp(
-        quality_weight * delivered_quality + (1.0 - quality_weight) * partner_preference
-    )
+    return clamp(quality_weight * delivered_quality + (1.0 - quality_weight) * partner_preference)

@@ -31,9 +31,7 @@ class SatisfactionSummary:
         return self.maximum - self.minimum
 
 
-def summarize(
-    satisfactions: Mapping[str, float], *, threshold: float = 0.4
-) -> SatisfactionSummary:
+def summarize(satisfactions: Mapping[str, float], *, threshold: float = 0.4) -> SatisfactionSummary:
     """Summarize a satisfaction mapping (mean, extremes, dissatisfied share)."""
     require_unit_interval(threshold, "threshold")
     values = list(satisfactions.values())

@@ -95,8 +95,9 @@ class ProviderIntention:
         self.consumer_affinity[consumer] = require_unit_interval(value, "affinity")
 
 
-def uniform_consumer_intention(consumer: str, providers: Iterable[str],
-                               preference: float = 0.5) -> ConsumerIntention:
+def uniform_consumer_intention(
+    consumer: str, providers: Iterable[str], preference: float = 0.5
+) -> ConsumerIntention:
     """A consumer intention giving every provider the same preference."""
     return ConsumerIntention(
         consumer=consumer,
@@ -105,8 +106,9 @@ def uniform_consumer_intention(consumer: str, providers: Iterable[str],
     )
 
 
-def uniform_provider_intention(provider: str, topics: Iterable[str],
-                               interest: float = 0.5, capacity: int = 5) -> ProviderIntention:
+def uniform_provider_intention(
+    provider: str, topics: Iterable[str], interest: float = 0.5, capacity: int = 5
+) -> ProviderIntention:
     """A provider intention with identical interest in every topic."""
     return ProviderIntention(
         provider=provider,

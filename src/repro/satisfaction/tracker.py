@@ -40,8 +40,7 @@ class _ParticipantState:
 class SatisfactionTracker:
     """Track per-participant satisfaction from adequacy observations."""
 
-    def __init__(self, *, alpha: float = 0.1, window: int = 50,
-                 initial: float = 0.5) -> None:
+    def __init__(self, *, alpha: float = 0.1, window: int = 50, initial: float = 0.5) -> None:
         self.alpha = require_unit_interval(alpha, "alpha")
         if window < 1:
             raise ConfigurationError("window must be at least 1")

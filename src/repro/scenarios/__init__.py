@@ -1,0 +1,79 @@
+"""Adversarial attack scenarios and robustness measurement.
+
+A declarative catalog of named attack campaigns — collusion rings,
+whitewashing waves, traitor oscillation, slander/ballot-stuffing, sybil
+bursts, churn-layered composites — plus the machinery to run any of them
+against any reputation mechanism and score the mechanism's attack
+resistance (separation, rank correlation, time-to-detect, time-to-recover).
+
+* :mod:`repro.scenarios.campaign` — the composable event/campaign model and
+  the round-hook driver;
+* :mod:`repro.scenarios.catalog` — the named scenarios and their knobs;
+* :mod:`repro.scenarios.metrics` — the per-round trace and robustness
+  metrics;
+* :mod:`repro.scenarios.runner` — one-call scenario execution.
+"""
+
+from repro.scenarios.campaign import (
+    AttackCampaign,
+    CampaignDriver,
+    CampaignEvent,
+    PeerSelector,
+    SelectGroup,
+    SetOnline,
+    SwitchBehavior,
+    Whitewash,
+    combine,
+)
+from repro.scenarios.catalog import (
+    CATALOG,
+    SYBIL_PREFIX,
+    ScenarioSpec,
+    attack_window,
+    build_campaign,
+    get_scenario,
+    scenario_names,
+    setup_scenario_graph,
+)
+from repro.scenarios.metrics import (
+    NEVER,
+    RobustnessMetrics,
+    RoundObservation,
+    ScenarioTrace,
+    evaluate_trace,
+)
+from repro.scenarios.runner import (
+    ScenarioRunConfig,
+    ScenarioRunResult,
+    reputation_for_graph,
+    run_scenario,
+)
+
+__all__ = [
+    "CATALOG",
+    "NEVER",
+    "SYBIL_PREFIX",
+    "AttackCampaign",
+    "CampaignDriver",
+    "CampaignEvent",
+    "PeerSelector",
+    "RobustnessMetrics",
+    "RoundObservation",
+    "ScenarioRunConfig",
+    "ScenarioRunResult",
+    "ScenarioSpec",
+    "ScenarioTrace",
+    "SelectGroup",
+    "SetOnline",
+    "SwitchBehavior",
+    "Whitewash",
+    "attack_window",
+    "build_campaign",
+    "combine",
+    "evaluate_trace",
+    "get_scenario",
+    "reputation_for_graph",
+    "run_scenario",
+    "scenario_names",
+    "setup_scenario_graph",
+]

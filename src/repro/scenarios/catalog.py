@@ -1,0 +1,510 @@
+"""The named attack-scenario catalog.
+
+Each entry is a :class:`ScenarioSpec`: a name, a knob set with defaults, a
+builder producing the :class:`~repro.scenarios.campaign.AttackCampaign` for
+a given round budget, and (for scenarios that change the population, like
+sybil influx) a graph-setup step.  The catalog is the declarative contract
+between the simulation substrate and the robustness experiment: every
+mechanism is evaluated against every entry, and sweeps/benchmarks reference
+entries by name instead of re-assembling parameter tuples.
+
+Scenarios
+---------
+``baseline``
+    No attack — the control row recovery metrics are read against.
+``collusion-ring``
+    A ring of dishonest peers inflates each other and deflates everyone
+    else; ``ring_fraction`` sizes the ring, ``density`` thins how many
+    accomplices each member actually endorses.
+``whitewash-wave``
+    Dishonest peers periodically shed their identities (exit + rejoin under
+    a fresh id) so the mechanism keeps losing its evidence about them.
+``traitor-oscillation``
+    Peers alternate grooming phases (serve well, build reputation) and
+    betrayal phases (serve maliciously) on a configurable duty cycle.
+``slander``
+    Rating attack: attackers serve honestly but bad-mouth everyone outside
+    their clique and (optionally) ballot-stuff each other.
+``sybil-burst``
+    A dormant cohort of fabricated identities floods in mid-run as a
+    colluding bloc, then vanishes when the attack window closes.
+``collusion-under-churn``
+    The collusion ring layered on a churn spike — detection under
+    population instability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenarios.campaign import (
+    AttackCampaign,
+    CampaignEvent,
+    PeerSelector,
+    SelectGroup,
+    SetOnline,
+    SwitchBehavior,
+    Whitewash,
+    combine,
+)
+from repro.simulation.adversary import (
+    CollusiveBehavior,
+    GroomingBehavior,
+    MaliciousBehavior,
+    SlanderBehavior,
+    WhitewasherBehavior,
+)
+from repro.simulation.churn import ChurnPhase, PhasedChurnModel
+from repro.simulation.peer import Peer
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.user import User, standard_profile
+
+#: Base-id prefix identifying injected sybil identities.
+SYBIL_PREFIX = "sybil-"
+
+
+def attack_window(
+    rounds: int, lead_fraction: float = 0.25, attack_fraction: float = 0.5
+) -> Tuple[int, int]:
+    """The ``[start, end)`` attack interval for a round budget.
+
+    The lead keeps a pre-attack baseline to anchor recovery against; the
+    remainder after the window is where recovery is measured.
+    """
+    if rounds < 1:
+        raise ConfigurationError("attack_window needs at least one round")
+    start = max(1, int(round(rounds * lead_fraction)))
+    length = max(1, int(round(rounds * attack_fraction)))
+    end = min(rounds, start + length)
+    return start, end
+
+
+# -- behaviour factories ---------------------------------------------------------
+
+
+def _malicious_factory(peer: Peer, group: Sequence[Peer], rng: random.Random):
+    return MaliciousBehavior()
+
+
+def _grooming_factory(peer: Peer, group: Sequence[Peer], rng: random.Random):
+    return GroomingBehavior()
+
+
+def _whitewasher_factory(peer: Peer, group: Sequence[Peer], rng: random.Random):
+    return WhitewasherBehavior()
+
+
+def _collusive_factory(density: float):
+    """Ring factory: each member endorses a ``density`` share of the ring."""
+
+    def factory(peer: Peer, group: Sequence[Peer], rng: random.Random):
+        others = sorted(p.peer_id for p in group if p.base_id != peer.base_id)
+        if density < 1.0 and others:
+            keep = max(1, int(round(density * len(others))))
+            others = sorted(rng.sample(others, min(keep, len(others))))
+        return CollusiveBehavior(ring=set(others))
+
+    return factory
+
+
+def _slander_factory(ballot_stuffing: bool, slander_probability: float):
+    def factory(peer: Peer, group: Sequence[Peer], rng: random.Random):
+        accomplices = (
+            {p.peer_id for p in group if p.base_id != peer.base_id}
+            if ballot_stuffing
+            else set()
+        )
+        return SlanderBehavior(accomplices=accomplices, slander_probability=slander_probability)
+
+    return factory
+
+
+# -- campaign builders -----------------------------------------------------------
+
+
+def baseline(*, rounds: int) -> AttackCampaign:
+    """No attack: the control scenario (window collapses to the run's end)."""
+    return AttackCampaign(
+        name="baseline",
+        events=[],
+        window=(rounds, rounds),
+        description="no attack; control row for recovery metrics",
+    )
+
+
+def collusion_ring(
+    *,
+    rounds: int,
+    ring_fraction: float = 0.6,
+    density: float = 1.0,
+    lead_fraction: float = 0.25,
+    attack_fraction: float = 0.5,
+) -> AttackCampaign:
+    start, end = attack_window(rounds, lead_fraction, attack_fraction)
+    selector = PeerSelector(population="dishonest", fraction=ring_fraction, minimum=2)
+    events: List[CampaignEvent] = [
+        # Sleeper phase: the future ring grooms a good reputation first, so
+        # the attack window flips coordinated inflation on from a position
+        # of trust (the distinguishing feature of a real collusion ring).
+        SelectGroup(0, "ring", selector),
+        SwitchBehavior(0, "ring", _grooming_factory),
+        SwitchBehavior(start, "ring", _collusive_factory(density)),
+        SwitchBehavior(end, "ring", _malicious_factory),
+    ]
+    return AttackCampaign(
+        name="collusion-ring",
+        events=events,
+        window=(start, end),
+        description=f"ring of {ring_fraction:.0%} of dishonest peers, density {density}",
+    )
+
+
+def whitewash_wave(
+    *,
+    rounds: int,
+    fraction: float = 0.8,
+    wave_period: int = 3,
+    lead_fraction: float = 0.25,
+    attack_fraction: float = 0.5,
+) -> AttackCampaign:
+    if wave_period < 1:
+        raise ConfigurationError("wave_period must be at least 1")
+    start, end = attack_window(rounds, lead_fraction, attack_fraction)
+    events: List[CampaignEvent] = [
+        SelectGroup(start, "washers", PeerSelector(population="dishonest", fraction=fraction)),
+        SwitchBehavior(start, "washers", _whitewasher_factory),
+    ]
+    for wave_round in range(start, end, wave_period):
+        events.append(Whitewash(wave_round, "washers"))
+    return AttackCampaign(
+        name="whitewash-wave",
+        events=events,
+        window=(start, end),
+        description=f"identity reset every {wave_period} rounds during the window",
+    )
+
+
+def traitor_oscillation(
+    *,
+    rounds: int,
+    fraction: float = 0.6,
+    build_rounds: int = 4,
+    betray_rounds: int = 3,
+    lead_fraction: float = 0.25,
+    attack_fraction: float = 0.5,
+) -> AttackCampaign:
+    if build_rounds < 1 or betray_rounds < 1:
+        raise ConfigurationError("build_rounds and betray_rounds must be at least 1")
+    start, end = attack_window(rounds, lead_fraction, attack_fraction)
+    events: List[CampaignEvent] = [
+        SelectGroup(0, "traitors", PeerSelector(population="dishonest", fraction=fraction)),
+        # Grooming from round 0: the lead *is* the build-up phase.
+        SwitchBehavior(0, "traitors", _grooming_factory),
+    ]
+    betraying_from = start
+    while betraying_from < end:
+        events.append(SwitchBehavior(betraying_from, "traitors", _malicious_factory))
+        grooming_from = betraying_from + betray_rounds
+        if grooming_from < end:
+            events.append(SwitchBehavior(grooming_from, "traitors", _grooming_factory))
+        betraying_from = grooming_from + build_rounds
+    if end < rounds:
+        # After the window the traitors stay defected, so recovery measures
+        # how fast the mechanism re-marks them down.
+        events.append(SwitchBehavior(end, "traitors", _malicious_factory))
+    return AttackCampaign(
+        name="traitor-oscillation",
+        events=events,
+        window=(start, end),
+        description=f"betray {betray_rounds} rounds / groom {build_rounds} rounds",
+    )
+
+
+def slander(
+    *,
+    rounds: int,
+    fraction: float = 0.7,
+    ballot_stuffing: bool = True,
+    slander_probability: float = 1.0,
+    lead_fraction: float = 0.25,
+    attack_fraction: float = 0.5,
+) -> AttackCampaign:
+    start, end = attack_window(rounds, lead_fraction, attack_fraction)
+    events: List[CampaignEvent] = [
+        # Slanderers also groom first: a rating attack mounted by peers the
+        # mechanism already trusts is the damaging variant.
+        SelectGroup(0, "slanderers", PeerSelector(population="dishonest", fraction=fraction)),
+        SwitchBehavior(0, "slanderers", _grooming_factory),
+        SwitchBehavior(start, "slanderers", _slander_factory(ballot_stuffing, slander_probability)),
+        SwitchBehavior(end, "slanderers", _malicious_factory),
+    ]
+    stuffing = "with" if ballot_stuffing else "without"
+    return AttackCampaign(
+        name="slander",
+        events=events,
+        window=(start, end),
+        description=f"bad-mouthing {stuffing} ballot stuffing",
+    )
+
+
+def sybil_burst(
+    *,
+    rounds: int,
+    n_sybils: int = 8,
+    attach_degree: int = 3,
+    lead_fraction: float = 0.3,
+    attack_fraction: float = 0.45,
+) -> AttackCampaign:
+    start, end = attack_window(rounds, lead_fraction, attack_fraction)
+    selector = PeerSelector(population="all", prefix=SYBIL_PREFIX)
+    events: List[CampaignEvent] = [
+        SelectGroup(0, "sybils", selector),
+        SetOnline(0, "sybils", online=False, pin=True),
+        SetOnline(start, "sybils", online=True),
+        SwitchBehavior(start, "sybils", _collusive_factory(1.0)),
+        SetOnline(end, "sybils", online=False, pin=True),
+    ]
+    return AttackCampaign(
+        name="sybil-burst",
+        events=events,
+        window=(start, end),
+        description=f"{n_sybils} colluding sybils online only during the window",
+    )
+
+
+def collusion_under_churn(
+    *,
+    rounds: int,
+    ring_fraction: float = 0.6,
+    density: float = 1.0,
+    churn_leave_probability: float = 0.25,
+    churn_return_probability: float = 0.6,
+    lead_fraction: float = 0.25,
+    attack_fraction: float = 0.5,
+) -> AttackCampaign:
+    ring = collusion_ring(
+        rounds=rounds,
+        ring_fraction=ring_fraction,
+        density=density,
+        lead_fraction=lead_fraction,
+        attack_fraction=attack_fraction,
+    )
+    start, end = ring.window
+    churn_spike = AttackCampaign(
+        name="churn-spike",
+        events=[],
+        window=(start, end),
+        churn=PhasedChurnModel(
+            leave_probability=0.02,
+            return_probability=0.5,
+            phases=[
+                ChurnPhase(
+                    start,
+                    end,
+                    leave_probability=churn_leave_probability,
+                    return_probability=churn_return_probability,
+                )
+            ],
+        ),
+        description="churn spike during the attack window",
+    )
+    campaign = combine("collusion-under-churn", ring, churn_spike)
+    campaign.description = (
+        f"collusion ring plus churn spike (leave {churn_leave_probability} "
+        f"during [{start}, {end}))"
+    )
+    return campaign
+
+
+# -- graph setup (population-changing scenarios) ---------------------------------
+
+
+def inject_sybils(
+    graph: SocialGraph,
+    rng: random.Random,
+    *,
+    n_sybils: int = 8,
+    attach_degree: int = 3,
+    **_ignored: object,
+) -> List[User]:
+    """Add a dormant sybil cohort to the graph before the run starts.
+
+    Sybils are fabricated dishonest identities wired into a clique (so they
+    can ballot-stuff each other) plus ``attach_degree`` edges each onto the
+    existing population (their victim surface).  The campaign keeps them
+    offline until the burst round.
+    """
+    if n_sybils < 1:
+        raise ConfigurationError("n_sybils must be at least 1")
+    if attach_degree < 1:
+        raise ConfigurationError("attach_degree must be at least 1")
+    existing_ids = sorted(graph.user_ids())
+    sybils: List[User] = []
+    for index in range(n_sybils):
+        user_id = f"{SYBIL_PREFIX}{index:03d}"
+        user = User(
+            user_id=user_id,
+            profile=standard_profile(user_id),
+            honesty=0.05,
+            competence=0.2,
+            activity=0.9,
+            privacy_concern=0.0,
+        )
+        graph.add_user(user)
+        sybils.append(user)
+    for index, user in enumerate(sybils):
+        for other in sybils[index + 1 :]:
+            graph.add_relationship(user.user_id, other.user_id)
+        targets = rng.sample(existing_ids, min(attach_degree, len(existing_ids)))
+        for target in targets:
+            if not graph.are_connected(user.user_id, target):
+                graph.add_relationship(user.user_id, target)
+    return sybils
+
+
+# -- the catalog -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One catalog entry: name, knobs, campaign builder, optional graph setup."""
+
+    name: str
+    description: str
+    build: Callable[..., AttackCampaign]
+    knobs: Mapping[str, object] = field(default_factory=dict)
+    setup_graph: Optional[Callable[..., object]] = None
+    #: Knobs consumed by ``setup_graph`` instead of the campaign builder.
+    graph_knobs: Tuple[str, ...] = ()
+
+    def merged_knobs(self, overrides: Mapping[str, object]) -> Dict[str, object]:
+        unknown = sorted(set(overrides) - set(self.knobs))
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {self.name!r} has no knobs {unknown}; "
+                f"available: {sorted(self.knobs)}"
+            )
+        merged = dict(self.knobs)
+        merged.update(overrides)
+        return merged
+
+
+CATALOG: Dict[str, ScenarioSpec] = {
+    "baseline": ScenarioSpec(
+        name="baseline",
+        description="no attack; the control row",
+        build=baseline,
+    ),
+    "collusion-ring": ScenarioSpec(
+        name="collusion-ring",
+        description="dishonest ring inflates accomplices, deflates everyone else",
+        build=collusion_ring,
+        knobs={
+            "ring_fraction": 0.6,
+            "density": 1.0,
+            "lead_fraction": 0.25,
+            "attack_fraction": 0.5,
+        },
+    ),
+    "whitewash-wave": ScenarioSpec(
+        name="whitewash-wave",
+        description="periodic identity resets erase the mechanism's evidence",
+        build=whitewash_wave,
+        knobs={
+            "fraction": 0.8,
+            "wave_period": 3,
+            "lead_fraction": 0.25,
+            "attack_fraction": 0.5,
+        },
+    ),
+    "traitor-oscillation": ScenarioSpec(
+        name="traitor-oscillation",
+        description="groom/betray duty cycle of on-off traitors",
+        build=traitor_oscillation,
+        knobs={
+            "fraction": 0.6,
+            "build_rounds": 4,
+            "betray_rounds": 3,
+            "lead_fraction": 0.25,
+            "attack_fraction": 0.5,
+        },
+    ),
+    "slander": ScenarioSpec(
+        name="slander",
+        description="honest service, poisoned ratings (bad-mouth + ballot-stuff)",
+        build=slander,
+        knobs={
+            "fraction": 0.7,
+            "ballot_stuffing": True,
+            "slander_probability": 1.0,
+            "lead_fraction": 0.25,
+            "attack_fraction": 0.5,
+        },
+    ),
+    "sybil-burst": ScenarioSpec(
+        name="sybil-burst",
+        description="dormant colluding sybil cohort floods in mid-run",
+        build=sybil_burst,
+        knobs={
+            "n_sybils": 8,
+            "attach_degree": 3,
+            "lead_fraction": 0.3,
+            "attack_fraction": 0.45,
+        },
+        setup_graph=inject_sybils,
+        graph_knobs=("n_sybils", "attach_degree"),
+    ),
+    "collusion-under-churn": ScenarioSpec(
+        name="collusion-under-churn",
+        description="collusion ring layered on a churn spike",
+        build=collusion_under_churn,
+        knobs={
+            "ring_fraction": 0.6,
+            "density": 1.0,
+            "churn_leave_probability": 0.25,
+            "churn_return_probability": 0.6,
+            "lead_fraction": 0.25,
+            "attack_fraction": 0.5,
+        },
+    ),
+}
+
+
+def scenario_names() -> List[str]:
+    """Catalog entry names in declaration order."""
+    return list(CATALOG)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {sorted(CATALOG)}"
+        ) from None
+
+
+def build_campaign(name: str, *, rounds: int, **overrides: object) -> AttackCampaign:
+    """Build the named scenario's campaign for a round budget.
+
+    ``overrides`` replace catalog knob defaults; unknown knobs raise.  Graph
+    knobs (e.g. sybil counts) are accepted here for validation but consumed
+    by :func:`setup_scenario_graph`.
+    """
+    spec = get_scenario(name)
+    knobs = spec.merged_knobs(overrides)
+    return spec.build(rounds=rounds, **knobs)
+
+
+def setup_scenario_graph(
+    name: str, graph: SocialGraph, rng: random.Random, **overrides: object
+) -> None:
+    """Apply the scenario's population changes (if any) to a fresh graph."""
+    spec = get_scenario(name)
+    if spec.setup_graph is None:
+        return
+    knobs = spec.merged_knobs(overrides)
+    spec.setup_graph(graph, rng, **{key: knobs[key] for key in spec.graph_knobs})

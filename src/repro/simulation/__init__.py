@@ -19,17 +19,20 @@ measured:
 from repro.simulation.adversary import (
     BehaviorModel,
     CollusiveBehavior,
+    GroomingBehavior,
     HonestBehavior,
     MaliciousBehavior,
     SelfishBehavior,
+    SlanderBehavior,
     TraitorBehavior,
     WhitewasherBehavior,
     behavior_for_user,
 )
-from repro.simulation.churn import ChurnModel, ChurnEvent
+from repro.simulation.churn import ChurnEvent, ChurnModel, ChurnPhase, PhasedChurnModel
 from repro.simulation.engine import (
     EventDrivenSimulator,
     InteractionSimulator,
+    RoundHook,
     SimulationConfig,
     SimulationResult,
 )
@@ -43,22 +46,27 @@ __all__ = [
     "BehaviorModel",
     "ChurnEvent",
     "ChurnModel",
+    "ChurnPhase",
     "CollusiveBehavior",
     "Event",
     "EventDrivenSimulator",
     "EventQueue",
     "Feedback",
+    "GroomingBehavior",
     "HonestBehavior",
     "InteractionSimulator",
     "MaliciousBehavior",
     "MetricsCollector",
     "Peer",
     "PeerDirectory",
+    "PhasedChurnModel",
     "RandomStreams",
+    "RoundHook",
     "RoundMetrics",
     "SelfishBehavior",
     "SimulationConfig",
     "SimulationResult",
+    "SlanderBehavior",
     "TraitorBehavior",
     "Transaction",
     "TransactionOutcome",

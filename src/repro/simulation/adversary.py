@@ -110,9 +110,7 @@ class SelfishBehavior(BehaviorModel):
         return rng.random() >= self.service_refusal_probability
 
     def disclosure_probability(self, user: User, base_sharing: float) -> float:
-        return clamp(
-            super().disclosure_probability(user, base_sharing) * self.reporting_discount
-        )
+        return clamp(super().disclosure_probability(user, base_sharing) * self.reporting_discount)
 
 
 @dataclass
@@ -156,6 +154,54 @@ class WhitewasherBehavior(MaliciousBehavior):
 
     def note_whitewash(self) -> None:
         self.whitewash_count += 1
+
+
+@dataclass
+class GroomingBehavior(BehaviorModel):
+    """Builds reputation on purpose: serves at high quality, rates truthfully.
+
+    This is the *build-up* phase of an on-off traitor: scenario campaigns
+    alternate a peer between this behaviour and :class:`MaliciousBehavior`
+    to model oscillating betrayal (see
+    :func:`repro.scenarios.catalog.traitor_oscillation`).
+    """
+
+    name: str = "grooming"
+    floor_quality: float = 0.85
+
+    def serve_quality(self, user: User, rng: random.Random) -> float:
+        return clamp(max(user.competence, self.floor_quality) + rng.gauss(0.0, 0.03))
+
+    def rate_transaction(
+        self, user: User, transaction: Transaction, rng: random.Random
+    ) -> tuple[float, bool]:
+        return transaction.outcome.as_score, True
+
+
+@dataclass
+class SlanderBehavior(BehaviorModel):
+    """Rating attack: serves honestly but poisons the feedback channel.
+
+    With probability ``slander_probability`` the peer *bad-mouths* every
+    provider outside its accomplice set (rates 0 regardless of the actual
+    outcome); accomplices get *ballot-stuffed* (rated 1) instead.  Because
+    the service itself stays honest, score-based detection must come from
+    rating consistency, which makes slander the stealthiest catalog attack.
+    """
+
+    name: str = "slanderer"
+    accomplices: Set[str] = field(default_factory=set)
+    slander_probability: float = 1.0
+
+    def rate_transaction(
+        self, user: User, transaction: Transaction, rng: random.Random
+    ) -> tuple[float, bool]:
+        actual = transaction.outcome.as_score
+        if transaction.provider in self.accomplices:
+            return 1.0, actual == 1.0
+        if rng.random() < self.slander_probability:
+            return 0.0, actual == 0.0
+        return actual, True
 
 
 @dataclass

@@ -1,19 +1,23 @@
 """Session churn: peers leaving and (re)joining over time.
 
 The paper lists churn among the "expected user behaviour" a reputation system
-must survive.  The model is deliberately simple — per-round independent
-leave/join probabilities — because the experiments only need churn as a
-stressor, not as an object of study.
+must survive.  The base model is deliberately simple — per-round independent
+leave/join probabilities — because most experiments only need churn as a
+stressor.  :class:`PhasedChurnModel` adds the time-varying layer the attack
+scenarios need: round-windowed probability overrides, so a campaign can spike
+churn during an attack window (whitewashing waves, sybil bursts) and return
+to the base rates afterwards.
 """
 
 from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List
 
 from repro._util import require_unit_interval
+from repro.errors import ConfigurationError
 from repro.simulation.peer import Peer, PeerDirectory
 
 
@@ -39,18 +43,92 @@ class ChurnModel:
         require_unit_interval(self.leave_probability, "leave_probability")
         require_unit_interval(self.return_probability, "return_probability")
 
-    def step(
-        self, directory: PeerDirectory, rng: random.Random
-    ) -> List[tuple[Peer, ChurnEvent]]:
-        """Apply one round of churn and return the per-peer events."""
+    def step(self, directory: PeerDirectory, rng: random.Random) -> List[tuple[Peer, ChurnEvent]]:
+        """Apply one round of churn and return the per-peer events.
+
+        Peers are visited in directory (insertion) order and one uniform is
+        drawn per peer, so event ordering — including the order offline peers
+        rejoin in — is deterministic for a given directory and rng state.
+        """
+        leave, rejoin = self._probabilities()
         events: List[tuple[Peer, ChurnEvent]] = []
         for peer in directory.peers():
             if peer.online:
-                if rng.random() < self.leave_probability:
+                if rng.random() < leave:
                     peer.online = False
                     events.append((peer, ChurnEvent.LEFT))
             else:
-                if rng.random() < self.return_probability:
+                if rng.random() < rejoin:
                     peer.online = True
                     events.append((peer, ChurnEvent.JOINED))
         return events
+
+    def _probabilities(self) -> tuple[float, float]:
+        """The (leave, return) probabilities for the step about to run."""
+        return self.leave_probability, self.return_probability
+
+    def reset(self) -> None:
+        """Forget any per-run state; the base model is stateless."""
+
+
+@dataclass(frozen=True)
+class ChurnPhase:
+    """Probability overrides active on rounds ``start <= round < end``."""
+
+    start: int
+    end: int
+    leave_probability: float = 0.0
+    return_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"churn phase needs 0 <= start < end (got [{self.start}, {self.end}))"
+            )
+        require_unit_interval(self.leave_probability, "leave_probability")
+        require_unit_interval(self.return_probability, "return_probability")
+
+    def covers(self, round_index: int) -> bool:
+        return self.start <= round_index < self.end
+
+
+@dataclass
+class PhasedChurnModel(ChurnModel):
+    """Time-varying churn: base probabilities plus round-windowed overrides.
+
+    Each :meth:`step` call advances an internal round counter (the engine
+    steps churn exactly once per round, so the counter tracks the round
+    index); the simulator calls :meth:`reset` at construction, so one model
+    instance — e.g. carried by a reusable campaign — can back several
+    consecutive runs.  When a phase covers the current round its
+    probabilities replace
+    the base ones; overlapping phases resolve to the *latest-starting* one so
+    campaigns can layer a short spike on top of a long window.  The per-peer
+    draw pattern is identical to :class:`ChurnModel` — one uniform per peer
+    per step — so swapping models never perturbs the other random streams.
+    """
+
+    phases: List[ChurnPhase] = field(default_factory=list)
+    _round: int = field(default=0, init=False, repr=False)
+
+    @property
+    def current_round(self) -> int:
+        """The round index the next :meth:`step` call will apply to."""
+        return self._round
+
+    def reset(self) -> None:
+        """Rewind to round 0 so the model can back a fresh run."""
+        self._round = 0
+
+    def _probabilities(self) -> tuple[float, float]:
+        active = [phase for phase in self.phases if phase.covers(self._round)]
+        if not active:
+            return self.leave_probability, self.return_probability
+        latest = max(active, key=lambda phase: phase.start)
+        return latest.leave_probability, latest.return_probability
+
+    def step(self, directory: PeerDirectory, rng: random.Random) -> List[tuple[Peer, ChurnEvent]]:
+        try:
+            return super().step(directory, rng)
+        finally:
+            self._round += 1

@@ -21,7 +21,7 @@ reputation and privacy facets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro._util import require_unit_interval
 from repro.core.backend import (
@@ -56,6 +56,35 @@ class ReputationProtocol(Protocol):
         """Current reputation score of a peer in ``[0, 1]``."""
 
 
+class RoundHook(Protocol):
+    """Observer/actuator invoked at every round boundary.
+
+    Hooks are the engine's extension point for *time-varying* behaviour —
+    attack campaigns that switch behaviours, force churn or whitewash peers
+    on a schedule, and trace collectors that snapshot the published scores.
+
+    ``on_round_start`` runs after the natural churn step but before the
+    round's reputation snapshot and transactions, so a hook can override
+    churn decisions and rewire behaviours for the round about to run.
+    ``on_round_end`` runs after the round's metrics closed, with the scores
+    the mechanism published at the end of the round.
+
+    Hooks must not consume the engine's named random streams ("behavior",
+    "churn", "selection", "activity", "transactions", "feedback"); a hook
+    that needs randomness draws from its own named stream (e.g.
+    ``simulator.streams.stream("campaign")``) so that runs with and without
+    hooks, and runs on either compute backend, stay stream-exact.
+    """
+
+    def on_round_start(self, simulator: "InteractionSimulator", round_index: int) -> None:
+        """Called before the round's transactions (after natural churn)."""
+
+    def on_round_end(
+        self, simulator: "InteractionSimulator", round_index: int, scores: Dict[str, float]
+    ) -> None:
+        """Called after the round completed, with the published scores."""
+
+
 #: Callback invoked for every feedback actually disclosed to the system.
 DisclosureObserver = Callable[[Feedback, Peer, Peer], None]
 
@@ -71,14 +100,16 @@ class EventDrivenSimulator:
     def now(self) -> float:
         return self._now
 
-    def schedule_at(self, time: float, action: Callable[[], None], *, priority: int = 0,
-                    label: str = "") -> None:
+    def schedule_at(
+        self, time: float, action: Callable[[], None], *, priority: int = 0, label: str = ""
+    ) -> None:
         if time < self._now:
             raise ConfigurationError("cannot schedule an event in the past")
         self._queue.push(Event(time=time, priority=priority, action=action, label=label))
 
-    def schedule_in(self, delay: float, action: Callable[[], None], *, priority: int = 0,
-                    label: str = "") -> None:
+    def schedule_in(
+        self, delay: float, action: Callable[[], None], *, priority: int = 0, label: str = ""
+    ) -> None:
         self.schedule_at(self._now + delay, action, priority=priority, label=label)
 
     def run(self, until: Optional[float] = None) -> int:
@@ -172,6 +203,7 @@ class InteractionSimulator:
         *,
         reputation: Optional[ReputationProtocol] = None,
         disclosure_observer: Optional[DisclosureObserver] = None,
+        hooks: Sequence[RoundHook] = (),
     ) -> None:
         if len(graph) < 2:
             raise ConfigurationError("the simulation needs at least two peers")
@@ -179,6 +211,7 @@ class InteractionSimulator:
         self.config = config or SimulationConfig()
         self.reputation = reputation
         self._disclosure_observer = disclosure_observer
+        self._hooks: tuple = tuple(hooks)
         self._streams = RandomStreams(self.config.seed)
         self.directory = self._build_directory()
         self.metrics = MetricsCollector()
@@ -188,6 +221,9 @@ class InteractionSimulator:
         self._transaction_counter = 0
         self._engine = EventDrivenSimulator()
         self._backend = resolve_backend(self.config.backend)
+        # Stateful churn models (PhasedChurnModel) rewind here so a config
+        # or campaign reused across simulators starts every run at round 0.
+        self.config.churn.reset()
         #: Reputation snapshot taken once per round; selection and
         #: whitewashing decisions read from it instead of querying the
         #: mechanism per transaction (peers act on the scores published at
@@ -202,6 +238,11 @@ class InteractionSimulator:
         self._candidate_cache: Dict[str, List[Peer]] = {}
         self._score_cache: Dict[str, object] = {}
         self._disclosure_cache: Dict[str, float] = {}
+
+    @property
+    def streams(self) -> RandomStreams:
+        """The run's named random streams (hooks draw from their own stream)."""
+        return self._streams
 
     # -- setup -------------------------------------------------------------
 
@@ -242,11 +283,7 @@ class InteractionSimulator:
             candidates = [self.directory.get(nid) for nid in neighbor_ids]
         else:
             candidates = self.directory.peers()
-        return [
-            peer
-            for peer in candidates
-            if peer.online and peer.base_id != consumer.base_id
-        ]
+        return [peer for peer in candidates if peer.online and peer.base_id != consumer.base_id]
 
     def _begin_round_caches(self) -> None:
         self._candidate_cache.clear()
@@ -302,9 +339,7 @@ class InteractionSimulator:
         return candidates[best_index]
 
     def _select_provider(self, consumer: Peer, candidates: List[Peer]) -> Peer:
-        return self._select_from(
-            candidates, self._candidate_scores(consumer, candidates)
-        )
+        return self._select_from(candidates, self._candidate_scores(consumer, candidates))
 
     # -- one round -----------------------------------------------------------
 
@@ -316,9 +351,7 @@ class InteractionSimulator:
             quality = 0.0
         else:
             quality = provider.behavior.serve_quality(provider.user, rng)
-        outcome = (
-            TransactionOutcome.SUCCESS if quality >= 0.5 else TransactionOutcome.FAILURE
-        )
+        outcome = TransactionOutcome.SUCCESS if quality >= 0.5 else TransactionOutcome.FAILURE
         transaction = Transaction(
             transaction_id=self._transaction_counter,
             time=round_index,
@@ -338,9 +371,7 @@ class InteractionSimulator:
         self, consumer: Peer, provider: Peer, transaction: Transaction, round_index: int
     ) -> None:
         rng = self._streams.stream("feedback")
-        rating, truthful = consumer.behavior.rate_transaction(
-            consumer.user, transaction, rng
-        )
+        rating, truthful = consumer.behavior.rate_transaction(consumer.user, transaction, rng)
         rater = None if self.config.anonymous_feedback else consumer.peer_id
         feedback = Feedback(
             transaction_id=transaction.transaction_id,
@@ -400,6 +431,11 @@ class InteractionSimulator:
         churn_rng = self._streams.stream("churn")
         self.config.churn.step(self.directory, churn_rng)
 
+        # Hooks run after natural churn so scheduled campaigns can override
+        # it (pin a peer offline, force a rejoin) for the round about to run.
+        for hook in self._hooks:
+            hook.on_round_start(self, round_index)
+
         online = self.directory.online_peers()
         self.metrics.start_round(round_index, online_peers=len(online))
 
@@ -431,6 +467,8 @@ class InteractionSimulator:
             self._round_scores = dict(self.reputation.refresh())
         self._apply_whitewashing()
         self.metrics.end_round()
+        for hook in self._hooks:
+            hook.on_round_end(self, round_index, dict(self._round_scores))
 
     # -- public API ------------------------------------------------------------
 
@@ -443,9 +481,7 @@ class InteractionSimulator:
                 label=f"round-{round_index}",
             )
         self._engine.run()
-        ground_truth = {
-            peer.base_id: peer.user.honesty for peer in self.directory.peers()
-        }
+        ground_truth = {peer.base_id: peer.user.honesty for peer in self.directory.peers()}
         return SimulationResult(
             config=self.config,
             directory=self.directory,

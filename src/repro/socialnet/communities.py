@@ -49,20 +49,14 @@ def modularity(graph: SocialGraph, partition: Dict[str, int]) -> float:
     groups: Dict[int, List[str]] = {}
     for user_id, label in partition.items():
         groups.setdefault(label, []).append(user_id)
-    return float(
-        nx.algorithms.community.modularity(nx_graph, list(groups.values()))
-    )
+    return float(nx.algorithms.community.modularity(nx_graph, list(groups.values())))
 
 
-def intra_community_fraction(
-    graph: SocialGraph, partition: Dict[str, int]
-) -> float:
+def intra_community_fraction(graph: SocialGraph, partition: Dict[str, int]) -> float:
     """Fraction of edges whose endpoints share a community (1.0 if no edges)."""
     nx_graph = graph.to_networkx()
     edges = list(nx_graph.edges())
     if not edges:
         return 1.0
-    intra = sum(
-        1 for a, b in edges if partition.get(a) == partition.get(b)
-    )
+    intra = sum(1 for a, b in edges if partition.get(a) == partition.get(b))
     return intra / len(edges)

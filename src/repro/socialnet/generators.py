@@ -73,9 +73,7 @@ class SocialNetworkSpec:
         require_positive(self.mean_degree, "mean_degree")
         require_unit_interval(self.malicious_fraction, "malicious_fraction")
         require_unit_interval(self.rewiring_probability, "rewiring_probability")
-        require_unit_interval(
-            self.inter_community_probability, "inter_community_probability"
-        )
+        require_unit_interval(self.inter_community_probability, "inter_community_probability")
         if self.n_communities < 1:
             raise ConfigurationError("n_communities must be at least 1")
         low, high = self.privacy_concern_range
@@ -180,9 +178,7 @@ def generate_social_network(spec: SocialNetworkSpec) -> SocialGraph:
 
     communities: Optional[Dict[int, int]] = None
     if spec.topology == "sbm":
-        communities = {
-            node: data.get("block", 0) for node, data in graph.nodes(data=True)
-        }
+        communities = {node: data.get("block", 0) for node, data in graph.nodes(data=True)}
 
     users = populate_users(list(graph.nodes()), spec, rng, communities)
     social = SocialGraph(users)

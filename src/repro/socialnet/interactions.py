@@ -62,20 +62,14 @@ class InteractionTrace:
 
     def involving(self, user_id: str) -> List[Interaction]:
         """Every interaction the user initiated or received."""
-        return [
-            i for i in self.interactions if user_id in (i.initiator, i.partner)
-        ]
+        return [i for i in self.interactions if user_id in (i.initiator, i.partner)]
 
     def initiated_by(self, user_id: str) -> List[Interaction]:
         return [i for i in self.interactions if i.initiator == user_id]
 
     def pair_count(self, a: str, b: str) -> int:
         """Number of interactions (either direction) between two users."""
-        return sum(
-            1
-            for i in self.interactions
-            if {i.initiator, i.partner} == {a, b}
-        )
+        return sum(1 for i in self.interactions if {i.initiator, i.partner} == {a, b})
 
     def span(self) -> int:
         """Number of distinct time steps covered by the trace."""

@@ -54,6 +54,17 @@ NETWORK_PRESETS: Dict[str, SocialNetworkSpec] = {
         mean_degree=4.0,
         malicious_fraction=0.15,
     ),
+    # Hostile environment for robustness studies: scale-free topology (hub
+    # capture is what attacks exploit), a third of the population dishonest,
+    # and low privacy concern so the reputation mechanism sees almost all
+    # evidence — attacks are measured at full mechanism strength.
+    "adversarial-lab": SocialNetworkSpec(
+        n_users=60,
+        topology="barabasi_albert",
+        mean_degree=6.0,
+        malicious_fraction=0.35,
+        privacy_concern_range=(0.0, 0.3),
+    ),
 }
 
 

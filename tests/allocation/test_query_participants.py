@@ -40,13 +40,9 @@ def make_provider(capacity=5, competence=0.8) -> ProviderAgent:
 class TestProviderAgent:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
-            ProviderAgent(
-                provider_id="p", intention=ProviderIntention("p"), capacity_per_round=-1
-            )
+            ProviderAgent(provider_id="p", intention=ProviderIntention("p"), capacity_per_round=-1)
         with pytest.raises(ConfigurationError):
-            ProviderAgent(
-                provider_id="p", intention=ProviderIntention("p"), competence={"x": 1.5}
-            )
+            ProviderAgent(provider_id="p", intention=ProviderIntention("p"), competence={"x": 1.5})
 
     def test_competence_lookup_with_default(self):
         provider = make_provider()
@@ -80,9 +76,7 @@ class TestProviderAgent:
         rng = random.Random(2)
         overloaded.current_load = 10.0
         fresh_quality = sum(fresh.serve("music", 0.0001, rng) for _ in range(20)) / 20
-        overloaded_quality = sum(
-            overloaded.serve("music", 0.0001, rng) for _ in range(20)
-        ) / 20
+        overloaded_quality = sum(overloaded.serve("music", 0.0001, rng) for _ in range(20)) / 20
         assert overloaded_quality < fresh_quality
 
 

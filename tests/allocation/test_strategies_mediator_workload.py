@@ -21,8 +21,9 @@ from repro.satisfaction.intentions import ConsumerIntention, ProviderIntention
 from repro.satisfaction.tracker import SatisfactionTracker
 
 
-def provider(provider_id: str, *, competence=0.8, capacity=10, load=0.0,
-             interest=0.5) -> ProviderAgent:
+def provider(
+    provider_id: str, *, competence=0.8, capacity=10, load=0.0, interest=0.5
+) -> ProviderAgent:
     agent = ProviderAgent(
         provider_id=provider_id,
         intention=ProviderIntention(provider_id, default_interest=interest),
@@ -48,7 +49,8 @@ class TestStrategies:
     def test_capacity_prefers_least_loaded(self):
         context = AllocationContext()
         chosen = CapacityBasedAllocation().allocate(
-            query(), consumer("c"),
+            query(),
+            consumer("c"),
             [provider("busy", load=8.0), provider("idle", load=0.0)],
             context,
         )
@@ -57,7 +59,8 @@ class TestStrategies:
     def test_quality_prefers_most_competent(self):
         context = AllocationContext()
         chosen = QualityBasedAllocation().allocate(
-            query(), consumer("c"),
+            query(),
+            consumer("c"),
             [provider("weak", competence=0.3), provider("expert", competence=0.95)],
             context,
         )
@@ -83,7 +86,8 @@ class TestStrategies:
     def test_allocation_skips_saturated_providers(self):
         context = AllocationContext()
         chosen = QualityBasedAllocation().allocate(
-            query(cost=5.0), consumer("c"),
+            query(cost=5.0),
+            consumer("c"),
             [provider("full", competence=0.99, capacity=4), provider("free", competence=0.4)],
             context,
         )
@@ -92,9 +96,7 @@ class TestStrategies:
     def test_allocation_fails_when_nobody_has_capacity(self):
         context = AllocationContext()
         with pytest.raises(AllocationError):
-            RandomAllocation().allocate(
-                query(cost=100.0), consumer("c"), [provider("p")], context
-            )
+            RandomAllocation().allocate(query(cost=100.0), consumer("c"), [provider("p")], context)
 
     def test_random_is_seed_deterministic(self):
         providers = [provider("a"), provider("b"), provider("c")]

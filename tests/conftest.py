@@ -21,31 +21,51 @@ from repro.socialnet.user import User, standard_profile
 @pytest.fixture(scope="session")
 def small_graph() -> SocialGraph:
     """A 30-user Barabási–Albert graph with 20% malicious users."""
-    return generate_social_network(
-        SocialNetworkSpec(n_users=30, malicious_fraction=0.2, seed=5)
-    )
+    return generate_social_network(SocialNetworkSpec(n_users=30, malicious_fraction=0.2, seed=5))
 
 
 @pytest.fixture(scope="session")
 def adversarial_graph() -> SocialGraph:
     """A 40-user graph with a large (40%) malicious population."""
-    return generate_social_network(
-        SocialNetworkSpec(n_users=40, malicious_fraction=0.4, seed=9)
-    )
+    return generate_social_network(SocialNetworkSpec(n_users=40, malicious_fraction=0.4, seed=9))
 
 
 @pytest.fixture()
 def tiny_graph() -> SocialGraph:
     """A hand-built 4-user graph for precise assertions."""
     users = [
-        User(user_id="alice", profile=standard_profile("alice"), honesty=0.95,
-             competence=0.9, activity=0.8, privacy_concern=0.3),
-        User(user_id="bob", profile=standard_profile("bob"), honesty=0.9,
-             competence=0.7, activity=0.6, privacy_concern=0.6),
-        User(user_id="carol", profile=standard_profile("carol"), honesty=0.85,
-             competence=0.8, activity=0.5, privacy_concern=0.9),
-        User(user_id="mallory", profile=standard_profile("mallory"), honesty=0.1,
-             competence=0.6, activity=0.9, privacy_concern=0.1),
+        User(
+            user_id="alice",
+            profile=standard_profile("alice"),
+            honesty=0.95,
+            competence=0.9,
+            activity=0.8,
+            privacy_concern=0.3,
+        ),
+        User(
+            user_id="bob",
+            profile=standard_profile("bob"),
+            honesty=0.9,
+            competence=0.7,
+            activity=0.6,
+            privacy_concern=0.6,
+        ),
+        User(
+            user_id="carol",
+            profile=standard_profile("carol"),
+            honesty=0.85,
+            competence=0.8,
+            activity=0.5,
+            privacy_concern=0.9,
+        ),
+        User(
+            user_id="mallory",
+            profile=standard_profile("mallory"),
+            honesty=0.1,
+            competence=0.6,
+            activity=0.9,
+            privacy_concern=0.1,
+        ),
     ]
     graph = SocialGraph(users)
     graph.add_relationship("alice", "bob")
@@ -94,8 +114,9 @@ def feedback_factory():
     """Factory fixture producing feedback with auto-incrementing ids."""
     counter = {"next": 0}
 
-    def factory(subject: str, rating: float, *, rater: str = "rater", time: int = 0,
-                truthful: bool = True) -> Feedback:
+    def factory(
+        subject: str, rating: float, *, rater: str = "rater", time: int = 0, truthful: bool = True
+    ) -> Feedback:
         counter["next"] += 1
         return make_feedback(
             subject,

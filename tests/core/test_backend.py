@@ -159,9 +159,7 @@ class TestCouplingKernels:
         python_path = CouplingDynamics(backend="python").run()
         kernel_path = CouplingDynamics(backend="vectorized").run()
         assert len(python_path) == len(kernel_path)
-        assert all(
-            a.as_dict() == b.as_dict() for a, b in zip(python_path, kernel_path)
-        )
+        assert all(a.as_dict() == b.as_dict() for a, b in zip(python_path, kernel_path))
 
     def test_equilibria_match_per_state_runs(self):
         dynamics = CouplingDynamics(backend="vectorized")
@@ -173,10 +171,17 @@ class TestCouplingKernels:
     def test_equilibria_rejects_bad_shapes(self):
         with pytest.raises(ConfigurationError):
             bk.coupling_equilibria(
-                numpy.zeros((2, 3)), steps=5, tolerance=1e-6,
-                sharing_level=0.8, mechanism_power=0.9, policy_respect=1.0,
-                trustworthy_fraction=0.8, damping=0.3, privacy_weight=1.0,
-                reputation_weight=1.0, satisfaction_weight=1.0,
+                numpy.zeros((2, 3)),
+                steps=5,
+                tolerance=1e-6,
+                sharing_level=0.8,
+                mechanism_power=0.9,
+                policy_respect=1.0,
+                trustworthy_fraction=0.8,
+                damping=0.3,
+                privacy_weight=1.0,
+                reputation_weight=1.0,
+                satisfaction_weight=1.0,
             )
 
 

@@ -30,7 +30,9 @@ class TestSystemSettings:
             SystemSettings(privacy_weight=0, reputation_weight=0, satisfaction_weight=0)
 
     def test_normalized_weights_sum_to_one(self):
-        settings = SystemSettings(privacy_weight=2.0, reputation_weight=1.0, satisfaction_weight=1.0)
+        settings = SystemSettings(
+            privacy_weight=2.0, reputation_weight=1.0, satisfaction_weight=1.0
+        )
         weights = settings.normalized_weights()
         assert sum(weights.values()) == pytest.approx(1.0)
         assert weights["privacy"] == pytest.approx(0.5)
@@ -88,8 +90,13 @@ class TestFacetComputations:
         ledger = DisclosureLedger()
         ledger.record(
             DisclosureRecord(
-                time=0, owner="alice", recipient="x", data_id="alice/a",
-                sensitivity=1.0, purpose=Purpose.COMMERCIAL, policy_compliant=False,
+                time=0,
+                owner="alice",
+                recipient="x",
+                data_id="alice/a",
+                sensitivity=1.0,
+                purpose=Purpose.COMMERCIAL,
+                policy_compliant=False,
             )
         )
         with_breach = privacy_facet(

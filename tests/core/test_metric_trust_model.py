@@ -29,13 +29,9 @@ class TestCompositeTrustMetric:
         assert metric.trust(UNBALANCED) == pytest.approx(0.05)
 
     def test_owa_orders_values(self):
-        metric = CompositeTrustMetric(
-            aggregator=Aggregator.OWA, owa_weights=(1.0, 0.0, 0.0)
-        )
+        metric = CompositeTrustMetric(aggregator=Aggregator.OWA, owa_weights=(1.0, 0.0, 0.0))
         assert metric.trust(UNBALANCED) == pytest.approx(0.05)
-        metric_top = CompositeTrustMetric(
-            aggregator=Aggregator.OWA, owa_weights=(0.0, 0.0, 1.0)
-        )
+        metric_top = CompositeTrustMetric(aggregator=Aggregator.OWA, owa_weights=(0.0, 0.0, 1.0))
         assert metric_top.trust(UNBALANCED) == pytest.approx(0.9)
 
     def test_zero_facet_kills_geometric_but_not_weighted(self):
@@ -121,7 +117,9 @@ class TestTrustModel:
         assert report.limiting_facet() in {"privacy", "reputation", "satisfaction"}
 
     def test_weights_come_from_settings(self):
-        settings = SystemSettings(privacy_weight=5.0, reputation_weight=1.0, satisfaction_weight=1.0)
+        settings = SystemSettings(
+            privacy_weight=5.0, reputation_weight=1.0, satisfaction_weight=1.0
+        )
         report = TrustModel(settings, aggregator=Aggregator.WEIGHTED).evaluate(UNBALANCED)
         uniform = TrustModel(aggregator=Aggregator.WEIGHTED).evaluate(UNBALANCED)
         assert report.global_trust < uniform.global_trust

@@ -61,19 +61,13 @@ class TestTrustOptimizer:
 
     def test_tight_privacy_constraint_lowers_the_chosen_sharing_level(self):
         lax = TrustOptimizer(refine_rounds=1).optimize(FacetConstraints())
-        strict = TrustOptimizer(refine_rounds=1).optimize(
-            FacetConstraints(min_privacy=0.75)
-        )
+        strict = TrustOptimizer(refine_rounds=1).optimize(FacetConstraints(min_privacy=0.75))
         assert strict.found
-        assert (
-            strict.best.settings.sharing_level <= lax.best.settings.sharing_level
-        )
+        assert strict.best.settings.sharing_level <= lax.best.settings.sharing_level
         assert strict.best.facets.privacy >= 0.75
 
     def test_infeasible_constraints_report_no_solution(self):
-        impossible = FacetConstraints(
-            min_privacy=0.99, min_reputation=0.99, min_satisfaction=0.99
-        )
+        impossible = FacetConstraints(min_privacy=0.99, min_reputation=0.99, min_satisfaction=0.99)
         result = TrustOptimizer(refine_rounds=0).optimize(impossible)
         assert not result.found
         assert result.feasible == []
@@ -85,9 +79,7 @@ class TestTrustOptimizer:
         result = TrustOptimizer(mechanisms=("beta",), refine_rounds=0).optimize()
         assert result.found
         assert result.best.settings.reputation_mechanism == "beta"
-        assert all(
-            point.settings.reputation_mechanism == "beta" for point in result.trace
-        )
+        assert all(point.settings.reputation_mechanism == "beta" for point in result.trace)
 
     def test_anonymity_can_be_disallowed(self):
         result = TrustOptimizer(allow_anonymous=False, refine_rounds=0).optimize()

@@ -43,18 +43,12 @@ class TestSweepBackendDeterminism:
         assert all(r["status"] == "ok" for r in records["records"])
 
     def test_backend_not_in_campaign_metadata(self):
-        spec = SweepSpec(
-            experiment="figure1", grids={"n_users": [10]}, backend="python"
-        )
+        spec = SweepSpec(experiment="figure1", grids={"n_users": [10]}, backend="python")
         assert "backend" not in spec.campaign_metadata()
 
     def test_analytic_experiment_identical_across_backends(self):
-        python_metrics = run_experiment_structured(
-            "figure1", quick=True, backend="python"
-        )
-        vectorized_metrics = run_experiment_structured(
-            "figure1", quick=True, backend="vectorized"
-        )
+        python_metrics = run_experiment_structured("figure1", quick=True, backend="python")
+        vectorized_metrics = run_experiment_structured("figure1", quick=True, backend="vectorized")
         assert python_metrics == vectorized_metrics
 
 
@@ -64,9 +58,7 @@ class TestBackendOption:
             SweepSpec(experiment="figure1", grids={"n_users": [10]}, backend="gpu")
 
     def test_spec_from_options_threads_backend(self):
-        spec = spec_from_options(
-            "figure1", grid_options=["n_users=10"], backend="python"
-        )
+        spec = spec_from_options("figure1", grid_options=["n_users=10"], backend="python")
         assert spec.backend == "python"
         assert all(task.backend == "python" for task in expand_tasks(spec))
 
@@ -75,7 +67,5 @@ class TestBackendOption:
         # through the structured runner must be harmless.
         entry = EXPERIMENTS["satisfaction"]
         assert not entry.accepts("backend")
-        metrics = run_experiment_structured(
-            "satisfaction", quick=True, backend="python"
-        )
+        metrics = run_experiment_structured("satisfaction", quick=True, backend="python")
         assert metrics

@@ -17,9 +17,7 @@ class TestFormatting:
         assert format_value(7) == "7"
 
     def test_format_table_alignment_and_title(self):
-        table = format_table(
-            ["name", "value"], [("a", 1.0), ("longer", 0.25)], title="T"
-        )
+        table = format_table(["name", "value"], [("a", 1.0), ("longer", 0.25)], title="T")
         lines = table.splitlines()
         assert lines[0] == "T"
         assert "name" in lines[1] and "value" in lines[1]
@@ -39,9 +37,19 @@ class TestRegistry:
     def test_registry_covers_every_design_experiment_id(self):
         ids = {eid for entry in EXPERIMENTS.values() for eid in entry.experiment_ids}
         expected = {
-            "E-F1", "E-F2L", "E-F2R",
-            "E-C1", "E-C2", "E-C3", "E-C4", "E-C5",
-            "E-R1", "E-P1", "E-S1", "E-A1", "E-A2",
+            "E-F1",
+            "E-F2L",
+            "E-F2R",
+            "E-C1",
+            "E-C2",
+            "E-C3",
+            "E-C4",
+            "E-C5",
+            "E-R1",
+            "E-P1",
+            "E-S1",
+            "E-A1",
+            "E-A2",
         }
         assert expected <= ids
 

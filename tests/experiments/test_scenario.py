@@ -58,7 +58,9 @@ class TestScenarioRun:
 
     def test_mechanism_none_disables_reputation(self):
         config = ScenarioConfig(
-            n_users=20, rounds=6, seed=2,
+            n_users=20,
+            rounds=6,
+            seed=2,
             settings=SystemSettings(reputation_mechanism="none"),
         )
         result = Scenario(config).run()
@@ -68,7 +70,9 @@ class TestScenarioRun:
 
     def test_anonymous_feedback_wraps_mechanism(self):
         config = ScenarioConfig(
-            n_users=20, rounds=6, seed=2,
+            n_users=20,
+            rounds=6,
+            seed=2,
             settings=SystemSettings(anonymous_feedback=True),
         )
         result = Scenario(config).run()
@@ -77,7 +81,9 @@ class TestScenarioRun:
 
     def test_zero_sharing_means_no_disclosures(self):
         config = ScenarioConfig(
-            n_users=20, rounds=6, seed=2,
+            n_users=20,
+            rounds=6,
+            seed=2,
             settings=SystemSettings(sharing_level=0.0),
         )
         result = Scenario(config).run()

@@ -75,9 +75,7 @@ class TestPrivacyEval:
 class TestSatisfactionEval:
     def test_every_strategy_evaluated(self, satisfaction_result):
         names = {outcome.strategy for outcome in satisfaction_result.outcomes}
-        assert names == {
-            "random", "capacity", "quality", "reputation", "satisfaction-balanced"
-        }
+        assert names == {"random", "capacity", "quality", "reputation", "satisfaction-balanced"}
 
     def test_satisfaction_balanced_has_best_minimum_provider_satisfaction(
         self, satisfaction_result

@@ -203,9 +203,7 @@ class TestRunSweep:
         assert [record.seed for record in result.records] == [1, 2]
 
     def test_derived_seed_recorded_when_not_swept(self):
-        spec = SweepSpec(
-            experiment="figure2-right", grids={"simulate": [False]}, seed=5
-        )
+        spec = SweepSpec(experiment="figure2-right", grids={"simulate": [False]}, seed=5)
         result = run_sweep(spec, jobs=1)
         [record] = result.records
         assert record.seed == expand_tasks(spec)[0].seed
@@ -240,9 +238,7 @@ class TestStructuredRunner:
             assert isinstance(value, (bool, int, float, str, type(None)))
 
     def test_metric_keys_stay_distinct_for_close_parameter_values(self):
-        metrics = run_experiment_structured(
-            "figure2-right", quick=True, levels=(0.111, 0.114)
-        )
+        metrics = run_experiment_structured("figure2-right", quick=True, levels=(0.111, 0.114))
         assert "analytic[0.111].trust" in metrics
         assert "analytic[0.114].trust" in metrics
 

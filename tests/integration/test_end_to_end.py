@@ -20,13 +20,19 @@ class TestCrossSubsystemConsistency:
         """The Figure-2 antagonism holds on full simulations, not just analytically."""
         closed = Scenario(
             ScenarioConfig(
-                n_users=30, rounds=20, seed=2, malicious_fraction=0.25,
+                n_users=30,
+                rounds=20,
+                seed=2,
+                malicious_fraction=0.25,
                 settings=SystemSettings(sharing_level=0.15, reputation_mechanism="eigentrust"),
             )
         ).run()
         open_ = Scenario(
             ScenarioConfig(
-                n_users=30, rounds=20, seed=2, malicious_fraction=0.25,
+                n_users=30,
+                rounds=20,
+                seed=2,
+                malicious_fraction=0.25,
                 settings=SystemSettings(sharing_level=1.0, reputation_mechanism="eigentrust"),
             )
         ).run()
@@ -37,20 +43,23 @@ class TestCrossSubsystemConsistency:
     def test_reputation_improves_outcomes_under_attack(self):
         no_reputation = Scenario(
             ScenarioConfig(
-                n_users=30, rounds=20, seed=5, malicious_fraction=0.4,
+                n_users=30,
+                rounds=20,
+                seed=5,
+                malicious_fraction=0.4,
                 settings=SystemSettings(reputation_mechanism="none"),
             )
         ).run()
         with_reputation = Scenario(
             ScenarioConfig(
-                n_users=30, rounds=20, seed=5, malicious_fraction=0.4,
+                n_users=30,
+                rounds=20,
+                seed=5,
+                malicious_fraction=0.4,
                 settings=SystemSettings(reputation_mechanism="eigentrust"),
             )
         ).run()
-        assert (
-            with_reputation.malicious_interaction_rate
-            < no_reputation.malicious_interaction_rate
-        )
+        assert with_reputation.malicious_interaction_rate < no_reputation.malicious_interaction_rate
         assert with_reputation.trust.global_trust > no_reputation.trust.global_trust
 
     def test_priserv_compliance_check_runs_on_scenario_output(self, default_scenario_result):
@@ -95,7 +104,9 @@ class TestCrossSubsystemConsistency:
 def test_every_mechanism_runs_end_to_end(mechanism):
     result = Scenario(
         ScenarioConfig(
-            n_users=20, rounds=8, seed=8,
+            n_users=20,
+            rounds=8,
+            seed=8,
             settings=SystemSettings(reputation_mechanism=mechanism),
         )
     ).run()

@@ -7,13 +7,25 @@ from repro.privacy.disclosure import DisclosureLedger, DisclosureRecord
 from repro.privacy.purposes import Purpose
 
 
-def record(time=0, owner="alice", recipient="bob", data_id="alice/photo",
-           sensitivity=0.5, purpose=Purpose.SOCIAL_INTERACTION,
-           policy_compliant=True, retention_time=None) -> DisclosureRecord:
+def record(
+    time=0,
+    owner="alice",
+    recipient="bob",
+    data_id="alice/photo",
+    sensitivity=0.5,
+    purpose=Purpose.SOCIAL_INTERACTION,
+    policy_compliant=True,
+    retention_time=None,
+) -> DisclosureRecord:
     return DisclosureRecord(
-        time=time, owner=owner, recipient=recipient, data_id=data_id,
-        sensitivity=sensitivity, purpose=purpose,
-        policy_compliant=policy_compliant, retention_time=retention_time,
+        time=time,
+        owner=owner,
+        recipient=recipient,
+        data_id=data_id,
+        sensitivity=sensitivity,
+        purpose=purpose,
+        policy_compliant=policy_compliant,
+        retention_time=retention_time,
     )
 
 

@@ -53,18 +53,14 @@ def test_concedes_missing_obligations():
 
 def test_concedes_purpose():
     policy = make_policy(purposes={Purpose.SOCIAL_INTERACTION})
-    outcome = NegotiationEngine().negotiate(
-        make_proposal(purpose=Purpose.COMMERCIAL), policy
-    )
+    outcome = NegotiationEngine().negotiate(make_proposal(purpose=Purpose.COMMERCIAL), policy)
     assert outcome.agreed
     assert outcome.final_proposal.purpose is Purpose.SOCIAL_INTERACTION
 
 
 def test_concedes_operation():
     policy = make_policy(operations={Operation.READ})
-    outcome = NegotiationEngine().negotiate(
-        make_proposal(operation=Operation.DISCLOSE), policy
-    )
+    outcome = NegotiationEngine().negotiate(make_proposal(operation=Operation.DISCLOSE), policy)
     assert outcome.agreed
     assert outcome.final_proposal.operation is Operation.READ
 
@@ -93,9 +89,7 @@ def test_trace_records_every_round():
         obligations={Obligation.NO_REDISTRIBUTION},
         purposes={Purpose.SOCIAL_INTERACTION},
     )
-    outcome = NegotiationEngine().negotiate(
-        make_proposal(purpose=Purpose.COMMERCIAL), policy
-    )
+    outcome = NegotiationEngine().negotiate(make_proposal(purpose=Purpose.COMMERCIAL), policy)
     assert outcome.agreed
     assert len(outcome.trace) == outcome.rounds
 

@@ -24,11 +24,15 @@ from repro.privacy.purposes import Purpose
 from tests.conftest import make_feedback
 
 
-def make_record(sensitivity=0.5, compliant=True, purpose=Purpose.SOCIAL_INTERACTION,
-                owner="alice"):
+def make_record(sensitivity=0.5, compliant=True, purpose=Purpose.SOCIAL_INTERACTION, owner="alice"):
     return DisclosureRecord(
-        time=0, owner=owner, recipient="bob", data_id=f"{owner}/x",
-        sensitivity=sensitivity, purpose=purpose, policy_compliant=compliant,
+        time=0,
+        owner=owner,
+        recipient="bob",
+        data_id=f"{owner}/x",
+        sensitivity=sensitivity,
+        purpose=purpose,
+        policy_compliant=compliant,
     )
 
 

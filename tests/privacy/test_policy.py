@@ -55,9 +55,7 @@ class TestPolicyRule:
     def test_community_audience(self):
         rule = PolicyRule(audience=Audience.COMMUNITY)
         assert rule.evaluate(make_request(is_friend=False, same_community=True)).permitted
-        assert not rule.evaluate(
-            make_request(is_friend=False, same_community=False)
-        ).permitted
+        assert not rule.evaluate(make_request(is_friend=False, same_community=False)).permitted
 
     def test_anyone_audience(self):
         rule = PolicyRule(audience=Audience.ANYONE)
@@ -138,9 +136,7 @@ class TestPrivacyPolicy:
 
     def test_permissive_policy_allows_commercial_reads(self):
         policy = permissive_policy("alice")
-        assert policy.evaluate(
-            make_request(purpose=Purpose.COMMERCIAL, is_friend=False)
-        ).permitted
+        assert policy.evaluate(make_request(purpose=Purpose.COMMERCIAL, is_friend=False)).permitted
 
     def test_restrictive_policy_requires_trusted_friends_and_obligations(self):
         policy = restrictive_policy("alice", minimum_trust=0.6)

@@ -44,9 +44,7 @@ class TestConstructionAndPublication:
 
     def test_publish_with_inline_policy(self):
         svc = PriServService(peer_ids=PEERS)
-        item = svc.publish(
-            "alice", "alice/city", "Nantes", policy=permissive_policy("alice")
-        )
+        item = svc.publish("alice", "alice/city", "Nantes", policy=permissive_policy("alice"))
         assert item.responsible_peer in PEERS
         assert svc.policy_of("alice") is not None
 
@@ -108,9 +106,7 @@ class TestRequests:
         assert not service.request("carol", "alice/city")[0].permitted
 
     def test_friendship_oracle_feeds_audience_rules(self, service):
-        policy = PrivacyPolicy(
-            owner="alice", default_rule=PolicyRule(audience=Audience.FRIENDS)
-        )
+        policy = PrivacyPolicy(owner="alice", default_rule=PolicyRule(audience=Audience.FRIENDS))
         service.register_policy(policy)
         assert service.request("bob", "alice/city")[0].permitted
         assert not service.request("dave", "alice/city")[0].permitted

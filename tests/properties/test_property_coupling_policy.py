@@ -59,9 +59,7 @@ def test_more_sharing_never_reduces_reputation_target(state, low, high):
     low_level, high_level = sorted((low, high))
     low_dynamics = CouplingDynamics(sharing_level=low_level)
     high_dynamics = CouplingDynamics(sharing_level=high_level)
-    assert (
-        high_dynamics.step(state).disclosure >= low_dynamics.step(state).disclosure - 1e-9
-    )
+    assert high_dynamics.step(state).disclosure >= low_dynamics.step(state).disclosure - 1e-9
 
 
 # -- privacy policies ---------------------------------------------------------

@@ -30,9 +30,7 @@ def test_tracker_windowed_mean_matches_manual_mean(observations):
     assert abs(tracker.windowed_satisfaction("user") - expected) < 1e-9
 
 
-@given(
-    observations=st.lists(st.tuples(unit, st.booleans()), min_size=1, max_size=50)
-)
+@given(observations=st.lists(st.tuples(unit, st.booleans()), min_size=1, max_size=50))
 def test_allocation_satisfaction_only_reflects_imposed_observations(observations):
     tracker = SatisfactionTracker(alpha=0.5)
     imposed_values = [value for value, imposed in observations if imposed]
@@ -84,9 +82,7 @@ def test_ledger_invariants(records):
     )
     # Active and expired records partition the ledger at any time.
     for now in (0, 50, 200):
-        assert len(ledger.active_records(now)) + len(ledger.expired_records(now)) == len(
-            ledger
-        )
+        assert len(ledger.active_records(now)) + len(ledger.expired_records(now)) == len(ledger)
 
 
 @given(records=st.lists(disclosure_records(), max_size=40), now=st.integers(0, 200))

@@ -18,9 +18,7 @@ def test_strips_rater_identity():
 
 
 def test_identity_can_be_kept():
-    wrapper = AnonymousFeedbackReputation(
-        SimpleAverageReputation(), strip_identity=False, seed=1
-    )
+    wrapper = AnonymousFeedbackReputation(SimpleAverageReputation(), strip_identity=False, seed=1)
     wrapper.record_feedback(make_feedback("bob", 1.0, rater="alice", transaction_id=1))
     assert wrapper.inner.store.about("bob")[0].rater == "alice"
     assert wrapper.anonymized_reports == 0

@@ -18,18 +18,12 @@ def feed_community(system, *, rounds: int = 5) -> None:
                 if rater == subject:
                     continue
                 tid += 1
-                system.record_feedback(
-                    make_feedback(subject, 1.0, rater=rater, transaction_id=tid)
-                )
+                system.record_feedback(make_feedback(subject, 1.0, rater=rater, transaction_id=tid))
             tid += 1
-            system.record_feedback(
-                make_feedback("mallory", 0.0, rater=rater, transaction_id=tid)
-            )
+            system.record_feedback(make_feedback("mallory", 0.0, rater=rater, transaction_id=tid))
         for subject in honest:
             tid += 1
-            system.record_feedback(
-                make_feedback(subject, 0.0, rater="mallory", transaction_id=tid)
-            )
+            system.record_feedback(make_feedback(subject, 0.0, rater="mallory", transaction_id=tid))
 
 
 class TestValidation:

@@ -105,8 +105,7 @@ class TestCentralityMemo:
         populate(store)
         overlay = TrustOverlayNetwork(store)
         before = overlay.in_degree_centrality()
-        store.add(make_feedback(subject="newcomer", rater="a", rating=1.0,
-                                transaction_id=999))
+        store.add(make_feedback(subject="newcomer", rater="a", rating=1.0, transaction_id=999))
         after = overlay.in_degree_centrality()
         assert "newcomer" in after and "newcomer" not in before
 
@@ -123,8 +122,7 @@ class TestCentralityMemo:
         for _ in range(count_before // 2):
             for subject in ("fresh1", "fresh2"):
                 tid += 1
-                store.add(make_feedback(subject=subject, rater="z", rating=1.0,
-                                        transaction_id=tid))
+                store.add(make_feedback(subject=subject, rater="z", rating=1.0, transaction_id=tid))
         fresh = overlay.in_degree_centrality()
         assert fresh is not stale
         assert set(fresh) == {"fresh1", "fresh2", "z"}

@@ -1,0 +1,244 @@
+"""Unit tests for the attack-campaign model and its round-hook driver."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.campaign import (
+    AttackCampaign,
+    CampaignDriver,
+    PeerSelector,
+    SelectGroup,
+    SetOnline,
+    SwitchBehavior,
+    Whitewash,
+    combine,
+)
+from repro.scenarios.metrics import ScenarioTrace
+from repro.simulation.adversary import GroomingBehavior, MaliciousBehavior
+from repro.simulation.churn import ChurnModel, PhasedChurnModel
+from repro.simulation.engine import InteractionSimulator, SimulationConfig
+from repro.simulation.peer import Peer
+from repro.socialnet.generators import SocialNetworkSpec, generate_social_network
+from repro.socialnet.user import User
+
+
+def make_peers(n=10, dishonest_every=3):
+    peers = []
+    for i in range(n):
+        honesty = 0.1 if i % dishonest_every == 0 else 0.9
+        peers.append(Peer(user=User(user_id=f"u{i:02d}", honesty=honesty)))
+    return peers
+
+
+class TestPeerSelector:
+    def test_population_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeerSelector(population="martians")
+
+    def test_fraction_and_count_are_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            PeerSelector(fraction=0.5, count=3)
+
+    def test_selects_only_dishonest(self):
+        peers = make_peers()
+        selected = PeerSelector(population="dishonest").select(peers, random.Random(0))
+        assert selected
+        assert all(not peer.user.is_honest for peer in selected)
+
+    def test_prefix_filter(self):
+        peers = make_peers() + [Peer(user=User(user_id="sybil-001", honesty=0.0))]
+        selected = PeerSelector(population="all", prefix="sybil-").select(peers, random.Random(0))
+        assert [peer.base_id for peer in selected] == ["sybil-001"]
+
+    def test_fraction_is_deterministic_and_sorted(self):
+        peers = make_peers(12)
+        first = PeerSelector(population="honest", fraction=0.5).select(peers, random.Random(5))
+        second = PeerSelector(population="honest", fraction=0.5).select(peers, random.Random(5))
+        ids = [peer.base_id for peer in first]
+        assert ids == [peer.base_id for peer in second]
+        assert ids == sorted(ids)
+
+    def test_minimum_is_enforced(self):
+        peers = make_peers(12)
+        selected = PeerSelector(population="dishonest", fraction=0.0, minimum=2).select(
+            peers, random.Random(1)
+        )
+        assert len(selected) == 2
+
+    def test_count_capped_at_pool(self):
+        peers = make_peers(6)
+        selected = PeerSelector(population="all", count=50).select(peers, random.Random(0))
+        assert len(selected) == 6
+
+
+class TestCampaign:
+    def test_events_sorted_and_window_validated(self):
+        events = [
+            SwitchBehavior(5, "g", lambda p, g, r: MaliciousBehavior()),
+            SelectGroup(2, "g", PeerSelector()),
+        ]
+        campaign = AttackCampaign(name="x", events=events, window=(2, 5))
+        assert [event.round_index for event in campaign.events] == [2, 5]
+        assert campaign.events_at(2)[0].group == "g"
+        with pytest.raises(ConfigurationError):
+            AttackCampaign(name="bad", window=(5, 2))
+
+    def test_negative_event_round_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AttackCampaign(name="bad", events=[SelectGroup(-1, "g", PeerSelector())])
+
+    def test_combine_namespaces_groups_and_merges_windows(self):
+        a = AttackCampaign(name="a", events=[SelectGroup(1, "g", PeerSelector())], window=(1, 4))
+        b = AttackCampaign(name="b", events=[SelectGroup(2, "g", PeerSelector())], window=(3, 9))
+        merged = combine("both", a, b)
+        assert merged.window == (1, 9)
+        assert sorted(event.group for event in merged.events) == ["a/g", "b/g"]
+
+    def test_combine_rejects_two_churn_overrides(self):
+        a = AttackCampaign(name="a", churn=PhasedChurnModel())
+        b = AttackCampaign(name="b", churn=ChurnModel())
+        with pytest.raises(ConfigurationError):
+            combine("both", a, b)
+
+
+class TestCampaignDriver:
+    def make_simulator(self, campaign, n_users=16, rounds=8, seed=3):
+        graph = generate_social_network(
+            SocialNetworkSpec(n_users=n_users, malicious_fraction=0.3, seed=seed)
+        )
+        driver = CampaignDriver(campaign)
+        simulator = InteractionSimulator(
+            graph, SimulationConfig(rounds=rounds, seed=seed), hooks=(driver,)
+        )
+        return driver, simulator
+
+    def test_switch_behavior_applies_to_selected_group(self):
+        campaign = AttackCampaign(
+            name="switch",
+            events=[
+                SelectGroup(0, "g", PeerSelector(population="dishonest")),
+                SwitchBehavior(0, "g", lambda p, g, r: GroomingBehavior()),
+            ],
+            window=(0, 1),
+        )
+        driver, simulator = self.make_simulator(campaign, rounds=1)
+        simulator.run()
+        assert driver.groups["g"]
+        for peer in driver.groups["g"]:
+            assert peer.behavior.name == "grooming"
+
+    def test_group_reference_before_selection_raises(self):
+        driver = CampaignDriver(AttackCampaign(name="x"))
+        with pytest.raises(ConfigurationError):
+            driver.members("missing")
+
+    def test_pinned_offline_overrides_churn_returns(self):
+        campaign = AttackCampaign(
+            name="pin",
+            events=[
+                SelectGroup(0, "g", PeerSelector(population="dishonest")),
+                SetOnline(0, "g", online=False, pin=True),
+            ],
+            window=(0, 8),
+        )
+        driver, simulator = self.make_simulator(campaign, rounds=8)
+        # Default ChurnModel would bring offline peers back with p=0.5.
+        result = simulator.run()
+        pinned = {peer.base_id for peer in driver.groups["g"]}
+        for peer in result.directory.peers():
+            if peer.base_id in pinned:
+                assert not peer.online
+        # Pinned peers provided no transactions.
+        providers = {
+            result.directory.get(t.provider).base_id for t in result.transactions
+        }
+        assert not providers & pinned
+
+    def test_unpinning_brings_peers_back(self):
+        campaign = AttackCampaign(
+            name="burst",
+            events=[
+                SelectGroup(0, "g", PeerSelector(population="dishonest")),
+                SetOnline(0, "g", online=False, pin=True),
+                SetOnline(3, "g", online=True),
+            ],
+            window=(3, 8),
+        )
+        driver, simulator = self.make_simulator(campaign, rounds=8)
+        result = simulator.run()
+        group = {peer.base_id for peer in driver.groups["g"]}
+        assert all(result.directory.get(base_id).online for base_id in group)
+
+    def test_whitewash_event_resets_identity_and_scores_link(self):
+        from repro.scenarios.runner import reputation_for_graph
+
+        graph = generate_social_network(
+            SocialNetworkSpec(n_users=16, malicious_fraction=0.3, seed=3)
+        )
+        campaign = AttackCampaign(
+            name="wash",
+            events=[
+                SelectGroup(0, "g", PeerSelector(population="dishonest")),
+                Whitewash(4, "g"),
+            ],
+            window=(4, 8),
+        )
+        driver = CampaignDriver(campaign)
+        reputation = reputation_for_graph(graph, "average")
+        simulator = InteractionSimulator(
+            graph,
+            SimulationConfig(rounds=8, seed=3),
+            reputation=reputation,
+            hooks=(driver,),
+        )
+        simulator.run()
+        for peer in driver.groups["g"]:
+            assert peer.identity_generation >= 1
+            assert "#" in peer.peer_id
+            # Both identities keep resolving to the same ground-truth peer.
+            assert simulator.directory.get(peer.base_id) is peer
+            assert simulator.directory.get(peer.peer_id) is peer
+
+
+class TestStreamExactness:
+    def test_observer_hooks_do_not_perturb_the_trajectory(self):
+        graph_a = generate_social_network(
+            SocialNetworkSpec(n_users=20, malicious_fraction=0.25, seed=9)
+        )
+        graph_b = generate_social_network(
+            SocialNetworkSpec(n_users=20, malicious_fraction=0.25, seed=9)
+        )
+        bare = InteractionSimulator(graph_a, SimulationConfig(rounds=10, seed=9))
+        traced = InteractionSimulator(
+            graph_b, SimulationConfig(rounds=10, seed=9), hooks=(ScenarioTrace(),)
+        )
+        result_bare = bare.run()
+        result_traced = traced.run()
+        key = lambda t: (t.transaction_id, t.consumer, t.provider, t.quality)  # noqa: E731
+        assert [key(t) for t in result_bare.transactions] == [
+            key(t) for t in result_traced.transactions
+        ]
+
+
+def test_set_online_without_pin_releases_an_earlier_pin():
+    campaign = AttackCampaign(
+        name="release",
+        events=[
+            SelectGroup(0, "g", PeerSelector(population="dishonest")),
+            SetOnline(0, "g", online=False, pin=True),
+            SetOnline(3, "g", online=False, pin=False),
+        ],
+        window=(0, 8),
+    )
+    graph = generate_social_network(SocialNetworkSpec(n_users=16, malicious_fraction=0.3, seed=3))
+    driver = CampaignDriver(campaign)
+    # return_probability=1.0: natural churn rejoins unpinned offline peers
+    # on the very next round.
+    config = SimulationConfig(rounds=8, churn=ChurnModel(return_probability=1.0), seed=3)
+    simulator = InteractionSimulator(graph, config, hooks=(driver,))
+    result = simulator.run()
+    assert not driver.pinned_offline
+    group = {peer.base_id for peer in driver.groups["g"]}
+    assert all(result.directory.get(base_id).online for base_id in group)

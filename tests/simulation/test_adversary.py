@@ -20,8 +20,12 @@ from repro.socialnet.user import User
 
 def make_transaction(provider="p", outcome=TransactionOutcome.SUCCESS):
     return Transaction(
-        transaction_id=1, time=0, consumer="c", provider=provider,
-        outcome=outcome, quality=outcome.as_score,
+        transaction_id=1,
+        time=0,
+        consumer="c",
+        provider=provider,
+        outcome=outcome,
+        quality=outcome.as_score,
     )
 
 
@@ -52,16 +56,12 @@ class TestHonestBehavior:
 
 class TestMaliciousBehavior:
     def test_serves_badly(self, malicious_user, rng):
-        qualities = [
-            MaliciousBehavior().serve_quality(malicious_user, rng) for _ in range(50)
-        ]
+        qualities = [MaliciousBehavior().serve_quality(malicious_user, rng) for _ in range(50)]
         assert sum(qualities) / len(qualities) < 0.3
 
     def test_mostly_lies(self, malicious_user, rng):
         behavior = MaliciousBehavior(lie_probability=1.0)
-        rating, truthful = behavior.rate_transaction(
-            malicious_user, make_transaction(), rng
-        )
+        rating, truthful = behavior.rate_transaction(malicious_user, make_transaction(), rng)
         assert rating == 0.0
         assert not truthful
 
@@ -147,9 +147,7 @@ class TestBehaviorForUser:
         assert isinstance(behavior, MaliciousBehavior)
 
     def test_traitor_fraction_one_gives_traitors(self, malicious_user):
-        behavior = behavior_for_user(
-            malicious_user, rng=random.Random(0), traitor_fraction=1.0
-        )
+        behavior = behavior_for_user(malicious_user, rng=random.Random(0), traitor_fraction=1.0)
         assert isinstance(behavior, TraitorBehavior)
 
     def test_whitewasher_fraction(self, malicious_user):
@@ -162,7 +160,5 @@ class TestBehaviorForUser:
         assert isinstance(behavior, WhitewasherBehavior)
 
     def test_selfish_fraction_applies_to_honest_users(self, honest_user):
-        behavior = behavior_for_user(
-            honest_user, rng=random.Random(0), selfish_fraction=1.0
-        )
+        behavior = behavior_for_user(honest_user, rng=random.Random(0), selfish_fraction=1.0)
         assert isinstance(behavior, SelfishBehavior)

@@ -33,9 +33,7 @@ class TestSimulatorBasics:
             InteractionSimulator(graph)
 
     def test_run_produces_transactions_and_feedback(self, small_graph):
-        result = InteractionSimulator(
-            small_graph, SimulationConfig(rounds=10, seed=1)
-        ).run()
+        result = InteractionSimulator(small_graph, SimulationConfig(rounds=10, seed=1)).run()
         assert len(result.transactions) > 0
         assert len(result.feedbacks) == len(result.transactions)
         assert len(result.metrics.rounds) == 10
@@ -44,15 +42,11 @@ class TestSimulatorBasics:
         config = SimulationConfig(rounds=8, seed=4)
         first = InteractionSimulator(small_graph, config).run()
         second = InteractionSimulator(small_graph, SimulationConfig(rounds=8, seed=4)).run()
-        assert [t.provider for t in first.transactions] == [
-            t.provider for t in second.transactions
-        ]
+        assert [t.provider for t in first.transactions] == [t.provider for t in second.transactions]
         assert len(first.disclosed_feedbacks) == len(second.disclosed_feedbacks)
 
     def test_transactions_respect_social_graph(self, small_graph):
-        result = InteractionSimulator(
-            small_graph, SimulationConfig(rounds=5, seed=2)
-        ).run()
+        result = InteractionSimulator(small_graph, SimulationConfig(rounds=5, seed=2)).run()
         for transaction in result.transactions:
             consumer = result.directory.get(transaction.consumer)
             provider = result.directory.get(transaction.provider)
@@ -134,12 +128,8 @@ class TestReputationIntegration:
 
 class TestAdversaries:
     def test_whitewashers_change_identity(self, adversarial_graph):
-        config = SimulationConfig(
-            rounds=25, whitewasher_fraction=1.0, seed=6
-        )
-        simulator = InteractionSimulator(
-            adversarial_graph, config, reputation=BetaReputation()
-        )
+        config = SimulationConfig(rounds=25, whitewasher_fraction=1.0, seed=6)
+        simulator = InteractionSimulator(adversarial_graph, config, reputation=BetaReputation())
         result = simulator.run()
         whitewashed = [
             peer

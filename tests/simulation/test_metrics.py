@@ -8,8 +8,12 @@ from repro.simulation.transaction import Feedback, Transaction, TransactionOutco
 
 def make_transaction(tid: int, outcome=TransactionOutcome.SUCCESS, provider="p"):
     return Transaction(
-        transaction_id=tid, time=0, consumer="c", provider=provider,
-        outcome=outcome, quality=outcome.as_score,
+        transaction_id=tid,
+        time=0,
+        consumer="c",
+        provider=provider,
+        outcome=outcome,
+        quality=outcome.as_score,
     )
 
 
@@ -29,9 +33,14 @@ class TestRoundMetrics:
 
     def test_rates(self):
         metrics = RoundMetrics(
-            round_index=0, transactions=4, successes=3, failures=1,
-            malicious_provider_transactions=1, feedback_generated=4,
-            feedback_disclosed=2, truthful_feedback=3,
+            round_index=0,
+            transactions=4,
+            successes=3,
+            failures=1,
+            malicious_provider_transactions=1,
+            feedback_generated=4,
+            feedback_disclosed=2,
+            truthful_feedback=3,
         )
         assert metrics.success_rate == 0.75
         assert metrics.malicious_rate == 0.25

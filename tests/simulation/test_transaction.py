@@ -15,23 +15,34 @@ class TestTransactionOutcome:
 class TestTransaction:
     def test_succeeded_property(self):
         transaction = Transaction(
-            transaction_id=1, time=0, consumer="a", provider="b",
-            outcome=TransactionOutcome.SUCCESS, quality=0.8,
+            transaction_id=1,
+            time=0,
+            consumer="a",
+            provider="b",
+            outcome=TransactionOutcome.SUCCESS,
+            quality=0.8,
         )
         assert transaction.succeeded
 
     def test_rejects_self_transaction(self):
         with pytest.raises(ConfigurationError):
             Transaction(
-                transaction_id=1, time=0, consumer="a", provider="a",
+                transaction_id=1,
+                time=0,
+                consumer="a",
+                provider="a",
                 outcome=TransactionOutcome.SUCCESS,
             )
 
     def test_rejects_invalid_quality(self):
         with pytest.raises(ConfigurationError):
             Transaction(
-                transaction_id=1, time=0, consumer="a", provider="b",
-                outcome=TransactionOutcome.SUCCESS, quality=1.5,
+                transaction_id=1,
+                time=0,
+                consumer="a",
+                provider="b",
+                outcome=TransactionOutcome.SUCCESS,
+                quality=1.5,
             )
 
 

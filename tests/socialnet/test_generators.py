@@ -40,21 +40,15 @@ class TestSpecValidation:
 @pytest.mark.parametrize("topology", TOPOLOGIES)
 class TestEveryTopology:
     def test_generates_requested_population(self, topology):
-        graph = generate_social_network(
-            SocialNetworkSpec(n_users=40, topology=topology, seed=3)
-        )
+        graph = generate_social_network(SocialNetworkSpec(n_users=40, topology=topology, seed=3))
         assert len(graph) == 40
 
     def test_graph_is_connected(self, topology):
-        graph = generate_social_network(
-            SocialNetworkSpec(n_users=40, topology=topology, seed=3)
-        )
+        graph = generate_social_network(SocialNetworkSpec(n_users=40, topology=topology, seed=3))
         assert graph.is_connected()
 
     def test_user_parameters_within_bounds(self, topology):
-        graph = generate_social_network(
-            SocialNetworkSpec(n_users=30, topology=topology, seed=3)
-        )
+        graph = generate_social_network(SocialNetworkSpec(n_users=30, topology=topology, seed=3))
         for user in graph.users():
             assert 0.0 <= user.honesty <= 1.0
             assert 0.0 <= user.competence <= 1.0

@@ -21,8 +21,11 @@ class TestInteraction:
     def test_rejects_invalid_sensitivity(self):
         with pytest.raises(ConfigurationError):
             Interaction(
-                time=0, initiator="a", partner="b",
-                kind=InteractionKind.MESSAGE, payload_sensitivity=1.5,
+                time=0,
+                initiator="a",
+                partner="b",
+                kind=InteractionKind.MESSAGE,
+                payload_sensitivity=1.5,
             )
 
 

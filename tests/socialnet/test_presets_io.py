@@ -50,9 +50,7 @@ class TestGraphSerialization:
                 if a >= b:
                     continue
                 assert restored.are_connected(a, b) == tiny_graph.are_connected(a, b)
-                assert restored.tie_strength(a, b) == pytest.approx(
-                    tiny_graph.tie_strength(a, b)
-                )
+                assert restored.tie_strength(a, b) == pytest.approx(tiny_graph.tie_strength(a, b))
 
     def test_round_trip_preserves_users_and_profiles(self, tiny_graph):
         restored = graph_from_dict(graph_to_dict(tiny_graph))
