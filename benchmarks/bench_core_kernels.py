@@ -31,6 +31,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core import accel
 from repro.core.backend import HAS_NUMPY, available_backends
 from repro.core.coupling import CouplingDynamics, CouplingState
 from repro.reputation.average import SimpleAverageReputation
@@ -212,6 +213,18 @@ def bench_simulation(*, n_users: int, rounds: int, repeats: int) -> Dict[str, ob
 
 
 def run_benchmarks(*, repeats: int, quick: bool = False) -> Dict[str, object]:
+    """Measure every kernel pair with the incremental layer disabled.
+
+    This benchmark certifies the *cold* python-vs-vectorized kernel gap;
+    the incremental refresh layer (which is backend-independent and would
+    make both columns measure the same code) has its own benchmark in
+    ``bench_end_to_end.py``.
+    """
+    with accel.override(incremental_refresh=False):
+        return _run_benchmarks_cold(repeats=repeats, quick=quick)
+
+
+def _run_benchmarks_cold(*, repeats: int, quick: bool) -> Dict[str, object]:
     sizes = EIGENTRUST_SIZES if not quick else (100, 500)
     kernels: List[Dict[str, object]] = []
 
@@ -257,7 +270,9 @@ def run_benchmarks(*, repeats: int, quick: bool = False) -> Dict[str, object]:
     entry.update(kernel="coupling_equilibria", n=64 if quick else 256)
     kernels.append(entry)
 
-    entry = bench_simulation(n_users=60 if quick else 150, rounds=3 if quick else 5, repeats=1)
+    # Best-of-3: a single end-to-end run is far too noisy (GC, allocator,
+    # CPU contention) even for this ungated, informational entry.
+    entry = bench_simulation(n_users=60 if quick else 150, rounds=3 if quick else 5, repeats=3)
     entry.update(kernel="simulation_rounds", n=60 if quick else 150)
     kernels.append(entry)
 

@@ -65,6 +65,14 @@ BACKEND_CHOICES = (AUTO_BACKEND, PYTHON_BACKEND, VECTORIZED_BACKEND)
 #: amplify backend-dependent rounding into visible score differences.
 FLAT_SPREAD = 1e-12
 
+#: Below this peer count the local-trust matrix is built dense even when
+#: scipy is available.  A CSR matvec costs ~15µs of per-call dispatch
+#: overhead regardless of size, which dominates the power iteration at the
+#: population sizes the scenario experiments run (tens of peers, ~100
+#: iterations per refresh); a dense matvec at n=128 is ~2µs.  The crossover
+#: where sparsity wins back the memory traffic sits well above this.
+DENSE_TRUST_THRESHOLD = 128
+
 
 def available_backends() -> Tuple[str, ...]:
     """The concrete backends that can run in this interpreter."""
@@ -131,6 +139,12 @@ class PeerIndex:
         except KeyError:
             raise ConfigurationError(f"unknown peer id {peer_id!r}") from None
 
+    @property
+    def position_map(self) -> Dict[str, int]:
+        """The live id→position mapping (insertion order = array order);
+        treat as read-only."""
+        return self._positions
+
     def positions(self, peer_ids: Iterable[str]) -> List[int]:
         lookup = self._positions
         return [lookup[peer_id] for peer_id in peer_ids]
@@ -175,13 +189,15 @@ def local_trust_matrix(
     rows without positive evidence stay all-zero (dangling) and are handled
     by :func:`power_iteration`'s restart redistribution.
 
-    Returns a CSR matrix when scipy is available (the trust graph is a few
-    percent dense at realistic peer counts, so sparse storage keeps both the
-    build and every matrix-vector product O(nnz)); otherwise a dense array
-    via :func:`dense_local_trust_matrix` — same values either way.
+    Returns a CSR matrix when scipy is available and the population is
+    large (the trust graph is a few percent dense at realistic peer counts,
+    so sparse storage keeps both the build and every matrix-vector product
+    O(nnz)); below :data:`DENSE_TRUST_THRESHOLD` peers — or without scipy —
+    a dense array via :func:`dense_local_trust_matrix`, where the fixed CSR
+    dispatch overhead would dominate.  Same values either way.
     """
     numpy = require_numpy()
-    if sparse is None:
+    if sparse is None or n < DENSE_TRUST_THRESHOLD:
         return dense_local_trust_matrix(n, rater_positions, subject_positions, deltas)
     rater_positions = numpy.asarray(rater_positions, dtype=numpy.intp)
     subject_positions = numpy.asarray(subject_positions, dtype=numpy.intp)
@@ -218,11 +234,27 @@ def dense_local_trust_matrix(
         ).reshape(n, n)
     else:
         raw = numpy.zeros((n, n), dtype=float)
-    numpy.maximum(raw, 0.0, out=raw)
-    row_sums = raw.sum(axis=1)
+    return normalize_dense_raw(raw, copy=False)
+
+
+def normalize_dense_raw(raw, *, copy: bool = True):
+    """Clip-at-zero and row-normalize a dense signed pairwise-total matrix.
+
+    The shared tail of every dense local-trust build — per-report scatter,
+    pair-ledger scatter, or the incrementally maintained raw matrix — so
+    all of them produce bitwise-identical ``C``.  ``copy=True`` leaves the
+    input untouched (required for cached raw matrices).
+    """
+    numpy = require_numpy()
+    if copy:
+        clipped = numpy.maximum(raw, 0.0)
+    else:
+        clipped = raw
+        numpy.maximum(clipped, 0.0, out=clipped)
+    row_sums = clipped.sum(axis=1)
     nonzero = row_sums > 0.0
-    raw[nonzero] /= row_sums[nonzero, None]
-    return raw
+    clipped[nonzero] /= row_sums[nonzero, None]
+    return clipped
 
 
 def local_trust_matrix_from_columns(columns, index: PeerIndex):
@@ -255,30 +287,51 @@ def power_iteration(
 
     ``matrix`` is the row-stochastic local trust ``C`` (all-zero rows are
     dangling peers), dense or CSR-sparse; ``restart`` is the restart
-    distribution ``p``.  Dangling mass is accumulated once per iteration and
-    redistributed over ``p`` in a single vector operation — the same algebra
-    the pure-Python loop performs peer by peer.  Returns ``(stationary
-    vector, iterations used)``.
+    distribution ``p``.  Returns ``(stationary vector, iterations used)``.
+
+    On the sparse path dangling mass is accumulated once per iteration and
+    redistributed over ``p`` — the same algebra the pure-Python loop
+    performs peer by peer.  On the dense (small-``n``) path the dangling
+    redistribution *and* the damping factor are folded into one iteration
+    matrix ``M = (1 − a)·(Cᵀ + p·dᵀ)`` up front, so each of the ~100
+    iterations per refresh is a single matmul plus one add instead of eight
+    dispatched array ops; the re-association shifts results by float
+    round-off only, which the publication grid absorbs like any other
+    backend noise.
     """
     numpy = require_numpy()
     restart = numpy.asarray(restart, dtype=float)
     trust = restart.copy()
+    iterations = 0
     if sparse is not None and sparse.issparse(matrix):
         dangling = numpy.asarray(matrix.sum(axis=1)).ravel() <= 0.0
         transposed = matrix.T.tocsr()
-    else:
-        dangling = matrix.sum(axis=1) <= 0.0
-        transposed = numpy.ascontiguousarray(matrix.T)
-    any_dangling = bool(dangling.any())
-    iterations = 0
+        any_dangling = bool(dangling.any())
+        for _ in range(max_iterations):
+            iterations += 1
+            updated = transposed @ trust
+            if any_dangling:
+                dangling_mass = float(trust[dangling].sum())
+                updated += dangling_mass * restart
+            blended = (1.0 - restart_weight) * updated + restart_weight * restart
+            delta = float(numpy.abs(blended - trust).sum())
+            trust = blended
+            if delta < tolerance:
+                break
+        return trust, iterations
+    matrix = numpy.asarray(matrix, dtype=float)
+    dangling = matrix.sum(axis=1) <= 0.0
+    iteration_matrix = numpy.ascontiguousarray(
+        (1.0 - restart_weight)
+        * (matrix.T + numpy.outer(restart, dangling.astype(float)))
+    )
+    restart_mass = restart_weight * restart
+    absolute = numpy.abs
     for _ in range(max_iterations):
         iterations += 1
-        updated = transposed @ trust
-        if any_dangling:
-            dangling_mass = float(trust[dangling].sum())
-            updated += dangling_mass * restart
-        blended = (1.0 - restart_weight) * updated + restart_weight * restart
-        delta = float(numpy.abs(blended - trust).sum())
+        blended = iteration_matrix @ trust
+        blended += restart_mass
+        delta = float(absolute(blended - trust).sum())
         trust = blended
         if delta < tolerance:
             break
@@ -529,6 +582,7 @@ __all__ = [
     "AUTO_BACKEND",
     "BACKEND_CHOICES",
     "COUPLING_LAYOUT",
+    "DENSE_TRUST_THRESHOLD",
     "FLAT_SPREAD",
     "HAS_NUMPY",
     "PYTHON_BACKEND",
@@ -547,6 +601,7 @@ __all__ = [
     "local_trust_matrix_from_columns",
     "mean_scores",
     "minmax_rescale",
+    "normalize_dense_raw",
     "minmax_rescale_dict",
     "power_iteration",
     "require_numpy",

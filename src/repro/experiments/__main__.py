@@ -17,9 +17,11 @@ e.g. ``sweep robustness --grid scenario=collusion-ring,slander``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro import _profiling
 from repro.errors import ConfigurationError
 from repro.experiments.reporting import format_sweep_summary
 from repro.experiments.runner import EXPERIMENTS, run_experiment
@@ -51,6 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         help="list the available experiments and exit",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-phase wall-clock table (setup / simulate / refresh "
+            "/ metrics) after each experiment — the map for finding the "
+            "next hot path"
+        ),
     )
     return parser
 
@@ -101,6 +112,23 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes (default 1; results are identical either way)",
     )
+    parser.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help=(
+            "tasks per worker submission (default: ~4 chunks per worker); "
+            "records are identical for any chunking"
+        ),
+    )
+    parser.add_argument(
+        "--stream",
+        metavar="PATH",
+        help=(
+            "stream records to this JSONL file in task order as they "
+            "complete (the --out JSON is still written at the end)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=0, help="campaign seed")
     parser.add_argument(
         "--backend",
@@ -148,16 +176,32 @@ def sweep_main(argv: List[str]) -> int:
         )
     except (ConfigurationError, ValueError) as exc:
         parser.error(str(exc))
+    stream_handle = None
+    on_record = None
+    if args.stream:
+        stream_handle = open(args.stream, "w", encoding="utf-8", newline="\n")
+
+        def on_record(record, handle=stream_handle):  # noqa: ANN001 - local callback
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+
     try:
-        result = run_sweep(spec, jobs=args.jobs)
+        result = run_sweep(
+            spec, jobs=args.jobs, chunksize=args.chunksize, on_record=on_record
+        )
     except ConfigurationError as exc:
         parser.error(str(exc))
+    finally:
+        if stream_handle is not None:
+            stream_handle.close()
     print(format_sweep_summary(result.records))
     print()
     print(
         f"{len(result.records)} tasks in {result.wall_time:.2f}s "
         f"({result.tasks_per_second:.2f} tasks/s, jobs={result.jobs})"
     )
+    if args.stream:
+        print(f"records streamed to {args.stream}")
     if args.out:
         result.write_json(args.out)
         print(f"records written to {args.out}")
@@ -188,7 +232,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     for name in names:
         print(f"==== {name} ====")
-        print(run_experiment(name, quick=not args.full))
+        if args.profile:
+            with _profiling.profiled() as timer:
+                report = run_experiment(name, quick=not args.full)
+            print(report)
+            print()
+            print(f"---- {name}: per-phase wall clock ----")
+            print(timer.report())
+        else:
+            print(run_experiment(name, quick=not args.full))
         print()
     return 0
 

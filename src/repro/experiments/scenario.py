@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import _profiling
 from repro._util import clamp
 from repro.core.backend import resolve_backend
 from repro.core.config import SystemSettings
@@ -47,7 +48,7 @@ from repro.simulation.engine import (
     SimulationConfig,
     SimulationResult,
 )
-from repro.socialnet.generators import SocialNetworkSpec, generate_social_network
+from repro.socialnet.generators import SocialNetworkSpec, cached_social_network
 from repro.socialnet.graph import SocialGraph
 
 
@@ -121,13 +122,16 @@ class Scenario:
     # -- construction helpers -------------------------------------------------
 
     def _build_graph(self) -> SocialGraph:
+        # Shared read-only instance: scenario pipelines never mutate the
+        # graph, so contrast pairs and sweep tasks with the same population
+        # spec reuse one generated network.
         spec = SocialNetworkSpec(
             n_users=self.config.n_users,
             topology=self.config.topology,
             malicious_fraction=self.config.malicious_fraction,
             seed=self.config.seed,
         )
-        return generate_social_network(spec)
+        return cached_social_network(spec)
 
     def _build_reputation(self, graph: SocialGraph) -> Optional[ReputationSystem]:
         return reputation_for_graph(
@@ -179,9 +183,10 @@ class Scenario:
 
     def run(self) -> ScenarioResult:
         config = self.config
-        graph = self._build_graph()
-        reputation = self._build_reputation(graph)
-        priserv = self._build_priserv(graph, reputation)
+        with _profiling.phase("setup"):
+            graph = self._build_graph()
+            reputation = self._build_reputation(graph)
+            priserv = self._build_priserv(graph, reputation)
         ledger = priserv.ledger
         tracker = SatisfactionTracker()
 
@@ -235,35 +240,42 @@ class Scenario:
             reputation=reputation,
             disclosure_observer=on_disclosure,
         )
-        simulation = simulator.run()
-        priserv.tick(config.rounds)
+        with _profiling.phase("simulate"):
+            simulation = simulator.run()
+        with _profiling.phase("metrics"):
+            priserv.tick(config.rounds)
 
-        # Satisfaction: each consumer's adequacy per transaction blends its
-        # evolving preference for the partner with the delivered quality.
-        preferences: Dict[str, Dict[str, float]] = {}
-        for transaction in simulation.transactions:
-            consumer = simulator.directory.get(transaction.consumer)
-            provider = simulator.directory.get(transaction.provider)
-            consumer_prefs = preferences.setdefault(consumer.base_id, {})
-            previous = consumer_prefs.get(provider.base_id, 0.5)
-            adequacy = interaction_adequacy(previous, transaction.quality)
-            tracker.observe(consumer.base_id, adequacy)
-            consumer_prefs[provider.base_id] = clamp(0.7 * previous + 0.3 * transaction.quality)
+            # Satisfaction: each consumer's adequacy per transaction blends
+            # its evolving preference for the partner with the delivered
+            # quality.
+            preferences: Dict[str, Dict[str, float]] = {}
+            for transaction in simulation.transactions:
+                consumer = simulator.directory.get(transaction.consumer)
+                provider = simulator.directory.get(transaction.provider)
+                consumer_prefs = preferences.setdefault(consumer.base_id, {})
+                previous = consumer_prefs.get(provider.base_id, 0.5)
+                adequacy = interaction_adequacy(previous, transaction.quality)
+                tracker.observe(consumer.base_id, adequacy)
+                consumer_prefs[provider.base_id] = clamp(
+                    0.7 * previous + 0.3 * transaction.quality
+                )
 
-        reputation_scores = reputation.scores() if reputation is not None else {}
-        ground_truth = simulation.ground_truth_honesty
+            reputation_scores = reputation.scores() if reputation is not None else {}
+            ground_truth = simulation.ground_truth_honesty
 
-        facets = self._global_facets(simulation, reputation, reputation_scores, ledger, tracker)
-        per_user_facets = self._per_user_facets(
-            graph, simulation, reputation, reputation_scores, ledger, tracker
-        )
+            facets = self._global_facets(
+                simulation, reputation, reputation_scores, ledger, tracker
+            )
+            per_user_facets = self._per_user_facets(
+                graph, simulation, reputation, reputation_scores, ledger, tracker
+            )
 
-        model = TrustModel(config.settings, aggregator=config.aggregator)
-        trust = model.evaluate(
-            facets,
-            per_user_facets=per_user_facets,
-            trustworthy_fraction=graph.honest_fraction(),
-        )
+            model = TrustModel(config.settings, aggregator=config.aggregator)
+            trust = model.evaluate(
+                facets,
+                per_user_facets=per_user_facets,
+                trustworthy_fraction=graph.honest_fraction(),
+            )
 
         return ScenarioResult(
             config=config,

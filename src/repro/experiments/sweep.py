@@ -13,13 +13,24 @@ module turns any registered experiment into a campaign:
   task's parameters and its index — so every task is reproducible in
   isolation and independent of worker scheduling;
 * :func:`run_sweep` executes the tasks — inline for ``jobs=1``, through a
-  ``concurrent.futures.ProcessPoolExecutor`` otherwise — and collects
+  :class:`SweepExecutor` otherwise — and collects
   :class:`~repro.experiments.results.ExperimentRecord`s in task order.
 
+The executor keeps a pool of **persistent worker processes** that survive
+across sweeps (pass one ``SweepExecutor`` to several :func:`run_sweep`
+calls to amortize interpreter/import startup), runs each worker with the
+per-process scenario **run cache** enabled (tasks that differ only in
+post-simulation metric knobs share the underlying simulation), schedules
+tasks in contiguous **chunks** (fewer IPC round-trips, better cache
+locality), and supports **streaming record writes**: completed records are
+emitted in task order while later tasks are still running.
+
 Determinism contract: the records (and hence the serialized JSON) depend
-only on the spec, never on the worker count or completion order.  Timing
-lives on :class:`SweepResult` for benchmarks but is excluded from the
-serialized campaign output.
+only on the spec — never on the worker count, the chunk size, the compute
+backend or the completion order.  The caches are memos of pure functions,
+so a cache hit returns exactly what a fresh execution would.  Timing lives
+on :class:`SweepResult` for benchmarks but is excluded from the serialized
+campaign output.
 """
 
 from __future__ import annotations
@@ -32,8 +43,9 @@ import math
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import accel
 from repro.core.backend import resolve_backend
 from repro.errors import ConfigurationError
 from repro.experiments.results import (
@@ -285,6 +297,109 @@ def execute_task(task: SweepTask) -> ExperimentRecord:
         )
 
 
+def _worker_init() -> None:
+    """Initializer for persistent sweep workers.
+
+    Turns the per-process scenario run cache on: within one worker, sweep
+    points that share a simulation identity (same scenario, mechanism,
+    size, seed — differing only in metric knobs) reuse the recorded trace.
+    The cache is a pure-function memo, so records are unchanged; an
+    explicit environment opt-out (``REPRO_ACCEL=no-run-cache`` or ``off``,
+    inherited through the fork/environment) is honoured.
+    """
+    if not accel.env_disabled("run_cache"):
+        accel.set_flags(run_cache=True)
+
+
+def _execute_chunk(tasks: List[SweepTask]) -> List[ExperimentRecord]:
+    """Run one contiguous chunk of tasks in a worker; top-level so it
+    pickles.  One submission per chunk instead of per task keeps IPC and
+    future bookkeeping off the per-task critical path."""
+    return [execute_task(task) for task in tasks]
+
+
+#: Record-streaming callback: called with each record in task-index order.
+RecordCallback = Callable[[ExperimentRecord], None]
+
+
+class SweepExecutor:
+    """A reusable pool of persistent, cache-warm sweep worker processes.
+
+    The underlying ``ProcessPoolExecutor`` is created lazily on first use
+    and kept alive until :meth:`shutdown` (or context-manager exit), so
+    consecutive campaigns — a benchmark's repeats, a driver script's sweep
+    series — pay worker startup and imports once.  Workers run with the
+    scenario run cache enabled (see :func:`_worker_init`).
+    """
+
+    def __init__(self, jobs: int, *, chunksize: Optional[int] = None) -> None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be at least 1")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError("chunksize must be at least 1")
+        self.jobs = jobs
+        self.chunksize = chunksize
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_worker_init
+            )
+        return self._pool
+
+    def _effective_chunksize(self, n_tasks: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        # Four chunks per worker balances scheduling slack against IPC and
+        # cache locality; expand_tasks orders grid points first-key-major,
+        # so contiguous chunks tend to share a simulation identity.
+        return max(1, math.ceil(n_tasks / (self.jobs * 4)))
+
+    def map_records(
+        self, tasks: Sequence[SweepTask], *, on_record: Optional[RecordCallback] = None
+    ) -> List[ExperimentRecord]:
+        """Execute tasks on the pool; stream records in task order.
+
+        ``on_record`` (when given) is invoked for every record as soon as
+        the ordered prefix up to it has completed — long campaigns surface
+        results (and can persist them) while later chunks still run.
+        """
+        if not tasks:
+            return []
+        chunksize = self._effective_chunksize(len(tasks))
+        pool = self._ensure_pool()
+        chunks = [
+            list(tasks[start : start + chunksize])
+            for start in range(0, len(tasks), chunksize)
+        ]
+        futures = {pool.submit(_execute_chunk, chunk): index for index, chunk in enumerate(chunks)}
+        finished: Dict[int, List[ExperimentRecord]] = {}
+        next_chunk = 0
+        ordered: List[ExperimentRecord] = []
+        for future in concurrent.futures.as_completed(futures):
+            finished[futures[future]] = future.result()
+            while next_chunk in finished:
+                for record in finished.pop(next_chunk):
+                    ordered.append(record)
+                    if on_record is not None:
+                        on_record(record)
+                next_chunk += 1
+        return ordered
+
+    def shutdown(self) -> None:
+        """Stop the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
 @dataclass
 class SweepResult:
     """The executed campaign: ordered records plus execution telemetry."""
@@ -316,25 +431,58 @@ class SweepResult:
         write_records_csv(path, self.records)
 
 
-def run_sweep(spec: SweepSpec, *, jobs: int = 1) -> SweepResult:
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+    on_record: Optional[RecordCallback] = None,
+) -> SweepResult:
     """Execute every task of the campaign and collect ordered records.
 
-    ``jobs=1`` runs inline (no pool, easiest to debug); ``jobs>1`` fans the
-    tasks over a process pool.  Records are always returned sorted by task
-    index, so the output is identical either way.
+    ``jobs=1`` runs inline (no pool, easiest to debug); ``jobs>1`` fans
+    chunked tasks over a :class:`SweepExecutor` — pass ``executor`` to
+    reuse an existing pool across campaigns (its ``jobs``/``chunksize``
+    then apply).  ``on_record`` streams records in task order as they
+    complete.  Records are always returned sorted by task index and are
+    byte-identical regardless of worker count, chunking or streaming.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
     tasks = expand_tasks(spec)
     start = time.perf_counter()
-    if jobs == 1 or len(tasks) <= 1:
-        records = [execute_task(task) for task in tasks]
+    if executor is not None:
+        records = executor.map_records(tasks, on_record=on_record)
+        effective_jobs = executor.jobs
+    elif jobs == 1 or len(tasks) <= 1:
+        # Inline execution keeps the run cache on too: identical records
+        # (the cache memoizes a pure function), faster threshold-style
+        # sweeps, no pool to manage.  The memo is dropped afterwards so a
+        # one-shot sweep does not pin simulation products in the caller's
+        # process for its lifetime (worker processes keep theirs by
+        # design — they exist to stay warm).
+        from repro.scenarios.runner import clear_run_cache
+
+        use_cache = not accel.env_disabled("run_cache")
+        try:
+            with accel.override(run_cache=use_cache):
+                records = []
+                for task in tasks:
+                    record = execute_task(task)
+                    records.append(record)
+                    if on_record is not None:
+                        on_record(record)
+        finally:
+            clear_run_cache()
+        effective_jobs = 1
     else:
-        with concurrent.futures.ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            records = list(pool.map(execute_task, tasks))
+        with SweepExecutor(min(jobs, len(tasks)), chunksize=chunksize) as owned:
+            records = owned.map_records(tasks, on_record=on_record)
+        effective_jobs = jobs
     records.sort(key=lambda record: record.task_index)
     wall_time = time.perf_counter() - start
-    return SweepResult(spec=spec, records=records, jobs=jobs, wall_time=wall_time)
+    return SweepResult(spec=spec, records=records, jobs=effective_jobs, wall_time=wall_time)
 
 
 # -- CLI-facing parsing helpers -------------------------------------------------

@@ -104,8 +104,10 @@ class ReputationSystem(abc.ABC):
         determinism.
         """
         if self._dirty or not self._scores:
+            # Inline clamp: this comprehension publishes every score of
+            # every mechanism once per simulation round.
             self._scores = {
-                peer: round(clamp(score), SCORE_DECIMALS)
+                peer: round(0.0 if score < 0.0 else (1.0 if score > 1.0 else score), SCORE_DECIMALS)
                 for peer, score in self.compute_scores().items()
             }
             self._dirty = False

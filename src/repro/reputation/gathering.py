@@ -12,8 +12,9 @@ from __future__ import annotations
 from array import array
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.core import accel
 from repro.simulation.transaction import Feedback
 
 
@@ -75,12 +76,30 @@ class FeedbackStore:
     _columns: FeedbackColumns = field(default_factory=FeedbackColumns)
     _columns_stale: bool = False
     _version: int = 0
+    _epoch: int = 0
+    #: Incrementally maintained participant set: (epoch it is valid for,
+    #: the live set); rebuilt after history rewrites.
+    _participants_state: Optional[Tuple[int, Set[str]]] = None
+    _participants_sorted: Optional[List[str]] = None
 
     @property
     def version(self) -> int:
         """Monotone change counter: bumps on every mutation, including
         :meth:`clear` — unlike ``len()``, safe to key caches on."""
         return self._version
+
+    @property
+    def epoch(self) -> int:
+        """History-rewrite counter: bumps when stored feedback is *removed*
+        (eviction, :meth:`clear`), never on plain appends.
+
+        Incremental consumers hold an ``(epoch, position)`` watermark into
+        the column log: unchanged epoch means everything before ``position``
+        is still exactly what they folded in, so only the appended tail needs
+        processing; a changed epoch means the log was rewritten and the
+        consumer must cold-start.
+        """
+        return self._epoch
 
     def add(self, feedback: Feedback) -> None:
         bucket = self._by_subject[feedback.subject]
@@ -94,10 +113,20 @@ class FeedbackStore:
             # The incremental column log cannot cheaply delete; rebuild it on
             # the next columnar access instead (evictions are the rare path).
             self._columns_stale = True
+            self._epoch += 1
         if feedback.rater is not None:
             self._by_rater[feedback.rater].append(feedback)
         if not self._columns_stale:
             self._columns.append(feedback)
+        state = self._participants_state
+        if state is not None and state[0] == self._epoch:
+            participants = state[1]
+            if feedback.subject not in participants:
+                participants.add(feedback.subject)
+                self._participants_sorted = None
+            if feedback.rater is not None and feedback.rater not in participants:
+                participants.add(feedback.rater)
+                self._participants_sorted = None
         self._count += 1
         self._version += 1
 
@@ -136,6 +165,26 @@ class FeedbackStore:
         ids.update(self.raters())
         return ids
 
+    def sorted_participants(self) -> List[str]:
+        """Participants in sorted order, cached between refreshes.
+
+        The participant set is maintained incrementally: :meth:`add` folds
+        each report's subject/rater into the live set (invalidating the
+        sorted view only when someone genuinely new appears), and a history
+        rewrite (eviction, :meth:`clear`) bumps the epoch, which rebuilds
+        the set from the surviving buckets — so a rater whose only report
+        was evicted and who later returns is re-admitted correctly.  The
+        O(n log n) sort per refresh becomes O(1) on the common no-new-peer
+        round.  Treat the result as read-only.
+        """
+        state = self._participants_state
+        if state is None or state[0] != self._epoch:
+            self._participants_state = (self._epoch, self.participants())
+            self._participants_sorted = None
+        if self._participants_sorted is None:
+            self._participants_sorted = sorted(self._participants_state[1])
+        return self._participants_sorted
+
     def anonymous_fraction(self) -> float:
         """Fraction of stored feedback submitted without a rater identity."""
         if self._count == 0:
@@ -155,6 +204,7 @@ class FeedbackStore:
         self._columns = FeedbackColumns()
         self._columns_stale = False
         self._version += 1
+        self._epoch += 1
 
 
 class LocalTrustBuilder:
@@ -166,22 +216,132 @@ class LocalTrustBuilder:
     feedback carries no rater, so it cannot contribute to pairwise local
     trust — mechanisms that need it simply see less evidence, which is the
     accuracy cost of anonymity the ablation experiment quantifies.
+
+    Pairwise totals are maintained *incrementally*: every report is a ``±1``
+    delta on its ``(rater, subject)`` pair, so the builder keeps a running
+    ledger and folds only feedback appended since the previous call (an
+    ``(epoch, position)`` watermark into the store's column log).  The
+    deltas are integers, which float arithmetic represents exactly in any
+    accumulation order, so the incremental ledger is *bitwise* identical to
+    a full rescan — including row/column insertion order, because appends
+    fold in the same global order a rescan walks.  When
+    ``accel.flags().incremental_refresh`` is off the ledger is rebuilt from
+    scratch on every call (the cold-pipeline reference behaviour), and a
+    store-history rewrite (eviction, ``clear``) always forces a rebuild.
     """
 
     def __init__(self, store: FeedbackStore) -> None:
         self._store = store
+        self._totals: Dict[str, Dict[str, float]] = {}
+        self._watermark: Tuple[int, int] = (-1, 0)
+        #: Dense raw-total matrix cache: (peer-id tuple, epoch, position,
+        #: ndarray).  See :meth:`dense_raw_totals`.
+        self._dense_state: Optional[Tuple[Tuple[str, ...], int, int, object]] = None
+
+    def _fold_totals(
+        self, totals: Dict[str, Dict[str, float]], columns: FeedbackColumns, start: int
+    ) -> None:
+        """Fold column-log entries ``[start:]`` into the pairwise ledger."""
+        subjects = columns.subjects
+        raters = columns.raters
+        positives = columns.positives
+        for position in range(start, len(subjects)):
+            rater = raters[position]
+            if rater is None:
+                continue
+            row = totals.get(rater)
+            if row is None:
+                row = totals[rater] = {}
+            delta = 1.0 if positives[position] else -1.0
+            row[subjects[position]] = row.get(subjects[position], 0.0) + delta
+
+    def pair_totals(self) -> Dict[str, Dict[str, float]]:
+        """Signed pairwise totals ``{rater: {subject: positives - negatives}}``.
+
+        Unclipped (rows may carry zero or negative entries) and live: treat
+        the result as read-only.  Pairs stay present once rated, which is
+        exactly the edge set of PowerTrust's trust overlay.
+        """
+        columns = self._store.columns()
+        epoch = self._store.epoch
+        if not accel.flags().incremental_refresh:
+            totals: Dict[str, Dict[str, float]] = {}
+            self._fold_totals(totals, columns, 0)
+            # Keep the ledger consistent so flipping the flag mid-life stays
+            # correct: the cold result *is* the up-to-date ledger.
+            self._totals = totals
+            self._watermark = (epoch, len(columns))
+            return totals
+        if self._watermark[0] != epoch:
+            self._totals = {}
+            self._watermark = (epoch, 0)
+        position = self._watermark[1]
+        if position < len(columns):
+            self._fold_totals(self._totals, columns, position)
+            self._watermark = (epoch, len(columns))
+        return self._totals
 
     def raw_local_trust(self) -> Dict[str, Dict[str, float]]:
         """``{rater: {subject: max(0, positives - negatives)}}``."""
-        totals: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
-        for rater in self._store.raters():
-            for feedback in self._store.by(rater):
-                delta = 1.0 if feedback.positive else -1.0
-                totals[rater][feedback.subject] += delta
         return {
             rater: {subject: max(0.0, value) for subject, value in row.items()}
-            for rater, row in totals.items()
+            for rater, row in self.pair_totals().items()
         }
+
+    def dense_raw_totals(self, positions: Dict[str, int], n: int):
+        """Signed pair totals as a dense ``(n, n)`` float array, maintained
+        incrementally for a fixed peer layout.
+
+        ``positions`` maps every current participant to its dense index
+        (the :class:`~repro.core.backend.PeerIndex` layout).  While the
+        layout is unchanged, each refresh scatters only the newly appended
+        reports into the cached matrix; a layout change (a new participant
+        appeared, identities rebound) rebuilds from the pair ledger.  The
+        entries are integer-valued sums of ``±1``, so the cached matrix is
+        bitwise identical to a from-scratch scatter.  Callers must treat
+        the returned array as read-only (take a clipped/normalized copy).
+        """
+        from repro.core.backend import require_numpy
+
+        numpy = require_numpy()
+        columns = self._store.columns()
+        epoch = self._store.epoch
+        total = len(columns)
+        # Insertion order of a PeerIndex position map *is* the dense layout.
+        key = tuple(positions)
+        state = self._dense_state
+        if (
+            state is not None
+            and state[0] == key
+            and state[1] == epoch
+            and state[2] <= total
+        ):
+            raw = state[3]
+            start = state[2]
+            if start < total:
+                subjects = columns.subjects
+                raters = columns.raters
+                positives = columns.positives
+                for index in range(start, total):
+                    rater = raters[index]
+                    if rater is None:
+                        continue
+                    row = positions[rater]
+                    column = positions[subjects[index]]
+                    raw[row, column] += 1.0 if positives[index] else -1.0
+        else:
+            raw = numpy.zeros((n, n), dtype=float)
+            for rater, row_totals in self.pair_totals().items():
+                row = positions.get(rater)
+                if row is None:
+                    continue
+                raw_row = raw[row]
+                for subject, value in row_totals.items():
+                    column = positions.get(subject)
+                    if column is not None:
+                        raw_row[column] = value
+        self._dense_state = (key, epoch, total, raw)
+        return raw
 
     def normalized_local_trust(
         self, peers: Optional[Iterable[str]] = None

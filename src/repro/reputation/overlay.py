@@ -14,14 +14,20 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
-from repro.reputation.gathering import FeedbackStore
+from repro.reputation.gathering import FeedbackStore, LocalTrustBuilder
 
 
 class TrustOverlayNetwork:
     """Directed rated-whom overlay built from a feedback store."""
 
-    def __init__(self, store: FeedbackStore) -> None:
+    def __init__(
+        self, store: FeedbackStore, *, builder: Optional[LocalTrustBuilder] = None
+    ) -> None:
         self._store = store
+        #: Pairwise rated-whom ledger shared with the owning mechanism (so
+        #: the overlay rides the same incrementally maintained totals) or a
+        #: private one when the overlay stands alone.
+        self._builder = builder or LocalTrustBuilder(store)
         #: Centrality memo keyed by the store's monotone version (which
         #: bumps on clear() too, unlike the report count), so the repeated
         #: power-node selection rounds of one refresh rebuild the overlay
@@ -48,18 +54,35 @@ class TrustOverlayNetwork:
         return overlay
 
     def in_degree_centrality(self) -> Dict[str, float]:
-        """Normalized in-degree of every node: how widely a peer was rated."""
+        """Normalized in-degree of every node: how widely a peer was rated.
+
+        Computed straight from the pairwise rated-whom ledger — the overlay
+        node set is every subject and rater, its edge set every distinct
+        ``(rater, subject)`` pair, so the in-degree of a peer is the number
+        of distinct raters that assessed it.  The arithmetic mirrors
+        ``networkx.in_degree_centrality`` term for term (multiply by the
+        reciprocal of ``n - 1``) so the values equal the historical
+        nx-backed computation bitwise, without building a DiGraph per
+        refresh.
+        """
         version = self._store.version
         if self._centrality_cache is not None and self._centrality_cache[0] == version:
             return self._centrality_cache[1]
-        overlay = self.build()
-        if overlay.number_of_nodes() == 0:
+        nodes = set(self._store.subjects())
+        nodes.update(self._store.raters())
+        if not nodes:
             centrality: Dict[str, float] = {}
+        elif len(nodes) == 1:
+            # nx.in_degree_centrality returns 1 for every node of a
+            # singleton graph (the n-1 normalization is undefined).
+            centrality = {node: 1.0 for node in nodes}
         else:
-            centrality = {
-                node: float(value)
-                for node, value in nx.in_degree_centrality(overlay).items()
-            }
+            scale = 1.0 / (len(nodes) - 1.0)
+            centrality = {node: 0.0 for node in nodes}
+            for row in self._builder.pair_totals().values():
+                for subject in row:
+                    centrality[subject] += 1.0
+            centrality = {node: degree * scale for node, degree in centrality.items()}
         self._centrality_cache = (version, centrality)
         return centrality
 

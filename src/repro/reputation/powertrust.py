@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro._util import require_unit_interval
+from repro.core import accel
 from repro.core import backend as backend_kernels
 from repro.core.backend import VECTORIZED_BACKEND, PeerIndex
 from repro.errors import ConfigurationError
@@ -73,7 +74,10 @@ class PowerTrust(ReputationSystem):
         self.max_iterations = int(max_iterations)
         self.power_node_rounds = int(power_node_rounds)
         self.tolerance = float(tolerance)
-        self.overlay = TrustOverlayNetwork(self.store)
+        # The overlay shares this mechanism's local-trust builder so its
+        # in-degree centrality reads the same incrementally maintained pair
+        # ledger instead of rescanning the store per refresh.
+        self.overlay = TrustOverlayNetwork(self.store, builder=self.local_trust)
         self.power_nodes: List[str] = []
 
     # -- aggregation helpers -------------------------------------------------
@@ -124,7 +128,7 @@ class PowerTrust(ReputationSystem):
     # -- scoring ---------------------------------------------------------------
 
     def compute_scores(self) -> Dict[str, float]:
-        peers = sorted(self.store.participants())
+        peers = list(self.store.sorted_participants())
         if not peers:
             return {}
         if self.resolved_backend == VECTORIZED_BACKEND:
@@ -149,9 +153,22 @@ class PowerTrust(ReputationSystem):
 
         return self._rescale(trust)
 
+    def _local_trust_matrix(self, index: PeerIndex):
+        """Row-normalized ``C`` from the incremental dense raw matrix /
+        pair ledger (or a cold store rescan when incremental refresh is
+        off) — bitwise identical either way, see
+        :meth:`EigenTrust._local_trust_matrix`."""
+        if (
+            accel.flags().incremental_refresh
+            and len(index) < backend_kernels.DENSE_TRUST_THRESHOLD
+        ):
+            raw = self.local_trust.dense_raw_totals(index.position_map, len(index))
+            return backend_kernels.normalize_dense_raw(raw)
+        return backend_kernels.local_trust_matrix_from_columns(self.store.columns(), index)
+
     def _compute_vectorized(self, peers: List[str]) -> Dict[str, float]:
         index = PeerIndex(peers)
-        matrix = backend_kernels.local_trust_matrix_from_columns(self.store.columns(), index)
+        matrix = self._local_trust_matrix(index)
 
         power_nodes: List[str] = list(self.power_nodes)
         trust_map: Dict[str, float] = {}
@@ -179,3 +196,13 @@ class PowerTrust(ReputationSystem):
     @staticmethod
     def _rescale(trust: Dict[str, float]) -> Dict[str, float]:
         return backend_kernels.minmax_rescale_dict(trust)
+
+    def reset(self) -> None:
+        """Drop evidence, cached scores *and* the sticky power-node set.
+
+        The power nodes are derived from evidence, so letting them survive
+        a reset would warm-start the next aggregation from state the store
+        no longer supports.
+        """
+        super().reset()
+        self.power_nodes = []

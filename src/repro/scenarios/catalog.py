@@ -487,16 +487,50 @@ def get_scenario(name: str) -> ScenarioSpec:
         ) from None
 
 
+#: Memo of built campaigns keyed by (scenario, rounds, knobs).  Campaigns
+#: without a churn override are safe to share: their events are frozen
+#: dataclasses and sticky-group state lives in the per-run
+#: :class:`~repro.scenarios.campaign.CampaignDriver`.  Campaigns that carry
+#: a churn model are built fresh every time — a
+#: :class:`~repro.simulation.churn.PhasedChurnModel` counts rounds, and
+#: although the engine rewinds it at simulator construction, two
+#: simulators *constructed* before either *runs* would share (and corrupt)
+#: one counter.  Sweeps and robustness matrices rebuild the same few
+#: campaigns thousands of times otherwise.
+_CAMPAIGN_CACHE_SIZE = 64
+_CAMPAIGN_CACHE: Dict[Tuple, AttackCampaign] = {}
+
+
+def clear_campaign_cache() -> None:
+    """Drop every memoized campaign (tests use this)."""
+    _CAMPAIGN_CACHE.clear()
+
+
 def build_campaign(name: str, *, rounds: int, **overrides: object) -> AttackCampaign:
     """Build the named scenario's campaign for a round budget.
 
     ``overrides`` replace catalog knob defaults; unknown knobs raise.  Graph
     knobs (e.g. sybil counts) are accepted here for validation but consumed
-    by :func:`setup_scenario_graph`.
+    by :func:`setup_scenario_graph`.  Repeated calls with the same
+    arguments return the same campaign object when it is stateless (no
+    churn override); campaigns carrying a churn model are always fresh.
     """
     spec = get_scenario(name)
     knobs = spec.merged_knobs(overrides)
-    return spec.build(rounds=rounds, **knobs)
+    try:
+        key: Optional[Tuple] = (name, rounds, tuple(sorted(knobs.items())))
+    except TypeError:
+        key = None  # unhashable knob values: build fresh
+    if key is not None:
+        cached = _CAMPAIGN_CACHE.get(key)
+        if cached is not None:
+            return cached
+    campaign = spec.build(rounds=rounds, **knobs)
+    if key is not None and campaign.churn is None:
+        if len(_CAMPAIGN_CACHE) >= _CAMPAIGN_CACHE_SIZE:
+            _CAMPAIGN_CACHE.clear()
+        _CAMPAIGN_CACHE[key] = campaign
+    return campaign
 
 
 def setup_scenario_graph(

@@ -23,9 +23,10 @@ records are byte-identical across compute backends and worker counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro._util import mean
+from repro.errors import ConfigurationError
 from repro.reputation.accuracy import score_separation, spearman_rank_correlation
 from repro.simulation.engine import InteractionSimulator
 
@@ -35,13 +36,21 @@ NEVER = -1
 
 @dataclass(frozen=True)
 class RoundObservation:
-    """One round's robustness snapshot."""
+    """One round's robustness snapshot.
+
+    ``rank_correlation`` is ``None`` when the trace runs in its default
+    ``correlation="final"`` mode, where only the last round's correlation —
+    the one the robustness metrics report — is computed (rank correlation
+    is the most expensive per-round statistic, and intermediate values were
+    never consumed).  Construct the trace with ``correlation="all"`` to get
+    the per-round series.
+    """
 
     round_index: int
     honest_mean: float
     attacker_mean: float
     separation: float
-    rank_correlation: float
+    rank_correlation: Optional[float]
     malicious_rate: float
     online_peers: int
 
@@ -56,8 +65,17 @@ class ScenarioTrace:
     snapping back toward the default.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, correlation: str = "final") -> None:
+        if correlation not in ("final", "all"):
+            raise ConfigurationError(
+                f"correlation must be 'final' or 'all', got {correlation!r}"
+            )
         self.observations: List[RoundObservation] = []
+        self._correlation_mode = correlation
+        #: (scores, quality truth) of the latest round, for the lazy final
+        #: correlation; replaced wholesale every round, never mutated.
+        self._final_inputs: Optional[Tuple[Dict[str, float], Dict[str, float]]] = None
+        self._final_correlation: Optional[Tuple[int, float]] = None
 
     def on_round_start(self, simulator: InteractionSimulator, round_index: int) -> None:
         """Traces only observe; nothing happens at round start."""
@@ -89,6 +107,13 @@ class ScenarioTrace:
         # User.is_honest, so it equals honest_mean - attacker_mean whenever
         # both classes are populated.
         separation = score_separation(current_scores, honesty_truth)
+        if self._correlation_mode == "all":
+            rank_correlation: Optional[float] = spearman_rank_correlation(
+                current_scores, quality_truth
+            )
+        else:
+            rank_correlation = None
+            self._final_inputs = (current_scores, quality_truth)
         last_round = simulator.metrics.rounds[-1]
         self.observations.append(
             RoundObservation(
@@ -96,11 +121,32 @@ class ScenarioTrace:
                 honest_mean=honest_mean,
                 attacker_mean=attacker_mean,
                 separation=separation,
-                rank_correlation=spearman_rank_correlation(current_scores, quality_truth),
+                rank_correlation=rank_correlation,
                 malicious_rate=last_round.malicious_rate,
                 online_peers=last_round.online_peers,
             )
         )
+
+    def final_rank_correlation(self) -> float:
+        """Rank correlation of the last recorded round (0.0 with no rounds).
+
+        In ``correlation="final"`` mode this is where the (single) Spearman
+        computation happens — identical input, identical value to what the
+        per-round mode records for the last round.
+        """
+        if not self.observations:
+            return 0.0
+        final = self.observations[-1]
+        if final.rank_correlation is not None:
+            return final.rank_correlation
+        if self._final_inputs is None:  # pragma: no cover - defensive
+            return 0.0
+        cached = self._final_correlation
+        if cached is not None and cached[0] == final.round_index:
+            return cached[1]
+        value = spearman_rank_correlation(*self._final_inputs)
+        self._final_correlation = (final.round_index, value)
+        return value
 
     def separation_series(self) -> List[float]:
         return [observation.separation for observation in self.observations]
@@ -135,6 +181,7 @@ def evaluate_trace(
     *,
     detect_threshold: float = 0.1,
     recovery_fraction: float = 0.8,
+    final_rank_correlation: Optional[float] = None,
 ) -> RobustnessMetrics:
     """Condense a per-round trace into :class:`RobustnessMetrics`.
 
@@ -146,6 +193,11 @@ def evaluate_trace(
     detection threshold, so a mechanism with no pre-attack signal cannot
     "recover" trivially).  Both are :data:`NEVER` (-1) when the run ends
     first.
+
+    ``final_rank_correlation`` supplies the last round's correlation when
+    the trace ran in lazy ``correlation="final"`` mode (pass
+    ``trace.final_rank_correlation()``); omitted, it is read off the final
+    observation (0.0 when that was not computed).
     """
     if not observations:
         return RobustnessMetrics(
@@ -179,12 +231,16 @@ def evaluate_trace(
             break
 
     final = observations[-1]
+    if final_rank_correlation is None:
+        final_rank_correlation = (
+            final.rank_correlation if final.rank_correlation is not None else 0.0
+        )
     return RobustnessMetrics(
         baseline_separation=baseline,
         attack_separation=mean([o.separation for o in attack]) if attack else 0.0,
         post_separation=mean([o.separation for o in post]) if post else 0.0,
         final_separation=final.separation,
-        final_rank_correlation=final.rank_correlation,
+        final_rank_correlation=final_rank_correlation,
         time_to_detect=time_to_detect,
         time_to_recover=time_to_recover,
         attack_malicious_rate=mean([o.malicious_rate for o in attack]) if attack else 0.0,

@@ -7,6 +7,18 @@ interaction simulation and condenses the trace into
 the robustness experiment (and any sweep over it) repeats per
 (scenario, mechanism) cell.
 
+Two acceleration layers sit in front of the simulation, both pure with
+respect to results (see :mod:`repro.core.accel`):
+
+* the **setup cache** (:mod:`repro.scenarios.setup`) shares the generated
+  graph and the directory plan across every mechanism column of a scenario
+  row — only setup is shared; the simulation still runs per mechanism,
+  since provider selection is score-dependent;
+* the **run cache** (off by default; sweep workers enable it) memoizes
+  whole simulations per process, so sweep points that differ only in
+  post-simulation metric knobs (detection threshold, recovery fraction)
+  re-evaluate the recorded trace instead of re-simulating.
+
 :func:`reputation_for_graph` is the shared mechanism builder (EigenTrust's
 pre-trusted founders, anonymous-feedback wrapping) also used by the
 end-to-end :class:`~repro.experiments.scenario.Scenario`.
@@ -14,26 +26,27 @@ end-to-end :class:`~repro.experiments.scenario.Scenario`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
+from repro import _profiling
+from repro.core import accel
 from repro.core.backend import resolve_backend
 from repro.errors import ConfigurationError
 from repro.reputation import make_reputation_system
 from repro.reputation.anonymous import AnonymousFeedbackReputation
 from repro.reputation.base import ReputationSystem
 from repro.scenarios.campaign import AttackCampaign, CampaignDriver
-from repro.scenarios.catalog import build_campaign, get_scenario, setup_scenario_graph
+from repro.scenarios.catalog import build_campaign, get_scenario
 from repro.scenarios.metrics import RobustnessMetrics, ScenarioTrace, evaluate_trace
+from repro.scenarios.setup import scenario_setup
 from repro.simulation.engine import (
     InteractionSimulator,
     SimulationConfig,
     SimulationResult,
 )
-from repro.simulation.rng import RandomStreams
-from repro.socialnet.generators import SocialNetworkSpec, generate_social_network
 from repro.socialnet.graph import SocialGraph
-from repro.socialnet.presets import preset_spec
 
 
 def reputation_for_graph(
@@ -97,6 +110,29 @@ class ScenarioRunConfig:
         resolve_backend(self.backend)
         get_scenario(self.scenario)  # fail fast on unknown scenario names
 
+    def simulation_key(self) -> Optional[Tuple]:
+        """Identity of everything that shapes the *simulation* (not the
+        post-hoc metric evaluation): the run-cache key.  ``None`` when the
+        knobs are unhashable."""
+        try:
+            knob_key = tuple(sorted(self.knobs.items()))
+        except TypeError:
+            return None
+        return (
+            self.scenario,
+            self.mechanism,
+            self.n_users,
+            self.rounds,
+            self.seed,
+            self.backend,
+            self.topology,
+            self.malicious_fraction,
+            self.interactions_per_peer,
+            self.sharing_level,
+            self.preset,
+            knob_key,
+        )
+
 
 @dataclass
 class ScenarioRunResult:
@@ -111,65 +147,102 @@ class ScenarioRunResult:
     final_scores: Dict[str, float]
 
 
+#: Per-process memo of executed simulations (run cache).  Sized to hold one
+#: full robustness matrix pass (7 catalog scenarios × 5 mechanisms) with
+#: headroom, so threshold-grid re-evaluations hit across whole passes.
+#: Entries keep the full simulation products (roughly a few MB each at
+#: laptop-scale populations), which is why the cache is opt-in.
+_RUN_CACHE_SIZE = 48
+_RUN_CACHE: "OrderedDict[Tuple, ScenarioRunResult]" = OrderedDict()
+
+
+def clear_run_cache() -> None:
+    """Drop every memoized scenario run (tests and benchmarks use this)."""
+    _RUN_CACHE.clear()
+
+
+def _evaluate(config: ScenarioRunConfig, base: ScenarioRunResult) -> ScenarioRunResult:
+    """Re-derive the metric layer of a finished run for (possibly new)
+    detection/recovery knobs.  Everything upstream of ``evaluate_trace`` is
+    shared with the cached run; the trace observations are frozen rows."""
+    robustness = evaluate_trace(
+        base.trace.observations,
+        base.campaign.window,
+        detect_threshold=config.detect_threshold,
+        recovery_fraction=config.recovery_fraction,
+        final_rank_correlation=base.trace.final_rank_correlation(),
+    )
+    return ScenarioRunResult(
+        config=config,
+        campaign=base.campaign,
+        graph=base.graph,
+        simulation=base.simulation,
+        trace=base.trace,
+        robustness=robustness,
+        final_scores=base.final_scores,
+    )
+
+
 def run_scenario(config: Optional[ScenarioRunConfig] = None, **overrides) -> ScenarioRunResult:
     """Run one catalog scenario against one mechanism.
 
     Keyword overrides build a :class:`ScenarioRunConfig` when none is given.
     The whole pipeline draws only from seed-derived named streams, and the
     robustness numbers come from the mechanism's quantized published scores,
-    so results are byte-stable across compute backends and worker processes.
+    so results are byte-stable across compute backends, worker processes
+    and every acceleration flag.
     """
     if config is None:
         config = ScenarioRunConfig(**overrides)
     elif overrides:
         raise ConfigurationError("pass either a config object or keyword overrides")
 
-    if config.preset is not None:
-        spec = preset_spec(config.preset, seed=config.seed)
-    else:
-        spec = SocialNetworkSpec(
-            n_users=config.n_users,
-            topology=config.topology,
-            malicious_fraction=config.malicious_fraction,
-            seed=config.seed,
+    run_key = config.simulation_key() if accel.flags().run_cache else None
+    if run_key is not None:
+        cached = _RUN_CACHE.get(run_key)
+        if cached is not None:
+            _RUN_CACHE.move_to_end(run_key)
+            with _profiling.phase("metrics"):
+                return _evaluate(config, cached)
+
+    with _profiling.phase("setup"):
+        setup = scenario_setup(config)
+        graph = setup.graph
+        campaign = build_campaign(config.scenario, rounds=config.rounds, **config.knobs)
+        reputation = reputation_for_graph(
+            graph, config.mechanism, seed=config.seed, backend=config.backend
         )
-    graph = generate_social_network(spec)
-    # Population changes (sybil injection) draw from their own derived
-    # stream so the generator's draws stay untouched.
-    setup_rng = RandomStreams(config.seed).stream("scenario-setup")
-    setup_scenario_graph(config.scenario, graph, setup_rng, **config.knobs)
+        driver = CampaignDriver(campaign)
+        trace = ScenarioTrace()
 
-    campaign = build_campaign(config.scenario, rounds=config.rounds, **config.knobs)
-    reputation = reputation_for_graph(
-        graph, config.mechanism, seed=config.seed, backend=config.backend
-    )
-    driver = CampaignDriver(campaign)
-    trace = ScenarioTrace()
-
-    sim_config = SimulationConfig(
-        rounds=config.rounds,
-        sharing_level=config.sharing_level,
-        interactions_per_peer=config.interactions_per_peer,
-        seed=config.seed,
-        backend=config.backend,
-    )
-    if campaign.churn is not None:
-        sim_config.churn = campaign.churn
-    simulator = InteractionSimulator(
-        graph,
-        sim_config,
-        reputation=reputation,
-        hooks=(driver, trace),
-    )
-    simulation = simulator.run()
-    robustness = evaluate_trace(
-        trace.observations,
-        campaign.window,
-        detect_threshold=config.detect_threshold,
-        recovery_fraction=config.recovery_fraction,
-    )
-    final_scores = reputation.scores() if reputation is not None else {}
-    return ScenarioRunResult(
+        sim_config = SimulationConfig(
+            rounds=config.rounds,
+            sharing_level=config.sharing_level,
+            interactions_per_peer=config.interactions_per_peer,
+            seed=config.seed,
+            backend=config.backend,
+        )
+        if campaign.churn is not None:
+            sim_config.churn = campaign.churn
+        simulator = InteractionSimulator(
+            graph,
+            sim_config,
+            reputation=reputation,
+            hooks=(driver, trace),
+            directory_plan=setup.plan,
+        )
+    with _profiling.phase("simulate"):
+        simulation = simulator.run()
+    with _profiling.phase("metrics"):
+        robustness = evaluate_trace(
+            trace.observations,
+            campaign.window,
+            detect_threshold=config.detect_threshold,
+            recovery_fraction=config.recovery_fraction,
+            final_rank_correlation=trace.final_rank_correlation(),
+        )
+        final_scores = reputation.scores() if reputation is not None else {}
+    result = ScenarioRunResult(
         config=config,
         campaign=campaign,
         graph=graph,
@@ -178,3 +251,8 @@ def run_scenario(config: Optional[ScenarioRunConfig] = None, **overrides) -> Sce
         robustness=robustness,
         final_scores=final_scores,
     )
+    if run_key is not None:
+        _RUN_CACHE[run_key] = result
+        while len(_RUN_CACHE) > _RUN_CACHE_SIZE:
+            _RUN_CACHE.popitem(last=False)
+    return result

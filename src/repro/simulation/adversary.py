@@ -55,9 +55,12 @@ class BehaviorModel:
         Privacy-concerned users hold back part of their evidence even when
         the system asks for it; this is exactly the "the less a user trusts
         towards the system, the less she discloses information" lever.
+        ``base_sharing`` is validated where it is configured
+        (:class:`~repro.simulation.engine.SimulationConfig`), not here —
+        this runs once per consumer per round.
         """
-        require_unit_interval(base_sharing, "base_sharing")
-        return clamp(base_sharing * (1.0 - 0.5 * user.privacy_concern))
+        probability = base_sharing * (1.0 - 0.5 * user.privacy_concern)
+        return 0.0 if probability < 0.0 else (1.0 if probability > 1.0 else probability)
 
     def provides_service(self, user: User, rng: random.Random) -> bool:
         """Whether the peer accepts to serve an incoming request at all."""

@@ -20,19 +20,21 @@ reputation and privacy facets.
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
+from repro import _profiling
 from repro._util import require_unit_interval
 from repro.core.backend import (
     VECTORIZED_BACKEND,
     interaction_counts,
-    lexicographic_argmax,
-    require_numpy,
     resolve_backend,
 )
 from repro.errors import ConfigurationError
 from repro.simulation.adversary import (
+    BehaviorModel,
     CollusiveBehavior,
     WhitewasherBehavior,
     behavior_for_user,
@@ -193,6 +195,80 @@ class SimulationResult:
         return len(self.disclosed_feedbacks) / len(self.feedbacks)
 
 
+@dataclass(frozen=True)
+class DirectoryPlan:
+    """A deterministic blueprint of the peer directory.
+
+    Building a :class:`PeerDirectory` draws behaviour assignments from the
+    engine's ``"behavior"`` stream; those draws depend only on the graph,
+    the seed and the adversary-mix fractions, so scenario runs that share a
+    setup (every mechanism column of a robustness row) repeat them
+    needlessly.  A plan captures the *decisions* — per user, a zero-argument
+    factory for its behaviour — without any mutable state: materializing it
+    creates fresh :class:`Peer` and behaviour objects every time, so
+    restored directories are exactly what a cold build would produce.
+
+    Skipping the draws is stream-exact: ``"behavior"`` is its own named
+    stream, consumed only during directory construction, so every other
+    stream's sequence is untouched whether a plan is supplied or not.
+    """
+
+    entries: Tuple[Tuple[str, Callable[[], BehaviorModel]], ...]
+
+    def materialize(self, graph: SocialGraph) -> List[Peer]:
+        """Fresh peers (fresh behaviour instances) for the planned graph."""
+        user_of = graph.user
+        return [
+            Peer(user=user_of(user_id), behavior=factory())
+            for user_id, factory in self.entries
+        ]
+
+
+def _collusive_factory(ring: frozenset) -> Callable[[], BehaviorModel]:
+    return lambda: CollusiveBehavior(ring=set(ring))
+
+
+def build_directory_plan(
+    graph: SocialGraph,
+    rng: random.Random,
+    *,
+    traitor_fraction: float = 0.0,
+    whitewasher_fraction: float = 0.0,
+    selfish_fraction: float = 0.0,
+    collusion_fraction: float = 0.0,
+) -> DirectoryPlan:
+    """Draw the directory's behaviour decisions into a reusable plan.
+
+    Consumes the rng exactly as the historical directory build did — one
+    :func:`behavior_for_user` call per user in graph order, then one
+    ``sample`` for the collusion ring — so building a plan and materializing
+    it yields the same directory as the old inline construction.
+    """
+    decisions: List[List[object]] = []
+    for user in graph.users():
+        behavior = behavior_for_user(
+            user,
+            rng=rng,
+            traitor_fraction=traitor_fraction,
+            whitewasher_fraction=whitewasher_fraction,
+            selfish_fraction=selfish_fraction,
+        )
+        # Every assignable behaviour is default-constructible, so the class
+        # itself is the factory; the throwaway instance only fixes the draw.
+        decisions.append([user.user_id, type(behavior), user.is_honest])
+    if collusion_fraction > 0.0:
+        dishonest = [decision for decision in decisions if not decision[2]]
+        if len(dishonest) >= 2:
+            ring_size = max(2, int(round(collusion_fraction * len(dishonest))))
+            ring_members = rng.sample(dishonest, min(ring_size, len(dishonest)))
+            ring_ids = {member[0] for member in ring_members}
+            for member in ring_members:
+                member[1] = _collusive_factory(frozenset(ring_ids - {member[0]}))
+    return DirectoryPlan(
+        entries=tuple((user_id, factory) for user_id, factory, _ in decisions)
+    )
+
+
 class InteractionSimulator:
     """Round-based peer-to-peer interaction simulation over a social graph."""
 
@@ -204,6 +280,7 @@ class InteractionSimulator:
         reputation: Optional[ReputationProtocol] = None,
         disclosure_observer: Optional[DisclosureObserver] = None,
         hooks: Sequence[RoundHook] = (),
+        directory_plan: Optional[DirectoryPlan] = None,
     ) -> None:
         if len(graph) < 2:
             raise ConfigurationError("the simulation needs at least two peers")
@@ -213,6 +290,13 @@ class InteractionSimulator:
         self._disclosure_observer = disclosure_observer
         self._hooks: tuple = tuple(hooks)
         self._streams = RandomStreams(self.config.seed)
+        #: Hot-loop stream handles; hoisted so per-transaction code skips the
+        #: per-call name lookup.  Streams are independent per name, so eager
+        #: creation never changes any sequence.
+        self._rng_selection = self._streams.stream("selection")
+        self._rng_transactions = self._streams.stream("transactions")
+        self._rng_feedback = self._streams.stream("feedback")
+        self._directory_plan = directory_plan
         self.directory = self._build_directory()
         self.metrics = MetricsCollector()
         self._transactions: List[Transaction] = []
@@ -229,15 +313,14 @@ class InteractionSimulator:
         #: mechanism per transaction (peers act on the scores published at
         #: the start of the round, and recomputation happens once per round).
         self._round_scores: Dict[str, float] = {}
-        #: Round-scoped caches, rebuilt by :meth:`_begin_round_caches`.
-        #: Candidate sets, their score vectors and disclosure probabilities
-        #: are all static within a round (churn moves peers only at the round
-        #: boundary, whitewashing rebinds identities only at the round end),
-        #: so they are computed once per consumer per round instead of once
-        #: per transaction.
-        self._candidate_cache: Dict[str, List[Peer]] = {}
-        self._score_cache: Dict[str, object] = {}
+        #: Disclosure probabilities are static within a round (behaviour
+        #: switches happen at round boundaries), so they are computed once
+        #: per consumer per round; cleared by :meth:`_begin_round_caches`.
+        #: Candidates and score vectors are hoisted per consumer directly in
+        #: the round loop — each consumer is visited exactly once per round.
         self._disclosure_cache: Dict[str, float] = {}
+        #: Whole-run neighbour→Peer resolution (see :meth:`_neighbor_peers`).
+        self._neighbor_peers_cache: Dict[str, List[Peer]] = {}
 
     @property
     def streams(self) -> RandomStreams:
@@ -247,73 +330,60 @@ class InteractionSimulator:
     # -- setup -------------------------------------------------------------
 
     def _build_directory(self) -> PeerDirectory:
-        rng = self._streams.stream("behavior")
-        peers = []
-        for user in self.graph.users():
-            behavior = behavior_for_user(
-                user,
-                rng=rng,
+        plan = self._directory_plan
+        if plan is None:
+            plan = build_directory_plan(
+                self.graph,
+                self._streams.stream("behavior"),
                 traitor_fraction=self.config.traitor_fraction,
                 whitewasher_fraction=self.config.whitewasher_fraction,
                 selfish_fraction=self.config.selfish_fraction,
+                collusion_fraction=self.config.collusion_fraction,
             )
-            peers.append(Peer(user=user, behavior=behavior))
-        directory = PeerDirectory(peers)
-        self._setup_collusion(directory, rng)
-        return directory
-
-    def _setup_collusion(self, directory: PeerDirectory, rng) -> None:
-        """Convert part of the dishonest population into a collusion ring."""
-        if self.config.collusion_fraction <= 0.0:
-            return
-        dishonest = [p for p in directory.peers() if not p.user.is_honest]
-        if len(dishonest) < 2:
-            return
-        ring_size = max(2, int(round(self.config.collusion_fraction * len(dishonest))))
-        ring_members = rng.sample(dishonest, min(ring_size, len(dishonest)))
-        ring_ids = {p.peer_id for p in ring_members}
-        for peer in ring_members:
-            peer.behavior = CollusiveBehavior(ring=set(ring_ids - {peer.peer_id}))
+        return PeerDirectory(plan.materialize(self.graph))
 
     # -- provider selection --------------------------------------------------
 
+    def _neighbor_peers(self, consumer: Peer) -> List[Peer]:
+        """The consumer's neighbours as :class:`Peer` objects, cached for the
+        whole run: the graph is immutable during a simulation and the
+        directory never replaces peer objects (whitewashing rebinds
+        identities on the same object), so the id→peer resolution per
+        neighbour per round was pure overhead."""
+        cached = self._neighbor_peers_cache.get(consumer.base_id)
+        if cached is None:
+            get = self.directory.get
+            cached = [get(nid) for nid in self.graph.neighbors(consumer.base_id)]
+            self._neighbor_peers_cache[consumer.base_id] = cached
+        return cached
+
     def _candidates(self, consumer: Peer) -> List[Peer]:
         if self.config.neighbor_only:
-            neighbor_ids = self.graph.neighbors(consumer.base_id)
-            candidates = [self.directory.get(nid) for nid in neighbor_ids]
-        else:
-            candidates = self.directory.peers()
-        return [peer for peer in candidates if peer.online and peer.base_id != consumer.base_id]
+            # Self-edges cannot exist in the graph, so no self-filter needed.
+            return [peer for peer in self._neighbor_peers(consumer) if peer.online]
+        return [
+            peer
+            for peer in self.directory.peers()
+            if peer.online and peer.base_id != consumer.base_id
+        ]
 
     def _begin_round_caches(self) -> None:
-        self._candidate_cache.clear()
-        self._score_cache.clear()
         self._disclosure_cache.clear()
-
-    def _round_candidates(self, consumer: Peer) -> List[Peer]:
-        cached = self._candidate_cache.get(consumer.base_id)
-        if cached is None:
-            cached = self._candidates(consumer)
-            self._candidate_cache[consumer.base_id] = cached
-        return cached
 
     def _candidate_scores(self, consumer: Peer, candidates: List[Peer]):
         """Round-start scores of a consumer's candidates, in candidate order.
 
-        ``None`` when selection does not use reputation.  The vectorized
-        backend keeps the scores as a dense array for the argmax kernel.
+        ``None`` when selection does not use reputation.  Kept as a plain
+        list on every backend: candidate sets are small (a peer's
+        neighbourhood), where the pure-Python argmax scan beats the fixed
+        dispatch cost of any array kernel — and a single selection code
+        path keeps trajectories trivially backend-independent.
         """
         if self.reputation is None or not self.config.use_reputation_selection:
             return None
-        cached = self._score_cache.get(consumer.base_id)
-        if cached is None:
-            default = getattr(self.reputation, "default_score", 0.5)
-            lookup = self._round_scores.get
-            cached = [lookup(peer.peer_id, default) for peer in candidates]
-            if self._backend == VECTORIZED_BACKEND:
-                cached = require_numpy().asarray(cached, dtype=float)
-            self._score_cache[consumer.base_id] = cached
-        return cached
+        default = getattr(self.reputation, "default_score", 0.5)
+        lookup = self._round_scores.get
+        return [lookup(peer.peer_id, default) for peer in candidates]
 
     def _select_from(self, candidates: List[Peer], scores) -> Peer:
         """Pick a provider among the candidates given their score vector.
@@ -321,20 +391,23 @@ class InteractionSimulator:
         Consumes the "selection" stream exactly as the historical
         per-transaction code did: one exploration uniform (only when
         reputation-guided selection is active), then either a ``choice`` or
-        one tie-break uniform per candidate.
+        one tie-break uniform per candidate.  The scan below is the tuple
+        comparison ``(score, tiebreak) > best`` unrolled; draws happen in
+        candidate order, exactly like the historical batched vector.
         """
-        rng = self._streams.stream("selection")
+        rng = self._rng_selection
         if scores is None or rng.random() < self.config.selection_exploration:
             return rng.choice(candidates)
-        tiebreaks = self._streams.uniforms("selection", len(candidates))
-        if self._backend == VECTORIZED_BACKEND:
-            return candidates[lexicographic_argmax(scores, tiebreaks)]
+        draw = rng.random
         best_index = 0
-        best_key = (scores[0], tiebreaks[0])
+        best_score = scores[0]
+        best_tiebreak = draw()
         for position in range(1, len(candidates)):
-            key = (scores[position], tiebreaks[position])
-            if key > best_key:
-                best_key = key
+            tiebreak = draw()
+            score = scores[position]
+            if score > best_score or (score == best_score and tiebreak > best_tiebreak):
+                best_score = score
+                best_tiebreak = tiebreak
                 best_index = position
         return candidates[best_index]
 
@@ -344,7 +417,7 @@ class InteractionSimulator:
     # -- one round -----------------------------------------------------------
 
     def _execute_transaction(self, consumer: Peer, provider: Peer, round_index: int) -> None:
-        rng = self._streams.stream("transactions")
+        rng = self._rng_transactions
         self._transaction_counter += 1
 
         if not provider.behavior.provides_service(provider.user, rng):
@@ -370,7 +443,7 @@ class InteractionSimulator:
     def _generate_feedback(
         self, consumer: Peer, provider: Peer, transaction: Transaction, round_index: int
     ) -> None:
-        rng = self._streams.stream("feedback")
+        rng = self._rng_feedback
         rating, truthful = consumer.behavior.rate_transaction(consumer.user, transaction, rng)
         rater = None if self.config.anonymous_feedback else consumer.peer_id
         feedback = Feedback(
@@ -427,6 +500,26 @@ class InteractionSimulator:
             counts.append(base + (1 if draw < (expected - base) else 0))
         return counts
 
+    def _refresh_round_scores(self) -> None:
+        """Snapshot the mechanism's published scores for the running round.
+
+        ``refresh()`` returns a fresh dict every call, so the snapshot is
+        taken by reference — no extra copy per round.  Wall time spent here
+        is attributed to the ``refresh`` profiling phase when profiling is
+        active.
+        """
+        reputation = self.reputation
+        if reputation is None:
+            return
+        timer = _profiling.active()
+        started = time.perf_counter() if timer is not None else 0.0
+        if hasattr(reputation, "refresh"):
+            self._round_scores = reputation.refresh()
+        elif hasattr(reputation, "scores"):
+            self._round_scores = dict(reputation.scores())
+        if timer is not None:
+            timer.add("refresh", time.perf_counter() - started)
+
     def _run_round(self, round_index: int) -> None:
         churn_rng = self._streams.stream("churn")
         self.config.churn.step(self.directory, churn_rng)
@@ -439,11 +532,7 @@ class InteractionSimulator:
         online = self.directory.online_peers()
         self.metrics.start_round(round_index, online_peers=len(online))
 
-        if self.reputation is not None:
-            if hasattr(self.reputation, "refresh"):
-                self._round_scores = dict(self.reputation.refresh())
-            elif hasattr(self.reputation, "scores"):
-                self._round_scores = dict(self.reputation.scores())
+        self._refresh_round_scores()
 
         self._begin_round_caches()
 
@@ -455,7 +544,7 @@ class InteractionSimulator:
         for consumer, n_interactions in zip(online, counts):
             if not n_interactions:
                 continue
-            candidates = self._round_candidates(consumer)
+            candidates = self._candidates(consumer)
             if not candidates:
                 continue
             scores = self._candidate_scores(consumer, candidates)
@@ -464,11 +553,14 @@ class InteractionSimulator:
                 self._execute_transaction(consumer, provider, round_index)
 
         if self.reputation is not None and hasattr(self.reputation, "refresh"):
-            self._round_scores = dict(self.reputation.refresh())
+            self._refresh_round_scores()
         self._apply_whitewashing()
         self.metrics.end_round()
+        # Hooks receive the snapshot by reference (it is reassigned, never
+        # mutated, between rounds); they must treat it as read-only.
+        round_scores = self._round_scores
         for hook in self._hooks:
-            hook.on_round_end(self, round_index, dict(self._round_scores))
+            hook.on_round_end(self, round_index, round_scores)
 
     # -- public API ------------------------------------------------------------
 

@@ -73,27 +73,29 @@ class MetricsCollector:
         return self._current
 
     def record_transaction(self, transaction: Transaction, provider_honest: bool) -> None:
-        self._current.transactions += 1
-        if transaction.succeeded:
-            self._current.successes += 1
+        current = self._current
+        succeeded = transaction.succeeded
+        provider = transaction.provider
+        current.transactions += 1
+        if succeeded:
+            current.successes += 1
         else:
-            self._current.failures += 1
+            current.failures += 1
         if not provider_honest:
-            self._current.malicious_provider_transactions += 1
-        self._per_peer_provided[transaction.provider] = (
-            self._per_peer_provided.get(transaction.provider, 0) + 1
-        )
-        if transaction.succeeded:
-            self._per_peer_good_provided[transaction.provider] = (
-                self._per_peer_good_provided.get(transaction.provider, 0) + 1
+            current.malicious_provider_transactions += 1
+        self._per_peer_provided[provider] = self._per_peer_provided.get(provider, 0) + 1
+        if succeeded:
+            self._per_peer_good_provided[provider] = (
+                self._per_peer_good_provided.get(provider, 0) + 1
             )
 
     def record_feedback(self, feedback: Feedback, disclosed: bool) -> None:
-        self._current.feedback_generated += 1
+        current = self._current
+        current.feedback_generated += 1
         if disclosed:
-            self._current.feedback_disclosed += 1
+            current.feedback_disclosed += 1
         if feedback.truthful:
-            self._current.truthful_feedback += 1
+            current.truthful_feedback += 1
 
     # -- run-level summaries ----------------------------------------------
 

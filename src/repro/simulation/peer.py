@@ -20,7 +20,15 @@ from repro.socialnet.user import User
 
 @dataclass
 class Peer:
-    """Runtime state of one participant."""
+    """Runtime state of one participant.
+
+    ``peer_id`` (current network identity) and ``base_id`` (stable
+    ground-truth identifier) are plain attributes, not properties: the
+    simulation inner loops read them hundreds of thousands of times per
+    run.  They are derived from ``user`` and ``identity_generation`` at
+    construction and refreshed by :meth:`new_identity` — change
+    ``identity_generation`` only through that method.
+    """
 
     user: User
     behavior: BehaviorModel = field(default_factory=HonestBehavior)
@@ -30,22 +38,25 @@ class Peer:
     consumed_count: int = 0
     good_received: int = 0
     bad_received: int = 0
+    #: Stable identifier of the underlying user (ground truth).
+    base_id: str = field(init=False, repr=False, compare=False)
+    #: Current network identity; changes when the peer whitewashes.
+    peer_id: str = field(init=False, repr=False, compare=False)
 
-    @property
-    def peer_id(self) -> str:
-        """Current network identity; changes when the peer whitewashes."""
+    def __post_init__(self) -> None:
+        self.base_id = self.user.user_id
+        self._refresh_peer_id()
+
+    def _refresh_peer_id(self) -> None:
         if self.identity_generation == 0:
-            return self.user.user_id
-        return f"{self.user.user_id}#{self.identity_generation}"
-
-    @property
-    def base_id(self) -> str:
-        """Stable identifier of the underlying user (ground truth)."""
-        return self.user.user_id
+            self.peer_id = self.user.user_id
+        else:
+            self.peer_id = f"{self.user.user_id}#{self.identity_generation}"
 
     def new_identity(self) -> str:
         """Adopt a fresh identity (whitewashing) and return it."""
         self.identity_generation += 1
+        self._refresh_peer_id()
         return self.peer_id
 
     def record_received(self, good: bool) -> None:

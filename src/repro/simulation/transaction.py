@@ -43,7 +43,12 @@ class Transaction:
     def __post_init__(self) -> None:
         if self.consumer == self.provider:
             raise ConfigurationError("a peer cannot transact with itself")
-        require_unit_interval(self.quality, "quality")
+        # Fast path for the common case (a float in range): one Transaction
+        # is built per simulated interaction, so this sits on the engine's
+        # hottest path.  Anything else funnels through the full validator
+        # for the usual error messages.
+        if type(self.quality) is not float or not 0.0 <= self.quality <= 1.0:
+            require_unit_interval(self.quality, "quality")
 
     @property
     def succeeded(self) -> bool:
@@ -68,7 +73,9 @@ class Feedback:
     truthful: bool = True
 
     def __post_init__(self) -> None:
-        require_unit_interval(self.rating, "rating")
+        # Fast path for in-range floats; see Transaction.__post_init__.
+        if type(self.rating) is not float or not 0.0 <= self.rating <= 1.0:
+            require_unit_interval(self.rating, "rating")
 
     @property
     def is_anonymous(self) -> bool:

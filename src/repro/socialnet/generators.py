@@ -14,12 +14,14 @@ experiments.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
 from repro._util import require_positive, require_unit_interval
+from repro.core import accel
 from repro.errors import ConfigurationError
 from repro.socialnet.graph import SocialGraph
 from repro.socialnet.user import User, standard_profile
@@ -185,3 +187,70 @@ def generate_social_network(spec: SocialNetworkSpec) -> SocialGraph:
     for a, b in graph.edges():
         social.add_relationship(f"u{a}", f"u{b}", strength=rng.uniform(0.3, 1.0))
     return social
+
+
+# -- shared setup cache ----------------------------------------------------------
+
+#: Most-recently-used cache of generated networks, keyed by specification.
+#: Small on purpose: entries hold whole graphs, and the sharing pattern this
+#: serves (every mechanism column of a robustness row, repeated sweep tasks)
+#: cycles through a handful of specifications at a time.
+_NETWORK_CACHE_SIZE = 8
+_NETWORK_CACHE: "OrderedDict[Tuple, Tuple[SocialGraph, int]]" = OrderedDict()
+
+
+def _spec_cache_key(spec: SocialNetworkSpec) -> Optional[Tuple]:
+    """A hashable identity for the spec, or ``None`` when it has none
+    (unhashable ``extra`` payloads fall back to fresh generation)."""
+    try:
+        return (
+            spec.n_users,
+            spec.topology,
+            spec.mean_degree,
+            spec.malicious_fraction,
+            spec.rewiring_probability,
+            spec.n_communities,
+            spec.inter_community_probability,
+            tuple(spec.privacy_concern_range),
+            spec.seed,
+            tuple(sorted(spec.extra.items())),
+        )
+    except TypeError:
+        return None
+
+
+def clear_network_cache() -> None:
+    """Drop every cached network (tests and benchmarks use this)."""
+    _NETWORK_CACHE.clear()
+
+
+def cached_social_network(spec: SocialNetworkSpec) -> SocialGraph:
+    """A shared, read-only network for the specification.
+
+    Generation is deterministic in the spec, so callers that only *read*
+    the graph (every experiment pipeline; simulations mutate peers, never
+    the graph) can share one instance instead of regenerating it per
+    (scenario × mechanism) cell or sweep task.  The cache records the
+    graph's mutation :attr:`~repro.socialnet.graph.SocialGraph.version` at
+    store time and regenerates on mismatch, so a consumer that does mutate
+    a shared graph costs a rebuild rather than corrupting later runs.
+    Callers that need to mutate should take ``.copy()`` first.  With the
+    setup cache disabled this is exactly :func:`generate_social_network`.
+    """
+    if not accel.flags().setup_cache:
+        return generate_social_network(spec)
+    key = _spec_cache_key(spec)
+    if key is None:
+        return generate_social_network(spec)
+    cached = _NETWORK_CACHE.get(key)
+    if cached is not None:
+        graph, version = cached
+        if graph.version == version:
+            _NETWORK_CACHE.move_to_end(key)
+            return graph
+        del _NETWORK_CACHE[key]
+    graph = generate_social_network(spec)
+    _NETWORK_CACHE[key] = (graph, graph.version)
+    while len(_NETWORK_CACHE) > _NETWORK_CACHE_SIZE:
+        _NETWORK_CACHE.popitem(last=False)
+    return graph

@@ -34,15 +34,27 @@ class SocialGraph:
         self._neighbors_cache: Dict[str, List[str]] = {}
         self._users_cache: Optional[List[User]] = None
         self._user_ids_cache: Optional[List[str]] = None
+        self._version = 0
         for user in users or []:
             self.add_user(user)
 
     # -- construction -----------------------------------------------------
 
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumps on every structural change).
+
+        The shared-setup caches key their validity on this: a cached graph
+        whose version moved since it was stored has been mutated by some
+        consumer and is silently regenerated instead of reused.
+        """
+        return self._version
+
     def _invalidate_caches(self) -> None:
         self._neighbors_cache.clear()
         self._users_cache = None
         self._user_ids_cache = None
+        self._version += 1
 
     def add_user(self, user: User) -> None:
         """Add a user node; replacing an existing user keeps its edges."""
@@ -169,6 +181,25 @@ class SocialGraph:
     def to_networkx(self) -> nx.Graph:
         """Return a copy of the underlying networkx graph (nodes = user ids)."""
         return self._graph.copy()
+
+    def copy(self) -> "SocialGraph":
+        """An independent structural copy sharing the (read-only) users.
+
+        The networkx graph is copied adjacency-dict for adjacency-dict, so
+        neighbour iteration order — which downstream determinism depends on
+        — is preserved exactly.  :class:`User` objects are shared, not
+        deep-copied: nothing in the library mutates a user after creation.
+        Scenario setup uses this to mutate a population (e.g. inject
+        sybils) without touching the cached base network.
+        """
+        duplicate = SocialGraph.__new__(SocialGraph)
+        duplicate._graph = self._graph.copy()
+        duplicate._users = dict(self._users)
+        duplicate._neighbors_cache = {}
+        duplicate._users_cache = None
+        duplicate._user_ids_cache = None
+        duplicate._version = 0
+        return duplicate
 
     def subgraph(self, user_ids: Iterable[str]) -> "SocialGraph":
         """Build a new :class:`SocialGraph` restricted to the given users."""

@@ -55,24 +55,39 @@ class TestPeerIndex:
         assert index.permutation(["b", "ghost", "a"]).tolist() == [1, -1, 0]
 
 
+def _as_dense(matrix):
+    """Dense view of a local-trust matrix regardless of its storage."""
+    return matrix.toarray() if hasattr(matrix, "toarray") else matrix
+
+
 class TestLocalTrustMatrix:
     def test_rows_are_normalized_and_negatives_clipped(self):
         # rater 0: +2 about subject 1, net -1 about subject 2 (clipped to 0).
         matrix = bk.local_trust_matrix(
             3, [0, 0, 0], [1, 1, 2], [1.0, 1.0, -1.0]
         )
-        dense = matrix.toarray() if bk.HAS_SCIPY else matrix
+        dense = _as_dense(matrix)
         assert dense[0].tolist() == [0.0, 1.0, 0.0]
         assert dense[1].tolist() == [0.0, 0.0, 0.0]  # dangling row stays zero
+
+    def test_small_populations_use_dense_storage(self):
+        # Below the threshold the builder returns a plain array even with
+        # scipy installed: CSR dispatch overhead dominates tiny matvecs.
+        small = bk.local_trust_matrix(3, [0], [1], [1.0])
+        assert isinstance(small, numpy.ndarray)
+
+    @pytest.mark.skipif(not bk.HAS_SCIPY, reason="sparse storage needs scipy")
+    def test_large_populations_use_sparse_storage(self):
+        n = bk.DENSE_TRUST_THRESHOLD
+        big = bk.local_trust_matrix(n, [0], [1], [1.0])
+        assert hasattr(big, "toarray")
 
     def test_dense_and_sparse_builders_agree(self):
         raters = [0, 1, 1, 2, 0]
         subjects = [1, 0, 2, 0, 2]
         deltas = [1.0, 2.0, -1.0, 1.0, 3.0]
         dense = bk.dense_local_trust_matrix(3, raters, subjects, deltas)
-        built = bk.local_trust_matrix(3, raters, subjects, deltas)
-        if bk.HAS_SCIPY:
-            built = built.toarray()
+        built = _as_dense(bk.local_trust_matrix(3, raters, subjects, deltas))
         assert numpy.allclose(dense, built)
 
     def test_empty_evidence_gives_all_dangling(self):

@@ -35,6 +35,13 @@ class TestLegacyCli:
         assert "==== figure2-right ====" in output
         assert "sharing level" in output
 
+    def test_profile_flag_prints_phase_table(self, capsys):
+        assert main(["robustness", "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "per-phase wall clock" in output
+        for phase in ("setup", "simulate", "refresh", "metrics", "total"):
+            assert phase in output
+
 
 class TestSweepCli:
     def test_help_mentions_sweep(self, capsys):
@@ -84,6 +91,33 @@ class TestSweepCli:
         assert main([*args, "--jobs", "1", "--out", str(serial)]) == 0
         assert main([*args, "--jobs", "2", "--out", str(parallel)]) == 0
         assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_sweep_stream_writes_ordered_jsonl(self, tmp_path):
+        out = tmp_path / "records.json"
+        stream = tmp_path / "records.jsonl"
+        code = main(
+            [
+                "sweep",
+                "figure2-left",
+                "--grid",
+                "threshold=0.4,0.5,0.6",
+                "--jobs",
+                "2",
+                "--chunksize",
+                "1",
+                "--seed",
+                "3",
+                "--out",
+                str(out),
+                "--stream",
+                str(stream),
+            ]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in stream.read_text().splitlines()]
+        assert [entry["task_index"] for entry in lines] == [0, 1, 2]
+        payload = json.loads(out.read_text())
+        assert lines == payload["records"]
 
     def test_sweep_unknown_experiment_errors(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -49,6 +49,28 @@ class TestFeedbackStore:
         assert len(store) == 0
         assert store.subjects() == []
 
+    def test_sorted_participants_tracks_additions_and_clear(self):
+        store = FeedbackStore()
+        store.add(make_feedback("bob", 1.0, rater="alice", transaction_id=1))
+        assert store.sorted_participants() == ["alice", "bob"]
+        store.add(make_feedback("dave", 1.0, rater="carol", transaction_id=2))
+        assert store.sorted_participants() == ["alice", "bob", "carol", "dave"]
+        store.clear()
+        assert store.sorted_participants() == []
+
+    def test_sorted_participants_readmits_rater_returning_after_eviction(self):
+        # Regression: R's only report is evicted (history rewrite drops R
+        # from the participant set); when R rates again *without* causing
+        # another eviction, the cached sorted view must re-admit R.
+        store = FeedbackStore(max_per_subject=2)
+        store.add(make_feedback("s1", 1.0, rater="R", transaction_id=1))
+        for index in range(2, 4):
+            store.add(make_feedback("s1", 1.0, rater=f"x{index}", transaction_id=index))
+        assert store.sorted_participants() == ["s1", "x2", "x3"]  # R evicted
+        store.add(make_feedback("s2", 1.0, rater="R", transaction_id=4))
+        assert "R" in store.sorted_participants()
+        assert store.sorted_participants() == sorted(store.participants())
+
 
 class TestLocalTrustBuilder:
     def build_store(self) -> FeedbackStore:

@@ -1,0 +1,67 @@
+"""Directory plans: planned construction equals inline construction."""
+
+from repro.simulation.adversary import CollusiveBehavior
+from repro.simulation.engine import (
+    InteractionSimulator,
+    SimulationConfig,
+    build_directory_plan,
+)
+from repro.simulation.rng import RandomStreams
+from repro.socialnet.generators import SocialNetworkSpec, generate_social_network
+
+SPEC = SocialNetworkSpec(n_users=18, malicious_fraction=0.3, seed=9)
+MIX = dict(
+    traitor_fraction=0.3,
+    whitewasher_fraction=0.3,
+    selfish_fraction=0.2,
+    collusion_fraction=0.6,
+)
+
+
+def _directory_signature(directory):
+    return [(peer.base_id, type(peer.behavior).__name__) for peer in directory.peers()]
+
+
+class TestDirectoryPlan:
+    def test_plan_matches_inline_build(self):
+        graph = generate_social_network(SPEC)
+        config = SimulationConfig(rounds=1, seed=9, **MIX)
+        plan = build_directory_plan(
+            graph, RandomStreams(config.seed).stream("behavior"), **MIX
+        )
+        planned = InteractionSimulator(graph, config, directory_plan=plan)
+        inline = InteractionSimulator(graph, config)
+        assert _directory_signature(planned.directory) == _directory_signature(
+            inline.directory
+        )
+        # Collusion rings carry the same accomplice sets.
+        for with_plan, without in zip(planned.directory.peers(), inline.directory.peers()):
+            if isinstance(without.behavior, CollusiveBehavior):
+                assert isinstance(with_plan.behavior, CollusiveBehavior)
+                assert with_plan.behavior.ring == without.behavior.ring
+
+    def test_materialize_builds_fresh_state_every_time(self):
+        graph = generate_social_network(SPEC)
+        plan = build_directory_plan(graph, RandomStreams(9).stream("behavior"), **MIX)
+        first = plan.materialize(graph)
+        second = plan.materialize(graph)
+        assert first is not second
+        assert all(a is not b for a, b in zip(first, second))
+        assert all(a.behavior is not b.behavior for a, b in zip(first, second))
+
+    def test_trajectories_identical_with_and_without_plan(self):
+        graph = generate_social_network(SPEC)
+        config = SimulationConfig(rounds=6, seed=9, **MIX)
+        plan = build_directory_plan(
+            graph, RandomStreams(config.seed).stream("behavior"), **MIX
+        )
+        with_plan = InteractionSimulator(graph, config, directory_plan=plan).run()
+        without = InteractionSimulator(graph, SimulationConfig(rounds=6, seed=9, **MIX)).run()
+        assert [
+            (t.transaction_id, t.consumer, t.provider, t.outcome, t.quality)
+            for t in with_plan.transactions
+        ] == [
+            (t.transaction_id, t.consumer, t.provider, t.outcome, t.quality)
+            for t in without.transactions
+        ]
+        assert with_plan.ground_truth_honesty == without.ground_truth_honesty
