@@ -29,7 +29,7 @@ import json
 import random
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
 
 from repro.core import accel
 from repro.core.backend import HAS_NUMPY, available_backends
@@ -66,11 +66,11 @@ MIN_GATED_PYTHON_SECONDS = 5e-3
 UNGATED_KERNELS = frozenset({"simulation_rounds"})
 
 
-def synthetic_feedback(n_peers: int, *, seed: int = 0) -> List[Feedback]:
+def synthetic_feedback(n_peers: int, *, seed: int = 0) -> list[Feedback]:
     """Identified feedback over ``n_peers`` peers, power-law-ish targets."""
     rng = random.Random(seed)
     peers = [f"peer-{i:05d}" for i in range(n_peers)]
-    reports: List[Feedback] = []
+    reports: list[Feedback] = []
     transaction_id = 0
     for rater in peers:
         for _ in range(REPORTS_PER_PEER):
@@ -92,7 +92,7 @@ def synthetic_feedback(n_peers: int, *, seed: int = 0) -> List[Feedback]:
     return reports
 
 
-def _time_best(operation: Callable[[], object], *, repeats: int) -> Tuple[float, object]:
+def _time_best(operation: Callable[[], object], *, repeats: int) -> tuple[float, object]:
     best = float("inf")
     result: object = None
     for _ in range(repeats):
@@ -104,13 +104,13 @@ def _time_best(operation: Callable[[], object], *, repeats: int) -> Tuple[float,
 
 def bench_mechanism(
     factory: Callable[[str], object],
-    feedback: List[Feedback],
+    feedback: list[Feedback],
     *,
     repeats: int,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Time ``compute_scores`` (the refresh kernel) on both backends."""
-    measurements: Dict[str, float] = {}
-    scores: Dict[str, Dict[str, float]] = {}
+    measurements: dict[str, float] = {}
+    scores: dict[str, dict[str, float]] = {}
     for backend in ("python", "vectorized"):
         if backend == "vectorized" and not HAS_NUMPY:
             continue
@@ -120,7 +120,7 @@ def bench_mechanism(
         seconds, result = _time_best(system.compute_scores, repeats=repeats)
         measurements[backend] = seconds
         scores[backend] = result
-    entry: Dict[str, object] = {
+    entry: dict[str, object] = {
         "python_seconds": measurements["python"],
     }
     if "vectorized" in measurements:
@@ -137,7 +137,7 @@ def bench_mechanism(
     return entry
 
 
-def bench_coupling(*, batch: int, repeats: int) -> Dict[str, object]:
+def bench_coupling(*, batch: int, repeats: int) -> dict[str, object]:
     """Time a batch of coupling equilibria on both backends."""
     rng = random.Random(17)
     initials = [
@@ -151,8 +151,8 @@ def bench_coupling(*, batch: int, repeats: int) -> Dict[str, object]:
         )
         for _ in range(batch)
     ]
-    results: Dict[str, List[CouplingState]] = {}
-    measurements: Dict[str, float] = {}
+    results: dict[str, list[CouplingState]] = {}
+    measurements: dict[str, float] = {}
     for backend in ("python", "vectorized"):
         if backend == "vectorized" and not HAS_NUMPY:
             continue
@@ -160,24 +160,24 @@ def bench_coupling(*, batch: int, repeats: int) -> Dict[str, object]:
         seconds, final = _time_best(lambda d=dynamics: d.equilibria(initials), repeats=repeats)
         measurements[backend] = seconds
         results[backend] = final
-    entry: Dict[str, object] = {"python_seconds": measurements["python"]}
+    entry: dict[str, object] = {"python_seconds": measurements["python"]}
     if "vectorized" in measurements:
         entry["vectorized_seconds"] = measurements["vectorized"]
         entry["speedup"] = measurements["python"] / measurements["vectorized"]
         entry["max_abs_diff"] = max(
             max(
                 abs(a - b)
-                for a, b in zip(p.as_dict().values(), v.as_dict().values())
+                for a, b in zip(p.as_dict().values(), v.as_dict().values(), strict=True)
             )
-            for p, v in zip(results["python"], results["vectorized"])
+            for p, v in zip(results["python"], results["vectorized"], strict=True)
         )
     return entry
 
 
-def bench_simulation(*, n_users: int, rounds: int, repeats: int) -> Dict[str, object]:
+def bench_simulation(*, n_users: int, rounds: int, repeats: int) -> dict[str, object]:
     """Time full simulation rounds (batched loop + vectorized refresh)."""
 
-    def run(backend: str) -> Dict[str, float]:
+    def run(backend: str) -> dict[str, float]:
         graph = generate_social_network(
             SocialNetworkSpec(n_users=n_users, malicious_fraction=0.25, seed=23)
         )
@@ -190,15 +190,15 @@ def bench_simulation(*, n_users: int, rounds: int, repeats: int) -> Dict[str, ob
         simulator.run()
         return reputation.refresh()
 
-    measurements: Dict[str, float] = {}
-    scores: Dict[str, Dict[str, float]] = {}
+    measurements: dict[str, float] = {}
+    scores: dict[str, dict[str, float]] = {}
     for backend in ("python", "vectorized"):
         if backend == "vectorized" and not HAS_NUMPY:
             continue
         seconds, result = _time_best(lambda b=backend: run(b), repeats=repeats)
         measurements[backend] = seconds
         scores[backend] = result
-    entry: Dict[str, object] = {"python_seconds": measurements["python"]}
+    entry: dict[str, object] = {"python_seconds": measurements["python"]}
     if "vectorized" in measurements:
         entry["vectorized_seconds"] = measurements["vectorized"]
         entry["speedup"] = measurements["python"] / measurements["vectorized"]
@@ -212,7 +212,7 @@ def bench_simulation(*, n_users: int, rounds: int, repeats: int) -> Dict[str, ob
     return entry
 
 
-def run_benchmarks(*, repeats: int, quick: bool = False) -> Dict[str, object]:
+def run_benchmarks(*, repeats: int, quick: bool = False) -> dict[str, object]:
     """Measure every kernel pair with the incremental layer disabled.
 
     This benchmark certifies the *cold* python-vs-vectorized kernel gap;
@@ -224,9 +224,9 @@ def run_benchmarks(*, repeats: int, quick: bool = False) -> Dict[str, object]:
         return _run_benchmarks_cold(repeats=repeats, quick=quick)
 
 
-def _run_benchmarks_cold(*, repeats: int, quick: bool) -> Dict[str, object]:
+def _run_benchmarks_cold(*, repeats: int, quick: bool) -> dict[str, object]:
     sizes = EIGENTRUST_SIZES if not quick else (100, 500)
-    kernels: List[Dict[str, object]] = []
+    kernels: list[dict[str, object]] = []
 
     for n_peers in sizes:
         feedback = synthetic_feedback(n_peers, seed=n_peers)
@@ -304,10 +304,10 @@ def _run_benchmarks_cold(*, repeats: int, quick: bool) -> Dict[str, object]:
 
 
 def check_against_baseline(
-    report: Dict[str, object], baseline: Dict[str, object], *, tolerance: float
-) -> List[str]:
+    report: dict[str, object], baseline: dict[str, object], *, tolerance: float
+) -> list[str]:
     """Regression findings (empty when the gate passes)."""
-    problems: List[str] = []
+    problems: list[str] = []
     if not report["agreement_ok"]:
         problems.append(f"backends disagree beyond {AGREEMENT_TOLERANCE} on at least one kernel")
     headline = report.get("eigentrust_500_speedup")
@@ -317,7 +317,7 @@ def check_against_baseline(
             f"{EIGENTRUST_500_FLOOR:.0f}x floor"
         )
 
-    def by_key(payload: Dict[str, object]) -> Dict[Tuple[str, int], Dict[str, object]]:
+    def by_key(payload: dict[str, object]) -> dict[tuple[str, int], dict[str, object]]:
         return {(k["kernel"], k["n"]): k for k in payload.get("kernels", []) if "speedup" in k}
 
     current = by_key(report)
@@ -340,7 +340,7 @@ def check_against_baseline(
     return problems
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", metavar="PATH", help="write the JSON report here")
     parser.add_argument("--repeats", type=int, default=5, help="timing repeats (best-of)")

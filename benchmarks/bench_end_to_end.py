@@ -45,7 +45,7 @@ import os
 import sys
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
 
 from repro import _profiling
 from repro.core import accel
@@ -97,7 +97,7 @@ def cold_pipeline():
             os.environ["REPRO_ACCEL"] = previous
 
 
-def _timed(operation: Callable[[], object]) -> Tuple[float, object]:
+def _timed(operation: Callable[[], object]) -> tuple[float, object]:
     _clear_caches()
     start = time.perf_counter()
     result = operation()
@@ -105,13 +105,13 @@ def _timed(operation: Callable[[], object]) -> Tuple[float, object]:
 
 
 def _measure_workload(
-    name: str, operation: Callable[[], object], *, accelerated_extra: Optional[Dict] = None
-) -> Dict[str, object]:
+    name: str, operation: Callable[[], object], *, accelerated_extra: dict | None = None
+) -> dict[str, object]:
     """Run one workload cold and accelerated; byte-compare the outputs."""
     with cold_pipeline():
         cold_seconds, cold_payload = _timed(operation)
     accel_seconds, accel_payload = _timed(operation)
-    entry: Dict[str, object] = {
+    entry: dict[str, object] = {
         "workload": name,
         "cold_seconds": cold_seconds,
         "accelerated_seconds": accel_seconds,
@@ -139,7 +139,7 @@ def figure1_workload(quick: bool) -> Callable[[], str]:
     return run
 
 
-def matrix_kwargs(quick: bool) -> Dict[str, object]:
+def matrix_kwargs(quick: bool) -> dict[str, object]:
     if quick:
         return dict(n_users=24, rounds=30, seed=0)
     return dict(n_users=40, rounds=120, seed=0)
@@ -204,7 +204,7 @@ def reference_sweep_workload(quick: bool, jobs: int) -> Callable[[], str]:
     return run
 
 
-def refresh_layer_entry(quick: bool, mechanism: str) -> Dict[str, object]:
+def refresh_layer_entry(quick: bool, mechanism: str) -> dict[str, object]:
     """Cold vs incremental refresh on one long simulation's refresh layer.
 
     Measured per mechanism because the layer's composition differs: the
@@ -222,7 +222,7 @@ def refresh_layer_entry(quick: bool, mechanism: str) -> Dict[str, object]:
         seed=0,
     )
 
-    def run() -> Tuple[str, float]:
+    def run() -> tuple[str, float]:
         with _profiling.profiled() as timer:
             result = run_scenario(ScenarioRunConfig(**config))
         payload = json.dumps(
@@ -254,8 +254,8 @@ def refresh_layer_entry(quick: bool, mechanism: str) -> Dict[str, object]:
 # -- report / gate ---------------------------------------------------------------
 
 
-def run_benchmarks(*, quick: bool, jobs: int) -> Dict[str, object]:
-    workloads: List[Dict[str, object]] = []
+def run_benchmarks(*, quick: bool, jobs: int) -> dict[str, object]:
+    workloads: list[dict[str, object]] = []
 
     workloads.append(_measure_workload("figure1", figure1_workload(quick)))
     workloads.append(_measure_workload("robustness_matrix", robustness_matrix_workload(quick)))
@@ -285,10 +285,10 @@ def run_benchmarks(*, quick: bool, jobs: int) -> Dict[str, object]:
 
 
 def check_against_baseline(
-    report: Dict[str, object], baseline: Dict[str, object], *, tolerance: float
-) -> List[str]:
+    report: dict[str, object], baseline: dict[str, object], *, tolerance: float
+) -> list[str]:
     """Regression findings (empty when the gate passes)."""
-    problems: List[str] = []
+    problems: list[str] = []
     if not report["agreement_ok"]:
         for entry in report["workloads"]:
             if not entry["agreement_ok"]:
@@ -327,7 +327,7 @@ def check_against_baseline(
     return problems
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", metavar="PATH", help="write the JSON report here")
     parser.add_argument("--quick", action="store_true", help="smaller sizes for smoke testing")
@@ -357,7 +357,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = run_benchmarks(quick=args.quick, jobs=args.jobs)
 
-    references: Dict[str, float] = {}
+    references: dict[str, float] = {}
     for option in args.reference:
         key, _, seconds = option.partition("=")
         references[key] = float(seconds)

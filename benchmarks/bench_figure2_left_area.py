@@ -26,4 +26,4 @@ def test_bench_area_a_threshold_sensitivity(benchmark):
         ]
 
     sizes = benchmark(sweep_thresholds)
-    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    assert all(a >= b for a, b in zip(sizes, sizes[1:], strict=False))

@@ -17,7 +17,6 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List, Optional
 
 from repro.experiments.sweep import SweepSpec, expand_tasks, run_sweep
 
@@ -42,7 +41,7 @@ CAMPAIGN_SPECS = {
 }
 
 
-def measure_campaign(name: str, spec: SweepSpec, *, jobs: int) -> Dict[str, object]:
+def measure_campaign(name: str, spec: SweepSpec, *, jobs: int) -> dict[str, object]:
     result = run_sweep(spec, jobs=jobs)
     if result.n_errors:
         raise RuntimeError(f"benchmark campaign {name!r} had {result.n_errors} failed tasks")
@@ -56,7 +55,7 @@ def measure_campaign(name: str, spec: SweepSpec, *, jobs: int) -> Dict[str, obje
     }
 
 
-def measure_expansion(n_values: int = 40) -> Dict[str, object]:
+def measure_expansion(n_values: int = 40) -> dict[str, object]:
     """Task-expansion throughput on a 3-axis grid (pure orchestration cost)."""
     spec = SweepSpec(
         experiment="figure2-left",
@@ -80,8 +79,8 @@ def measure_expansion(n_values: int = 40) -> Dict[str, object]:
     }
 
 
-def run_benchmarks(*, jobs: int) -> Dict[str, object]:
-    entries: List[Dict[str, object]] = [measure_expansion()]
+def run_benchmarks(*, jobs: int) -> dict[str, object]:
+    entries: list[dict[str, object]] = [measure_expansion()]
     for name, spec in CAMPAIGN_SPECS.items():
         entries.append(measure_campaign(name, spec, jobs=1))
         if jobs > 1:
@@ -89,7 +88,7 @@ def run_benchmarks(*, jobs: int) -> Dict[str, object]:
     return {"schema_version": SCHEMA_VERSION, "benchmarks": entries}
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_sweep.json", metavar="PATH")
     parser.add_argument("--jobs", type=int, default=2)

@@ -39,6 +39,8 @@ Quickstart
 True
 """
 
+from typing import TYPE_CHECKING
+
 from repro.core import (
     CompositeTrustMetric,
     FacetScores,
@@ -48,8 +50,11 @@ from repro.core import (
 )
 from repro.version import __version__
 
+if TYPE_CHECKING:
+    from repro.experiments.scenario import ScenarioResult
 
-def quick_scenario(n_users: int = 50, seed: int = 0, rounds: int = 30):
+
+def quick_scenario(n_users: int = 50, seed: int = 0, rounds: int = 30) -> "ScenarioResult":
     """Run a small end-to-end scenario and return its :class:`ScenarioResult`.
 
     This is a convenience wrapper around

@@ -19,21 +19,21 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
 
 #: Phases whose wall time is contained in another phase; the report renders
 #: them indented and excludes them from the total.
 _NESTED_PHASES = {"refresh": "simulate"}
 
-_ACTIVE: Optional["PhaseTimer"] = None
+_ACTIVE: PhaseTimer | None = None
 
 
 class PhaseTimer:
     """Accumulates wall-clock seconds and hit counts per named phase."""
 
     def __init__(self) -> None:
-        self.seconds: Dict[str, float] = {}
-        self.counts: Dict[str, int] = {}
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
 
     def add(self, name: str, seconds: float, *, count: int = 1) -> None:
         self.seconds[name] = self.seconds.get(name, 0.0) + seconds
@@ -47,7 +47,7 @@ class PhaseTimer:
         finally:
             self.add(name, time.perf_counter() - start)
 
-    def rows(self) -> List[Tuple[str, float, int]]:
+    def rows(self) -> list[tuple[str, float, int]]:
         """(phase, seconds, count) rows, outer phases first."""
         ordered = sorted(
             self.seconds,
@@ -81,9 +81,20 @@ class PhaseTimer:
         return "\n".join(lines)
 
 
-def active() -> Optional[PhaseTimer]:
+def active() -> PhaseTimer | None:
     """The timer experiments are currently reporting into, if any."""
     return _ACTIVE
+
+
+def clock() -> float:
+    """Monotonic wall-clock reading for measurement metadata.
+
+    The single sanctioned clock access point: instrumented modules call this
+    instead of :func:`time.perf_counter` so the determinism lint (R1) can
+    guarantee no wall-clock value reaches a published record — timings flow
+    only into profiling tables and benchmark summaries.
+    """
+    return time.perf_counter()
 
 
 def add_seconds(name: str, seconds: float, *, count: int = 1) -> None:
@@ -115,4 +126,4 @@ def profiled() -> Iterator[PhaseTimer]:
         _ACTIVE = previous
 
 
-__all__ = ["PhaseTimer", "active", "add_seconds", "phase", "profiled"]
+__all__ = ["PhaseTimer", "active", "add_seconds", "clock", "phase", "profiled"]

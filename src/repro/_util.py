@@ -7,7 +7,7 @@ many models (satisfaction, reputation, trust facets) need.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -54,6 +54,8 @@ def normalize_weights(weights: Sequence[float]) -> list[float]:
     if any(w < 0 for w in weights):
         raise ConfigurationError("weights must be non-negative")
     total = float(sum(weights))
+    # repro-lint: ignore[R5] exact sentinel: non-negative weights sum to
+    # exactly 0.0 only when every weight is exactly zero
     if total == 0.0:
         raise ConfigurationError("weights must not all be zero")
     return [float(w) / total for w in weights]
@@ -70,6 +72,8 @@ def normalize_distribution(values: Mapping[object, float]) -> dict[object, float
     if any(v < 0 for v in values.values()):
         raise ConfigurationError("scores must be non-negative")
     total = float(sum(values.values()))
+    # repro-lint: ignore[R5] exact sentinel: non-negative scores sum to
+    # exactly 0.0 only when every score is exactly zero
     if total == 0.0:
         uniform = 1.0 / len(values)
         return {key: uniform for key in values}
@@ -108,9 +112,11 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
         return 0.0
     mx = mean(xs)
     my = mean(ys)
-    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys, strict=True))
     vx = sum((x - mx) ** 2 for x in xs)
     vy = sum((y - my) ** 2 for y in ys)
+    # repro-lint: ignore[R5] exact sentinel: a sum of squares is exactly
+    # 0.0 only for a constant series, where correlation is undefined
     if vx == 0.0 or vy == 0.0:
         return 0.0
     return cov / (vx ** 0.5 * vy ** 0.5)

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro._util import mean
 from repro.errors import AllocationError, UnknownPeerError
@@ -48,9 +47,9 @@ class MediatorReport:
     mean_quality: float
     mean_consumer_adequacy: float
     mean_provider_adequacy: float
-    consumer_satisfaction: Dict[str, float]
-    provider_satisfaction: Dict[str, float]
-    provider_allocation_satisfaction: Dict[str, float]
+    consumer_satisfaction: dict[str, float]
+    provider_satisfaction: dict[str, float]
+    provider_allocation_satisfaction: dict[str, float]
 
 
 class QueryMediator:
@@ -61,12 +60,12 @@ class QueryMediator:
 
     def __init__(
         self,
-        providers: List[ProviderAgent],
-        consumers: List[ConsumerAgent],
+        providers: list[ProviderAgent],
+        consumers: list[ConsumerAgent],
         *,
-        strategy: Optional[AllocationStrategy] = None,
-        tracker: Optional[SatisfactionTracker] = None,
-        reputation_scores: Optional[Dict[str, float]] = None,
+        strategy: AllocationStrategy | None = None,
+        tracker: SatisfactionTracker | None = None,
+        reputation_scores: dict[str, float] | None = None,
         seed: int = 0,
     ) -> None:
         if not providers:
@@ -81,12 +80,12 @@ class QueryMediator:
             reputation_scores=reputation_scores,
             rng=self._rng,
         )
-        self.records: List[AllocationRecord] = []
+        self.records: list[AllocationRecord] = []
         self.failed_allocations = 0
 
     # -- per-query processing ------------------------------------------------
 
-    def submit(self, query: Query) -> Optional[QueryResult]:
+    def submit(self, query: Query) -> QueryResult | None:
         """Allocate and execute one query; ``None`` when no provider had capacity."""
         consumer = self.consumers.get(query.consumer)
         if consumer is None:
@@ -128,7 +127,7 @@ class QueryMediator:
             imposed_on_provider=imposed,
         )
 
-    def submit_batch(self, queries: List[Query]) -> List[Optional[QueryResult]]:
+    def submit_batch(self, queries: list[Query]) -> list[QueryResult | None]:
         return [self.submit(query) for query in queries]
 
     def end_round(self) -> None:
@@ -138,7 +137,7 @@ class QueryMediator:
 
     # -- reporting ----------------------------------------------------------
 
-    def set_reputation_scores(self, scores: Dict[str, float]) -> None:
+    def set_reputation_scores(self, scores: dict[str, float]) -> None:
         """Refresh the reputation scores reputation-aware strategies consult."""
         self.context.reputation_scores = dict(scores)
 

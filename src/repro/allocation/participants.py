@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional
 
 from repro._util import clamp, require_unit_interval
 from repro.errors import ConfigurationError
@@ -17,7 +16,7 @@ class ProviderAgent:
 
     provider_id: str
     intention: ProviderIntention
-    competence: Dict[str, float] = field(default_factory=dict)
+    competence: dict[str, float] = field(default_factory=dict)
     default_competence: float = 0.6
     capacity_per_round: int = 5
     current_load: float = 0.0
@@ -43,14 +42,16 @@ class ProviderAgent:
     def has_capacity(self, cost: float) -> bool:
         return self.current_load + cost <= self.capacity_per_round
 
-    def serve(self, topic: str, cost: float, rng: Optional[random.Random] = None) -> float:
+    def serve(self, topic: str, cost: float, rng: random.Random | None = None) -> float:
         """Treat a query: consume capacity and return the delivered quality.
 
         Quality is the provider's competence for the topic degraded by its
         current utilization (an overloaded provider answers worse), with a
         small amount of noise.
         """
-        rng = rng or random.Random()
+        # Deterministic fallback: an unseeded Random would pull OS entropy
+        # into the run; the mediator always passes its own seeded rng.
+        rng = rng or random.Random(0)
         self.current_load += cost
         self.treated_queries += 1
         overload_penalty = 0.3 * max(0.0, self.utilization - 0.8) / 0.2

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 from repro._util import clamp, require_unit_interval
 from repro.errors import AllocationError
@@ -39,7 +39,7 @@ class AllocationStrategy(abc.ABC):
         query: Query,
         consumer: ConsumerAgent,
         provider: ProviderAgent,
-        context: "AllocationContext",
+        context: AllocationContext,
     ) -> float:
         """Score a candidate provider for this query (higher is better)."""
 
@@ -48,7 +48,7 @@ class AllocationStrategy(abc.ABC):
         query: Query,
         consumer: ConsumerAgent,
         providers: Sequence[ProviderAgent],
-        context: "AllocationContext",
+        context: AllocationContext,
     ) -> ProviderAgent:
         """Pick the best-scoring provider that still has capacity."""
         candidates = [p for p in providers if p.has_capacity(query.cost)]
@@ -68,9 +68,9 @@ class AllocationContext:
     def __init__(
         self,
         *,
-        tracker: Optional[SatisfactionTracker] = None,
-        reputation_scores: Optional[Dict[str, float]] = None,
-        rng: Optional[random.Random] = None,
+        tracker: SatisfactionTracker | None = None,
+        reputation_scores: dict[str, float] | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         self.tracker = tracker
         self.reputation_scores = reputation_scores or {}
@@ -82,7 +82,13 @@ class RandomAllocation(AllocationStrategy):
 
     name = "random"
 
-    def score(self, query, consumer, provider, context) -> float:
+    def score(
+        self,
+        query: Query,
+        consumer: ConsumerAgent,
+        provider: ProviderAgent,
+        context: AllocationContext,
+    ) -> float:
         return context.rng.random()
 
 
@@ -91,7 +97,13 @@ class CapacityBasedAllocation(AllocationStrategy):
 
     name = "capacity"
 
-    def score(self, query, consumer, provider, context) -> float:
+    def score(
+        self,
+        query: Query,
+        consumer: ConsumerAgent,
+        provider: ProviderAgent,
+        context: AllocationContext,
+    ) -> float:
         return 1.0 - provider.utilization
 
 
@@ -100,7 +112,13 @@ class QualityBasedAllocation(AllocationStrategy):
 
     name = "quality"
 
-    def score(self, query, consumer, provider, context) -> float:
+    def score(
+        self,
+        query: Query,
+        consumer: ConsumerAgent,
+        provider: ProviderAgent,
+        context: AllocationContext,
+    ) -> float:
         return provider.competence_for(query.topic)
 
 
@@ -112,7 +130,13 @@ class ReputationAwareAllocation(AllocationStrategy):
     def __init__(self, *, reputation_weight: float = 0.7) -> None:
         self.reputation_weight = require_unit_interval(reputation_weight, "reputation_weight")
 
-    def score(self, query, consumer, provider, context) -> float:
+    def score(
+        self,
+        query: Query,
+        consumer: ConsumerAgent,
+        provider: ProviderAgent,
+        context: AllocationContext,
+    ) -> float:
         reputation = context.reputation_scores.get(provider.provider_id, 0.5)
         competence = provider.competence_for(query.topic)
         return clamp(
@@ -140,7 +164,13 @@ class SatisfactionBalancedAllocation(AllocationStrategy):
         self.intention_weight = intention_weight / total
         self.balance_weight = balance_weight / total
 
-    def score(self, query, consumer, provider, context) -> float:
+    def score(
+        self,
+        query: Query,
+        consumer: ConsumerAgent,
+        provider: ProviderAgent,
+        context: AllocationContext,
+    ) -> float:
         preference = consumer.intention.preference(provider.provider_id)
         intention = provider.intention.intention_for(query.topic, consumer.consumer_id)
         if context.tracker is not None:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro._util import require_unit_interval
 from repro.errors import ConfigurationError
@@ -49,7 +49,7 @@ class WorkloadGenerator:
         self._query_counter = 0
         self._topic_weights = self._build_topic_weights()
 
-    def _build_topic_weights(self) -> List[float]:
+    def _build_topic_weights(self) -> list[float]:
         n = len(self.spec.topics)
         uniform = [1.0 / n] * n
         # Zipf-like skewed profile, heaviest on the first topic.
@@ -59,15 +59,15 @@ class WorkloadGenerator:
         skew = self.spec.topic_skew
         return [(1.0 - skew) * uniform[i] + skew * skewed[i] for i in range(n)]
 
-    def topic_distribution(self) -> Dict[str, float]:
-        return dict(zip(self.spec.topics, self._topic_weights))
+    def topic_distribution(self) -> dict[str, float]:
+        return dict(zip(self.spec.topics, self._topic_weights, strict=True))
 
     def _draw_topic(self) -> str:
         return self._rng.choices(list(self.spec.topics), weights=self._topic_weights, k=1)[0]
 
-    def round_queries(self, round_index: int) -> List[Query]:
+    def round_queries(self, round_index: int) -> list[Query]:
         """Generate the query batch for one round."""
-        queries: List[Query] = []
+        queries: list[Query] = []
         expected = self.spec.queries_per_consumer_per_round
         low_cost, high_cost = self.spec.cost_range
         for consumer in self.consumers:
@@ -88,7 +88,7 @@ class WorkloadGenerator:
         self._rng.shuffle(queries)
         return queries
 
-    def rounds(self, n_rounds: int) -> Iterator[List[Query]]:
+    def rounds(self, n_rounds: int) -> Iterator[list[Query]]:
         """Iterate over ``n_rounds`` query batches."""
         if n_rounds < 0:
             raise ConfigurationError("n_rounds must be non-negative")

@@ -1,0 +1,51 @@
+"""``repro-lint``: determinism/purity static analysis for the repro tree.
+
+The package turns the repository's reproducibility conventions into
+machine-enforced rules (see ``docs/INVARIANTS.md``):
+
+========  ================  ====================================================
+Rule id   Name              Invariant
+========  ================  ====================================================
+R1        determinism       randomness flows through named RandomStreams only
+R2        ordering          sets are sorted before order reaches any output
+R3        cache-discipline  mutations bump version/epoch counters
+R4        accel-purity      every accel flag has a byte-agreement test
+R5        float-equality    no exact ==/!= on computed floats
+R6        typing            defs fully annotated, Optional explicit
+========  ================  ====================================================
+
+Entry points: the ``repro-lint`` console script, ``python -m
+repro.analysis``, or :func:`repro.analysis.framework.run_lint` in process.
+Suppress a single finding with ``# repro-lint: ignore[RULE] reason``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contracts import CacheContract, LintConfig, default_config
+from repro.analysis.framework import (
+    Finding,
+    LintResult,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    register,
+    registered_rules,
+    run_lint,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "CacheContract",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "default_config",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

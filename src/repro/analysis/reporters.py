@@ -1,0 +1,48 @@
+"""Render lint results as human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.framework import LintResult
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """GCC-style ``path:line:col: RULE[name] message`` lines plus a summary."""
+    lines: list[str] = []
+    for finding in result.active:
+        lines.append(
+            f"{finding.location()}: {finding.rule}[{finding.name}] {finding.message}"
+        )
+    if show_suppressed:
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.location()}: {finding.rule}[{finding.name}] "
+                f"(suppressed) {finding.message}"
+            )
+    counts = result.counts()
+    if counts:
+        per_rule = ", ".join(f"{rule}: {count}" for rule, count in sorted(counts.items()))
+        lines.append(
+            f"repro-lint: {len(result.active)} finding(s) in "
+            f"{result.checked_files} file(s) ({per_rule}); "
+            f"{len(result.suppressed)} suppressed"
+        )
+    else:
+        lines.append(
+            f"repro-lint: clean — {result.checked_files} file(s), "
+            f"{len(result.suppressed)} suppressed finding(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document (sorted keys) suitable as a CI artifact."""
+    document: dict[str, object] = {
+        "version": 1,
+        "checked_files": result.checked_files,
+        "counts": result.counts(),
+        "findings": [finding.as_dict() for finding in result.findings],
+        "clean": not result.active,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,12 @@
+"""Rule pack: importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401
+    accel_purity,
+    cache_discipline,
+    determinism,
+    float_equality,
+    ordering,
+    typing_discipline,
+)

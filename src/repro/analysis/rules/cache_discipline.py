@@ -1,0 +1,182 @@
+"""R3 — cache discipline: mutations must bump version/epoch counters.
+
+The incremental-refresh layer (PR 5) keys every derived cache on a monotone
+counter: :class:`FeedbackStore` bumps ``_version``/``_epoch``,
+:class:`SocialGraph` bumps ``_version`` via ``_invalidate_caches``, and the
+derived caches (:class:`LocalTrustBuilder`, :class:`TrustOverlayNetwork`)
+re-validate against those counters on every read.  A mutating method that
+forgets the bump silently serves stale scores — the worst kind of
+reproducibility bug, because small tests rarely hit the stale window.
+
+The rule is driven by the :class:`~repro.analysis.contracts.CacheContract`
+registry:
+
+* **owner** classes: any method that writes primary ``self`` state
+  (assignment, augmented assignment, or a mutating call such as
+  ``self._field.append(...)``) must also bump a declared counter or call a
+  declared invalidator;
+* **derived** classes: any method that writes a declared cache field must
+  read the declared upstream counter (``self._store.epoch``) somewhere in
+  its body.
+
+Writes to declared ``cache_fields`` never require a bump (they *are* the
+caches), and access through local aliases is invisible to the analysis —
+keep mutations on ``self`` attributes direct where possible.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.contracts import CacheContract, LintConfig
+from repro.analysis.framework import Finding, ModuleContext, Rule, register
+
+#: Method calls that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append",
+    "add",
+    "extend",
+    "insert",
+    "update",
+    "clear",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+
+def _self_attr(node: ast.expr) -> str:
+    """``self.x`` -> ``"x"``; anything else -> ``""``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _self_attr_path(node: ast.expr) -> str:
+    """``self.a.b.c`` -> ``"a.b.c"``; anything else -> ``""``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name) and current.id == "self" and parts:
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _MethodScan:
+    """What a method does to ``self`` state, statically."""
+
+    def __init__(self, method: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.written: set[str] = set()
+        self.mutated: set[str] = set()
+        self.called: set[str] = set()
+        self.read_paths: set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if target is None:
+                        continue
+                    attr = _self_attr(target)
+                    if attr:
+                        self.written.add(attr)
+                    elif isinstance(target, ast.Subscript):
+                        # self._field[key] = ... mutates the container.
+                        attr = _self_attr(target.value)
+                        if attr:
+                            self.mutated.add(attr)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = node.func.value
+                attr = _self_attr(receiver)
+                if attr and node.func.attr in _MUTATING_METHODS:
+                    self.mutated.add(attr)
+                if isinstance(receiver, ast.Name) and receiver.id == "self":
+                    self.called.add(node.func.attr)
+            if isinstance(node, ast.Attribute):
+                path = _self_attr_path(node)
+                if path:
+                    self.read_paths.add(path)
+
+
+@register
+class CacheDisciplineRule(Rule):
+    rule_id = "R3"
+    name = "cache-discipline"
+    description = (
+        "Registered cache-owning classes must bump their version/epoch "
+        "counter on every primary-state mutation; derived caches must "
+        "consult their upstream counter before reuse."
+    )
+
+    def check_module(
+        self, module: ModuleContext, config: LintConfig
+    ) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        contracts = [c for c in config.cache_contracts if module.matches(c.module)]
+        if not contracts:
+            return findings
+        by_class = {c.class_name: c for c in contracts}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name in by_class:
+                findings.extend(self._check_class(module, node, by_class[node.name]))
+        return findings
+
+    def _check_class(
+        self, module: ModuleContext, cls: ast.ClassDef, contract: CacheContract
+    ) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        exempt = set(contract.exempt_methods)
+        cache_fields = set(contract.cache_fields)
+        counters = set(contract.counters)
+        invalidators = set(contract.invalidators)
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in exempt or item.name in invalidators:
+                continue
+            scan = _MethodScan(item)
+            if counters:
+                primary_writes = (scan.written | scan.mutated) - cache_fields - counters
+                if not primary_writes:
+                    continue
+                bumps = bool(scan.written & counters) or bool(scan.called & invalidators)
+                if not bumps:
+                    findings.append(
+                        self.finding(
+                            module.rel,
+                            item,
+                            f"{cls.name}.{item.name} mutates "
+                            f"{sorted(primary_writes)} without bumping "
+                            f"{sorted(counters)} or calling an invalidator; "
+                            "stale caches would survive the mutation",
+                        )
+                    )
+            elif contract.source_counters:
+                cache_writes = (scan.written | scan.mutated) & cache_fields
+                if not cache_writes:
+                    continue
+                consulted = any(
+                    source in scan.read_paths for source in contract.source_counters
+                )
+                if not consulted:
+                    findings.append(
+                        self.finding(
+                            module.rel,
+                            item,
+                            f"{cls.name}.{item.name} writes cache fields "
+                            f"{sorted(cache_writes)} without reading "
+                            f"{sorted(contract.source_counters)}; the cache "
+                            "could be reused across an upstream mutation",
+                        )
+                    )
+        return findings

@@ -1,0 +1,166 @@
+"""R2 — ordered iteration: never iterate a set into ordered output.
+
+Python ``set`` iteration order depends on string hashing, which is salted
+per process — the classic way byte-identical records break the moment a
+sweep runs under a different worker count or interpreter.  This rule flags
+``for`` loops, comprehensions and ``list``/``tuple``/``sum`` conversions
+whose iterable is statically known to be a set:
+
+* set literals, set comprehensions, ``set(...)``/``frozenset(...)`` calls
+  and chained set-operator calls (``.union(...)``, ``.intersection(...)``…);
+* calls to functions annotated ``-> Set[...]`` in the same module, or whose
+  name the config registers as set-returning (``FeedbackStore.participants``);
+* names assigned from any of the above within the same function.
+
+Wrapping the expression in ``sorted(...)`` is the fix; order-insensitive
+consumers (``len``, ``min``, ``max``, ``any``, ``all``, membership) are
+never flagged.  Where unordered iteration is provably safe (the values are
+re-sorted downstream, or feed an order-independent reduction), suppress
+with a justification::
+
+    for peer in live_peers:  # repro-lint: ignore[R2] ids re-sorted below
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.contracts import LintConfig
+from repro.analysis.framework import Finding, ModuleContext, Rule, register
+
+_SET_OPERATOR_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+}
+
+#: Converting/reducing calls where argument order reaches the result.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "sum", "enumerate", "iter", "next"}
+
+
+def _set_returning_defs(tree: ast.Module) -> set[str]:
+    """Names of functions locally annotated as returning a set."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.returns:
+            rendered = ast.unparse(node.returns)
+            if rendered.partition("[")[0] in ("Set", "set", "FrozenSet", "frozenset"):
+                names.add(node.name)
+    return names
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Tracks which local names are bound to set-valued expressions."""
+
+    def __init__(self, set_funcs: set[str]) -> None:
+        self.set_funcs = set_funcs
+        self.set_names: set[str] = set()
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # Set algebra preserves setness; require at least one known side.
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Name) and func.id in self.set_funcs:
+                return True
+            if isinstance(func, ast.Attribute):
+                if func.attr in self.set_funcs:
+                    return True
+                if func.attr in _SET_OPERATOR_METHODS and self.is_set_expr(func.value):
+                    return True
+                if func.attr == "copy" and self.is_set_expr(func.value):
+                    return True
+        return False
+
+
+@register
+class OrderedIterationRule(Rule):
+    rule_id = "R2"
+    name = "ordering"
+    description = (
+        "Iterating a set without sorted() leaks hash order into results; "
+        "records, JSON output and accumulations must iterate sorted views."
+    )
+
+    def check_module(
+        self, module: ModuleContext, config: LintConfig
+    ) -> Iterable[Finding]:
+        set_funcs = _set_returning_defs(module.tree) | set(config.set_returning)
+        findings: list[Finding] = []
+        for scope in self._scopes(module.tree):
+            tracker = _SetTracker(set_funcs)
+            # First pass: which names are bound to sets anywhere in the scope
+            # (simple flow-insensitive binding; rebinding to a sorted list
+            # removes the name again).
+            for node in self._walk_scope(scope):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        if tracker.is_set_expr(node.value):
+                            tracker.set_names.add(target.id)
+                        else:
+                            tracker.set_names.discard(target.id)
+                elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                    rendered = ast.unparse(node.annotation)
+                    if rendered.partition("[")[0] in ("Set", "set", "FrozenSet", "frozenset"):
+                        tracker.set_names.add(node.target.id)
+            for node in self._walk_scope(scope):
+                iter_expr: ast.expr | None = None
+                context = ""
+                if isinstance(node, ast.For):
+                    iter_expr, context = node.iter, "for loop"
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    iter_expr, context = node.generators[0].iter, "comprehension"
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                ):
+                    iter_expr, context = node.args[0], f"{node.func.id}() conversion"
+                if iter_expr is not None and tracker.is_set_expr(iter_expr):
+                    findings.append(
+                        self.finding(
+                            module.rel,
+                            iter_expr,
+                            f"set iterated by {context} without sorted(); set order "
+                            "is hash-salted and breaks byte-identical records",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _scopes(tree: ast.Module) -> list[ast.AST]:
+        """Module plus every function, for per-scope name tracking."""
+        scopes: list[ast.AST] = [tree]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        return scopes
+
+    @staticmethod
+    def _walk_scope(scope: ast.AST) -> Iterable[ast.AST]:
+        """Preorder walk of a scope, in source order, skipping nested defs.
+
+        Source order matters: the binding pass tracks set-valued names as
+        they are assigned, so ``base = {...}`` must be seen before a later
+        ``combined = base.union(...)`` can be recognised as set-valued.
+        """
+        stack = list(ast.iter_child_nodes(scope))[::-1]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(list(ast.iter_child_nodes(node))[::-1])

@@ -1,0 +1,135 @@
+"""R6 — typing discipline: the local half of the strict-typing gate.
+
+CI runs mypy with ``disallow_untyped_defs``/``no_implicit_optional``; this
+rule enforces the part of that contract that is checkable from the AST
+alone, so contributors without mypy installed still catch the bulk of
+violations before pushing:
+
+* every function parameter (except ``self``/``cls``), ``*args``/``**kwargs``
+  and return value must be annotated (``__init__`` included — mypy strict
+  requires its ``-> None``);
+* a parameter defaulting to ``None`` must say so in its annotation
+  (``X | None``, ``Optional[X]``, ``Any`` or ``object``) — the implicit
+  Optional mypy no longer accepts.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.contracts import LintConfig
+from repro.analysis.framework import Finding, ModuleContext, Rule, register
+
+
+def _accepts_none(annotation: ast.expr) -> bool:
+    """Whether the annotation's *top level* admits None (mypy's rule)."""
+    # String annotations: unwrap the quoting level and re-parse.
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(annotation, ast.Constant) and annotation.value is None:
+        return True
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("Any", "object")
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in ("Any", "object")
+    if isinstance(annotation, ast.Subscript):
+        head = annotation.value
+        head_name = head.id if isinstance(head, ast.Name) else (
+            head.attr if isinstance(head, ast.Attribute) else ""
+        )
+        if head_name == "Optional":
+            return True
+        if head_name == "Union":
+            elements = (
+                annotation.slice.elts
+                if isinstance(annotation.slice, ast.Tuple)
+                else [annotation.slice]
+            )
+            return any(_accepts_none(element) for element in elements)
+        return False
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _accepts_none(annotation.left) or _accepts_none(annotation.right)
+    return False
+
+
+@register
+class TypingDisciplineRule(Rule):
+    rule_id = "R6"
+    name = "typing"
+    description = (
+        "All defs must be fully annotated and Optional parameters explicit "
+        "— the AST-checkable half of the mypy strict gate."
+    )
+
+    def check_module(
+        self, module: ModuleContext, config: LintConfig
+    ) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            positional = args.posonlyargs + args.args
+            missing: list[str] = []
+            for index, arg in enumerate(positional):
+                if index == 0 and arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            missing.extend(arg.arg for arg in args.kwonlyargs if arg.annotation is None)
+            if args.vararg is not None and args.vararg.annotation is None:
+                missing.append("*" + args.vararg.arg)
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append("**" + args.kwarg.arg)
+            if missing:
+                findings.append(
+                    self.finding(
+                        module.rel,
+                        node,
+                        f"def {node.name} has unannotated parameters: "
+                        f"{', '.join(missing)}",
+                    )
+                )
+            if node.returns is None:
+                findings.append(
+                    self.finding(
+                        module.rel,
+                        node,
+                        f"def {node.name} has no return annotation"
+                        + (" (use -> None)" if node.name == "__init__" else ""),
+                    )
+                )
+            defaults = list(args.defaults)
+            # defaults align right-justified against positional parameters.
+            for arg, default in zip(positional[len(positional) - len(defaults):], defaults, strict=True):
+                self._check_optional(module, node, arg, default, findings)
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults, strict=True):
+                if default is not None:
+                    self._check_optional(module, node, arg, default, findings)
+        return findings
+
+    def _check_optional(
+        self,
+        module: ModuleContext,
+        func: ast.AST,
+        arg: ast.arg,
+        default: ast.expr,
+        findings: list[Finding],
+    ) -> None:
+        if not (isinstance(default, ast.Constant) and default.value is None):
+            return
+        if arg.annotation is None or _accepts_none(arg.annotation):
+            return
+        findings.append(
+            self.finding(
+                module.rel,
+                arg,
+                f"parameter {arg.arg!r} defaults to None but its annotation "
+                f"({ast.unparse(arg.annotation)}) does not allow None "
+                "(implicit Optional)",
+            )
+        )

@@ -37,7 +37,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import ConfigurationError
 
@@ -65,7 +65,7 @@ class AccelFlags:
     #: regardless of the individual flags (the cold-pipeline benchmark mode).
     disable_all: bool = False
 
-    def effective(self) -> "AccelFlags":
+    def effective(self) -> AccelFlags:
         """The flags as consumers should read them (kill switch applied)."""
         if not self.disable_all:
             return self
@@ -77,7 +77,7 @@ class AccelFlags:
         )
 
 
-def _from_env(value: str) -> "tuple[AccelFlags, frozenset]":
+def _from_env(value: str) -> tuple[AccelFlags, frozenset]:
     """Parse ``REPRO_ACCEL``: the flags plus which fields were set explicitly."""
     flags = AccelFlags()
     explicit = set()

@@ -30,7 +30,8 @@ bitwise identical to the fallback.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 
@@ -43,6 +44,17 @@ try:
     import scipy.sparse as sparse
 except ImportError:  # pragma: no cover - scipy is an optional accelerator
     sparse = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:
+    from types import ModuleType
+
+    from repro.reputation.gathering import FeedbackColumns
+
+    #: Anything the kernels coerce through ``numpy.asarray``: an existing
+    #: array or a (possibly nested) sequence of numbers.
+    ArrayLike = np.ndarray | Sequence[float] | Sequence[Sequence[float]]
+    #: A local-trust matrix: dense array, or CSR-sparse when scipy is present.
+    TrustMatrix = np.ndarray | sparse.csr_matrix
 
 #: Whether the vectorized backend can be used at all in this interpreter.
 HAS_NUMPY = np is not None
@@ -74,7 +86,7 @@ FLAT_SPREAD = 1e-12
 DENSE_TRUST_THRESHOLD = 128
 
 
-def available_backends() -> Tuple[str, ...]:
+def available_backends() -> tuple[str, ...]:
     """The concrete backends that can run in this interpreter."""
     if HAS_NUMPY:
         return (PYTHON_BACKEND, VECTORIZED_BACKEND)
@@ -100,7 +112,7 @@ def resolve_backend(name: str) -> str:
     return name
 
 
-def require_numpy():
+def require_numpy() -> ModuleType:
     """Return the numpy module or raise a helpful error."""
     if np is None:  # pragma: no cover - exercised only without numpy
         raise ConfigurationError("this code path requires numpy, which is not installed")
@@ -118,13 +130,13 @@ class PeerIndex:
     __slots__ = ("ids", "_positions")
 
     def __init__(self, ids: Sequence[str]) -> None:
-        self.ids: List[str] = list(ids)
-        self._positions: Dict[str, int] = {peer: position for position, peer in enumerate(self.ids)}
+        self.ids: list[str] = list(ids)
+        self._positions: dict[str, int] = {peer: position for position, peer in enumerate(self.ids)}
         if len(self._positions) != len(self.ids):
             raise ConfigurationError("peer ids must be unique")
 
     @classmethod
-    def from_ids(cls, ids: Iterable[str], *, sort: bool = True) -> "PeerIndex":
+    def from_ids(cls, ids: Iterable[str], *, sort: bool = True) -> PeerIndex:
         return cls(sorted(ids) if sort else list(ids))
 
     def __len__(self) -> int:
@@ -140,16 +152,16 @@ class PeerIndex:
             raise ConfigurationError(f"unknown peer id {peer_id!r}") from None
 
     @property
-    def position_map(self) -> Dict[str, int]:
+    def position_map(self) -> dict[str, int]:
         """The live id→position mapping (insertion order = array order);
         treat as read-only."""
         return self._positions
 
-    def positions(self, peer_ids: Iterable[str]) -> List[int]:
+    def positions(self, peer_ids: Iterable[str]) -> list[int]:
         lookup = self._positions
         return [lookup[peer_id] for peer_id in peer_ids]
 
-    def permutation(self, ids: Sequence[str]):
+    def permutation(self, ids: Sequence[str]) -> np.ndarray:
         """Dense positions of ``ids`` as an array; unknown ids map to -1.
 
         Pairs with interned code columns: translating a million-report code
@@ -164,11 +176,11 @@ class PeerIndex:
             count=len(ids),
         )
 
-    def vector_to_dict(self, values) -> Dict[str, float]:
+    def vector_to_dict(self, values: Iterable[float]) -> dict[str, float]:
         """Zip a dense vector back into an id-keyed mapping (array order)."""
-        return {peer: float(value) for peer, value in zip(self.ids, values)}
+        return {peer: float(value) for peer, value in zip(self.ids, values, strict=True)}
 
-    def dict_to_vector(self, mapping: Mapping[str, float], *, default: float = 0.0):
+    def dict_to_vector(self, mapping: Mapping[str, float], *, default: float = 0.0) -> np.ndarray:
         numpy = require_numpy()
         return numpy.array([mapping.get(peer, default) for peer in self.ids], dtype=float)
 
@@ -178,10 +190,10 @@ class PeerIndex:
 
 def local_trust_matrix(
     n: int,
-    rater_positions,
-    subject_positions,
-    deltas,
-):
+    rater_positions: ArrayLike,
+    subject_positions: ArrayLike,
+    deltas: ArrayLike,
+) -> TrustMatrix:
     """Row-normalized local trust ``C`` from pairwise feedback deltas.
 
     Mirrors :meth:`LocalTrustBuilder.normalized_local_trust`: raw pairwise
@@ -215,10 +227,10 @@ def local_trust_matrix(
 
 def dense_local_trust_matrix(
     n: int,
-    rater_positions,
-    subject_positions,
-    deltas,
-):
+    rater_positions: ArrayLike,
+    subject_positions: ArrayLike,
+    deltas: ArrayLike,
+) -> np.ndarray:
     """The dense fallback of :func:`local_trust_matrix` (no scipy needed).
 
     The scatter-add goes through ``bincount`` on flattened ``(rater,
@@ -237,7 +249,7 @@ def dense_local_trust_matrix(
     return normalize_dense_raw(raw, copy=False)
 
 
-def normalize_dense_raw(raw, *, copy: bool = True):
+def normalize_dense_raw(raw: np.ndarray, *, copy: bool = True) -> np.ndarray:
     """Clip-at-zero and row-normalize a dense signed pairwise-total matrix.
 
     The shared tail of every dense local-trust build — per-report scatter,
@@ -257,7 +269,7 @@ def normalize_dense_raw(raw, *, copy: bool = True):
     return clipped
 
 
-def local_trust_matrix_from_columns(columns, index: PeerIndex):
+def local_trust_matrix_from_columns(columns: FeedbackColumns, index: PeerIndex) -> TrustMatrix:
     """Dense local trust straight from interned feedback columns.
 
     ``columns`` is a :class:`repro.reputation.gathering.FeedbackColumns`;
@@ -276,13 +288,13 @@ def local_trust_matrix_from_columns(columns, index: PeerIndex):
 
 
 def power_iteration(
-    matrix,
-    restart,
+    matrix: TrustMatrix,
+    restart: ArrayLike,
     *,
     restart_weight: float,
     max_iterations: int,
     tolerance: float,
-):
+) -> tuple[np.ndarray, int]:
     """Damped power iteration ``t ← (1 − a)·(Cᵀ t + dangling·p) + a·p``.
 
     ``matrix`` is the row-stochastic local trust ``C`` (all-zero rows are
@@ -338,7 +350,7 @@ def power_iteration(
     return trust, iterations
 
 
-def minmax_rescale(values):
+def minmax_rescale(values: ArrayLike) -> np.ndarray:
     """Min-max rescale a vector into ``[0, 1]``; flat vectors map to 0.5."""
     numpy = require_numpy()
     values = numpy.asarray(values, dtype=float)
@@ -349,7 +361,7 @@ def minmax_rescale(values):
     return numpy.clip((values - low) / (high - low), 0.0, 1.0)
 
 
-def subject_positions_from_columns(columns, index: PeerIndex):
+def subject_positions_from_columns(columns: FeedbackColumns, index: PeerIndex) -> np.ndarray:
     """Dense index positions of every report's subject, via interned codes.
 
     The shared preamble of the subject-keyed score kernels (Beta, simple
@@ -362,7 +374,7 @@ def subject_positions_from_columns(columns, index: PeerIndex):
     ]
 
 
-def minmax_rescale_dict(trust: Dict[str, float]) -> Dict[str, float]:
+def minmax_rescale_dict(trust: dict[str, float]) -> dict[str, float]:
     """Pure-Python twin of :func:`minmax_rescale` over an id-keyed mapping.
 
     The single source of the flat-maps-to-0.5 / clamp((v-low)/spread) rule
@@ -378,7 +390,7 @@ def minmax_rescale_dict(trust: Dict[str, float]) -> Dict[str, float]:
     return {peer: min(1.0, max(0.0, (value - low) / spread)) for peer, value in trust.items()}
 
 
-def mean_scores(subject_positions, ratings, n_subjects: int):
+def mean_scores(subject_positions: ArrayLike, ratings: ArrayLike, n_subjects: int) -> np.ndarray:
     """Per-subject mean rating (the simple-average mechanism's kernel)."""
     numpy = require_numpy()
     positions = numpy.asarray(subject_positions, dtype=numpy.intp)
@@ -389,13 +401,13 @@ def mean_scores(subject_positions, ratings, n_subjects: int):
 
 
 def beta_scores(
-    subject_positions,
-    times,
-    positives,
+    subject_positions: ArrayLike,
+    times: ArrayLike,
+    positives: ArrayLike,
     *,
     forgetting: float,
     n_subjects: int,
-):
+) -> np.ndarray:
     """Beta-posterior expected values with exponential forgetting.
 
     ``α = 1 + Σ forgetting^(latest_subject − t)`` over positive reports,
@@ -431,7 +443,7 @@ COUPLING_LAYOUT = (
 
 
 def coupling_step(
-    state,
+    state: ArrayLike,
     *,
     sharing_level: float,
     mechanism_power: float,
@@ -441,7 +453,7 @@ def coupling_step(
     privacy_weight: float,
     reputation_weight: float,
     satisfaction_weight: float,
-):
+) -> np.ndarray:
     """One damped update of the Section-3 couplings on a ``(..., 6)`` array.
 
     The expressions mirror :class:`CouplingDynamics`' pure-Python targets
@@ -499,12 +511,12 @@ def coupling_step(
 
 
 def coupling_run(
-    initial,
+    initial: ArrayLike,
     *,
     steps: int,
     tolerance: float,
     **params: float,
-):
+) -> np.ndarray:
     """Iterate one coupling state to convergence; returns the ``(T, 6)`` path."""
     numpy = require_numpy()
     state = numpy.asarray(initial, dtype=float)
@@ -519,12 +531,12 @@ def coupling_run(
 
 
 def coupling_equilibria(
-    initials,
+    initials: ArrayLike,
     *,
     steps: int,
     tolerance: float,
     **params: float,
-):
+) -> np.ndarray:
     """Evolve a batch of states to their per-trajectory fixed points.
 
     Equivalent to calling :func:`coupling_run` on each row and keeping the
@@ -554,7 +566,9 @@ def coupling_equilibria(
 # -- simulation kernels -----------------------------------------------------
 
 
-def interaction_counts(activities, interactions_per_peer: float, draws):
+def interaction_counts(
+    activities: ArrayLike, interactions_per_peer: float, draws: ArrayLike
+) -> np.ndarray:
     """Per-peer interaction counts from one uniform draw per peer.
 
     Mirrors the scalar rule ``int(e) + (draw < e - int(e))`` with
@@ -568,7 +582,7 @@ def interaction_counts(activities, interactions_per_peer: float, draws):
     return (base + bonus).astype(numpy.intp)
 
 
-def lexicographic_argmax(primary, tiebreak) -> int:
+def lexicographic_argmax(primary: ArrayLike, tiebreak: ArrayLike) -> int:
     """Index of the maximum by ``(primary, tiebreak)`` — vectorized twin of
     sorting score/jitter pairs descending and taking the head."""
     numpy = require_numpy()

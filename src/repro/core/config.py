@@ -20,7 +20,6 @@ settings in order to maximize the user's trust towards the system".
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
 
 from repro._util import normalize_weights, require_unit_interval
 from repro.errors import ConfigurationError
@@ -62,7 +61,7 @@ class SystemSettings:
         ):
             raise ConfigurationError("at least one facet weight must be positive")
 
-    def weights(self) -> Dict[str, float]:
+    def weights(self) -> dict[str, float]:
         """Raw facet weights keyed by facet name."""
         return {
             "privacy": self.privacy_weight,
@@ -70,21 +69,21 @@ class SystemSettings:
             "satisfaction": self.satisfaction_weight,
         }
 
-    def normalized_weights(self) -> Dict[str, float]:
+    def normalized_weights(self) -> dict[str, float]:
         """Facet weights normalized to sum to one (privacy, reputation, satisfaction)."""
         names = ["privacy", "reputation", "satisfaction"]
         raw = [self.weights()[name] for name in names]
         normalized = normalize_weights(raw)
-        return dict(zip(names, normalized))
+        return dict(zip(names, normalized, strict=True))
 
-    def with_sharing_level(self, sharing_level: float) -> "SystemSettings":
+    def with_sharing_level(self, sharing_level: float) -> SystemSettings:
         """A copy of the settings with a different information-sharing level."""
         return replace(self, sharing_level=sharing_level)
 
-    def with_mechanism(self, mechanism: str) -> "SystemSettings":
+    def with_mechanism(self, mechanism: str) -> SystemSettings:
         return replace(self, reputation_mechanism=mechanism)
 
-    def describe(self) -> Dict[str, object]:
+    def describe(self) -> dict[str, object]:
         """A plain dictionary view used by reports and benchmarks."""
         return {
             "sharing_level": self.sharing_level,

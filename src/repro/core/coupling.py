@@ -31,7 +31,7 @@ every other variable at equilibrium.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro._util import clamp, require_unit_interval
 from repro.core import backend as backend_kernels
@@ -50,13 +50,13 @@ STATE_VARIABLES = (
 )
 
 
-def _state_to_vector(state: "CouplingState"):
+def _state_to_vector(state: CouplingState) -> backend_kernels.np.ndarray:
     numpy = backend_kernels.require_numpy()
     return numpy.array([getattr(state, name) for name in STATE_VARIABLES], dtype=float)
 
 
-def _state_from_vector(values) -> "CouplingState":
-    return CouplingState(**{name: float(value) for name, value in zip(STATE_VARIABLES, values)})
+def _state_from_vector(values: Sequence[float]) -> CouplingState:
+    return CouplingState(**{name: float(value) for name, value in zip(STATE_VARIABLES, values, strict=True)})
 
 
 @dataclass(frozen=True)
@@ -74,10 +74,10 @@ class CouplingState:
         for name in STATE_VARIABLES:
             require_unit_interval(getattr(self, name), name)
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         return {name: getattr(self, name) for name in STATE_VARIABLES}
 
-    def distance(self, other: "CouplingState") -> float:
+    def distance(self, other: CouplingState) -> float:
         return max(abs(getattr(self, name) - getattr(other, name)) for name in STATE_VARIABLES)
 
 
@@ -122,6 +122,8 @@ class CouplingDynamics:
         require_unit_interval(self.policy_respect, "policy_respect")
         require_unit_interval(self.trustworthy_fraction, "trustworthy_fraction")
         require_unit_interval(self.damping, "damping")
+        # repro-lint: ignore[R5] config sentinel: damping arrives by
+        # assignment, not arithmetic, so the zero check is exact
         if self.damping == 0.0:
             raise ConfigurationError("damping must be positive for the state to move")
         resolve_backend(self.backend)  # fail fast on unknown backends
@@ -130,7 +132,7 @@ class CouplingDynamics:
     def resolved_backend(self) -> str:
         return resolve_backend(self.backend)
 
-    def _kernel_params(self) -> Dict[str, float]:
+    def _kernel_params(self) -> dict[str, float]:
         """The dynamics parameters in the form the array kernels take."""
         return {
             "sharing_level": self.sharing_level,
@@ -214,11 +216,11 @@ class CouplingDynamics:
 
     def run(
         self,
-        initial: Optional[CouplingState] = None,
+        initial: CouplingState | None = None,
         *,
         steps: int = 200,
         tolerance: float = 1e-6,
-    ) -> List[CouplingState]:
+    ) -> list[CouplingState]:
         """Iterate until convergence (or the step budget) and return the trajectory.
 
         The vectorized backend runs the same damped update as an array
@@ -247,7 +249,7 @@ class CouplingDynamics:
         return trajectory
 
     def equilibrium(
-        self, initial: Optional[CouplingState] = None, *, steps: int = 500
+        self, initial: CouplingState | None = None, *, steps: int = 500
     ) -> CouplingState:
         """The state the dynamics converge to from ``initial``."""
         return self.run(initial, steps=steps)[-1]
@@ -258,7 +260,7 @@ class CouplingDynamics:
         *,
         steps: int = 500,
         tolerance: float = 1e-6,
-    ) -> List[CouplingState]:
+    ) -> list[CouplingState]:
         """Fixed points reached from many initial states.
 
         Equivalent to ``[self.equilibrium(s) for s in initials]`` but the
@@ -285,7 +287,7 @@ def coupling_matrix(
     *,
     perturbation: float = 0.2,
     response_steps: int = 5,
-) -> Dict[str, Dict[str, float]]:
+) -> dict[str, dict[str, float]]:
     """Signed sensitivities reproducing the arrows of Figure 1.
 
     For every source variable, the equilibrium is perturbed upwards by
@@ -297,8 +299,8 @@ def coupling_matrix(
     require_unit_interval(perturbation, "perturbation")
     equilibrium = dynamics.equilibrium()
 
-    deltas: Dict[str, float] = {}
-    perturbed_states: List[CouplingState] = []
+    deltas: dict[str, float] = {}
+    perturbed_states: list[CouplingState] = []
     for source in STATE_VARIABLES:
         perturbed_value = clamp(getattr(equilibrium, source) + perturbation)
         deltas[source] = perturbed_value - getattr(equilibrium, source)
@@ -319,8 +321,8 @@ def coupling_matrix(
                 state = dynamics.step(state)
             responses_states.append(state)
 
-    matrix: Dict[str, Dict[str, float]] = {}
-    for source, state in zip(STATE_VARIABLES, responses_states):
+    matrix: dict[str, dict[str, float]] = {}
+    for source, state in zip(STATE_VARIABLES, responses_states, strict=True):
         actual_delta = deltas[source]
         responses = {}
         for target in STATE_VARIABLES:

@@ -20,7 +20,7 @@ satisfaction tracker).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from collections.abc import Mapping
 
 from repro._util import clamp, require_unit_interval
 from repro.privacy.disclosure import DisclosureLedger
@@ -46,7 +46,7 @@ class FacetScores:
         require_unit_interval(self.reputation, "reputation")
         require_unit_interval(self.satisfaction, "satisfaction")
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         return {
             "privacy": self.privacy,
             "reputation": self.reputation,
@@ -72,8 +72,8 @@ def privacy_facet(
     sharing_level: float,
     information_requirement: float,
     anonymous_feedback: bool = False,
-    ledger: Optional[DisclosureLedger] = None,
-    privacy_concerns: Optional[Mapping[str, float]] = None,
+    ledger: DisclosureLedger | None = None,
+    privacy_concerns: Mapping[str, float] | None = None,
     guarantee_weight: float = 0.5,
 ) -> float:
     """Privacy facet: ex ante guarantees blended with measured outcomes.
@@ -108,7 +108,7 @@ def reputation_facet(
 def satisfaction_facet(
     satisfactions: Mapping[str, float],
     *,
-    weights: Optional[Mapping[str, float]] = None,
+    weights: Mapping[str, float] | None = None,
     fairness_weight: float = 0.25,
 ) -> float:
     """Satisfaction facet: the global users' satisfaction."""

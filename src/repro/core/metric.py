@@ -24,7 +24,7 @@ mean, which preserves the paper's intuition that all three facets are needed
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 from repro._util import clamp, normalize_weights
 from repro.errors import ConfigurationError
@@ -47,8 +47,8 @@ class CompositeTrustMetric:
         self,
         *,
         aggregator: Aggregator = Aggregator.GEOMETRIC,
-        weights: Optional[Dict[str, float]] = None,
-        owa_weights: Optional[Sequence[float]] = None,
+        weights: dict[str, float] | None = None,
+        owa_weights: Sequence[float] | None = None,
     ) -> None:
         self.aggregator = aggregator
         raw_weights = weights or {"privacy": 1.0, "reputation": 1.0, "satisfaction": 1.0}
@@ -57,7 +57,7 @@ class CompositeTrustMetric:
             raise ConfigurationError(f"missing facet weights: {sorted(missing)}")
         names = ["privacy", "reputation", "satisfaction"]
         normalized = normalize_weights([raw_weights[name] for name in names])
-        self.weights = dict(zip(names, normalized))
+        self.weights = dict(zip(names, normalized, strict=True))
         # OWA weights apply to facet values sorted ascending (weakest first);
         # the default emphasises the weakest facet without ignoring the rest.
         self.owa_weights = normalize_weights(list(owa_weights or (0.5, 0.3, 0.2)))
@@ -79,12 +79,12 @@ class CompositeTrustMetric:
             result = min(values.values())
         elif self.aggregator is Aggregator.OWA:
             ordered = sorted(values.values())
-            result = sum(w * v for w, v in zip(self.owa_weights, ordered))
+            result = sum(w * v for w, v in zip(self.owa_weights, ordered, strict=True))
         else:  # pragma: no cover - enum is exhaustive
             raise ConfigurationError(f"unknown aggregator {self.aggregator!r}")
         return clamp(result)
 
-    def contributions(self, facets: FacetScores) -> Dict[str, float]:
+    def contributions(self, facets: FacetScores) -> dict[str, float]:
         """Marginal contribution of each facet: trust drop if that facet were zero.
 
         This is the designer-facing diagnostic the paper asks for ("helps the
@@ -100,7 +100,7 @@ class CompositeTrustMetric:
             contributions[name] = clamp(baseline - self.trust(degraded))
         return contributions
 
-    def describe(self) -> Dict[str, object]:
+    def describe(self) -> dict[str, object]:
         return {
             "aggregator": self.aggregator.value,
             "weights": dict(self.weights),

@@ -21,7 +21,7 @@ simulation-backed evaluator) can be plugged in.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro._util import require_unit_interval
 from repro.errors import ConfigurationError
@@ -56,7 +56,7 @@ class FacetConstraints:
             and facets.satisfaction >= self.min_satisfaction
         )
 
-    def violations(self, facets: FacetScores) -> List[str]:
+    def violations(self, facets: FacetScores) -> list[str]:
         """Names of the facets whose constraint is violated."""
         violated = []
         if facets.privacy < self.min_privacy:
@@ -72,11 +72,11 @@ class FacetConstraints:
 class OptimizationResult:
     """Outcome of a settings search."""
 
-    best: Optional[TradeoffPoint]
-    feasible: List[TradeoffPoint]
+    best: TradeoffPoint | None
+    feasible: list[TradeoffPoint]
     evaluated: int
     constraints: FacetConstraints
-    trace: List[TradeoffPoint] = field(default_factory=list)
+    trace: list[TradeoffPoint] = field(default_factory=list)
 
     @property
     def found(self) -> bool:
@@ -87,7 +87,7 @@ class OptimizationResult:
             raise ConfigurationError("no feasible setting was found")
         return self.best.settings
 
-    def summary(self) -> Dict[str, object]:
+    def summary(self) -> dict[str, object]:
         """A plain-dictionary summary for reports."""
         if self.best is None:
             return {"found": False, "evaluated": self.evaluated}
@@ -109,8 +109,8 @@ class TrustOptimizer:
     def __init__(
         self,
         *,
-        evaluator: Optional[FacetEvaluator] = None,
-        base_settings: Optional[SystemSettings] = None,
+        evaluator: FacetEvaluator | None = None,
+        base_settings: SystemSettings | None = None,
         aggregator: Aggregator = Aggregator.GEOMETRIC,
         mechanisms: Sequence[str] = DEFAULT_MECHANISM_CHOICES,
         allow_anonymous: bool = True,
@@ -147,7 +147,7 @@ class TrustOptimizer:
         )
 
     @staticmethod
-    def _grid(low: float, high: float, resolution: int) -> List[float]:
+    def _grid(low: float, high: float, resolution: int) -> list[float]:
         if resolution == 1:
             return [low]
         step = (high - low) / (resolution - 1)
@@ -155,7 +155,7 @@ class TrustOptimizer:
 
     def _candidate_settings(
         self, sharing_levels: Sequence[float], strictness_levels: Sequence[float]
-    ) -> List[SystemSettings]:
+    ) -> list[SystemSettings]:
         anonymity_choices = (False, True) if self.allow_anonymous else (False,)
         candidates = []
         for mechanism in self.mechanisms:
@@ -176,16 +176,16 @@ class TrustOptimizer:
     # -- search ----------------------------------------------------------------
 
     def optimize(
-        self, constraints: Optional[FacetConstraints] = None
+        self, constraints: FacetConstraints | None = None
     ) -> OptimizationResult:
         """Search the settings space and return the best feasible point."""
         constraints = constraints or FacetConstraints()
-        trace: List[TradeoffPoint] = []
-        feasible: List[TradeoffPoint] = []
+        trace: list[TradeoffPoint] = []
+        feasible: list[TradeoffPoint] = []
 
-        sharing_window: Tuple[float, float] = (0.0, 1.0)
-        strictness_window: Tuple[float, float] = (0.0, 1.0)
-        best: Optional[TradeoffPoint] = None
+        sharing_window: tuple[float, float] = (0.0, 1.0)
+        strictness_window: tuple[float, float] = (0.0, 1.0)
+        best: TradeoffPoint | None = None
 
         for round_index in range(self.refine_rounds + 1):
             resolution = self.coarse_resolution if round_index == 0 else self.refine_resolution
@@ -218,7 +218,7 @@ class TrustOptimizer:
         )
 
     @staticmethod
-    def _shrink_window(center: float, window: Tuple[float, float]) -> Tuple[float, float]:
+    def _shrink_window(center: float, window: tuple[float, float]) -> tuple[float, float]:
         """Halve the search window around the incumbent, clipped to [0, 1]."""
         low, high = window
         half_width = max((high - low) / 4.0, 0.01)

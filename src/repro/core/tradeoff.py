@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from repro._util import clamp, require_unit_interval
 from repro.errors import ConfigurationError
@@ -46,7 +46,7 @@ FacetEvaluator = Callable[[SystemSettings], FacetScores]
 #: analytic model.  The values mirror the measured behaviour of the
 #: implementations (EigenTrust/PowerTrust are the most accurate and the most
 #: information hungry; the plain average is neither).
-MECHANISM_PROFILES: Dict[str, Tuple[float, float]] = {
+MECHANISM_PROFILES: dict[str, tuple[float, float]] = {
     "none": (0.0, 0.0),
     "average": (0.6, 0.2),
     "beta": (0.75, 0.3),
@@ -90,7 +90,7 @@ class AnalyticFacetModel:
         *,
         privacy_concern: float = 0.6,
         evidence_rate: float = 4.0,
-        mechanism_profiles: Optional[Dict[str, Tuple[float, float]]] = None,
+        mechanism_profiles: dict[str, tuple[float, float]] | None = None,
     ) -> None:
         require_unit_interval(privacy_concern, "privacy_concern")
         if evidence_rate <= 0:
@@ -99,7 +99,7 @@ class AnalyticFacetModel:
         self.evidence_rate = evidence_rate
         self.profiles = dict(mechanism_profiles or MECHANISM_PROFILES)
 
-    def mechanism_profile(self, mechanism: str) -> Tuple[float, float]:
+    def mechanism_profile(self, mechanism: str) -> tuple[float, float]:
         try:
             return self.profiles[mechanism]
         except KeyError:
@@ -135,8 +135,8 @@ class SettingsExplorer:
     def __init__(
         self,
         *,
-        evaluator: Optional[FacetEvaluator] = None,
-        base_settings: Optional[SystemSettings] = None,
+        evaluator: FacetEvaluator | None = None,
+        base_settings: SystemSettings | None = None,
         aggregator: Aggregator = Aggregator.GEOMETRIC,
     ) -> None:
         self.evaluator = evaluator or AnalyticFacetModel()
@@ -157,8 +157,8 @@ class SettingsExplorer:
         )
 
     def sweep_sharing_levels(
-        self, levels: Optional[Sequence[float]] = None, *, resolution: int = 21
-    ) -> List[TradeoffPoint]:
+        self, levels: Sequence[float] | None = None, *, resolution: int = 21
+    ) -> list[TradeoffPoint]:
         """Evaluate the base settings across a grid of sharing levels."""
         if levels is None:
             if resolution < 2:
@@ -166,13 +166,13 @@ class SettingsExplorer:
             levels = [index / (resolution - 1) for index in range(resolution)]
         return [self.evaluate(self.base_settings.with_sharing_level(level)) for level in levels]
 
-    def sweep_settings(self, settings_list: Sequence[SystemSettings]) -> List[TradeoffPoint]:
+    def sweep_settings(self, settings_list: Sequence[SystemSettings]) -> list[TradeoffPoint]:
         return [self.evaluate(settings) for settings in settings_list]
 
     # -- analyses of a sweep -----------------------------------------------
 
     @staticmethod
-    def area_a(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+    def area_a(points: Sequence[TradeoffPoint]) -> list[TradeoffPoint]:
         """The subset of evaluated settings inside Area A."""
         return [point for point in points if point.in_area_a]
 
@@ -186,7 +186,7 @@ class SettingsExplorer:
     @staticmethod
     def iso_satisfaction_pairs(
         points: Sequence[TradeoffPoint], *, tolerance: float = 0.02
-    ) -> List[Tuple[TradeoffPoint, TradeoffPoint]]:
+    ) -> list[tuple[TradeoffPoint, TradeoffPoint]]:
         """Pairs of distinct settings reaching (almost) the same satisfaction.
 
         Reproduces the Figure-2 observation that "the same global satisfaction
@@ -208,7 +208,7 @@ class SettingsExplorer:
         return pairs
 
     @staticmethod
-    def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+    def pareto_front(points: Sequence[TradeoffPoint]) -> list[TradeoffPoint]:
         """Settings not dominated on (privacy, reputation, satisfaction)."""
         front = []
         for candidate in points:

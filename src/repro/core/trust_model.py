@@ -20,7 +20,7 @@ population before aggregation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from collections.abc import Mapping
 
 from repro._util import clamp, mean
 from repro.core.config import SystemSettings
@@ -35,8 +35,8 @@ class TrustReport:
     settings: SystemSettings
     facets: FacetScores
     global_trust: float
-    per_user_trust: Dict[str, float] = field(default_factory=dict)
-    contributions: Dict[str, float] = field(default_factory=dict)
+    per_user_trust: dict[str, float] = field(default_factory=dict)
+    contributions: dict[str, float] = field(default_factory=dict)
     in_area_a: bool = False
 
     @property
@@ -57,7 +57,7 @@ class TrustModel:
 
     def __init__(
         self,
-        settings: Optional[SystemSettings] = None,
+        settings: SystemSettings | None = None,
         *,
         aggregator: Aggregator = Aggregator.GEOMETRIC,
     ) -> None:
@@ -67,7 +67,7 @@ class TrustModel:
     # -- adjustments required by Section 3 -----------------------------------
 
     def effective_facets(
-        self, facets: FacetScores, *, trustworthy_fraction: Optional[float] = None
+        self, facets: FacetScores, *, trustworthy_fraction: float | None = None
     ) -> FacetScores:
         """Apply the untrustworthy-majority dissociation (Section 3, bullet 4).
 
@@ -91,8 +91,8 @@ class TrustModel:
         self,
         facets: FacetScores,
         *,
-        per_user_facets: Optional[Mapping[str, FacetScores]] = None,
-        trustworthy_fraction: Optional[float] = None,
+        per_user_facets: Mapping[str, FacetScores] | None = None,
+        trustworthy_fraction: float | None = None,
     ) -> TrustReport:
         """Evaluate global (and optionally per-user) trust."""
         effective = self.effective_facets(facets, trustworthy_fraction=trustworthy_fraction)

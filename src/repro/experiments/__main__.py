@@ -17,13 +17,15 @@ e.g. ``sweep robustness --grid scenario=collusion-ring,slander``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
-from typing import List, Optional
+from typing import TextIO
 
 from repro import _profiling
 from repro.errors import ConfigurationError
 from repro.experiments.reporting import format_sweep_summary
+from repro.experiments.results import ExperimentRecord
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.sweep import run_sweep, spec_from_options
 
@@ -160,7 +162,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def sweep_main(argv: List[str]) -> int:
+def sweep_main(argv: list[str]) -> int:
     parser = build_sweep_parser()
     args = parser.parse_args(argv)
     try:
@@ -176,24 +178,23 @@ def sweep_main(argv: List[str]) -> int:
         )
     except (ConfigurationError, ValueError) as exc:
         parser.error(str(exc))
-    stream_handle = None
     on_record = None
-    if args.stream:
-        stream_handle = open(args.stream, "w", encoding="utf-8", newline="\n")
+    with contextlib.ExitStack() as stack:
+        if args.stream:
+            stream_handle = stack.enter_context(
+                open(args.stream, "w", encoding="utf-8", newline="\n")
+            )
 
-        def on_record(record, handle=stream_handle):  # noqa: ANN001 - local callback
-            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
-            handle.flush()
+            def on_record(record: ExperimentRecord, handle: TextIO = stream_handle) -> None:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+                handle.flush()
 
-    try:
-        result = run_sweep(
-            spec, jobs=args.jobs, chunksize=args.chunksize, on_record=on_record
-        )
-    except ConfigurationError as exc:
-        parser.error(str(exc))
-    finally:
-        if stream_handle is not None:
-            stream_handle.close()
+        try:
+            result = run_sweep(
+                spec, jobs=args.jobs, chunksize=args.chunksize, on_record=on_record
+            )
+        except ConfigurationError as exc:
+            parser.error(str(exc))
     print(format_sweep_summary(result.records))
     print()
     print(
@@ -211,7 +212,7 @@ def sweep_main(argv: List[str]) -> int:
     return 1 if result.n_errors else 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])

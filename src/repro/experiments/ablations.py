@@ -16,7 +16,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro.core.config import SystemSettings
 from repro.core.facets import FacetScores
@@ -47,17 +46,17 @@ class AnonymityOutcome:
 
 @dataclass
 class AblationResult:
-    aggregators: List[AggregatorOutcome]
-    anonymity: List[AnonymityOutcome]
+    aggregators: list[AggregatorOutcome]
+    anonymity: list[AnonymityOutcome]
 
-    def aggregator_by_name(self) -> Dict[str, AggregatorOutcome]:
+    def aggregator_by_name(self) -> dict[str, AggregatorOutcome]:
         return {outcome.aggregator: outcome for outcome in self.aggregators}
 
-    def anonymity_by_mode(self) -> Dict[str, AnonymityOutcome]:
+    def anonymity_by_mode(self) -> dict[str, AnonymityOutcome]:
         return {outcome.mode: outcome for outcome in self.anonymity}
 
 
-def run_aggregator_ablation() -> List[AggregatorOutcome]:
+def run_aggregator_ablation() -> list[AggregatorOutcome]:
     """E-A1: compare aggregators on the analytic tradeoff sweep."""
     outcomes = []
     balanced = FacetScores(privacy=0.6, reputation=0.6, satisfaction=0.6)
@@ -94,7 +93,7 @@ ANONYMITY_MODES = (
 
 def run_anonymity_ablation(
     *, n_users: int = 40, rounds: int = 20, seed: int = 0, backend: str = "auto"
-) -> List[AnonymityOutcome]:
+) -> list[AnonymityOutcome]:
     """E-A2: identified versus anonymous feedback on the same scenario."""
     outcomes = []
     for label, mechanism, anonymous in ANONYMITY_MODES:
@@ -139,9 +138,9 @@ def run(
     )
 
 
-def summarize(result: AblationResult) -> Dict[str, object]:
+def summarize(result: AblationResult) -> dict[str, object]:
     """Flatten E-A1/E-A2 to record metrics (per-variant key numbers)."""
-    metrics: Dict[str, object] = {
+    metrics: dict[str, object] = {
         "n_aggregators": len(result.aggregators),
         "n_anonymity_modes": len(result.anonymity),
     }

@@ -8,7 +8,6 @@ the quantity measured, its value and whether the paper's direction holds.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List
 
 from repro._util import pearson
 from repro.core.config import SystemSettings
@@ -30,13 +29,13 @@ class ClaimOutcome:
 
 @dataclass
 class ClaimsResult:
-    outcomes: List[ClaimOutcome]
+    outcomes: list[ClaimOutcome]
 
     @property
     def all_hold(self) -> bool:
         return all(outcome.holds for outcome in self.outcomes)
 
-    def by_id(self) -> Dict[str, ClaimOutcome]:
+    def by_id(self) -> dict[str, ClaimOutcome]:
         return {outcome.claim_id: outcome for outcome in self.outcomes}
 
 
@@ -205,9 +204,9 @@ def run(
     return ClaimsResult(outcomes=outcomes)
 
 
-def summarize(result: ClaimsResult) -> Dict[str, object]:
+def summarize(result: ClaimsResult) -> dict[str, object]:
     """Flatten E-C1..E-C5 to record metrics (per-claim effect and verdict)."""
-    metrics: Dict[str, object] = {
+    metrics: dict[str, object] = {
         "all_hold": result.all_hold,
         "n_claims": len(result.outcomes),
         "n_holding": sum(1 for outcome in result.outcomes if outcome.holds),

@@ -17,7 +17,7 @@ disclosure→privacy is negative, and privacy→satisfaction is positive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.core.config import SystemSettings
 from repro.core.coupling import CouplingDynamics, coupling_matrix
@@ -63,9 +63,9 @@ class EmpiricalContrast:
 class Figure1Result:
     """Analytic sensitivities, empirical contrasts and sign agreement."""
 
-    sensitivities: Dict[str, Dict[str, float]]
-    sign_matches: Dict[tuple, bool]
-    contrasts: List[EmpiricalContrast]
+    sensitivities: dict[str, dict[str, float]]
+    sign_matches: dict[tuple, bool]
+    contrasts: list[EmpiricalContrast]
 
     @property
     def all_signs_match(self) -> bool:
@@ -99,9 +99,9 @@ def _scenario(
 
 def _empirical_contrasts(
     *, n_users: int, rounds: int, seed: int, backend: str = "auto"
-) -> List[EmpiricalContrast]:
+) -> list[EmpiricalContrast]:
     """Targeted scenario pairs, one per Figure-1 arrow measurable end to end."""
-    contrasts: List[EmpiricalContrast] = []
+    contrasts: list[EmpiricalContrast] = []
 
     # Arrow: more shared information -> lower privacy, and more shared
     # information -> more efficient reputation (coverage of the population).
@@ -232,9 +232,9 @@ def run(
     )
 
 
-def summarize(result: Figure1Result) -> Dict[str, object]:
+def summarize(result: Figure1Result) -> dict[str, object]:
     """Flatten E-F1 to record metrics (sign agreement plus contrast deltas)."""
-    metrics: Dict[str, object] = {
+    metrics: dict[str, object] = {
         "all_signs_match": result.all_signs_match,
         "all_contrasts_hold": result.all_contrasts_hold,
         "n_signs": len(result.sign_matches),

@@ -17,7 +17,7 @@ sharing level, and the trust optimum lies inside it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.core.config import SystemSettings
 from repro.core.tradeoff import AnalyticFacetModel, SettingsExplorer, TradeoffPoint
@@ -29,8 +29,8 @@ from repro.experiments.reporting import format_table
 class Figure2LeftResult:
     """The evaluated grid, its Area-A subset and the best setting."""
 
-    points: List[TradeoffPoint]
-    area_a_points: List[TradeoffPoint]
+    points: list[TradeoffPoint]
+    area_a_points: list[TradeoffPoint]
     best_point: TradeoffPoint
     threshold: float
 
@@ -47,8 +47,8 @@ class Figure2LeftResult:
 
 def run(
     *,
-    sharing_levels: Optional[Sequence[float]] = None,
-    strictness_levels: Optional[Sequence[float]] = None,
+    sharing_levels: Sequence[float] | None = None,
+    strictness_levels: Sequence[float] | None = None,
     threshold: float = 0.5,
     mechanism: str = "eigentrust",
 ) -> Figure2LeftResult:

@@ -17,7 +17,7 @@ iso-satisfaction pair of distinct settings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.core.config import SystemSettings
 from repro.core.tradeoff import SettingsExplorer, TradeoffPoint
@@ -29,13 +29,13 @@ from repro.experiments.scenario import Scenario, ScenarioConfig
 class Figure2RightResult:
     """Analytic and simulated tradeoff curves plus derived observations."""
 
-    analytic_points: List[TradeoffPoint]
-    simulated_points: List[TradeoffPoint]
-    iso_satisfaction_pairs: List[tuple]
+    analytic_points: list[TradeoffPoint]
+    simulated_points: list[TradeoffPoint]
+    iso_satisfaction_pairs: list[tuple]
     best_analytic: TradeoffPoint
-    best_simulated: Optional[TradeoffPoint]
+    best_simulated: TradeoffPoint | None
 
-    def analytic_series(self) -> List[tuple]:
+    def analytic_series(self) -> list[tuple]:
         return [
             (
                 point.sharing_level,
@@ -81,7 +81,7 @@ def run(
     explorer = SettingsExplorer()
     analytic_points = explorer.sweep_sharing_levels(list(levels))
 
-    simulated_points: List[TradeoffPoint] = []
+    simulated_points: list[TradeoffPoint] = []
     if simulate:
         for level in levels:
             settings = SystemSettings(sharing_level=level)

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict
 
 from repro._util import mean
 from repro.experiments.reporting import format_table
@@ -37,7 +36,7 @@ class PrivacyEvalResult:
     requests: int
     granted: int
     denied: int
-    denial_reasons: Dict[str, int]
+    denial_reasons: dict[str, int]
     breaches_injected: int
     policy_respect: float
     mean_exposure: float
@@ -136,9 +135,9 @@ def run(
     )
 
 
-def summarize(result: PrivacyEvalResult) -> Dict[str, object]:
+def summarize(result: PrivacyEvalResult) -> dict[str, object]:
     """Flatten E-P1 to record metrics (enforcement rates and OECD scores)."""
-    metrics: Dict[str, object] = {
+    metrics: dict[str, object] = {
         "requests": result.requests,
         "granted": result.granted,
         "denied": result.denied,

@@ -7,7 +7,8 @@ render their record collections through :func:`format_sweep_summary`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.results import ExperimentRecord
@@ -29,7 +30,7 @@ def format_table(
     title: str = "",
 ) -> str:
     """Render a fixed-width text table."""
-    rendered_rows: List[List[str]] = [
+    rendered_rows: list[list[str]] = [
         [format_value(cell, precision) for cell in row] for row in rows
     ]
     widths = [len(str(header)) for header in headers]
@@ -54,12 +55,12 @@ def format_series(
     name: str, xs: Sequence[float], ys: Sequence[float], *, precision: int = 3
 ) -> str:
     """Render an (x, y) series as two aligned columns."""
-    rows = list(zip(xs, ys))
+    rows = list(zip(xs, ys, strict=True))
     return format_table(["x", name], rows, precision=precision)
 
 
 def format_sweep_summary(
-    records: Sequence["ExperimentRecord"],
+    records: Sequence[ExperimentRecord],
     *,
     max_metric_columns: int = 6,
     precision: int = 3,
@@ -84,7 +85,7 @@ def format_sweep_summary(
     headers = ["task", *param_keys, *shown_metrics, "status"]
     rows = []
     for record in ordered:
-        row: List[object] = [record.task_index]
+        row: list[object] = [record.task_index]
         row += [record.params.get(key, "") for key in param_keys]
         row += [record.metrics.get(key, "") for key in shown_metrics]
         row.append(record.status if record.ok else f"error: {record.error}")

@@ -20,7 +20,7 @@ grows than the naive average.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.core.config import SystemSettings
 from repro.experiments.reporting import format_table
@@ -44,12 +44,12 @@ class MechanismOutcome:
 
 @dataclass
 class ReputationEvalResult:
-    outcomes: List[MechanismOutcome]
+    outcomes: list[MechanismOutcome]
 
-    def for_mechanism(self, mechanism: str) -> List[MechanismOutcome]:
+    def for_mechanism(self, mechanism: str) -> list[MechanismOutcome]:
         return [o for o in self.outcomes if o.mechanism == mechanism]
 
-    def baseline_rate(self, malicious_fraction: float) -> Optional[float]:
+    def baseline_rate(self, malicious_fraction: float) -> float | None:
         for outcome in self.outcomes:
             if (
                 outcome.mechanism == "none"
@@ -58,9 +58,9 @@ class ReputationEvalResult:
                 return outcome.malicious_interaction_rate
         return None
 
-    def improvement_over_baseline(self) -> Dict[str, float]:
+    def improvement_over_baseline(self) -> dict[str, float]:
         """Mean reduction of the malicious-interaction rate vs the baseline."""
-        improvements: Dict[str, List[float]] = {}
+        improvements: dict[str, list[float]] = {}
         for outcome in self.outcomes:
             if outcome.mechanism == "none":
                 continue
@@ -87,7 +87,7 @@ def run(
     backend: str = "auto",
 ) -> ReputationEvalResult:
     """Run E-R1 over the mechanism × malicious-fraction grid."""
-    outcomes: List[MechanismOutcome] = []
+    outcomes: list[MechanismOutcome] = []
     for malicious_fraction in malicious_fractions:
         for mechanism in mechanisms:
             settings = SystemSettings(reputation_mechanism=mechanism)
@@ -114,9 +114,9 @@ def run(
     return ReputationEvalResult(outcomes=outcomes)
 
 
-def summarize(result: ReputationEvalResult) -> Dict[str, object]:
+def summarize(result: ReputationEvalResult) -> dict[str, object]:
     """Flatten E-R1 to record metrics (per-cell rates plus baseline deltas)."""
-    metrics: Dict[str, object] = {"n_outcomes": len(result.outcomes)}
+    metrics: dict[str, object] = {"n_outcomes": len(result.outcomes)}
     # repr keeps the key exact: rounded keys would collide for close fractions.
     for outcome in result.outcomes:
         prefix = f"{outcome.mechanism}[{outcome.malicious_fraction!r}]"

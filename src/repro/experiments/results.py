@@ -21,7 +21,7 @@ import io
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 #: Bumped whenever the serialized record layout changes shape.
 RECORD_SCHEMA_VERSION = 1
@@ -34,7 +34,7 @@ class RecordValueError(TypeError):
     """A param or metric value is not a JSON scalar."""
 
 
-def _require_scalars(mapping: Dict[str, object], kind: str) -> Dict[str, object]:
+def _require_scalars(mapping: dict[str, object], kind: str) -> dict[str, object]:
     for key, value in mapping.items():
         if not isinstance(value, SCALAR_TYPES):
             raise RecordValueError(
@@ -63,11 +63,11 @@ class ExperimentRecord:
 
     experiment: str
     task_index: int
-    params: Dict[str, object]
-    seed: Optional[int]
+    params: dict[str, object]
+    seed: int | None
     status: str  # "ok" or "error"
-    metrics: Dict[str, object] = field(default_factory=dict)
-    error: Optional[str] = None
+    metrics: dict[str, object] = field(default_factory=dict)
+    error: str | None = None
 
     def __post_init__(self) -> None:
         if self.status not in ("ok", "error"):
@@ -81,7 +81,7 @@ class ExperimentRecord:
     def ok(self) -> bool:
         return self.status == "ok"
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """A plain-dict view in canonical field order."""
         return {
             "experiment": self.experiment,
@@ -94,7 +94,7 @@ class ExperimentRecord:
         }
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentRecord":
+    def from_dict(cls, payload: dict[str, object]) -> ExperimentRecord:
         return cls(
             experiment=payload["experiment"],
             task_index=payload["task_index"],
@@ -109,7 +109,7 @@ class ExperimentRecord:
 def records_to_json(
     records: Sequence[ExperimentRecord],
     *,
-    campaign: Optional[Dict[str, object]] = None,
+    campaign: dict[str, object] | None = None,
 ) -> str:
     """Serialize records (plus optional campaign metadata) deterministically.
 
@@ -124,13 +124,13 @@ def records_to_json(
     return json.dumps(payload, sort_keys=True, indent=2, allow_nan=False) + "\n"
 
 
-def records_from_json(text: str) -> List[ExperimentRecord]:
+def records_from_json(text: str) -> list[ExperimentRecord]:
     """Parse records back out of :func:`records_to_json` output."""
     payload = json.loads(text)
     return [ExperimentRecord.from_dict(entry) for entry in payload.get("records", [])]
 
 
-def campaign_from_json(text: str) -> Dict[str, object]:
+def campaign_from_json(text: str) -> dict[str, object]:
     """The campaign metadata block of a serialized result file."""
     return json.loads(text).get("campaign", {})
 
@@ -139,13 +139,13 @@ def write_records_json(
     path: str,
     records: Sequence[ExperimentRecord],
     *,
-    campaign: Optional[Dict[str, object]] = None,
+    campaign: dict[str, object] | None = None,
 ) -> None:
     with open(path, "w", encoding="utf-8", newline="\n") as handle:
         handle.write(records_to_json(records, campaign=campaign))
 
 
-def read_records_json(path: str) -> List[ExperimentRecord]:
+def read_records_json(path: str) -> list[ExperimentRecord]:
     with open(path, "r", encoding="utf-8") as handle:
         return records_from_json(handle.read())
 
@@ -159,16 +159,20 @@ def records_to_csv(records: Sequence[ExperimentRecord]) -> str:
     ordered = sorted(records, key=lambda record: record.task_index)
     param_keys = sorted({key for record in ordered for key in record.params})
     metric_keys = sorted({key for record in ordered for key in record.metrics})
-    fieldnames = (
-        ["experiment", "task_index", "seed", "status", "error"]
-        + [f"param_{key}" for key in param_keys]
-        + [f"metric_{key}" for key in metric_keys]
-    )
+    fieldnames = [
+        "experiment",
+        "task_index",
+        "seed",
+        "status",
+        "error",
+        *(f"param_{key}" for key in param_keys),
+        *(f"metric_{key}" for key in metric_keys),
+    ]
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=fieldnames, lineterminator="\n")
     writer.writeheader()
     for record in ordered:
-        row: Dict[str, object] = {
+        row: dict[str, object] = {
             "experiment": record.experiment,
             "task_index": record.task_index,
             "seed": "" if record.seed is None else record.seed,

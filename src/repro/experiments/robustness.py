@@ -28,7 +28,7 @@ mechanism beats the no-reputation baseline on malicious traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro._util import mean
 from repro.experiments.reporting import format_table
@@ -46,21 +46,21 @@ class ScenarioOutcome:
 
     scenario: str
     mechanism: str
-    window: Tuple[int, int]
+    window: tuple[int, int]
     robustness: RobustnessMetrics
 
 
 @dataclass
 class RobustnessResult:
-    outcomes: List[ScenarioOutcome]
+    outcomes: list[ScenarioOutcome]
 
-    def for_scenario(self, scenario: str) -> List[ScenarioOutcome]:
+    def for_scenario(self, scenario: str) -> list[ScenarioOutcome]:
         return [o for o in self.outcomes if o.scenario == scenario]
 
-    def for_mechanism(self, mechanism: str) -> List[ScenarioOutcome]:
+    def for_mechanism(self, mechanism: str) -> list[ScenarioOutcome]:
         return [o for o in self.outcomes if o.mechanism == mechanism]
 
-    def resistance_by_mechanism(self) -> Dict[str, float]:
+    def resistance_by_mechanism(self) -> dict[str, float]:
         """Mean attack-window separation per mechanism over attack scenarios.
 
         The single "how well does this mechanism hold the line under fire"
@@ -69,7 +69,7 @@ class RobustnessResult:
         identically 0.0, which would rank the do-nothing baseline above any
         mechanism an attack manages to push negative.
         """
-        resistance: Dict[str, List[float]] = {}
+        resistance: dict[str, list[float]] = {}
         for outcome in self.outcomes:
             if outcome.scenario == "baseline" or outcome.mechanism == "none":
                 continue
@@ -81,16 +81,16 @@ class RobustnessResult:
 
 def run(
     *,
-    scenarios: Optional[Sequence[str]] = None,
-    scenario: Optional[str] = None,
+    scenarios: Sequence[str] | None = None,
+    scenario: str | None = None,
     mechanisms: Sequence[str] = DEFAULT_MECHANISMS,
-    mechanism: Optional[str] = None,
+    mechanism: str | None = None,
     n_users: int = 40,
     rounds: int = 30,
     seed: int = 0,
     backend: str = "auto",
     malicious_fraction: float = 0.25,
-    preset: Optional[str] = None,
+    preset: str | None = None,
     detect_threshold: float = 0.1,
     recovery_fraction: float = 0.8,
 ) -> RobustnessResult:
@@ -107,7 +107,7 @@ def run(
         scenarios = tuple(scenario_names())
     if mechanism is not None:
         mechanisms = (mechanism,)
-    outcomes: List[ScenarioOutcome] = []
+    outcomes: list[ScenarioOutcome] = []
     for scenario_name in scenarios:
         for mechanism_name in mechanisms:
             result = run_scenario(
@@ -135,9 +135,9 @@ def run(
     return RobustnessResult(outcomes=outcomes)
 
 
-def summarize(result: RobustnessResult) -> Dict[str, object]:
+def summarize(result: RobustnessResult) -> dict[str, object]:
     """Flatten the robustness matrix to record metrics (JSON scalars)."""
-    metrics: Dict[str, object] = {"n_outcomes": len(result.outcomes)}
+    metrics: dict[str, object] = {"n_outcomes": len(result.outcomes)}
     for outcome in result.outcomes:
         prefix = f"{outcome.scenario}.{outcome.mechanism}"
         robustness = outcome.robustness

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from collections.abc import Callable
 
 from repro.experiments import (
     ablations,
@@ -40,12 +40,12 @@ class ExperimentEntry:
     report: Callable[[object], str]
     #: Adapter flattening the ``run()`` result to a dict of JSON scalars —
     #: the structured twin of ``report`` used by sweeps and CI artifacts.
-    summarize: Callable[[object], Dict[str, object]]
+    summarize: Callable[[object], dict[str, object]]
     #: Keyword arguments that make the experiment finish quickly (used by the
     #: ``--quick`` CLI flag and by integration tests).
-    quick_kwargs: Dict[str, object]
+    quick_kwargs: dict[str, object]
 
-    def accepted_parameters(self) -> Dict[str, inspect.Parameter]:
+    def accepted_parameters(self) -> dict[str, inspect.Parameter]:
         """The keyword parameters this experiment's ``run()`` accepts."""
         return dict(inspect.signature(self.run).parameters)
 
@@ -53,7 +53,7 @@ class ExperimentEntry:
         return name in self.accepted_parameters()
 
 
-EXPERIMENTS: Dict[str, ExperimentEntry] = {
+EXPERIMENTS: dict[str, ExperimentEntry] = {
     "figure1": ExperimentEntry(
         name="figure1",
         experiment_ids=("E-F1",),
@@ -157,14 +157,14 @@ def get_experiment(name: str) -> ExperimentEntry:
 
 
 def _merged_kwargs(
-    entry: ExperimentEntry, *, quick: bool, overrides: Dict[str, object]
-) -> Dict[str, object]:
+    entry: ExperimentEntry, *, quick: bool, overrides: dict[str, object]
+) -> dict[str, object]:
     kwargs = dict(entry.quick_kwargs) if quick else {}
     kwargs.update(overrides)
     return kwargs
 
 
-def run_experiment(name: str, *, quick: bool = False, **overrides) -> str:
+def run_experiment(name: str, *, quick: bool = False, **overrides: object) -> str:
     """Run one registered experiment and return its text report."""
     entry = get_experiment(name)
     result = entry.run(**_merged_kwargs(entry, quick=quick, overrides=overrides))
@@ -175,10 +175,10 @@ def run_experiment_structured(
     name: str,
     *,
     quick: bool = False,
-    seed: Optional[int] = None,
-    backend: Optional[str] = None,
-    **overrides,
-) -> Dict[str, object]:
+    seed: int | None = None,
+    backend: str | None = None,
+    **overrides: object,
+) -> dict[str, object]:
     """Run one experiment and return its flat ``summarize()`` metrics.
 
     ``seed`` is forwarded to ``run()`` only when the experiment accepts a

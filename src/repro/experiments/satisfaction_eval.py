@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro._util import mean
 from repro.allocation.mediator import QueryMediator
@@ -52,9 +52,9 @@ class StrategyOutcome:
 
 @dataclass
 class SatisfactionEvalResult:
-    outcomes: List[StrategyOutcome]
+    outcomes: list[StrategyOutcome]
 
-    def by_strategy(self) -> Dict[str, StrategyOutcome]:
+    def by_strategy(self) -> dict[str, StrategyOutcome]:
         return {outcome.strategy: outcome for outcome in self.outcomes}
 
 
@@ -92,7 +92,7 @@ def _build_population(
     return providers, consumers
 
 
-def _strategies(reputation_scores: Dict[str, float]) -> Dict[str, AllocationStrategy]:
+def _strategies(reputation_scores: dict[str, float]) -> dict[str, AllocationStrategy]:
     return {
         "random": RandomAllocation(),
         "capacity": CapacityBasedAllocation(),
@@ -111,7 +111,7 @@ def run(
 ) -> SatisfactionEvalResult:
     """Run E-S1: one mediator per strategy over the identical workload."""
     topics = ("music", "photos", "news", "files", "events")
-    outcomes: List[StrategyOutcome] = []
+    outcomes: list[StrategyOutcome] = []
 
     # Reputation scores for the reputation-aware strategy: the providers'
     # ground-truth competence averaged over topics (a mechanism-independent
@@ -165,9 +165,9 @@ def run(
     return SatisfactionEvalResult(outcomes=outcomes)
 
 
-def summarize(result: SatisfactionEvalResult) -> Dict[str, object]:
+def summarize(result: SatisfactionEvalResult) -> dict[str, object]:
     """Flatten E-S1 to record metrics (per-strategy satisfaction profile)."""
-    metrics: Dict[str, object] = {"n_strategies": len(result.outcomes)}
+    metrics: dict[str, object] = {"n_strategies": len(result.outcomes)}
     for outcome in result.outcomes:
         prefix = outcome.strategy
         metrics[f"{prefix}.mean_quality"] = outcome.mean_quality

@@ -12,7 +12,6 @@ simulation, and the workhorse of the examples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
 
 from repro import _profiling
 from repro._util import clamp
@@ -48,6 +47,8 @@ from repro.simulation.engine import (
     SimulationConfig,
     SimulationResult,
 )
+from repro.simulation.peer import Peer
+from repro.simulation.transaction import Feedback
 from repro.socialnet.generators import SocialNetworkSpec, cached_social_network
 from repro.socialnet.graph import SocialGraph
 
@@ -93,13 +94,13 @@ class ScenarioResult:
     config: ScenarioConfig
     graph: SocialGraph
     simulation: SimulationResult
-    reputation_system: Optional[ReputationSystem]
-    reputation_scores: Dict[str, float]
+    reputation_system: ReputationSystem | None
+    reputation_scores: dict[str, float]
     ledger: DisclosureLedger
     priserv: PriServService
     tracker: SatisfactionTracker
     facets: FacetScores
-    per_user_facets: Dict[str, FacetScores]
+    per_user_facets: dict[str, FacetScores]
     trust: TrustReport
     reputation_accuracy: float
     reputation_error: float
@@ -116,7 +117,7 @@ class ScenarioResult:
 class Scenario:
     """Build, run and evaluate one end-to-end scenario."""
 
-    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+    def __init__(self, config: ScenarioConfig | None = None) -> None:
         self.config = config or ScenarioConfig()
 
     # -- construction helpers -------------------------------------------------
@@ -133,7 +134,7 @@ class Scenario:
         )
         return cached_social_network(spec)
 
-    def _build_reputation(self, graph: SocialGraph) -> Optional[ReputationSystem]:
+    def _build_reputation(self, graph: SocialGraph) -> ReputationSystem | None:
         return reputation_for_graph(
             graph,
             self.config.settings.reputation_mechanism,
@@ -143,7 +144,7 @@ class Scenario:
         )
 
     def _build_priserv(
-        self, graph: SocialGraph, reputation: Optional[ReputationSystem]
+        self, graph: SocialGraph, reputation: ReputationSystem | None
     ) -> PriServService:
         def trust_oracle(peer_id: str) -> float:
             if reputation is None:
@@ -190,7 +191,7 @@ class Scenario:
         ledger = priserv.ledger
         tracker = SatisfactionTracker()
 
-        def on_disclosure(feedback, consumer, provider) -> None:
+        def on_disclosure(feedback: Feedback, consumer: Peer, provider: Peer) -> None:
             # Disclosing a feedback report reveals behavioural information
             # about the rater (its consumption pattern) and the subject; both
             # entries land in the ledger so exposure reflects what the
@@ -248,7 +249,7 @@ class Scenario:
             # Satisfaction: each consumer's adequacy per transaction blends
             # its evolving preference for the partner with the delivered
             # quality.
-            preferences: Dict[str, Dict[str, float]] = {}
+            preferences: dict[str, dict[str, float]] = {}
             for transaction in simulation.transactions:
                 consumer = simulator.directory.get(transaction.consumer)
                 provider = simulator.directory.get(transaction.provider)
@@ -295,7 +296,7 @@ class Scenario:
 
     # -- facet computation -------------------------------------------------------
 
-    def _information_requirement(self, reputation: Optional[ReputationSystem]) -> float:
+    def _information_requirement(self, reputation: ReputationSystem | None) -> float:
         if reputation is None:
             return 0.0
         return reputation.information_requirement
@@ -303,8 +304,8 @@ class Scenario:
     def _global_facets(
         self,
         simulation: SimulationResult,
-        reputation: Optional[ReputationSystem],
-        reputation_scores: Dict[str, float],
+        reputation: ReputationSystem | None,
+        reputation_scores: dict[str, float],
         ledger: DisclosureLedger,
         tracker: SatisfactionTracker,
     ) -> FacetScores:
@@ -329,16 +330,16 @@ class Scenario:
         self,
         graph: SocialGraph,
         simulation: SimulationResult,
-        reputation: Optional[ReputationSystem],
-        reputation_scores: Dict[str, float],
+        reputation: ReputationSystem | None,
+        reputation_scores: dict[str, float],
         ledger: DisclosureLedger,
         tracker: SatisfactionTracker,
-    ) -> Dict[str, FacetScores]:
+    ) -> dict[str, FacetScores]:
         config = self.config
         ground_truth = simulation.ground_truth_honesty
         satisfactions = {user_id: tracker.satisfaction(user_id) for user_id in graph.user_ids()}
         global_reputation = reputation_facet(reputation_scores, ground_truth)
-        per_user: Dict[str, FacetScores] = {}
+        per_user: dict[str, FacetScores] = {}
         for user in graph.users():
             user_privacy = privacy_satisfaction(
                 exposure=exposure_level(

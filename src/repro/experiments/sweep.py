@@ -36,15 +36,16 @@ campaign output.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import hashlib
 import itertools
 import json
 import math
 import random
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
+from repro import _profiling
 from repro.core import accel
 from repro.core.backend import resolve_backend
 from repro.errors import ConfigurationError
@@ -78,7 +79,7 @@ class SweepTask:
 
     experiment: str
     index: int
-    params: Dict[str, object]
+    params: dict[str, object]
     seed: int
     #: Whether the experiment's quick_kwargs form the base the params
     #: override (campaigns default to quick bases so grids stay tractable).
@@ -94,8 +95,8 @@ class SweepSpec:
     """A campaign: an experiment plus the parameter space to cover."""
 
     experiment: str
-    grids: Dict[str, List[object]] = field(default_factory=dict)
-    ranges: Dict[str, ParamRange] = field(default_factory=dict)
+    grids: dict[str, list[object]] = field(default_factory=dict)
+    ranges: dict[str, ParamRange] = field(default_factory=dict)
     sampler: str = "grid"
     n_samples: int = 0
     seed: int = 0
@@ -152,7 +153,7 @@ class SweepSpec:
                     f"accepted: {sorted(entry.accepted_parameters())}"
                 )
 
-    def campaign_metadata(self) -> Dict[str, object]:
+    def campaign_metadata(self) -> dict[str, object]:
         """Deterministic campaign header for serialized results (no timing,
         no worker counts — those must not leak into the output file)."""
         return {
@@ -169,7 +170,7 @@ class SweepSpec:
 
 
 def derive_task_seed(
-    campaign_seed: int, experiment: str, index: int, params: Dict[str, object]
+    campaign_seed: int, experiment: str, index: int, params: dict[str, object]
 ) -> int:
     """A per-task seed that is stable across processes and Python runs.
 
@@ -189,17 +190,17 @@ def derive_task_seed(
     return int.from_bytes(digest[:8], "big")
 
 
-def _grid_points(grids: Dict[str, List[object]]) -> List[Dict[str, object]]:
+def _grid_points(grids: dict[str, list[object]]) -> list[dict[str, object]]:
     keys = list(grids)
     combos = itertools.product(*(grids[key] for key in keys))
-    return [dict(zip(keys, combo)) for combo in combos]
+    return [dict(zip(keys, combo, strict=True)) for combo in combos]
 
 
-def _random_points(spec: SweepSpec) -> List[Dict[str, object]]:
+def _random_points(spec: SweepSpec) -> list[dict[str, object]]:
     rng = random.Random(spec.seed)
     points = []
     for _ in range(spec.n_samples):
-        point: Dict[str, object] = {}
+        point: dict[str, object] = {}
         for key in sorted(spec.grids):
             point[key] = rng.choice(spec.grids[key])
         for key in sorted(spec.ranges):
@@ -209,7 +210,7 @@ def _random_points(spec: SweepSpec) -> List[Dict[str, object]]:
     return points
 
 
-def _latin_points(spec: SweepSpec) -> List[Dict[str, object]]:
+def _latin_points(spec: SweepSpec) -> list[dict[str, object]]:
     """Latin-hypercube design: each continuous range is cut into
     ``n_samples`` strata and every stratum is visited exactly once per
     parameter; discrete grid parameters are stratified over their values
@@ -217,7 +218,7 @@ def _latin_points(spec: SweepSpec) -> List[Dict[str, object]]:
     value appears at least once)."""
     rng = random.Random(spec.seed)
     n = spec.n_samples
-    columns: Dict[str, List[object]] = {}
+    columns: dict[str, list[object]] = {}
     for key in sorted(spec.grids):
         values = spec.grids[key]
         # Repeat the value list to length n, then shuffle: balanced coverage.
@@ -235,7 +236,7 @@ def _latin_points(spec: SweepSpec) -> List[Dict[str, object]]:
     return [{key: columns[key][i] for key in columns} for i in range(n)]
 
 
-def expand_tasks(spec: SweepSpec) -> List[SweepTask]:
+def expand_tasks(spec: SweepSpec) -> list[SweepTask]:
     """Materialize the campaign's parameter space into ordered tasks."""
     if spec.sampler == "grid":
         points = _grid_points(spec.grids)
@@ -268,7 +269,7 @@ def execute_task(task: SweepTask) -> ExperimentRecord:
     seed = params.pop("seed", None)
     if seed is None:
         seed = task.seed
-    used_seed: Optional[int] = seed if entry.accepts("seed") else None
+    used_seed: int | None = seed if entry.accepts("seed") else None
     try:
         metrics = run_experiment_structured(
             task.experiment,
@@ -311,7 +312,7 @@ def _worker_init() -> None:
         accel.set_flags(run_cache=True)
 
 
-def _execute_chunk(tasks: List[SweepTask]) -> List[ExperimentRecord]:
+def _execute_chunk(tasks: list[SweepTask]) -> list[ExperimentRecord]:
     """Run one contiguous chunk of tasks in a worker; top-level so it
     pickles.  One submission per chunk instead of per task keeps IPC and
     future bookkeeping off the per-task critical path."""
@@ -332,14 +333,14 @@ class SweepExecutor:
     scenario run cache enabled (see :func:`_worker_init`).
     """
 
-    def __init__(self, jobs: int, *, chunksize: Optional[int] = None) -> None:
+    def __init__(self, jobs: int, *, chunksize: int | None = None) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be at least 1")
         if chunksize is not None and chunksize < 1:
             raise ConfigurationError("chunksize must be at least 1")
         self.jobs = jobs
         self.chunksize = chunksize
-        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
@@ -357,8 +358,8 @@ class SweepExecutor:
         return max(1, math.ceil(n_tasks / (self.jobs * 4)))
 
     def map_records(
-        self, tasks: Sequence[SweepTask], *, on_record: Optional[RecordCallback] = None
-    ) -> List[ExperimentRecord]:
+        self, tasks: Sequence[SweepTask], *, on_record: RecordCallback | None = None
+    ) -> list[ExperimentRecord]:
         """Execute tasks on the pool; stream records in task order.
 
         ``on_record`` (when given) is invoked for every record as soon as
@@ -374,9 +375,9 @@ class SweepExecutor:
             for start in range(0, len(tasks), chunksize)
         ]
         futures = {pool.submit(_execute_chunk, chunk): index for index, chunk in enumerate(chunks)}
-        finished: Dict[int, List[ExperimentRecord]] = {}
+        finished: dict[int, list[ExperimentRecord]] = {}
         next_chunk = 0
-        ordered: List[ExperimentRecord] = []
+        ordered: list[ExperimentRecord] = []
         for future in concurrent.futures.as_completed(futures):
             finished[futures[future]] = future.result()
             while next_chunk in finished:
@@ -393,7 +394,7 @@ class SweepExecutor:
             self._pool.shutdown()
             self._pool = None
 
-    def __enter__(self) -> "SweepExecutor":
+    def __enter__(self) -> SweepExecutor:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -405,7 +406,7 @@ class SweepResult:
     """The executed campaign: ordered records plus execution telemetry."""
 
     spec: SweepSpec
-    records: List[ExperimentRecord]
+    records: list[ExperimentRecord]
     jobs: int
     wall_time: float
 
@@ -435,9 +436,9 @@ def run_sweep(
     spec: SweepSpec,
     *,
     jobs: int = 1,
-    chunksize: Optional[int] = None,
-    executor: Optional[SweepExecutor] = None,
-    on_record: Optional[RecordCallback] = None,
+    chunksize: int | None = None,
+    executor: SweepExecutor | None = None,
+    on_record: RecordCallback | None = None,
 ) -> SweepResult:
     """Execute every task of the campaign and collect ordered records.
 
@@ -451,7 +452,7 @@ def run_sweep(
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
     tasks = expand_tasks(spec)
-    start = time.perf_counter()
+    start = _profiling.clock()
     if executor is not None:
         records = executor.map_records(tasks, on_record=on_record)
         effective_jobs = executor.jobs
@@ -481,7 +482,7 @@ def run_sweep(
             records = owned.map_records(tasks, on_record=on_record)
         effective_jobs = jobs
     records.sort(key=lambda record: record.task_index)
-    wall_time = time.perf_counter() - start
+    wall_time = _profiling.clock() - start
     return SweepResult(spec=spec, records=records, jobs=effective_jobs, wall_time=wall_time)
 
 
@@ -494,16 +495,12 @@ def parse_scalar(text: str) -> object:
     ``"nan"``/``"inf"`` stay strings: non-finite floats have no strict-JSON
     representation, so they may not enter a record as numbers.
     """
-    try:
+    with contextlib.suppress(ValueError):
         return int(text)
-    except ValueError:
-        pass
-    try:
+    with contextlib.suppress(ValueError):
         value = float(text)
         if math.isfinite(value):
             return value
-    except ValueError:
-        pass
     lowered = text.lower()
     if lowered in ("true", "yes"):
         return True
@@ -512,7 +509,7 @@ def parse_scalar(text: str) -> object:
     return text
 
 
-def parse_grid_option(option: str) -> Tuple[str, List[object]]:
+def parse_grid_option(option: str) -> tuple[str, list[object]]:
     """Parse one ``--grid key=v1,v2,...`` occurrence."""
     if "=" not in option:
         raise ConfigurationError(f"--grid expects key=v1,v2,... (got {option!r})")
@@ -523,7 +520,7 @@ def parse_grid_option(option: str) -> Tuple[str, List[object]]:
     return key, values
 
 
-def parse_range_option(option: str) -> Tuple[str, ParamRange]:
+def parse_range_option(option: str) -> tuple[str, ParamRange]:
     """Parse one ``--range key=low:high`` occurrence."""
     if "=" not in option or ":" not in option.partition("=")[2]:
         raise ConfigurationError(f"--range expects key=low:high (got {option!r})")
@@ -548,12 +545,12 @@ def spec_from_options(
     backend: str = "auto",
 ) -> SweepSpec:
     """Build a :class:`SweepSpec` from raw CLI option strings."""
-    grids: Dict[str, List[object]] = {}
+    grids: dict[str, list[object]] = {}
     for option in grid_options:
         key, values = parse_grid_option(option)
         # Repeating --grid for the same key extends its value list.
         grids.setdefault(key, []).extend(values)
-    ranges: Dict[str, ParamRange] = {}
+    ranges: dict[str, ParamRange] = {}
     for option in range_options:
         key, bounds = parse_range_option(option)
         if key in ranges:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.simulation.transaction import Feedback
@@ -34,8 +34,8 @@ class PseudonymManager:
     def __init__(self, salt: str = "repro-pseudonyms", *, epoch: int = 0) -> None:
         self._salt = salt
         self._epoch = int(epoch)
-        self._forward: Dict[str, str] = {}
-        self._reverse: Dict[str, str] = {}
+        self._forward: dict[str, str] = {}
+        self._reverse: dict[str, str] = {}
 
     @property
     def epoch(self) -> int:
@@ -63,7 +63,7 @@ class PseudonymManager:
         self._forward.clear()
         self._reverse.clear()
 
-    def known_pseudonyms(self) -> List[str]:
+    def known_pseudonyms(self) -> list[str]:
         return sorted(self._reverse)
 
 
@@ -77,7 +77,7 @@ def generalize_age(age: int, bucket_size: int = 10) -> str:
     return f"{low}-{low + bucket_size - 1}"
 
 
-def k_anonymous_groups(values: Sequence[str], k: int) -> Dict[str, List[int]]:
+def k_anonymous_groups(values: Sequence[str], k: int) -> dict[str, list[int]]:
     """Group record indices by value and report which groups satisfy k-anonymity.
 
     Returns ``{value: [indices]}`` restricted to groups of size at least
@@ -86,13 +86,13 @@ def k_anonymous_groups(values: Sequence[str], k: int) -> Dict[str, List[int]]:
     """
     if k < 1:
         raise ConfigurationError("k must be at least 1")
-    groups: Dict[str, List[int]] = defaultdict(list)
+    groups: dict[str, list[int]] = defaultdict(list)
     for index, value in enumerate(values):
         groups[value].append(index)
     return {value: indices for value, indices in groups.items() if len(indices) >= k}
 
 
-def anonymize_feedback(feedbacks: Iterable[Feedback]) -> List[Feedback]:
+def anonymize_feedback(feedbacks: Iterable[Feedback]) -> list[Feedback]:
     """Strip rater identities from a batch of feedback reports."""
     anonymized = []
     for feedback in feedbacks:

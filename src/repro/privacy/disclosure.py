@@ -9,7 +9,6 @@ function of what was actually disclosed, weighted by sensitivity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from repro._util import require_unit_interval
 from repro.privacy.purposes import Operation, Purpose
@@ -27,7 +26,7 @@ class DisclosureRecord:
     purpose: Purpose
     operation: Operation = Operation.READ
     policy_compliant: bool = True
-    retention_time: Optional[int] = None
+    retention_time: int | None = None
 
     def __post_init__(self) -> None:
         require_unit_interval(self.sensitivity, "sensitivity")
@@ -37,7 +36,7 @@ class DisclosureRecord:
 class DisclosureLedger:
     """Append-only record of disclosures with retention-aware queries."""
 
-    records: List[DisclosureRecord] = field(default_factory=list)
+    records: list[DisclosureRecord] = field(default_factory=list)
 
     def record(self, record: DisclosureRecord) -> None:
         self.records.append(record)
@@ -47,20 +46,20 @@ class DisclosureLedger:
 
     # -- queries -----------------------------------------------------------
 
-    def by_owner(self, owner: str) -> List[DisclosureRecord]:
+    def by_owner(self, owner: str) -> list[DisclosureRecord]:
         return [record for record in self.records if record.owner == owner]
 
-    def by_recipient(self, recipient: str) -> List[DisclosureRecord]:
+    def by_recipient(self, recipient: str) -> list[DisclosureRecord]:
         return [record for record in self.records if record.recipient == recipient]
 
-    def violations(self) -> List[DisclosureRecord]:
+    def violations(self) -> list[DisclosureRecord]:
         """Disclosures that happened despite not being policy compliant."""
         return [record for record in self.records if not record.policy_compliant]
 
-    def owners(self) -> List[str]:
+    def owners(self) -> list[str]:
         return sorted({record.owner for record in self.records})
 
-    def active_records(self, now: int) -> List[DisclosureRecord]:
+    def active_records(self, now: int) -> list[DisclosureRecord]:
         """Records whose retention window has not yet expired at time ``now``.
 
         Records without a retention time never expire — the worst case for
@@ -74,13 +73,13 @@ class DisclosureLedger:
                 active.append(record)
         return active
 
-    def expired_records(self, now: int) -> List[DisclosureRecord]:
+    def expired_records(self, now: int) -> list[DisclosureRecord]:
         active = set(id(record) for record in self.active_records(now))
         return [record for record in self.records if id(record) not in active]
 
     # -- aggregate measures --------------------------------------------------
 
-    def exposure(self, owner: str, *, now: Optional[int] = None) -> float:
+    def exposure(self, owner: str, *, now: int | None = None) -> float:
         """Total sensitivity-weighted exposure of one owner.
 
         When ``now`` is given, only records still within their retention
@@ -95,8 +94,8 @@ class DisclosureLedger:
     def distinct_recipients(self, owner: str) -> int:
         return len({record.recipient for record in self.by_owner(owner)})
 
-    def purpose_histogram(self, owner: Optional[str] = None) -> Dict[Purpose, int]:
-        histogram: Dict[Purpose, int] = {}
+    def purpose_histogram(self, owner: str | None = None) -> dict[Purpose, int]:
+        histogram: dict[Purpose, int] = {}
         for record in self.records:
             if owner is not None and record.owner != owner:
                 continue

@@ -17,7 +17,7 @@ Both ingredients are implemented:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional
+from collections.abc import Iterable, Mapping
 
 from repro._util import clamp, mean, require_unit_interval
 from repro.privacy.disclosure import DisclosureLedger
@@ -28,7 +28,7 @@ def exposure_level(
     owner: str,
     *,
     reference_exposure: float = 20.0,
-    now: Optional[int] = None,
+    now: int | None = None,
 ) -> float:
     """Normalized exposure of one owner in ``[0, 1]``.
 
@@ -42,7 +42,7 @@ def exposure_level(
     return clamp(raw / reference_exposure)
 
 
-def policy_respect_rate(ledger: DisclosureLedger, owner: Optional[str] = None) -> float:
+def policy_respect_rate(ledger: DisclosureLedger, owner: str | None = None) -> float:
     """Fraction of disclosures that were policy compliant (1.0 when none)."""
     records = ledger.records if owner is None else ledger.by_owner(owner)
     if not records:
@@ -98,7 +98,7 @@ def population_privacy_satisfaction(
     privacy_concerns: Mapping[str, float],
     *,
     reference_exposure: float = 20.0,
-    now: Optional[int] = None,
+    now: int | None = None,
 ) -> float:
     """Mean privacy satisfaction over a population of owners."""
     values: Iterable[float] = (

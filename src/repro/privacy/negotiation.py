@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.privacy.policy import AccessDecision, AccessRequest, PrivacyPolicy
@@ -61,8 +60,8 @@ class NegotiationOutcome:
     status: NegotiationStatus
     rounds: int
     final_proposal: Proposal
-    decision: Optional[AccessDecision] = None
-    trace: List[tuple] = field(default_factory=list)
+    decision: AccessDecision | None = None
+    trace: list[tuple] = field(default_factory=list)
 
     @property
     def agreed(self) -> bool:
@@ -73,11 +72,11 @@ class NegotiationEngine:
     """Iterative proposal refinement against an owner's policy."""
 
     #: Denial reasons the requester can do something about.
-    _NEGOTIABLE_REASONS = {
+    _NEGOTIABLE_REASONS = frozenset({
         "obligations-not-accepted",
         "purpose-not-allowed",
         "operation-not-allowed",
-    }
+    })
 
     def __init__(self, max_rounds: int = 4) -> None:
         if max_rounds < 1:
@@ -86,7 +85,7 @@ class NegotiationEngine:
 
     def _counter_proposal(
         self, proposal: Proposal, decision: AccessDecision, policy: PrivacyPolicy
-    ) -> Optional[Proposal]:
+    ) -> Proposal | None:
         """Derive the next proposal from the denial reasons, if any help."""
         reasons = set(decision.reasons)
         if not reasons & self._NEGOTIABLE_REASONS:
@@ -112,7 +111,7 @@ class NegotiationEngine:
     def negotiate(self, proposal: Proposal, policy: PrivacyPolicy) -> NegotiationOutcome:
         """Run the bounded negotiation loop and return its outcome."""
         current = proposal
-        trace: List[tuple] = []
+        trace: list[tuple] = []
         for round_index in range(1, self.max_rounds + 1):
             decision = policy.evaluate(current.to_request())
             trace.append((round_index, current, decision))

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from collections.abc import Iterable
 
 from repro._util import require_unit_interval
 from repro.errors import ConfigurationError
@@ -57,7 +57,7 @@ class AccessRequest:
     requester_trust: float = 0.5
     is_friend: bool = False
     same_community: bool = False
-    accepted_obligations: FrozenSet[Obligation] = frozenset()
+    accepted_obligations: frozenset[Obligation] = frozenset()
 
     def __post_init__(self) -> None:
         require_unit_interval(self.requester_trust, "requester_trust")
@@ -74,8 +74,8 @@ class AccessDecision:
 
     outcome: DecisionOutcome
     reasons: tuple = ()
-    obligations: FrozenSet[Obligation] = frozenset()
-    retention_time: Optional[int] = None
+    obligations: frozenset[Obligation] = frozenset()
+    retention_time: int | None = None
 
     @property
     def permitted(self) -> bool:
@@ -83,8 +83,8 @@ class AccessDecision:
 
     @staticmethod
     def permit(
-        obligations: Iterable[Obligation] = (), retention_time: Optional[int] = None
-    ) -> "AccessDecision":
+        obligations: Iterable[Obligation] = (), retention_time: int | None = None
+    ) -> AccessDecision:
         return AccessDecision(
             outcome=DecisionOutcome.PERMIT,
             obligations=frozenset(obligations),
@@ -92,7 +92,7 @@ class AccessDecision:
         )
 
     @staticmethod
-    def deny(*reasons: str) -> "AccessDecision":
+    def deny(*reasons: str) -> AccessDecision:
         return AccessDecision(outcome=DecisionOutcome.DENY, reasons=tuple(reasons))
 
 
@@ -106,13 +106,13 @@ class PolicyRule:
     and obligations.
     """
 
-    authorized_users: Set[str] = field(default_factory=set)
+    authorized_users: set[str] = field(default_factory=set)
     audience: Audience = Audience.FRIENDS
-    operations: Set[Operation] = field(default_factory=lambda: {Operation.READ})
-    purposes: Set[Purpose] = field(default_factory=lambda: {Purpose.SOCIAL_INTERACTION})
+    operations: set[Operation] = field(default_factory=lambda: {Operation.READ})
+    purposes: set[Purpose] = field(default_factory=lambda: {Purpose.SOCIAL_INTERACTION})
     minimum_trust: float = 0.0
-    retention_time: Optional[int] = None
-    obligations: Set[Obligation] = field(default_factory=set)
+    retention_time: int | None = None
+    obligations: set[Obligation] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         require_unit_interval(self.minimum_trust, "minimum_trust")
@@ -138,7 +138,7 @@ class PolicyRule:
 
     def evaluate(self, request: AccessRequest) -> AccessDecision:
         """Evaluate a single rule; deny reasons name the failed element."""
-        reasons: List[str] = []
+        reasons: list[str] = []
         if not self._audience_allows(request):
             reasons.append("requester-not-authorized")
         if request.operation not in self.operations:
@@ -167,13 +167,13 @@ class PrivacyPolicy:
     """
 
     owner: str
-    rules: Dict[str, PolicyRule] = field(default_factory=dict)
-    default_rule: Optional[PolicyRule] = None
+    rules: dict[str, PolicyRule] = field(default_factory=dict)
+    default_rule: PolicyRule | None = None
 
     def set_rule(self, data_id: str, rule: PolicyRule) -> None:
         self.rules[data_id] = rule
 
-    def rule_for(self, data_id: str) -> Optional[PolicyRule]:
+    def rule_for(self, data_id: str) -> PolicyRule | None:
         return self.rules.get(data_id, self.default_rule)
 
     def evaluate(self, request: AccessRequest) -> AccessDecision:

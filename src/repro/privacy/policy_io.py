@@ -10,7 +10,6 @@ protect, exchanged during negotiation, or stored by the PriServ service.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.privacy.policy import (
@@ -25,7 +24,7 @@ from repro.privacy.purposes import Operation, Purpose
 POLICY_DOCUMENT_VERSION = "repro-pp/1.0"
 
 
-def rule_to_dict(rule: PolicyRule) -> Dict[str, object]:
+def rule_to_dict(rule: PolicyRule) -> dict[str, object]:
     """Serialize one policy rule to plain JSON-compatible types."""
     return {
         "authorized_users": sorted(rule.authorized_users),
@@ -38,7 +37,7 @@ def rule_to_dict(rule: PolicyRule) -> Dict[str, object]:
     }
 
 
-def rule_from_dict(data: Dict[str, object]) -> PolicyRule:
+def rule_from_dict(data: dict[str, object]) -> PolicyRule:
     """Deserialize one policy rule, validating every enumeration value."""
     try:
         return PolicyRule(
@@ -59,7 +58,7 @@ def rule_from_dict(data: Dict[str, object]) -> PolicyRule:
         raise ConfigurationError(f"invalid policy rule document: {error}") from error
 
 
-def policy_to_dict(policy: PrivacyPolicy) -> Dict[str, object]:
+def policy_to_dict(policy: PrivacyPolicy) -> dict[str, object]:
     """Serialize a whole policy (owner, per-item rules, default rule)."""
     return {
         "version": POLICY_DOCUMENT_VERSION,
@@ -71,7 +70,7 @@ def policy_to_dict(policy: PrivacyPolicy) -> Dict[str, object]:
     }
 
 
-def policy_from_dict(data: Dict[str, object]) -> PrivacyPolicy:
+def policy_from_dict(data: dict[str, object]) -> PrivacyPolicy:
     """Deserialize a policy document produced by :func:`policy_to_dict`."""
     version = data.get("version", POLICY_DOCUMENT_VERSION)
     if version != POLICY_DOCUMENT_VERSION:
@@ -82,7 +81,7 @@ def policy_from_dict(data: Dict[str, object]) -> PrivacyPolicy:
     owner = data.get("owner")
     if not owner:
         raise ConfigurationError("policy document has no owner")
-    default_rule_data: Optional[Dict[str, object]] = data.get("default_rule")
+    default_rule_data: dict[str, object] | None = data.get("default_rule")
     policy = PrivacyPolicy(
         owner=str(owner),
         rules={

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from repro.errors import AccessDeniedError, ConfigurationError, UnknownDataError
 from repro.privacy.disclosure import DisclosureLedger, DisclosureRecord
@@ -66,16 +66,16 @@ class PriServService:
 
     peer_ids: Sequence[str]
     trust_oracle: TrustOracle = field(default=lambda peer: 0.5)
-    friendship_oracle: Optional[RelationOracle] = None
-    community_oracle: Optional[RelationOracle] = None
+    friendship_oracle: RelationOracle | None = None
+    community_oracle: RelationOracle | None = None
     ledger: DisclosureLedger = field(default_factory=DisclosureLedger)
 
     def __post_init__(self) -> None:
         if not self.peer_ids:
             raise ConfigurationError("the service needs at least one peer")
-        self._items: Dict[str, PublishedItem] = {}
-        self._policies: Dict[str, PrivacyPolicy] = {}
-        self._audit: List[AuditEntry] = []
+        self._items: dict[str, PublishedItem] = {}
+        self._policies: dict[str, PrivacyPolicy] = {}
+        self._audit: list[AuditEntry] = []
         self._clock = 0
 
     # -- structured P2P placement -------------------------------------------
@@ -91,7 +91,7 @@ class PriServService:
     def register_policy(self, policy: PrivacyPolicy) -> None:
         self._policies[policy.owner] = policy
 
-    def policy_of(self, owner: str) -> Optional[PrivacyPolicy]:
+    def policy_of(self, owner: str) -> PrivacyPolicy | None:
         return self._policies.get(owner)
 
     def publish(
@@ -101,7 +101,7 @@ class PriServService:
         content: object,
         *,
         sensitivity: float = 0.5,
-        policy: Optional[PrivacyPolicy] = None,
+        policy: PrivacyPolicy | None = None,
     ) -> PublishedItem:
         """Publish a data item, optionally registering/refreshing the policy."""
         if policy is not None:
@@ -130,7 +130,7 @@ class PriServService:
             raise AccessDeniedError(f"{owner} does not own {data_id}")
         del self._items[data_id]
 
-    def published_items(self, owner: Optional[str] = None) -> List[PublishedItem]:
+    def published_items(self, owner: str | None = None) -> list[PublishedItem]:
         items = list(self._items.values())
         if owner is not None:
             items = [item for item in items if item.owner == owner]
@@ -180,7 +180,7 @@ class PriServService:
         operation: Operation = Operation.READ,
         purpose: Purpose = Purpose.SOCIAL_INTERACTION,
         accepted_obligations: Sequence[Obligation] = (),
-    ) -> Tuple[AccessDecision, Optional[object]]:
+    ) -> tuple[AccessDecision, object | None]:
         """Request access to a published item.
 
         Returns the decision and, when permitted, the item content.  Denials
@@ -277,7 +277,7 @@ class PriServService:
     # -- accountability ----------------------------------------------------------
 
     @property
-    def audit_log(self) -> List[AuditEntry]:
+    def audit_log(self) -> list[AuditEntry]:
         return list(self._audit)
 
     def denial_rate(self) -> float:
@@ -286,8 +286,8 @@ class PriServService:
         denied = sum(1 for entry in self._audit if not entry.decision.permitted)
         return denied / len(self._audit)
 
-    def denial_reasons(self) -> Dict[str, int]:
-        histogram: Dict[str, int] = {}
+    def denial_reasons(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
         for entry in self._audit:
             for reason in entry.decision.reasons:
                 histogram[reason] = histogram.get(reason, 0) + 1

@@ -64,7 +64,7 @@ REPUTATION_FACTORIES = {
 }
 
 
-def make_reputation_system(name: str, **kwargs) -> ReputationSystem:
+def make_reputation_system(name: str, **kwargs: object) -> ReputationSystem:
     """Instantiate a reputation mechanism by registry name."""
     try:
         factory = REPUTATION_FACTORIES[name]

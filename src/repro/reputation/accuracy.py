@@ -19,12 +19,12 @@ all, consistency with the reality".  The simulator knows the ground truth
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from collections.abc import Mapping
 
 from repro._util import clamp, mean
 
 
-def _aligned(scores: Mapping[str, float], ground_truth: Mapping[str, float]) -> Dict[str, float]:
+def _aligned(scores: Mapping[str, float], ground_truth: Mapping[str, float]) -> dict[str, float]:
     """Restrict scores to peers with known ground truth."""
     return {peer: scores[peer] for peer in scores if peer in ground_truth}
 
@@ -79,10 +79,10 @@ def mean_absolute_error(scores: Mapping[str, float], ground_truth: Mapping[str, 
     return mean(abs(score - ground_truth[peer]) for peer, score in aligned.items())
 
 
-def _average_ranks(values: Dict[str, float]) -> Dict[str, float]:
+def _average_ranks(values: dict[str, float]) -> dict[str, float]:
     """Fractional ranks (ties get the average of their rank span)."""
     ordered = sorted(values, key=lambda peer: (values[peer], peer))
-    ranks: Dict[str, float] = {}
+    ranks: dict[str, float] = {}
     index = 0
     while index < len(ordered):
         tail = index
@@ -123,6 +123,8 @@ def spearman_rank_correlation(
         covariance += ds * dt
         score_variance += ds * ds
         truth_variance += dt * dt
+    # repro-lint: ignore[R5] exact sentinel: rank variances are exactly
+    # 0.0 only when every rank ties, where the correlation is undefined
     if score_variance == 0.0 or truth_variance == 0.0:
         return 0.0
     return covariance / (score_variance * truth_variance) ** 0.5

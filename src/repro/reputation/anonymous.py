@@ -18,7 +18,6 @@ antagonism of Figure 2.  The ablation experiment E-A2 quantifies it.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
 
 from repro._util import require_unit_interval
 from repro.reputation.base import ReputationSystem
@@ -65,7 +64,7 @@ class AnonymousFeedbackReputation(ReputationSystem):
             rating = 1.0 if self._rng.random() < 0.5 else 0.0
             truthful = truthful and rating == feedback.rating
             self.perturbed_reports += 1
-        rater: Optional[str] = feedback.rater
+        rater: str | None = feedback.rater
         if self.strip_identity and rater is not None:
             rater = None
             self.anonymized_reports += 1
@@ -84,10 +83,10 @@ class AnonymousFeedbackReputation(ReputationSystem):
         self._dirty = True
         self.inner.record_feedback(transformed)
 
-    def compute_scores(self) -> Dict[str, float]:
+    def compute_scores(self) -> dict[str, float]:
         return self.inner.compute_scores()
 
-    def refresh(self) -> Dict[str, float]:
+    def refresh(self) -> dict[str, float]:
         self.inner.refresh()
         return super().refresh()
 

@@ -8,7 +8,6 @@ raters — exactly the contrast the paper's reputation-power axis captures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 from repro._util import mean
 from repro.core import accel
@@ -34,10 +33,10 @@ class SimpleAverageReputation(ReputationSystem):
     def __init__(self, **kwargs: object) -> None:
         super().__init__(**kwargs)  # type: ignore[arg-type]
         #: subject -> [rating sum, report count]
-        self._agg: Dict[str, List[float]] = {}
-        self._agg_watermark: Tuple[int, int] = (-1, 0)
+        self._agg: dict[str, list[float]] = {}
+        self._agg_watermark: tuple[int, int] = (-1, 0)
 
-    def _compute_incremental(self) -> Optional[Dict[str, float]]:
+    def _compute_incremental(self) -> dict[str, float] | None:
         """Fold newly appended feedback into the running per-subject sums.
 
         Returns ``None`` when incremental refresh is disabled (the caller
@@ -68,19 +67,19 @@ class SimpleAverageReputation(ReputationSystem):
             subject: agg[subject][0] / agg[subject][1] for subject in self.store.subjects()
         }
 
-    def compute_scores(self) -> Dict[str, float]:
+    def compute_scores(self) -> dict[str, float]:
         incremental = self._compute_incremental()
         if incremental is not None:
             return incremental
         if self.resolved_backend == VECTORIZED_BACKEND:
             return self._compute_vectorized()
-        scores: Dict[str, float] = {}
+        scores: dict[str, float] = {}
         for subject in self.store.subjects():
             ratings = [feedback.rating for feedback in self.store.about(subject)]
             scores[subject] = mean(ratings, default=self.default_score)
         return scores
 
-    def _compute_vectorized(self) -> Dict[str, float]:
+    def _compute_vectorized(self) -> dict[str, float]:
         subjects = self.store.subjects()
         if not subjects:
             return {}

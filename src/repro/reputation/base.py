@@ -21,7 +21,6 @@ reputation/privacy antagonism.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional
 
 from repro._util import clamp
 from repro.core.backend import resolve_backend
@@ -56,7 +55,7 @@ class ReputationSystem(abc.ABC):
         self,
         *,
         default_score: float = 0.5,
-        max_evidence_per_subject: Optional[int] = None,
+        max_evidence_per_subject: int | None = None,
         backend: str = "auto",
     ) -> None:
         self.default_score = clamp(default_score)
@@ -67,7 +66,7 @@ class ReputationSystem(abc.ABC):
         #: same configuration object works on hosts with and without numpy.
         self.backend = backend
         resolve_backend(backend)  # fail fast on unknown/unavailable names
-        self._scores: Dict[str, float] = {}
+        self._scores: dict[str, float] = {}
         self._dirty = False
 
     @property
@@ -93,10 +92,10 @@ class ReputationSystem(abc.ABC):
     # -- scoring and ranking -----------------------------------------------
 
     @abc.abstractmethod
-    def compute_scores(self) -> Dict[str, float]:
+    def compute_scores(self) -> dict[str, float]:
         """Recompute the score of every known peer; values in ``[0, 1]``."""
 
-    def refresh(self) -> Dict[str, float]:
+    def refresh(self) -> dict[str, float]:
         """Recompute and cache scores if new evidence arrived since last time.
 
         Scores are clamped into ``[0, 1]`` and quantized to the 1e-9
@@ -119,18 +118,18 @@ class ReputationSystem(abc.ABC):
             self.refresh()
         return self._scores.get(peer_id, self.default_score)
 
-    def scores(self) -> Dict[str, float]:
+    def scores(self) -> dict[str, float]:
         """Cached scores of every known peer."""
         if self._dirty or not self._scores:
             self.refresh()
         return dict(self._scores)
 
-    def ranking(self) -> List[str]:
+    def ranking(self) -> list[str]:
         """Peer identifiers ordered from most to least reputable."""
         current = self.scores()
         return sorted(current, key=lambda peer: (-current[peer], peer))
 
-    def known_peers(self) -> List[str]:
+    def known_peers(self) -> list[str]:
         return sorted(self.store.participants())
 
     # -- lifecycle -----------------------------------------------------------

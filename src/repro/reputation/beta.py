@@ -10,7 +10,6 @@ requirement is low.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 from repro._util import require_unit_interval
 from repro.core import accel
@@ -43,7 +42,7 @@ class BetaReputation(ReputationSystem):
         *,
         forgetting: float = 1.0,
         default_score: float = 0.5,
-        max_evidence_per_subject: Optional[int] = None,
+        max_evidence_per_subject: int | None = None,
         backend: str = "auto",
     ) -> None:
         super().__init__(
@@ -56,8 +55,8 @@ class BetaReputation(ReputationSystem):
         #: ``forgetting == 1.0`` the masses *include* the +1 prior so the
         #: fold order matches the cold loop addition for addition; otherwise
         #: the prior is added at score time (it must not be rescaled).
-        self._agg: Dict[str, List[float]] = {}
-        self._agg_watermark: Tuple[int, int] = (-1, 0)
+        self._agg: dict[str, list[float]] = {}
+        self._agg_watermark: tuple[int, int] = (-1, 0)
 
     def _fold(self, start: int) -> None:
         columns = self.store.columns()
@@ -66,6 +65,8 @@ class BetaReputation(ReputationSystem):
         positives = columns.positives
         times = columns.times
         forgetting = self.forgetting
+        # repro-lint: ignore[R5] config sentinel selecting the bitwise
+        # fold fast path; forgetting arrives by assignment, not arithmetic
         exact = forgetting == 1.0
         prior = 1.0 if exact else 0.0
         for index in range(start, len(subjects)):
@@ -86,7 +87,7 @@ class BetaReputation(ReputationSystem):
             else:
                 entry[1] += weight
 
-    def _compute_incremental(self) -> Optional[Dict[str, float]]:
+    def _compute_incremental(self) -> dict[str, float] | None:
         if not accel.flags().incremental_refresh:
             return None
         epoch = self.store.epoch
@@ -98,8 +99,9 @@ class BetaReputation(ReputationSystem):
         if position < total:
             self._fold(position)
             self._agg_watermark = (epoch, total)
+        # repro-lint: ignore[R5] config sentinel (see _fold): exact check
         prior = 0.0 if self.forgetting == 1.0 else 1.0
-        scores: Dict[str, float] = {}
+        scores: dict[str, float] = {}
         for subject in self.store.subjects():
             entry = self._agg[subject]
             alpha = prior + entry[0]
@@ -107,13 +109,13 @@ class BetaReputation(ReputationSystem):
             scores[subject] = alpha / (alpha + beta)
         return scores
 
-    def compute_scores(self) -> Dict[str, float]:
+    def compute_scores(self) -> dict[str, float]:
         incremental = self._compute_incremental()
         if incremental is not None:
             return incremental
         if self.resolved_backend == VECTORIZED_BACKEND:
             return self._compute_vectorized()
-        scores: Dict[str, float] = {}
+        scores: dict[str, float] = {}
         for subject in self.store.subjects():
             reports = self.store.about(subject)
             if not reports:
@@ -130,7 +132,7 @@ class BetaReputation(ReputationSystem):
             scores[subject] = alpha / (alpha + beta)
         return scores
 
-    def _compute_vectorized(self) -> Dict[str, float]:
+    def _compute_vectorized(self) -> dict[str, float]:
         subjects = self.store.subjects()
         if not subjects:
             return {}

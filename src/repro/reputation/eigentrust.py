@@ -21,7 +21,7 @@ can treat every mechanism uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro._util import require_unit_interval
 from repro.core import accel
@@ -40,12 +40,12 @@ class EigenTrust(ReputationSystem):
     def __init__(
         self,
         *,
-        pretrusted: Optional[Sequence[str]] = None,
+        pretrusted: Sequence[str] | None = None,
         restart_weight: float = 0.15,
         max_iterations: int = 100,
         tolerance: float = 1e-8,
         default_score: float = 0.5,
-        max_evidence_per_subject: Optional[int] = None,
+        max_evidence_per_subject: int | None = None,
         backend: str = "auto",
     ) -> None:
         super().__init__(
@@ -65,7 +65,7 @@ class EigenTrust(ReputationSystem):
 
     # -- helpers -----------------------------------------------------------
 
-    def _pretrusted_distribution(self, peers: Sequence[str]) -> Dict[str, float]:
+    def _pretrusted_distribution(self, peers: Sequence[str]) -> dict[str, float]:
         """Distribution ``p``: uniform over pre-trusted peers present, else uniform."""
         present = [peer for peer in self.pretrusted if peer in peers]
         if present:
@@ -81,7 +81,7 @@ class EigenTrust(ReputationSystem):
 
     # -- scoring -----------------------------------------------------------
 
-    def compute_scores(self) -> Dict[str, float]:
+    def compute_scores(self) -> dict[str, float]:
         peers = list(self.store.sorted_participants())
         if not peers:
             return {}
@@ -89,7 +89,7 @@ class EigenTrust(ReputationSystem):
             return self._compute_vectorized(peers)
         return self._compute_python(peers)
 
-    def _compute_python(self, peers: List[str]) -> Dict[str, float]:
+    def _compute_python(self, peers: list[str]) -> dict[str, float]:
         local = self.local_trust.normalized_local_trust(peers)
         p = self._pretrusted_distribution(peers)
         dangling = [peer for peer in peers if not local.get(peer)]
@@ -126,7 +126,7 @@ class EigenTrust(ReputationSystem):
 
         return self._rescale(trust)
 
-    def _compute_vectorized(self, peers: List[str]) -> Dict[str, float]:
+    def _compute_vectorized(self, peers: list[str]) -> dict[str, float]:
         index = PeerIndex(peers)
         matrix = self._local_trust_matrix(index)
         restart = index.dict_to_vector(self._pretrusted_distribution(peers))
@@ -139,7 +139,7 @@ class EigenTrust(ReputationSystem):
         )
         return index.vector_to_dict(backend_kernels.minmax_rescale(trust))
 
-    def _local_trust_matrix(self, index: PeerIndex):
+    def _local_trust_matrix(self, index: PeerIndex) -> backend_kernels.TrustMatrix:
         """The row-normalized local trust ``C`` for the vectorized path.
 
         With incremental refresh on, small populations clip/normalize the
@@ -159,6 +159,6 @@ class EigenTrust(ReputationSystem):
         return backend_kernels.local_trust_matrix_from_columns(self.store.columns(), index)
 
     @staticmethod
-    def _rescale(trust: Dict[str, float]) -> Dict[str, float]:
+    def _rescale(trust: dict[str, float]) -> dict[str, float]:
         """Min-max rescale the stationary distribution into ``[0, 1]`` scores."""
         return backend_kernels.minmax_rescale_dict(trust)

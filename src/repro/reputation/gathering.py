@@ -12,10 +12,14 @@ from __future__ import annotations
 from array import array
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.core import accel
 from repro.simulation.transaction import Feedback
+
+if TYPE_CHECKING:
+    import numpy as np
 
 
 @dataclass
@@ -33,16 +37,16 @@ class FeedbackColumns:
     on :meth:`FeedbackStore.add` and rebuilt lazily after evictions.
     """
 
-    subjects: List[str] = field(default_factory=list)
-    raters: List[Optional[str]] = field(default_factory=list)
+    subjects: list[str] = field(default_factory=list)
+    raters: list[str | None] = field(default_factory=list)
     ratings: array = field(default_factory=lambda: array("d"))
     positives: array = field(default_factory=lambda: array("b"))
     times: array = field(default_factory=lambda: array("d"))
     #: Interned peer codes; ``rater_codes`` holds -1 for anonymous reports.
     subject_codes: array = field(default_factory=lambda: array("q"))
     rater_codes: array = field(default_factory=lambda: array("q"))
-    id_for_code: List[str] = field(default_factory=list)
-    _code_for_id: Dict[str, int] = field(default_factory=dict)
+    id_for_code: list[str] = field(default_factory=list)
+    _code_for_id: dict[str, int] = field(default_factory=dict)
 
     def _intern(self, peer_id: str) -> int:
         code = self._code_for_id.get(peer_id)
@@ -69,9 +73,9 @@ class FeedbackColumns:
 class FeedbackStore:
     """Append-only store of disclosed feedback, indexed by subject and rater."""
 
-    max_per_subject: Optional[int] = None
-    _by_subject: Dict[str, List[Feedback]] = field(default_factory=lambda: defaultdict(list))
-    _by_rater: Dict[str, List[Feedback]] = field(default_factory=lambda: defaultdict(list))
+    max_per_subject: int | None = None
+    _by_subject: dict[str, list[Feedback]] = field(default_factory=lambda: defaultdict(list))
+    _by_rater: dict[str, list[Feedback]] = field(default_factory=lambda: defaultdict(list))
     _count: int = 0
     _columns: FeedbackColumns = field(default_factory=FeedbackColumns)
     _columns_stale: bool = False
@@ -79,8 +83,8 @@ class FeedbackStore:
     _epoch: int = 0
     #: Incrementally maintained participant set: (epoch it is valid for,
     #: the live set); rebuilt after history rewrites.
-    _participants_state: Optional[Tuple[int, Set[str]]] = None
-    _participants_sorted: Optional[List[str]] = None
+    _participants_state: tuple[int, set[str]] | None = None
+    _participants_sorted: list[str] | None = None
 
     @property
     def version(self) -> int:
@@ -147,25 +151,25 @@ class FeedbackStore:
     def __len__(self) -> int:
         return self._count
 
-    def subjects(self) -> List[str]:
+    def subjects(self) -> list[str]:
         return [subject for subject, items in self._by_subject.items() if items]
 
-    def raters(self) -> List[str]:
+    def raters(self) -> list[str]:
         return [rater for rater, items in self._by_rater.items() if items]
 
-    def about(self, subject: str) -> List[Feedback]:
+    def about(self, subject: str) -> list[Feedback]:
         return list(self._by_subject.get(subject, []))
 
-    def by(self, rater: str) -> List[Feedback]:
+    def by(self, rater: str) -> list[Feedback]:
         return list(self._by_rater.get(rater, []))
 
-    def participants(self) -> Set[str]:
+    def participants(self) -> set[str]:
         """All peer identifiers seen either as subject or as rater."""
-        ids: Set[str] = set(self.subjects())
+        ids: set[str] = set(self.subjects())
         ids.update(self.raters())
         return ids
 
-    def sorted_participants(self) -> List[str]:
+    def sorted_participants(self) -> list[str]:
         """Participants in sorted order, cached between refreshes.
 
         The participant set is maintained incrementally: :meth:`add` folds
@@ -232,14 +236,14 @@ class LocalTrustBuilder:
 
     def __init__(self, store: FeedbackStore) -> None:
         self._store = store
-        self._totals: Dict[str, Dict[str, float]] = {}
-        self._watermark: Tuple[int, int] = (-1, 0)
+        self._totals: dict[str, dict[str, float]] = {}
+        self._watermark: tuple[int, int] = (-1, 0)
         #: Dense raw-total matrix cache: (peer-id tuple, epoch, position,
         #: ndarray).  See :meth:`dense_raw_totals`.
-        self._dense_state: Optional[Tuple[Tuple[str, ...], int, int, object]] = None
+        self._dense_state: tuple[tuple[str, ...], int, int, object] | None = None
 
     def _fold_totals(
-        self, totals: Dict[str, Dict[str, float]], columns: FeedbackColumns, start: int
+        self, totals: dict[str, dict[str, float]], columns: FeedbackColumns, start: int
     ) -> None:
         """Fold column-log entries ``[start:]`` into the pairwise ledger."""
         subjects = columns.subjects
@@ -255,7 +259,7 @@ class LocalTrustBuilder:
             delta = 1.0 if positives[position] else -1.0
             row[subjects[position]] = row.get(subjects[position], 0.0) + delta
 
-    def pair_totals(self) -> Dict[str, Dict[str, float]]:
+    def pair_totals(self) -> dict[str, dict[str, float]]:
         """Signed pairwise totals ``{rater: {subject: positives - negatives}}``.
 
         Unclipped (rows may carry zero or negative entries) and live: treat
@@ -265,7 +269,7 @@ class LocalTrustBuilder:
         columns = self._store.columns()
         epoch = self._store.epoch
         if not accel.flags().incremental_refresh:
-            totals: Dict[str, Dict[str, float]] = {}
+            totals: dict[str, dict[str, float]] = {}
             self._fold_totals(totals, columns, 0)
             # Keep the ledger consistent so flipping the flag mid-life stays
             # correct: the cold result *is* the up-to-date ledger.
@@ -281,14 +285,14 @@ class LocalTrustBuilder:
             self._watermark = (epoch, len(columns))
         return self._totals
 
-    def raw_local_trust(self) -> Dict[str, Dict[str, float]]:
+    def raw_local_trust(self) -> dict[str, dict[str, float]]:
         """``{rater: {subject: max(0, positives - negatives)}}``."""
         return {
             rater: {subject: max(0.0, value) for subject, value in row.items()}
             for rater, row in self.pair_totals().items()
         }
 
-    def dense_raw_totals(self, positions: Dict[str, int], n: int):
+    def dense_raw_totals(self, positions: dict[str, int], n: int) -> np.ndarray:
         """Signed pair totals as a dense ``(n, n)`` float array, maintained
         incrementally for a fixed peer layout.
 
@@ -344,8 +348,8 @@ class LocalTrustBuilder:
         return raw
 
     def normalized_local_trust(
-        self, peers: Optional[Iterable[str]] = None
-    ) -> Dict[str, Dict[str, float]]:
+        self, peers: Iterable[str] | None = None
+    ) -> dict[str, dict[str, float]]:
         """Row-normalized local trust ``c_ij`` as used by EigenTrust.
 
         Rows that are entirely zero stay empty; EigenTrust handles them by
@@ -353,7 +357,7 @@ class LocalTrustBuilder:
         """
         raw = self.raw_local_trust()
         known = set(peers) if peers is not None else self._store.participants()
-        normalized: Dict[str, Dict[str, float]] = {}
+        normalized: dict[str, dict[str, float]] = {}
         for rater in known:
             row = raw.get(rater, {})
             row = {subject: value for subject, value in row.items() if subject in known}

@@ -10,7 +10,6 @@ aggregation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -21,7 +20,7 @@ class TrustOverlayNetwork:
     """Directed rated-whom overlay built from a feedback store."""
 
     def __init__(
-        self, store: FeedbackStore, *, builder: Optional[LocalTrustBuilder] = None
+        self, store: FeedbackStore, *, builder: LocalTrustBuilder | None = None
     ) -> None:
         self._store = store
         #: Pairwise rated-whom ledger shared with the owning mechanism (so
@@ -32,7 +31,7 @@ class TrustOverlayNetwork:
         #: bumps on clear() too, unlike the report count), so the repeated
         #: power-node selection rounds of one refresh rebuild the overlay
         #: once instead of once per round.
-        self._centrality_cache: Optional[Tuple[int, Dict[str, float]]] = None
+        self._centrality_cache: tuple[int, dict[str, float]] | None = None
 
     def build(self) -> nx.DiGraph:
         """Construct the overlay: edge weight = mean rating from rater to subject."""
@@ -41,7 +40,7 @@ class TrustOverlayNetwork:
             overlay.add_node(subject)
         for rater in self._store.raters():
             overlay.add_node(rater)
-            per_subject: Dict[str, List[float]] = {}
+            per_subject: dict[str, list[float]] = {}
             for feedback in self._store.by(rater):
                 per_subject.setdefault(feedback.subject, []).append(feedback.rating)
             for subject, ratings in per_subject.items():
@@ -53,7 +52,7 @@ class TrustOverlayNetwork:
                 )
         return overlay
 
-    def in_degree_centrality(self) -> Dict[str, float]:
+    def in_degree_centrality(self) -> dict[str, float]:
         """Normalized in-degree of every node: how widely a peer was rated.
 
         Computed straight from the pairwise rated-whom ledger — the overlay
@@ -71,14 +70,17 @@ class TrustOverlayNetwork:
         nodes = set(self._store.subjects())
         nodes.update(self._store.raters())
         if not nodes:
-            centrality: Dict[str, float] = {}
+            centrality: dict[str, float] = {}
         elif len(nodes) == 1:
             # nx.in_degree_centrality returns 1 for every node of a
             # singleton graph (the n-1 normalization is undefined).
-            centrality = {node: 1.0 for node in nodes}
+            centrality = {node: 1.0 for node in sorted(nodes)}
         else:
+            # sorted() fixes the result dict's insertion order: consumers
+            # re-sort with a total tiebreak today, but a deterministic key
+            # order keeps any future iteration over the dict safe too.
             scale = 1.0 / (len(nodes) - 1.0)
-            centrality = {node: 0.0 for node in nodes}
+            centrality = {node: 0.0 for node in sorted(nodes)}
             for row in self._builder.pair_totals().values():
                 for subject in row:
                     centrality[subject] += 1.0
@@ -86,7 +88,7 @@ class TrustOverlayNetwork:
         self._centrality_cache = (version, centrality)
         return centrality
 
-    def select_power_nodes(self, scores: Dict[str, float], m: int) -> List[str]:
+    def select_power_nodes(self, scores: dict[str, float], m: int) -> list[str]:
         """Select the ``m`` power nodes: highest score, in-degree as tie-break.
 
         PowerTrust observes that feedback in real systems follows a power law

@@ -19,7 +19,6 @@ The reproduction follows the published structure:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from repro._util import require_unit_interval
 from repro.core import accel
@@ -30,7 +29,7 @@ from repro.reputation.base import SCORE_DECIMALS, ReputationSystem
 from repro.reputation.overlay import TrustOverlayNetwork
 
 
-def _quantized(trust: Dict[str, float]) -> Dict[str, float]:
+def _quantized(trust: dict[str, float]) -> dict[str, float]:
     """Power-node selection input, snapped to the shared score grid.
 
     Selection sorts by raw trust values; quantizing first keeps the chosen
@@ -55,7 +54,7 @@ class PowerTrust(ReputationSystem):
         power_node_rounds: int = 4,
         tolerance: float = 1e-8,
         default_score: float = 0.5,
-        max_evidence_per_subject: Optional[int] = None,
+        max_evidence_per_subject: int | None = None,
         backend: str = "auto",
     ) -> None:
         super().__init__(
@@ -78,11 +77,11 @@ class PowerTrust(ReputationSystem):
         # in-degree centrality reads the same incrementally maintained pair
         # ledger instead of rescanning the store per refresh.
         self.overlay = TrustOverlayNetwork(self.store, builder=self.local_trust)
-        self.power_nodes: List[str] = []
+        self.power_nodes: list[str] = []
 
     # -- aggregation helpers -------------------------------------------------
 
-    def _restart_distribution(self, peers: List[str], power_nodes: List[str]) -> Dict[str, float]:
+    def _restart_distribution(self, peers: list[str], power_nodes: list[str]) -> dict[str, float]:
         """Look-ahead restart mass, concentrated on the current power nodes."""
         present = [peer for peer in power_nodes if peer in peers]
         if not present:
@@ -93,10 +92,10 @@ class PowerTrust(ReputationSystem):
 
     def _aggregate(
         self,
-        peers: List[str],
-        local: Dict[str, Dict[str, float]],
-        restart: Dict[str, float],
-    ) -> Dict[str, float]:
+        peers: list[str],
+        local: dict[str, dict[str, float]],
+        restart: dict[str, float],
+    ) -> dict[str, float]:
         trust = dict(restart)
         dangling = [peer for peer in peers if not local.get(peer)]
         for _ in range(self.max_iterations):
@@ -127,7 +126,7 @@ class PowerTrust(ReputationSystem):
 
     # -- scoring ---------------------------------------------------------------
 
-    def compute_scores(self) -> Dict[str, float]:
+    def compute_scores(self) -> dict[str, float]:
         peers = list(self.store.sorted_participants())
         if not peers:
             return {}
@@ -135,13 +134,13 @@ class PowerTrust(ReputationSystem):
             return self._compute_vectorized(peers)
         return self._compute_python(peers)
 
-    def _compute_python(self, peers: List[str]) -> Dict[str, float]:
+    def _compute_python(self, peers: list[str]) -> dict[str, float]:
         local = self.local_trust.normalized_local_trust(peers)
 
         # Bootstrap with a uniform restart, then alternate aggregation and
         # power-node re-selection until the power-node set stabilizes.
-        power_nodes: List[str] = list(self.power_nodes)
-        trust: Dict[str, float] = {}
+        power_nodes: list[str] = list(self.power_nodes)
+        trust: dict[str, float] = {}
         for _ in range(self.power_node_rounds):
             restart = self._restart_distribution(peers, power_nodes)
             trust = self._aggregate(peers, local, restart)
@@ -153,7 +152,7 @@ class PowerTrust(ReputationSystem):
 
         return self._rescale(trust)
 
-    def _local_trust_matrix(self, index: PeerIndex):
+    def _local_trust_matrix(self, index: PeerIndex) -> backend_kernels.TrustMatrix:
         """Row-normalized ``C`` from the incremental dense raw matrix /
         pair ledger (or a cold store rescan when incremental refresh is
         off) — bitwise identical either way, see
@@ -166,12 +165,12 @@ class PowerTrust(ReputationSystem):
             return backend_kernels.normalize_dense_raw(raw)
         return backend_kernels.local_trust_matrix_from_columns(self.store.columns(), index)
 
-    def _compute_vectorized(self, peers: List[str]) -> Dict[str, float]:
+    def _compute_vectorized(self, peers: list[str]) -> dict[str, float]:
         index = PeerIndex(peers)
         matrix = self._local_trust_matrix(index)
 
-        power_nodes: List[str] = list(self.power_nodes)
-        trust_map: Dict[str, float] = {}
+        power_nodes: list[str] = list(self.power_nodes)
+        trust_map: dict[str, float] = {}
         trust = None
         for _ in range(self.power_node_rounds):
             restart = index.dict_to_vector(self._restart_distribution(peers, power_nodes))
@@ -194,7 +193,7 @@ class PowerTrust(ReputationSystem):
         return index.vector_to_dict(backend_kernels.minmax_rescale(trust))
 
     @staticmethod
-    def _rescale(trust: Dict[str, float]) -> Dict[str, float]:
+    def _rescale(trust: dict[str, float]) -> dict[str, float]:
         return backend_kernels.minmax_rescale_dict(trust)
 
     def reset(self) -> None:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro._util import require_unit_interval
 from repro.errors import ConfigurationError
@@ -25,8 +25,8 @@ class ResponsePolicy(abc.ABC):
     def select(
         self,
         candidates: Sequence[str],
-        scores: Dict[str, float],
-        rng: Optional[random.Random] = None,
+        scores: dict[str, float],
+        rng: random.Random | None = None,
     ) -> str:
         """Return the chosen candidate identifier."""
 
@@ -44,8 +44,8 @@ class SelectBest(ResponsePolicy):
     def select(
         self,
         candidates: Sequence[str],
-        scores: Dict[str, float],
-        rng: Optional[random.Random] = None,
+        scores: dict[str, float],
+        rng: random.Random | None = None,
     ) -> str:
         self._check(candidates)
         return max(candidates, key=lambda peer: (scores.get(peer, 0.0), peer))
@@ -67,13 +67,18 @@ class ProbabilisticSelection(ResponsePolicy):
     def select(
         self,
         candidates: Sequence[str],
-        scores: Dict[str, float],
-        rng: Optional[random.Random] = None,
+        scores: dict[str, float],
+        rng: random.Random | None = None,
     ) -> str:
         self._check(candidates)
-        rng = rng or random.Random()
+        # Deterministic fallback: an unseeded Random would pull OS entropy
+        # into the run.  Callers wanting varied draws pass their own rng
+        # (the engine hands a named RandomStreams stream).
+        rng = rng or random.Random(0)
         weights = [max(self.floor, scores.get(peer, 0.0)) for peer in candidates]
         total = sum(weights)
+        # repro-lint: ignore[R5] exact sentinel: total is 0.0 only when floor
+        # and every score are exactly zero (no arithmetic noise involved)
         if total == 0.0:
             return rng.choice(list(candidates))
         return rng.choices(list(candidates), weights=weights, k=1)[0]
@@ -92,14 +97,14 @@ class ThresholdBan(ResponsePolicy):
     def __init__(self, threshold: float = 0.3) -> None:
         self.threshold = require_unit_interval(threshold, "threshold")
 
-    def acceptable(self, candidates: Sequence[str], scores: Dict[str, float]) -> List[str]:
+    def acceptable(self, candidates: Sequence[str], scores: dict[str, float]) -> list[str]:
         return [peer for peer in candidates if scores.get(peer, 0.0) >= self.threshold]
 
     def select(
         self,
         candidates: Sequence[str],
-        scores: Dict[str, float],
-        rng: Optional[random.Random] = None,
+        scores: dict[str, float],
+        rng: random.Random | None = None,
     ) -> str:
         self._check(candidates)
         acceptable = self.acceptable(candidates, scores)

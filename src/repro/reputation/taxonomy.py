@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict
 
 
 class GatheringDesign(enum.Enum):
@@ -56,7 +55,7 @@ class SystemTaxonomy:
 
 
 #: Taxonomy of every mechanism shipped with the library.
-SYSTEM_TAXONOMY: Dict[str, SystemTaxonomy] = {
+SYSTEM_TAXONOMY: dict[str, SystemTaxonomy] = {
     "average": SystemTaxonomy(
         system="average",
         gathering=GatheringDesign.ANONYMOUS_GLOBAL,

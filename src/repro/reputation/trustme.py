@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro._util import mean
 from repro.errors import ConfigurationError
@@ -45,7 +44,7 @@ class TransactionCertificate:
     @staticmethod
     def issue(
         transaction_id: int, consumer: str, provider: str, secret: str
-    ) -> "TransactionCertificate":
+    ) -> TransactionCertificate:
         digest = hashlib.sha256(
             f"{secret}|{transaction_id}|{consumer}|{provider}".encode("utf8")
         ).hexdigest()
@@ -77,7 +76,7 @@ class TrustMeReputation(ReputationSystem):
         require_certificates: bool = True,
         auto_certify: bool = True,
         default_score: float = 0.5,
-        max_evidence_per_subject: Optional[int] = None,
+        max_evidence_per_subject: int | None = None,
         backend: str = "auto",
     ) -> None:
         # TrustMe's value is tamper-resistant storage, not aggregation; its
@@ -99,9 +98,9 @@ class TrustMeReputation(ReputationSystem):
         #: transaction; the simulator abstracts that exchange away.  Set it to
         #: ``False`` to study forged-report rejection explicitly.
         self.auto_certify = auto_certify
-        self._certificates: Dict[int, TransactionCertificate] = {}
+        self._certificates: dict[int, TransactionCertificate] = {}
         #: reports per trust-holding agent: ``{tha_id: {subject: [ratings]}}``
-        self._tha_storage: Dict[str, Dict[str, List[float]]] = {}
+        self._tha_storage: dict[str, dict[str, list[float]]] = {}
         self.rejected_reports = 0
 
     # -- certificate handling ------------------------------------------------
@@ -126,7 +125,7 @@ class TrustMeReputation(ReputationSystem):
 
     # -- trust-holding agents --------------------------------------------------
 
-    def trust_holding_agents(self, subject: str) -> List[str]:
+    def trust_holding_agents(self, subject: str) -> list[str]:
         """Deterministic THA identifiers responsible for ``subject``.
 
         In the real protocol THAs are anonymous peers selected through the
@@ -159,9 +158,9 @@ class TrustMeReputation(ReputationSystem):
 
     # -- scoring ---------------------------------------------------------------
 
-    def _query_replicas(self, subject: str) -> List[float]:
+    def _query_replicas(self, subject: str) -> list[float]:
         """Collect the subject's ratings from every live replica (majority view)."""
-        replica_views: List[List[float]] = []
+        replica_views: list[list[float]] = []
         for agent in self.trust_holding_agents(subject):
             ratings = self._tha_storage.get(agent, {}).get(subject)
             if ratings:
@@ -172,8 +171,8 @@ class TrustMeReputation(ReputationSystem):
         # to tolerate partially-populated replicas.
         return max(replica_views, key=len)
 
-    def compute_scores(self) -> Dict[str, float]:
-        scores: Dict[str, float] = {}
+    def compute_scores(self) -> dict[str, float]:
+        scores: dict[str, float] = {}
         for subject in self.store.subjects():
             ratings = self._query_replicas(subject)
             if not ratings:

@@ -16,7 +16,6 @@ adequacy measures are provided:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro._util import clamp, require_unit_interval
 from repro.satisfaction.intentions import ConsumerIntention, ProviderIntention
@@ -28,7 +27,7 @@ def consumer_adequacy(intention: ConsumerIntention, allocated_provider: str) -> 
 
 
 def provider_adequacy(
-    intention: ProviderIntention, topic: str, consumer: Optional[str] = None
+    intention: ProviderIntention, topic: str, consumer: str | None = None
 ) -> float:
     """Adequacy, for the provider, of being handed a query on ``topic``."""
     return intention.intention_for(topic, consumer)

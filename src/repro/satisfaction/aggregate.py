@@ -11,7 +11,7 @@ satisfaction, while per-user trust uses the local one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from collections.abc import Iterable, Mapping
 
 from repro._util import mean, require_unit_interval
 
@@ -52,7 +52,7 @@ def summarize(satisfactions: Mapping[str, float], *, threshold: float = 0.4) -> 
 def global_satisfaction(
     satisfactions: Mapping[str, float],
     *,
-    weights: Optional[Mapping[str, float]] = None,
+    weights: Mapping[str, float] | None = None,
     fairness_weight: float = 0.25,
 ) -> float:
     """Global users' satisfaction in ``[0, 1]``.
@@ -86,7 +86,7 @@ def local_satisfaction(
     neighbourhood: Iterable[str],
 ) -> float:
     """The user's local vision: mean satisfaction over itself and its neighbours."""
-    relevant = [user] + [other for other in neighbourhood if other != user]
+    relevant = [user, *(other for other in neighbourhood if other != user)]
     values = [satisfactions[other] for other in relevant if other in satisfactions]
     if not values:
         return satisfactions.get(user, 0.5)
@@ -95,9 +95,9 @@ def local_satisfaction(
 
 def per_community_satisfaction(
     satisfactions: Mapping[str, float], partition: Mapping[str, int]
-) -> Dict[int, float]:
+) -> dict[int, float]:
     """Mean satisfaction per community label."""
-    buckets: Dict[int, list] = {}
+    buckets: dict[int, list] = {}
     for user, value in satisfactions.items():
         label = partition.get(user)
         if label is None:

@@ -15,7 +15,7 @@ paper builds on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from collections.abc import Iterable
 
 from repro._util import clamp, normalize_distribution, require_unit_interval
 from repro.errors import ConfigurationError
@@ -26,7 +26,7 @@ class ConsumerIntention:
     """A consumer's preference over providers, each in ``[0, 1]``."""
 
     consumer: str
-    preferences: Dict[str, float] = field(default_factory=dict)
+    preferences: dict[str, float] = field(default_factory=dict)
     #: Preference assumed for providers the consumer knows nothing about.
     default_preference: float = 0.5
 
@@ -52,7 +52,7 @@ class ConsumerIntention:
         """Providers with explicit preferences, best first."""
         return sorted(self.preferences, key=lambda p: (-self.preferences[p], p))
 
-    def as_distribution(self) -> Dict[str, float]:
+    def as_distribution(self) -> dict[str, float]:
         """Preferences normalized into a probability distribution."""
         return normalize_distribution(dict(self.preferences))
 
@@ -63,9 +63,9 @@ class ProviderIntention:
 
     provider: str
     #: Interest in each query type (topic), in ``[0, 1]``.
-    topic_interest: Dict[str, float] = field(default_factory=dict)
+    topic_interest: dict[str, float] = field(default_factory=dict)
     #: Willingness to serve specific consumers, in ``[0, 1]``.
-    consumer_affinity: Dict[str, float] = field(default_factory=dict)
+    consumer_affinity: dict[str, float] = field(default_factory=dict)
     #: Baseline willingness for unknown topics/consumers.
     default_interest: float = 0.5
     #: Maximum number of queries the provider intends to treat per round.
@@ -80,7 +80,7 @@ class ProviderIntention:
         for consumer, value in self.consumer_affinity.items():
             require_unit_interval(value, f"affinity for {consumer}")
 
-    def intention_for(self, topic: str, consumer: Optional[str] = None) -> float:
+    def intention_for(self, topic: str, consumer: str | None = None) -> float:
         """How much the provider wants to treat this query, in ``[0, 1]``."""
         interest = self.topic_interest.get(topic, self.default_interest)
         if consumer is None:

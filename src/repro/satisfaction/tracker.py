@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
 
 from repro._util import clamp, mean, require_unit_interval
 from repro.errors import ConfigurationError
@@ -29,12 +28,12 @@ from repro.errors import ConfigurationError
 
 @dataclass
 class _ParticipantState:
-    satisfaction: Optional[float] = None
-    allocation_satisfaction: Optional[float] = None
+    satisfaction: float | None = None
+    allocation_satisfaction: float | None = None
     observations: int = 0
     imposed_observations: int = 0
-    window: Deque[float] = field(default_factory=deque)
-    imposed_window: Deque[float] = field(default_factory=deque)
+    window: deque[float] = field(default_factory=deque)
+    imposed_window: deque[float] = field(default_factory=deque)
 
 
 class SatisfactionTracker:
@@ -46,7 +45,7 @@ class SatisfactionTracker:
             raise ConfigurationError("window must be at least 1")
         self.window = int(window)
         self.initial = require_unit_interval(initial, "initial")
-        self._states: Dict[str, _ParticipantState] = {}
+        self._states: dict[str, _ParticipantState] = {}
 
     def _state(self, participant: str) -> _ParticipantState:
         if participant not in self._states:
@@ -113,7 +112,7 @@ class SatisfactionTracker:
             return self.initial
         return mean(state.window)
 
-    def all_satisfactions(self) -> Dict[str, float]:
+    def all_satisfactions(self) -> dict[str, float]:
         return {participant: self.satisfaction(participant) for participant in self._states}
 
     def dissatisfied(self, threshold: float = 0.4) -> list:

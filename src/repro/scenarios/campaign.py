@@ -24,7 +24,7 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Callable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.simulation.adversary import BehaviorModel, WhitewasherBehavior
@@ -53,9 +53,9 @@ class PeerSelector:
     """
 
     population: str = "dishonest"
-    prefix: Optional[str] = None
-    fraction: Optional[float] = None
-    count: Optional[int] = None
+    prefix: str | None = None
+    fraction: float | None = None
+    count: int | None = None
     minimum: int = 1
 
     def __post_init__(self) -> None:
@@ -70,7 +70,7 @@ class PeerSelector:
         if self.count is not None and self.count < 0:
             raise ConfigurationError("selector count must be non-negative")
 
-    def _pool(self, peers: Sequence[Peer]) -> List[Peer]:
+    def _pool(self, peers: Sequence[Peer]) -> list[Peer]:
         pool = list(peers)
         if self.population == "honest":
             pool = [peer for peer in pool if peer.user.is_honest]
@@ -84,7 +84,7 @@ class PeerSelector:
             pool = [peer for peer in pool if peer.base_id.startswith(self.prefix)]
         return sorted(pool, key=lambda peer: peer.base_id)
 
-    def select(self, peers: Sequence[Peer], rng: random.Random) -> List[Peer]:
+    def select(self, peers: Sequence[Peer], rng: random.Random) -> list[Peer]:
         """Resolve the selector against the current population."""
         pool = self._pool(peers)
         if self.fraction is None and self.count is None:
@@ -107,7 +107,7 @@ class CampaignEvent(abc.ABC):
     group: str
 
     @abc.abstractmethod
-    def apply(self, driver: "CampaignDriver", simulator: InteractionSimulator) -> None:
+    def apply(self, driver: CampaignDriver, simulator: InteractionSimulator) -> None:
         """Execute the event against the live simulation."""
 
 
@@ -119,7 +119,7 @@ class SelectGroup(CampaignEvent):
     group: str
     selector: PeerSelector
 
-    def apply(self, driver: "CampaignDriver", simulator: InteractionSimulator) -> None:
+    def apply(self, driver: CampaignDriver, simulator: InteractionSimulator) -> None:
         rng = simulator.streams.stream("campaign")
         driver.groups[self.group] = self.selector.select(simulator.directory.peers(), rng)
 
@@ -132,7 +132,7 @@ class SwitchBehavior(CampaignEvent):
     group: str
     factory: BehaviorFactory
 
-    def apply(self, driver: "CampaignDriver", simulator: InteractionSimulator) -> None:
+    def apply(self, driver: CampaignDriver, simulator: InteractionSimulator) -> None:
         rng = simulator.streams.stream("campaign")
         members = driver.members(self.group)
         for peer in members:
@@ -155,7 +155,7 @@ class SetOnline(CampaignEvent):
     online: bool
     pin: bool = False
 
-    def apply(self, driver: "CampaignDriver", simulator: InteractionSimulator) -> None:
+    def apply(self, driver: CampaignDriver, simulator: InteractionSimulator) -> None:
         for peer in driver.members(self.group):
             peer.online = self.online
             if not self.online and self.pin:
@@ -176,7 +176,7 @@ class Whitewash(CampaignEvent):
     round_index: int
     group: str
 
-    def apply(self, driver: "CampaignDriver", simulator: InteractionSimulator) -> None:
+    def apply(self, driver: CampaignDriver, simulator: InteractionSimulator) -> None:
         for peer in driver.members(self.group):
             old_id = peer.peer_id
             peer.new_identity()
@@ -198,9 +198,9 @@ class AttackCampaign:
     """
 
     name: str
-    events: List[CampaignEvent] = field(default_factory=list)
-    window: Tuple[int, int] = (0, 0)
-    churn: Optional[ChurnModel] = None
+    events: list[CampaignEvent] = field(default_factory=list)
+    window: tuple[int, int] = (0, 0)
+    churn: ChurnModel | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -216,7 +216,7 @@ class AttackCampaign:
                 )
         self.events = sorted(self.events, key=lambda event: event.round_index)
 
-    def events_at(self, round_index: int) -> List[CampaignEvent]:
+    def events_at(self, round_index: int) -> list[CampaignEvent]:
         return [event for event in self.events if event.round_index == round_index]
 
     @property
@@ -237,8 +237,8 @@ def combine(name: str, *campaigns: AttackCampaign) -> AttackCampaign:
     """
     if not campaigns:
         raise ConfigurationError("combine needs at least one campaign")
-    events: List[CampaignEvent] = []
-    churn: Optional[ChurnModel] = None
+    events: list[CampaignEvent] = []
+    churn: ChurnModel | None = None
     for campaign in campaigns:
         for event in campaign.events:
             events.append(_namespaced(event, campaign.name))
@@ -275,10 +275,10 @@ class CampaignDriver:
 
     def __init__(self, campaign: AttackCampaign) -> None:
         self.campaign = campaign
-        self.groups: Dict[str, List[Peer]] = {}
-        self.pinned_offline: Set[str] = set()
+        self.groups: dict[str, list[Peer]] = {}
+        self.pinned_offline: set[str] = set()
 
-    def members(self, group: str) -> List[Peer]:
+    def members(self, group: str) -> list[Peer]:
         try:
             return self.groups[group]
         except KeyError:
@@ -297,6 +297,6 @@ class CampaignDriver:
                     peer.online = False
 
     def on_round_end(
-        self, simulator: InteractionSimulator, round_index: int, scores: Dict[str, float]
+        self, simulator: InteractionSimulator, round_index: int, scores: dict[str, float]
     ) -> None:
         """Campaigns act at round starts; nothing to do at round end."""

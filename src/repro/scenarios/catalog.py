@@ -37,11 +37,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.scenarios.campaign import (
     AttackCampaign,
+    BehaviorFactory,
     CampaignEvent,
     PeerSelector,
     SelectGroup,
@@ -51,6 +52,7 @@ from repro.scenarios.campaign import (
     combine,
 )
 from repro.simulation.adversary import (
+    BehaviorModel,
     CollusiveBehavior,
     GroomingBehavior,
     MaliciousBehavior,
@@ -68,7 +70,7 @@ SYBIL_PREFIX = "sybil-"
 
 def attack_window(
     rounds: int, lead_fraction: float = 0.25, attack_fraction: float = 0.5
-) -> Tuple[int, int]:
+) -> tuple[int, int]:
     """The ``[start, end)`` attack interval for a round budget.
 
     The lead keeps a pre-attack baseline to anchor recovery against; the
@@ -85,22 +87,22 @@ def attack_window(
 # -- behaviour factories ---------------------------------------------------------
 
 
-def _malicious_factory(peer: Peer, group: Sequence[Peer], rng: random.Random):
+def _malicious_factory(peer: Peer, group: Sequence[Peer], rng: random.Random) -> BehaviorModel:
     return MaliciousBehavior()
 
 
-def _grooming_factory(peer: Peer, group: Sequence[Peer], rng: random.Random):
+def _grooming_factory(peer: Peer, group: Sequence[Peer], rng: random.Random) -> BehaviorModel:
     return GroomingBehavior()
 
 
-def _whitewasher_factory(peer: Peer, group: Sequence[Peer], rng: random.Random):
+def _whitewasher_factory(peer: Peer, group: Sequence[Peer], rng: random.Random) -> BehaviorModel:
     return WhitewasherBehavior()
 
 
-def _collusive_factory(density: float):
+def _collusive_factory(density: float) -> BehaviorFactory:
     """Ring factory: each member endorses a ``density`` share of the ring."""
 
-    def factory(peer: Peer, group: Sequence[Peer], rng: random.Random):
+    def factory(peer: Peer, group: Sequence[Peer], rng: random.Random) -> BehaviorModel:
         others = sorted(p.peer_id for p in group if p.base_id != peer.base_id)
         if density < 1.0 and others:
             keep = max(1, int(round(density * len(others))))
@@ -110,8 +112,8 @@ def _collusive_factory(density: float):
     return factory
 
 
-def _slander_factory(ballot_stuffing: bool, slander_probability: float):
-    def factory(peer: Peer, group: Sequence[Peer], rng: random.Random):
+def _slander_factory(ballot_stuffing: bool, slander_probability: float) -> BehaviorFactory:
+    def factory(peer: Peer, group: Sequence[Peer], rng: random.Random) -> BehaviorModel:
         accomplices = (
             {p.peer_id for p in group if p.base_id != peer.base_id}
             if ballot_stuffing
@@ -145,7 +147,7 @@ def collusion_ring(
 ) -> AttackCampaign:
     start, end = attack_window(rounds, lead_fraction, attack_fraction)
     selector = PeerSelector(population="dishonest", fraction=ring_fraction, minimum=2)
-    events: List[CampaignEvent] = [
+    events: list[CampaignEvent] = [
         # Sleeper phase: the future ring grooms a good reputation first, so
         # the attack window flips coordinated inflation on from a position
         # of trust (the distinguishing feature of a real collusion ring).
@@ -173,7 +175,7 @@ def whitewash_wave(
     if wave_period < 1:
         raise ConfigurationError("wave_period must be at least 1")
     start, end = attack_window(rounds, lead_fraction, attack_fraction)
-    events: List[CampaignEvent] = [
+    events: list[CampaignEvent] = [
         SelectGroup(start, "washers", PeerSelector(population="dishonest", fraction=fraction)),
         SwitchBehavior(start, "washers", _whitewasher_factory),
     ]
@@ -199,7 +201,7 @@ def traitor_oscillation(
     if build_rounds < 1 or betray_rounds < 1:
         raise ConfigurationError("build_rounds and betray_rounds must be at least 1")
     start, end = attack_window(rounds, lead_fraction, attack_fraction)
-    events: List[CampaignEvent] = [
+    events: list[CampaignEvent] = [
         SelectGroup(0, "traitors", PeerSelector(population="dishonest", fraction=fraction)),
         # Grooming from round 0: the lead *is* the build-up phase.
         SwitchBehavior(0, "traitors", _grooming_factory),
@@ -233,7 +235,7 @@ def slander(
     attack_fraction: float = 0.5,
 ) -> AttackCampaign:
     start, end = attack_window(rounds, lead_fraction, attack_fraction)
-    events: List[CampaignEvent] = [
+    events: list[CampaignEvent] = [
         # Slanderers also groom first: a rating attack mounted by peers the
         # mechanism already trusts is the damaging variant.
         SelectGroup(0, "slanderers", PeerSelector(population="dishonest", fraction=fraction)),
@@ -260,7 +262,7 @@ def sybil_burst(
 ) -> AttackCampaign:
     start, end = attack_window(rounds, lead_fraction, attack_fraction)
     selector = PeerSelector(population="all", prefix=SYBIL_PREFIX)
-    events: List[CampaignEvent] = [
+    events: list[CampaignEvent] = [
         SelectGroup(0, "sybils", selector),
         SetOnline(0, "sybils", online=False, pin=True),
         SetOnline(start, "sybils", online=True),
@@ -329,7 +331,7 @@ def inject_sybils(
     n_sybils: int = 8,
     attach_degree: int = 3,
     **_ignored: object,
-) -> List[User]:
+) -> list[User]:
     """Add a dormant sybil cohort to the graph before the run starts.
 
     Sybils are fabricated dishonest identities wired into a clique (so they
@@ -342,7 +344,7 @@ def inject_sybils(
     if attach_degree < 1:
         raise ConfigurationError("attach_degree must be at least 1")
     existing_ids = sorted(graph.user_ids())
-    sybils: List[User] = []
+    sybils: list[User] = []
     for index in range(n_sybils):
         user_id = f"{SYBIL_PREFIX}{index:03d}"
         user = User(
@@ -376,11 +378,11 @@ class ScenarioSpec:
     description: str
     build: Callable[..., AttackCampaign]
     knobs: Mapping[str, object] = field(default_factory=dict)
-    setup_graph: Optional[Callable[..., object]] = None
+    setup_graph: Callable[..., object] | None = None
     #: Knobs consumed by ``setup_graph`` instead of the campaign builder.
-    graph_knobs: Tuple[str, ...] = ()
+    graph_knobs: tuple[str, ...] = ()
 
-    def merged_knobs(self, overrides: Mapping[str, object]) -> Dict[str, object]:
+    def merged_knobs(self, overrides: Mapping[str, object]) -> dict[str, object]:
         unknown = sorted(set(overrides) - set(self.knobs))
         if unknown:
             raise ConfigurationError(
@@ -392,7 +394,7 @@ class ScenarioSpec:
         return merged
 
 
-CATALOG: Dict[str, ScenarioSpec] = {
+CATALOG: dict[str, ScenarioSpec] = {
     "baseline": ScenarioSpec(
         name="baseline",
         description="no attack; the control row",
@@ -473,7 +475,7 @@ CATALOG: Dict[str, ScenarioSpec] = {
 }
 
 
-def scenario_names() -> List[str]:
+def scenario_names() -> list[str]:
     """Catalog entry names in declaration order."""
     return list(CATALOG)
 
@@ -498,7 +500,7 @@ def get_scenario(name: str) -> ScenarioSpec:
 #: one counter.  Sweeps and robustness matrices rebuild the same few
 #: campaigns thousands of times otherwise.
 _CAMPAIGN_CACHE_SIZE = 64
-_CAMPAIGN_CACHE: Dict[Tuple, AttackCampaign] = {}
+_CAMPAIGN_CACHE: dict[tuple, AttackCampaign] = {}
 
 
 def clear_campaign_cache() -> None:
@@ -518,7 +520,7 @@ def build_campaign(name: str, *, rounds: int, **overrides: object) -> AttackCamp
     spec = get_scenario(name)
     knobs = spec.merged_knobs(overrides)
     try:
-        key: Optional[Tuple] = (name, rounds, tuple(sorted(knobs.items())))
+        key: tuple | None = (name, rounds, tuple(sorted(knobs.items())))
     except TypeError:
         key = None  # unhashable knob values: build fresh
     if key is not None:

@@ -23,7 +23,6 @@ records are byte-identical across compute backends and worker counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from repro._util import mean
 from repro.errors import ConfigurationError
@@ -50,7 +49,7 @@ class RoundObservation:
     honest_mean: float
     attacker_mean: float
     separation: float
-    rank_correlation: Optional[float]
+    rank_correlation: float | None
     malicious_rate: float
     online_peers: int
 
@@ -70,26 +69,26 @@ class ScenarioTrace:
             raise ConfigurationError(
                 f"correlation must be 'final' or 'all', got {correlation!r}"
             )
-        self.observations: List[RoundObservation] = []
+        self.observations: list[RoundObservation] = []
         self._correlation_mode = correlation
         #: (scores, quality truth) of the latest round, for the lazy final
         #: correlation; replaced wholesale every round, never mutated.
-        self._final_inputs: Optional[Tuple[Dict[str, float], Dict[str, float]]] = None
-        self._final_correlation: Optional[Tuple[int, float]] = None
+        self._final_inputs: tuple[dict[str, float], dict[str, float]] | None = None
+        self._final_correlation: tuple[int, float] | None = None
 
     def on_round_start(self, simulator: InteractionSimulator, round_index: int) -> None:
         """Traces only observe; nothing happens at round start."""
 
     def on_round_end(
-        self, simulator: InteractionSimulator, round_index: int, scores: Dict[str, float]
+        self, simulator: InteractionSimulator, round_index: int, scores: dict[str, float]
     ) -> None:
         reputation = simulator.reputation
         default = getattr(reputation, "default_score", 0.5) if reputation else 0.5
-        current_scores: Dict[str, float] = {}
-        honesty_truth: Dict[str, float] = {}
-        quality_truth: Dict[str, float] = {}
-        honest_scores: List[float] = []
-        attacker_scores: List[float] = []
+        current_scores: dict[str, float] = {}
+        honesty_truth: dict[str, float] = {}
+        quality_truth: dict[str, float] = {}
+        honest_scores: list[float] = []
+        attacker_scores: list[float] = []
         for peer in simulator.directory.peers():
             score = scores.get(peer.peer_id, default)
             current_scores[peer.base_id] = score
@@ -108,7 +107,7 @@ class ScenarioTrace:
         # both classes are populated.
         separation = score_separation(current_scores, honesty_truth)
         if self._correlation_mode == "all":
-            rank_correlation: Optional[float] = spearman_rank_correlation(
+            rank_correlation: float | None = spearman_rank_correlation(
                 current_scores, quality_truth
             )
         else:
@@ -148,7 +147,7 @@ class ScenarioTrace:
         self._final_correlation = (final.round_index, value)
         return value
 
-    def separation_series(self) -> List[float]:
+    def separation_series(self) -> list[float]:
         return [observation.separation for observation in self.observations]
 
 
@@ -176,12 +175,12 @@ class RobustnessMetrics:
 
 
 def evaluate_trace(
-    observations: List[RoundObservation],
-    window: Tuple[int, int],
+    observations: list[RoundObservation],
+    window: tuple[int, int],
     *,
     detect_threshold: float = 0.1,
     recovery_fraction: float = 0.8,
-    final_rank_correlation: Optional[float] = None,
+    final_rank_correlation: float | None = None,
 ) -> RobustnessMetrics:
     """Condense a per-round trace into :class:`RobustnessMetrics`.
 

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
 
 from repro import _profiling
 from repro.core import accel
@@ -56,7 +55,7 @@ def reputation_for_graph(
     seed: int = 0,
     backend: str = "auto",
     anonymous: bool = False,
-) -> Optional[ReputationSystem]:
+) -> ReputationSystem | None:
     """Build the named mechanism wired for a concrete graph.
 
     EigenTrust assumes a small set of pre-trusted peers (the network
@@ -96,9 +95,9 @@ class ScenarioRunConfig:
     sharing_level: float = 1.0
     #: Optional named social-network preset; overrides ``n_users``,
     #: ``topology`` and ``malicious_fraction`` when given.
-    preset: Optional[str] = None
+    preset: str | None = None
     #: Scenario knob overrides (catalog defaults apply otherwise).
-    knobs: Dict[str, object] = field(default_factory=dict)
+    knobs: dict[str, object] = field(default_factory=dict)
     detect_threshold: float = 0.1
     recovery_fraction: float = 0.8
 
@@ -110,7 +109,7 @@ class ScenarioRunConfig:
         resolve_backend(self.backend)
         get_scenario(self.scenario)  # fail fast on unknown scenario names
 
-    def simulation_key(self) -> Optional[Tuple]:
+    def simulation_key(self) -> tuple | None:
         """Identity of everything that shapes the *simulation* (not the
         post-hoc metric evaluation): the run-cache key.  ``None`` when the
         knobs are unhashable."""
@@ -144,7 +143,7 @@ class ScenarioRunResult:
     simulation: SimulationResult
     trace: ScenarioTrace
     robustness: RobustnessMetrics
-    final_scores: Dict[str, float]
+    final_scores: dict[str, float]
 
 
 #: Per-process memo of executed simulations (run cache).  Sized to hold one
@@ -153,7 +152,7 @@ class ScenarioRunResult:
 #: Entries keep the full simulation products (roughly a few MB each at
 #: laptop-scale populations), which is why the cache is opt-in.
 _RUN_CACHE_SIZE = 48
-_RUN_CACHE: "OrderedDict[Tuple, ScenarioRunResult]" = OrderedDict()
+_RUN_CACHE: OrderedDict[tuple, ScenarioRunResult] = OrderedDict()
 
 
 def clear_run_cache() -> None:
@@ -183,7 +182,7 @@ def _evaluate(config: ScenarioRunConfig, base: ScenarioRunResult) -> ScenarioRun
     )
 
 
-def run_scenario(config: Optional[ScenarioRunConfig] = None, **overrides) -> ScenarioRunResult:
+def run_scenario(config: ScenarioRunConfig | None = None, **overrides: object) -> ScenarioRunResult:
     """Run one catalog scenario against one mechanism.
 
     Keyword overrides build a :class:`ScenarioRunConfig` when none is given.

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING
 
 from repro.core import accel
 from repro.scenarios.catalog import get_scenario
@@ -44,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 #: LRU capacity; one entry per (spec, scenario, seed) — a robustness matrix
 #: touches one at a time, a sweep a handful.
 _SETUP_CACHE_SIZE = 8
-_SETUP_CACHE: "OrderedDict[Tuple, ScenarioSetup]" = OrderedDict()
+_SETUP_CACHE: OrderedDict[tuple, ScenarioSetup] = OrderedDict()
 
 
 @dataclass(frozen=True)
@@ -60,7 +60,7 @@ class ScenarioSetup:
         return self.graph.version == self.graph_version
 
 
-def _config_spec(config: "ScenarioRunConfig") -> SocialNetworkSpec:
+def _config_spec(config: ScenarioRunConfig) -> SocialNetworkSpec:
     if config.preset is not None:
         return preset_spec(config.preset, seed=config.seed)
     return SocialNetworkSpec(
@@ -71,7 +71,7 @@ def _config_spec(config: "ScenarioRunConfig") -> SocialNetworkSpec:
     )
 
 
-def _setup_key(config: "ScenarioRunConfig") -> Optional[Tuple]:
+def _setup_key(config: ScenarioRunConfig) -> tuple | None:
     spec = get_scenario(config.scenario)
     try:
         graph_knobs = tuple(
@@ -90,7 +90,7 @@ def _setup_key(config: "ScenarioRunConfig") -> Optional[Tuple]:
     )
 
 
-def build_scenario_setup(config: "ScenarioRunConfig") -> ScenarioSetup:
+def build_scenario_setup(config: ScenarioRunConfig) -> ScenarioSetup:
     """Build the setup fresh (no caching): graph, population changes, plan."""
     from repro.scenarios.catalog import setup_scenario_graph
 
@@ -116,7 +116,7 @@ def build_scenario_setup(config: "ScenarioRunConfig") -> ScenarioSetup:
     return ScenarioSetup(graph=graph, graph_version=graph.version, plan=plan)
 
 
-def scenario_setup(config: "ScenarioRunConfig") -> ScenarioSetup:
+def scenario_setup(config: ScenarioRunConfig) -> ScenarioSetup:
     """The (possibly cached) setup for one scenario run configuration."""
     if not accel.flags().setup_cache:
         return build_scenario_setup(config)

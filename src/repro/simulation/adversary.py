@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Set
 
 from repro._util import clamp, require_unit_interval
 from repro.simulation.transaction import Transaction
@@ -193,7 +192,7 @@ class SlanderBehavior(BehaviorModel):
     """
 
     name: str = "slanderer"
-    accomplices: Set[str] = field(default_factory=set)
+    accomplices: set[str] = field(default_factory=set)
     slander_probability: float = 1.0
 
     def rate_transaction(
@@ -201,9 +200,11 @@ class SlanderBehavior(BehaviorModel):
     ) -> tuple[float, bool]:
         actual = transaction.outcome.as_score
         if transaction.provider in self.accomplices:
+            # repro-lint: ignore[R5] outcome scores are the discrete
+            # constants 0.0/1.0, so the honesty check is exact
             return 1.0, actual == 1.0
         if rng.random() < self.slander_probability:
-            return 0.0, actual == 0.0
+            return 0.0, actual == 0.0  # repro-lint: ignore[R5] discrete outcome
         return actual, True
 
 
@@ -212,21 +213,23 @@ class CollusiveBehavior(MaliciousBehavior):
     """Member of a collusion ring: inflates accomplices, deflates everyone else."""
 
     name: str = "colluder"
-    ring: Set[str] = field(default_factory=set)
+    ring: set[str] = field(default_factory=set)
 
     def rate_transaction(
         self, user: User, transaction: Transaction, rng: random.Random
     ) -> tuple[float, bool]:
         actual = transaction.outcome.as_score
         if transaction.provider in self.ring:
+            # repro-lint: ignore[R5] outcome scores are the discrete
+            # constants 0.0/1.0, so the honesty check is exact
             return 1.0, actual == 1.0
-        return 0.0, actual == 0.0
+        return 0.0, actual == 0.0  # repro-lint: ignore[R5] discrete outcome
 
 
 def behavior_for_user(
     user: User,
     *,
-    rng: Optional[random.Random] = None,
+    rng: random.Random | None = None,
     traitor_fraction: float = 0.0,
     whitewasher_fraction: float = 0.0,
     selfish_fraction: float = 0.0,

@@ -14,7 +14,6 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import List
 
 from repro._util import require_unit_interval
 from repro.errors import ConfigurationError
@@ -43,7 +42,7 @@ class ChurnModel:
         require_unit_interval(self.leave_probability, "leave_probability")
         require_unit_interval(self.return_probability, "return_probability")
 
-    def step(self, directory: PeerDirectory, rng: random.Random) -> List[tuple[Peer, ChurnEvent]]:
+    def step(self, directory: PeerDirectory, rng: random.Random) -> list[tuple[Peer, ChurnEvent]]:
         """Apply one round of churn and return the per-peer events.
 
         Peers are visited in directory (insertion) order and one uniform is
@@ -51,7 +50,7 @@ class ChurnModel:
         rejoin in — is deterministic for a given directory and rng state.
         """
         leave, rejoin = self._probabilities()
-        events: List[tuple[Peer, ChurnEvent]] = []
+        events: list[tuple[Peer, ChurnEvent]] = []
         for peer in directory.peers():
             if peer.online:
                 if rng.random() < leave:
@@ -108,7 +107,7 @@ class PhasedChurnModel(ChurnModel):
     per step — so swapping models never perturbs the other random streams.
     """
 
-    phases: List[ChurnPhase] = field(default_factory=list)
+    phases: list[ChurnPhase] = field(default_factory=list)
     _round: int = field(default=0, init=False, repr=False)
 
     @property
@@ -127,7 +126,7 @@ class PhasedChurnModel(ChurnModel):
         latest = max(active, key=lambda phase: phase.start)
         return latest.leave_probability, latest.return_probability
 
-    def step(self, directory: PeerDirectory, rng: random.Random) -> List[tuple[Peer, ChurnEvent]]:
+    def step(self, directory: PeerDirectory, rng: random.Random) -> list[tuple[Peer, ChurnEvent]]:
         try:
             return super().step(directory, rng)
         finally:

@@ -21,9 +21,9 @@ reputation and privacy facets.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Protocol
 
 from repro import _profiling
 from repro._util import require_unit_interval
@@ -78,11 +78,11 @@ class RoundHook(Protocol):
     hooks, and runs on either compute backend, stay stream-exact.
     """
 
-    def on_round_start(self, simulator: "InteractionSimulator", round_index: int) -> None:
+    def on_round_start(self, simulator: InteractionSimulator, round_index: int) -> None:
         """Called before the round's transactions (after natural churn)."""
 
     def on_round_end(
-        self, simulator: "InteractionSimulator", round_index: int, scores: Dict[str, float]
+        self, simulator: InteractionSimulator, round_index: int, scores: dict[str, float]
     ) -> None:
         """Called after the round completed, with the published scores."""
 
@@ -114,7 +114,7 @@ class EventDrivenSimulator:
     ) -> None:
         self.schedule_at(self._now + delay, action, priority=priority, label=label)
 
-    def run(self, until: Optional[float] = None) -> int:
+    def run(self, until: float | None = None) -> int:
         """Process events until the queue drains or the clock passes ``until``.
 
         Returns the number of events processed.
@@ -182,11 +182,11 @@ class SimulationResult:
     config: SimulationConfig
     directory: PeerDirectory
     graph: SocialGraph
-    transactions: List[Transaction]
-    feedbacks: List[Feedback]
-    disclosed_feedbacks: List[Feedback]
+    transactions: list[Transaction]
+    feedbacks: list[Feedback]
+    disclosed_feedbacks: list[Feedback]
     metrics: MetricsCollector
-    ground_truth_honesty: Dict[str, float]
+    ground_truth_honesty: dict[str, float]
 
     @property
     def disclosure_rate(self) -> float:
@@ -213,9 +213,9 @@ class DirectoryPlan:
     stream's sequence is untouched whether a plan is supplied or not.
     """
 
-    entries: Tuple[Tuple[str, Callable[[], BehaviorModel]], ...]
+    entries: tuple[tuple[str, Callable[[], BehaviorModel]], ...]
 
-    def materialize(self, graph: SocialGraph) -> List[Peer]:
+    def materialize(self, graph: SocialGraph) -> list[Peer]:
         """Fresh peers (fresh behaviour instances) for the planned graph."""
         user_of = graph.user
         return [
@@ -244,7 +244,7 @@ def build_directory_plan(
     ``sample`` for the collusion ring — so building a plan and materializing
     it yields the same directory as the old inline construction.
     """
-    decisions: List[List[object]] = []
+    decisions: list[list[object]] = []
     for user in graph.users():
         behavior = behavior_for_user(
             user,
@@ -275,12 +275,12 @@ class InteractionSimulator:
     def __init__(
         self,
         graph: SocialGraph,
-        config: Optional[SimulationConfig] = None,
+        config: SimulationConfig | None = None,
         *,
-        reputation: Optional[ReputationProtocol] = None,
-        disclosure_observer: Optional[DisclosureObserver] = None,
+        reputation: ReputationProtocol | None = None,
+        disclosure_observer: DisclosureObserver | None = None,
         hooks: Sequence[RoundHook] = (),
-        directory_plan: Optional[DirectoryPlan] = None,
+        directory_plan: DirectoryPlan | None = None,
     ) -> None:
         if len(graph) < 2:
             raise ConfigurationError("the simulation needs at least two peers")
@@ -299,9 +299,9 @@ class InteractionSimulator:
         self._directory_plan = directory_plan
         self.directory = self._build_directory()
         self.metrics = MetricsCollector()
-        self._transactions: List[Transaction] = []
-        self._feedbacks: List[Feedback] = []
-        self._disclosed: List[Feedback] = []
+        self._transactions: list[Transaction] = []
+        self._feedbacks: list[Feedback] = []
+        self._disclosed: list[Feedback] = []
         self._transaction_counter = 0
         self._engine = EventDrivenSimulator()
         self._backend = resolve_backend(self.config.backend)
@@ -312,15 +312,15 @@ class InteractionSimulator:
         #: whitewashing decisions read from it instead of querying the
         #: mechanism per transaction (peers act on the scores published at
         #: the start of the round, and recomputation happens once per round).
-        self._round_scores: Dict[str, float] = {}
+        self._round_scores: dict[str, float] = {}
         #: Disclosure probabilities are static within a round (behaviour
         #: switches happen at round boundaries), so they are computed once
         #: per consumer per round; cleared by :meth:`_begin_round_caches`.
         #: Candidates and score vectors are hoisted per consumer directly in
         #: the round loop — each consumer is visited exactly once per round.
-        self._disclosure_cache: Dict[str, float] = {}
+        self._disclosure_cache: dict[str, float] = {}
         #: Whole-run neighbour→Peer resolution (see :meth:`_neighbor_peers`).
-        self._neighbor_peers_cache: Dict[str, List[Peer]] = {}
+        self._neighbor_peers_cache: dict[str, list[Peer]] = {}
 
     @property
     def streams(self) -> RandomStreams:
@@ -344,7 +344,7 @@ class InteractionSimulator:
 
     # -- provider selection --------------------------------------------------
 
-    def _neighbor_peers(self, consumer: Peer) -> List[Peer]:
+    def _neighbor_peers(self, consumer: Peer) -> list[Peer]:
         """The consumer's neighbours as :class:`Peer` objects, cached for the
         whole run: the graph is immutable during a simulation and the
         directory never replaces peer objects (whitewashing rebinds
@@ -357,7 +357,7 @@ class InteractionSimulator:
             self._neighbor_peers_cache[consumer.base_id] = cached
         return cached
 
-    def _candidates(self, consumer: Peer) -> List[Peer]:
+    def _candidates(self, consumer: Peer) -> list[Peer]:
         if self.config.neighbor_only:
             # Self-edges cannot exist in the graph, so no self-filter needed.
             return [peer for peer in self._neighbor_peers(consumer) if peer.online]
@@ -370,7 +370,7 @@ class InteractionSimulator:
     def _begin_round_caches(self) -> None:
         self._disclosure_cache.clear()
 
-    def _candidate_scores(self, consumer: Peer, candidates: List[Peer]):
+    def _candidate_scores(self, consumer: Peer, candidates: list[Peer]) -> list[float] | None:
         """Round-start scores of a consumer's candidates, in candidate order.
 
         ``None`` when selection does not use reputation.  Kept as a plain
@@ -385,7 +385,7 @@ class InteractionSimulator:
         lookup = self._round_scores.get
         return [lookup(peer.peer_id, default) for peer in candidates]
 
-    def _select_from(self, candidates: List[Peer], scores) -> Peer:
+    def _select_from(self, candidates: list[Peer], scores: list[float] | None) -> Peer:
         """Pick a provider among the candidates given their score vector.
 
         Consumes the "selection" stream exactly as the historical
@@ -411,7 +411,7 @@ class InteractionSimulator:
                 best_index = position
         return candidates[best_index]
 
-    def _select_provider(self, consumer: Peer, candidates: List[Peer]) -> Peer:
+    def _select_provider(self, consumer: Peer, candidates: list[Peer]) -> Peer:
         return self._select_from(candidates, self._candidate_scores(consumer, candidates))
 
     # -- one round -----------------------------------------------------------
@@ -487,14 +487,14 @@ class InteractionSimulator:
                 behavior.note_whitewash()
                 self.directory.rebind_identity(peer, old_id)
 
-    def _interaction_counts(self, online: List[Peer], draws: List[float]) -> List[int]:
+    def _interaction_counts(self, online: list[Peer], draws: list[float]) -> list[int]:
         """Per-consumer interaction counts from the batched activity draws."""
         per_peer = self.config.interactions_per_peer
         if self._backend == VECTORIZED_BACKEND and online:
             activities = [peer.user.activity for peer in online]
             return interaction_counts(activities, per_peer, draws).tolist()
-        counts: List[int] = []
-        for peer, draw in zip(online, draws):
+        counts: list[int] = []
+        for peer, draw in zip(online, draws, strict=True):
             expected = peer.user.activity * per_peer
             base = int(expected)
             counts.append(base + (1 if draw < (expected - base) else 0))
@@ -512,13 +512,13 @@ class InteractionSimulator:
         if reputation is None:
             return
         timer = _profiling.active()
-        started = time.perf_counter() if timer is not None else 0.0
+        started = _profiling.clock() if timer is not None else 0.0
         if hasattr(reputation, "refresh"):
             self._round_scores = reputation.refresh()
         elif hasattr(reputation, "scores"):
             self._round_scores = dict(reputation.scores())
         if timer is not None:
-            timer.add("refresh", time.perf_counter() - started)
+            timer.add("refresh", _profiling.clock() - started)
 
     def _run_round(self, round_index: int) -> None:
         churn_rng = self._streams.stream("churn")
@@ -541,7 +541,7 @@ class InteractionSimulator:
         draws = self._streams.uniforms("activity", len(online))
         counts = self._interaction_counts(online, draws)
 
-        for consumer, n_interactions in zip(online, counts):
+        for consumer, n_interactions in zip(online, counts, strict=True):
             if not n_interactions:
                 continue
             candidates = self._candidates(consumer)

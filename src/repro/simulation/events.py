@@ -10,7 +10,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.errors import SimulationError
 
@@ -44,7 +44,7 @@ class EventQueue:
             raise SimulationError("pop from an empty event queue")
         return heapq.heappop(self._heap)[-1]
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> float | None:
         if not self._heap:
             return None
         return self._heap[0][0]

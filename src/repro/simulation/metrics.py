@@ -10,7 +10,6 @@ honest-feedback rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro._util import mean
 from repro.simulation.transaction import Feedback, Transaction
@@ -60,9 +59,9 @@ class MetricsCollector:
     """Accumulates :class:`RoundMetrics` and per-peer counters over a run."""
 
     def __init__(self) -> None:
-        self.rounds: List[RoundMetrics] = []
-        self._per_peer_provided: Dict[str, int] = {}
-        self._per_peer_good_provided: Dict[str, int] = {}
+        self.rounds: list[RoundMetrics] = []
+        self._per_peer_provided: dict[str, int] = {}
+        self._per_peer_good_provided: dict[str, int] = {}
         self._current: RoundMetrics = RoundMetrics(round_index=0)
 
     def start_round(self, round_index: int, online_peers: int) -> None:
@@ -137,10 +136,10 @@ class MetricsCollector:
             return 0.0
         return self._per_peer_good_provided.get(peer_id, 0) / provided
 
-    def success_rate_series(self) -> List[float]:
+    def success_rate_series(self) -> list[float]:
         return [r.success_rate for r in self.rounds]
 
-    def malicious_rate_series(self) -> List[float]:
+    def malicious_rate_series(self) -> list[float]:
         return [r.malicious_rate for r in self.rounds]
 
     def tail_success_rate(self, window: int = 10) -> float:

@@ -11,7 +11,7 @@ metrics consult.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from collections.abc import Iterator
 
 from repro.errors import UnknownPeerError
 from repro.simulation.adversary import BehaviorModel, HonestBehavior
@@ -77,9 +77,9 @@ class Peer:
 class PeerDirectory:
     """The live peer population, indexed both by current and by base identity."""
 
-    def __init__(self, peers: Optional[List[Peer]] = None) -> None:
-        self._by_base: Dict[str, Peer] = {}
-        self._current_to_base: Dict[str, str] = {}
+    def __init__(self, peers: list[Peer] | None = None) -> None:
+        self._by_base: dict[str, Peer] = {}
+        self._current_to_base: dict[str, str] = {}
         for peer in peers or []:
             self.add(peer)
 
@@ -96,10 +96,10 @@ class PeerDirectory:
     def __contains__(self, peer_id: str) -> bool:
         return peer_id in self._current_to_base or peer_id in self._by_base
 
-    def peers(self) -> List[Peer]:
+    def peers(self) -> list[Peer]:
         return list(self._by_base.values())
 
-    def online_peers(self) -> List[Peer]:
+    def online_peers(self) -> list[Peer]:
         return [peer for peer in self._by_base.values() if peer.online]
 
     def get(self, peer_id: str) -> Peer:
@@ -110,7 +110,7 @@ class PeerDirectory:
         except KeyError:
             raise UnknownPeerError(peer_id) from None
 
-    def current_ids(self, *, online_only: bool = True) -> List[str]:
+    def current_ids(self, *, online_only: bool = True) -> list[str]:
         peers = self.online_peers() if online_only else self.peers()
         return [peer.peer_id for peer in peers]
 

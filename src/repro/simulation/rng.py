@@ -10,7 +10,6 @@ distributed-system simulations.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
 
 
 class RandomStreams:
@@ -25,7 +24,7 @@ class RandomStreams:
 
     def __init__(self, master_seed: int = 0) -> None:
         self._master_seed = int(master_seed)
-        self._streams: Dict[str, random.Random] = {}
+        self._streams: dict[str, random.Random] = {}
 
     @property
     def master_seed(self) -> int:
@@ -43,7 +42,7 @@ class RandomStreams:
             self._streams[name] = random.Random(derived)
         return self._streams[name]
 
-    def uniforms(self, name: str, n: int) -> List[float]:
+    def uniforms(self, name: str, n: int) -> list[float]:
         """``n`` uniform draws from the named stream, as one vector.
 
         The draws come from the same underlying generator in the same order

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 from repro._util import require_unit_interval
 from repro.errors import ConfigurationError
@@ -69,7 +68,7 @@ class Feedback:
     time: int
     subject: str
     rating: float
-    rater: Optional[str]
+    rater: str | None
     truthful: bool = True
 
     def __post_init__(self) -> None:

@@ -8,14 +8,13 @@ is operationalized as community-local versus network-global aggregation.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 import networkx as nx
 
 from repro.socialnet.graph import SocialGraph
 
 
-def community_partition(graph: SocialGraph, *, seed: int = 0) -> Dict[str, int]:
+def community_partition(graph: SocialGraph, *, seed: int = 0) -> dict[str, int]:
     """Partition users into communities.
 
     Users generated with an explicit community label (SBM topologies) keep it;
@@ -34,25 +33,25 @@ def community_partition(graph: SocialGraph, *, seed: int = 0) -> Dict[str, int]:
     if nx_graph.number_of_nodes() == 0:
         return {}
     communities = nx.algorithms.community.greedy_modularity_communities(nx_graph)
-    partition: Dict[str, int] = {}
+    partition: dict[str, int] = {}
     for index, members in enumerate(communities):
         for member in members:
             partition[member] = index
     return partition
 
 
-def modularity(graph: SocialGraph, partition: Dict[str, int]) -> float:
+def modularity(graph: SocialGraph, partition: dict[str, int]) -> float:
     """Newman modularity of a partition over the social graph."""
     nx_graph = graph.to_networkx()
     if nx_graph.number_of_edges() == 0:
         return 0.0
-    groups: Dict[int, List[str]] = {}
+    groups: dict[int, list[str]] = {}
     for user_id, label in partition.items():
         groups.setdefault(label, []).append(user_id)
     return float(nx.algorithms.community.modularity(nx_graph, list(groups.values())))
 
 
-def intra_community_fraction(graph: SocialGraph, partition: Dict[str, int]) -> float:
+def intra_community_fraction(graph: SocialGraph, partition: dict[str, int]) -> float:
     """Fraction of edges whose endpoints share a community (1.0 if no edges)."""
     nx_graph = graph.to_networkx()
     edges = list(nx_graph.edges())

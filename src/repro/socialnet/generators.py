@@ -16,7 +16,6 @@ from __future__ import annotations
 import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -63,7 +62,7 @@ class SocialNetworkSpec:
     inter_community_probability: float = 0.01
     privacy_concern_range: tuple = (0.2, 0.9)
     seed: int = 0
-    extra: Dict[str, object] = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.n_users < 2:
@@ -134,11 +133,11 @@ def _ensure_connected(graph: nx.Graph, rng: random.Random) -> None:
 
 
 def populate_users(
-    node_ids: List[int],
+    node_ids: list[int],
     spec: SocialNetworkSpec,
     rng: random.Random,
-    communities: Optional[Dict[int, int]] = None,
-) -> List[User]:
+    communities: dict[int, int] | None = None,
+) -> list[User]:
     """Create :class:`User` objects for the given node identifiers.
 
     The first ``malicious_fraction`` share of users (after shuffling) receives
@@ -178,7 +177,7 @@ def generate_social_network(spec: SocialNetworkSpec) -> SocialGraph:
     graph = _build_topology(spec)
     _ensure_connected(graph, rng)
 
-    communities: Optional[Dict[int, int]] = None
+    communities: dict[int, int] | None = None
     if spec.topology == "sbm":
         communities = {node: data.get("block", 0) for node, data in graph.nodes(data=True)}
 
@@ -196,10 +195,10 @@ def generate_social_network(spec: SocialNetworkSpec) -> SocialGraph:
 #: serves (every mechanism column of a robustness row, repeated sweep tasks)
 #: cycles through a handful of specifications at a time.
 _NETWORK_CACHE_SIZE = 8
-_NETWORK_CACHE: "OrderedDict[Tuple, Tuple[SocialGraph, int]]" = OrderedDict()
+_NETWORK_CACHE: OrderedDict[tuple, tuple[SocialGraph, int]] = OrderedDict()
 
 
-def _spec_cache_key(spec: SocialNetworkSpec) -> Optional[Tuple]:
+def _spec_cache_key(spec: SocialNetworkSpec) -> tuple | None:
     """A hashable identity for the spec, or ``None`` when it has none
     (unhashable ``extra`` payloads fall back to fresh generation)."""
     try:

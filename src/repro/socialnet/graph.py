@@ -9,7 +9,7 @@ makes the simulation and reputation code independent of networkx details.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from collections.abc import Iterable, Iterator
 
 import networkx as nx
 
@@ -28,12 +28,12 @@ class SocialGraph:
     read-only views.
     """
 
-    def __init__(self, users: Optional[Iterable[User]] = None) -> None:
+    def __init__(self, users: Iterable[User] | None = None) -> None:
         self._graph = nx.Graph()
-        self._users: Dict[str, User] = {}
-        self._neighbors_cache: Dict[str, List[str]] = {}
-        self._users_cache: Optional[List[User]] = None
-        self._user_ids_cache: Optional[List[str]] = None
+        self._users: dict[str, User] = {}
+        self._neighbors_cache: dict[str, list[str]] = {}
+        self._users_cache: list[User] | None = None
+        self._user_ids_cache: list[str] | None = None
         self._version = 0
         for user in users or []:
             self.add_user(user)
@@ -88,13 +88,13 @@ class SocialGraph:
         self._require(user_id)
         return self._users[user_id]
 
-    def users(self) -> List[User]:
+    def users(self) -> list[User]:
         """All users (cached view; do not mutate the returned list)."""
         if self._users_cache is None:
             self._users_cache = list(self._users.values())
         return self._users_cache
 
-    def user_ids(self) -> List[str]:
+    def user_ids(self) -> list[str]:
         """All user identifiers (cached view; do not mutate)."""
         if self._user_ids_cache is None:
             self._user_ids_cache = list(self._users.keys())
@@ -109,7 +109,7 @@ class SocialGraph:
     def __iter__(self) -> Iterator[str]:
         return iter(self._users)
 
-    def neighbors(self, user_id: str) -> List[str]:
+    def neighbors(self, user_id: str) -> list[str]:
         """Direct neighbours of a user (cached view; do not mutate)."""
         self._require(user_id)
         cached = self._neighbors_cache.get(user_id)
@@ -139,7 +139,7 @@ class SocialGraph:
     def number_of_edges(self) -> int:
         return self._graph.number_of_edges()
 
-    def social_distance(self, a: str, b: str) -> Optional[int]:
+    def social_distance(self, a: str, b: str) -> int | None:
         """Shortest-path hop count between two users, ``None`` if unreachable."""
         self._require(a)
         self._require(b)
@@ -154,7 +154,7 @@ class SocialGraph:
             return True
         return nx.is_connected(self._graph)
 
-    def largest_component(self) -> List[str]:
+    def largest_component(self) -> list[str]:
         """Identifiers of the largest connected component."""
         if len(self) == 0:
             return []
@@ -182,7 +182,7 @@ class SocialGraph:
         """Return a copy of the underlying networkx graph (nodes = user ids)."""
         return self._graph.copy()
 
-    def copy(self) -> "SocialGraph":
+    def copy(self) -> SocialGraph:
         """An independent structural copy sharing the (read-only) users.
 
         The networkx graph is copied adjacency-dict for adjacency-dict, so
@@ -201,7 +201,7 @@ class SocialGraph:
         duplicate._version = 0
         return duplicate
 
-    def subgraph(self, user_ids: Iterable[str]) -> "SocialGraph":
+    def subgraph(self, user_ids: Iterable[str]) -> SocialGraph:
         """Build a new :class:`SocialGraph` restricted to the given users."""
         ids = [uid for uid in user_ids]
         for uid in ids:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.errors import ConfigurationError
 from repro.socialnet.graph import SocialGraph
@@ -49,7 +49,7 @@ class Interaction:
 class InteractionTrace:
     """An ordered collection of interactions plus convenience accessors."""
 
-    interactions: List[Interaction] = field(default_factory=list)
+    interactions: list[Interaction] = field(default_factory=list)
 
     def append(self, interaction: Interaction) -> None:
         self.interactions.append(interaction)
@@ -60,11 +60,11 @@ class InteractionTrace:
     def __iter__(self) -> Iterator[Interaction]:
         return iter(self.interactions)
 
-    def involving(self, user_id: str) -> List[Interaction]:
+    def involving(self, user_id: str) -> list[Interaction]:
         """Every interaction the user initiated or received."""
         return [i for i in self.interactions if user_id in (i.initiator, i.partner)]
 
-    def initiated_by(self, user_id: str) -> List[Interaction]:
+    def initiated_by(self, user_id: str) -> list[Interaction]:
         return [i for i in self.interactions if i.initiator == user_id]
 
     def pair_count(self, a: str, b: str) -> int:
@@ -93,7 +93,7 @@ class InteractionTraceGenerator:
         self,
         graph: SocialGraph,
         *,
-        kinds: Optional[Sequence[InteractionKind]] = None,
+        kinds: Sequence[InteractionKind] | None = None,
         seed: int = 0,
     ) -> None:
         if len(graph) < 2:
@@ -102,12 +102,14 @@ class InteractionTraceGenerator:
         self._kinds = list(kinds) if kinds else list(InteractionKind)
         self._rng = random.Random(seed)
 
-    def _pick_partner(self, user_id: str) -> Optional[str]:
+    def _pick_partner(self, user_id: str) -> str | None:
         neighbors = self._graph.neighbors(user_id)
         if not neighbors:
             return None
         weights = [self._graph.tie_strength(user_id, n) for n in neighbors]
         total = sum(weights)
+        # repro-lint: ignore[R5] exact sentinel: non-negative tie strengths
+        # sum to exactly 0.0 only when all are exactly zero
         if total == 0.0:
             return self._rng.choice(neighbors)
         return self._rng.choices(neighbors, weights=weights, k=1)[0]

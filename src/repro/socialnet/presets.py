@@ -10,7 +10,6 @@ experiments can be re-run on exactly the same population.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.socialnet.generators import SocialNetworkSpec, generate_social_network
@@ -18,7 +17,7 @@ from repro.socialnet.graph import SocialGraph
 from repro.socialnet.user import AttributeSensitivity, ProfileAttribute, User, UserProfile
 
 #: Named presets: recognisable social-network shapes at laptop scale.
-NETWORK_PRESETS: Dict[str, SocialNetworkSpec] = {
+NETWORK_PRESETS: dict[str, SocialNetworkSpec] = {
     # Dense friend graph with strong communities and privacy-aware users.
     "friendship": SocialNetworkSpec(
         n_users=120,
@@ -97,7 +96,7 @@ def generate_preset(name: str, *, seed: int = 0) -> SocialGraph:
 # -- graph (de)serialization ----------------------------------------------------
 
 
-def graph_to_dict(graph: SocialGraph) -> Dict[str, object]:
+def graph_to_dict(graph: SocialGraph) -> dict[str, object]:
     """Serialize a social graph (users, profiles, relationships) to plain data."""
     users = []
     for user in graph.users():
@@ -127,7 +126,7 @@ def graph_to_dict(graph: SocialGraph) -> Dict[str, object]:
     return {"users": users, "edges": edges}
 
 
-def graph_from_dict(data: Dict[str, object]) -> SocialGraph:
+def graph_from_dict(data: dict[str, object]) -> SocialGraph:
     """Rebuild a social graph serialized by :func:`graph_to_dict`."""
     users_data = data.get("users")
     if not isinstance(users_data, list):
@@ -166,7 +165,7 @@ def graph_from_dict(data: Dict[str, object]) -> SocialGraph:
     return graph
 
 
-def graph_to_json(graph: SocialGraph, *, indent: Optional[int] = None) -> str:
+def graph_to_json(graph: SocialGraph, *, indent: int | None = None) -> str:
     return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
 
 

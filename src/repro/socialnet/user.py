@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from collections.abc import Iterator
 
 from repro._util import require_unit_interval
 from repro.errors import ConfigurationError
@@ -60,7 +60,7 @@ class ProfileAttribute:
 class UserProfile:
     """A collection of named attributes belonging to one user."""
 
-    attributes: Dict[str, ProfileAttribute] = field(default_factory=dict)
+    attributes: dict[str, ProfileAttribute] = field(default_factory=dict)
 
     def add(self, attribute: ProfileAttribute) -> None:
         """Add or replace an attribute."""
@@ -128,7 +128,7 @@ class User:
     competence: float = 0.8
     activity: float = 0.5
     privacy_concern: float = 0.5
-    community: Optional[int] = None
+    community: int | None = None
 
     def __post_init__(self) -> None:
         if not self.user_id:

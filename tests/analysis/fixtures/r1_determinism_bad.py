@@ -1,0 +1,39 @@
+"""Fixture: every function here trips R1 (determinism).
+
+Parsed by the repro-lint tests — never imported or executed.
+"""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+from random import choice
+
+import numpy as np
+
+
+def ambient_draws() -> list[float]:
+    values = [random.random(), random.uniform(0.0, 1.0)]
+    values.append(float(choice([1, 2, 3])))
+    return values
+
+
+def unseeded_generator() -> random.Random:
+    return random.Random()
+
+
+def wall_clock() -> float:
+    return time.time()
+
+
+def stamped_id() -> str:
+    return f"{uuid.uuid4()}-{datetime.now().isoformat()}"
+
+
+def numpy_entropy() -> object:
+    return np.random.default_rng()
+
+
+def raw_entropy() -> bytes:
+    return os.urandom(8)

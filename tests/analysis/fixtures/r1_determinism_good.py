@@ -1,0 +1,24 @@
+"""Fixture: deterministic randomness that R1 must not flag.
+
+Parsed by the repro-lint tests — never imported or executed.
+"""
+
+import random
+
+
+def seeded_generator(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def fixed_generator() -> random.Random:
+    return random.Random(0)
+
+
+def derived_draws(rng: random.Random, n: int) -> list[float]:
+    return [rng.random() for _ in range(n)]
+
+
+def shuffled_copy(rng: random.Random, values: list[int]) -> list[int]:
+    out = list(values)
+    rng.shuffle(out)
+    return out

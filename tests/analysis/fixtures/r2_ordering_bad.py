@@ -1,0 +1,40 @@
+"""Fixture: every iteration/conversion here trips R2 (ordering).
+
+Parsed by the repro-lint tests — never imported or executed.
+"""
+
+
+def loop_over_literal() -> int:
+    total = 0
+    for value in {3, 1, 2}:
+        total = total * 10 + value
+    return total
+
+
+def union_members(left: set[str], right: set[str]) -> list[str]:
+    merged: set[str] = left | right
+    return [name.upper() for name in merged]
+
+
+def summed_scores(scores: dict[str, float]) -> float:
+    pending = set(scores.values())
+    return sum(pending)
+
+
+def tupled_names(pool: list[str]) -> tuple[str, ...]:
+    names = frozenset(pool)
+    return tuple(names)
+
+
+def chained_operators(extra: set[str]) -> list[str]:
+    base = {"x", "y"}
+    combined = base.union(extra)
+    return list(combined)
+
+
+def _participants() -> set[str]:
+    return {"p1", "p2"}
+
+
+def roster() -> list[str]:
+    return list(_participants())

@@ -1,0 +1,27 @@
+"""Fixture: sorted or order-insensitive set use that R2 must not flag.
+
+Parsed by the repro-lint tests — never imported or executed.
+"""
+
+
+def sorted_members(left: set[str], right: set[str]) -> list[str]:
+    merged: set[str] = left | right
+    return [name.upper() for name in sorted(merged)]
+
+
+def cardinality(scores: dict[str, float]) -> int:
+    pending = set(scores)
+    return len(pending)
+
+
+def membership(pool: list[str], name: str) -> bool:
+    seen = set(pool)
+    return name in seen
+
+
+def sorted_loop(values: list[int]) -> int:
+    unique = set(values)
+    total = 0
+    for value in sorted(unique):
+        total = total * 10 + value
+    return total

@@ -1,0 +1,35 @@
+"""Fixture: cache-discipline (R3) violations under the test contract.
+
+The tests register ``Ledger`` as an owner class (counter ``_version``,
+cache field ``_totals_cache``, invalidator ``_invalidate``) and ``Mirror``
+as a derived cache keyed on ``self._ledger.version``.  Parsed by the
+repro-lint tests — never imported or executed.
+"""
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._entries: list[int] = []
+        self._totals_cache: int | None = None
+        self._version = 0
+
+    def add(self, value: int) -> None:
+        # Mutating call on primary state with no counter bump.
+        self._entries.append(value)
+
+    def reset(self) -> None:
+        # Rebinding primary state with no counter bump.
+        self._entries = []
+
+    def entries(self) -> list[int]:
+        return list(self._entries)
+
+
+class Mirror:
+    def __init__(self, ledger: Ledger) -> None:
+        self._ledger = ledger
+        self._snapshot: list[int] = []
+
+    def refresh(self) -> None:
+        # Cache write that never consults the upstream counter.
+        self._snapshot = [entry * 2 for entry in self._ledger.entries()]

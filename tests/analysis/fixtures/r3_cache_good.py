@@ -1,0 +1,50 @@
+"""Fixture: cache-discipline (R3) compliant classes under the test contract.
+
+Same contract as ``r3_cache_bad.py``: ``Ledger`` owns ``_version``,
+``Mirror`` derives from ``self._ledger.version``.  Parsed by the
+repro-lint tests — never imported or executed.
+"""
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._entries: list[int] = []
+        self._totals_cache: int | None = None
+        self._version = 0
+
+    def add(self, value: int) -> None:
+        self._entries.append(value)
+        self._version += 1
+
+    def reset(self) -> None:
+        self._entries = []
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._totals_cache = None
+        self._version += 1
+
+    def total(self) -> int:
+        # Writing a declared cache field needs no bump.
+        if self._totals_cache is None:
+            self._totals_cache = sum(self._entries)
+        return self._totals_cache
+
+    def entries(self) -> list[int]:
+        return list(self._entries)
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+
+class Mirror:
+    def __init__(self, ledger: Ledger) -> None:
+        self._ledger = ledger
+        self._snapshot: list[int] = []
+        self._seen_version = -1
+
+    def refresh(self) -> None:
+        if self._seen_version != self._ledger.version:
+            self._snapshot = [entry * 2 for entry in self._ledger.entries()]
+            self._seen_version = self._ledger.version

@@ -1,0 +1,27 @@
+"""Fixture: exact float comparisons that R5 flags.
+
+Parsed by the repro-lint tests — never imported or executed.
+"""
+
+
+def literal_comparison(score: float) -> bool:
+    return score == 0.5
+
+
+def annotated_comparison(left: float, right: float) -> bool:
+    return left != right
+
+
+def conversion_comparison(raw: str) -> bool:
+    return float(raw) == 1.25
+
+
+def division_comparison(total: int, count: int) -> bool:
+    return total / count != 1.0
+
+
+def accumulator_comparison(values: list[float]) -> bool:
+    acc: float = 0.0
+    for value in values:
+        acc = acc + value
+    return acc != 0.0

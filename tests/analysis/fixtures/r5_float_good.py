@@ -1,0 +1,23 @@
+"""Fixture: comparisons that R5 must not flag.
+
+``_quantized`` is exempt only when the lint config registers it as a
+float-equality helper.  Parsed by the repro-lint tests — never imported.
+"""
+
+SCALE = 10**9
+
+
+def _quantized(left: float, right: float) -> bool:
+    return left == right
+
+
+def integer_comparison(count: int, total: int) -> bool:
+    return count == total
+
+
+def ordered_comparison(score: float, threshold: float) -> bool:
+    return score >= threshold
+
+
+def string_comparison(name: str) -> bool:
+    return name == "alice"

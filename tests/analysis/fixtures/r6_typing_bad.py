@@ -1,0 +1,28 @@
+"""Fixture: typing-discipline violations that R6 flags.
+
+Parsed by the repro-lint tests — never imported or executed.
+"""
+
+
+def missing_return(count: int):
+    return count * 2
+
+
+def missing_parameter(count) -> int:
+    return count * 2
+
+
+def missing_star_args(*args, **kwargs) -> None:
+    del args, kwargs
+
+
+def implicit_optional(limit: int = None) -> int:  # noqa: RUF013
+    return 0 if limit is None else limit
+
+
+class Widget:
+    def __init__(self):
+        self.size = 0
+
+    def resize(self, size):
+        self.size = size

@@ -1,0 +1,30 @@
+"""Fixture: fully annotated defs that R6 must not flag.
+
+Parsed by the repro-lint tests — never imported or executed.
+"""
+
+from __future__ import annotations
+
+
+def explicit_optional(limit: int | None = None) -> int:
+    return 0 if limit is None else limit
+
+
+def star_args(*values: float, **options: object) -> None:
+    del values, options
+
+
+def keyword_only(*, retries: int = 3, label: str | None = None) -> str:
+    return f"{label}:{retries}"
+
+
+class Widget:
+    def __init__(self) -> None:
+        self.size = 0
+
+    def resize(self, size: int) -> None:
+        self.size = size
+
+    @classmethod
+    def default(cls) -> Widget:
+        return cls()

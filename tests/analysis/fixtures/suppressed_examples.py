@@ -1,0 +1,22 @@
+"""Fixture: R1 violations silenced by every suppression-comment form.
+
+Parsed by the repro-lint tests — never imported or executed.
+"""
+
+import time
+
+
+def inline_form() -> float:
+    return time.time()  # repro-lint: ignore[R1] fixture shows inline suppression
+
+
+def line_above_form() -> float:
+    # repro-lint: ignore[determinism] slug form on the line directly above
+    return time.time()
+
+
+def comment_block_form() -> float:
+    # A contiguous comment block above the statement:
+    # repro-lint: ignore[R1, R5] several rules named in one comment
+    # still reaches the flagged line below.
+    return time.time()

@@ -1,0 +1,84 @@
+"""Shared helpers for the repro-lint test suite.
+
+The fixture corpus under ``fixtures/`` holds bad/good example modules per
+rule; they are parsed by the linter, never imported, and their filenames
+avoid the ``test_`` prefix so pytest does not collect them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.contracts import CacheContract, LintConfig
+from repro.analysis.framework import LintResult, Rule, registered_rules, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Cache contracts binding R3 to the corpus classes (both fixture files).
+_FIXTURE_CONTRACTS = tuple(
+    contract
+    for module in ("r3_cache_bad.py", "r3_cache_good.py")
+    for contract in (
+        CacheContract(
+            module=module,
+            class_name="Ledger",
+            counters=("_version",),
+            invalidators=("_invalidate",),
+            cache_fields=("_totals_cache",),
+        ),
+        CacheContract(
+            module=module,
+            class_name="Mirror",
+            cache_fields=("_snapshot", "_seen_version"),
+            source_counters=("_ledger.version",),
+        ),
+    )
+)
+
+
+def fixture_config() -> LintConfig:
+    """The corpus analogue of ``default_config``: binds rules to fixtures."""
+    return LintConfig(
+        cache_contracts=_FIXTURE_CONTRACTS,
+        float_eq_helpers=("_quantized",),
+    )
+
+
+def rules_by_id(*rule_ids: str) -> list[Rule]:
+    """Fresh rule instances for the given ids (all rules when empty)."""
+    rules = registered_rules()
+    if not rule_ids:
+        return rules
+    return [rule for rule in rules if rule.rule_id in rule_ids]
+
+
+def lint_fixture(
+    name: str,
+    *rule_ids: str,
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint one corpus file with the named rules (default: all)."""
+    return run_lint(
+        [FIXTURES / name],
+        config if config is not None else fixture_config(),
+        rules=rules_by_id(*rule_ids),
+        root=FIXTURES,
+    )
+
+
+def lint_source(
+    tmp_path: Path,
+    source: str,
+    *rule_ids: str,
+    config: LintConfig | None = None,
+    filename: str = "sample.py",
+) -> LintResult:
+    """Write ``source`` to a scratch module and lint it."""
+    path = tmp_path / filename
+    path.write_text(source)
+    return run_lint(
+        [path],
+        config if config is not None else fixture_config(),
+        rules=rules_by_id(*rule_ids),
+        root=tmp_path,
+    )

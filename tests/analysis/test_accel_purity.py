@@ -1,0 +1,126 @@
+"""R4 (accel purity): project-level cross-referencing against a test tree.
+
+These tests build miniature projects under ``tmp_path``.  The flag and
+marker names are deliberately distinct from the live switchboard's so this
+file never influences the real cross-reference scan.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from lint_helpers import rules_by_id
+from repro.analysis.contracts import LintConfig
+from repro.analysis.framework import run_lint
+
+ACCEL_SOURCE = (
+    "from dataclasses import dataclass\n"
+    "\n"
+    "\n"
+    "@dataclass(frozen=True)\n"
+    "class AccelFlags:\n"
+    "    fused_update: bool = True\n"
+    "    mirror_cache: bool = False\n"
+    "    label: str = 'not a flag'\n"
+)
+
+
+def _config() -> LintConfig:
+    return LintConfig(accel_module="accel.py", accel_class="AccelFlags")
+
+
+def _project(tmp_path: Path, test_body: str | None) -> tuple[Path, Path | None]:
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "accel.py").write_text(ACCEL_SOURCE)
+    tests_root: Path | None = None
+    if test_body is not None:
+        tests_root = tmp_path / "tests"
+        tests_root.mkdir()
+        (tests_root / "test_flags.py").write_text(test_body)
+    return src, tests_root
+
+
+def test_uncovered_flag_is_reported(tmp_path: Path) -> None:
+    body = "def test_fused() -> None:\n    drive('fused_update')  # override(x)\n"
+    src, tests_root = _project(tmp_path, body)
+    result = run_lint(
+        [src], _config(), rules=rules_by_id("R4"), root=tmp_path, tests_root=tests_root
+    )
+    assert len(result.active) == 1
+    finding = result.active[0]
+    assert "mirror_cache" in finding.message
+    assert finding.path.endswith("accel.py")
+    assert finding.line == 7  # the flag's definition line
+
+
+def test_all_flags_covered_is_clean(tmp_path: Path) -> None:
+    body = (
+        "def test_both() -> None:\n"
+        "    drive('fused_update', 'mirror_cache')  # override(x)\n"
+    )
+    src, tests_root = _project(tmp_path, body)
+    result = run_lint(
+        [src], _config(), rules=rules_by_id("R4"), root=tmp_path, tests_root=tests_root
+    )
+    assert result.active == []
+
+
+def test_naming_without_driving_does_not_count(tmp_path: Path) -> None:
+    body = "def test_mention() -> None:\n    assert 'fused_update' and 'mirror_cache'\n"
+    src, tests_root = _project(tmp_path, body)
+    result = run_lint(
+        [src], _config(), rules=rules_by_id("R4"), root=tmp_path, tests_root=tests_root
+    )
+    assert len(result.active) == 2
+
+
+def test_missing_test_tree_is_an_explicit_finding(tmp_path: Path) -> None:
+    src, _ = _project(tmp_path, None)
+    result = run_lint(
+        [src], _config(), rules=rules_by_id("R4"), root=tmp_path, tests_root=None
+    )
+    assert len(result.active) == 1
+    assert "no test tree" in result.active[0].message
+
+
+def test_exempt_flags_are_skipped(tmp_path: Path) -> None:
+    src, tests_root = _project(tmp_path, "# empty test tree\n")
+    config = LintConfig(
+        accel_module="accel.py",
+        accel_class="AccelFlags",
+        accel_exempt=("fused_update", "mirror_cache"),
+    )
+    result = run_lint(
+        [src], config, rules=rules_by_id("R4"), root=tmp_path, tests_root=tests_root
+    )
+    assert result.active == []
+
+
+def test_missing_flags_class_is_an_explicit_finding(tmp_path: Path) -> None:
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "accel.py").write_text("FLAGS = {'fused_update': True}\n")
+    result = run_lint(
+        [src], _config(), rules=rules_by_id("R4"), root=tmp_path, tests_root=tmp_path
+    )
+    assert len(result.active) == 1
+    assert "cannot be checked" in result.active[0].message
+
+
+def test_switchboard_outside_linted_paths_is_silent(tmp_path: Path) -> None:
+    other = tmp_path / "src"
+    other.mkdir()
+    (other / "plain.py").write_text("x = 1\n")
+    result = run_lint(
+        [other], _config(), rules=rules_by_id("R4"), root=tmp_path, tests_root=tmp_path
+    )
+    assert result.active == []
+
+
+def test_disabled_when_no_accel_module_configured(tmp_path: Path) -> None:
+    src, tests_root = _project(tmp_path, None)
+    result = run_lint(
+        [src], LintConfig(), rules=rules_by_id("R4"), root=tmp_path, tests_root=tests_root
+    )
+    assert result.active == []

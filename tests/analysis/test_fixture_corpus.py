@@ -1,0 +1,72 @@
+"""The fixture corpus: bad examples fire their rule, good examples stay clean.
+
+Each corpus file targets exactly one rule, so linting a *bad* fixture with
+every rule enabled must yield findings for that rule alone — proving both
+that the rule fires and that the others stay quiet on realistic code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from lint_helpers import FIXTURES, lint_fixture
+
+#: (fixture, rule expected to fire, expected active-finding count).
+BAD_FIXTURES = [
+    ("r1_determinism_bad.py", "R1", 9),
+    ("r2_ordering_bad.py", "R2", 6),
+    ("r3_cache_bad.py", "R3", 3),
+    ("r5_float_bad.py", "R5", 5),
+    ("r6_typing_bad.py", "R6", 7),
+]
+
+GOOD_FIXTURES = [
+    "r1_determinism_good.py",
+    "r2_ordering_good.py",
+    "r3_cache_good.py",
+    "r5_float_good.py",
+    "r6_typing_good.py",
+]
+
+
+def test_corpus_is_complete() -> None:
+    """Every corpus file is referenced by exactly one parametrized case."""
+    referenced = {name for name, _, _ in BAD_FIXTURES}
+    referenced.update(GOOD_FIXTURES)
+    referenced.add("suppressed_examples.py")
+    on_disk = {path.name for path in FIXTURES.glob("*.py")}
+    assert on_disk == referenced
+
+
+@pytest.mark.parametrize(("name", "rule_id", "expected"), BAD_FIXTURES)
+def test_bad_fixture_fires_only_its_rule(name: str, rule_id: str, expected: int) -> None:
+    result = lint_fixture(name)
+    assert {finding.rule for finding in result.active} == {rule_id}
+    assert len(result.active) == expected
+    assert not result.suppressed
+
+
+@pytest.mark.parametrize("name", GOOD_FIXTURES)
+def test_good_fixture_is_clean(name: str) -> None:
+    result = lint_fixture(name)
+    assert result.active == []
+    assert not result.suppressed
+    assert result.checked_files == 1
+
+
+def test_suppressed_examples_are_silenced() -> None:
+    result = lint_fixture("suppressed_examples.py")
+    assert result.active == []
+    suppressed = result.suppressed
+    assert len(suppressed) == 3
+    assert {finding.rule for finding in suppressed} == {"R1"}
+
+
+def test_findings_carry_locations_and_messages() -> None:
+    result = lint_fixture("r5_float_bad.py", "R5")
+    finding = result.active[0]
+    assert finding.path.endswith("r5_float_bad.py")
+    assert finding.line > 1
+    assert finding.column >= 1
+    assert "equality" in finding.message
+    assert finding.location() == f"{finding.path}:{finding.line}:{finding.column}"

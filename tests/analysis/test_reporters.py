@@ -1,0 +1,64 @@
+"""Text and JSON report rendering."""
+
+from __future__ import annotations
+
+import json
+
+from lint_helpers import lint_fixture
+from repro.analysis.reporters import render_json, render_text
+
+
+def test_text_report_for_findings() -> None:
+    result = lint_fixture("r5_float_bad.py", "R5")
+    report = render_text(result)
+    lines = report.splitlines()
+    assert len(lines) == len(result.active) + 1
+    first = result.active[0]
+    assert lines[0].startswith(f"{first.path}:{first.line}:{first.column}: R5[")
+    assert "R5: 5" in lines[-1]
+    assert f"{len(result.active)} finding(s)" in lines[-1]
+
+
+def test_text_report_clean_summary() -> None:
+    result = lint_fixture("r5_float_good.py", "R5")
+    report = render_text(result)
+    assert report == "repro-lint: clean — 1 file(s), 0 suppressed finding(s)"
+
+
+def test_text_report_show_suppressed() -> None:
+    result = lint_fixture("suppressed_examples.py", "R1")
+    quiet = render_text(result)
+    verbose = render_text(result, show_suppressed=True)
+    assert "(suppressed)" not in quiet
+    assert verbose.count("(suppressed)") == 3
+    assert "3 suppressed" in verbose.splitlines()[-1]
+
+
+def test_json_report_document() -> None:
+    result = lint_fixture("r2_ordering_bad.py", "R2")
+    document = json.loads(render_json(result))
+    assert document["version"] == 1
+    assert document["clean"] is False
+    assert document["checked_files"] == 1
+    assert document["counts"] == {"R2": len(result.active)}
+    assert len(document["findings"]) == len(result.findings)
+    finding = document["findings"][0]
+    assert set(finding) == {
+        "rule",
+        "name",
+        "path",
+        "line",
+        "column",
+        "message",
+        "suppressed",
+    }
+
+
+def test_json_report_clean_and_stable() -> None:
+    result = lint_fixture("r6_typing_good.py", "R6")
+    rendered = render_json(result)
+    assert json.loads(rendered)["clean"] is True
+    # Stable output: sorted keys, so two renders are byte-identical.
+    assert rendered == render_json(result)
+    keys = list(json.loads(rendered))
+    assert keys == sorted(keys)

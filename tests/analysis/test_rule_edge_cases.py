@@ -1,0 +1,197 @@
+"""Rule behaviours the corpus cannot express: exemptions, aliases, configs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from lint_helpers import lint_source
+from repro.analysis.contracts import LintConfig
+
+
+class TestDeterminismRule:
+    def test_exempt_module_is_skipped(self, tmp_path: Path) -> None:
+        source = "import random\n\nrng = random.Random()\n"
+        config = LintConfig(determinism_exempt=("rng.py",))
+        result = lint_source(tmp_path, source, "R1", config=config, filename="rng.py")
+        assert result.active == []
+
+    def test_clock_exempt_allows_clocks_but_not_random(self, tmp_path: Path) -> None:
+        source = (
+            "import random\n"
+            "import time\n"
+            "\n"
+            "\n"
+            "def measure() -> float:\n"
+            "    return time.perf_counter() + random.random()\n"
+        )
+        config = LintConfig(clock_exempt=("profiling.py",))
+        result = lint_source(
+            tmp_path, source, "R1", config=config, filename="profiling.py"
+        )
+        assert len(result.active) == 1
+        assert "random.random" in result.active[0].message
+
+    def test_module_alias_is_resolved(self, tmp_path: Path) -> None:
+        source = "import time as clock\n\nstamp = clock.monotonic()\n"
+        result = lint_source(tmp_path, source, "R1")
+        assert len(result.active) == 1
+        assert "time.monotonic" in result.active[0].message
+
+    def test_bare_import_alias_is_resolved(self, tmp_path: Path) -> None:
+        source = "from time import perf_counter as tick\n\nstamp = tick()\n"
+        result = lint_source(tmp_path, source, "R1")
+        assert len(result.active) == 1
+        assert "imported as tick" in result.active[0].message
+
+    def test_seeded_random_class_alias_is_allowed(self, tmp_path: Path) -> None:
+        source = (
+            "from random import Random as Rng\n"
+            "\n"
+            "good = Rng(42)\n"
+            "bad = Rng()\n"
+        )
+        result = lint_source(tmp_path, source, "R1")
+        assert len(result.active) == 1
+        assert result.active[0].line == 4
+
+    def test_datetime_module_attribute_form(self, tmp_path: Path) -> None:
+        source = "import datetime\n\nstamp = datetime.datetime.now()\n"
+        result = lint_source(tmp_path, source, "R1")
+        assert len(result.active) == 1
+        assert "wall clock" in result.active[0].message
+
+
+class TestOrderingRule:
+    def test_config_registered_set_returning_method(self, tmp_path: Path) -> None:
+        source = (
+            "def roster(store: object) -> list[str]:\n"
+            "    return list(store.participants())\n"
+        )
+        config = LintConfig(set_returning=("participants",))
+        result = lint_source(tmp_path, source, "R2", config=config)
+        assert len(result.active) == 1
+        clean = lint_source(tmp_path, source, "R2", config=LintConfig())
+        assert clean.active == []
+
+    def test_locally_annotated_set_function(self, tmp_path: Path) -> None:
+        source = (
+            "def _ids() -> frozenset[str]:\n"
+            '    return frozenset(("a", "b"))\n'
+            "\n"
+            "\n"
+            "def ordered() -> list[str]:\n"
+            "    return sorted(_ids())\n"
+            "\n"
+            "\n"
+            "def unordered() -> list[str]:\n"
+            "    return list(_ids())\n"
+        )
+        result = lint_source(tmp_path, source, "R2")
+        assert [finding.line for finding in result.active] == [10]
+
+    def test_set_copy_preserves_setness(self, tmp_path: Path) -> None:
+        source = (
+            "def copies() -> list[int]:\n"
+            "    original = {1, 2, 3}\n"
+            "    duplicate = original.copy()\n"
+            "    return list(duplicate)\n"
+        )
+        result = lint_source(tmp_path, source, "R2")
+        assert len(result.active) == 1
+
+    def test_nested_function_scopes_are_independent(self, tmp_path: Path) -> None:
+        source = (
+            "def outer() -> list[int]:\n"
+            "    values = {1, 2}\n"
+            "\n"
+            "    def inner() -> list[int]:\n"
+            "        values = [1, 2]\n"
+            "        return list(values)\n"
+            "\n"
+            "    return inner() + sorted(values)\n"
+        )
+        result = lint_source(tmp_path, source, "R2")
+        assert result.active == []
+
+
+class TestFloatEqualityRule:
+    def test_helper_exemption_is_config_driven(self, tmp_path: Path) -> None:
+        source = (
+            "def _quantized(left: float, right: float) -> bool:\n"
+            "    return left == right\n"
+        )
+        exempt = lint_source(
+            tmp_path, source, "R5", config=LintConfig(float_eq_helpers=("_quantized",))
+        )
+        assert exempt.active == []
+        strict = lint_source(tmp_path, source, "R5", config=LintConfig())
+        assert len(strict.active) == 1
+
+    def test_literal_pair_is_skipped(self, tmp_path: Path) -> None:
+        source = "CONSISTENT = 1.0 == 1.0\n"
+        result = lint_source(tmp_path, source, "R5")
+        assert result.active == []
+
+    def test_unary_minus_is_floatish(self, tmp_path: Path) -> None:
+        source = "def check(x: float) -> bool:\n    return -x == 2\n"
+        result = lint_source(tmp_path, source, "R5")
+        assert len(result.active) == 1
+
+    def test_chained_comparison_flags_float_link(self, tmp_path: Path) -> None:
+        source = "def check(a: int, b: float, c: int) -> bool:\n    return a == b == c\n"
+        result = lint_source(tmp_path, source, "R5")
+        assert len(result.active) == 1
+
+
+class TestTypingRule:
+    def _messages(self, tmp_path: Path, source: str) -> list[str]:
+        return [finding.message for finding in lint_source(tmp_path, source, "R6").active]
+
+    def test_optional_spellings_all_accepted(self, tmp_path: Path) -> None:
+        source = (
+            "import typing\n"
+            "from typing import Any, Optional, Union\n"
+            "\n"
+            "\n"
+            "def spellings(\n"
+            "    a: int | None = None,\n"
+            "    b: Optional[int] = None,\n"
+            "    c: Union[int, None] = None,\n"
+            "    d: Any = None,\n"
+            "    e: object = None,\n"
+            "    f: typing.Optional[int] = None,\n"
+            '    g: "int | None" = None,\n'
+            ") -> None:\n"
+            "    del a, b, c, d, e, f, g\n"
+        )
+        assert self._messages(tmp_path, source) == []
+
+    def test_implicit_optional_spellings_rejected(self, tmp_path: Path) -> None:
+        source = (
+            "def implicit(a: int = None, *, b: str = None) -> None:\n"
+            "    del a, b\n"
+        )
+        messages = self._messages(tmp_path, source)
+        assert len(messages) == 2
+        assert all("implicit Optional" in message for message in messages)
+
+    def test_unparseable_string_annotation_rejected(self, tmp_path: Path) -> None:
+        source = 'def broken(a: "not [valid" = None) -> None:\n    del a\n'
+        messages = self._messages(tmp_path, source)
+        assert len(messages) == 1
+
+    def test_lambda_parameters_are_not_checked(self, tmp_path: Path) -> None:
+        source = "double = lambda value: value * 2\n"
+        messages = self._messages(tmp_path, source)
+        assert messages == []
+
+    def test_nested_defs_are_checked(self, tmp_path: Path) -> None:
+        source = (
+            "def outer() -> None:\n"
+            "    def inner(value):\n"
+            "        return value\n"
+            "\n"
+            "    inner(1)\n"
+        )
+        messages = self._messages(tmp_path, source)
+        assert len(messages) == 2  # unannotated parameter + missing return

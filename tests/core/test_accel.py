@@ -23,9 +23,8 @@ class TestFlags:
 
     def test_override_restores_on_error(self):
         before = accel.flags()
-        with pytest.raises(RuntimeError):
-            with accel.override(setup_cache=False):
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), accel.override(setup_cache=False):
+            raise RuntimeError("boom")
         assert accel.flags() == before
 
     def test_disable_all_wins_over_individual_flags(self):

@@ -174,7 +174,7 @@ class TestCouplingKernels:
         python_path = CouplingDynamics(backend="python").run()
         kernel_path = CouplingDynamics(backend="vectorized").run()
         assert len(python_path) == len(kernel_path)
-        assert all(a.as_dict() == b.as_dict() for a, b in zip(python_path, kernel_path))
+        assert all(a.as_dict() == b.as_dict() for a, b in zip(python_path, kernel_path, strict=True))
 
     def test_equilibria_match_per_state_runs(self):
         dynamics = CouplingDynamics(backend="vectorized")
@@ -206,7 +206,7 @@ class TestSimulationKernels:
         draws = [0.9, 0.39, 0.01, 0.6]
         counts = bk.interaction_counts(activities, 1.0, draws)
         expected = []
-        for activity, draw in zip(activities, draws):
+        for activity, draw in zip(activities, draws, strict=True):
             base = int(activity)
             expected.append(base + (1 if draw < activity - base else 0))
         assert counts.tolist() == expected

@@ -31,7 +31,7 @@ class TestAnalyticFacetModel:
             model(SystemSettings(sharing_level=level)).privacy
             for level in (0.0, 0.25, 0.5, 0.75, 1.0)
         ]
-        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert all(a >= b for a, b in zip(values, values[1:], strict=False))
 
     def test_reputation_monotonically_non_decreasing_in_sharing(self):
         model = AnalyticFacetModel()
@@ -39,7 +39,7 @@ class TestAnalyticFacetModel:
             model(SystemSettings(sharing_level=level)).reputation
             for level in (0.0, 0.25, 0.5, 0.75, 1.0)
         ]
-        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert all(a <= b for a, b in zip(values, values[1:], strict=False))
 
     def test_anonymous_feedback_raises_privacy_and_lowers_reputation(self):
         model = AnalyticFacetModel()

@@ -71,8 +71,8 @@ class TestFigure2Right:
         points = figure2_right_result.analytic_points
         privacy = [p.facets.privacy for p in points]
         reputation = [p.facets.reputation for p in points]
-        assert all(a >= b for a, b in zip(privacy, privacy[1:]))
-        assert all(a <= b for a, b in zip(reputation, reputation[1:]))
+        assert all(a >= b for a, b in zip(privacy, privacy[1:], strict=False))
+        assert all(a <= b for a, b in zip(reputation, reputation[1:], strict=False))
 
     def test_simulated_shapes_match_the_paper(self, figure2_right_result):
         points = figure2_right_result.simulated_points

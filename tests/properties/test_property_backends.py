@@ -99,7 +99,7 @@ def test_coupling_trajectories_identical_across_backends(
         )
         paths[backend] = dynamics.run(initial, steps=80)
     assert len(paths["python"]) == len(paths["vectorized"])
-    for a, b in zip(paths["python"], paths["vectorized"]):
+    for a, b in zip(paths["python"], paths["vectorized"], strict=True):
         assert a.as_dict() == b.as_dict()
 
 

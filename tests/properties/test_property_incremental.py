@@ -68,7 +68,7 @@ def feedback_schedules(draw):
     cuts = sorted(draw(st.sampled_from(range(size + 1))) for _ in range(n_cuts))
     batches = []
     previous = 0
-    for cut in cuts + [size]:
+    for cut in [*cuts, size]:
         batches.append(reports[previous:cut])
         previous = cut
     return batches

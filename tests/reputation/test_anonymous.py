@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.reputation.anonymous import AnonymousFeedbackReputation
 from repro.reputation.average import SimpleAverageReputation
 from repro.reputation.beta import BetaReputation
@@ -63,5 +64,5 @@ def test_reset_clears_both_layers():
 
 
 def test_invalid_epsilon_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         AnonymousFeedbackReputation(SimpleAverageReputation(), epsilon=1.2)

@@ -1,6 +1,7 @@
 """Unit tests for response policies, accuracy measures and the taxonomy."""
 
 import random
+from typing import ClassVar
 
 import pytest
 
@@ -67,7 +68,7 @@ class TestThresholdBan:
 
 
 class TestAccuracyMeasures:
-    GROUND_TRUTH = {"good": 0.9, "ok": 0.8, "bad": 0.1}
+    GROUND_TRUTH: ClassVar[dict[str, float]] = {"good": 0.9, "ok": 0.8, "bad": 0.1}
 
     def test_perfect_ranking(self):
         assert pairwise_ranking_accuracy(SCORES, self.GROUND_TRUTH) == 1.0

@@ -1,5 +1,7 @@
 """Unit tests for the satisfaction tracker and aggregation."""
 
+from typing import ClassVar
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -89,7 +91,7 @@ class TestSatisfactionTracker:
 
 
 class TestAggregation:
-    SATISFACTIONS = {"a": 0.9, "b": 0.7, "c": 0.2}
+    SATISFACTIONS: ClassVar[dict[str, float]] = {"a": 0.9, "b": 0.7, "c": 0.2}
 
     def test_summary(self):
         summary = summarize(self.SATISFACTIONS, threshold=0.4)

@@ -48,7 +48,7 @@ class TestPeerSelector:
         assert all(not peer.user.is_honest for peer in selected)
 
     def test_prefix_filter(self):
-        peers = make_peers() + [Peer(user=User(user_id="sybil-001", honesty=0.0))]
+        peers = [*make_peers(), Peer(user=User(user_id="sybil-001", honesty=0.0))]
         selected = PeerSelector(population="all", prefix="sybil-").select(peers, random.Random(0))
         assert [peer.base_id for peer in selected] == ["sybil-001"]
 

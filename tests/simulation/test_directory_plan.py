@@ -35,7 +35,7 @@ class TestDirectoryPlan:
             inline.directory
         )
         # Collusion rings carry the same accomplice sets.
-        for with_plan, without in zip(planned.directory.peers(), inline.directory.peers()):
+        for with_plan, without in zip(planned.directory.peers(), inline.directory.peers(), strict=True):
             if isinstance(without.behavior, CollusiveBehavior):
                 assert isinstance(with_plan.behavior, CollusiveBehavior)
                 assert with_plan.behavior.ring == without.behavior.ring
@@ -46,8 +46,8 @@ class TestDirectoryPlan:
         first = plan.materialize(graph)
         second = plan.materialize(graph)
         assert first is not second
-        assert all(a is not b for a, b in zip(first, second))
-        assert all(a.behavior is not b.behavior for a, b in zip(first, second))
+        assert all(a is not b for a, b in zip(first, second, strict=True))
+        assert all(a.behavior is not b.behavior for a, b in zip(first, second, strict=True))
 
     def test_trajectories_identical_with_and_without_plan(self):
         graph = generate_social_network(SPEC)

@@ -1,0 +1,264 @@
+#!/usr/bin/env python
+"""One-shot codemod: modernize typing syntax tree-wide (ruff UP006/UP007/UP035/UP037).
+
+Rewrites, in annotation positions only:
+
+* ``Dict``/``List``/``Tuple``/``Set``/``FrozenSet``/``Type`` → builtin
+  generics (PEP 585), ``Deque`` → ``deque``;
+* ``Optional[X]`` → ``X | None`` and ``Union[A, B]`` → ``A | B`` (PEP 604),
+  skipped when an operand is a quoted forward reference in a module without
+  ``from __future__ import annotations`` (the ``|`` would evaluate at
+  definition time and fail on strings);
+* quoted annotations → unquoted, only under ``from __future__ import
+  annotations`` (postponed evaluation makes the quotes redundant).
+
+Then rewrites the module's ``from typing import ...`` statement: names that
+moved to :mod:`collections.abc` (``Callable``, ``Iterable``, ``Iterator``,
+``Mapping``, ``Sequence``, ...) are re-imported from there, and names no
+longer referenced anywhere in the module are dropped.
+
+Runtime type-alias assignments (``Foo = Callable[[X], None]``) are left
+untouched on purpose — they are expressions, not annotations — which is why
+the import cleanup is usage-driven rather than unconditional.
+
+Usage: ``python tools/modernize_typing.py [--check] PATH ...``
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+import libcst as cst
+
+#: PEP 585: typing name -> builtin (or stdlib) replacement.
+PEP585 = {
+    "Dict": "dict",
+    "List": "list",
+    "Tuple": "tuple",
+    "Set": "set",
+    "FrozenSet": "frozenset",
+    "Type": "type",
+    "Deque": "deque",
+}
+
+#: Names that moved from typing to collections.abc (PEP 585 / ruff UP035).
+ABC_NAMES = frozenset(
+    {
+        "Callable",
+        "Collection",
+        "Container",
+        "Generator",
+        "Hashable",
+        "Iterable",
+        "Iterator",
+        "Mapping",
+        "MutableMapping",
+        "MutableSequence",
+        "MutableSet",
+        "Reversible",
+        "Sequence",
+        "Sized",
+    }
+)
+
+
+def _contains_string(node: cst.BaseExpression) -> bool:
+    found = False
+
+    class _Finder(cst.CSTVisitor):
+        def visit_SimpleString(self, node: cst.SimpleString) -> None:
+            nonlocal found
+            found = True
+
+    node.visit(_Finder())
+    return found
+
+
+class Modernizer(cst.CSTTransformer):
+    """Rewrites typing constructs inside annotation subtrees."""
+
+    def __init__(self, typing_names: frozenset[str], has_future: bool) -> None:
+        self.typing_names = typing_names
+        self.has_future = has_future
+        self._annotation_depth = 0
+        self.changed = False
+
+    # -- annotation context tracking ----------------------------------------
+
+    def visit_Annotation(self, node: cst.Annotation) -> bool:
+        self._annotation_depth += 1
+        return True
+
+    def leave_Annotation(
+        self, original: cst.Annotation, updated: cst.Annotation
+    ) -> cst.Annotation:
+        self._annotation_depth -= 1
+        return updated
+
+    @property
+    def _in_annotation(self) -> bool:
+        return self._annotation_depth > 0
+
+    # -- rewrites ------------------------------------------------------------
+
+    def leave_Name(self, original: cst.Name, updated: cst.Name) -> cst.Name:
+        if not self._in_annotation:
+            return updated
+        target = PEP585.get(updated.value)
+        if target is not None and updated.value in self.typing_names:
+            self.changed = True
+            return updated.with_changes(value=target)
+        return updated
+
+    def leave_Subscript(
+        self, original: cst.Subscript, updated: cst.Subscript
+    ) -> cst.BaseExpression:
+        if not self._in_annotation or not isinstance(updated.value, cst.Name):
+            return updated
+        head = updated.value.value
+        if head not in ("Optional", "Union") or head not in self.typing_names:
+            return updated
+        elements = []
+        for element in updated.slice:
+            index = element.slice
+            if not isinstance(index, cst.Index):
+                return updated
+            elements.append(index.value)
+        if head == "Optional":
+            if len(elements) != 1:
+                return updated
+            elements.append(cst.Name("None"))
+        if not self.has_future and any(_contains_string(e) for e in elements):
+            # Without postponed evaluation ``"X" | None`` is a runtime error.
+            return updated
+        self.changed = True
+        union: cst.BaseExpression = elements[0]
+        for right in elements[1:]:
+            union = cst.BinaryOperation(
+                left=union,
+                operator=cst.BitOr(
+                    whitespace_before=cst.SimpleWhitespace(" "),
+                    whitespace_after=cst.SimpleWhitespace(" "),
+                ),
+                right=right,
+            )
+        if len(elements) > 1 and isinstance(union, cst.BinaryOperation):
+            return union
+        return union
+
+    def leave_SimpleString(
+        self, original: cst.SimpleString, updated: cst.SimpleString
+    ) -> cst.BaseExpression:
+        # UP037: quoted annotations are redundant under future-annotations.
+        if not self._in_annotation or not self.has_future:
+            return updated
+        value = updated.evaluated_value
+        if not isinstance(value, str):
+            return updated
+        try:
+            parsed = cst.parse_expression(value)
+        except cst.ParserSyntaxError:
+            return updated
+        if isinstance(
+            parsed, (cst.Name, cst.Attribute, cst.Subscript, cst.BinaryOperation)
+        ):
+            self.changed = True
+            return parsed
+        return updated
+
+
+def _rewrite_typing_import(source: str) -> str:
+    """Drop now-unused typing names; move abc names to collections.abc."""
+    tree = ast.parse(source)
+    import_node = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "typing" and node.level == 0:
+            import_node = node
+            break
+    if import_node is None or any(alias.asname for alias in import_node.names):
+        return source
+    imported = [alias.name for alias in import_node.names]
+
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # Quoted forward references may still name typing symbols.
+            try:
+                for sub in ast.walk(ast.parse(node.value, mode="eval")):
+                    if isinstance(sub, ast.Name):
+                        used.add(sub.id)
+            except SyntaxError:
+                pass
+
+    keep_typing = [n for n in imported if n in used and n not in ABC_NAMES]
+    move_abc = [n for n in imported if n in used and n in ABC_NAMES]
+    if keep_typing == imported and not move_abc:
+        return source
+
+    statements = []
+    if move_abc:
+        statements.append("from collections.abc import " + ", ".join(sorted(move_abc)))
+    if keep_typing:
+        statements.append("from typing import " + ", ".join(sorted(keep_typing)))
+
+    lines = source.splitlines(keepends=True)
+    start, end = import_node.lineno - 1, import_node.end_lineno
+    replacement = "".join(stmt + "\n" for stmt in statements)
+    return "".join(lines[:start]) + replacement + "".join(lines[end:])
+
+
+def modernize_source(source: str) -> str:
+    tree = ast.parse(source)
+    typing_names = frozenset(
+        alias.asname or alias.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ImportFrom) and node.module == "typing" and node.level == 0
+        for alias in node.names
+    )
+    has_future = any(
+        isinstance(node, ast.ImportFrom) and node.module == "__future__"
+        for node in tree.body
+    )
+    if typing_names:
+        module = cst.parse_module(source)
+        transformer = Modernizer(typing_names, has_future)
+        module = module.visit(transformer)
+        if transformer.changed:
+            source = module.code
+    return _rewrite_typing_import(source)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", type=Path)
+    parser.add_argument(
+        "--check", action="store_true", help="report files that would change, change nothing"
+    )
+    args = parser.parse_args(argv)
+
+    files: list[Path] = []
+    for path in args.paths:
+        files.extend(sorted(path.rglob("*.py")) if path.is_dir() else [path])
+
+    changed = 0
+    for file_path in files:
+        original = file_path.read_text()
+        updated = modernize_source(original)
+        if updated != original:
+            changed += 1
+            if args.check:
+                print(f"would rewrite {file_path}")
+            else:
+                file_path.write_text(updated)
+                print(f"rewrote {file_path}")
+    print(f"{changed} of {len(files)} files {'need rewriting' if args.check else 'rewritten'}")
+    return 1 if (args.check and changed) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
