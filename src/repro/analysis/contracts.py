@@ -64,6 +64,14 @@ class LintConfig:
     #: Function names that may compare floats exactly (R5): quantizers that
     #: snap values to a grid before comparing.
     float_eq_helpers: tuple[str, ...] = ()
+    #: Directory (relative to the lint root) holding the shipped scenario
+    #: templates (R7); empty disables the parity check.
+    template_dir: str = ""
+    #: Module suffix of the scenario catalog whose ``CATALOG`` dict literal
+    #: R7 cross-references against the template library.
+    catalog_module: str = ""
+    #: ``schema_version`` values a shipped template may declare (R7).
+    template_schema_versions: tuple[int, ...] = ()
 
     def contracts_by_class(self) -> dict[str, tuple[CacheContract, ...]]:
         table: dict[str, tuple[CacheContract, ...]] = {}
@@ -120,4 +128,7 @@ def default_config() -> LintConfig:
         accel_class="AccelFlags",
         accel_exempt=(),
         float_eq_helpers=("_quantized",),
+        template_dir="templates",
+        catalog_module="repro/scenarios/catalog.py",
+        template_schema_versions=(1,),
     )

@@ -8,5 +8,6 @@ from repro.analysis.rules import (  # noqa: F401
     determinism,
     float_equality,
     ordering,
+    template_parity,
     typing_discipline,
 )

@@ -1,0 +1,162 @@
+"""R7 — template parity: the template library mirrors the scenario catalog.
+
+The declarative front-end (:mod:`repro.scenarios.schema`) is only an
+equivalent surface while two invariants hold: every shipped template file
+declares a *supported* ``schema_version`` (an unversioned template cannot be
+migrated when the schema moves), and every catalog scenario has a template
+counterpart (a catalog entry merged without one silently re-grows the
+Python-only workload set the schema exists to eliminate).  This rule
+cross-references the ``CATALOG`` dict literal against the shipped
+``templates/`` directory and fails with the missing names listed.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from collections.abc import Iterable
+
+from repro.analysis.contracts import LintConfig
+from repro.analysis.framework import Finding, ProjectContext, Rule, register
+
+#: Template suffixes the library recognises (kept in sync with
+#: repro.scenarios.schema.library.TEMPLATE_SUFFIXES, duplicated here so the
+#: lint suite never imports the runtime package it checks).
+_TEMPLATE_SUFFIXES = (".yaml", ".yml", ".json")
+
+
+def _load_document(path: Path) -> object:
+    if path.suffix == ".json":
+        return json.loads(path.read_text(encoding="utf-8"))
+    import yaml
+
+    return yaml.safe_load(path.read_text(encoding="utf-8"))
+
+
+@register
+class TemplateParityRule(Rule):
+    rule_id = "R7"
+    name = "template-parity"
+    description = (
+        "Every template declares a supported schema_version and every "
+        "catalog scenario has a template counterpart."
+    )
+
+    def check_project(
+        self, project: ProjectContext, config: LintConfig
+    ) -> Iterable[Finding]:
+        if not config.template_dir or not config.catalog_module:
+            return []
+        catalog = project.find_module(config.catalog_module)
+        if catalog is None:
+            # Catalog outside the linted paths (e.g. single-file run).
+            return []
+        catalog_names, catalog_line = self._catalog_names(catalog.tree)
+        if not catalog_names:
+            return [
+                Finding(
+                    rule=self.rule_id,
+                    name=self.name,
+                    path=catalog.rel,
+                    line=1,
+                    column=1,
+                    message=(
+                        "CATALOG dict literal with string keys not found in "
+                        f"{catalog.rel}; template parity cannot be checked"
+                    ),
+                )
+            ]
+        template_dir = project.root / config.template_dir
+        if not template_dir.is_dir():
+            return [
+                Finding(
+                    rule=self.rule_id,
+                    name=self.name,
+                    path=catalog.rel,
+                    line=catalog_line,
+                    column=1,
+                    message=(
+                        f"template directory {config.template_dir!r} not found "
+                        f"under {project.root}; refusing to silently pass"
+                    ),
+                )
+            ]
+        findings: list[Finding] = []
+        template_names: set[str] = set()
+        for path in sorted(template_dir.iterdir()):
+            if path.suffix not in _TEMPLATE_SUFFIXES:
+                continue
+            rel = path.relative_to(project.root).as_posix()
+            try:
+                document = _load_document(path)
+            except Exception as error:  # malformed file: parity still checkable
+                findings.append(self._file_finding(rel, f"unreadable template: {error}"))
+                continue
+            if not isinstance(document, dict):
+                findings.append(self._file_finding(rel, "template document is not a mapping"))
+                continue
+            version = document.get("schema_version")
+            if version not in config.template_schema_versions:
+                findings.append(
+                    self._file_finding(
+                        rel,
+                        f"schema_version {version!r} is not supported "
+                        f"(supported: {list(config.template_schema_versions)})",
+                    )
+                )
+            name = document.get("name")
+            if isinstance(name, str):
+                template_names.add(name)
+        missing = sorted(catalog_names - template_names)
+        if missing:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    name=self.name,
+                    path=catalog.rel,
+                    line=catalog_line,
+                    column=1,
+                    message=(
+                        "catalog scenarios without a template counterpart "
+                        f"under {config.template_dir}/: {missing}"
+                    ),
+                )
+            )
+        return findings
+
+    def _file_finding(self, rel: str, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            name=self.name,
+            path=rel,
+            line=1,
+            column=1,
+            message=message,
+        )
+
+    @staticmethod
+    def _catalog_names(tree: ast.Module) -> tuple[set[str], int]:
+        """String keys of the module-level ``CATALOG`` dict literal."""
+        for node in ast.walk(tree):
+            target: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target = node.target
+                value = node.value
+            else:
+                continue
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "CATALOG"
+                and isinstance(value, ast.Dict)
+            ):
+                names = {
+                    key.value
+                    for key in value.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                }
+                return names, node.lineno
+        return set(), 1

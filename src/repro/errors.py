@@ -39,6 +39,18 @@ class AllocationError(ReproError):
     """The query mediator could not allocate a query to any provider."""
 
 
+class TemplateError(ConfigurationError):
+    """A declarative scenario template is malformed.
+
+    ``path`` locates the offending field inside the document with a
+    dotted/indexed path (e.g. ``tiers.large.rounds`` or ``campaign.events[2].round``).
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 

@@ -11,7 +11,12 @@ executed over ``--jobs`` worker processes with per-task seeds derived from
 ``--seed``, written as structured records to ``--out``/``--csv``.
 
 The ``robustness`` experiment sweeps the attack-scenario catalog by name,
-e.g. ``sweep robustness --grid scenario=collusion-ring,slander``.
+e.g. ``sweep robustness --grid scenario=collusion-ring,slander``, and the
+declarative template library by template name, e.g.
+``sweep robustness --grid template=marketplace --grid tier=small,medium``.
+
+``python -m repro.experiments scenario <list|validate|verify|run>`` manages
+the declarative scenario templates (see :mod:`repro.scenarios.schema.cli`).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.experiments.reporting import format_sweep_summary
 from repro.experiments.results import ExperimentRecord
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.sweep import run_sweep, spec_from_options
+from repro.scenarios.schema.cli import main as scenario_main
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,6 +222,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "scenario":
+        return scenario_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro._util import mean
+from repro.errors import ConfigurationError
 from repro.experiments.reporting import format_table
 from repro.scenarios.catalog import scenario_names
 from repro.scenarios.metrics import RobustnessMetrics
@@ -93,21 +94,52 @@ def run(
     preset: str | None = None,
     detect_threshold: float = 0.1,
     recovery_fraction: float = 0.8,
+    template: str | None = None,
+    tier: str | None = None,
 ) -> RobustnessResult:
     """Run the scenario × mechanism robustness matrix.
 
     ``scenarios`` defaults to the whole catalog.  The singular ``scenario``/
     ``mechanism`` parameters restrict the matrix to one row/column — they
     exist so sweep grids (which carry JSON scalars only) can sweep the
-    catalog by name.
+    catalog by name.  ``template``/``tier`` run one declarative scenario
+    template instead and take precedence over ``scenario(s)`` and the sizing
+    parameters (the template document supplies those; ``backend``,
+    ``detect_threshold`` and ``recovery_fraction`` still apply), so sweeps
+    can cover the template library the same way they cover the catalog.
     """
+    if mechanism is not None:
+        mechanisms = (mechanism,)
+    if template is not None:
+        # Local import: the schema package layers on top of this module.
+        from repro.scenarios.schema import compile_template, find_template
+
+        document = find_template(template)
+        outcomes: list[ScenarioOutcome] = []
+        for mechanism_name in mechanisms:
+            compiled = compile_template(
+                document, tier, mechanism=mechanism_name, backend=backend
+            )
+            config = compiled.config
+            config.detect_threshold = detect_threshold
+            config.recovery_fraction = recovery_fraction
+            result = run_scenario(config)
+            outcomes.append(
+                ScenarioOutcome(
+                    scenario=config.scenario,
+                    mechanism=mechanism_name,
+                    window=result.campaign.window,
+                    robustness=result.robustness,
+                )
+            )
+        return RobustnessResult(outcomes=outcomes)
+    if tier is not None:
+        raise ConfigurationError("tier only applies to template runs")
     if scenario is not None:
         scenarios = (scenario,)
     elif scenarios is None:
         scenarios = tuple(scenario_names())
-    if mechanism is not None:
-        mechanisms = (mechanism,)
-    outcomes: list[ScenarioOutcome] = []
+    outcomes = []
     for scenario_name in scenarios:
         for mechanism_name in mechanisms:
             result = run_scenario(

@@ -11,7 +11,9 @@ resistance (separation, rank correlation, time-to-detect, time-to-recover).
 * :mod:`repro.scenarios.catalog` — the named scenarios and their knobs;
 * :mod:`repro.scenarios.metrics` — the per-round trace and robustness
   metrics;
-* :mod:`repro.scenarios.runner` — one-call scenario execution.
+* :mod:`repro.scenarios.runner` — one-call scenario execution;
+* :mod:`repro.scenarios.schema` — the declarative template front-end
+  (versioned YAML/JSON scenario files compiling onto the same objects).
 """
 
 from repro.scenarios.campaign import (
@@ -26,14 +28,19 @@ from repro.scenarios.campaign import (
     combine,
 )
 from repro.scenarios.catalog import (
+    BUILTIN_SCENARIOS,
     CATALOG,
     SYBIL_PREFIX,
     ScenarioSpec,
     attack_window,
+    behavior_factory,
+    behavior_names,
     build_campaign,
     get_scenario,
+    register_scenario,
     scenario_names,
     setup_scenario_graph,
+    unregister_scenario,
 )
 from repro.scenarios.metrics import (
     NEVER,
@@ -50,6 +57,7 @@ from repro.scenarios.runner import (
 )
 
 __all__ = [
+    "BUILTIN_SCENARIOS",
     "CATALOG",
     "NEVER",
     "SYBIL_PREFIX",
@@ -68,12 +76,16 @@ __all__ = [
     "SwitchBehavior",
     "Whitewash",
     "attack_window",
+    "behavior_factory",
+    "behavior_names",
     "build_campaign",
     "combine",
     "evaluate_trace",
     "get_scenario",
+    "register_scenario",
     "reputation_for_graph",
     "run_scenario",
     "scenario_names",
     "setup_scenario_graph",
+    "unregister_scenario",
 ]

@@ -31,6 +31,20 @@ Scenarios
 ``collusion-under-churn``
     The collusion ring layered on a churn spike — detection under
     population instability.
+``marketplace``
+    Buyer/seller dynamics: a fraud ring of dishonest merchants grooms a
+    good reputation before ballot-stuffing each other, while a slice of
+    honest users free-rides (consumes without serving).
+``flash-crowd``
+    Load spike: a dormant crowd floods in at the window start while the
+    churn model surges return rates — a popularity event, not an attack.
+``regional-partition``
+    A random region of the network drops offline for the whole window
+    (link failure / geographic partition) and then returns.
+``long-horizon-drift``
+    Slow behavioural drift: the dishonest cohort oscillates with a
+    betrayal duty cycle that lengthens stage by stage until it defects
+    permanently — designed for very long (10k-round) horizons.
 """
 
 from __future__ import annotations
@@ -55,7 +69,9 @@ from repro.simulation.adversary import (
     BehaviorModel,
     CollusiveBehavior,
     GroomingBehavior,
+    HonestBehavior,
     MaliciousBehavior,
+    SelfishBehavior,
     SlanderBehavior,
     WhitewasherBehavior,
 )
@@ -99,6 +115,14 @@ def _whitewasher_factory(peer: Peer, group: Sequence[Peer], rng: random.Random) 
     return WhitewasherBehavior()
 
 
+def _honest_factory(peer: Peer, group: Sequence[Peer], rng: random.Random) -> BehaviorModel:
+    return HonestBehavior()
+
+
+def _selfish_factory(peer: Peer, group: Sequence[Peer], rng: random.Random) -> BehaviorModel:
+    return SelfishBehavior()
+
+
 def _collusive_factory(density: float) -> BehaviorFactory:
     """Ring factory: each member endorses a ``density`` share of the ring."""
 
@@ -122,6 +146,49 @@ def _slander_factory(ballot_stuffing: bool, slander_probability: float) -> Behav
         return SlanderBehavior(accomplices=accomplices, slander_probability=slander_probability)
 
     return factory
+
+
+#: Behaviour names the declarative scenario schema may reference, mapped to
+#: a factory-of-factories: ``builder(**args) -> BehaviorFactory``.  Simple
+#: behaviours take no arguments; parameterized ones expose exactly the knobs
+#: their underlying factory closes over.
+_BEHAVIOR_BUILDERS: dict[str, Callable[..., BehaviorFactory]] = {
+    "honest": lambda: _honest_factory,
+    "malicious": lambda: _malicious_factory,
+    "selfish": lambda: _selfish_factory,
+    "grooming": lambda: _grooming_factory,
+    "whitewasher": lambda: _whitewasher_factory,
+    "collusive": lambda density=1.0: _collusive_factory(density),
+    "slander": lambda ballot_stuffing=True, slander_probability=1.0: _slander_factory(
+        ballot_stuffing, slander_probability
+    ),
+}
+
+
+def behavior_names() -> list[str]:
+    """Behaviour names addressable from declarative scenario templates."""
+    return sorted(_BEHAVIOR_BUILDERS)
+
+
+def behavior_factory(name: str, **args: object) -> BehaviorFactory:
+    """The named behaviour factory, parameterized by ``args``.
+
+    The declarative scenario schema resolves template ``switch`` events
+    through this single entry point so template files can reference any
+    behaviour the catalog's own builders use.
+    """
+    try:
+        builder = _BEHAVIOR_BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown behavior {name!r}; available: {behavior_names()}"
+        ) from None
+    try:
+        return builder(**args)
+    except TypeError:
+        raise ConfigurationError(
+            f"behavior {name!r} does not accept arguments {sorted(args)}"
+        ) from None
 
 
 # -- campaign builders -----------------------------------------------------------
@@ -321,6 +388,160 @@ def collusion_under_churn(
     return campaign
 
 
+def marketplace(
+    *,
+    rounds: int,
+    fraud_fraction: float = 0.5,
+    freeride_fraction: float = 0.15,
+    density: float = 1.0,
+    lead_fraction: float = 0.25,
+    attack_fraction: float = 0.5,
+) -> AttackCampaign:
+    """Buyer/seller dynamics: a grooming fraud ring plus honest free-riders.
+
+    Dishonest merchants build a good track record first, then ballot-stuff
+    each other during the window (fake five-star reviews) and defect outright
+    afterwards.  Meanwhile a slice of the honest population free-rides from
+    round 0 — consuming service while rarely providing it — which is not an
+    attack but shapes the marketplace the mechanism must price.
+    """
+    start, end = attack_window(rounds, lead_fraction, attack_fraction)
+    events: list[CampaignEvent] = [
+        SelectGroup(0, "fraud-ring", PeerSelector(population="dishonest", fraction=fraud_fraction, minimum=2)),
+        SwitchBehavior(0, "fraud-ring", _grooming_factory),
+        SelectGroup(0, "free-riders", PeerSelector(population="honest", fraction=freeride_fraction)),
+        SwitchBehavior(0, "free-riders", _selfish_factory),
+        SwitchBehavior(start, "fraud-ring", _collusive_factory(density)),
+        SwitchBehavior(end, "fraud-ring", _malicious_factory),
+    ]
+    return AttackCampaign(
+        name="marketplace",
+        events=events,
+        window=(start, end),
+        description=(
+            f"fraud ring of {fraud_fraction:.0%} of dishonest sellers, "
+            f"{freeride_fraction:.0%} of honest users free-riding"
+        ),
+    )
+
+
+def flash_crowd(
+    *,
+    rounds: int,
+    crowd_fraction: float = 0.4,
+    surge_return_probability: float = 0.95,
+    surge_leave_probability: float = 0.02,
+    base_leave_probability: float = 0.05,
+    base_return_probability: float = 0.5,
+    lead_fraction: float = 0.3,
+    attack_fraction: float = 0.4,
+) -> AttackCampaign:
+    """Load spike: a dormant crowd floods in while churn surges.
+
+    No adversarial behaviour changes — the stressor is pure population
+    dynamics.  A ``crowd_fraction`` slice of all peers is held offline until
+    the window opens, then released at once while the churn model switches
+    to surge rates (high return, low leave); after the window the base churn
+    rates drain the crowd back out.
+    """
+    start, end = attack_window(rounds, lead_fraction, attack_fraction)
+    events: list[CampaignEvent] = [
+        SelectGroup(0, "crowd", PeerSelector(population="all", fraction=crowd_fraction)),
+        SetOnline(0, "crowd", online=False, pin=True),
+        SetOnline(start, "crowd", online=True),
+    ]
+    churn = PhasedChurnModel(
+        leave_probability=base_leave_probability,
+        return_probability=base_return_probability,
+        phases=[
+            ChurnPhase(
+                start,
+                end,
+                leave_probability=surge_leave_probability,
+                return_probability=surge_return_probability,
+            )
+        ],
+    )
+    return AttackCampaign(
+        name="flash-crowd",
+        events=events,
+        window=(start, end),
+        churn=churn,
+        description=f"{crowd_fraction:.0%} of peers flood in at round {start}",
+    )
+
+
+def regional_partition(
+    *,
+    rounds: int,
+    region_fraction: float = 0.3,
+    lead_fraction: float = 0.25,
+    attack_fraction: float = 0.4,
+) -> AttackCampaign:
+    """A random region drops offline for the window, then returns.
+
+    Models a link failure or geographic partition: the region's peers are
+    pinned offline for ``[start, end)``, so the mechanism must cope with the
+    evidence gap and re-integrate the region afterwards.
+    """
+    start, end = attack_window(rounds, lead_fraction, attack_fraction)
+    events: list[CampaignEvent] = [
+        SelectGroup(0, "region", PeerSelector(population="all", fraction=region_fraction)),
+        SetOnline(start, "region", online=False, pin=True),
+        SetOnline(end, "region", online=True),
+    ]
+    return AttackCampaign(
+        name="regional-partition",
+        events=events,
+        window=(start, end),
+        description=f"{region_fraction:.0%} of peers partitioned during [{start}, {end})",
+    )
+
+
+def long_horizon_drift(
+    *,
+    rounds: int,
+    fraction: float = 0.8,
+    n_stages: int = 5,
+    lead_fraction: float = 0.1,
+    attack_fraction: float = 0.8,
+) -> AttackCampaign:
+    """Slow behavioural drift toward permanent defection.
+
+    The window is cut into ``n_stages`` equal stages; in stage *k* the
+    drifting cohort betrays for ``(k+1)/n_stages`` of the stage and grooms
+    for the rest, so the betrayal duty cycle lengthens until — after the
+    window — the cohort defects for good.  Designed for very long horizons
+    (the large template tier runs it for 10k rounds), where mechanisms with
+    unbounded memory are slowest to track the drift.
+    """
+    if n_stages < 1:
+        raise ConfigurationError("n_stages must be at least 1")
+    start, end = attack_window(rounds, lead_fraction, attack_fraction)
+    events: list[CampaignEvent] = [
+        SelectGroup(0, "drifters", PeerSelector(population="dishonest", fraction=fraction)),
+        SwitchBehavior(0, "drifters", _grooming_factory),
+    ]
+    span = end - start
+    for stage in range(n_stages):
+        stage_start = start + (stage * span) // n_stages
+        stage_end = start + ((stage + 1) * span) // n_stages
+        if stage_end <= stage_start:
+            continue
+        betray_rounds = max(1, (stage_end - stage_start) * (stage + 1) // n_stages)
+        events.append(SwitchBehavior(stage_start, "drifters", _malicious_factory))
+        groom_from = stage_start + betray_rounds
+        if groom_from < stage_end:
+            events.append(SwitchBehavior(groom_from, "drifters", _grooming_factory))
+    events.append(SwitchBehavior(end, "drifters", _malicious_factory))
+    return AttackCampaign(
+        name="long-horizon-drift",
+        events=events,
+        window=(start, end),
+        description=f"betrayal duty cycle lengthening over {n_stages} stages",
+    )
+
+
 # -- graph setup (population-changing scenarios) ---------------------------------
 
 
@@ -472,7 +693,58 @@ CATALOG: dict[str, ScenarioSpec] = {
             "attack_fraction": 0.5,
         },
     ),
+    "marketplace": ScenarioSpec(
+        name="marketplace",
+        description="grooming fraud ring of sellers plus free-riding buyers",
+        build=marketplace,
+        knobs={
+            "fraud_fraction": 0.5,
+            "freeride_fraction": 0.15,
+            "density": 1.0,
+            "lead_fraction": 0.25,
+            "attack_fraction": 0.5,
+        },
+    ),
+    "flash-crowd": ScenarioSpec(
+        name="flash-crowd",
+        description="dormant crowd floods in under surging churn (load spike)",
+        build=flash_crowd,
+        knobs={
+            "crowd_fraction": 0.4,
+            "surge_return_probability": 0.95,
+            "surge_leave_probability": 0.02,
+            "base_leave_probability": 0.05,
+            "base_return_probability": 0.5,
+            "lead_fraction": 0.3,
+            "attack_fraction": 0.4,
+        },
+    ),
+    "regional-partition": ScenarioSpec(
+        name="regional-partition",
+        description="a random region drops offline for the window, then returns",
+        build=regional_partition,
+        knobs={
+            "region_fraction": 0.3,
+            "lead_fraction": 0.25,
+            "attack_fraction": 0.4,
+        },
+    ),
+    "long-horizon-drift": ScenarioSpec(
+        name="long-horizon-drift",
+        description="betrayal duty cycle lengthening toward permanent defection",
+        build=long_horizon_drift,
+        knobs={
+            "fraction": 0.8,
+            "n_stages": 5,
+            "lead_fraction": 0.1,
+            "attack_fraction": 0.8,
+        },
+    ),
 }
+
+#: Names shipped by the module itself; :func:`register_scenario` protects
+#: them from being shadowed by template-defined scenarios.
+BUILTIN_SCENARIOS = frozenset(CATALOG)
 
 
 def scenario_names() -> list[str]:
@@ -487,6 +759,36 @@ def get_scenario(name: str) -> ScenarioSpec:
         raise ConfigurationError(
             f"unknown scenario {name!r}; available: {sorted(CATALOG)}"
         ) from None
+
+
+def register_scenario(spec: ScenarioSpec, *, replace: bool = False) -> None:
+    """Add a scenario to the catalog at runtime (template-defined workloads).
+
+    Built-in names can never be shadowed.  Re-registering a non-builtin name
+    requires ``replace=True`` and purges the campaign memo for that name, so
+    a template edited between two ``scenario run`` calls in one process
+    cannot serve a stale campaign.
+    """
+    if spec.name in BUILTIN_SCENARIOS:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} is a built-in catalog entry and cannot be replaced"
+        )
+    if spec.name in CATALOG and not replace:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} is already registered (pass replace=True to update)"
+        )
+    for key in [key for key in _CAMPAIGN_CACHE if key[0] == spec.name]:
+        del _CAMPAIGN_CACHE[key]
+    CATALOG[spec.name] = spec
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a runtime-registered scenario (no-op for unknown names)."""
+    if name in BUILTIN_SCENARIOS:
+        raise ConfigurationError(f"scenario {name!r} is built-in and cannot be unregistered")
+    CATALOG.pop(name, None)
+    for key in [key for key in _CAMPAIGN_CACHE if key[0] == name]:
+        del _CAMPAIGN_CACHE[key]
 
 
 #: Memo of built campaigns keyed by (scenario, rounds, knobs).  Campaigns

@@ -1,0 +1,61 @@
+"""Declarative scenario schema: workloads as validated, versioned files.
+
+The catalog's scenarios are Python-constructed; this package is the
+zero-code on-ramp the ROADMAP asks for.  A *scenario template* is a YAML or
+JSON document with a ``schema_version``, parsed into a frozen dataclass
+model by a strict validator (unknown fields and wrong types are rejected
+with a precise error path), and compiled onto the existing execution
+objects — :class:`~repro.scenarios.runner.ScenarioRunConfig`,
+:class:`~repro.scenarios.campaign.AttackCampaign`,
+:class:`~repro.simulation.churn.PhasedChurnModel` — so a template run is
+byte-identical to the equivalent Python-constructed run.
+
+* :mod:`repro.scenarios.schema.model` — document model, strict parser,
+  serializer, version migration hook;
+* :mod:`repro.scenarios.schema.compile` — template → runnable config
+  (catalog references and fully declarative campaigns);
+* :mod:`repro.scenarios.schema.library` — the shipped ``templates/``
+  catalog, loading, and catalog⇄template equivalence verification;
+* :mod:`repro.scenarios.schema.cli` — ``scenario validate|verify|run|list``.
+"""
+
+from repro.scenarios.schema.compile import CompiledScenario, compile_template
+from repro.scenarios.schema.library import (
+    VerificationResult,
+    builtin_template_dir,
+    discover_templates,
+    find_template,
+    load_template,
+    template_record_json,
+    verify_template,
+)
+from repro.scenarios.schema.model import (
+    CURRENT_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    TIER_NAMES,
+    ScenarioTemplate,
+    migrate_document,
+    parse_template,
+    template_from_text,
+    template_to_dict,
+)
+
+__all__ = [
+    "CURRENT_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "TIER_NAMES",
+    "CompiledScenario",
+    "ScenarioTemplate",
+    "VerificationResult",
+    "builtin_template_dir",
+    "compile_template",
+    "discover_templates",
+    "find_template",
+    "load_template",
+    "template_record_json",
+    "migrate_document",
+    "parse_template",
+    "template_from_text",
+    "template_to_dict",
+    "verify_template",
+]

@@ -62,7 +62,7 @@ def test_no_paths_without_default_tree(
 def test_list_rules(capsys: pytest.CaptureFixture[str]) -> None:
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+    for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
         assert rule_id in out
 
 

@@ -1,0 +1,156 @@
+"""R7 (template parity): catalog ⇄ template cross-referencing.
+
+Miniature projects under ``tmp_path`` carry a fake catalog module and a
+template directory; the live-tree binding is covered by
+``test_live_tree.py`` staying clean.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from lint_helpers import rules_by_id
+from repro.analysis.contracts import LintConfig, default_config
+from repro.analysis.framework import run_lint
+
+CATALOG_SOURCE = (
+    "CATALOG = {\n"
+    "    'alpha': object(),\n"
+    "    'beta': object(),\n"
+    "}\n"
+)
+
+TEMPLATE = "schema_version: 1\nname: {name}\nscenario:\n  catalog: {name}\n"
+
+
+def _config() -> LintConfig:
+    return LintConfig(
+        template_dir="templates",
+        catalog_module="catalog.py",
+        template_schema_versions=(1,),
+    )
+
+
+def _project(tmp_path: Path, templates: dict[str, str]) -> Path:
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "catalog.py").write_text(CATALOG_SOURCE)
+    template_dir = tmp_path / "templates"
+    template_dir.mkdir()
+    for filename, body in templates.items():
+        (template_dir / filename).write_text(body)
+    return src
+
+
+def _lint(tmp_path: Path, src: Path, config: LintConfig | None = None):
+    return run_lint(
+        [src], config or _config(), rules=rules_by_id("R7"), root=tmp_path
+    )
+
+
+def test_full_parity_is_clean(tmp_path: Path) -> None:
+    src = _project(
+        tmp_path,
+        {
+            "alpha.yaml": TEMPLATE.format(name="alpha"),
+            "beta.yaml": TEMPLATE.format(name="beta"),
+        },
+    )
+    assert _lint(tmp_path, src).active == []
+
+
+def test_missing_template_lists_names(tmp_path: Path) -> None:
+    src = _project(tmp_path, {"alpha.yaml": TEMPLATE.format(name="alpha")})
+    findings = _lint(tmp_path, src).active
+    assert len(findings) == 1
+    assert "'beta'" in findings[0].message
+    assert findings[0].path.endswith("catalog.py")
+    assert findings[0].line == 1  # the CATALOG assignment line
+
+
+def test_unsupported_schema_version_is_reported(tmp_path: Path) -> None:
+    bad = "schema_version: 99\nname: alpha\nscenario:\n  catalog: alpha\n"
+    src = _project(
+        tmp_path,
+        {"alpha.yaml": bad, "beta.yaml": TEMPLATE.format(name="beta")},
+    )
+    findings = _lint(tmp_path, src).active
+    assert len(findings) == 1
+    assert "schema_version 99" in findings[0].message
+    assert findings[0].path == "templates/alpha.yaml"
+
+
+def test_missing_schema_version_is_reported(tmp_path: Path) -> None:
+    bad = "name: alpha\nscenario:\n  catalog: alpha\n"
+    src = _project(
+        tmp_path,
+        {"alpha.yaml": bad, "beta.yaml": TEMPLATE.format(name="beta")},
+    )
+    findings = _lint(tmp_path, src).active
+    assert len(findings) == 1
+    assert "schema_version None" in findings[0].message
+
+
+def test_unreadable_template_is_reported(tmp_path: Path) -> None:
+    src = _project(
+        tmp_path,
+        {
+            "alpha.json": "{not json",
+            "beta.yaml": TEMPLATE.format(name="beta"),
+        },
+    )
+    findings = _lint(tmp_path, src).active
+    messages = " | ".join(finding.message for finding in findings)
+    assert "unreadable template" in messages
+    assert "'alpha'" in messages  # alpha also counts as missing
+
+
+def test_non_mapping_template_is_reported(tmp_path: Path) -> None:
+    src = _project(
+        tmp_path,
+        {
+            "alpha.yaml": TEMPLATE.format(name="alpha"),
+            "beta.yaml": "- just\n- a\n- list\n",
+        },
+    )
+    findings = _lint(tmp_path, src).active
+    messages = " | ".join(finding.message for finding in findings)
+    assert "not a mapping" in messages
+
+
+def test_missing_template_dir_is_an_explicit_finding(tmp_path: Path) -> None:
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "catalog.py").write_text(CATALOG_SOURCE)
+    findings = _lint(tmp_path, src).active
+    assert len(findings) == 1
+    assert "refusing to silently pass" in findings[0].message
+
+
+def test_missing_catalog_dict_is_an_explicit_finding(tmp_path: Path) -> None:
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "catalog.py").write_text("CATALOG = build()\n")
+    (tmp_path / "templates").mkdir()
+    findings = _lint(tmp_path, src).active
+    assert len(findings) == 1
+    assert "cannot be checked" in findings[0].message
+
+
+def test_catalog_outside_linted_paths_is_silent(tmp_path: Path) -> None:
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "plain.py").write_text("x = 1\n")
+    assert _lint(tmp_path, src).active == []
+
+
+def test_disabled_without_configuration(tmp_path: Path) -> None:
+    src = _project(tmp_path, {})
+    assert _lint(tmp_path, src, LintConfig()).active == []
+
+
+def test_default_config_binds_live_tree() -> None:
+    config = default_config()
+    assert config.template_dir == "templates"
+    assert config.catalog_module == "repro/scenarios/catalog.py"
+    assert 1 in config.template_schema_versions

@@ -45,6 +45,10 @@ class TestCatalog:
             "slander",
             "sybil-burst",
             "collusion-under-churn",
+            "marketplace",
+            "flash-crowd",
+            "regional-partition",
+            "long-horizon-drift",
         ]
 
     def test_unknown_scenario_raises(self):
