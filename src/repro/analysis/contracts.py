@@ -72,6 +72,10 @@ class LintConfig:
     catalog_module: str = ""
     #: ``schema_version`` values a shipped template may declare (R7).
     template_schema_versions: tuple[int, ...] = ()
+    #: Function names recognised as structured-error-record emitters (R8): a
+    #: broad ``except Exception`` handler is disciplined if it re-raises or
+    #: calls one of these.
+    error_record_calls: tuple[str, ...] = ()
 
     def contracts_by_class(self) -> dict[str, tuple[CacheContract, ...]]:
         table: dict[str, tuple[CacheContract, ...]] = {}
@@ -131,4 +135,5 @@ def default_config() -> LintConfig:
         template_dir="templates",
         catalog_module="repro/scenarios/catalog.py",
         template_schema_versions=(1,),
+        error_record_calls=("task_failure_record", "finding", "_file_finding"),
     )

@@ -6,6 +6,7 @@ from repro.analysis.rules import (  # noqa: F401
     accel_purity,
     cache_discipline,
     determinism,
+    error_discipline,
     float_equality,
     ordering,
     template_parity,

@@ -1,0 +1,103 @@
+"""R8 — error discipline: broad ``except`` handlers must not swallow.
+
+A bare ``except:``, ``except Exception:`` or ``except BaseException:`` that
+neither re-raises nor records the failure turns a real defect into silence —
+the sweep keeps running, the record file looks complete, and the missing
+task is discovered weeks later (or never).  The repository's convention is
+that a broad handler is an *isolation boundary*: it may catch everything,
+but it must then either
+
+* re-raise (possibly a narrower, domain-specific error), or
+* emit a structured error record via one of the registered emitters
+  (``error_record_calls`` in the lint config — e.g.
+  ``task_failure_record``), or
+* carry a justified ``repro-lint: ignore[R8]`` suppression.
+
+Narrow handlers (``except ValueError``, ``except ReproError``) are outside
+the rule's scope — catching a specific exception is a deliberate decision
+the type already documents.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.contracts import LintConfig
+from repro.analysis.framework import Finding, ModuleContext, Rule, register
+
+#: Exception names whose handlers catch everything.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad_type(node: ast.expr | None) -> bool:
+    """Whether an ``except <node>`` clause catches all exceptions."""
+    if node is None:  # bare except:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in BROAD_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad_type(element) for element in node.elts)
+    return False
+
+
+def _call_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_disciplined(handler: ast.ExceptHandler, emitters: frozenset[str]) -> bool:
+    """Whether the handler body re-raises or emits a structured record."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call) and _call_name(node.func) in emitters:
+                return True
+    return False
+
+
+@register
+class ErrorDisciplineRule(Rule):
+    rule_id = "R8"
+    name = "error-discipline"
+    description = (
+        "A broad except handler must re-raise, emit a structured error "
+        "record, or carry a justified suppression."
+    )
+
+    def check_module(
+        self, module: ModuleContext, config: LintConfig
+    ) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        emitters = frozenset(config.error_record_calls)
+        try_types: tuple[type[ast.AST], ...] = (ast.Try,)
+        try_star = getattr(ast, "TryStar", None)  # 3.11+
+        if try_star is not None:
+            try_types = (ast.Try, try_star)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, try_types):
+                continue
+            for handler in node.handlers:  # type: ignore[attr-defined]
+                if not _is_broad_type(handler.type):
+                    continue
+                if _is_disciplined(handler, emitters):
+                    continue
+                caught = (
+                    ast.unparse(handler.type) if handler.type is not None else "<bare>"
+                )
+                findings.append(
+                    self.finding(
+                        module.rel,
+                        handler,
+                        f"broad except ({caught}) neither re-raises nor emits "
+                        "a structured error record; swallowing all exceptions "
+                        "hides real failures",
+                    )
+                )
+        return findings

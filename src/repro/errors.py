@@ -55,5 +55,32 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint file is unreadable, corrupt, or incompatible.
+
+    Raised for missing files, foreign formats, unsupported versions,
+    truncated payloads, SHA-256 mismatches and state/hook shape mismatches
+    on restore.  Deliberately *not* a :class:`ConfigurationError`: a bad
+    checkpoint is damaged state, not a bad parameter.
+    """
+
+
+class IntegrityError(ReproError):
+    """A record artifact failed its integrity verification.
+
+    Covers truncated or bit-flipped record files and journals detected by
+    the SHA-256 sidecar/per-line checksums (``verify-records``).
+    """
+
+
+class InjectedFault(ReproError):
+    """An exception raised on purpose by the fault-injection layer.
+
+    Only ever raised by :func:`repro.faults.fire` when an active
+    :class:`~repro.faults.FaultPlan` says so; seeing one outside a chaos
+    test means a plan leaked into the environment (``REPRO_FAULTS``).
+    """
+
+
 class ReputationError(ReproError):
     """A reputation mechanism was fed inconsistent evidence."""

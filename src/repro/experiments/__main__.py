@@ -17,6 +17,10 @@ declarative template library by template name, e.g.
 
 ``python -m repro.experiments scenario <list|validate|verify|run>`` manages
 the declarative scenario templates (see :mod:`repro.scenarios.schema.cli`).
+
+``python -m repro.experiments verify-records PATH...`` checks record
+artifacts for truncation or bit rot: JSON/CSV files against their SHA-256
+sidecars, sweep journals line by line.
 """
 
 from __future__ import annotations
@@ -28,11 +32,12 @@ import sys
 from typing import TextIO
 
 from repro import _profiling
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, IntegrityError
+from repro.experiments.journal import JOURNAL_MAGIC, verify_journal
 from repro.experiments.reporting import format_sweep_summary
-from repro.experiments.results import ExperimentRecord
+from repro.experiments.results import ExperimentRecord, verify_file_checksum
 from repro.experiments.runner import EXPERIMENTS, run_experiment
-from repro.experiments.sweep import run_sweep, spec_from_options
+from repro.experiments.sweep import RetryPolicy, run_sweep, spec_from_options
 from repro.scenarios.schema.cli import main as scenario_main
 
 
@@ -165,7 +170,89 @@ def build_sweep_parser() -> argparse.ArgumentParser:
             "of its quick preset"
         ),
     )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        help=(
+            "durable resume journal: completed records are fsynced here as "
+            "they finish; re-running with the same spec and journal skips "
+            "them (byte-identical output to a cold sweep)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run a failing task up to N extra times with backoff (default 0)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="initial retry backoff, doubling per attempt (default 0.05s)",
+    )
+    parser.add_argument(
+        "--retry-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget across attempts (default: none)",
+    )
     return parser
+
+
+def build_verify_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments verify-records",
+        description=(
+            "Verify the integrity of record artifacts: JSON/CSV files "
+            "against their SHA-256 sidecars, sweep journals line by line."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="record files (.json/.csv, checked against <file>.sha256) or sweep journals",
+    )
+    return parser
+
+
+def _verify_one(path: str) -> str | None:
+    """Check one artifact; returns an error message or ``None`` when intact."""
+    try:
+        with open(path, "rb") as handle:
+            first = handle.readline()
+    except OSError as error:
+        return f"cannot read file: {error}"
+    if first.startswith(b'{"campaign_sha256"') or JOURNAL_MAGIC.encode() in first:
+        try:
+            n_valid, n_invalid = verify_journal(path)
+        except IntegrityError as error:
+            return str(error)
+        if n_invalid:
+            return f"{n_invalid} corrupt/truncated journal lines ({n_valid} intact)"
+        return None
+    try:
+        verify_file_checksum(path)
+    except IntegrityError as error:
+        return str(error)
+    return None
+
+
+def verify_records_main(argv: list[str]) -> int:
+    parser = build_verify_parser()
+    args = parser.parse_args(argv)
+    failures = 0
+    for path in args.paths:
+        problem = _verify_one(path)
+        if problem is None:
+            print(f"{path}: ok")
+        else:
+            failures += 1
+            print(f"{path}: FAIL: {problem}")
+    return 1 if failures else 0
 
 
 def sweep_main(argv: list[str]) -> int:
@@ -195,9 +282,21 @@ def sweep_main(argv: list[str]) -> int:
                 handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
                 handle.flush()
 
+        retry = None
+        if args.retries or args.retry_deadline is not None:
+            retry = RetryPolicy(
+                max_attempts=args.retries + 1,
+                backoff_base=args.retry_backoff,
+                deadline=args.retry_deadline,
+            )
         try:
             result = run_sweep(
-                spec, jobs=args.jobs, chunksize=args.chunksize, on_record=on_record
+                spec,
+                jobs=args.jobs,
+                chunksize=args.chunksize,
+                on_record=on_record,
+                retry=retry,
+                journal=args.journal,
             )
         except ConfigurationError as exc:
             parser.error(str(exc))
@@ -207,6 +306,8 @@ def sweep_main(argv: list[str]) -> int:
         f"{len(result.records)} tasks in {result.wall_time:.2f}s "
         f"({result.tasks_per_second:.2f} tasks/s, jobs={result.jobs})"
     )
+    if result.n_resumed:
+        print(f"{result.n_resumed} tasks resumed from journal {args.journal}")
     if args.stream:
         print(f"records streamed to {args.stream}")
     if args.out:
@@ -215,7 +316,19 @@ def sweep_main(argv: list[str]) -> int:
     if args.csv:
         result.write_csv(args.csv)
         print(f"CSV written to {args.csv}")
-    return 1 if result.n_errors else 0
+    for record in result.failed_records:
+        failure = record.failure or {}
+        retries = failure.get("retries", 0)
+        print(
+            f"FAILED task {record.task_index} "
+            f"(params={json.dumps(record.params, sort_keys=True)}, "
+            f"retries={retries}): {record.error}",
+            file=sys.stderr,
+        )
+    if result.n_errors:
+        print(f"{result.n_errors} of {len(result.records)} tasks failed", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -224,6 +337,8 @@ def main(argv: list[str] | None = None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "scenario":
         return scenario_main(argv[1:])
+    if argv and argv[0] == "verify-records":
+        return verify_records_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

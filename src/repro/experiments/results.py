@@ -17,11 +17,15 @@ default for :mod:`json`), which is exact for IEEE doubles.
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 import json
 import math
+import os
 from dataclasses import dataclass, field
 from collections.abc import Sequence
+
+from repro.errors import IntegrityError
 
 #: Bumped whenever the serialized record layout changes shape.
 RECORD_SCHEMA_VERSION = 1
@@ -68,22 +72,34 @@ class ExperimentRecord:
     status: str  # "ok" or "error"
     metrics: dict[str, object] = field(default_factory=dict)
     error: str | None = None
+    #: Structured failure detail for error records: exception class, message,
+    #: formatted traceback and how many retries preceded the final failure.
+    #: ``None`` for ok records (and for pre-failure-audit error records).
+    failure: dict[str, object] | None = None
 
     def __post_init__(self) -> None:
         if self.status not in ("ok", "error"):
             raise ValueError(f"status must be 'ok' or 'error', got {self.status!r}")
+        if self.failure is not None and self.status != "error":
+            raise ValueError("failure detail is only valid on error records")
         # Store validated copies so later mutation of the caller's dicts
         # cannot reach into the frozen record.
         object.__setattr__(self, "params", _require_scalars(self.params, "param"))
         object.__setattr__(self, "metrics", _require_scalars(self.metrics, "metric"))
+        if self.failure is not None:
+            object.__setattr__(self, "failure", _require_scalars(self.failure, "failure"))
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
     def to_dict(self) -> dict[str, object]:
-        """A plain-dict view in canonical field order."""
-        return {
+        """A plain-dict view in canonical field order.
+
+        ``failure`` appears only when present, so ok records (and files
+        written before the failure audit existed) keep their exact bytes.
+        """
+        payload: dict[str, object] = {
             "experiment": self.experiment,
             "task_index": self.task_index,
             "params": dict(self.params),
@@ -92,9 +108,13 @@ class ExperimentRecord:
             "metrics": dict(self.metrics),
             "error": self.error,
         }
+        if self.failure is not None:
+            payload["failure"] = dict(self.failure)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> ExperimentRecord:
+        failure = payload.get("failure")
         return cls(
             experiment=payload["experiment"],
             task_index=payload["task_index"],
@@ -103,6 +123,7 @@ class ExperimentRecord:
             status=payload.get("status", "ok"),
             metrics=dict(payload.get("metrics", {})),
             error=payload.get("error"),
+            failure=None if failure is None else dict(failure),
         )
 
 
@@ -135,14 +156,69 @@ def campaign_from_json(text: str) -> dict[str, object]:
     return json.loads(text).get("campaign", {})
 
 
+def file_sha256(path: str) -> str:
+    """SHA-256 hex digest of a file's bytes (streamed, any size)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def checksum_sidecar_path(path: str) -> str:
+    """Where a record artifact's integrity sidecar lives."""
+    return f"{path}.sha256"
+
+
+def write_checksum_sidecar(path: str) -> str:
+    """Record a file's SHA-256 next to it, in ``sha256sum``-compatible form.
+
+    Returns the sidecar path.  The sidecar is what :func:`verify_file_checksum`
+    (and the ``verify-records`` CLI) checks artifacts against, and standard
+    tooling can too: ``cd <dir> && sha256sum -c <name>.sha256``.
+    """
+    sidecar = checksum_sidecar_path(path)
+    line = f"{file_sha256(path)}  {os.path.basename(path)}\n"
+    with open(sidecar, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(line)
+    return sidecar
+
+
+def verify_file_checksum(path: str) -> str:
+    """Check a file against its sidecar; returns the verified digest.
+
+    Raises :class:`~repro.errors.IntegrityError` when the sidecar is missing
+    or malformed, or when the file's bytes no longer hash to the recorded
+    digest (truncation, bit rot, partial write).
+    """
+    sidecar = checksum_sidecar_path(path)
+    try:
+        with open(sidecar, "r", encoding="utf-8") as handle:
+            content = handle.read()
+    except OSError as error:
+        raise IntegrityError(f"{path}: missing checksum sidecar {sidecar}") from error
+    recorded = content.split(None, 1)[0] if content.strip() else ""
+    if len(recorded) != 64 or any(c not in "0123456789abcdef" for c in recorded):
+        raise IntegrityError(f"{sidecar}: malformed checksum sidecar")
+    actual = file_sha256(path)
+    if actual != recorded:
+        raise IntegrityError(
+            f"{path}: SHA-256 mismatch (file {actual}, sidecar records {recorded})"
+        )
+    return actual
+
+
 def write_records_json(
     path: str,
     records: Sequence[ExperimentRecord],
     *,
     campaign: dict[str, object] | None = None,
+    checksum: bool = False,
 ) -> None:
     with open(path, "w", encoding="utf-8", newline="\n") as handle:
         handle.write(records_to_json(records, campaign=campaign))
+    if checksum:
+        write_checksum_sidecar(path)
 
 
 def read_records_json(path: str) -> list[ExperimentRecord]:
@@ -187,6 +263,10 @@ def records_to_csv(records: Sequence[ExperimentRecord]) -> str:
     return buffer.getvalue()
 
 
-def write_records_csv(path: str, records: Sequence[ExperimentRecord]) -> None:
+def write_records_csv(
+    path: str, records: Sequence[ExperimentRecord], *, checksum: bool = False
+) -> None:
     with open(path, "w", encoding="utf-8", newline="\n") as handle:
         handle.write(records_to_csv(records))
+    if checksum:
+        write_checksum_sidecar(path)

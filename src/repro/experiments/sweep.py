@@ -42,13 +42,17 @@ import itertools
 import json
 import math
 import random
-from dataclasses import dataclass, field
+import time
+import traceback
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from collections.abc import Callable, Sequence
 
-from repro import _profiling
+from repro import _profiling, faults
 from repro.core import accel
 from repro.core.backend import resolve_backend
 from repro.errors import ConfigurationError
+from repro.experiments.journal import SweepJournal
 from repro.experiments.results import (
     SCALAR_TYPES,
     ExperimentRecord,
@@ -257,10 +261,74 @@ def expand_tasks(spec: SweepSpec) -> list[SweepTask]:
     ]
 
 
-def execute_task(task: SweepTask) -> ExperimentRecord:
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-task retry behaviour for transient failures.
+
+    The default — a single attempt, no backoff — reproduces the historical
+    capture-and-record behaviour exactly.  With ``max_attempts > 1`` a task
+    that raises is re-executed after an exponential backoff pause; only
+    when the attempts (or the optional wall-clock ``deadline``, in seconds,
+    measured across the task's attempts) are exhausted does it become an
+    error record.  Retries never change a record's bytes: a task either
+    eventually returns its deterministic ok record, or fails with the
+    *final* attempt's failure detail.  Deadline truncation is the one
+    wall-clock-dependent part — campaigns that must be byte-reproducible
+    under failure leave ``deadline`` unset.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff durations must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be at least 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError("deadline must be positive")
+
+    def backoff(self, attempt: int) -> float:
+        """Pause before re-running after the ``attempt``-th failure (1-based)."""
+        return min(self.backoff_max, self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+
+def task_failure_record(
+    task: SweepTask, used_seed: int | None, exc: BaseException, *, retries: int
+) -> ExperimentRecord:
+    """Structured error record for a task that exhausted its attempts.
+
+    Beyond the one-line ``error`` summary, the ``failure`` block carries the
+    exception class, message, full formatted traceback and the retry count —
+    enough to diagnose a failed point without re-running the campaign.
+    """
+    return ExperimentRecord(
+        experiment=task.experiment,
+        task_index=task.index,
+        params=task.params,
+        seed=used_seed,
+        status="error",
+        metrics={},
+        error=f"{type(exc).__name__}: {exc}",
+        failure={
+            "exception": type(exc).__name__,
+            "message": str(exc),
+            "traceback": "".join(traceback.format_exception(exc)),
+            "retries": retries,
+        },
+    )
+
+
+def execute_task(task: SweepTask, retry: RetryPolicy | None = None) -> ExperimentRecord:
     """Run one task to a record; failures become ``status="error"`` records
     so a single bad point never sinks a campaign.  Top-level so it pickles
     for the process pool."""
+    policy = retry or RetryPolicy()
     entry = get_experiment(task.experiment)
     # An explicitly swept seed wins over the derived task seed (the user
     # asked for that exact value); otherwise the derived seed applies when
@@ -270,32 +338,49 @@ def execute_task(task: SweepTask) -> ExperimentRecord:
     if seed is None:
         seed = task.seed
     used_seed: int | None = seed if entry.accepts("seed") else None
-    try:
-        metrics = run_experiment_structured(
-            task.experiment,
-            quick=task.quick_base,
-            seed=seed,
-            backend=task.backend,
-            **params,
-        )
-        return ExperimentRecord(
-            experiment=task.experiment,
-            task_index=task.index,
-            params=task.params,
-            seed=used_seed,
-            status="ok",
-            metrics=metrics,
-        )
-    except Exception as exc:  # noqa: BLE001 - campaign isolation boundary
-        return ExperimentRecord(
-            experiment=task.experiment,
-            task_index=task.index,
-            params=task.params,
-            seed=used_seed,
-            status="error",
-            metrics={},
-            error=f"{type(exc).__name__}: {exc}",
-        )
+    started = _profiling.clock()
+    for attempt in range(1, policy.max_attempts + 1):
+        run_task = task
+        try:
+            # Inside the try: an injected "raise" at this site is exactly a
+            # transient task failure, so it flows through the retry policy
+            # like any real exception would.
+            action = faults.fire(
+                "sweep.task",
+                experiment=task.experiment,
+                task_index=task.index,
+                attempt=attempt,
+            )
+            if action == "degrade":
+                # Simulated accelerator loss: the point must still produce
+                # its exact record on the pure-Python backend (backend
+                # independence is the determinism contract, so degradation
+                # is invisible in the output).
+                run_task = replace(task, backend="python")
+            metrics = run_experiment_structured(
+                run_task.experiment,
+                quick=run_task.quick_base,
+                seed=seed,
+                backend=run_task.backend,
+                **params,
+            )
+            return ExperimentRecord(
+                experiment=task.experiment,
+                task_index=task.index,
+                params=task.params,
+                seed=used_seed,
+                status="ok",
+                metrics=metrics,
+            )
+        except Exception as exc:  # noqa: BLE001 - campaign isolation boundary
+            out_of_time = (
+                policy.deadline is not None
+                and _profiling.clock() - started >= policy.deadline
+            )
+            if attempt >= policy.max_attempts or out_of_time:
+                return task_failure_record(task, used_seed, exc, retries=attempt - 1)
+            time.sleep(policy.backoff(attempt))
+    raise AssertionError("unreachable: the attempt loop always returns")
 
 
 def _worker_init() -> None:
@@ -307,16 +392,22 @@ def _worker_init() -> None:
     The cache is a pure-function memo, so records are unchanged; an
     explicit environment opt-out (``REPRO_ACCEL=no-run-cache`` or ``off``,
     inherited through the fork/environment) is honoured.
+
+    Fault-plan firing counters are per-process state: a freshly forked
+    worker starts from zero rather than inheriting its parent's counts.
     """
     if not accel.env_disabled("run_cache"):
         accel.set_flags(run_cache=True)
+    faults.reset_worker_state()
 
 
-def _execute_chunk(tasks: list[SweepTask]) -> list[ExperimentRecord]:
+def _execute_chunk(
+    tasks: list[SweepTask], retry: RetryPolicy | None = None
+) -> list[ExperimentRecord]:
     """Run one contiguous chunk of tasks in a worker; top-level so it
     pickles.  One submission per chunk instead of per task keeps IPC and
     future bookkeeping off the per-task critical path."""
-    return [execute_task(task) for task in tasks]
+    return [execute_task(task, retry) for task in tasks]
 
 
 #: Record-streaming callback: called with each record in task-index order.
@@ -333,13 +424,20 @@ class SweepExecutor:
     scenario run cache enabled (see :func:`_worker_init`).
     """
 
-    def __init__(self, jobs: int, *, chunksize: int | None = None) -> None:
+    def __init__(
+        self, jobs: int, *, chunksize: int | None = None, max_pool_rebuilds: int = 2
+    ) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be at least 1")
         if chunksize is not None and chunksize < 1:
             raise ConfigurationError("chunksize must be at least 1")
+        if max_pool_rebuilds < 0:
+            raise ConfigurationError("max_pool_rebuilds must be non-negative")
         self.jobs = jobs
         self.chunksize = chunksize
+        #: How many times one :meth:`map_records` call may replace a broken
+        #: pool (a worker died mid-chunk) before giving up and re-raising.
+        self.max_pool_rebuilds = max_pool_rebuilds
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
@@ -358,34 +456,66 @@ class SweepExecutor:
         return max(1, math.ceil(n_tasks / (self.jobs * 4)))
 
     def map_records(
-        self, tasks: Sequence[SweepTask], *, on_record: RecordCallback | None = None
+        self,
+        tasks: Sequence[SweepTask],
+        *,
+        on_record: RecordCallback | None = None,
+        retry: RetryPolicy | None = None,
     ) -> list[ExperimentRecord]:
         """Execute tasks on the pool; stream records in task order.
 
         ``on_record`` (when given) is invoked for every record as soon as
         the ordered prefix up to it has completed — long campaigns surface
         results (and can persist them) while later chunks still run.
+
+        A worker death (``SIGKILL``, OOM, hard crash) breaks the whole
+        ``ProcessPoolExecutor``; this method recovers by discarding the
+        broken pool and re-running every not-yet-delivered chunk on a fresh
+        one — at most :attr:`max_pool_rebuilds` times per call.  Chunks are
+        pure functions of their tasks, so a re-run reproduces exactly the
+        records the lost workers would have produced, and a chunk is only
+        ever streamed once.
         """
         if not tasks:
             return []
         chunksize = self._effective_chunksize(len(tasks))
-        pool = self._ensure_pool()
         chunks = [
             list(tasks[start : start + chunksize])
             for start in range(0, len(tasks), chunksize)
         ]
-        futures = {pool.submit(_execute_chunk, chunk): index for index, chunk in enumerate(chunks)}
+        pending: dict[int, list[SweepTask]] = dict(enumerate(chunks))
         finished: dict[int, list[ExperimentRecord]] = {}
         next_chunk = 0
         ordered: list[ExperimentRecord] = []
-        for future in concurrent.futures.as_completed(futures):
-            finished[futures[future]] = future.result()
-            while next_chunk in finished:
-                for record in finished.pop(next_chunk):
-                    ordered.append(record)
-                    if on_record is not None:
-                        on_record(record)
-                next_chunk += 1
+        rebuilds = 0
+        while pending:
+            pool = self._ensure_pool()
+            futures = {
+                pool.submit(_execute_chunk, chunk, retry): index
+                for index, chunk in sorted(pending.items())
+            }
+            broken: BrokenProcessPool | None = None
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                try:
+                    finished[index] = future.result()
+                except BrokenProcessPool as error:
+                    # Results completed but not yet consumed are lost with
+                    # the pool; their chunks simply stay pending.
+                    broken = error
+                    break
+                pending.pop(index)
+                while next_chunk in finished:
+                    for record in finished.pop(next_chunk):
+                        ordered.append(record)
+                        if on_record is not None:
+                            on_record(record)
+                    next_chunk += 1
+            if broken is not None:
+                self.shutdown()
+                rebuilds += 1
+                if rebuilds > self.max_pool_rebuilds:
+                    raise broken
         return ordered
 
     def shutdown(self) -> None:
@@ -409,6 +539,9 @@ class SweepResult:
     records: list[ExperimentRecord]
     jobs: int
     wall_time: float
+    #: Tasks skipped because an intact journal line already carried their
+    #: record (0 for non-journaled sweeps).  Telemetry, like ``jobs``.
+    n_resumed: int = 0
 
     @property
     def n_ok(self) -> int:
@@ -419,17 +552,28 @@ class SweepResult:
         return len(self.records) - self.n_ok
 
     @property
+    def failed_records(self) -> list[ExperimentRecord]:
+        return [record for record in self.records if not record.ok]
+
+    @property
     def tasks_per_second(self) -> float:
         if self.wall_time <= 0:
             return float("inf")
         return len(self.records) / self.wall_time
 
-    def write_json(self, path: str) -> None:
-        """Serialize records + campaign header; deterministic by contract."""
-        write_records_json(path, self.records, campaign=self.spec.campaign_metadata())
+    def write_json(self, path: str, *, checksum: bool = True) -> None:
+        """Serialize records + campaign header; deterministic by contract.
 
-    def write_csv(self, path: str) -> None:
-        write_records_csv(path, self.records)
+        By default an SHA-256 sidecar (``<path>.sha256``) rides along so
+        ``verify-records`` and the journal-resume tooling can detect
+        truncation or bit rot later.
+        """
+        write_records_json(
+            path, self.records, campaign=self.spec.campaign_metadata(), checksum=checksum
+        )
+
+    def write_csv(self, path: str, *, checksum: bool = True) -> None:
+        write_records_csv(path, self.records, checksum=checksum)
 
 
 def run_sweep(
@@ -439,6 +583,8 @@ def run_sweep(
     chunksize: int | None = None,
     executor: SweepExecutor | None = None,
     on_record: RecordCallback | None = None,
+    retry: RetryPolicy | None = None,
+    journal: str | None = None,
 ) -> SweepResult:
     """Execute every task of the campaign and collect ordered records.
 
@@ -448,42 +594,78 @@ def run_sweep(
     then apply).  ``on_record`` streams records in task order as they
     complete.  Records are always returned sorted by task index and are
     byte-identical regardless of worker count, chunking or streaming.
+
+    ``retry`` applies a :class:`RetryPolicy` to every task.  ``journal``
+    names a durable :class:`~repro.experiments.journal.SweepJournal` file:
+    every completed record is appended (and fsynced) as it streams, and an
+    interrupted campaign re-run with the same spec and journal path skips
+    the intact journaled tasks, executes only the missing or corrupt ones,
+    and still returns the full record list — byte-identical to a cold
+    sweep.  ``on_record`` fires only for newly executed tasks, immediately
+    after their journal line is durable.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
     tasks = expand_tasks(spec)
     start = _profiling.clock()
-    if executor is not None:
-        records = executor.map_records(tasks, on_record=on_record)
-        effective_jobs = executor.jobs
-    elif jobs == 1 or len(tasks) <= 1:
-        # Inline execution keeps the run cache on too: identical records
-        # (the cache memoizes a pure function), faster threshold-style
-        # sweeps, no pool to manage.  The memo is dropped afterwards so a
-        # one-shot sweep does not pin simulation products in the caller's
-        # process for its lifetime (worker processes keep theirs by
-        # design — they exist to stay warm).
-        from repro.scenarios.runner import clear_run_cache
+    resumed: dict[int, ExperimentRecord] = {}
+    journal_handle: SweepJournal | None = None
+    if journal is not None:
+        journal_handle, resumed, _ = SweepJournal.open(journal, spec.campaign_metadata())
+        tasks = [task for task in tasks if task.index not in resumed]
+    emit: RecordCallback | None = on_record
+    if journal_handle is not None:
+        appender = journal_handle
 
-        use_cache = not accel.env_disabled("run_cache")
-        try:
-            with accel.override(run_cache=use_cache):
-                records = []
-                for task in tasks:
-                    record = execute_task(task)
-                    records.append(record)
-                    if on_record is not None:
-                        on_record(record)
-        finally:
-            clear_run_cache()
-        effective_jobs = 1
-    else:
-        with SweepExecutor(min(jobs, len(tasks)), chunksize=chunksize) as owned:
-            records = owned.map_records(tasks, on_record=on_record)
-        effective_jobs = jobs
+        def journal_emit(record: ExperimentRecord) -> None:
+            appender.append(record)
+            if on_record is not None:
+                on_record(record)
+
+        emit = journal_emit
+
+    try:
+        if executor is not None:
+            records = executor.map_records(tasks, on_record=emit, retry=retry)
+            effective_jobs = executor.jobs
+        elif jobs == 1 or len(tasks) <= 1:
+            # Inline execution keeps the run cache on too: identical records
+            # (the cache memoizes a pure function), faster threshold-style
+            # sweeps, no pool to manage.  The memo is dropped afterwards so a
+            # one-shot sweep does not pin simulation products in the caller's
+            # process for its lifetime (worker processes keep theirs by
+            # design — they exist to stay warm).
+            from repro.scenarios.runner import clear_run_cache
+
+            use_cache = not accel.env_disabled("run_cache")
+            try:
+                with accel.override(run_cache=use_cache):
+                    records = []
+                    for task in tasks:
+                        record = execute_task(task, retry)
+                        records.append(record)
+                        if emit is not None:
+                            emit(record)
+            finally:
+                clear_run_cache()
+            effective_jobs = 1
+        else:
+            with SweepExecutor(min(jobs, len(tasks)), chunksize=chunksize) as owned:
+                records = owned.map_records(tasks, on_record=emit, retry=retry)
+            effective_jobs = jobs
+    finally:
+        if journal_handle is not None:
+            journal_handle.close()
+    records.extend(resumed.values())
     records.sort(key=lambda record: record.task_index)
     wall_time = _profiling.clock() - start
-    return SweepResult(spec=spec, records=records, jobs=effective_jobs, wall_time=wall_time)
+    return SweepResult(
+        spec=spec,
+        records=records,
+        jobs=effective_jobs,
+        wall_time=wall_time,
+        n_resumed=len(resumed),
+    )
 
 
 # -- CLI-facing parsing helpers -------------------------------------------------

@@ -26,7 +26,7 @@ import random
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.simulation.adversary import BehaviorModel, WhitewasherBehavior
 from repro.simulation.churn import ChurnModel
 from repro.simulation.engine import InteractionSimulator
@@ -300,3 +300,41 @@ class CampaignDriver:
         self, simulator: InteractionSimulator, round_index: int, scores: dict[str, float]
     ) -> None:
         """Campaigns act at round starts; nothing to do at round end."""
+
+    # -- checkpoint protocol ------------------------------------------------
+
+    def checkpoint_state(self) -> dict[str, object]:
+        """Picklable cursor state: sticky group selections + offline pins.
+
+        Peers are referenced by stable base id — the campaign itself (with
+        its closures) is configuration and gets rebuilt on resume, so only
+        the runtime decisions travel through the checkpoint.
+        """
+        return {
+            "groups": {
+                name: [peer.base_id for peer in members]
+                for name, members in self.groups.items()
+            },
+            "pinned_offline": sorted(self.pinned_offline),
+        }
+
+    def restore_checkpoint_state(
+        self, state: dict[str, object], simulator: InteractionSimulator
+    ) -> None:
+        """Re-resolve checkpointed group selections against the restored
+        directory (same peers, same base ids)."""
+        by_base_id = {peer.base_id: peer for peer in simulator.directory.peers()}
+        groups = state.get("groups", {})
+        pinned = state.get("pinned_offline", [])
+        if not isinstance(groups, dict) or not isinstance(pinned, list):
+            raise CheckpointError("malformed campaign-driver checkpoint state")
+        try:
+            self.groups = {
+                str(name): [by_base_id[base_id] for base_id in base_ids]
+                for name, base_ids in groups.items()
+            }
+        except KeyError as missing:
+            raise CheckpointError(
+                f"campaign checkpoint references unknown peer {missing.args[0]!r}"
+            ) from missing
+        self.pinned_offline = {str(base_id) for base_id in pinned}

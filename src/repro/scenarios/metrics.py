@@ -23,9 +23,10 @@ records are byte-identical across compute backends and worker counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import cast
 
 from repro._util import mean
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.reputation.accuracy import score_separation, spearman_rank_correlation
 from repro.simulation.engine import InteractionSimulator
 
@@ -149,6 +150,34 @@ class ScenarioTrace:
 
     def separation_series(self) -> list[float]:
         return [observation.separation for observation in self.observations]
+
+    # -- checkpoint protocol ------------------------------------------------
+
+    def checkpoint_state(self) -> dict[str, object]:
+        """Everything the trace accumulated (observations are frozen and
+        picklable; the lazy-correlation inputs are plain dicts)."""
+        return {
+            "observations": list(self.observations),
+            "correlation_mode": self._correlation_mode,
+            "final_inputs": self._final_inputs,
+            "final_correlation": self._final_correlation,
+        }
+
+    def restore_checkpoint_state(
+        self, state: dict[str, object], simulator: InteractionSimulator
+    ) -> None:
+        observations = state.get("observations")
+        mode = state.get("correlation_mode")
+        if not isinstance(observations, list) or mode not in ("final", "all"):
+            raise CheckpointError("malformed scenario-trace checkpoint state")
+        self.observations = observations
+        self._correlation_mode = mode
+        self._final_inputs = cast(
+            "tuple[dict[str, float], dict[str, float]] | None", state.get("final_inputs")
+        )
+        self._final_correlation = cast(
+            "tuple[int, float] | None", state.get("final_correlation")
+        )
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from repro import _profiling
 from repro.core import accel
 from repro.core.backend import resolve_backend
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.reputation import make_reputation_system
 from repro.reputation.anonymous import AnonymousFeedbackReputation
 from repro.reputation.base import ReputationSystem
@@ -40,6 +40,13 @@ from repro.scenarios.campaign import AttackCampaign, CampaignDriver
 from repro.scenarios.catalog import build_campaign, get_scenario
 from repro.scenarios.metrics import RobustnessMetrics, ScenarioTrace, evaluate_trace
 from repro.scenarios.setup import scenario_setup
+from repro.simulation.checkpoint import (
+    SimulatorState,
+    capture_state,
+    read_checkpoint,
+    restore_simulator,
+    write_checkpoint,
+)
 from repro.simulation.engine import (
     InteractionSimulator,
     SimulationConfig,
@@ -182,7 +189,98 @@ def _evaluate(config: ScenarioRunConfig, base: ScenarioRunResult) -> ScenarioRun
     )
 
 
-def run_scenario(config: ScenarioRunConfig | None = None, **overrides: object) -> ScenarioRunResult:
+@dataclass
+class ScenarioCheckpoint:
+    """What a scenario-run checkpoint file carries.
+
+    The run config travels with the simulator state so resume can rebuild
+    the unpicklable configuration layer (campaign closures, trace hooks)
+    from the catalog before rehydrating hook cursors out of ``state``.
+    """
+
+    config: ScenarioRunConfig
+    state: SimulatorState
+
+
+def _save_scenario_checkpoint(
+    path: str, config: ScenarioRunConfig, simulator: InteractionSimulator
+) -> None:
+    state = capture_state(simulator)
+    write_checkpoint(
+        path,
+        "scenario",
+        ScenarioCheckpoint(config=config, state=state),
+        round_index=state.next_round,
+    )
+
+
+def _run_segments(
+    simulator: InteractionSimulator,
+    config: ScenarioRunConfig,
+    checkpoint_every: int | None,
+    checkpoint_path: str | None,
+) -> None:
+    """Run the remaining rounds, checkpointing at segment boundaries.
+
+    Segmentation changes nothing about the trajectory (see
+    :meth:`InteractionSimulator.run_until`); each completed segment
+    atomically replaces the checkpoint file, so a crash at any instant
+    loses at most ``checkpoint_every`` rounds of work.
+    """
+    if checkpoint_every is None:
+        simulator.run_until(config.rounds)
+        return
+    assert checkpoint_path is not None  # enforced by _check_checkpoint_args
+    while simulator.completed_rounds < config.rounds:
+        target = min(config.rounds, simulator.completed_rounds + checkpoint_every)
+        simulator.run_until(target)
+        _save_scenario_checkpoint(checkpoint_path, config, simulator)
+
+
+def _check_checkpoint_args(checkpoint_every: int | None, checkpoint_path: str | None) -> None:
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ConfigurationError("checkpoint_every must be at least 1")
+    if checkpoint_every is not None and checkpoint_path is None:
+        raise ConfigurationError("checkpoint_every needs a checkpoint_path to write to")
+
+
+def _collect_result(
+    config: ScenarioRunConfig,
+    campaign: AttackCampaign,
+    simulator: InteractionSimulator,
+    trace: ScenarioTrace,
+) -> ScenarioRunResult:
+    """Condense a finished simulator into the run result (metrics layer)."""
+    simulation = simulator.result()
+    robustness = evaluate_trace(
+        trace.observations,
+        campaign.window,
+        detect_threshold=config.detect_threshold,
+        recovery_fraction=config.recovery_fraction,
+        final_rank_correlation=trace.final_rank_correlation(),
+    )
+    reputation = simulator.reputation
+    final_scores = (
+        reputation.scores() if isinstance(reputation, ReputationSystem) else {}
+    )
+    return ScenarioRunResult(
+        config=config,
+        campaign=campaign,
+        graph=simulator.graph,
+        simulation=simulation,
+        trace=trace,
+        robustness=robustness,
+        final_scores=final_scores,
+    )
+
+
+def run_scenario(
+    config: ScenarioRunConfig | None = None,
+    *,
+    checkpoint_every: int | None = None,
+    checkpoint_path: str | None = None,
+    **overrides: object,
+) -> ScenarioRunResult:
     """Run one catalog scenario against one mechanism.
 
     Keyword overrides build a :class:`ScenarioRunConfig` when none is given.
@@ -190,13 +288,24 @@ def run_scenario(config: ScenarioRunConfig | None = None, **overrides: object) -
     robustness numbers come from the mechanism's quantized published scores,
     so results are byte-stable across compute backends, worker processes
     and every acceleration flag.
+
+    With ``checkpoint_every=N`` the run snapshots its full state to
+    ``checkpoint_path`` every N rounds (atomic replace, newest wins);
+    :func:`resume_scenario` picks such a file up after a crash and finishes
+    the run byte-identically.  Checkpointed runs bypass the run cache: a
+    cache hit would skip the simulation and therefore write no checkpoints.
     """
     if config is None:
         config = ScenarioRunConfig(**overrides)
     elif overrides:
         raise ConfigurationError("pass either a config object or keyword overrides")
+    _check_checkpoint_args(checkpoint_every, checkpoint_path)
 
-    run_key = config.simulation_key() if accel.flags().run_cache else None
+    run_key = (
+        config.simulation_key()
+        if accel.flags().run_cache and checkpoint_every is None
+        else None
+    )
     if run_key is not None:
         cached = _RUN_CACHE.get(run_key)
         if cached is not None:
@@ -231,27 +340,48 @@ def run_scenario(config: ScenarioRunConfig | None = None, **overrides: object) -
             directory_plan=setup.plan,
         )
     with _profiling.phase("simulate"):
-        simulation = simulator.run()
+        _run_segments(simulator, config, checkpoint_every, checkpoint_path)
     with _profiling.phase("metrics"):
-        robustness = evaluate_trace(
-            trace.observations,
-            campaign.window,
-            detect_threshold=config.detect_threshold,
-            recovery_fraction=config.recovery_fraction,
-            final_rank_correlation=trace.final_rank_correlation(),
-        )
-        final_scores = reputation.scores() if reputation is not None else {}
-    result = ScenarioRunResult(
-        config=config,
-        campaign=campaign,
-        graph=graph,
-        simulation=simulation,
-        trace=trace,
-        robustness=robustness,
-        final_scores=final_scores,
-    )
+        result = _collect_result(config, campaign, simulator, trace)
     if run_key is not None:
         _RUN_CACHE[run_key] = result
         while len(_RUN_CACHE) > _RUN_CACHE_SIZE:
             _RUN_CACHE.popitem(last=False)
     return result
+
+
+def resume_scenario(
+    path: str,
+    *,
+    checkpoint_every: int | None = None,
+    checkpoint_path: str | None = None,
+) -> ScenarioRunResult:
+    """Finish a checkpointed scenario run and return its full result.
+
+    Reads a checkpoint written by ``run_scenario(..., checkpoint_every=N)``,
+    rebuilds the configuration layer (campaign, hooks) from the catalog,
+    rehydrates every piece of runtime state and runs the remaining rounds.
+    The returned result — and any record derived from it — is byte-identical
+    to the uninterrupted run's.
+
+    ``checkpoint_every`` keeps checkpointing during the resumed portion
+    (to ``checkpoint_path``, defaulting to the source file), so a resumed
+    run that crashes again stays resumable.
+    """
+    _, payload = read_checkpoint(path, expected_kind="scenario")
+    if not isinstance(payload, ScenarioCheckpoint):
+        raise CheckpointError(f"{path}: payload is not a scenario checkpoint")
+    config = payload.config
+    if checkpoint_every is not None and checkpoint_path is None:
+        checkpoint_path = path
+    _check_checkpoint_args(checkpoint_every, checkpoint_path)
+
+    with _profiling.phase("setup"):
+        campaign = build_campaign(config.scenario, rounds=config.rounds, **config.knobs)
+        driver = CampaignDriver(campaign)
+        trace = ScenarioTrace()
+        simulator = restore_simulator(payload.state, hooks=(driver, trace))
+    with _profiling.phase("simulate"):
+        _run_segments(simulator, config, checkpoint_every, checkpoint_path)
+    with _profiling.phase("metrics"):
+        return _collect_result(config, campaign, simulator, trace)

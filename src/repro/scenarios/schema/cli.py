@@ -16,15 +16,17 @@ import json
 import sys
 from pathlib import Path
 
-from repro.errors import ReproError, TemplateError
+from repro.errors import ConfigurationError, ReproError, TemplateError
 from repro.experiments.results import records_from_json, records_to_csv
 from repro.scenarios.catalog import BUILTIN_SCENARIOS
+from repro.scenarios.runner import resume_scenario
 from repro.scenarios.schema.compile import compile_template
 from repro.scenarios.schema.library import (
     builtin_template_dir,
     discover_templates,
     find_template,
     load_template,
+    scenario_record_json,
     template_record_json,
     verify_template,
 )
@@ -145,16 +147,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    directory = _template_dir(args.dir)
-    target = Path(args.template)
-    if target.is_file():
-        template = load_template(target)
+    if args.resume:
+        # Resume a checkpointed run: all run parameters come from the
+        # checkpoint itself, so no template is needed (or allowed to
+        # contradict it — it is simply ignored if given).
+        result = resume_scenario(
+            args.resume,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint,
+        )
+        record_json = scenario_record_json(result)
     else:
-        template = find_template(args.template, directory)
-    compiled = compile_template(
-        template, args.tier, mechanism=args.mechanism, backend=args.backend
-    )
-    record_json = template_record_json(compiled)
+        if not args.template:
+            raise ConfigurationError("run needs a template name/path (or --resume)")
+        if args.checkpoint_every is not None and not args.checkpoint:
+            raise ConfigurationError("--checkpoint-every needs --checkpoint PATH")
+        directory = _template_dir(args.dir)
+        target = Path(args.template)
+        if target.is_file():
+            template = load_template(target)
+        else:
+            template = find_template(args.template, directory)
+        compiled = compile_template(
+            template, args.tier, mechanism=args.mechanism, backend=args.backend
+        )
+        record_json = template_record_json(
+            compiled,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint,
+        )
     if args.out:
         with open(args.out, "w", encoding="utf-8", newline="\n") as handle:
             handle.write(record_json)
@@ -210,12 +231,27 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--report", metavar="PATH", help="write a JSON report here")
 
     run = commands.add_parser("run", help="run one template and write its records")
-    run.add_argument("template", metavar="NAME_OR_PATH")
+    run.add_argument(
+        "template", metavar="NAME_OR_PATH", nargs="?", default=None,
+        help="template name or file (omit with --resume)",
+    )
     run.add_argument("--tier", choices=("small", "medium", "large"), default=None)
     run.add_argument("--mechanism", default=None)
     run.add_argument("--backend", choices=("auto", "python", "vectorized"), default=None)
     run.add_argument("--out", metavar="PATH", help="write the JSON record file here")
     run.add_argument("--csv", metavar="PATH", help="also write the records as CSV here")
+    run.add_argument(
+        "--checkpoint-every", type=int, metavar="N", default=None,
+        help="snapshot the run state every N rounds (needs --checkpoint)",
+    )
+    run.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="checkpoint file to write (atomic, newest wins)",
+    )
+    run.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="resume a checkpointed run; finishes it byte-identically",
+    )
     return parser
 
 

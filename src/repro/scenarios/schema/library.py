@@ -21,7 +21,12 @@ from repro.errors import TemplateError
 from repro.experiments import robustness
 from repro.experiments.results import ExperimentRecord, records_to_json
 from repro.scenarios.catalog import clear_campaign_cache
-from repro.scenarios.runner import ScenarioRunConfig, clear_run_cache, run_scenario
+from repro.scenarios.runner import (
+    ScenarioRunConfig,
+    ScenarioRunResult,
+    clear_run_cache,
+    run_scenario,
+)
 from repro.scenarios.schema.compile import CompiledScenario, compile_template
 from repro.scenarios.schema.model import ScenarioTemplate, template_from_text
 from repro.scenarios.setup import clear_setup_cache
@@ -131,17 +136,40 @@ def _record(config: ScenarioRunConfig, metrics: dict[str, object]) -> Experiment
     )
 
 
-def template_record_json(compiled: CompiledScenario) -> str:
-    """Run a compiled template and serialize its record deterministically."""
-    result = run_scenario(compiled.config)
+def scenario_record_json(result: ScenarioRunResult) -> str:
+    """Serialize one scenario run as its canonical experiment record.
+
+    Shared by the direct, checkpointed and resumed execution paths — the
+    byte-identity contract for checkpoint/resume is checked on exactly this
+    serialization.
+    """
     outcome = robustness.ScenarioOutcome(
-        scenario=compiled.config.scenario,
-        mechanism=compiled.config.mechanism,
+        scenario=result.config.scenario,
+        mechanism=result.config.mechanism,
         window=result.campaign.window,
         robustness=result.robustness,
     )
     metrics = robustness.summarize(robustness.RobustnessResult(outcomes=[outcome]))
-    return records_to_json([_record(compiled.config, metrics)])
+    return records_to_json([_record(result.config, metrics)])
+
+
+def template_record_json(
+    compiled: CompiledScenario,
+    *,
+    checkpoint_every: int | None = None,
+    checkpoint_path: str | None = None,
+) -> str:
+    """Run a compiled template and serialize its record deterministically.
+
+    ``checkpoint_every``/``checkpoint_path`` pass through to
+    :func:`~repro.scenarios.runner.run_scenario` for crash-resumable runs.
+    """
+    result = run_scenario(
+        compiled.config,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
+    return scenario_record_json(result)
 
 
 def _programmatic_record_json(config: ScenarioRunConfig) -> str:

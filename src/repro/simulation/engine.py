@@ -32,7 +32,7 @@ from repro.core.backend import (
     interaction_counts,
     resolve_backend,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.simulation.adversary import (
     BehaviorModel,
     CollusiveBehavior,
@@ -131,6 +131,16 @@ class EventDrivenSimulator:
         if until is not None and until > self._now:
             self._now = until
         return processed
+
+    def restore_clock(self, now: float) -> None:
+        """Reset the virtual clock to a checkpointed instant.
+
+        Only legal while the queue is drained — checkpoints are taken at
+        round boundaries, so a restored loop never has in-flight events.
+        """
+        if self._queue:
+            raise SimulationError("cannot restore the clock while events are pending")
+        self._now = float(now)
 
 
 @dataclass
@@ -304,6 +314,8 @@ class InteractionSimulator:
         self._disclosed: list[Feedback] = []
         self._transaction_counter = 0
         self._engine = EventDrivenSimulator()
+        #: First round the next :meth:`run_until` segment will execute.
+        self._next_round = 0
         self._backend = resolve_backend(self.config.backend)
         # Stateful churn models (PhasedChurnModel) rewind here so a config
         # or campaign reused across simulators starts every run at round 0.
@@ -564,15 +576,34 @@ class InteractionSimulator:
 
     # -- public API ------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Run every configured round and return the collected result."""
-        for round_index in range(self.config.rounds):
+    @property
+    def completed_rounds(self) -> int:
+        """Rounds executed so far (the next segment starts here)."""
+        return self._next_round
+
+    def run_until(self, round_limit: int) -> int:
+        """Execute rounds up to ``round_limit`` (clamped to the configured
+        total) and return the number of rounds completed so far.
+
+        Segmenting a run over several ``run_until`` calls schedules and
+        drains exactly the events a single :meth:`run` would, on the same
+        virtual clock — so the trajectory, and any checkpoint taken between
+        segments, is byte-identical to an uninterrupted run.
+        """
+        limit = min(round_limit, self.config.rounds)
+        for round_index in range(self._next_round, limit):
             self._engine.schedule_at(
                 float(round_index),
                 lambda idx=round_index: self._run_round(idx),
                 label=f"round-{round_index}",
             )
+        if limit > self._next_round:
+            self._next_round = limit
         self._engine.run()
+        return self._next_round
+
+    def result(self) -> SimulationResult:
+        """The collected result of the rounds executed so far."""
         ground_truth = {peer.base_id: peer.user.honesty for peer in self.directory.peers()}
         return SimulationResult(
             config=self.config,
@@ -584,3 +615,8 @@ class InteractionSimulator:
             metrics=self.metrics,
             ground_truth_honesty=ground_truth,
         )
+
+    def run(self) -> SimulationResult:
+        """Run every configured round and return the collected result."""
+        self.run_until(self.config.rounds)
+        return self.result()

@@ -1,0 +1,34 @@
+"""Fixture: broad except handlers that swallow failures (R8).
+
+Parsed by the repro-lint tests — never imported or executed.
+"""
+
+from __future__ import annotations
+
+
+def swallow_bare(payload: str) -> int:
+    try:
+        return int(payload)
+    except:  # noqa: E722
+        return 0
+
+
+def swallow_with_fallback(payload: str) -> int:
+    try:
+        return int(payload)
+    except Exception:
+        return -1
+
+
+def swallow_base_exception(records: list[int], payload: str) -> None:
+    try:
+        records.append(int(payload))
+    except BaseException:
+        records.clear()
+
+
+def swallow_in_tuple(payload: str) -> int:
+    try:
+        return int(payload)
+    except (ValueError, Exception):
+        return 0

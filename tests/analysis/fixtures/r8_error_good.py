@@ -1,0 +1,50 @@
+"""Fixture: broad except handlers R8 must not flag.
+
+Parsed by the repro-lint tests — never imported or executed.
+"""
+
+from __future__ import annotations
+
+
+class TaskError(RuntimeError):
+    pass
+
+
+def task_failure_record(exc: Exception) -> dict[str, str]:
+    return {"error": str(exc)}
+
+
+def reraise_domain_error(payload: str) -> int:
+    try:
+        return int(payload)
+    except Exception as error:
+        raise TaskError(f"bad payload: {payload!r}") from error
+
+
+def bare_reraise(payload: str) -> int:
+    try:
+        return int(payload)
+    except BaseException:
+        raise
+
+
+def emit_error_record(payload: str) -> dict[str, str]:
+    try:
+        int(payload)
+        return {}
+    except Exception as error:
+        return task_failure_record(error)
+
+
+def narrow_handler(payload: str) -> int:
+    try:
+        return int(payload)
+    except ValueError:
+        return 0
+
+
+def narrow_tuple_handler(payload: str) -> int:
+    try:
+        return int(payload)
+    except (ValueError, TypeError):
+        return 0

@@ -41,6 +41,7 @@ def fixture_config() -> LintConfig:
     return LintConfig(
         cache_contracts=_FIXTURE_CONTRACTS,
         float_eq_helpers=("_quantized",),
+        error_record_calls=("task_failure_record",),
     )
 
 

@@ -1,0 +1,107 @@
+"""R8 error-discipline rule: broad handlers must re-raise, record, or justify."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from lint_helpers import lint_fixture, lint_source
+
+
+def test_bad_fixture_findings_name_the_caught_type() -> None:
+    result = lint_fixture("r8_error_bad.py", "R8")
+    assert len(result.active) == 4
+    messages = [finding.message for finding in result.active]
+    assert any("<bare>" in message for message in messages)
+    assert any("BaseException" in message for message in messages)
+    assert all("neither re-raises nor emits" in message for message in messages)
+
+
+def test_good_fixture_is_clean() -> None:
+    result = lint_fixture("r8_error_good.py", "R8")
+    assert result.active == []
+
+
+def test_narrow_handlers_are_out_of_scope(tmp_path: Path) -> None:
+    source = (
+        "def parse(payload: str) -> int:\n"
+        "    try:\n"
+        "        return int(payload)\n"
+        "    except ValueError:\n"
+        "        return 0\n"
+    )
+    assert lint_source(tmp_path, source, "R8").active == []
+
+
+def test_tuple_containing_exception_is_broad(tmp_path: Path) -> None:
+    source = (
+        "def parse(payload: str) -> int:\n"
+        "    try:\n"
+        "        return int(payload)\n"
+        "    except (ValueError, Exception):\n"
+        "        return 0\n"
+    )
+    findings = lint_source(tmp_path, source, "R8").active
+    assert len(findings) == 1
+    assert findings[0].rule == "R8"
+
+
+def test_attribute_qualified_exception_is_broad(tmp_path: Path) -> None:
+    source = (
+        "import builtins\n"
+        "def parse(payload: str) -> int:\n"
+        "    try:\n"
+        "        return int(payload)\n"
+        "    except builtins.Exception:\n"
+        "        return 0\n"
+    )
+    assert len(lint_source(tmp_path, source, "R8").active) == 1
+
+
+def test_reraise_inside_conditional_counts(tmp_path: Path) -> None:
+    source = (
+        "def parse(payload: str, strict: bool) -> int:\n"
+        "    try:\n"
+        "        return int(payload)\n"
+        "    except Exception:\n"
+        "        if strict:\n"
+        "            raise\n"
+        "        return 0\n"
+    )
+    assert lint_source(tmp_path, source, "R8").active == []
+
+
+def test_registered_emitter_method_call_counts(tmp_path: Path) -> None:
+    source = (
+        "class Sweep:\n"
+        "    def run(self, payload: str) -> object:\n"
+        "        try:\n"
+        "            return int(payload)\n"
+        "        except Exception as error:\n"
+        "            return self.task_failure_record(error)\n"
+    )
+    assert lint_source(tmp_path, source, "R8").active == []
+
+
+def test_unregistered_call_does_not_count(tmp_path: Path) -> None:
+    source = (
+        "def run(payload: str) -> int:\n"
+        "    try:\n"
+        "        return int(payload)\n"
+        "    except Exception as error:\n"
+        "        print(error)\n"
+        "        return 0\n"
+    )
+    assert len(lint_source(tmp_path, source, "R8").active) == 1
+
+
+def test_suppression_comment_silences(tmp_path: Path) -> None:
+    source = (
+        "def run(payload: str) -> int:\n"
+        "    try:\n"
+        "        return int(payload)\n"
+        "    except Exception:  # repro-lint: ignore[R8] best-effort probe\n"
+        "        return 0\n"
+    )
+    result = lint_source(tmp_path, source, "R8")
+    assert result.active == []
+    assert [finding.rule for finding in result.suppressed] == ["R8"]

@@ -18,6 +18,7 @@ BAD_FIXTURES = [
     ("r3_cache_bad.py", "R3", 3),
     ("r5_float_bad.py", "R5", 5),
     ("r6_typing_bad.py", "R6", 7),
+    ("r8_error_bad.py", "R8", 4),
 ]
 
 GOOD_FIXTURES = [
@@ -26,6 +27,7 @@ GOOD_FIXTURES = [
     "r3_cache_good.py",
     "r5_float_good.py",
     "r6_typing_good.py",
+    "r8_error_good.py",
 ]
 
 

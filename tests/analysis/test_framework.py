@@ -73,7 +73,9 @@ class TestSuppressions:
 class TestRegistry:
     def test_all_rules_registered_in_order(self) -> None:
         rules = registered_rules()
-        assert [rule.rule_id for rule in rules] == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
+        assert [rule.rule_id for rule in rules] == [
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+        ]
         assert all(rule.name and rule.description for rule in rules)
 
     def test_register_rejects_missing_id(self) -> None:

@@ -1,0 +1,61 @@
+"""Checkpoint storage under injected damage: rot is detected, never trusted."""
+
+import pytest
+
+from repro import faults
+from repro.errors import CheckpointError, InjectedFault
+from repro.faults import FaultPlan, FaultRule
+from repro.simulation.checkpoint import read_checkpoint, write_checkpoint
+
+
+@pytest.fixture(autouse=True)
+def deactivate_plans():
+    faults.activate(None)
+    yield
+    faults.activate(None)
+
+
+def test_corrupt_at_save_is_caught_at_load(tmp_path):
+    """The digest is computed over the intact payload, so a corruption
+    between digesting and writing is exactly what the reader must catch."""
+    path = str(tmp_path / "state.ckpt")
+    plan = FaultPlan(rules=(FaultRule(site="checkpoint.save", action="corrupt"),))
+    with faults.active(plan):
+        write_checkpoint(path, "probe", {"value": 42}, round_index=3)
+    with pytest.raises(CheckpointError, match="SHA-256"):
+        read_checkpoint(path)
+
+
+def test_crash_at_save_preserves_previous_checkpoint(tmp_path):
+    path = str(tmp_path / "state.ckpt")
+    write_checkpoint(path, "probe", "generation-1", round_index=1)
+    plan = FaultPlan(
+        rules=(
+            FaultRule(
+                site="checkpoint.save", action="raise", match=(("round_index", 2),)
+            ),
+        )
+    )
+    with faults.active(plan):
+        with pytest.raises(InjectedFault):
+            write_checkpoint(path, "probe", "generation-2", round_index=2)
+    _, payload = read_checkpoint(path, expected_kind="probe")
+    assert payload == "generation-1"
+
+
+def test_match_on_kind_targets_one_checkpoint_family(tmp_path):
+    plan = FaultPlan(
+        rules=(
+            FaultRule(
+                site="checkpoint.save", action="corrupt", match=(("kind", "scenario"),)
+            ),
+        )
+    )
+    simulator_path = str(tmp_path / "sim.ckpt")
+    scenario_path = str(tmp_path / "scenario.ckpt")
+    with faults.active(plan):
+        write_checkpoint(simulator_path, "simulator-like", [1], round_index=0)
+        write_checkpoint(scenario_path, "scenario", [1], round_index=0)
+    read_checkpoint(simulator_path)  # untouched family loads fine
+    with pytest.raises(CheckpointError):
+        read_checkpoint(scenario_path)

@@ -1,0 +1,140 @@
+"""The deterministic fault-injection layer: plan semantics and the runtime."""
+
+import pytest
+
+from repro import faults
+from repro.errors import ConfigurationError, InjectedFault
+from repro.faults import FaultPlan, FaultRule
+
+
+@pytest.fixture(autouse=True)
+def deactivate_plans():
+    faults.activate(None)
+    yield
+    faults.activate(None)
+
+
+class TestPlanData:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="sweep.task", action="raise", match=(("task_index", 2),)),
+                FaultRule(site="journal.record", action="corrupt", times=None),
+                FaultRule(
+                    site="sweep.task",
+                    action="kill",
+                    probability=0.5,
+                    latch="kill-once",
+                ),
+            ),
+            seed=11,
+            latch_dir=str(tmp_path),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault action"):
+            FaultRule(site="x", action="explode")
+
+    def test_latch_rule_needs_latch_dir(self):
+        with pytest.raises(ConfigurationError, match="latch_dir"):
+            FaultPlan(rules=(FaultRule(site="x", action="kill", latch="once"),))
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            FaultPlan.from_json("[1, 2]")
+
+
+class TestFire:
+    def test_raise_action_raises_with_site_and_detail(self):
+        plan = FaultPlan(rules=(FaultRule(site="sweep.task", action="raise"),))
+        with faults.active(plan):
+            with pytest.raises(InjectedFault, match=r"sweep\.task.*task_index=3"):
+                faults.fire("sweep.task", task_index=3)
+
+    def test_site_and_match_filter(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site="sweep.task", action="raise", match=(("task_index", 2),)),)
+        )
+        with faults.active(plan):
+            assert faults.fire("journal.record", task_index=2) is None
+            assert faults.fire("sweep.task", task_index=1) is None
+            with pytest.raises(InjectedFault):
+                faults.fire("sweep.task", task_index=2)
+
+    def test_times_cap_is_per_process(self):
+        plan = FaultPlan(rules=(FaultRule(site="probe", action="corrupt", times=2),))
+        with faults.active(plan):
+            assert faults.fire("probe") == "corrupt"
+            assert faults.fire("probe") == "corrupt"
+            assert faults.fire("probe") is None
+            faults.reset_worker_state()  # a fresh worker gets its own budget
+            assert faults.fire("probe") == "corrupt"
+
+    def test_probability_is_seeded_and_reproducible(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site="probe", action="degrade", times=None, probability=0.5),),
+            seed=21,
+        )
+        with faults.active(plan):
+            first = [faults.fire("probe") for _ in range(20)]
+        with faults.active(plan):
+            second = [faults.fire("probe") for _ in range(20)]
+        assert first == second
+        assert "degrade" in first and None in first  # the coin actually flips
+
+    def test_latch_fires_once_across_activations(self, tmp_path):
+        plan = FaultPlan(
+            rules=(FaultRule(site="probe", action="corrupt", latch="once"),),
+            latch_dir=str(tmp_path),
+        )
+        with faults.active(plan):
+            assert faults.fire("probe") == "corrupt"
+        assert (tmp_path / "once").exists()
+        # A different process (simulated by a fresh activation) sees the
+        # latch file and stays quiet.
+        with faults.active(plan):
+            assert faults.fire("probe") is None
+
+    def test_no_plan_is_a_no_op(self):
+        assert faults.fire("anything", task_index=0) is None
+
+    def test_env_plan_reaches_fire(self, monkeypatch):
+        plan = FaultPlan(rules=(FaultRule(site="probe", action="degrade"),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        assert faults.fire("probe") == "degrade"
+        # Changing the variable re-parses and resets counters.
+        fresh = FaultPlan(rules=(FaultRule(site="probe", action="corrupt"),), seed=9)
+        monkeypatch.setenv(faults.ENV_VAR, fresh.to_json())
+        assert faults.fire("probe") == "corrupt"
+
+    def test_activated_plan_overrides_env(self, monkeypatch):
+        env_plan = FaultPlan(rules=(FaultRule(site="probe", action="corrupt"),))
+        monkeypatch.setenv(faults.ENV_VAR, env_plan.to_json())
+        with faults.active(FaultPlan()):
+            assert faults.fire("probe") is None
+
+    def test_first_eligible_rule_wins(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="probe", action="degrade"),
+                FaultRule(site="probe", action="corrupt"),
+            )
+        )
+        with faults.active(plan):
+            assert faults.fire("probe") == "degrade"
+            assert faults.fire("probe") == "corrupt"  # first rule exhausted
+
+
+class TestCorruptBytes:
+    def test_flips_one_middle_bit(self):
+        data = b"abcdefg"
+        damaged = faults.corrupt_bytes(data)
+        assert damaged != data
+        assert len(damaged) == len(data)
+        assert sum(a != b for a, b in zip(data, damaged, strict=True)) == 1
+
+    def test_empty_input_still_changes(self):
+        assert faults.corrupt_bytes(b"") == b"\x00"

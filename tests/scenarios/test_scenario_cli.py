@@ -102,3 +102,48 @@ class TestRun:
         assert main(["run", "baseline", "--tier", "small"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema_version"] == 1
+
+
+class TestRunCheckpointResume:
+    def test_checkpointed_and_resumed_runs_match_direct(self, capsys, tmp_path):
+        base = ["run", "traitor-oscillation", "--tier", "small", "--mechanism", "beta"]
+        direct = tmp_path / "direct.json"
+        assert main([*base, "--out", str(direct)]) == 0
+
+        checkpoint = tmp_path / "run.ckpt"
+        checkpointed = tmp_path / "checkpointed.json"
+        assert (
+            main(
+                [
+                    *base,
+                    "--checkpoint-every",
+                    "5",
+                    "--checkpoint",
+                    str(checkpoint),
+                    "--out",
+                    str(checkpointed),
+                ]
+            )
+            == 0
+        )
+        assert checkpointed.read_bytes() == direct.read_bytes()
+
+        # The final checkpoint sits at the last round; a resume finishes the
+        # (already complete) run and must emit the very same bytes.
+        resumed = tmp_path / "resumed.json"
+        assert main(["run", "--resume", str(checkpoint), "--out", str(resumed)]) == 0
+        assert resumed.read_bytes() == direct.read_bytes()
+
+    def test_checkpoint_every_requires_checkpoint_path(self, capsys):
+        assert main(["run", "baseline", "--tier", "small", "--checkpoint-every", "5"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_run_without_template_or_resume_errors(self, capsys):
+        assert main(["run"]) == 2
+        assert "template" in capsys.readouterr().err
+
+    def test_resume_of_foreign_file_errors(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.ckpt"
+        bogus.write_bytes(b"not a checkpoint\n")
+        assert main(["run", "--resume", str(bogus)]) == 2
+        assert "checkpoint" in capsys.readouterr().err
