@@ -1,6 +1,6 @@
 """E-S1: allocation strategies vs long-run participant satisfaction."""
 
-from repro.experiments import satisfaction_eval
+from repro.api import satisfaction_eval
 
 
 def test_bench_allocation_strategy_comparison(benchmark):

@@ -1,6 +1,6 @@
 """E-A2: anonymous versus identified feedback (the privacy/reputation compromise)."""
 
-from repro.experiments import ablations
+from repro.api import ablations
 
 
 def test_bench_anonymity_ablation(benchmark):

@@ -1,7 +1,6 @@
 """E-C1..E-C5: the five qualitative couplings of Section 3."""
 
-from repro.core.coupling import CouplingDynamics
-from repro.experiments import claims
+from repro.api import CouplingDynamics, claims
 
 
 def test_bench_coupling_equilibrium(benchmark):

@@ -31,16 +31,22 @@ import sys
 import time
 from collections.abc import Callable
 
-from repro.core import accel
-from repro.core.backend import HAS_NUMPY, available_backends
-from repro.core.coupling import CouplingDynamics, CouplingState
-from repro.reputation.average import SimpleAverageReputation
-from repro.reputation.beta import BetaReputation
-from repro.reputation.eigentrust import EigenTrust
-from repro.reputation.powertrust import PowerTrust
-from repro.simulation.engine import InteractionSimulator, SimulationConfig
-from repro.simulation.transaction import Feedback
-from repro.socialnet.generators import SocialNetworkSpec, generate_social_network
+from repro.api import (
+    BetaReputation,
+    CouplingDynamics,
+    CouplingState,
+    EigenTrust,
+    Feedback,
+    HAS_NUMPY,
+    InteractionSimulator,
+    PowerTrust,
+    SimpleAverageReputation,
+    SimulationConfig,
+    SocialNetworkSpec,
+    accel,
+    available_backends,
+    generate_social_network,
+)
 
 SCHEMA_VERSION = 1
 

@@ -47,15 +47,21 @@ import time
 from contextlib import contextmanager
 from collections.abc import Callable
 
-from repro import _profiling
-from repro.core import accel
-from repro.experiments import robustness
-from repro.experiments.results import records_to_json
-from repro.experiments.runner import run_experiment_structured
-from repro.experiments.sweep import SweepExecutor, SweepSpec, run_sweep
-from repro.scenarios.runner import ScenarioRunConfig, clear_run_cache, run_scenario
-from repro.scenarios.setup import clear_setup_cache
-from repro.socialnet.generators import clear_network_cache
+from repro.api import (
+    ScenarioRunConfig,
+    SweepExecutor,
+    SweepSpec,
+    accel,
+    clear_network_cache,
+    clear_run_cache,
+    clear_setup_cache,
+    profiled,
+    records_to_json,
+    robustness,
+    run_experiment_structured,
+    run_scenario,
+    run_sweep,
+)
 
 SCHEMA_VERSION = 1
 
@@ -223,7 +229,7 @@ def refresh_layer_entry(quick: bool, mechanism: str) -> dict[str, object]:
     )
 
     def run() -> tuple[str, float]:
-        with _profiling.profiled() as timer:
+        with profiled() as timer:
             result = run_scenario(ScenarioRunConfig(**config))
         payload = json.dumps(
             {

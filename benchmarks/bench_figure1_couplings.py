@@ -5,8 +5,7 @@ scenario-backed contrasts, asserting that every arrow of Figure 1 is
 reproduced with the right sign.
 """
 
-from repro.core.coupling import CouplingDynamics, coupling_matrix
-from repro.experiments import figure1
+from repro.api import CouplingDynamics, coupling_matrix, figure1
 
 
 def test_bench_coupling_matrix(benchmark):

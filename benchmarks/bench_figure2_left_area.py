@@ -1,6 +1,6 @@
 """E-F2L (Figure 2, left): the Area-A good-tradeoff region."""
 
-from repro.experiments import figure2_left
+from repro.api import figure2_left
 
 
 def test_bench_area_a_grid(benchmark):

@@ -1,7 +1,6 @@
 """E-F2R (Figure 2, right): privacy/reputation/satisfaction vs shared information."""
 
-from repro.core.tradeoff import SettingsExplorer
-from repro.experiments import figure2_right
+from repro.api import SettingsExplorer, figure2_right
 
 
 def test_bench_analytic_tradeoff_sweep(benchmark):

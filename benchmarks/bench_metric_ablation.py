@@ -1,8 +1,6 @@
 """E-A1: the composite-metric aggregator ablation."""
 
-from repro.core.facets import FacetScores
-from repro.core.metric import Aggregator, CompositeTrustMetric
-from repro.experiments import ablations
+from repro.api import Aggregator, CompositeTrustMetric, FacetScores, ablations
 
 
 def test_bench_aggregator_ablation(benchmark):

@@ -1,10 +1,13 @@
 """E-P1: PriServ-style enforcement, OECD compliance and request throughput."""
 
-from repro.experiments import privacy_eval
-from repro.privacy.oecd import OecdPrinciple
-from repro.privacy.policy import restrictive_policy
-from repro.privacy.priserv import PriServService
-from repro.privacy.purposes import Operation, Purpose
+from repro.api import (
+    OecdPrinciple,
+    Operation,
+    PriServService,
+    Purpose,
+    privacy_eval,
+    restrictive_policy,
+)
 
 
 def test_bench_privacy_enforcement_experiment(benchmark):
@@ -34,7 +37,7 @@ def test_bench_priserv_request_throughput(benchmark):
     service.register_policy(restrictive_policy("u0", minimum_trust=0.5))
     service.publish("u0", "u0/profile", {"city": "Nantes"}, sensitivity=0.6)
 
-    from repro.privacy.policy import Obligation
+    from repro.api import Obligation
 
     def one_request():
         return service.request(

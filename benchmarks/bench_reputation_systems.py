@@ -1,9 +1,13 @@
 """E-R1: reputation mechanisms vs adversary mixes, plus substrate microbenchmarks."""
 
-from repro.experiments import reputation_eval
-from repro.reputation import EigenTrust
-from repro.simulation.engine import InteractionSimulator, SimulationConfig
-from repro.socialnet.generators import SocialNetworkSpec, generate_social_network
+from repro.api import (
+    EigenTrust,
+    InteractionSimulator,
+    SimulationConfig,
+    SocialNetworkSpec,
+    generate_social_network,
+    reputation_eval,
+)
 from tests.conftest import make_feedback
 
 

@@ -1,0 +1,362 @@
+"""Benchmark the serving layer: replayed traffic against a live server.
+
+Run as a script to produce ``BENCH_serve.json`` (the CI artifact the
+serve-gate checks)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+
+Two drills against real ``repro-serve`` subprocesses (stdlib HTTP adapter,
+zero extra dependencies):
+
+* **throughput** — a scenario-trace replay from concurrent clients:
+  ``POST /v1/feedback`` batches interleaved with score/peer queries.
+  Reports ingest events/sec, client-observed query p50/p99, and the
+  server's own per-operation latency summary (including the refresh path —
+  the "refresh lag" a consumer sees is bounded by ``refresh_every`` events
+  plus the p95 refresh latency reported here).
+* **kill+restart** — half the trace is ingested sequentially, the session
+  is snapshotted over HTTP, the server is SIGKILLed mid-flight, a new
+  server restores from the snapshot and ingests the rest.  Its final
+  ``/v1/scores`` body must be byte-identical to an uninterrupted control
+  run; any mismatch fails the gate outright.
+
+``--check-baseline PATH`` compares against the committed baseline
+(``benchmarks/baselines/BENCH_serve_baseline.json``): throughput may not
+fall below ``(1 - tolerance)`` of the baseline events/sec, and the
+absolute floors catch wholesale losses even with a stale baseline.  The
+tolerance is deliberately loose (CI machines differ widely); the
+byte-identity and zero-error checks are exact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.api import (
+    ReputationService,
+    ServiceConfig,
+    build_trace,
+    create_http_server,
+    ingest_events,
+    replay,
+    request_json,
+    scores_body,
+)
+
+SCHEMA_VERSION = 1
+
+#: Absolute floors/ceilings per mode (full, quick): minimum sustained
+#: ingest events/sec over HTTP and maximum client-observed query p99.
+#: Deliberately conservative — a healthy server clears them by an order of
+#: magnitude; they exist to catch a wholesale loss of the serving path.
+FLOORS = {
+    "ingest_events_per_sec": (400.0, 200.0),
+    "query_p99_ms_max": (500.0, 500.0),
+}
+
+#: Service parameters used by every drill (and by the committed baseline).
+REFRESH_EVERY = 32
+
+#: The in-repo src/ tree, so server subprocesses resolve the same package
+#: as the driving process regardless of the caller's cwd or install state.
+_SRC_PATH = os.pathsep.join(
+    [str(Path(__file__).resolve().parent.parent / "src")]
+    + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
+)
+
+
+def trace_kwargs(quick: bool) -> dict[str, object]:
+    if quick:
+        return dict(scenario="collusion-ring", n_users=25, rounds=20, seed=11)
+    return dict(scenario="collusion-ring", n_users=40, rounds=60, seed=11)
+
+
+class ServerProcess:
+    """One ``repro-serve`` subprocess with port-file coordination."""
+
+    def __init__(self, workdir: Path, name: str, extra_args: list[str]) -> None:
+        self.port_file = workdir / f"{name}.port"
+        self.log_path = workdir / f"{name}.log"
+        self.log_handle = open(self.log_path, "w", encoding="utf-8")
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serving.cli",
+                "--port",
+                "0",
+                "--port-file",
+                str(self.port_file),
+                *extra_args,
+            ],
+            stdout=self.log_handle,
+            stderr=subprocess.STDOUT,
+            env={**os.environ, "PYTHONPATH": _SRC_PATH},
+        )
+        self.port = self._await_port()
+
+    def _await_port(self, timeout: float = 30.0) -> int:
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early (status {self.process.returncode}); "
+                    f"log: {self.log_path.read_text()}"
+                )
+            if self.port_file.exists():
+                text = self.port_file.read_text().strip()
+                if text:
+                    return int(text)
+            time.sleep(0.05)
+        raise RuntimeError(f"server did not report a port within {timeout}s")
+
+    def kill(self) -> None:
+        """SIGKILL — the crash the restart drill simulates."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGKILL)
+        self.process.wait()
+        self.log_handle.close()
+
+    def terminate(self) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+        self.process.wait()
+        self.log_handle.close()
+
+
+def throughput_drill(
+    workdir: Path, events: list[dict[str, object]], *, clients: int
+) -> dict[str, object]:
+    server = ServerProcess(
+        workdir, "throughput", ["--refresh-every", str(REFRESH_EVERY)]
+    )
+    try:
+        stats = replay(
+            "127.0.0.1",
+            server.port,
+            events,
+            clients=clients,
+            batch_size=32,
+            query_every=2,
+        )
+    finally:
+        server.terminate()
+    health = stats.health
+    latency = health.get("latency", {}) if isinstance(health, dict) else {}
+    return {
+        "drill": "throughput",
+        "events": stats.events,
+        "clients": stats.clients,
+        "wall_seconds": stats.wall_seconds,
+        "ingest_events_per_sec": stats.ingest_events_per_sec,
+        "queries": stats.queries,
+        "query_p50_ms": stats.query_p50_ms,
+        "query_p99_ms": stats.query_p99_ms,
+        "errors": stats.errors,
+        "final_watermark": health.get("watermark"),
+        "final_pending": health.get("pending"),
+        "refreshes": health.get("refreshes"),
+        "server_latency_ms": latency,
+    }
+
+
+def restart_drill(workdir: Path, events: list[dict[str, object]]) -> dict[str, object]:
+    """Kill a server mid-trace, restore from snapshot, compare bytewise."""
+    snapshot = workdir / "restart.ckpt"
+    half = len(events) // 2
+
+    first = ServerProcess(
+        workdir,
+        "restart-a",
+        ["--refresh-every", str(REFRESH_EVERY), "--snapshot", str(snapshot)],
+    )
+    try:
+        ingest_events("127.0.0.1", first.port, events[:half], batch_size=16)
+        status, payload, _ = request_json(
+            "127.0.0.1", first.port, "POST", "/v1/snapshot"
+        )
+        if status != 200:
+            raise RuntimeError(f"snapshot failed: {payload}")
+    finally:
+        first.kill()
+
+    second = ServerProcess(workdir, "restart-b", ["--restore", str(snapshot)])
+    try:
+        ingest_events("127.0.0.1", second.port, events[half:], batch_size=16)
+        interrupted = scores_body("127.0.0.1", second.port)
+    finally:
+        second.terminate()
+
+    # Uninterrupted control: same trace, same refresh cadence, in process
+    # (the response body depends only on session state, not transport).
+    service = ReputationService(ServiceConfig(refresh_every=REFRESH_EVERY))
+    control_server = create_http_server(service)
+    host, port = control_server.server_address[0], control_server.server_address[1]
+    thread = threading.Thread(
+        target=control_server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    try:
+        ingest_events(host, port, events, batch_size=16)
+        control = scores_body(host, port)
+    finally:
+        control_server.shutdown()
+
+    return {
+        "drill": "restart",
+        "events": len(events),
+        "snapshot_at": half,
+        "restart_identical": interrupted == control,
+        "interrupted_sha": hashlib.sha256(interrupted).hexdigest(),
+        "control_sha": hashlib.sha256(control).hexdigest(),
+    }
+
+
+def run_benchmarks(*, quick: bool, clients: int) -> dict[str, object]:
+    kwargs = trace_kwargs(quick)
+    events = build_trace(**kwargs)
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        workdir = Path(tmp)
+        throughput = throughput_drill(workdir, events, clients=clients)
+        restart = restart_drill(workdir, events)
+    floors = {
+        name: (floor[1] if quick else floor[0]) for name, floor in FLOORS.items()
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/bench_serve.py",
+        "quick": quick,
+        "clients": clients,
+        "refresh_every": REFRESH_EVERY,
+        "trace": {**kwargs, "events": len(events)},
+        "floors": floors,
+        "drills": [throughput, restart],
+        "restart_identical": bool(restart["restart_identical"]),
+        "errors": int(throughput["errors"]),
+    }
+
+
+def check_against_baseline(
+    report: dict[str, object], baseline: dict[str, object], *, tolerance: float
+) -> list[str]:
+    """Regression findings (empty when the gate passes)."""
+    problems: list[str] = []
+    drills = {entry["drill"]: entry for entry in report["drills"]}
+    throughput = drills.get("throughput")
+    restart = drills.get("restart")
+
+    if restart is None:
+        problems.append("restart: drill missing from the report")
+    elif not restart["restart_identical"]:
+        problems.append(
+            "restart: scores after kill+restore differ bytewise from the "
+            "uninterrupted run (snapshot/restore broke determinism)"
+        )
+
+    if throughput is None:
+        problems.append("throughput: drill missing from the report")
+        return problems
+    if int(throughput["errors"]):
+        problems.append(f"throughput: {throughput['errors']} failed requests")
+
+    floors = report.get("floors", {})
+    rate = float(throughput["ingest_events_per_sec"])
+    rate_floor = float(floors.get("ingest_events_per_sec", 0.0))
+    if rate < rate_floor:
+        problems.append(
+            f"throughput: {rate:.0f} events/s is below the {rate_floor:.0f}/s floor"
+        )
+    p99 = float(throughput["query_p99_ms"])
+    p99_ceiling = float(floors.get("query_p99_ms_max", float("inf")))
+    if p99 > p99_ceiling:
+        problems.append(
+            f"throughput: query p99 {p99:.1f}ms exceeds the {p99_ceiling:.0f}ms ceiling"
+        )
+
+    if bool(report.get("quick")) == bool(baseline.get("quick")):
+        base_drills = {entry["drill"]: entry for entry in baseline.get("drills", [])}
+        base_throughput = base_drills.get("throughput")
+        if base_throughput is not None:
+            base_rate = float(base_throughput["ingest_events_per_sec"])
+            allowed = (1.0 - tolerance) * base_rate
+            if rate < allowed:
+                problems.append(
+                    f"throughput: {rate:.0f} events/s regressed >{tolerance:.0%} "
+                    f"against baseline {base_rate:.0f} events/s"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", metavar="PATH", help="write the JSON report here")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller trace for smoke testing"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4, help="concurrent replay clients"
+    )
+    parser.add_argument(
+        "--check-baseline",
+        metavar="PATH",
+        help="fail when results regressed against this committed baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional throughput regression against the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick, clients=args.clients)
+
+    for entry in report["drills"]:
+        if entry["drill"] == "throughput":
+            print(
+                f"throughput  {entry['events']} events via {entry['clients']} clients   "
+                f"{entry['ingest_events_per_sec']:8.0f} ev/s   "
+                f"query p50 {entry['query_p50_ms']:6.2f}ms  "
+                f"p99 {entry['query_p99_ms']:6.2f}ms   "
+                f"errors {entry['errors']}"
+            )
+        else:
+            verdict = "byte-identical" if entry["restart_identical"] else "DIVERGED"
+            print(
+                f"restart     snapshot@{entry['snapshot_at']}/{entry['events']} "
+                f"+ SIGKILL + restore -> {verdict}"
+            )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+
+    if args.check_baseline:
+        with open(args.check_baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = check_against_baseline(report, baseline, tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("serve gate passed (no regression against baseline)")
+    elif not report["restart_identical"]:
+        print("REGRESSION: restart drill diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

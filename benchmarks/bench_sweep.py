@@ -18,7 +18,7 @@ import json
 import sys
 import time
 
-from repro.experiments.sweep import SweepSpec, expand_tasks, run_sweep
+from repro.api import SweepSpec, expand_tasks, run_sweep
 
 SCHEMA_VERSION = 1
 

@@ -16,7 +16,7 @@ Run with::
     PYTHONPATH=src python examples/attack_scenarios.py
 """
 
-from repro.scenarios import CATALOG, ScenarioRunConfig, run_scenario
+from repro.api import CATALOG, ScenarioRunConfig, run_scenario
 
 
 def main() -> None:

@@ -17,10 +17,15 @@ Run with::
     python examples/constrained_deployment.py
 """
 
-from repro.core import FacetConstraints, SystemSettings, TrustOptimizer
-from repro.experiments.reporting import format_table
-from repro.experiments.scenario import Scenario, ScenarioConfig
-from repro.socialnet.presets import preset_spec
+from repro.api import (
+    FacetConstraints,
+    Scenario,
+    ScenarioConfig,
+    SystemSettings,
+    TrustOptimizer,
+    format_table,
+    preset_spec,
+)
 
 APPLICATIONS = [
     # Health data: privacy is non-negotiable, reputation merely nice to have.

@@ -12,8 +12,8 @@ Run with::
     python examples/decentralized_social_network.py
 """
 
-from repro.experiments.reporting import format_table
-from repro.privacy import (
+from repro.api import (
+    Audience,
     NegotiationEngine,
     Obligation,
     Operation,
@@ -22,10 +22,11 @@ from repro.privacy import (
     PrivacyPolicy,
     Proposal,
     Purpose,
+    SocialNetworkSpec,
     check_compliance,
+    format_table,
+    generate_social_network,
 )
-from repro.privacy.policy import Audience
-from repro.socialnet import SocialNetworkSpec, generate_social_network
 
 
 def build_policies(graph, service: PriServService) -> None:

@@ -12,15 +12,18 @@ Run with::
     python examples/p2p_file_sharing.py
 """
 
-from repro.experiments.reporting import format_table
-from repro.reputation import (
+from repro.api import (
     BetaReputation,
+    ChurnModel,
     EigenTrust,
+    InteractionSimulator,
     SimpleAverageReputation,
+    SimulationConfig,
+    SocialNetworkSpec,
+    format_table,
+    generate_social_network,
     pairwise_ranking_accuracy,
 )
-from repro.simulation import ChurnModel, InteractionSimulator, SimulationConfig
-from repro.socialnet import SocialNetworkSpec, generate_social_network
 
 
 def run_mechanism(graph, mechanism, *, label: str, seed: int = 7):

@@ -19,9 +19,13 @@ Run with::
     PYTHONPATH=src python examples/parameter_sweep.py
 """
 
-from repro.experiments.reporting import format_sweep_summary
-from repro.experiments.results import records_to_csv
-from repro.experiments.sweep import ParamRange, SweepSpec, run_sweep
+from repro.api import (
+    ParamRange,
+    SweepSpec,
+    format_sweep_summary,
+    records_to_csv,
+    run_sweep,
+)
 
 
 def main() -> None:

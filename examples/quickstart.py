@@ -11,7 +11,7 @@ Run with::
 """
 
 from repro import quick_scenario
-from repro.experiments.reporting import format_table
+from repro.api import format_table
 
 
 def main() -> None:

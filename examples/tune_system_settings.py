@@ -11,9 +11,7 @@ Run with::
     python examples/tune_system_settings.py
 """
 
-from repro.core import SettingsExplorer, SystemSettings
-from repro.core.metric import Aggregator
-from repro.experiments.reporting import format_table
+from repro.api import Aggregator, SettingsExplorer, SystemSettings, format_table
 
 
 def main() -> None:

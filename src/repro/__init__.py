@@ -30,6 +30,14 @@ they require:
 ``repro.experiments``
     End-to-end scenarios and the experiment drivers that regenerate every
     figure and qualitative claim of the paper.
+``repro.serving``
+    The live layer: a :class:`~repro.serving.service.ReputationService`
+    session behind HTTP adapters (``repro-serve``), fed by streaming
+    feedback and durable through checkpoint snapshots.
+``repro.api``
+    The blessed public facade.  Client code (examples, benchmarks,
+    downstream users) should import from :mod:`repro.api` — or from
+    :mod:`repro` directly, which lazily forwards the same headline names.
 
 Quickstart
 ----------
@@ -69,6 +77,54 @@ def quick_scenario(n_users: int = 50, seed: int = 0, rounds: int = 30) -> "Scena
     return Scenario(config).run()
 
 
+#: Headline facade names importable directly from ``repro`` — resolved
+#: lazily through :mod:`repro.api` so ``import repro`` stays light (the
+#: serving and experiment stacks load only on first use).
+_FACADE_EXPORTS = (
+    "ReputationService",
+    "ServiceConfig",
+    "create_http_server",
+    "create_asgi_app",
+    "ReputationSystem",
+    "ScoreView",
+    "make_reputation_system",
+    "run_scenario",
+    "ScenarioRunConfig",
+    "run_sweep",
+    "SweepSpec",
+    "load_template",
+    "run_experiment",
+    "run_experiment_structured",
+    "RunResult",
+    "accel",
+    "faults",
+)
+
+
+def __getattr__(name: str) -> object:
+    """Lazily forward the headline facade names to :mod:`repro.api`."""
+    if name == "faults":
+        # A real submodule: resolve it directly.  Internal modules import
+        # it (``from repro import faults``) while the package tree is still
+        # initializing, when pulling the whole facade in would be circular.
+        import repro.faults
+
+        return repro.faults
+    if name == "accel":
+        import repro.core.accel
+
+        return repro.core.accel
+    if name in _FACADE_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_FACADE_EXPORTS))
+
+
 __all__ = [
     "CompositeTrustMetric",
     "FacetScores",
@@ -77,4 +133,5 @@ __all__ = [
     "TrustReport",
     "quick_scenario",
     "__version__",
+    *_FACADE_EXPORTS,
 ]

@@ -76,6 +76,14 @@ class LintConfig:
     #: broad ``except Exception`` handler is disciplined if it re-raises or
     #: calls one of these.
     error_record_calls: tuple[str, ...] = ()
+    #: Directories (relative to the project root) that are *clients* of the
+    #: public API (R9): modules there may import only the blessed facade,
+    #: never package internals.  Empty disables the boundary check.
+    api_client_dirs: tuple[str, ...] = ()
+    #: Module names the client trees may import (R9).  A module passes when
+    #: every ``repro…`` import names exactly one of these (``repro`` itself
+    #: or the ``repro.api`` facade — never a dotted internal module).
+    api_allowed_imports: tuple[str, ...] = ()
 
     def contracts_by_class(self) -> dict[str, tuple[CacheContract, ...]]:
         table: dict[str, tuple[CacheContract, ...]] = {}
@@ -125,7 +133,7 @@ def default_config() -> LintConfig:
     """The configuration encoding the live repository's invariants."""
     return LintConfig(
         determinism_exempt=("repro/simulation/rng.py",),
-        clock_exempt=("repro/_profiling.py",),
+        clock_exempt=("repro/_profiling.py", "repro/serving/sla.py"),
         set_returning=("participants",),
         cache_contracts=DEFAULT_CACHE_CONTRACTS,
         accel_module="repro/core/accel.py",
@@ -136,4 +144,6 @@ def default_config() -> LintConfig:
         catalog_module="repro/scenarios/catalog.py",
         template_schema_versions=(1,),
         error_record_calls=("task_failure_record", "finding", "_file_finding"),
+        api_client_dirs=("examples", "benchmarks"),
+        api_allowed_imports=("repro", "repro.api"),
     )

@@ -1,0 +1,418 @@
+"""The unified command-line surface: ``python -m repro`` / ``repro``.
+
+One entry point, five subcommands::
+
+    repro run [EXPERIMENT ...]      regenerate the paper's experiments
+    repro sweep EXPERIMENT ...      parallel parameter campaigns -> records
+    repro scenario <cmd> ...        declarative scenario templates
+    repro verify-records PATH ...   integrity-check record artifacts
+    repro serve ...                 live reputation scores over HTTP
+
+All record-writing subcommands share conventions: ``--out`` for the JSON
+record file, ``--csv`` for the CSV twin, ``--seed`` for the campaign seed
+and ``--backend`` for the compute backend (records are byte-identical
+across backends by contract).
+
+``python -m repro.experiments`` is the deprecated historical spelling: it
+warns once and forwards here, producing byte-identical artifacts (a CI
+check holds the shim to that).  For ergonomic and compatibility reasons a
+first argument that is not a subcommand is treated as ``run`` input, so
+``repro figure1 --full`` and the historical bare invocations keep working.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import sys
+from typing import TextIO
+
+from repro import _profiling
+from repro.errors import ConfigurationError, IntegrityError
+from repro.experiments.journal import JOURNAL_MAGIC, verify_journal
+from repro.experiments.reporting import format_sweep_summary
+from repro.experiments.results import ExperimentRecord, verify_file_checksum
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.sweep import RetryPolicy, run_sweep, spec_from_options
+
+#: The unified subcommands, in help order.
+COMMANDS = ("run", "sweep", "scenario", "verify-records", "serve")
+
+_OVERVIEW = """usage: repro <command> [options]
+
+commands:
+  run [EXPERIMENT ...]     run registered experiments (default: all, quick)
+  sweep EXPERIMENT ...     parallel sweep campaign -> structured records
+  scenario <cmd> ...       list/validate/verify/run scenario templates
+  verify-records PATH ...  check record files and sweep journals for rot
+  serve [options]          serve live reputation scores over HTTP
+
+Run 'repro <command> --help' for command options.  Record-writing commands
+share --out/--csv/--seed/--backend conventions.
+"""
+
+
+def build_run_parser(prog: str = "repro run") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Run the paper-reproduction experiments.",
+        epilog=(
+            "Use the 'sweep' subcommand for parallel parameter campaigns: "
+            "repro sweep figure1 --grid n_users=25,50 --jobs 2 --seed 7 "
+            "--out results.json"
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiments to run (default: all). Available: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full-size experiments instead of the quick versions",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available experiments and exit",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-phase wall-clock table (setup / simulate / refresh "
+            "/ metrics) after each experiment — the map for finding the "
+            "next hot path"
+        ),
+    )
+    return parser
+
+
+def build_sweep_parser(prog: str = "repro sweep") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Run a parallel sweep campaign over one registered experiment "
+            "and write structured records."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        metavar="EXPERIMENT",
+        help=f"experiment to sweep. Available: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="explicit values for one parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--range",
+        action="append",
+        default=[],
+        dest="ranges",
+        metavar="KEY=LOW:HIGH",
+        help="continuous interval for one parameter (random/latin samplers only)",
+    )
+    parser.add_argument(
+        "--sample",
+        choices=("grid", "random", "latin"),
+        default="grid",
+        help="how to cover the parameter space (default: full cartesian grid)",
+    )
+    parser.add_argument(
+        "--n-samples",
+        type=int,
+        default=0,
+        help="number of sampled points for --sample random/latin",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1; results are identical either way)",
+    )
+    parser.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help=(
+            "tasks per worker submission (default: ~4 chunks per worker); "
+            "records are identical for any chunking"
+        ),
+    )
+    parser.add_argument(
+        "--stream",
+        metavar="PATH",
+        help=(
+            "stream records to this JSONL file in task order as they "
+            "complete (the --out JSON is still written at the end)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "python", "vectorized"),
+        default="auto",
+        help=(
+            "compute backend for every task (default auto: vectorized when "
+            "numpy is available); records are identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the JSON record file here",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also write the records as CSV here",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help=(
+            "base each task on the experiment's full-size defaults instead "
+            "of its quick preset"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        help=(
+            "durable resume journal: completed records are fsynced here as "
+            "they finish; re-running with the same spec and journal skips "
+            "them (byte-identical output to a cold sweep)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run a failing task up to N extra times with backoff (default 0)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="initial retry backoff, doubling per attempt (default 0.05s)",
+    )
+    parser.add_argument(
+        "--retry-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget across attempts (default: none)",
+    )
+    return parser
+
+
+def build_verify_parser(prog: str = "repro verify-records") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Verify the integrity of record artifacts: JSON/CSV files "
+            "against their SHA-256 sidecars, sweep journals line by line."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="record files (.json/.csv, checked against <file>.sha256) or sweep journals",
+    )
+    return parser
+
+
+def _verify_one(path: str) -> str | None:
+    """Check one artifact; returns an error message or ``None`` when intact."""
+    try:
+        with open(path, "rb") as handle:
+            first = handle.readline()
+    except OSError as error:
+        return f"cannot read file: {error}"
+    if first.startswith(b'{"campaign_sha256"') or JOURNAL_MAGIC.encode() in first:
+        try:
+            n_valid, n_invalid = verify_journal(path)
+        except IntegrityError as error:
+            return str(error)
+        if n_invalid:
+            return f"{n_invalid} corrupt/truncated journal lines ({n_valid} intact)"
+        return None
+    try:
+        verify_file_checksum(path)
+    except IntegrityError as error:
+        return str(error)
+    return None
+
+
+def verify_records_main(argv: list[str], *, prog: str = "repro verify-records") -> int:
+    parser = build_verify_parser(prog)
+    args = parser.parse_args(argv)
+    failures = 0
+    for path in args.paths:
+        problem = _verify_one(path)
+        if problem is None:
+            print(f"{path}: ok")
+        else:
+            failures += 1
+            print(f"{path}: FAIL: {problem}")
+    return 1 if failures else 0
+
+
+def sweep_main(argv: list[str], *, prog: str = "repro sweep") -> int:
+    parser = build_sweep_parser(prog)
+    args = parser.parse_args(argv)
+    try:
+        spec = spec_from_options(
+            args.experiment,
+            grid_options=args.grid,
+            range_options=args.ranges,
+            sampler=args.sample,
+            n_samples=args.n_samples,
+            seed=args.seed,
+            quick_base=not args.full,
+            backend=args.backend,
+        )
+    except (ConfigurationError, ValueError) as exc:
+        parser.error(str(exc))
+    on_record = None
+    with contextlib.ExitStack() as stack:
+        if args.stream:
+            stream_handle = stack.enter_context(
+                open(args.stream, "w", encoding="utf-8", newline="\n")
+            )
+
+            def on_record(record: ExperimentRecord, handle: TextIO = stream_handle) -> None:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+                handle.flush()
+
+        retry = None
+        if args.retries or args.retry_deadline is not None:
+            retry = RetryPolicy(
+                max_attempts=args.retries + 1,
+                backoff_base=args.retry_backoff,
+                deadline=args.retry_deadline,
+            )
+        try:
+            result = run_sweep(
+                spec,
+                jobs=args.jobs,
+                chunksize=args.chunksize,
+                on_record=on_record,
+                retry=retry,
+                journal=args.journal,
+            )
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+    print(format_sweep_summary(result.records))
+    print()
+    print(
+        f"{len(result.records)} tasks in {result.wall_time:.2f}s "
+        f"({result.tasks_per_second:.2f} tasks/s, jobs={result.jobs})"
+    )
+    if result.n_resumed:
+        print(f"{result.n_resumed} tasks resumed from journal {args.journal}")
+    if args.stream:
+        print(f"records streamed to {args.stream}")
+    if args.out:
+        result.write_json(args.out)
+        print(f"records written to {args.out}")
+    if args.csv:
+        result.write_csv(args.csv)
+        print(f"CSV written to {args.csv}")
+    for record in result.failed_records:
+        failure = record.failure or {}
+        retries = failure.get("retries", 0)
+        print(
+            f"FAILED task {record.task_index} "
+            f"(params={json.dumps(record.params, sort_keys=True)}, "
+            f"retries={retries}): {record.error}",
+            file=sys.stderr,
+        )
+    if result.n_errors:
+        print(f"{result.n_errors} of {len(result.records)} tasks failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_main(argv: list[str], *, prog: str = "repro run") -> int:
+    parser = build_run_parser(prog)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, entry in sorted(EXPERIMENTS.items()):
+            ids = ", ".join(entry.experiment_ids)
+            print(f"{name:16s} [{ids}] {entry.description}")
+        return 0
+
+    names = args.experiments or sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    for name in names:
+        print(f"==== {name} ====")
+        if args.profile:
+            with _profiling.profiled() as timer:
+                report = run_experiment(name, quick=not args.full)
+            print(report)
+            print()
+            print(f"---- {name}: per-phase wall clock ----")
+            print(timer.report())
+        else:
+            print(run_experiment(name, quick=not args.full))
+        print()
+    return 0
+
+
+def serve_main(argv: list[str]) -> int:
+    # Imported lazily: `repro run` and friends should not pay for (or be
+    # able to break on) the serving stack.
+    from repro.serving.cli import main as serving_main
+
+    return serving_main(argv)
+
+
+def dispatch(argv: list[str], *, empty_runs_all: bool = False) -> int:
+    """Route one invocation.
+
+    ``empty_runs_all`` preserves the historical ``python -m repro.experiments``
+    contract where a bare invocation runs every experiment; the new top
+    level prints the overview instead.
+    """
+    if argv and argv[0] == "run":
+        return run_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+    if argv and argv[0] == "scenario":
+        from repro.scenarios.schema.cli import main as scenario_main
+
+        return scenario_main(argv[1:])
+    if argv and argv[0] == "verify-records":
+        return verify_records_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if not argv and not empty_runs_all:
+        print(_OVERVIEW, end="")
+        return 0
+    if argv and argv[0] in ("help", "--help", "-h"):
+        print(_OVERVIEW, end="")
+        return 0
+    # Anything else is `run` input: experiment names or run flags.
+    return run_main(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    return dispatch(list(sys.argv[1:] if argv is None else argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,372 +1,63 @@
-"""Command-line entry point: ``python -m repro.experiments [name ...]``.
+"""Deprecated entry point: ``python -m repro.experiments`` — use ``repro``.
 
-Without arguments every registered experiment runs in quick mode; pass
-experiment names to run a subset, and ``--full`` for the full-size versions
-(slower, closer to the EXPERIMENTS.md numbers).
-
-``python -m repro.experiments sweep EXPERIMENT ...`` runs a parallel sweep
-campaign instead: parameter grids (``--grid key=v1,v2``), random or
-Latin-hypercube samples (``--range key=lo:hi --sample latin --n-samples N``),
-executed over ``--jobs`` worker processes with per-task seeds derived from
-``--seed``, written as structured records to ``--out``/``--csv``.
-
-The ``robustness`` experiment sweeps the attack-scenario catalog by name,
-e.g. ``sweep robustness --grid scenario=collusion-ring,slander``, and the
-declarative template library by template name, e.g.
-``sweep robustness --grid template=marketplace --grid tier=small,medium``.
-
-``python -m repro.experiments scenario <list|validate|verify|run>`` manages
-the declarative scenario templates (see :mod:`repro.scenarios.schema.cli`).
-
-``python -m repro.experiments verify-records PATH...`` checks record
-artifacts for truncation or bit rot: JSON/CSV files against their SHA-256
-sidecars, sweep journals line by line.
+The CLI moved to the unified tree in :mod:`repro.cli` (``python -m repro`` /
+the ``repro`` console script).  This module stays as a compatibility shim:
+it warns once per process and forwards, and the forwarded invocations
+produce byte-identical artifacts to the new spellings (held by a CI check
+and by ``tests/test_cli_unified.py``).  The parser builders and subcommand
+mains remain importable from here for the same reason.
 """
 
 from __future__ import annotations
 
 import argparse
-import contextlib
-import json
 import sys
-from typing import TextIO
+import warnings
 
-from repro import _profiling
-from repro.errors import ConfigurationError, IntegrityError
-from repro.experiments.journal import JOURNAL_MAGIC, verify_journal
-from repro.experiments.reporting import format_sweep_summary
-from repro.experiments.results import ExperimentRecord, verify_file_checksum
-from repro.experiments.runner import EXPERIMENTS, run_experiment
-from repro.experiments.sweep import RetryPolicy, run_sweep, spec_from_options
-from repro.scenarios.schema.cli import main as scenario_main
+from repro.cli import (
+    build_run_parser,
+    build_sweep_parser,
+    build_verify_parser,
+    sweep_main,
+    verify_records_main,
+)
+
+__all__ = [
+    "build_parser",
+    "build_sweep_parser",
+    "build_verify_parser",
+    "main",
+    "sweep_main",
+    "verify_records_main",
+]
+
+_warned = False
 
 
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Run the paper-reproduction experiments.",
-        epilog=(
-            "Use the 'sweep' subcommand for parallel parameter campaigns: "
-            "python -m repro.experiments sweep figure1 --grid n_users=25,50 "
-            "--jobs 2 --seed 7 --out results.json"
-        ),
-    )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        metavar="EXPERIMENT",
-        help=f"experiments to run (default: all). Available: {', '.join(sorted(EXPERIMENTS))}",
-    )
-    parser.add_argument(
-        "--full",
-        action="store_true",
-        help="run the full-size experiments instead of the quick versions",
-    )
-    parser.add_argument(
-        "--list",
-        action="store_true",
-        help="list the available experiments and exit",
-    )
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help=(
-            "print a per-phase wall-clock table (setup / simulate / refresh "
-            "/ metrics) after each experiment — the map for finding the "
-            "next hot path"
-        ),
-    )
-    return parser
+    """The historical name for the run-mode parser."""
+    return build_run_parser(prog="python -m repro.experiments")
 
 
-def build_sweep_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments sweep",
-        description=(
-            "Run a parallel sweep campaign over one registered experiment "
-            "and write structured records."
-        ),
+def _warn_once() -> None:
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        "python -m repro.experiments is deprecated; use `python -m repro` "
+        "(or the `repro` console script). Subcommands and flags are "
+        "unchanged and outputs are byte-identical.",
+        DeprecationWarning,
+        stacklevel=3,
     )
-    parser.add_argument(
-        "experiment",
-        metavar="EXPERIMENT",
-        help=f"experiment to sweep. Available: {', '.join(sorted(EXPERIMENTS))}",
-    )
-    parser.add_argument(
-        "--grid",
-        action="append",
-        default=[],
-        metavar="KEY=V1,V2,...",
-        help="explicit values for one parameter (repeatable)",
-    )
-    parser.add_argument(
-        "--range",
-        action="append",
-        default=[],
-        dest="ranges",
-        metavar="KEY=LOW:HIGH",
-        help="continuous interval for one parameter (random/latin samplers only)",
-    )
-    parser.add_argument(
-        "--sample",
-        choices=("grid", "random", "latin"),
-        default="grid",
-        help="how to cover the parameter space (default: full cartesian grid)",
-    )
-    parser.add_argument(
-        "--n-samples",
-        type=int,
-        default=0,
-        help="number of sampled points for --sample random/latin",
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes (default 1; results are identical either way)",
-    )
-    parser.add_argument(
-        "--chunksize",
-        type=int,
-        default=None,
-        help=(
-            "tasks per worker submission (default: ~4 chunks per worker); "
-            "records are identical for any chunking"
-        ),
-    )
-    parser.add_argument(
-        "--stream",
-        metavar="PATH",
-        help=(
-            "stream records to this JSONL file in task order as they "
-            "complete (the --out JSON is still written at the end)"
-        ),
-    )
-    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
-    parser.add_argument(
-        "--backend",
-        choices=("auto", "python", "vectorized"),
-        default="auto",
-        help=(
-            "compute backend for every task (default auto: vectorized when "
-            "numpy is available); records are identical either way"
-        ),
-    )
-    parser.add_argument(
-        "--out",
-        metavar="PATH",
-        help="write the JSON record file here",
-    )
-    parser.add_argument(
-        "--csv",
-        metavar="PATH",
-        help="also write the records as CSV here",
-    )
-    parser.add_argument(
-        "--full",
-        action="store_true",
-        help=(
-            "base each task on the experiment's full-size defaults instead "
-            "of its quick preset"
-        ),
-    )
-    parser.add_argument(
-        "--journal",
-        metavar="PATH",
-        help=(
-            "durable resume journal: completed records are fsynced here as "
-            "they finish; re-running with the same spec and journal skips "
-            "them (byte-identical output to a cold sweep)"
-        ),
-    )
-    parser.add_argument(
-        "--retries",
-        type=int,
-        default=0,
-        help="re-run a failing task up to N extra times with backoff (default 0)",
-    )
-    parser.add_argument(
-        "--retry-backoff",
-        type=float,
-        default=0.05,
-        metavar="SECONDS",
-        help="initial retry backoff, doubling per attempt (default 0.05s)",
-    )
-    parser.add_argument(
-        "--retry-deadline",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-task wall-clock budget across attempts (default: none)",
-    )
-    return parser
-
-
-def build_verify_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments verify-records",
-        description=(
-            "Verify the integrity of record artifacts: JSON/CSV files "
-            "against their SHA-256 sidecars, sweep journals line by line."
-        ),
-    )
-    parser.add_argument(
-        "paths",
-        nargs="+",
-        metavar="PATH",
-        help="record files (.json/.csv, checked against <file>.sha256) or sweep journals",
-    )
-    return parser
-
-
-def _verify_one(path: str) -> str | None:
-    """Check one artifact; returns an error message or ``None`` when intact."""
-    try:
-        with open(path, "rb") as handle:
-            first = handle.readline()
-    except OSError as error:
-        return f"cannot read file: {error}"
-    if first.startswith(b'{"campaign_sha256"') or JOURNAL_MAGIC.encode() in first:
-        try:
-            n_valid, n_invalid = verify_journal(path)
-        except IntegrityError as error:
-            return str(error)
-        if n_invalid:
-            return f"{n_invalid} corrupt/truncated journal lines ({n_valid} intact)"
-        return None
-    try:
-        verify_file_checksum(path)
-    except IntegrityError as error:
-        return str(error)
-    return None
-
-
-def verify_records_main(argv: list[str]) -> int:
-    parser = build_verify_parser()
-    args = parser.parse_args(argv)
-    failures = 0
-    for path in args.paths:
-        problem = _verify_one(path)
-        if problem is None:
-            print(f"{path}: ok")
-        else:
-            failures += 1
-            print(f"{path}: FAIL: {problem}")
-    return 1 if failures else 0
-
-
-def sweep_main(argv: list[str]) -> int:
-    parser = build_sweep_parser()
-    args = parser.parse_args(argv)
-    try:
-        spec = spec_from_options(
-            args.experiment,
-            grid_options=args.grid,
-            range_options=args.ranges,
-            sampler=args.sample,
-            n_samples=args.n_samples,
-            seed=args.seed,
-            quick_base=not args.full,
-            backend=args.backend,
-        )
-    except (ConfigurationError, ValueError) as exc:
-        parser.error(str(exc))
-    on_record = None
-    with contextlib.ExitStack() as stack:
-        if args.stream:
-            stream_handle = stack.enter_context(
-                open(args.stream, "w", encoding="utf-8", newline="\n")
-            )
-
-            def on_record(record: ExperimentRecord, handle: TextIO = stream_handle) -> None:
-                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
-                handle.flush()
-
-        retry = None
-        if args.retries or args.retry_deadline is not None:
-            retry = RetryPolicy(
-                max_attempts=args.retries + 1,
-                backoff_base=args.retry_backoff,
-                deadline=args.retry_deadline,
-            )
-        try:
-            result = run_sweep(
-                spec,
-                jobs=args.jobs,
-                chunksize=args.chunksize,
-                on_record=on_record,
-                retry=retry,
-                journal=args.journal,
-            )
-        except ConfigurationError as exc:
-            parser.error(str(exc))
-    print(format_sweep_summary(result.records))
-    print()
-    print(
-        f"{len(result.records)} tasks in {result.wall_time:.2f}s "
-        f"({result.tasks_per_second:.2f} tasks/s, jobs={result.jobs})"
-    )
-    if result.n_resumed:
-        print(f"{result.n_resumed} tasks resumed from journal {args.journal}")
-    if args.stream:
-        print(f"records streamed to {args.stream}")
-    if args.out:
-        result.write_json(args.out)
-        print(f"records written to {args.out}")
-    if args.csv:
-        result.write_csv(args.csv)
-        print(f"CSV written to {args.csv}")
-    for record in result.failed_records:
-        failure = record.failure or {}
-        retries = failure.get("retries", 0)
-        print(
-            f"FAILED task {record.task_index} "
-            f"(params={json.dumps(record.params, sort_keys=True)}, "
-            f"retries={retries}): {record.error}",
-            file=sys.stderr,
-        )
-    if result.n_errors:
-        print(f"{result.n_errors} of {len(result.records)} tasks failed", file=sys.stderr)
-        return 1
-    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "sweep":
-        return sweep_main(argv[1:])
-    if argv and argv[0] == "scenario":
-        return scenario_main(argv[1:])
-    if argv and argv[0] == "verify-records":
-        return verify_records_main(argv[1:])
+    _warn_once()
+    from repro.cli import dispatch
 
-    parser = build_parser()
-    args = parser.parse_args(argv)
-
-    if args.list:
-        for name, entry in sorted(EXPERIMENTS.items()):
-            ids = ", ".join(entry.experiment_ids)
-            print(f"{name:16s} [{ids}] {entry.description}")
-        return 0
-
-    names = args.experiments or sorted(EXPERIMENTS)
-    unknown = [name for name in names if name not in EXPERIMENTS]
-    if unknown:
-        parser.error(f"unknown experiments: {', '.join(unknown)}")
-
-    for name in names:
-        print(f"==== {name} ====")
-        if args.profile:
-            with _profiling.profiled() as timer:
-                report = run_experiment(name, quick=not args.full)
-            print(report)
-            print()
-            print(f"---- {name}: per-phase wall clock ----")
-            print(timer.report())
-        else:
-            print(run_experiment(name, quick=not args.full))
-        print()
-    return 0
+    return dispatch(list(sys.argv[1:] if argv is None else argv), empty_runs_all=True)
 
 
 if __name__ == "__main__":

@@ -29,6 +29,45 @@ from repro.experiments import (
 )
 
 
+class RunResult(dict[str, object]):
+    """Flat summary metrics of one experiment run, typed for the facade.
+
+    A ``dict`` subclass: the *old* public shape of
+    :func:`run_experiment_structured` — a bare ``metric name -> scalar``
+    mapping — is a strict subset of this object, so every legacy consumer
+    (sweep engine, CI artifacts, ``json.dumps``) keeps working bytewise.
+    New code gets the run's identity as attributes instead of threading it
+    out of band: which experiment ran, the keyword parameters actually
+    passed, and the seed (``None`` for the analytic experiments).
+    ``metrics()`` is the explicit deprecation alias for the legacy
+    plain-dict shape.
+    """
+
+    #: Name of the registered experiment that produced these metrics.
+    experiment: str
+    #: Keyword arguments the experiment's ``run()`` actually received.
+    params: dict[str, object]
+    #: The seed forwarded to ``run()``, or ``None`` when it takes none.
+    seed: int | None
+
+    def __init__(
+        self,
+        metrics: dict[str, object] | None = None,
+        *,
+        experiment: str = "",
+        params: dict[str, object] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(metrics if metrics is not None else {})
+        self.experiment = experiment
+        self.params = dict(params) if params is not None else {}
+        self.seed = seed
+
+    def metrics(self) -> dict[str, object]:
+        """The legacy bare-dict shape (plain copy, no attributes)."""
+        return dict(self)
+
+
 @dataclass(frozen=True)
 class ExperimentEntry:
     """One registered experiment."""
@@ -178,7 +217,7 @@ def run_experiment_structured(
     seed: int | None = None,
     backend: str | None = None,
     **overrides: object,
-) -> dict[str, object]:
+) -> RunResult:
     """Run one experiment and return its flat ``summarize()`` metrics.
 
     ``seed`` is forwarded to ``run()`` only when the experiment accepts a
@@ -186,6 +225,10 @@ def run_experiment_structured(
     pass derived seeds unconditionally.  ``backend`` works the same way: it
     selects the compute backend on experiments that take one and is ignored
     (harmlessly — results are backend-independent by contract) elsewhere.
+
+    Returns a :class:`RunResult` — a ``dict`` subclass carrying the metric
+    mapping (the historical bare-dict return shape) plus the run's identity
+    as attributes.
     """
     entry = get_experiment(name)
     kwargs = _merged_kwargs(entry, quick=quick, overrides=overrides)
@@ -194,4 +237,9 @@ def run_experiment_structured(
     if backend is not None and entry.accepts("backend"):
         kwargs.setdefault("backend", backend)
     result = entry.run(**kwargs)
-    return entry.summarize(result)
+    return RunResult(
+        entry.summarize(result),
+        experiment=name,
+        params=kwargs,
+        seed=kwargs.get("seed") if isinstance(kwargs.get("seed"), int) else None,
+    )

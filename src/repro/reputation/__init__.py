@@ -31,7 +31,7 @@ from repro.reputation.accuracy import (
 )
 from repro.reputation.anonymous import AnonymousFeedbackReputation
 from repro.reputation.average import SimpleAverageReputation
-from repro.reputation.base import ReputationSystem
+from repro.reputation.base import ReputationSystem, ScoreView
 from repro.reputation.beta import BetaReputation
 from repro.reputation.eigentrust import EigenTrust
 from repro.reputation.gathering import FeedbackStore, LocalTrustBuilder
@@ -90,6 +90,7 @@ __all__ = [
     "ResponseDesign",
     "ResponsePolicy",
     "SYSTEM_TAXONOMY",
+    "ScoreView",
     "ScoringDesign",
     "SelectBest",
     "SimpleAverageReputation",

@@ -40,6 +40,50 @@ from repro.simulation.transaction import Feedback
 SCORE_DECIMALS = 9
 
 
+class ScoreView(dict[str, float]):
+    """Published reputation scores, typed for the public boundary.
+
+    A ``dict`` subclass, so the *old* public shape — ``refresh()`` and
+    ``scores()`` returning a bare ``peer_id -> score`` mapping — keeps
+    working unchanged (iteration, ``json.dumps``, ``==`` against plain
+    dicts, everything).  The class exists so facade consumers get typed
+    helpers instead of re-deriving rankings and defaults from a raw dict:
+    :meth:`ranking`, :meth:`top`, :meth:`score_of` and the
+    :attr:`default_score` the mechanism would hand out for unknown peers.
+    ``as_dict()`` is the explicit deprecation alias for code that wants the
+    legacy plain-dict shape back.
+    """
+
+    #: Score served for peers the mechanism has no evidence about.
+    default_score: float
+
+    def __init__(
+        self, scores: dict[str, float] | None = None, *, default_score: float = 0.5
+    ) -> None:
+        super().__init__(scores if scores is not None else {})
+        self.default_score = default_score
+
+    def score_of(self, peer_id: str) -> float:
+        """Score of a peer; unknown peers get :attr:`default_score`."""
+        return self.get(peer_id, self.default_score)
+
+    def ranking(self) -> list[str]:
+        """Peer identifiers ordered from most to least reputable.
+
+        Ties break lexicographically on the peer id, mirroring
+        :meth:`ReputationSystem.ranking`, so rankings are deterministic.
+        """
+        return sorted(self, key=lambda peer: (-self[peer], peer))
+
+    def top(self, n: int) -> list[tuple[str, float]]:
+        """The ``n`` most reputable ``(peer_id, score)`` pairs."""
+        return [(peer, self[peer]) for peer in self.ranking()[: max(n, 0)]]
+
+    def as_dict(self) -> dict[str, float]:
+        """The legacy bare-dict shape (plain copy, no view semantics)."""
+        return dict(self)
+
+
 class ReputationSystem(abc.ABC):
     """Base class of every reputation mechanism."""
 
@@ -95,12 +139,13 @@ class ReputationSystem(abc.ABC):
     def compute_scores(self) -> dict[str, float]:
         """Recompute the score of every known peer; values in ``[0, 1]``."""
 
-    def refresh(self) -> dict[str, float]:
+    def refresh(self) -> ScoreView:
         """Recompute and cache scores if new evidence arrived since last time.
 
         Scores are clamped into ``[0, 1]`` and quantized to the 1e-9
         :data:`SCORE_DECIMALS` grid — see the note there on cross-backend
-        determinism.
+        determinism.  Returns a :class:`ScoreView` (a ``dict`` subclass:
+        the historical bare-dict return shape is a strict subset of it).
         """
         if self._dirty or not self._scores:
             # Inline clamp: this comprehension publishes every score of
@@ -110,7 +155,7 @@ class ReputationSystem(abc.ABC):
                 for peer, score in self.compute_scores().items()
             }
             self._dirty = False
-        return dict(self._scores)
+        return ScoreView(self._scores, default_score=self.default_score)
 
     def score(self, peer_id: str) -> float:
         """Cached score of a peer; unknown peers get the default score."""
@@ -118,11 +163,11 @@ class ReputationSystem(abc.ABC):
             self.refresh()
         return self._scores.get(peer_id, self.default_score)
 
-    def scores(self) -> dict[str, float]:
-        """Cached scores of every known peer."""
+    def scores(self) -> ScoreView:
+        """Cached scores of every known peer as a :class:`ScoreView`."""
         if self._dirty or not self._scores:
             self.refresh()
-        return dict(self._scores)
+        return ScoreView(self._scores, default_score=self.default_score)
 
     def ranking(self) -> list[str]:
         """Peer identifiers ordered from most to least reputable."""

@@ -1,0 +1,36 @@
+"""Reputation-as-a-service: a live serving layer over the paper's mechanisms.
+
+The batch pipeline answers "what would the scores have been"; this package
+answers "what are the scores *now*".  :class:`ReputationService` is a
+transport-agnostic session object — it owns a reputation system plus an
+append-only evidence log, folds streamed feedback through the incremental
+refresh path, and publishes score views at an explicit watermark.  Thin
+adapters in :mod:`repro.serving.http` put that session behind HTTP (stdlib
+``ThreadingHTTPServer`` always; FastAPI when installed), and
+:mod:`repro.serving.loadgen` replays scenario traces against a live server
+for the benchmark and CI gates.
+
+Durability reuses the simulation checkpoint machinery: ``snapshot()`` /
+``restore()`` round-trip the whole session through a checksummed checkpoint
+file, and a restarted server provably (CI-enforced) publishes byte-identical
+scores to one that never stopped.
+"""
+
+from repro.serving.service import (
+    IngestReceipt,
+    PeerSummary,
+    ReputationService,
+    ServiceConfig,
+    feedback_from_payload,
+)
+from repro.serving.http import create_asgi_app, create_http_server
+
+__all__ = [
+    "IngestReceipt",
+    "PeerSummary",
+    "ReputationService",
+    "ServiceConfig",
+    "create_asgi_app",
+    "create_http_server",
+    "feedback_from_payload",
+]

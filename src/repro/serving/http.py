@@ -1,0 +1,272 @@
+"""HTTP adapters over :class:`~repro.serving.service.ReputationService`.
+
+Two thin transports over the same transport-agnostic session object:
+
+* :func:`create_http_server` — a stdlib ``ThreadingHTTPServer``.  Zero new
+  dependencies, so tier-1 CI (and the serve-gate job) exercises the real
+  network path on a bare container.  This is the adapter ``repro-serve``
+  boots by default.
+* :func:`create_asgi_app` — a FastAPI application exposing the same routes,
+  for deployments that already run an ASGI stack (uvicorn/gunicorn worker
+  models).  FastAPI is strictly optional: the factory raises a pointed
+  error when it is not installed, and nothing else in the package imports
+  it.
+
+The v1 API surface (both adapters, documented in docs/API.md):
+
+=========  ==================  ===========================================
+method     path                semantics
+=========  ==================  ===========================================
+``POST``   ``/v1/feedback``    ingest one event object or ``{"events": [...]}``
+``GET``    ``/v1/scores``      published scores at the current watermark
+``GET``    ``/v1/peers/{id}``  one peer's score/rank summary
+``POST``   ``/v1/snapshot``    persist the session (``{"path": ...}``)
+``GET``    ``/v1/health``      liveness, counters, SLA latency summary
+=========  ==================  ===========================================
+
+Every response is JSON with sorted keys, so two servers serving the same
+session state answer byte-identically — the serve-gate's restart check
+compares raw response bodies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ConfigurationError, ReproError
+from repro.serving.service import ReputationService
+
+#: Cap on request bodies (16 MiB): a runaway client should get a 413, not
+#: an out-of-memory server.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+def _scores_payload(service: ReputationService, limit: int | None) -> dict[str, object]:
+    """The ``/v1/scores`` response body (shared by both adapters)."""
+    view = service.scores()
+    if limit is None:
+        scores: dict[str, float] = dict(view)
+    else:
+        scores = dict(view.top(limit))
+    return {
+        "watermark": service.watermark,
+        "pending": service.pending,
+        "default_score": view.default_score,
+        "scores": scores,
+        "ranking": view.ranking() if limit is None else [peer for peer, _ in view.top(limit)],
+    }
+
+
+def _ingest_payload(service: ReputationService, body: object) -> dict[str, object]:
+    """The ``/v1/feedback`` response body (shared by both adapters)."""
+    if isinstance(body, dict) and "events" in body:
+        events = body["events"]
+        if not isinstance(events, list):
+            raise ConfigurationError("'events' must be a list of feedback objects")
+    elif isinstance(body, dict):
+        events = [body]
+    elif isinstance(body, list):
+        events = body
+    else:
+        raise ConfigurationError("feedback body must be an object or a list")
+    receipt = service.ingest_many(events)
+    return dict(asdict(receipt))
+
+
+def _snapshot_payload(
+    service: ReputationService, body: object, default_path: str | None
+) -> dict[str, object]:
+    """The ``/v1/snapshot`` response body (shared by both adapters)."""
+    path = default_path
+    if isinstance(body, dict) and body.get("path") is not None:
+        raw_path = body["path"]
+        if not isinstance(raw_path, str) or not raw_path:
+            raise ConfigurationError("snapshot 'path' must be a non-empty string")
+        path = raw_path
+    if path is None:
+        raise ConfigurationError(
+            "no snapshot path: POST {\"path\": ...} or start the server with --snapshot"
+        )
+    return service.snapshot(path)
+
+
+class ReputationRequestHandler(BaseHTTPRequestHandler):
+    """Routes v1 requests onto the server's service session."""
+
+    #: Advertised in the ``Server`` response header.
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    server: ReputationHTTPServer
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Per-request stderr logging is off; latency lives in /v1/health."""
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message, "status": status})
+
+    def _read_body(self) -> object:
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ConfigurationError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ConfigurationError(f"request body is not valid JSON: {error}") from error
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        url = urlparse(self.path)
+        service = self.server.service
+        try:
+            if url.path == "/v1/health":
+                self._send_json(200, service.health())
+            elif url.path == "/v1/scores":
+                query = parse_qs(url.query)
+                limit: int | None = None
+                if "limit" in query:
+                    try:
+                        limit = int(query["limit"][0])
+                    except ValueError:
+                        self._send_error_json(400, "limit must be an integer")
+                        return
+                self._send_json(200, _scores_payload(service, limit))
+            elif url.path.startswith("/v1/peers/"):
+                peer_id = url.path[len("/v1/peers/") :]
+                if not peer_id or "/" in peer_id:
+                    self._send_error_json(404, f"no such route: {url.path}")
+                    return
+                summary = service.peer(peer_id)
+                self._send_json(200 if summary.known else 404, dict(asdict(summary)))
+            else:
+                self._send_error_json(404, f"no such route: {url.path}")
+        except ReproError as error:
+            self._send_error_json(400, str(error))
+
+    def do_POST(self) -> None:
+        url = urlparse(self.path)
+        service = self.server.service
+        try:
+            body = self._read_body()
+            if url.path == "/v1/feedback":
+                self._send_json(200, _ingest_payload(service, body))
+            elif url.path == "/v1/snapshot":
+                payload = _snapshot_payload(service, body, self.server.snapshot_path)
+                self._send_json(200, payload)
+            else:
+                self._send_error_json(404, f"no such route: {url.path}")
+        except ReproError as error:
+            self._send_error_json(400, str(error))
+
+
+class ReputationHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one service session."""
+
+    #: Threads die with the process; the serve-gate SIGKILLs servers on
+    #: purpose and must not hang on connection threads.
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: ReputationService,
+        *,
+        snapshot_path: str | None = None,
+    ) -> None:
+        super().__init__(address, ReputationRequestHandler)
+        self.service = service
+        self.snapshot_path = snapshot_path
+
+
+def create_http_server(
+    service: ReputationService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    snapshot_path: str | None = None,
+) -> ReputationHTTPServer:
+    """Bind the stdlib adapter; ``port=0`` picks a free port (see
+    ``server.server_address`` for the bound one)."""
+    return ReputationHTTPServer((host, port), service, snapshot_path=snapshot_path)
+
+
+def create_asgi_app(
+    service: ReputationService, *, snapshot_path: str | None = None
+) -> Any:
+    """A FastAPI application over the same session and routes.
+
+    Requires ``fastapi`` (deliberately not a dependency of this package);
+    raises :class:`ConfigurationError` with installation guidance when it
+    is missing.  Route semantics and response bodies match the stdlib
+    adapter exactly — the adapters share the payload builders.
+    """
+    try:
+        from fastapi import FastAPI, HTTPException, Request
+        from fastapi.responses import JSONResponse
+    except ImportError as error:  # pragma: no cover - exercised without fastapi
+        raise ConfigurationError(
+            "the ASGI adapter needs fastapi (pip install fastapi); "
+            "use the stdlib adapter (create_http_server / repro-serve) otherwise"
+        ) from error
+
+    app = FastAPI(title="repro reputation service", version="1")
+
+    def _json(payload: dict[str, object], status: int = 200) -> Any:
+        # Sorted keys keep ASGI responses byte-identical to the stdlib
+        # adapter for the same session state.
+        return JSONResponse(
+            content=json.loads(json.dumps(payload, sort_keys=True)), status_code=status
+        )
+
+    @app.get("/v1/health")
+    def health() -> Any:
+        return _json(service.health())
+
+    @app.get("/v1/scores")
+    def scores(limit: int | None = None) -> Any:
+        return _json(_scores_payload(service, limit))
+
+    @app.get("/v1/peers/{peer_id}")
+    def peer(peer_id: str) -> Any:
+        summary = service.peer(peer_id)
+        return _json(dict(asdict(summary)), status=200 if summary.known else 404)
+
+    @app.post("/v1/feedback")
+    async def feedback(request: Request) -> Any:
+        try:
+            body = await request.json()
+        except Exception as error:
+            raise HTTPException(400, f"request body is not valid JSON: {error}") from error
+        try:
+            return _json(_ingest_payload(service, body))
+        except ReproError as error:
+            raise HTTPException(400, str(error)) from error
+
+    @app.post("/v1/snapshot")
+    async def snapshot(request: Request) -> Any:
+        raw = await request.body()
+        body = json.loads(raw.decode("utf-8")) if raw else None
+        try:
+            return _json(_snapshot_payload(service, body, snapshot_path))
+        except ReproError as error:
+            raise HTTPException(400, str(error)) from error
+
+    return app

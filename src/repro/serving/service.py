@@ -1,0 +1,367 @@
+"""The transport-agnostic reputation service session.
+
+:class:`ReputationService` stands the offline reputation engine up as a
+long-lived session: it owns one :class:`~repro.reputation.base.ReputationSystem`
+plus an append-only evidence log, accepts streaming feedback ingestion, and
+serves score/rank queries off the *current watermark* — the published
+:class:`~repro.reputation.base.ScoreView` of the last refresh.  Ingestion is
+batched into the PR-5 incremental-refresh path: every accepted event lands in
+the mechanism's evidence store immediately (an O(1) append the incremental
+pair-ledger folds later), and scores are re-published once per
+``refresh_every`` events instead of per event, so queries between refreshes
+are dictionary lookups.
+
+Restart safety reuses the PR-8 checkpoint machinery: :meth:`snapshot` writes
+a versioned, SHA-256-checksummed checkpoint file (kind ``"service"``) holding
+the full session — config, mechanism with its evidence store and incremental
+fold state, evidence log, counters and the published scores — and
+:meth:`ReputationService.restore` rehydrates it.  A service restored
+mid-stream and fed the remaining events publishes *byte-identical* final
+scores to an uninterrupted session; ``tests/serving`` and the CI serve-gate
+enforce this.
+
+Thread safety: one re-entrant lock serializes every state-touching operation,
+so the threaded HTTP adapter can fan requests in without coordination.
+Latency accounting is strictly observational (see :mod:`repro.serving.sla`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.reputation import REPUTATION_FACTORIES, make_reputation_system
+from repro.reputation.base import ReputationSystem, ScoreView
+from repro.serving.sla import OperationClock
+from repro.simulation.checkpoint import read_checkpoint, write_checkpoint
+from repro.simulation.transaction import Feedback
+
+#: Checkpoint ``kind`` tag for service snapshots.
+SERVICE_CHECKPOINT_KIND = "service"
+
+#: Operation families the service tracks latencies for.
+SERVICE_OPERATIONS = ("ingest", "query", "refresh", "snapshot")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a reputation service session is parameterized on."""
+
+    #: Registered mechanism name (``repro.reputation.REPUTATION_FACTORIES``).
+    mechanism: str = "beta"
+    #: Compute backend request ("auto", "python" or "vectorized").
+    backend: str = "auto"
+    #: Publish fresh scores every N accepted events (1 = per event).
+    refresh_every: int = 64
+    #: Score served for peers without evidence.
+    default_score: float = 0.5
+    #: Optional per-subject evidence cap forwarded to the mechanism.
+    max_evidence_per_subject: int | None = None
+    #: Ring-buffer window of the per-operation latency trackers.
+    latency_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in REPUTATION_FACTORIES:
+            raise ConfigurationError(
+                f"unknown mechanism {self.mechanism!r}; expected one of "
+                f"{sorted(REPUTATION_FACTORIES)}"
+            )
+        if self.refresh_every < 1:
+            raise ConfigurationError("refresh_every must be at least 1")
+        if self.latency_window < 1:
+            raise ConfigurationError("latency_window must be at least 1")
+
+
+@dataclass(frozen=True)
+class IngestReceipt:
+    """What one ingest call tells the client."""
+
+    #: Events accepted by this call.
+    accepted: int
+    #: Total events accepted over the session's lifetime.
+    ingested: int
+    #: Events folded into the currently published scores.
+    watermark: int
+    #: Whether this call crossed a refresh boundary and republished scores.
+    refreshed: bool
+
+
+@dataclass(frozen=True)
+class PeerSummary:
+    """One peer's served reputation state at a watermark."""
+
+    peer_id: str
+    score: float
+    #: 1-based position in the ranking; ``None`` for unknown peers.
+    rank: int | None
+    #: Whether the published scores carry this peer at all.
+    known: bool
+    #: Watermark (events folded) the summary was served at.
+    watermark: int
+
+
+@dataclass
+class ServiceSnapshot:
+    """Checkpoint payload of a paused service session.
+
+    The mechanism travels with its whole gathering state (feedback store,
+    incremental pair-ledger folds, cached scores), so a restored service
+    continues the incremental-refresh path exactly where it stopped.
+    """
+
+    config: ServiceConfig
+    system: ReputationSystem
+    evidence: list[Feedback]
+    ingested: int
+    watermark: int
+    refreshes: int
+    published: dict[str, float] = field(default_factory=dict)
+
+
+def feedback_from_payload(payload: Mapping[str, object], *, sequence: int) -> Feedback:
+    """Build a :class:`Feedback` from a client JSON object.
+
+    Required fields: ``subject`` (peer id) and ``rating`` (number in
+    ``[0, 1]``).  Optional: ``rater`` (omit or ``null`` for anonymous
+    reports), ``time`` and ``transaction_id`` (both default to the ingest
+    sequence number, which preserves arrival order for forgetting-weighted
+    mechanisms).  Unknown fields are rejected — a silently dropped typo in
+    a feedback field would corrupt evidence without any error surfacing.
+    """
+    allowed = {"subject", "rating", "rater", "time", "transaction_id"}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ConfigurationError(f"unknown feedback fields: {unknown}")
+    subject = payload.get("subject")
+    if not isinstance(subject, str) or not subject:
+        raise ConfigurationError("feedback needs a non-empty string 'subject'")
+    rating = payload.get("rating")
+    if isinstance(rating, bool) or not isinstance(rating, (int, float)):
+        raise ConfigurationError("feedback needs a numeric 'rating' in [0, 1]")
+    rater = payload.get("rater")
+    if rater is not None and not isinstance(rater, str):
+        raise ConfigurationError("'rater' must be a string or null")
+    time = payload.get("time", sequence)
+    if isinstance(time, bool) or not isinstance(time, int):
+        raise ConfigurationError("'time' must be an integer")
+    transaction_id = payload.get("transaction_id", sequence)
+    if isinstance(transaction_id, bool) or not isinstance(transaction_id, int):
+        raise ConfigurationError("'transaction_id' must be an integer")
+    return Feedback(
+        transaction_id=transaction_id,
+        time=time,
+        subject=subject,
+        rating=float(rating),
+        rater=rater,
+    )
+
+
+class ReputationService:
+    """A live reputation-serving session over one mechanism.
+
+    See the module docstring for the architecture.  All public methods are
+    thread-safe; none of them block on anything but the session lock.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, **overrides: object) -> None:
+        if config is None:
+            config = ServiceConfig(**overrides)  # type: ignore[arg-type]
+        elif overrides:
+            raise ConfigurationError("pass either a config object or keyword overrides")
+        self.config = config
+        self._system = make_reputation_system(
+            config.mechanism,
+            default_score=config.default_score,
+            max_evidence_per_subject=config.max_evidence_per_subject,
+            backend=config.backend,
+        )
+        self._evidence: list[Feedback] = []
+        self._ingested = 0
+        self._watermark = 0
+        self._refreshes = 0
+        self._published = ScoreView(default_score=config.default_score)
+        self._ranking: list[str] = []
+        self._lock = threading.RLock()
+        self._clock = OperationClock(SERVICE_OPERATIONS, window=config.latency_window)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, event: Feedback | Mapping[str, object]) -> IngestReceipt:
+        """Accept one feedback event (see :meth:`ingest_many`)."""
+        return self.ingest_many((event,))
+
+    def ingest_many(
+        self, events: Iterable[Feedback | Mapping[str, object]]
+    ) -> IngestReceipt:
+        """Accept a batch of feedback events in order.
+
+        Every event is appended to the evidence log and the mechanism's
+        store immediately; scores are republished whenever the accepted
+        count crosses a ``refresh_every`` boundary, so one large batch may
+        refresh several times (the same watermarks a one-by-one stream
+        would hit — restart byte-identity depends on that).
+        """
+        accepted = 0
+        refreshed = False
+        with self._lock, self._clock.timed("ingest"):
+            for event in events:
+                if isinstance(event, Feedback):
+                    feedback = event
+                else:
+                    feedback = feedback_from_payload(event, sequence=self._ingested)
+                self._evidence.append(feedback)
+                self._system.record_feedback(feedback)
+                self._ingested += 1
+                accepted += 1
+                if self._ingested % self.config.refresh_every == 0:
+                    self._publish()
+                    refreshed = True
+            return IngestReceipt(
+                accepted=accepted,
+                ingested=self._ingested,
+                watermark=self._watermark,
+                refreshed=refreshed,
+            )
+
+    def _publish(self) -> None:
+        """Refresh the mechanism and publish the new score watermark."""
+        with self._clock.timed("refresh"):
+            self._published = self._system.refresh()
+            self._ranking = self._published.ranking()
+            self._watermark = self._ingested
+            self._refreshes += 1
+
+    def refresh(self) -> ScoreView:
+        """Force a refresh now (flushes any pending events) and publish."""
+        with self._lock:
+            self._publish()
+            return self._published
+
+    # -- queries -----------------------------------------------------------
+
+    def scores(self) -> ScoreView:
+        """The published scores at the current watermark (no refresh)."""
+        with self._lock, self._clock.timed("query"):
+            return ScoreView(self._published, default_score=self.config.default_score)
+
+    def ranking(self, limit: int | None = None) -> list[str]:
+        """Peer ids from most to least reputable at the current watermark."""
+        with self._lock, self._clock.timed("query"):
+            ranking = self._ranking
+            return list(ranking if limit is None else ranking[: max(limit, 0)])
+
+    def peer(self, peer_id: str) -> PeerSummary:
+        """One peer's served score and rank at the current watermark."""
+        with self._lock, self._clock.timed("query"):
+            known = peer_id in self._published
+            rank = self._ranking.index(peer_id) + 1 if known else None
+            return PeerSummary(
+                peer_id=peer_id,
+                score=self._published.score_of(peer_id),
+                rank=rank,
+                known=known,
+                watermark=self._watermark,
+            )
+
+    @property
+    def watermark(self) -> int:
+        """Events folded into the published scores."""
+        with self._lock:
+            return self._watermark
+
+    @property
+    def pending(self) -> int:
+        """Accepted events not yet reflected in the published scores."""
+        with self._lock:
+            return self._ingested - self._watermark
+
+    def health(self) -> dict[str, object]:
+        """Liveness plus the session counters and SLA latency summary."""
+        with self._lock:
+            return {
+                "status": "ok",
+                "mechanism": self.config.mechanism,
+                "backend": self._system.resolved_backend,
+                "ingested": self._ingested,
+                "watermark": self._watermark,
+                "pending": self._ingested - self._watermark,
+                "refreshes": self._refreshes,
+                "known_peers": len(self._published),
+                "refresh_every": self.config.refresh_every,
+                "latency": self._clock.summary(),
+            }
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self, path: str) -> dict[str, object]:
+        """Persist the full session to a checkpoint file.
+
+        Atomic, versioned and checksummed (see
+        :mod:`repro.simulation.checkpoint`); returns the snapshot's vitals
+        for the caller (the HTTP adapter echoes them to the client).
+        """
+        with self._lock, self._clock.timed("snapshot"):
+            payload = ServiceSnapshot(
+                config=self.config,
+                system=self._system,
+                evidence=self._evidence,
+                ingested=self._ingested,
+                watermark=self._watermark,
+                refreshes=self._refreshes,
+                published=dict(self._published),
+            )
+            write_checkpoint(
+                path, SERVICE_CHECKPOINT_KIND, payload, round_index=self._watermark
+            )
+            return {
+                "path": path,
+                "ingested": self._ingested,
+                "watermark": self._watermark,
+                "events": len(self._evidence),
+            }
+
+    @classmethod
+    def restore(cls, path: str) -> ReputationService:
+        """Rehydrate a session from a :meth:`snapshot` file.
+
+        The restored service continues exactly where the snapshot paused:
+        same counters, same published scores, same incremental-refresh
+        state — feeding it the remaining event stream yields byte-identical
+        final scores to a never-interrupted session.
+        """
+        _, payload = read_checkpoint(path, expected_kind=SERVICE_CHECKPOINT_KIND)
+        if not isinstance(payload, ServiceSnapshot):
+            raise CheckpointError(f"{path}: payload is not a service snapshot")
+        service = cls(payload.config)
+        service._system = payload.system
+        service._evidence = payload.evidence
+        service._ingested = payload.ingested
+        service._watermark = payload.watermark
+        service._refreshes = payload.refreshes
+        service._published = ScoreView(
+            payload.published, default_score=payload.config.default_score
+        )
+        service._ranking = service._published.ranking()
+        return service
+
+    # -- evidence log ------------------------------------------------------
+
+    @property
+    def evidence_count(self) -> int:
+        """Events in the append-only evidence log."""
+        with self._lock:
+            return len(self._evidence)
+
+    def evidence(self, start: int = 0, limit: int | None = None) -> list[Feedback]:
+        """A slice of the append-only evidence log (audit/replay access)."""
+        with self._lock:
+            end = None if limit is None else start + max(limit, 0)
+            return list(self._evidence[start:end])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReputationService mechanism={self.config.mechanism} "
+            f"ingested={self._ingested} watermark={self._watermark}>"
+        )
