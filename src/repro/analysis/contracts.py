@@ -143,7 +143,14 @@ def default_config() -> LintConfig:
         template_dir="templates",
         catalog_module="repro/scenarios/catalog.py",
         template_schema_versions=(1,),
-        error_record_calls=("task_failure_record", "finding", "_file_finding"),
+        # ``request_failure_record`` is the serving layer's emitter: broad
+        # excepts in ``serving/`` must surface a structured 500 record.
+        error_record_calls=(
+            "task_failure_record",
+            "finding",
+            "_file_finding",
+            "request_failure_record",
+        ),
         api_client_dirs=("examples", "benchmarks"),
         api_allowed_imports=("repro", "repro.api"),
     )

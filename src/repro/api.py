@@ -43,7 +43,15 @@ from repro.core import (
 from repro.core.backend import HAS_NUMPY, available_backends
 from repro.core.coupling import CouplingDynamics, CouplingState, coupling_matrix
 from repro.core.metric import Aggregator
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    IntegrityError,
+    OverloadError,
+    ReadOnlyError,
+    ReproError,
+    RequestFailedError,
+)
 from repro.experiments import (
     ablations,
     claims,
@@ -102,13 +110,19 @@ from repro.scenarios.runner import clear_run_cache
 from repro.scenarios.schema.library import ScenarioTemplate, load_template
 from repro.scenarios.setup import clear_setup_cache
 from repro.serving import (
+    CircuitBreaker,
+    ClientRetryPolicy,
     IngestReceipt,
     PeerSummary,
     ReputationService,
+    ResilientClient,
     ServiceConfig,
+    TornTailWarning,
+    WriteAheadLog,
     create_asgi_app,
     create_http_server,
     feedback_from_payload,
+    verify_wal,
 )
 from repro.serving.loadgen import (
     ReplayStats,
@@ -135,6 +149,13 @@ __all__ = [
     "create_asgi_app",
     "create_http_server",
     "feedback_from_payload",
+    # durability + resilience
+    "CircuitBreaker",
+    "ClientRetryPolicy",
+    "ResilientClient",
+    "TornTailWarning",
+    "WriteAheadLog",
+    "verify_wal",
     # load harness
     "ReplayStats",
     "build_trace",
@@ -226,7 +247,12 @@ __all__ = [
     "accel",
     "faults",
     "profiled",
+    "CircuitOpenError",
     "ConfigurationError",
+    "IntegrityError",
+    "OverloadError",
+    "ReadOnlyError",
     "ReproError",
+    "RequestFailedError",
     "__version__",
 ]

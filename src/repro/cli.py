@@ -226,31 +226,55 @@ def build_verify_parser(prog: str = "repro verify-records") -> argparse.Argument
         "paths",
         nargs="+",
         metavar="PATH",
-        help="record files (.json/.csv, checked against <file>.sha256) or sweep journals",
+        help=(
+            "record files (.json/.csv, checked against <file>.sha256), sweep "
+            "journals, serve WALs, or service snapshots (via their sidecar)"
+        ),
     )
     return parser
 
 
-def _verify_one(path: str) -> str | None:
-    """Check one artifact; returns an error message or ``None`` when intact."""
+def _verify_one(path: str) -> tuple[str | None, str | None]:
+    """Check one artifact; returns ``(error, warning)`` (both None = intact).
+
+    Dispatch is by content: sweep journals and serve WALs are recognized
+    from their header line; anything else (records, service snapshots) is
+    checked against its SHA-256 sidecar.  For a WAL, torn/corrupt *tail*
+    lines are a warning, not a failure — they were never acked and the
+    next recovery truncates them; damaged interior lines (acked evidence
+    lost) fail hard.
+    """
     try:
         with open(path, "rb") as handle:
             first = handle.readline()
     except OSError as error:
-        return f"cannot read file: {error}"
+        return f"cannot read file: {error}", None
     if first.startswith(b'{"campaign_sha256"') or JOURNAL_MAGIC.encode() in first:
         try:
             n_valid, n_invalid = verify_journal(path)
         except IntegrityError as error:
-            return str(error)
+            return str(error), None
         if n_invalid:
-            return f"{n_invalid} corrupt/truncated journal lines ({n_valid} intact)"
-        return None
+            return f"{n_invalid} corrupt/truncated journal lines ({n_valid} intact)", None
+        return None, None
+    if b"repro-serve-wal" in first:  # WAL_MAGIC; literal keeps serving lazy
+        from repro.serving.wal import verify_wal
+
+        try:
+            n_valid, n_tail = verify_wal(path)
+        except IntegrityError as error:
+            return str(error), None
+        if n_tail:
+            return None, (
+                f"{n_tail} torn/corrupt unacked tail line(s) "
+                f"({n_valid} intact batches; next recovery truncates the tail)"
+            )
+        return None, None
     try:
         verify_file_checksum(path)
     except IntegrityError as error:
-        return str(error)
-    return None
+        return str(error), None
+    return None, None
 
 
 def verify_records_main(argv: list[str], *, prog: str = "repro verify-records") -> int:
@@ -258,12 +282,14 @@ def verify_records_main(argv: list[str], *, prog: str = "repro verify-records") 
     args = parser.parse_args(argv)
     failures = 0
     for path in args.paths:
-        problem = _verify_one(path)
-        if problem is None:
-            print(f"{path}: ok")
-        else:
+        problem, warning = _verify_one(path)
+        if problem is not None:
             failures += 1
             print(f"{path}: FAIL: {problem}")
+        elif warning is not None:
+            print(f"{path}: ok (warning: {warning})")
+        else:
+            print(f"{path}: ok")
     return 1 if failures else 0
 
 

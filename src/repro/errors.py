@@ -84,3 +84,59 @@ class InjectedFault(ReproError):
 
 class ReputationError(ReproError):
     """A reputation mechanism was fed inconsistent evidence."""
+
+
+class OverloadError(ReproError):
+    """The serving layer shed a request because it is saturated.
+
+    Maps to HTTP ``429`` with a ``Retry-After`` hint.  Raised by the
+    bounded admission gate and the per-client token-bucket rate limiter;
+    the request was *not* processed and can safely be retried later.
+
+    ``retry_after`` is the suggested wait in seconds before retrying.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ReadOnlyError(ReproError):
+    """The service refused a write because it is in read-only mode.
+
+    Maps to HTTP ``503``.  Entered when the write-ahead log can no longer
+    guarantee durability (append failure) or when an operator flips the
+    service read-only; reads keep answering from the stale watermark.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class CircuitOpenError(ReproError):
+    """The resilient client's circuit breaker is open.
+
+    The client refused to issue a request because recent consecutive
+    failures tripped the breaker; it will half-open after the configured
+    reset interval and probe with a single request.
+    """
+
+
+class RequestFailedError(ReproError):
+    """The resilient client exhausted its retry budget.
+
+    Carries the final HTTP status (``status``, or ``None`` when the
+    failure was transport-level) and the number of attempts made.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | None = None,
+        attempts: int = 0,
+    ) -> None:
+        self.status = status
+        self.attempts = attempts
+        super().__init__(message)

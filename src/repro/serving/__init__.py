@@ -10,27 +10,47 @@ adapters in :mod:`repro.serving.http` put that session behind HTTP (stdlib
 :mod:`repro.serving.loadgen` replays scenario traces against a live server
 for the benchmark and CI gates.
 
-Durability reuses the simulation checkpoint machinery: ``snapshot()`` /
-``restore()`` round-trip the whole session through a checksummed checkpoint
-file, and a restarted server provably (CI-enforced) publishes byte-identical
-scores to one that never stopped.
+Durability layers two mechanisms.  ``snapshot()`` / ``restore()``
+round-trip the whole session through a checksummed checkpoint file, and the
+write-ahead log (:mod:`repro.serving.wal`) makes every *acked* ingest batch
+durable between snapshots — recovery (``ReputationService.recover``)
+replays the WAL past the newest snapshot and a restarted server provably
+(CI-enforced) publishes byte-identical scores to one that never stopped,
+even after a SIGKILL mid-traffic.  Overload protection (bounded admission,
+per-client rate limiting, an ``ok|degraded|read_only`` health state
+machine) sheds with 429/503 instead of melting, and
+:class:`~repro.serving.client.ResilientClient` gives callers the matching
+retry/circuit-breaker/idempotency discipline.
 """
 
+from repro.serving.client import CircuitBreaker, ClientRetryPolicy, ResilientClient
+from repro.serving.http import create_asgi_app, create_http_server
 from repro.serving.service import (
+    AdmissionGate,
+    ClientRateLimiter,
     IngestReceipt,
     PeerSummary,
     ReputationService,
     ServiceConfig,
     feedback_from_payload,
 )
-from repro.serving.http import create_asgi_app, create_http_server
+from repro.serving.wal import TornTailWarning, WalEntry, WriteAheadLog, verify_wal
 
 __all__ = [
+    "AdmissionGate",
+    "CircuitBreaker",
+    "ClientRateLimiter",
+    "ClientRetryPolicy",
     "IngestReceipt",
     "PeerSummary",
     "ReputationService",
+    "ResilientClient",
     "ServiceConfig",
+    "TornTailWarning",
+    "WalEntry",
+    "WriteAheadLog",
     "create_asgi_app",
     "create_http_server",
     "feedback_from_payload",
+    "verify_wal",
 ]

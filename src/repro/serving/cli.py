@@ -77,15 +77,67 @@ def build_serve_parser(parser: argparse.ArgumentParser | None = None) -> argpars
         metavar="PATH",
         help="resume the session from this checkpoint instead of starting empty",
     )
+    parser.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write-ahead log path: every acked ingest batch is fsynced here "
+            "before the response; on boot the log is replayed past the "
+            "restored snapshot (acked events survive crashes)"
+        ),
+    )
+    parser.add_argument(
+        "--no-wal-fsync",
+        action="store_true",
+        help="skip the per-append fsync (faster, loses the power-failure guarantee)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admitted ingest requests before shedding with 429 (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--client-rate",
+        type=float,
+        default=None,
+        help="per-client sustained requests/second (token bucket); omit to disable",
+    )
+    parser.add_argument(
+        "--client-burst",
+        type=int,
+        default=8,
+        help="per-client token-bucket burst size (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--dedup-window",
+        type=int,
+        default=1024,
+        help="acked idempotency keys remembered for retry dedup (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.1,
+        help="Retry-After hint (seconds) on 429/503 responses (default: %(default)s)",
+    )
     return parser
 
 
 def build_service(args: argparse.Namespace) -> ReputationService:
-    """Construct (or restore) the service session an invocation asked for."""
+    """Construct (restore / recover) the service session an invocation asked for."""
     if args.restore is not None:
-        service = ReputationService.restore(args.restore)
         # A restore resumes the *checkpointed* session verbatim; mechanism
         # flags that contradict it would silently fork the score history.
+        if args.wal is not None:
+            service = ReputationService.recover(
+                wal_path=args.wal,
+                snapshot_path=args.restore,
+                wal_fsync=not args.no_wal_fsync,
+            )
+        else:
+            service = ReputationService.restore(args.restore)
         if args.mechanism != service.config.mechanism and args.mechanism != "beta":
             raise SystemExit(
                 f"--mechanism {args.mechanism!r} conflicts with the checkpoint's "
@@ -97,7 +149,16 @@ def build_service(args: argparse.Namespace) -> ReputationService:
         backend=args.backend,
         refresh_every=args.refresh_every,
         default_score=args.default_score,
+        max_pending_requests=args.max_pending,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        dedup_window=args.dedup_window,
+        retry_after=args.retry_after,
     )
+    if args.wal is not None:
+        return ReputationService.recover(
+            wal_path=args.wal, config=config, wal_fsync=not args.no_wal_fsync
+        )
     return ReputationService(config)
 
 
@@ -135,7 +196,11 @@ def main(argv: list[str] | None = None) -> int:
     server = create_http_server(
         service, host=args.host, port=args.port, snapshot_path=args.snapshot
     )
-    serve(server, port_file=args.port_file)
+    try:
+        serve(server, port_file=args.port_file)
+    finally:
+        # Flush/stop WAL maintenance; harmless for ephemeral sessions.
+        service.close()
     return 0
 
 

@@ -20,9 +20,29 @@ method     path                semantics
 ``POST``   ``/v1/feedback``    ingest one event object or ``{"events": [...]}``
 ``GET``    ``/v1/scores``      published scores at the current watermark
 ``GET``    ``/v1/peers/{id}``  one peer's score/rank summary
+``GET``    ``/v1/evidence``    audit slice of the append-only evidence log
 ``POST``   ``/v1/snapshot``    persist the session (``{"path": ...}``)
-``GET``    ``/v1/health``      liveness, counters, SLA latency summary
+``GET``    ``/v1/health``      state machine, counters, SLA latency summary
 =========  ==================  ===========================================
+
+Error semantics (identical bodies from both adapters — the parity tests
+compare them byte for byte):
+
+* ``400`` — malformed request (bad JSON, non-object events, bad headers):
+  ``{"error": ..., "status": 400}``.
+* ``429`` — shed by the admission gate or the per-client token bucket:
+  ``{"error": ..., "retry_after": ..., "status": 429}`` plus a
+  ``Retry-After`` header.  Clients identify themselves with an optional
+  ``X-Client-Id`` header (falling back to the peer address).
+* ``503`` — service is read-only (durability lost or operator-flipped);
+  same shape as 429.  Reads keep answering from the stale watermark.
+* ``500`` — unexpected failure, reported as a structured record
+  (:func:`request_failure_record`), never a raw traceback.
+
+``POST /v1/feedback`` honors an ``Idempotency-Key`` header: a batch
+re-sent under an acked key returns the original receipt with
+``duplicate: true`` instead of double-ingesting (see
+:class:`~repro.serving.service.ReputationService.ingest_many`).
 
 Every response is JSON with sorted keys, so two servers serving the same
 session state answer byte-identically — the serve-gate's restart check
@@ -32,17 +52,87 @@ compares raw response bodies.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, OverloadError, ReadOnlyError, ReproError
 from repro.serving.service import ReputationService
+from repro.serving.wal import feedback_to_wire
 
 #: Cap on request bodies (16 MiB): a runaway client should get a 413, not
 #: an out-of-memory server.
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+def request_failure_record(
+    error: BaseException, *, method: str, path: str
+) -> dict[str, object]:
+    """Structured record of an unexpected (non-:class:`ReproError`) failure.
+
+    This is the serving layer's R8 error emitter: every broad ``except``
+    in the HTTP adapters funnels through it, so an internal bug surfaces
+    as a parseable 500 body instead of a raw traceback or a silent drop.
+    """
+    return {
+        "error": str(error) or error.__class__.__name__,
+        "error_type": error.__class__.__name__,
+        "method": method,
+        "path": path,
+        "status": 500,
+    }
+
+
+def _error_response(
+    error: ReproError,
+) -> tuple[int, dict[str, object], dict[str, str]]:
+    """Map a library error to ``(status, body, extra_headers)``.
+
+    Shared by both adapters so the parity tests can compare raw bodies.
+    """
+    if isinstance(error, OverloadError):
+        status, retry = 429, error.retry_after
+    elif isinstance(error, ReadOnlyError):
+        status, retry = 503, error.retry_after
+    else:
+        return 400, {"error": str(error), "status": 400}, {}
+    payload: dict[str, object] = {
+        "error": str(error),
+        "retry_after": retry,
+        "status": status,
+    }
+    return status, payload, {"Retry-After": str(max(0, math.ceil(retry)))}
+
+
+def _decode_body(raw: bytes) -> object:
+    """Parse a request body exactly the same way in both adapters."""
+    if not raw:
+        return None
+    if len(raw) > MAX_BODY_BYTES:
+        raise ConfigurationError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"request body is not valid JSON: {error}") from error
+
+
+def _parse_limit(value: str) -> int:
+    try:
+        return int(value)
+    except ValueError as error:
+        raise ConfigurationError("limit must be an integer") from error
+
+
+def _parse_start(value: str) -> int:
+    try:
+        start = int(value)
+    except ValueError as error:
+        raise ConfigurationError("start must be an integer") from error
+    if start < 0:
+        raise ConfigurationError("start must be non-negative")
+    return start
 
 
 def _scores_payload(service: ReputationService, limit: int | None) -> dict[str, object]:
@@ -61,7 +151,22 @@ def _scores_payload(service: ReputationService, limit: int | None) -> dict[str, 
     }
 
 
-def _ingest_payload(service: ReputationService, body: object) -> dict[str, object]:
+def _evidence_payload(
+    service: ReputationService, start: int, limit: int | None
+) -> dict[str, object]:
+    """The ``/v1/evidence`` response body (shared by both adapters)."""
+    events = service.evidence(start, limit)
+    return {
+        "start": start,
+        "count": len(events),
+        "total": service.evidence_count,
+        "events": [feedback_to_wire(event) for event in events],
+    }
+
+
+def _ingest_payload(
+    service: ReputationService, body: object, *, idempotency_key: str | None = None
+) -> dict[str, object]:
     """The ``/v1/feedback`` response body (shared by both adapters)."""
     if isinstance(body, dict) and "events" in body:
         events = body["events"]
@@ -73,8 +178,34 @@ def _ingest_payload(service: ReputationService, body: object) -> dict[str, objec
         events = body
     else:
         raise ConfigurationError("feedback body must be an object or a list")
-    receipt = service.ingest_many(events)
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ConfigurationError(f"feedback event #{index} must be a JSON object")
+    receipt = service.ingest_many(events, idempotency_key=idempotency_key)
     return dict(asdict(receipt))
+
+
+def _guarded_ingest(
+    service: ReputationService,
+    raw: bytes,
+    *,
+    client_id: str,
+    idempotency_key: str | None,
+) -> dict[str, object]:
+    """Rate-limit, admit, parse and ingest one ``/v1/feedback`` request.
+
+    The whole write path of both adapters: token bucket first (cheapest
+    rejection), then a bounded admission slot around parse + ingest so
+    saturation sheds with 429 instead of queueing without bound.
+    """
+    allowed, wait = service.rate_limiter.allow(client_id)
+    if not allowed:
+        raise OverloadError(
+            f"rate limit exceeded for client {client_id!r}", retry_after=wait
+        )
+    with service.admission.admit(retry_after=service.config.retry_after):
+        body = _decode_body(raw)
+        return _ingest_payload(service, body, idempotency_key=idempotency_key)
 
 
 def _snapshot_payload(
@@ -108,28 +239,46 @@ class ReputationRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, object],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name in sorted(headers or {}):
+            self.send_header(name, (headers or {})[name])
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message, "status": status})
 
-    def _read_body(self) -> object:
-        length = int(self.headers.get("Content-Length", "0") or "0")
+    def _send_repro_error(self, error: ReproError) -> None:
+        status, payload, headers = _error_response(error)
+        self._send_json(status, payload, headers)
+
+    def _read_raw_body(self) -> bytes:
+        raw_length = self.headers.get("Content-Length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"invalid Content-Length header: {raw_length!r}"
+            ) from error
+        if length < 0:
+            raise ConfigurationError(f"invalid Content-Length header: {raw_length!r}")
         if length > MAX_BODY_BYTES:
             raise ConfigurationError(f"request body exceeds {MAX_BODY_BYTES} bytes")
         if length == 0:
-            return None
-        raw = self.rfile.read(length)
-        try:
-            return json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise ConfigurationError(f"request body is not valid JSON: {error}") from error
+            return b""
+        return self.rfile.read(length)
+
+    def _client_id(self) -> str:
+        return self.headers.get("X-Client-Id") or str(self.client_address[0])
 
     # -- verbs -------------------------------------------------------------
 
@@ -143,12 +292,15 @@ class ReputationRequestHandler(BaseHTTPRequestHandler):
                 query = parse_qs(url.query)
                 limit: int | None = None
                 if "limit" in query:
-                    try:
-                        limit = int(query["limit"][0])
-                    except ValueError:
-                        self._send_error_json(400, "limit must be an integer")
-                        return
+                    limit = _parse_limit(query["limit"][0])
                 self._send_json(200, _scores_payload(service, limit))
+            elif url.path == "/v1/evidence":
+                query = parse_qs(url.query)
+                start = _parse_start(query["start"][0]) if "start" in query else 0
+                slice_limit = (
+                    _parse_limit(query["limit"][0]) if "limit" in query else None
+                )
+                self._send_json(200, _evidence_payload(service, start, slice_limit))
             elif url.path.startswith("/v1/peers/"):
                 peer_id = url.path[len("/v1/peers/") :]
                 if not peer_id or "/" in peer_id:
@@ -159,22 +311,36 @@ class ReputationRequestHandler(BaseHTTPRequestHandler):
             else:
                 self._send_error_json(404, f"no such route: {url.path}")
         except ReproError as error:
-            self._send_error_json(400, str(error))
+            self._send_repro_error(error)
+        except Exception as error:
+            self._send_json(
+                500, request_failure_record(error, method="GET", path=url.path)
+            )
 
     def do_POST(self) -> None:
         url = urlparse(self.path)
         service = self.server.service
         try:
-            body = self._read_body()
             if url.path == "/v1/feedback":
-                self._send_json(200, _ingest_payload(service, body))
+                payload = _guarded_ingest(
+                    service,
+                    self._read_raw_body(),
+                    client_id=self._client_id(),
+                    idempotency_key=self.headers.get("Idempotency-Key"),
+                )
+                self._send_json(200, payload)
             elif url.path == "/v1/snapshot":
+                body = _decode_body(self._read_raw_body())
                 payload = _snapshot_payload(service, body, self.server.snapshot_path)
                 self._send_json(200, payload)
             else:
                 self._send_error_json(404, f"no such route: {url.path}")
         except ReproError as error:
-            self._send_error_json(400, str(error))
+            self._send_repro_error(error)
+        except Exception as error:
+            self._send_json(
+                500, request_failure_record(error, method="POST", path=url.path)
+            )
 
 
 class ReputationHTTPServer(ThreadingHTTPServer):
@@ -216,10 +382,11 @@ def create_asgi_app(
     Requires ``fastapi`` (deliberately not a dependency of this package);
     raises :class:`ConfigurationError` with installation guidance when it
     is missing.  Route semantics and response bodies match the stdlib
-    adapter exactly — the adapters share the payload builders.
+    adapter exactly — the adapters share the payload builders *and* the
+    error mapping, and the parity tests compare raw bodies.
     """
     try:
-        from fastapi import FastAPI, HTTPException, Request
+        from fastapi import FastAPI, Request
         from fastapi.responses import JSONResponse
     except ImportError as error:  # pragma: no cover - exercised without fastapi
         raise ConfigurationError(
@@ -229,20 +396,51 @@ def create_asgi_app(
 
     app = FastAPI(title="repro reputation service", version="1")
 
-    def _json(payload: dict[str, object], status: int = 200) -> Any:
+    def _json(
+        payload: dict[str, object],
+        status: int = 200,
+        headers: dict[str, str] | None = None,
+    ) -> Any:
         # Sorted keys keep ASGI responses byte-identical to the stdlib
         # adapter for the same session state.
         return JSONResponse(
-            content=json.loads(json.dumps(payload, sort_keys=True)), status_code=status
+            content=json.loads(json.dumps(payload, sort_keys=True)),
+            status_code=status,
+            headers=headers,
         )
+
+    def _error(error: ReproError) -> Any:
+        status, payload, headers = _error_response(error)
+        return _json(payload, status=status, headers=headers)
+
+    def _asgi_client_id(request: Request) -> str:
+        header = request.headers.get("X-Client-Id")
+        if header:
+            return header
+        return request.client.host if request.client is not None else "unknown"
 
     @app.get("/v1/health")
     def health() -> Any:
         return _json(service.health())
 
     @app.get("/v1/scores")
-    def scores(limit: int | None = None) -> Any:
-        return _json(_scores_payload(service, limit))
+    def scores(limit: str | None = None) -> Any:
+        # ``limit`` parses by hand (not via FastAPI coercion) so a bad
+        # value yields the same 400 body as the stdlib adapter, not a 422.
+        try:
+            parsed = None if limit is None else _parse_limit(limit)
+            return _json(_scores_payload(service, parsed))
+        except ReproError as error:
+            return _error(error)
+
+    @app.get("/v1/evidence")
+    def evidence(start: str | None = None, limit: str | None = None) -> Any:
+        try:
+            parsed_start = 0 if start is None else _parse_start(start)
+            parsed_limit = None if limit is None else _parse_limit(limit)
+            return _json(_evidence_payload(service, parsed_start, parsed_limit))
+        except ReproError as error:
+            return _error(error)
 
     @app.get("/v1/peers/{peer_id}")
     def peer(peer_id: str) -> Any:
@@ -252,21 +450,32 @@ def create_asgi_app(
     @app.post("/v1/feedback")
     async def feedback(request: Request) -> Any:
         try:
-            body = await request.json()
-        except Exception as error:
-            raise HTTPException(400, f"request body is not valid JSON: {error}") from error
-        try:
-            return _json(_ingest_payload(service, body))
+            payload = _guarded_ingest(
+                service,
+                await request.body(),
+                client_id=_asgi_client_id(request),
+                idempotency_key=request.headers.get("Idempotency-Key"),
+            )
+            return _json(payload)
         except ReproError as error:
-            raise HTTPException(400, str(error)) from error
+            return _error(error)
+        except Exception as error:
+            return _json(
+                request_failure_record(error, method="POST", path="/v1/feedback"),
+                status=500,
+            )
 
     @app.post("/v1/snapshot")
     async def snapshot(request: Request) -> Any:
-        raw = await request.body()
-        body = json.loads(raw.decode("utf-8")) if raw else None
         try:
+            body = _decode_body(await request.body())
             return _json(_snapshot_payload(service, body, snapshot_path))
         except ReproError as error:
-            raise HTTPException(400, str(error)) from error
+            return _error(error)
+        except Exception as error:
+            return _json(
+                request_failure_record(error, method="POST", path="/v1/snapshot"),
+                status=500,
+            )
 
     return app

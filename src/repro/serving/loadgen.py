@@ -14,6 +14,13 @@ CI serve-gate's smoke drill on these helpers; the kill+restart byte-identity
 check replays the same trace through :func:`ingest_events` sequentially
 (concurrency is a throughput tool — equivalence drills need a deterministic
 ingest order).
+
+All traffic — sequential and concurrent — goes through
+:class:`~repro.serving.client.ResilientClient`, so the benchmarks exercise
+the real production path: per-request timeouts, seeded-jitter backoff on
+429/503 backpressure, circuit breaking on a dead server, and idempotency
+keys that make retries exactly-once.  :func:`request_json` remains as the
+raw single-shot primitive for probes that must *not* retry.
 """
 
 from __future__ import annotations
@@ -23,8 +30,10 @@ import json
 import threading
 from dataclasses import dataclass, field
 
+from repro.errors import ReproError
 from repro.scenarios.runner import ScenarioRunConfig, run_scenario
 from repro.serving import sla
+from repro.serving.client import ClientRetryPolicy, ResilientClient
 from repro.serving.sla import LatencyTracker
 
 
@@ -105,23 +114,30 @@ def ingest_events(
     *,
     batch_size: int = 32,
     timeout: float = 10.0,
+    client: ResilientClient | None = None,
 ) -> int:
     """POST a trace sequentially in order; returns accepted-event count.
 
     The deterministic-ingest path: one client, one batch in flight, arrival
     order exactly the trace order — what the restart byte-identity drill
-    needs on both sides of the comparison.
+    needs on both sides of the comparison.  Pass an explicit ``client`` to
+    keep its acked-receipt record across calls (the crash drills check
+    every acked event survives recovery); a default resilient client is
+    built otherwise.
     """
+    if client is None:
+        client = ResilientClient(
+            host,
+            port,
+            client_id="loadgen",
+            policy=ClientRetryPolicy(timeout=timeout),
+        )
     accepted = 0
     for start in range(0, len(events), max(batch_size, 1)):
         batch = events[start : start + max(batch_size, 1)]
-        status, payload, _ = request_json(
-            host, port, "POST", "/v1/feedback", {"events": batch}, timeout=timeout
-        )
-        if status != 200:
-            raise RuntimeError(f"ingest failed with HTTP {status}: {payload}")
-        value = payload.get("accepted", 0)
-        accepted += value if isinstance(value, int) else 0
+        receipt = client.ingest(batch)
+        value = receipt.get("accepted", 0)
+        accepted += value if isinstance(value, int) and not isinstance(value, bool) else 0
     return accepted
 
 
@@ -138,6 +154,10 @@ class ReplayStats:
     query_p50_ms: float
     query_p99_ms: float
     errors: int
+    #: Client-side retry sleeps taken across all workers.
+    retries: int = 0
+    #: 429/503 backpressure responses absorbed across all workers.
+    backpressure: int = 0
     #: Final ``/v1/health`` body (server-side counters and SLA summary).
     health: dict[str, object] = field(default_factory=dict)
 
@@ -155,11 +175,16 @@ def replay(
     """Drive a server with a trace from ``clients`` concurrent workers.
 
     The trace is split into contiguous shards (one per worker); each worker
+    drives a :class:`~repro.serving.client.ResilientClient` (id
+    ``worker-{i}``, jitter seed ``i`` — deterministic backoff per worker),
     POSTs its shard in ``batch_size`` event batches and issues one
     ``/v1/scores?limit=10`` plus one ``/v1/peers/{id}`` query every
-    ``query_every`` batches, timing each query.  Returns throughput and
-    client-observed query percentiles plus the server's own final health
-    report.  Concurrent arrival order is nondeterministic by nature — use
+    ``query_every`` batches, timing each query.  Returns throughput,
+    client-observed query percentiles, retry/backpressure totals and the
+    server's own final health report.  A batch that still fails after the
+    client's full retry budget (including an open circuit) counts as one
+    error; 429/503 responses absorbed by retries are *not* errors.
+    Concurrent arrival order is nondeterministic by nature — use
     :func:`ingest_events` when equivalence matters.
     """
     if clients < 1:
@@ -173,23 +198,33 @@ def replay(
     errors = [0]
     queries = [0]
     batches = [0]
+    retries = [0]
+    backpressure = [0]
 
-    def worker(shard: list[dict[str, object]]) -> None:
+    def worker(index: int, shard: list[dict[str, object]]) -> None:
+        client = ResilientClient(
+            host,
+            port,
+            client_id=f"worker-{index}",
+            policy=ClientRetryPolicy(timeout=timeout, seed=index),
+        )
         sent_batches = 0
         for start in range(0, len(shard), max(batch_size, 1)):
             batch = shard[start : start + max(batch_size, 1)]
-            status, _, _ = request_json(
-                host, port, "POST", "/v1/feedback", {"events": batch}, timeout=timeout
-            )
             sent_batches += 1
-            if status != 200:
+            try:
+                client.ingest(batch)
+            except ReproError:
                 with lock:
                     errors[0] += 1
             if query_every and sent_batches % query_every == 0:
                 subject = batch[-1].get("subject", "")
                 for path in ("/v1/scores?limit=10", f"/v1/peers/{subject}"):
                     begin = sla.clock()
-                    status, _, _ = request_json(host, port, "GET", path, timeout=timeout)
+                    try:
+                        status, _, _ = client.request("GET", path)
+                    except ReproError:
+                        status = -1
                     elapsed = sla.clock() - begin
                     with lock:
                         queries[0] += 1
@@ -200,9 +235,12 @@ def replay(
                             errors[0] += 1
         with lock:
             batches[0] += sent_batches
+            retries[0] += client.retries
+            backpressure[0] += client.backpressure_responses
 
     threads = [
-        threading.Thread(target=worker, args=(shard,), daemon=True) for shard in shards
+        threading.Thread(target=worker, args=(index, shard), daemon=True)
+        for index, shard in enumerate(shards)
     ]
     start_time = sla.clock()
     for thread in threads:
@@ -222,6 +260,8 @@ def replay(
         query_p50_ms=1000.0 * query_latency.percentile(50.0),
         query_p99_ms=1000.0 * query_latency.percentile(99.0),
         errors=errors[0],
+        retries=retries[0],
+        backpressure=backpressure[0],
         health=health,
     )
 

@@ -11,14 +11,28 @@ pair-ledger folds later), and scores are re-published once per
 ``refresh_every`` events instead of per event, so queries between refreshes
 are dictionary lookups.
 
-Restart safety reuses the PR-8 checkpoint machinery: :meth:`snapshot` writes
-a versioned, SHA-256-checksummed checkpoint file (kind ``"service"``) holding
-the full session — config, mechanism with its evidence store and incremental
-fold state, evidence log, counters and the published scores — and
-:meth:`ReputationService.restore` rehydrates it.  A service restored
-mid-stream and fed the remaining events publishes *byte-identical* final
-scores to an uninterrupted session; ``tests/serving`` and the CI serve-gate
-enforce this.
+Restart safety layers two mechanisms.  :meth:`snapshot` writes a versioned,
+SHA-256-checksummed checkpoint file (kind ``"service"``, now with a
+``verify-records``-compatible sidecar) holding the full session, and
+:meth:`ReputationService.restore` rehydrates it.  On top of that the PR-10
+write-ahead log (:mod:`repro.serving.wal`) makes *acked mean durable*: when
+a WAL is attached, every ingest batch is fsynced to the log before the call
+returns, and :meth:`ReputationService.recover` = restore the latest snapshot
++ replay the WAL past its watermark — byte-identical to a session that never
+crashed.  Snapshots double as the WAL's compaction watermark: a background
+maintenance thread drops batches the newest snapshot already covers.
+
+Overload protection: ingestion is gated by a bounded
+:class:`AdmissionGate` (shed with HTTP 429 + ``Retry-After`` once
+``max_pending_requests`` are in flight) and a per-client token-bucket
+:class:`ClientRateLimiter`; a health state machine (``ok`` | ``degraded`` |
+``read_only``) is surfaced via :meth:`health`.  In ``read_only`` mode
+(entered automatically when a WAL append fails, or explicitly via
+:meth:`enter_read_only`) writes raise :class:`~repro.errors.ReadOnlyError`
+(HTTP 503) while reads keep answering from the stale watermark.
+Idempotency keys give retrying clients exactly-once ingestion: a batch
+re-sent under an acked key returns the original receipt (marked
+``duplicate``) instead of double-ingesting.
 
 Thread safety: one re-entrant lock serializes every state-touching operation,
 so the threaded HTTP adapter can fan requests in without coordination.
@@ -28,13 +42,25 @@ Latency accounting is strictly observational (see :mod:`repro.serving.sla`).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from collections.abc import Iterable, Mapping
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 
-from repro.errors import CheckpointError, ConfigurationError
+from repro import faults
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    InjectedFault,
+    IntegrityError,
+    OverloadError,
+    ReadOnlyError,
+)
+from repro.experiments.results import write_checksum_sidecar
 from repro.reputation import REPUTATION_FACTORIES, make_reputation_system
 from repro.reputation.base import ReputationSystem, ScoreView
-from repro.serving.sla import OperationClock
+from repro.serving.sla import OperationClock, clock as sla_clock
+from repro.serving.wal import WalEntry, WriteAheadLog, config_digest
 from repro.simulation.checkpoint import read_checkpoint, write_checkpoint
 from repro.simulation.transaction import Feedback
 
@@ -43,6 +69,9 @@ SERVICE_CHECKPOINT_KIND = "service"
 
 #: Operation families the service tracks latencies for.
 SERVICE_OPERATIONS = ("ingest", "query", "refresh", "snapshot")
+
+#: Health states the service moves through (see :meth:`ReputationService.health`).
+SERVICE_STATES = ("ok", "degraded", "read_only")
 
 
 @dataclass(frozen=True)
@@ -61,6 +90,16 @@ class ServiceConfig:
     max_evidence_per_subject: int | None = None
     #: Ring-buffer window of the per-operation latency trackers.
     latency_window: int = 4096
+    #: Concurrently-admitted ingest requests before shedding with 429.
+    max_pending_requests: int = 64
+    #: Sustained per-client request rate (requests/second); ``None`` disables.
+    client_rate: float | None = None
+    #: Token-bucket burst size per client.
+    client_burst: int = 8
+    #: Acked idempotency keys remembered for duplicate suppression.
+    dedup_window: int = 1024
+    #: ``Retry-After`` hint (seconds) returned with 429/503 responses.
+    retry_after: float = 0.1
 
     def __post_init__(self) -> None:
         if self.mechanism not in REPUTATION_FACTORIES:
@@ -72,6 +111,31 @@ class ServiceConfig:
             raise ConfigurationError("refresh_every must be at least 1")
         if self.latency_window < 1:
             raise ConfigurationError("latency_window must be at least 1")
+        if self.max_pending_requests < 1:
+            raise ConfigurationError("max_pending_requests must be at least 1")
+        if self.client_rate is not None and not self.client_rate > 0:
+            raise ConfigurationError("client_rate must be positive (or None)")
+        if self.client_burst < 1:
+            raise ConfigurationError("client_burst must be at least 1")
+        if self.dedup_window < 0:
+            raise ConfigurationError("dedup_window must be non-negative")
+        if self.retry_after < 0:
+            raise ConfigurationError("retry_after must be non-negative")
+
+    def wal_identity(self) -> dict[str, object]:
+        """The score-relevant config subset a WAL header pins.
+
+        Replay only depends on what changes the *scores* an event stream
+        produces; transport/backpressure knobs (backend choice included —
+        backends are byte-identical by contract) stay out so an operator
+        can retune them across restarts without orphaning the log.
+        """
+        return {
+            "default_score": self.default_score,
+            "max_evidence_per_subject": self.max_evidence_per_subject,
+            "mechanism": self.mechanism,
+            "refresh_every": self.refresh_every,
+        }
 
 
 @dataclass(frozen=True)
@@ -86,6 +150,10 @@ class IngestReceipt:
     watermark: int
     #: Whether this call crossed a refresh boundary and republished scores.
     refreshed: bool
+    #: Total events the service had ingested *before* this call (WAL seq).
+    seq: int = 0
+    #: Whether this receipt was replayed from the idempotency dedup window.
+    duplicate: bool = False
 
 
 @dataclass(frozen=True)
@@ -158,6 +226,148 @@ def feedback_from_payload(payload: Mapping[str, object], *, sequence: int) -> Fe
     )
 
 
+class AdmissionGate:
+    """Bounded admission control for the write path.
+
+    At most ``capacity`` requests may be inside :meth:`admit` at once;
+    everything beyond that is *shed* immediately with
+    :class:`~repro.errors.OverloadError` (HTTP 429) instead of queueing
+    unboundedly — the memory-stays-bounded half of graceful degradation.
+    The ``http.admit`` fault site can force a shed (action ``degrade`` or
+    ``corrupt``) regardless of depth, which is how the overload drills
+    stay deterministic.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._high_water = 0
+        self._shed = 0
+
+    @contextmanager
+    def admit(self, *, retry_after: float = 0.0) -> Iterator[None]:
+        """Hold one admission slot for the duration of the ``with`` body."""
+        action = faults.fire("http.admit", depth=self.depth)
+        with self._lock:
+            if action is not None or self._depth >= self._capacity:
+                self._shed += 1
+                raise OverloadError(
+                    f"admission queue full ({self._capacity} requests in flight)",
+                    retry_after=retry_after,
+                )
+            self._depth += 1
+            if self._depth > self._high_water:
+                self._high_water = self._depth
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._depth -= 1
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def high_water(self) -> int:
+        """Deepest concurrent admission seen over the session."""
+        with self._lock:
+            return self._high_water
+
+    @property
+    def shed_total(self) -> int:
+        """Requests rejected at the gate over the session."""
+        with self._lock:
+            return self._shed
+
+    def summary(self) -> dict[str, int]:
+        """Counters for :meth:`ReputationService.health` / the bench."""
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "depth": self._depth,
+                "high_water": self._high_water,
+                "shed": self._shed,
+            }
+
+
+class ClientRateLimiter:
+    """Per-client token-bucket rate limiting.
+
+    Each client id owns a bucket of ``burst`` tokens refilled at ``rate``
+    tokens/second; a request costs one token, and an empty bucket means
+    shed (HTTP 429) with a computed retry hint.  ``rate=None`` disables
+    limiting entirely.  Buckets are LRU-capped at ``max_clients`` so an
+    open deployment cannot grow memory without bound.  Time comes from
+    :func:`repro.serving.sla.clock` (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: int,
+        *,
+        max_clients: int = 1024,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self._rate = rate
+        self._burst = float(burst)
+        self._max_clients = max_clients
+        self._clock = sla_clock if clock is None else clock
+        self._lock = threading.Lock()
+        self._buckets: OrderedDict[str, tuple[float, float]] = OrderedDict()
+        self._limited = 0
+
+    def allow(self, client_id: str) -> tuple[bool, float]:
+        """Spend one token; returns ``(allowed, retry_after_seconds)``."""
+        if self._rate is None:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            tokens, last = self._buckets.pop(client_id, (self._burst, now))
+            tokens = min(self._burst, tokens + (now - last) * self._rate)
+            if tokens >= 1.0:
+                self._buckets[client_id] = (tokens - 1.0, now)
+                allowed, wait = True, 0.0
+            else:
+                self._buckets[client_id] = (tokens, now)
+                self._limited += 1
+                allowed, wait = False, (1.0 - tokens) / self._rate
+            while len(self._buckets) > self._max_clients:
+                self._buckets.popitem(last=False)
+            return allowed, wait
+
+    @property
+    def limited_total(self) -> int:
+        """Requests rejected by rate limiting over the session."""
+        with self._lock:
+            return self._limited
+
+
+def _replayed_receipt(entry: WalEntry, refresh_every: int) -> IngestReceipt:
+    """Reconstruct the receipt a pre-snapshot WAL batch was acked with.
+
+    Deterministic from the batch bounds alone: refreshes fire at every
+    ``refresh_every`` crossing, so the watermark after the batch is the
+    last multiple at or below its end.  (Explicit ``refresh()`` calls
+    between batches can make the historical watermark differ — the dedup
+    window only needs ``accepted``/``seq``/``duplicate`` to be exact.)
+    """
+    return IngestReceipt(
+        accepted=len(entry.events),
+        ingested=entry.end,
+        watermark=(entry.end // refresh_every) * refresh_every,
+        refreshed=(entry.end // refresh_every) != (entry.seq // refresh_every),
+        seq=entry.seq,
+    )
+
+
 class ReputationService:
     """A live reputation-serving session over one mechanism.
 
@@ -165,7 +375,13 @@ class ReputationService:
     thread-safe; none of them block on anything but the session lock.
     """
 
-    def __init__(self, config: ServiceConfig | None = None, **overrides: object) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        wal: WriteAheadLog | None = None,
+        **overrides: object,
+    ) -> None:
         if config is None:
             config = ServiceConfig(**overrides)  # type: ignore[arg-type]
         elif overrides:
@@ -185,45 +401,113 @@ class ReputationService:
         self._ranking: list[str] = []
         self._lock = threading.RLock()
         self._clock = OperationClock(SERVICE_OPERATIONS, window=config.latency_window)
+        self._wal = wal
+        self._snapshotted = 0
+        self._read_only_reason: str | None = None
+        self._dedup: OrderedDict[str, IngestReceipt] = OrderedDict()
+        self._gate = AdmissionGate(config.max_pending_requests)
+        self._limiter = ClientRateLimiter(config.client_rate, config.client_burst)
+        self._compact_event = threading.Event()
+        self._closed = threading.Event()
+        self._maintenance: threading.Thread | None = None
 
     # -- ingestion ---------------------------------------------------------
 
-    def ingest(self, event: Feedback | Mapping[str, object]) -> IngestReceipt:
+    def ingest(
+        self,
+        event: Feedback | Mapping[str, object],
+        *,
+        idempotency_key: str | None = None,
+    ) -> IngestReceipt:
         """Accept one feedback event (see :meth:`ingest_many`)."""
-        return self.ingest_many((event,))
+        return self.ingest_many((event,), idempotency_key=idempotency_key)
 
     def ingest_many(
-        self, events: Iterable[Feedback | Mapping[str, object]]
+        self,
+        events: Iterable[Feedback | Mapping[str, object]],
+        *,
+        idempotency_key: str | None = None,
     ) -> IngestReceipt:
         """Accept a batch of feedback events in order.
 
-        Every event is appended to the evidence log and the mechanism's
-        store immediately; scores are republished whenever the accepted
-        count crosses a ``refresh_every`` boundary, so one large batch may
-        refresh several times (the same watermarks a one-by-one stream
-        would hit — restart byte-identity depends on that).
+        The batch is validated up front, durably appended to the WAL (when
+        one is attached) and only then folded — so *acked means durable*:
+        either the whole batch is logged and acknowledged, or the call
+        raises and nothing was ingested.  Scores are republished whenever
+        the accepted count crosses a ``refresh_every`` boundary, so one
+        large batch may refresh several times (the same watermarks a
+        one-by-one stream would hit — restart byte-identity depends on
+        that).
+
+        ``idempotency_key`` makes retries safe: a batch re-sent under a
+        key that was already acked (within ``config.dedup_window`` keys)
+        returns the original receipt marked ``duplicate=True`` instead of
+        ingesting twice.  In read-only mode the call raises
+        :class:`~repro.errors.ReadOnlyError` without touching any state.
         """
-        accepted = 0
-        refreshed = False
         with self._lock, self._clock.timed("ingest"):
-            for event in events:
+            if self._read_only_reason is not None:
+                raise ReadOnlyError(
+                    f"service is read-only: {self._read_only_reason}",
+                    retry_after=self.config.retry_after,
+                )
+            if idempotency_key is not None:
+                cached = self._dedup.get(idempotency_key)
+                if cached is not None:
+                    return replace(cached, duplicate=True)
+            batch: list[Feedback] = []
+            for offset, event in enumerate(events):
                 if isinstance(event, Feedback):
-                    feedback = event
+                    batch.append(event)
                 else:
-                    feedback = feedback_from_payload(event, sequence=self._ingested)
-                self._evidence.append(feedback)
-                self._system.record_feedback(feedback)
-                self._ingested += 1
-                accepted += 1
-                if self._ingested % self.config.refresh_every == 0:
-                    self._publish()
-                    refreshed = True
-            return IngestReceipt(
-                accepted=accepted,
-                ingested=self._ingested,
-                watermark=self._watermark,
-                refreshed=refreshed,
-            )
+                    batch.append(
+                        feedback_from_payload(event, sequence=self._ingested + offset)
+                    )
+            return self._ingest_batch(batch, key=idempotency_key, write_wal=True)
+
+    def _ingest_batch(
+        self, batch: list[Feedback], *, key: str | None, write_wal: bool
+    ) -> IngestReceipt:
+        """Log, fold and ack one validated batch (caller holds the lock)."""
+        seq = self._ingested
+        if write_wal and self._wal is not None:
+            try:
+                self._wal.append(batch, seq=seq, key=key)
+            except (OSError, InjectedFault) as error:
+                # Durability is gone: refuse further writes rather than
+                # acking events a crash would silently lose.
+                self._read_only_reason = f"WAL append failed: {error}"
+                raise ReadOnlyError(
+                    f"service is read-only: {self._read_only_reason}",
+                    retry_after=self.config.retry_after,
+                ) from error
+        refreshed = False
+        for feedback in batch:
+            self._evidence.append(feedback)
+            self._system.record_feedback(feedback)
+            self._ingested += 1
+            if self._ingested % self.config.refresh_every == 0:
+                self._publish()
+                refreshed = True
+        receipt = IngestReceipt(
+            accepted=len(batch),
+            ingested=self._ingested,
+            watermark=self._watermark,
+            refreshed=refreshed,
+            seq=seq,
+        )
+        if key is not None:
+            self._remember(key, receipt)
+        return receipt
+
+    def _remember(self, key: str, receipt: IngestReceipt) -> None:
+        """Park an acked receipt in the bounded idempotency window."""
+        if self.config.dedup_window == 0:
+            return
+        self._dedup[key] = receipt
+        self._dedup.move_to_end(key)
+        while len(self._dedup) > self.config.dedup_window:
+            self._dedup.popitem(last=False)
 
     def _publish(self) -> None:
         """Refresh the mechanism and publish the new score watermark."""
@@ -238,6 +522,47 @@ class ReputationService:
         with self._lock:
             self._publish()
             return self._published
+
+    # -- overload / health -------------------------------------------------
+
+    @property
+    def admission(self) -> AdmissionGate:
+        """The bounded admission gate HTTP adapters wrap ingestion in."""
+        return self._gate
+
+    @property
+    def rate_limiter(self) -> ClientRateLimiter:
+        """The per-client token-bucket limiter HTTP adapters consult."""
+        return self._limiter
+
+    @property
+    def state(self) -> str:
+        """Health state: ``ok`` | ``degraded`` (gate half full) | ``read_only``."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._read_only_reason is not None:
+            return "read_only"
+        if self._gate.depth * 2 >= self._gate.capacity:
+            return "degraded"
+        return "ok"
+
+    @property
+    def read_only_reason(self) -> str | None:
+        """Why writes are refused (``None`` while writable)."""
+        with self._lock:
+            return self._read_only_reason
+
+    def enter_read_only(self, reason: str) -> None:
+        """Refuse writes from now on; reads keep serving the stale watermark."""
+        with self._lock:
+            self._read_only_reason = reason
+
+    def resume_writes(self) -> None:
+        """Leave read-only mode (operator action after resolving the cause)."""
+        with self._lock:
+            self._read_only_reason = None
 
     # -- queries -----------------------------------------------------------
 
@@ -280,8 +605,16 @@ class ReputationService:
     def health(self) -> dict[str, object]:
         """Liveness plus the session counters and SLA latency summary."""
         with self._lock:
+            wal = self._wal
+            wal_summary: dict[str, object] | None = None
+            if wal is not None:
+                wal_summary = {
+                    "entries": wal.entry_count,
+                    "events": wal.event_count,
+                    "path": wal.path,
+                }
             return {
-                "status": "ok",
+                "status": self._state_locked(),
                 "mechanism": self.config.mechanism,
                 "backend": self._system.resolved_backend,
                 "ingested": self._ingested,
@@ -291,16 +624,25 @@ class ReputationService:
                 "known_peers": len(self._published),
                 "refresh_every": self.config.refresh_every,
                 "latency": self._clock.summary(),
+                "admission": self._gate.summary(),
+                "rate_limited": self._limiter.limited_total,
+                "read_only_reason": self._read_only_reason,
+                "dedup_keys": len(self._dedup),
+                "wal": wal_summary,
             }
 
-    # -- snapshot / restore ------------------------------------------------
+    # -- snapshot / restore / recovery -------------------------------------
 
     def snapshot(self, path: str) -> dict[str, object]:
         """Persist the full session to a checkpoint file.
 
         Atomic, versioned and checksummed (see
-        :mod:`repro.simulation.checkpoint`); returns the snapshot's vitals
-        for the caller (the HTTP adapter echoes them to the client).
+        :mod:`repro.simulation.checkpoint`), with a SHA-256 sidecar so
+        ``verify-records`` can audit it; returns the snapshot's vitals for
+        the caller (the HTTP adapter echoes them to the client).  With a
+        WAL attached, the snapshot also advances the compaction watermark
+        and nudges the background maintenance thread to drop the batches
+        it covers.
         """
         with self._lock, self._clock.timed("snapshot"):
             payload = ServiceSnapshot(
@@ -315,12 +657,18 @@ class ReputationService:
             write_checkpoint(
                 path, SERVICE_CHECKPOINT_KIND, payload, round_index=self._watermark
             )
-            return {
+            sidecar = write_checksum_sidecar(path)
+            self._snapshotted = self._ingested
+            vitals = {
                 "path": path,
                 "ingested": self._ingested,
                 "watermark": self._watermark,
                 "events": len(self._evidence),
+                "sidecar": sidecar,
             }
+        if self._wal is not None:
+            self._schedule_compaction()
+        return vitals
 
     @classmethod
     def restore(cls, path: str) -> ReputationService:
@@ -344,7 +692,117 @@ class ReputationService:
             payload.published, default_score=payload.config.default_score
         )
         service._ranking = service._published.ranking()
+        service._snapshotted = payload.ingested
         return service
+
+    @classmethod
+    def recover(
+        cls,
+        *,
+        wal_path: str,
+        snapshot_path: str | None = None,
+        config: ServiceConfig | None = None,
+        wal_fsync: bool = True,
+    ) -> ReputationService:
+        """Boot a durable session: latest snapshot + WAL replay.
+
+        Restores ``snapshot_path`` when given (it must exist and match
+        ``config`` if both are supplied), replays every intact WAL batch
+        past the snapshot's ingested count, re-registers their idempotency
+        keys (so a client retrying across the crash still never
+        double-ingests), attaches the WAL for subsequent ingests, and
+        compacts away the batches the snapshot already covers.  The result
+        is byte-identical to a session that never went down — every acked
+        event survives; only unacked (torn-tail) batches are lost, and
+        those the resilient client re-sends.
+        """
+        if snapshot_path is not None:
+            service = cls.restore(snapshot_path)
+            if config is not None and config != service.config:
+                raise ConfigurationError(
+                    "recover(): explicit config conflicts with the snapshot's"
+                )
+        else:
+            service = cls(config)
+        wal, entries, _ = WriteAheadLog.open(
+            wal_path,
+            config_sha256=config_digest(service.config.wal_identity()),
+            fsync=wal_fsync,
+        )
+        with service._lock:
+            covered = service._ingested
+            replayed = 0
+            for entry in entries:
+                if entry.end <= covered:
+                    if entry.key is not None:
+                        service._remember(
+                            entry.key,
+                            _replayed_receipt(entry, service.config.refresh_every),
+                        )
+                    continue
+                if entry.seq != service._ingested:
+                    raise IntegrityError(
+                        f"{wal_path}: WAL batch seq={entry.seq} does not line up "
+                        f"with the recovered session at {service._ingested} "
+                        "ingested events — acked evidence missing"
+                    )
+                service._ingest_batch(list(entry.events), key=entry.key, write_wal=False)
+                replayed += 1
+            service._wal = wal
+            service._snapshotted = covered
+        if covered > 0:
+            wal.compact(covered)
+        return service
+
+    # -- WAL maintenance ---------------------------------------------------
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log (``None`` for ephemeral sessions)."""
+        return self._wal
+
+    def compact_wal(self) -> int:
+        """Synchronously drop WAL batches the newest snapshot covers.
+
+        Returns the number of batches dropped; the background maintenance
+        thread calls this after every snapshot, and tests call it directly
+        for determinism.
+        """
+        with self._lock:
+            wal = self._wal
+            upto = self._snapshotted
+        if wal is None or upto <= 0:
+            return 0
+        return wal.compact(upto)
+
+    def _schedule_compaction(self) -> None:
+        if self._maintenance is None:
+            self._maintenance = threading.Thread(
+                target=self._maintenance_loop,
+                name="repro-serve-wal-compactor",
+                daemon=True,
+            )
+            self._maintenance.start()
+        self._compact_event.set()
+
+    def _maintenance_loop(self) -> None:
+        while True:
+            self._compact_event.wait()
+            if self._closed.is_set():
+                return
+            self._compact_event.clear()
+            self.compact_wal()
+
+    def close(self) -> None:
+        """Stop background maintenance and close the WAL handle."""
+        self._closed.set()
+        self._compact_event.set()
+        thread = self._maintenance
+        if thread is not None:
+            thread.join(timeout=5.0)
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
 
     # -- evidence log ------------------------------------------------------
 

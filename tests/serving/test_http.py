@@ -6,6 +6,7 @@ import threading
 
 import pytest
 
+import repro.faults as faults
 from repro.serving import ReputationService, create_http_server
 
 
@@ -27,16 +28,33 @@ def server(service):
         thread.join(timeout=5)
 
 
-def request(server, method, path, body=None):
+def request(server, method, path, body=None, headers=None):
     host, port = server.server_address[:2]
     connection = http.client.HTTPConnection(host, port, timeout=10)
     try:
         payload = None if body is None else json.dumps(body).encode("utf-8")
-        headers = {"Content-Type": "application/json"} if payload else {}
-        connection.request(method, path, body=payload, headers=headers)
+        sent = {"Content-Type": "application/json"} if payload else {}
+        sent.update(headers or {})
+        connection.request(method, path, body=payload, headers=sent)
         response = connection.getresponse()
         raw = response.read()
         return response.status, json.loads(raw), raw
+    finally:
+        connection.close()
+
+
+def request_full(server, method, path, body=None, headers=None):
+    """Like :func:`request` but also returns the response headers."""
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        sent = {"Content-Type": "application/json"} if payload else {}
+        sent.update(headers or {})
+        connection.request(method, path, body=payload, headers=sent)
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw), dict(response.getheaders())
     finally:
         connection.close()
 
@@ -55,8 +73,10 @@ class TestFeedbackRoute:
         assert status == 200
         assert body == {
             "accepted": 1,
+            "duplicate": False,
             "ingested": 1,
             "refreshed": False,
+            "seq": 0,
             "watermark": 0,
         }
 
@@ -209,6 +229,128 @@ class TestByteDeterminism:
         assert raws[0] == raws[1]
 
 
+class TestEvidenceRoute:
+    def test_slice(self, server):
+        request(server, "POST", "/v1/feedback", {"events": EVENTS})
+        status, body, _ = request(server, "GET", "/v1/evidence?start=1&limit=2")
+        assert status == 200
+        assert body["total"] == 4
+        assert body["start"] == 1
+        assert body["count"] == 2
+        assert [event["transaction_id"] for event in body["events"]] == [1, 2]
+
+    def test_full_log(self, server):
+        request(server, "POST", "/v1/feedback", {"events": EVENTS})
+        status, body, _ = request(server, "GET", "/v1/evidence")
+        assert status == 200
+        assert body["count"] == 4
+        assert body["events"][0]["subject"] == "alice"
+
+    def test_bad_start_is_400(self, server):
+        status, body, _ = request(server, "GET", "/v1/evidence?start=-1")
+        assert status == 400
+        assert "start" in body["error"]
+
+
+class TestMalformedPayloads:
+    def test_non_dict_event_is_400(self, server):
+        status, body, _ = request(server, "POST", "/v1/feedback", {"events": [EVENTS[0], 42]})
+        assert status == 400
+        assert body == {"error": "feedback event #1 must be a JSON object", "status": 400}
+
+    def test_string_body_is_400(self, server):
+        status, body, _ = request(server, "POST", "/v1/feedback", "nope")
+        assert status == 400
+        assert "must be an object or a list" in body["error"]
+
+    def test_bad_content_length_is_400(self, server):
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.putrequest("POST", "/v1/feedback")
+            connection.putheader("Content-Length", "nope")
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "Content-Length" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+
+class TestIdempotency:
+    def test_duplicate_key_returns_original_receipt(self, server):
+        headers = {"Idempotency-Key": "batch-0"}
+        status, first, _ = request(server, "POST", "/v1/feedback", {"events": EVENTS}, headers)
+        assert status == 200
+        assert first["duplicate"] is False
+        status, second, _ = request(server, "POST", "/v1/feedback", {"events": EVENTS}, headers)
+        assert status == 200
+        assert second["duplicate"] is True
+        assert second["accepted"] == first["accepted"]
+        assert second["seq"] == first["seq"]
+        _, health, _ = request(server, "GET", "/v1/health")
+        assert health["ingested"] == 4
+
+    def test_distinct_keys_both_ingest(self, server):
+        request(server, "POST", "/v1/feedback", EVENTS[:2], {"Idempotency-Key": "a"})
+        request(server, "POST", "/v1/feedback", EVENTS[2:], {"Idempotency-Key": "b"})
+        _, health, _ = request(server, "GET", "/v1/health")
+        assert health["ingested"] == 4
+
+
+class TestOverloadAndReadOnly:
+    def test_forced_shed_is_429_with_retry_after(self, server, service):
+        plan = faults.FaultPlan(
+            rules=(faults.FaultRule(site="http.admit", action="degrade", times=1),)
+        )
+        with faults.active(plan):
+            status, body, headers = request_full(server, "POST", "/v1/feedback", EVENTS[0])
+        assert status == 429
+        assert body["status"] == 429
+        assert body["retry_after"] == service.config.retry_after
+        assert "Retry-After" in headers
+        assert service.admission.shed_total == 1
+        # The shed request was never ingested.
+        status, after, _ = request(server, "POST", "/v1/feedback", EVENTS[0])
+        assert status == 200
+        assert after["ingested"] == 1
+
+    def test_rate_limit_is_429(self):
+        service = ReputationService(refresh_every=2, client_rate=0.001, client_burst=1)
+        server = create_http_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            headers = {"X-Client-Id": "greedy"}
+            status, _, _ = request(server, "POST", "/v1/feedback", EVENTS[0], headers)
+            assert status == 200
+            status, body, _ = request(server, "POST", "/v1/feedback", EVENTS[1], headers)
+            assert status == 429
+            assert "rate limit" in body["error"]
+            assert service.rate_limiter.limited_total == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_read_only_posts_are_503_reads_answer(self, server, service):
+        request(server, "POST", "/v1/feedback", {"events": EVENTS})
+        service.enter_read_only("operator drill")
+        status, body, headers = request_full(server, "POST", "/v1/feedback", EVENTS[0])
+        assert status == 503
+        assert body["status"] == 503
+        assert "Retry-After" in headers
+        status, scores, _ = request(server, "GET", "/v1/scores")
+        assert status == 200
+        assert scores["watermark"] == 4
+        _, health, _ = request(server, "GET", "/v1/health")
+        assert health["status"] == "read_only"
+        assert health["read_only_reason"] == "operator drill"
+        service.resume_writes()
+        status, _, _ = request(server, "POST", "/v1/feedback", EVENTS[0])
+        assert status == 200
+
+
 class TestAsgiAdapter:
     def test_missing_fastapi_raises_pointed_error(self, service):
         try:
@@ -221,3 +363,65 @@ class TestAsgiAdapter:
                 create_asgi_app(service)
         else:  # pragma: no cover - container ships without fastapi
             pytest.skip("fastapi installed; the missing-dependency path is untestable")
+
+
+class TestErrorBodyParity:
+    """Both adapters build error bodies through one shared mapping.
+
+    The unit tests below pin the shared builders' exact output; the
+    integration test (skipped when fastapi is absent) replays the same bad
+    requests through both adapters and compares raw bodies.
+    """
+
+    def test_error_response_shapes(self):
+        from repro.errors import ConfigurationError, OverloadError, ReadOnlyError
+        from repro.serving.http import _error_response
+
+        status, body, headers = _error_response(ConfigurationError("bad input"))
+        assert (status, body, headers) == (400, {"error": "bad input", "status": 400}, {})
+
+        status, body, headers = _error_response(OverloadError("full", retry_after=0.4))
+        assert status == 429
+        assert body == {"error": "full", "retry_after": 0.4, "status": 429}
+        assert headers == {"Retry-After": "1"}
+
+        status, body, headers = _error_response(ReadOnlyError("wal gone", retry_after=2.0))
+        assert status == 503
+        assert body == {"error": "wal gone", "retry_after": 2.0, "status": 503}
+        assert headers == {"Retry-After": "2"}
+
+    def test_decode_body_rejects_bad_json_identically(self):
+        from repro.errors import ConfigurationError
+        from repro.serving.http import _decode_body
+
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            _decode_body(b"{not json")
+
+    def test_adapters_agree_on_error_bodies(self, server):
+        fastapi = pytest.importorskip("fastapi")  # noqa: F841
+        testclient = pytest.importorskip("fastapi.testclient")
+        from repro.serving import create_asgi_app
+
+        asgi_service = ReputationService(refresh_every=2)
+        client = testclient.TestClient(create_asgi_app(asgi_service))
+
+        bad_requests = [
+            ("POST", "/v1/feedback", b"{not json"),
+            ("POST", "/v1/feedback", json.dumps({"events": "nope"}).encode()),
+            ("POST", "/v1/feedback", json.dumps({"events": [42]}).encode()),
+            ("POST", "/v1/snapshot", b""),
+            ("GET", "/v1/scores?limit=abc", None),
+            ("GET", "/v1/evidence?start=-1", None),
+        ]
+        for method, path, raw in bad_requests:
+            host, port = server.server_address[:2]
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                connection.request(method, path, body=raw)
+                response = connection.getresponse()
+                stdlib_status, stdlib_body = response.status, json.loads(response.read())
+            finally:
+                connection.close()
+            asgi = client.request(method, path, content=raw)
+            assert asgi.status_code == stdlib_status, path
+            assert asgi.json() == stdlib_body, path
